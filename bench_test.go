@@ -1,0 +1,262 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E11) plus
+// ablations for the design choices called out in DESIGN.md: pivot rules,
+// float vs exact arithmetic, dense vs revised simplex, averaging radius,
+// sequential vs parallel local-LP execution, and the two distributed
+// engines. Run with:
+//
+//	go test -bench=. -benchmem
+package maxminlp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maxminlp"
+	"maxminlp/internal/core"
+	"maxminlp/internal/dist"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/harness"
+	"maxminlp/internal/lowerbound"
+	"maxminlp/internal/lp"
+)
+
+// benchExperiment runs a full harness experiment once per iteration; the
+// per-op time is the cost of regenerating the corresponding table.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for _, exp := range harness.All {
+		if exp.ID != id {
+			continue
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.Run(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment %s", id)
+}
+
+func BenchmarkE1LowerBoundConstruct(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2LowerBoundRatio(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Safe(b *testing.B)                { benchExperiment(b, "E3") }
+func BenchmarkE4Gamma(b *testing.B)               { benchExperiment(b, "E4") }
+func BenchmarkE5LocalAverage(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6SensorNet(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7Scaling(b *testing.B)             { benchExperiment(b, "E7") }
+func BenchmarkE8Distributed(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9SelfStabilization(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10OpenQuestion(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11AdaptiveScheme(b *testing.B)     { benchExperiment(b, "E11") }
+
+// --- ablations -----------------------------------------------------------
+
+// BenchmarkLPPivotRules ablates the entering-variable rule of the float64
+// simplex on the torus max-min LP.
+func BenchmarkLPPivotRules(b *testing.B) {
+	in, _ := gen.Torus([]int{10, 10}, gen.LatticeOptions{})
+	for _, rule := range []struct {
+		name string
+		rule lp.PivotRule
+	}{
+		{"DantzigThenBland", lp.DantzigThenBland},
+		{"BlandOnly", lp.BlandOnly},
+	} {
+		b.Run(rule.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := torusProblem(in)
+				if _, err := lp.SolveWithRule(p, rule.rule); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func torusProblem(in *maxminlp.Instance) *lp.Problem {
+	n := in.NumAgents()
+	obj := make([]float64, n+1)
+	obj[n] = 1
+	var cons []lp.Constraint
+	for i := 0; i < in.NumResources(); i++ {
+		row := make([]float64, n+1)
+		for _, e := range in.Resource(i) {
+			row[e.Agent] = e.Coeff
+		}
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+	}
+	for k := 0; k < in.NumParties(); k++ {
+		row := make([]float64, n+1)
+		for _, e := range in.Party(k) {
+			row[e.Agent] = -e.Coeff
+		}
+		row[n] = 1
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 0})
+	}
+	return &lp.Problem{Obj: obj, Constraints: cons}
+}
+
+// BenchmarkLPFloatVsRat measures the cost of exact rational arithmetic
+// relative to float64 on identical small max-min LPs.
+func BenchmarkLPFloatVsRat(b *testing.B) {
+	in, _ := gen.Cycle(12, gen.LatticeOptions{})
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.SolveMaxMin(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bigRat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.SolveMaxMinRat(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLocalAverageRadius shows how the Theorem-3 algorithm's cost
+// grows with the radius R (per agent, the ball and local LP grow
+// polynomially on a torus).
+func BenchmarkLocalAverageRadius(b *testing.B) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for _, radius := range []int{0, 1, 2} {
+		b.Run(radiusName(radius), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LocalAverage(in, g, radius); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func radiusName(r int) string { return "R=" + string(rune('0'+r)) }
+
+// BenchmarkEngines compares the sequential reference engine against the
+// goroutine-per-agent engine on the same protocol.
+func BenchmarkEngines(b *testing.B) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	nw, err := dist.NewNetwork(in, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := dist.AverageProtocol{Radius: 1}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunSequential(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunGoroutines(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSafePerAgent isolates the per-agent cost of the safe
+// algorithm, the cheapest possible local algorithm.
+func BenchmarkSafePerAgent(b *testing.B) {
+	in, _ := gen.Torus([]int{32, 32}, gen.LatticeOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Safe(in)
+	}
+}
+
+// BenchmarkBallAndGamma measures the neighbourhood primitives used by
+// both Theorem 3 and the γ(r) profiler.
+func BenchmarkBallAndGamma(b *testing.B) {
+	in, _ := gen.Torus([]int{24, 24}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	b.Run("ball-r3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Ball(i%in.NumAgents(), 3)
+		}
+	})
+	b.Run("gamma-profile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.GammaProfile(4)
+		}
+	})
+}
+
+// BenchmarkLowerBoundBuild isolates the construction cost of S (template
+// generation plus hypertree assembly) for the largest E1 case.
+func BenchmarkLowerBoundBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := lowerbound.Build(lowerbound.Params{
+			DeltaVI: 3, DeltaVK: 3, R: 2, LocalHorizon: 1,
+			Rng: rand.New(rand.NewSource(1)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.S.NumAgents() == 0 {
+			b.Fatal("empty instance")
+		}
+	}
+}
+
+// BenchmarkLPBackends ablates the dense-tableau simplex against the
+// revised simplex (sparse columns + explicit basis inverse) on the
+// max-min LP of a growing torus. The revised method's advantage grows
+// with instance size because the constraint matrix has O(1) nonzeros per
+// column.
+func BenchmarkLPBackends(b *testing.B) {
+	for _, side := range []int{8, 12, 16} {
+		in, _ := gen.Torus([]int{side, side}, gen.LatticeOptions{})
+		for _, backend := range []struct {
+			name string
+			b    lp.Backend
+		}{
+			{"dense", lp.BackendDense},
+			{"revised", lp.BackendRevised},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", backend.name, in.NumAgents()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := lp.SolveMaxMinWith(in, backend.b); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLocalAverageParallel ablates the goroutine-pool parallel
+// executor of the local-LP phase against the sequential reference.
+func BenchmarkLocalAverageParallel(b *testing.B) {
+	in, _ := gen.Torus([]int{12, 12}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LocalAverageParallel(in, g, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates every reproduction experiment (E1–E8)
+// described in EXPERIMENTS.md and prints the result tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only E4,E5] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maxminlp/internal/harness"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed shared by all experiments")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failed := false
+	for _, exp := range harness.All {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		table, err := exp.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
+			failed = true
+			continue
+		}
+		if *csvOut {
+			fmt.Printf("# %s — %s\n", table.ID, table.Title)
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", exp.ID, err)
+				failed = true
+			}
+			fmt.Println()
+		} else {
+			table.Fprint(os.Stdout)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"maxminlp/internal/mmlp"
+)
+
+// readInstance loads an instance from the trailing file argument of a
+// command, or from stdin when the argument is missing or "-".
+func readInstance(args []string) (*mmlp.Instance, error) {
+	var r io.Reader = os.Stdin
+	if len(args) > 1 {
+		return nil, fmt.Errorf("expected at most one instance file, got %v", args)
+	}
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mmlp.ReadText(f)
+	}
+	return mmlp.ReadText(r)
+}
+
+// parseDims parses "16x16" or "64" into lattice dimensions.
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dimensions %q (want e.g. 64 or 16x16)", s)
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}

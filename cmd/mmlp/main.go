@@ -1,0 +1,67 @@
+// Command mmlp is the command-line front end of the library: it
+// generates, inspects and solves max-min LP instances, measures the
+// relative growth γ(r) of their communication hypergraphs, and drives the
+// Theorem-1 lower-bound construction.
+//
+// Usage:
+//
+//	mmlp gen        -kind torus -dims 16x16 > instance.txt
+//	mmlp stats      instance.txt
+//	mmlp solve      -alg optimal|safe|average [-radius R] instance.txt
+//	mmlp gamma      -maxr 6 instance.txt
+//	mmlp lowerbound -dvi 3 -dvk 2
+//	mmlp convert    -to json instance.txt
+//
+// Instances are read from the file argument or stdin ("-") in the text
+// format of the mmlp package (see `mmlp gen` output).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+var commands = []command{
+	{"gen", "generate an instance (torus, grid, random, sensornet, isp)", cmdGen},
+	{"stats", "print instance statistics and degree bounds", cmdStats},
+	{"solve", "solve an instance with optimal, safe or average", cmdSolve},
+	{"gamma", "print the relative growth profile γ(r)", cmdGamma},
+	{"lowerbound", "build and verify the Theorem-1 construction", cmdLowerBound},
+	{"figure2", "print Figure 2 (Theorem-3 set definitions) on an instance", cmdFigure2},
+	{"verify", "check a solution file against an instance (feasibility + ω)", cmdVerify},
+	{"convert", "convert between the text and JSON formats", cmdConvert},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "mmlp %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mmlp: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mmlp <command> [flags] [instance-file|-]")
+	fmt.Fprintln(os.Stderr, "commands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.summary)
+	}
+}

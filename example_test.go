@@ -1,0 +1,115 @@
+package maxminlp_test
+
+import (
+	"fmt"
+
+	"maxminlp"
+)
+
+// ExampleSafe demonstrates the safe algorithm of Papadimitriou and
+// Yannakakis (equation (2) of the paper) on a two-resource instance.
+func ExampleSafe() {
+	b := maxminlp.NewBuilder(3)
+	b.AddUnitResource(0, 1) // x0 + x1 ≤ 1
+	b.AddUnitResource(1, 2) // x1 + x2 ≤ 1
+	b.AddUniformParty(1, 0, 1)
+	b.AddUniformParty(1, 2)
+	in, _ := b.Build()
+
+	x := maxminlp.Safe(in)
+	fmt.Printf("x = %.2v\n", x)
+	fmt.Printf("omega = %.2f\n", in.Objective(x))
+	// Output:
+	// x = [0.5 0.5 0.5]
+	// omega = 0.50
+}
+
+// ExampleLocalAverage runs the Theorem-3 local averaging algorithm: with
+// a radius covering the whole (tiny) instance, it recovers the optimum
+// and certifies ratio 1.
+func ExampleLocalAverage() {
+	b := maxminlp.NewBuilder(3)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(1, 2)
+	b.AddUniformParty(1, 0, 1)
+	b.AddUniformParty(1, 2)
+	in, _ := b.Build()
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+
+	res, _ := maxminlp.LocalAverage(in, g, 2)
+	fmt.Printf("omega = %.2f certificate = %.2f\n", in.Objective(res.X), res.RatioCertificate())
+	// Output:
+	// omega = 1.00 certificate = 1.00
+}
+
+// ExampleSolveOptimal computes the centralised LP optimum used as ground
+// truth throughout the experiments.
+func ExampleSolveOptimal() {
+	b := maxminlp.NewBuilder(2)
+	b.AddUnitResource(0, 1) // x0 + x1 ≤ 1
+	b.AddUniformParty(1, 0) // ω ≤ x0
+	b.AddUniformParty(1, 1) // ω ≤ x1
+	in, _ := b.Build()
+
+	opt, _ := maxminlp.SolveOptimal(in)
+	fmt.Printf("omega = %.2f\n", opt.Omega)
+	// Output:
+	// omega = 0.50
+}
+
+// ExampleLowerBoundParams_TheoremBound prints the Theorem-1
+// inapproximability bounds for small degree parameters.
+func ExampleLowerBoundParams_TheoremBound() {
+	for _, p := range []maxminlp.LowerBoundParams{
+		{DeltaVI: 3, DeltaVK: 2},
+		{DeltaVI: 3, DeltaVK: 3},
+		{DeltaVI: 4, DeltaVK: 3},
+	} {
+		fmt.Printf("ΔVI=%d ΔVK=%d: %.4f\n", p.DeltaVI, p.DeltaVK, p.TheoremBound())
+	}
+	// Output:
+	// ΔVI=3 ΔVK=2: 1.5000
+	// ΔVI=3 ΔVK=3: 1.7500
+	// ΔVI=4 ΔVK=3: 2.2500
+}
+
+// ExampleGraph_Gamma shows the relative growth γ(r) on a cycle, the
+// quantity controlling Theorem 3's approximation ratio.
+func ExampleGraph_Gamma() {
+	in, _ := maxminlp.Torus([]int{32}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for r := 1; r <= 3; r++ {
+		fmt.Printf("gamma(%d) = %.3f\n", r, g.Gamma(r))
+	}
+	// Output:
+	// gamma(1) = 1.800
+	// gamma(2) = 1.444
+	// gamma(3) = 1.308
+}
+
+// ExampleAdaptiveAverage grows the radius until the Theorem-3 certificate
+// meets a target ratio — the "local approximation scheme" in action.
+func ExampleAdaptiveAverage() {
+	in, _ := maxminlp.Torus([]int{48}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	res, _ := maxminlp.AdaptiveAverage(in, g, 1.8, 10)
+	fmt.Printf("achieved=%v at R=%d with certificate %.3f\n",
+		res.Achieved, res.Radius, res.RatioCertificate())
+	// Output:
+	// achieved=true at R=2 with certificate 1.571
+}
+
+// ExampleCertificate inspects the Theorem-3 certificate without running
+// the algorithm (it needs only ball computations).
+func ExampleCertificate() {
+	in, _ := maxminlp.Torus([]int{48}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for r := 1; r <= 3; r++ {
+		pb, rb, _ := maxminlp.Certificate(in, g, r)
+		fmt.Printf("R=%d certificate=%.3f\n", r, pb*rb)
+	}
+	// Output:
+	// R=1 certificate=2.333
+	// R=2 certificate=1.571
+	// R=3 certificate=1.364
+}

@@ -1,0 +1,79 @@
+// Lowerbound walks through the Theorem-1 inapproximability construction
+// of Section 4 step by step: it builds the template graph Q and the
+// hypertree instance S, runs a local algorithm on S, selects the tree T_p
+// with δ(p) ≥ 0, derives the restricted instance S', verifies every fact
+// the proof relies on, and finally measures the approximation ratio the
+// algorithm actually achieves on S' against the theorem's bound
+// ΔVI/2 + 1/2 − 1/(2ΔVK − 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"maxminlp"
+)
+
+func main() {
+	deltaVI := flag.Int("dvi", 3, "support bound ΔVI ≥ 2")
+	deltaVK := flag.Int("dvk", 2, "support bound ΔVK ≥ 2")
+	flag.Parse()
+
+	params := maxminlp.LowerBoundParams{
+		DeltaVI:      *deltaVI,
+		DeltaVK:      *deltaVK,
+		R:            2,
+		LocalHorizon: 1,
+	}
+	fmt.Printf("Theorem 1 bound for ΔVI=%d, ΔVK=%d: no local algorithm beats ratio %.4f\n\n",
+		params.DeltaVI, params.DeltaVK, params.TheoremBound())
+
+	c, err := maxminlp.BuildLowerBound(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1 — template graph Q: %d-regular bipartite, %d vertices, girth ≥ %d (no cycle the\n",
+		params.Degree(), c.Q.NumVertices(), params.MinCycle())
+	fmt.Printf("         radius-%d views of a local algorithm could detect)\n", params.LocalHorizon)
+	fmt.Printf("step 2 — instance S: one (d=%d, D=%d)-ary hypertree of height %d per Q-vertex;\n",
+		c.D1, c.D2, 2*params.R-1)
+	fmt.Printf("         %d agents, %d resources (type I), %d parties (types II and III)\n",
+		c.S.NumAgents(), c.S.NumResources(), c.S.NumParties())
+
+	// Run the safe algorithm — any deterministic local algorithm works
+	// here; the construction is adversarial against all of them.
+	x := maxminlp.Safe(c.S)
+	p, delta := c.SelectP(x)
+	fmt.Printf("step 3 — ran the safe algorithm on S; δ(p)=%.3f at p=%d (the proof needs δ(p) ≥ 0)\n", delta, p)
+
+	sp, err := c.BuildSPrime(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 4 — restricted instance S': %d agents around hypertree T_%d\n",
+		sp.Instance().NumAgents(), p)
+
+	rep := c.Check(x, sp)
+	fmt.Printf("step 5 — proof checks: tree-like=%v, witness ω=%.3f (exactly 1 expected),\n",
+		rep.SPrimeForest, rep.WitnessOmega)
+	fmt.Printf("         %d radius-%d views compared between S and S': identical=%v\n",
+		rep.ViewsChecked, params.LocalHorizon, rep.ViewsIdentical)
+	if !rep.OK() {
+		log.Fatalf("construction checks failed: %v", rep.Errors)
+	}
+
+	// The punchline: the algorithm cannot tell S' from S on T_p, so its
+	// solution is far from the optimum ω*(S') ≥ 1.
+	opt, err := maxminlp.SolveOptimal(sp.Instance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	achieved := sp.Instance().Objective(maxminlp.Safe(sp.Instance()))
+	fmt.Printf("\nstep 6 — on S': optimal ω* = %.4f but the safe algorithm achieves ω = %.4f\n",
+		opt.Omega, achieved)
+	fmt.Printf("         measured ratio %.4f  vs  theorem bound %.4f\n",
+		opt.Omega/achieved, params.TheoremBound())
+	fmt.Println("\nno amount of constant-radius lookahead escapes this: the agents in T_p see")
+	fmt.Println("identical neighbourhoods in S and S', yet the right answers differ.")
+}

@@ -1,0 +1,74 @@
+// Selfstab demonstrates the paper's Section-1.1 claim that local
+// algorithms yield self-stabilising algorithms with constant
+// stabilisation time. It runs the Theorem-3 averaging protocol on a torus
+// in self-stabilising mode, wipes the state of half the nodes mid-run,
+// and shows the outputs healing back to the exact fault-free solution
+// within one information horizon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"maxminlp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	side := flag.Int("side", 6, "torus side length")
+	radius := flag.Int("radius", 1, "averaging radius R")
+	flag.Parse()
+
+	in, _ := maxminlp.Torus([]int{*side, *side}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	nw, err := maxminlp.NewNetwork(in, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := nw.RunSequential(maxminlp.AverageProtocol{Radius: *radius})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := maxminlp.StabilizingAverage{Radius: *radius}
+	fault := p.Horizon() + 2
+	rounds := fault + p.Horizon() + 3
+	rng := rand.New(rand.NewSource(*seed))
+	corrupted := 0
+	run, err := nw.RunStabilizing(p, rounds, fault, func(nodes []*maxminlp.StabNodeHandle) {
+		for _, h := range nodes {
+			if rng.Intn(2) == 0 {
+				h.Drop() // wipe this node's entire state
+				corrupted++
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("torus %dx%d, averaging radius R=%d, horizon %d rounds\n",
+		*side, *side, *radius, p.Horizon())
+	fmt.Printf("fault at round %d: state of %d/%d nodes wiped\n\n", fault, corrupted, in.NumAgents())
+	fmt.Printf("%5s  %22s  %10s\n", "round", "max |x - x_ref|", "ω(x)")
+	for t, xs := range run.Outputs {
+		worst := 0.0
+		for v := range xs {
+			worst = math.Max(worst, math.Abs(xs[v]-ref.X[v]))
+		}
+		marker := ""
+		if t == fault {
+			marker = "   <- fault injected"
+		}
+		if t == run.StableFrom {
+			marker = "   <- stabilised (exact)"
+		}
+		fmt.Printf("%5d  %22.6g  %10.4f%s\n", t, worst, in.Objective(xs), marker)
+	}
+	fmt.Printf("\nstabilised from round %d; fault+horizon = %d — constant-time recovery, as §1.1 claims.\n",
+		run.StableFrom, fault+p.Horizon())
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/core"
+	"maxminlp/internal/lp"
+)
+
+func TestSensorNetworkInstanceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		sn := RandomSensorNetwork(SensorNetworkOptions{
+			Sensors: 5 + rng.Intn(40), Relays: 2 + rng.Intn(8), Areas: 1 + rng.Intn(10),
+			RadioRange: 0.2 + 0.3*rng.Float64(), SenseRange: 0.2 + 0.2*rng.Float64(),
+			MaxLinksPerSensor: 1 + rng.Intn(3),
+		}, rng)
+		in, err := sn.Instance()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if in.NumAgents() != len(sn.Links) {
+			t.Fatalf("trial %d: %d agents, %d links", trial, in.NumAgents(), len(sn.Links))
+		}
+		if in.NumParties() != len(sn.Areas) {
+			t.Fatalf("trial %d: %d parties, %d areas", trial, in.NumParties(), len(sn.Areas))
+		}
+	}
+}
+
+func TestSensorNetworkSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sn := RandomSensorNetwork(SensorNetworkOptions{
+		Sensors: 15, Relays: 5, Areas: 6,
+		RadioRange: 0.35, SenseRange: 0.3, MaxLinksPerSensor: 2,
+	}, rng)
+	in, err := sn.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Omega <= 0 {
+		t.Fatalf("ω* = %v, want > 0 (every area is covered by construction)", opt.Omega)
+	}
+	safe := core.Safe(in)
+	if v := in.Violation(safe); v > 1e-9 {
+		t.Fatalf("safe infeasible: %v", v)
+	}
+	if got := sn.Lifetime(in, safe); got <= 0 || got > opt.Omega+1e-9 {
+		t.Fatalf("safe lifetime %v outside (0, ω*=%v]", got, opt.Omega)
+	}
+}
+
+func TestSensorNetworkDeterministicBySeed(t *testing.T) {
+	opt := SensorNetworkOptions{
+		Sensors: 12, Relays: 4, Areas: 5,
+		RadioRange: 0.3, SenseRange: 0.25, MaxLinksPerSensor: 2,
+	}
+	a := RandomSensorNetwork(opt, rand.New(rand.NewSource(7)))
+	b := RandomSensorNetwork(opt, rand.New(rand.NewSource(7)))
+	if len(a.Links) != len(b.Links) {
+		t.Fatal("same seed produced different deployments")
+	}
+	for j := range a.Links {
+		if a.Links[j] != b.Links[j] || a.SensorCost[j] != b.SensorCost[j] {
+			t.Fatal("same seed produced different links")
+		}
+	}
+}
+
+func TestSensorNetworkRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero sensors")
+		}
+	}()
+	RandomSensorNetwork(SensorNetworkOptions{Sensors: 0, Relays: 1, Areas: 1}, rand.New(rand.NewSource(1)))
+}
+
+func TestISPInstanceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		net := RandomISP(ISPOptions{
+			Customers: 1 + rng.Intn(15), LastMilesPerCustomer: 1 + rng.Intn(3),
+			Routers: 1 + rng.Intn(8), RoutersPerLastMile: 1 + rng.Intn(3),
+		}, rng)
+		in, err := net.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if in.NumParties() != net.Customers {
+			t.Fatalf("%d parties, %d customers", in.NumParties(), net.Customers)
+		}
+		// Every routing option consumes exactly two resources: its
+		// last-mile link and its router.
+		for v := 0; v < in.NumAgents(); v++ {
+			if got := len(in.AgentResources(v)); got != 2 {
+				t.Fatalf("option %d consumes %d resources, want 2", v, got)
+			}
+		}
+	}
+}
+
+func TestISPFairness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := RandomISP(ISPOptions{
+		Customers: 8, LastMilesPerCustomer: 2, Routers: 4, RoutersPerLastMile: 2,
+	}, rng)
+	in, err := net.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Omega <= 0 {
+		t.Fatalf("ω* = %v, want > 0", opt.Omega)
+	}
+	// At the optimum, the minimum customer bandwidth equals ω; no
+	// customer is below it.
+	for k := 0; k < in.NumParties(); k++ {
+		if in.PartyBenefit(k, opt.X) < opt.Omega-1e-7 {
+			t.Fatalf("customer %d below the fair share", k)
+		}
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if got := a.Dist(b); got != 5 {
+		t.Fatalf("dist = %v, want 5", got)
+	}
+}

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maxminlp/internal/mmlp"
+)
+
+// ISPNetwork is the second application sketched in Section 2 of the
+// paper: each beneficiary party is a major customer of an Internet
+// service provider, each "sensor-like" resource is a bounded-capacity
+// last-mile link between a customer and the ISP, and each "relay-like"
+// resource is a bounded-capacity access router. An agent is a routing
+// option (last-mile link, router) and the objective is to maximise the
+// minimum bandwidth any customer receives.
+type ISPNetwork struct {
+	Customers int
+	LastMiles int
+	Routers   int
+
+	// LastMileOf[l] is the customer served by last-mile link l.
+	LastMileOf []int
+	// Options[j] = (last-mile link, router) for routing option j.
+	Options [][2]int
+	// LastMileShare[j] and RouterShare[j] are the capacity fractions one
+	// bandwidth unit of option j consumes.
+	LastMileShare []float64
+	RouterShare   []float64
+}
+
+// ISPOptions configures random ISP topologies.
+type ISPOptions struct {
+	Customers int
+	// LastMilesPerCustomer is how many physical last-mile links each
+	// customer has (≥ 1).
+	LastMilesPerCustomer int
+	Routers              int
+	// RoutersPerLastMile is how many routers each last-mile link can be
+	// homed to (≥ 1, capped at Routers).
+	RoutersPerLastMile int
+}
+
+// RandomISP samples a random ISP topology.
+func RandomISP(opt ISPOptions, rng *rand.Rand) *ISPNetwork {
+	if opt.Customers < 1 || opt.LastMilesPerCustomer < 1 || opt.Routers < 1 || opt.RoutersPerLastMile < 1 {
+		panic("apps: all ISP topology counts must be ≥ 1")
+	}
+	n := &ISPNetwork{Customers: opt.Customers, Routers: opt.Routers}
+	perLM := min(opt.RoutersPerLastMile, opt.Routers)
+	for c := 0; c < opt.Customers; c++ {
+		for l := 0; l < opt.LastMilesPerCustomer; l++ {
+			lm := len(n.LastMileOf)
+			n.LastMileOf = append(n.LastMileOf, c)
+			perm := rng.Perm(opt.Routers)[:perLM]
+			for _, router := range perm {
+				n.Options = append(n.Options, [2]int{lm, router})
+				n.LastMileShare = append(n.LastMileShare, 0.5+rng.Float64()) // capacity ≈ 1/share units
+				n.RouterShare = append(n.RouterShare, 0.1+0.4*rng.Float64())
+			}
+		}
+	}
+	n.LastMiles = len(n.LastMileOf)
+	return n
+}
+
+// Instance converts the topology into a max-min LP: agents = routing
+// options, resources = last-mile links and routers (unit capacity each),
+// parties = customers with c = 1 per option that terminates at them.
+func (n *ISPNetwork) Instance() (*mmlp.Instance, error) {
+	b := mmlp.NewBuilder(len(n.Options))
+	lastMileRows := make([][]mmlp.Entry, n.LastMiles)
+	routerRows := make([][]mmlp.Entry, n.Routers)
+	customerRows := make([][]mmlp.Entry, n.Customers)
+	for j, o := range n.Options {
+		lm, router := o[0], o[1]
+		lastMileRows[lm] = append(lastMileRows[lm], mmlp.Entry{Agent: j, Coeff: n.LastMileShare[j]})
+		routerRows[router] = append(routerRows[router], mmlp.Entry{Agent: j, Coeff: n.RouterShare[j]})
+		customerRows[n.LastMileOf[lm]] = append(customerRows[n.LastMileOf[lm]], mmlp.Entry{Agent: j, Coeff: 1})
+	}
+	for _, row := range lastMileRows {
+		if len(row) > 0 {
+			b.AddResource(row...)
+		}
+	}
+	for _, row := range routerRows {
+		if len(row) > 0 {
+			b.AddResource(row...)
+		}
+	}
+	for c, row := range customerRows {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("apps: customer %d has no routing option", c)
+		}
+		b.AddParty(row...)
+	}
+	return b.Build()
+}

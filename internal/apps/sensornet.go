@@ -1,0 +1,194 @@
+// Package apps implements the two applications that motivate the paper
+// (Section 2): lifetime maximisation in two-tier sensor networks and fair
+// bandwidth allocation in an ISP access network. Both reduce to max-min
+// LPs; the reductions here follow the paper's constructions exactly.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"maxminlp/internal/mmlp"
+)
+
+// Point is a position in the unit square.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// SensorNetwork is a two-tier sensor deployment: battery-powered sensors
+// forward data through battery-powered relays towards a sink. Each
+// wireless link (s, t) from sensor s to relay t is an agent of the
+// max-min LP; transmitting one unit of data over the link consumes a
+// fraction of both batteries. Each monitored area is a beneficiary party:
+// it gains one unit per unit of data transmitted by any link whose sensor
+// covers the area. Maximising min-per-area data received equals
+// maximising network lifetime at equal average rates (Section 2).
+type SensorNetwork struct {
+	Sensors []Point
+	Relays  []Point
+	Areas   []Point
+
+	// Links[j] = (sensor, relay) pairs within radio range.
+	Links [][2]int
+
+	// SensorCost[j] and RelayCost[j] are the battery fractions a_sv and
+	// a_tv consumed by one unit of data on link j.
+	SensorCost []float64
+	RelayCost  []float64
+
+	// Covers[k] lists the sensors able to monitor area k.
+	Covers [][]int
+}
+
+// SensorNetworkOptions configures random deployment generation.
+type SensorNetworkOptions struct {
+	Sensors int
+	Relays  int
+	Areas   int
+	// RadioRange is the maximum sensor–relay link distance.
+	RadioRange float64
+	// SenseRange is the maximum sensor–area monitoring distance.
+	SenseRange float64
+	// MaxLinksPerSensor caps |Iv|-side degrees; 0 means no cap.
+	MaxLinksPerSensor int
+}
+
+// RandomSensorNetwork drops sensors, relays and monitored areas uniformly
+// in the unit square and connects them by range. Sensors without any
+// in-range relay are re-dropped near a relay, and areas without any
+// covering sensor are re-centred on one, so the derived max-min LP always
+// satisfies the paper's nonemptiness assumptions.
+func RandomSensorNetwork(opt SensorNetworkOptions, rng *rand.Rand) *SensorNetwork {
+	if opt.Sensors < 1 || opt.Relays < 1 || opt.Areas < 1 {
+		panic("apps: need at least one sensor, relay and area")
+	}
+	sn := &SensorNetwork{}
+	drop := func(n int) []Point {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		return pts
+	}
+	sn.Relays = drop(opt.Relays)
+	sn.Sensors = drop(opt.Sensors)
+	sn.Areas = drop(opt.Areas)
+
+	// Guarantee every sensor reaches a relay.
+	for s := range sn.Sensors {
+		reachable := false
+		for _, t := range sn.Relays {
+			if sn.Sensors[s].Dist(t) <= opt.RadioRange {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			t := sn.Relays[rng.Intn(len(sn.Relays))]
+			sn.Sensors[s] = Point{
+				X: clamp01(t.X + (rng.Float64()-0.5)*opt.RadioRange),
+				Y: clamp01(t.Y + (rng.Float64()-0.5)*opt.RadioRange),
+			}
+		}
+	}
+	// Build links.
+	for s, sp := range sn.Sensors {
+		links := 0
+		for t, tp := range sn.Relays {
+			if sp.Dist(tp) > opt.RadioRange {
+				continue
+			}
+			if opt.MaxLinksPerSensor > 0 && links >= opt.MaxLinksPerSensor {
+				break
+			}
+			links++
+			sn.Links = append(sn.Links, [2]int{s, t})
+			d := sp.Dist(tp)
+			// Transmission energy grows with distance; reception is
+			// cheaper. Scaled so a handful of active links exhausts a
+			// battery.
+			sn.SensorCost = append(sn.SensorCost, 0.05+0.45*d*d)
+			sn.RelayCost = append(sn.RelayCost, 0.05+0.15*d*d)
+		}
+	}
+	// Guarantee every area has a covering sensor with a link.
+	sn.Covers = make([][]int, opt.Areas)
+	for k := range sn.Areas {
+		for s, sp := range sn.Sensors {
+			if sp.Dist(sn.Areas[k]) <= opt.SenseRange {
+				sn.Covers[k] = append(sn.Covers[k], s)
+			}
+		}
+		if len(sn.Covers[k]) == 0 {
+			s := rng.Intn(len(sn.Sensors))
+			sn.Areas[k] = sn.Sensors[s]
+			sn.Covers[k] = []int{s}
+		}
+	}
+	return sn
+}
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+// Instance converts the deployment into the max-min LP of Section 2:
+// agents = links, resources = sensor and relay batteries, parties =
+// monitored areas. It returns an error if some area is covered only by
+// sensors that have no link (the LP would have an empty party support).
+func (sn *SensorNetwork) Instance() (*mmlp.Instance, error) {
+	b := mmlp.NewBuilder(len(sn.Links))
+
+	// Battery constraints. Resource ids: sensors first, then relays.
+	sensorLinks := make([][]mmlp.Entry, len(sn.Sensors))
+	relayLinks := make([][]mmlp.Entry, len(sn.Relays))
+	for j, link := range sn.Links {
+		s, t := link[0], link[1]
+		sensorLinks[s] = append(sensorLinks[s], mmlp.Entry{Agent: j, Coeff: sn.SensorCost[j]})
+		relayLinks[t] = append(relayLinks[t], mmlp.Entry{Agent: j, Coeff: sn.RelayCost[j]})
+	}
+	for _, entries := range sensorLinks {
+		if len(entries) == 0 {
+			continue // a sensor with no link consumes nothing
+		}
+		b.AddResource(entries...)
+	}
+	for _, entries := range relayLinks {
+		if len(entries) == 0 {
+			continue
+		}
+		b.AddResource(entries...)
+	}
+
+	// Monitored areas: party k gains one unit per unit of data sent on any
+	// link whose sensor covers area k (c_kv = 1, as in the paper).
+	linkOfSensor := make([][]int, len(sn.Sensors))
+	for j, link := range sn.Links {
+		linkOfSensor[link[0]] = append(linkOfSensor[link[0]], j)
+	}
+	for k, sensors := range sn.Covers {
+		var entries []mmlp.Entry
+		for _, s := range sensors {
+			for _, j := range linkOfSensor[s] {
+				entries = append(entries, mmlp.Entry{Agent: j, Coeff: 1})
+			}
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("apps: area %d is covered only by sensors without links", k)
+		}
+		b.AddParty(entries...)
+	}
+	return b.Build()
+}
+
+// Lifetime interprets a feasible activity vector as a network lifetime:
+// with per-round activities x, the first battery is exhausted after
+// 1/max_i(Σ a_iv x_v) rounds; at x scaled to exhaust in exactly one unit
+// of time, ω is the common per-area data rate. Lifetime returns that
+// rate, i.e. the min-per-area received data.
+func (sn *SensorNetwork) Lifetime(in *mmlp.Instance, x []float64) float64 {
+	return in.Objective(x)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/lp"
+)
+
+func TestCertificateMatchesLocalAverage(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := graphOf(in)
+	for _, R := range []int{1, 2} {
+		pb, rb, err := Certificate(in, g, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := LocalAverage(in, g, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb != res.PartyBound || rb != res.ResourceBound {
+			t.Fatalf("R=%d: Certificate (%v,%v) disagrees with LocalAverage (%v,%v)",
+				R, pb, rb, res.PartyBound, res.ResourceBound)
+		}
+	}
+	if _, _, err := Certificate(in, g, -1); err == nil {
+		t.Fatal("negative radius must fail")
+	}
+}
+
+func TestAdaptiveAverageOnCycle(t *testing.T) {
+	// Cycles have bounded growth, so every target ratio > 1 is reachable
+	// at some radius (the local approximation scheme of Theorem 3).
+	in, _ := gen.Cycle(64, gen.LatticeOptions{})
+	g := graphOf(in)
+	for _, target := range []float64{3.0, 1.8, 1.5} {
+		res, err := AdaptiveAverage(in, g, target, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Achieved {
+			t.Fatalf("target %v not achieved; certificates %v", target, res.Certificates)
+		}
+		if res.RatioCertificate() > target+1e-9 {
+			t.Fatalf("certificate %v exceeds target %v", res.RatioCertificate(), target)
+		}
+		// The actual ratio is within the certificate.
+		opt, err := lp.SolveMaxMin(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := opt.Omega / in.Objective(res.X)
+		if ratio > res.RatioCertificate()+1e-6 {
+			t.Fatalf("measured ratio %v above certificate %v", ratio, res.RatioCertificate())
+		}
+	}
+}
+
+func TestAdaptiveAveragePicksMinimalRadius(t *testing.T) {
+	in, _ := gen.Cycle(64, gen.LatticeOptions{})
+	g := graphOf(in)
+	res, err := AdaptiveAverage(in, g, 2.0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every earlier radius must have failed the target.
+	for r, cert := range res.Certificates[:len(res.Certificates)-1] {
+		if cert <= 2.0 {
+			t.Fatalf("radius %d already had certificate %v ≤ target but a larger radius was chosen", r+1, cert)
+		}
+	}
+	if got := res.Certificates[len(res.Certificates)-1]; got > 2.0 {
+		t.Fatalf("chosen radius certificate %v > target", got)
+	}
+	if res.Radius != len(res.Certificates) {
+		t.Fatalf("radius %d inconsistent with %d certificates probed", res.Radius, len(res.Certificates))
+	}
+}
+
+func TestAdaptiveAverageFailsOnTree(t *testing.T) {
+	// Trees have expanding neighbourhoods: γ stays ≈ arity, so ambitious
+	// targets are unreachable — Theorem 3 cannot give a scheme here, in
+	// line with the Theorem-1 lower bound.
+	in := gen.TreeInstance(3, 4)
+	g := graphOf(in)
+	res, err := AdaptiveAverage(in, g, 1.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved {
+		t.Fatalf("target 1.05 reported achieved on a tree; certificates %v", res.Certificates)
+	}
+	// The fallback still yields a feasible solution at maxRadius.
+	if res.Radius != 3 {
+		t.Fatalf("fallback radius = %d, want maxRadius 3", res.Radius)
+	}
+	if v := in.Violation(res.X); v > 1e-9 {
+		t.Fatalf("fallback solution infeasible: %v", v)
+	}
+}
+
+func TestAdaptiveAverageValidation(t *testing.T) {
+	in := gen.SafeTight(2, 1)
+	g := graphOf(in)
+	if _, err := AdaptiveAverage(in, g, 1.0, 3); err == nil {
+		t.Fatal("target ≤ 1 must fail")
+	}
+	if _, err := AdaptiveAverage(in, g, math.Inf(1), 0); err == nil {
+		t.Fatal("maxRadius < 1 must fail")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// AverageResult is the outcome of the Theorem-3 local averaging algorithm
+// together with its per-instance certificate.
+type AverageResult struct {
+	// X is the combined solution x̃ of equation (10).
+	X []float64
+	// Radius is the parameter R; the local horizon of the algorithm is
+	// Θ(R) (radius 2R+1 suffices for every quantity used).
+	Radius int
+	// Beta holds β_j = min_{i∈Ij} n_i/N_i per agent (equation (10)).
+	Beta []float64
+	// BallSize holds |V^j| = |B_H(j, R)| per agent.
+	BallSize []int
+	// PartyBound is max_k M_k/m_k and ResourceBound is max_i N_i/n_i;
+	// their product certifies the approximation ratio of X for this
+	// instance (Section 5.3). Both are ≤ the corresponding γ terms:
+	// PartyBound ≤ γ(R−1) and ResourceBound ≤ γ(R).
+	PartyBound    float64
+	ResourceBound float64
+	// LocalOmega[u] is ω^u, the optimum of agent u's local LP (9);
+	// +Inf when K^u is empty. Every x* feasible for (1) is feasible for
+	// (9), so ω^u ≥ ω* for all u — inequality (13) of the paper — and
+	// min_u ω^u is a locally computable upper bound on the optimum.
+	LocalOmega []float64
+	// LocalLPs counts the local LPs solved and LocalPivots the total
+	// simplex pivots across them.
+	LocalLPs    int
+	LocalPivots int
+}
+
+// OmegaUpperBound returns min_u ω^u ≥ ω*, the optimistic bound implied by
+// inequality (13).
+func (r *AverageResult) OmegaUpperBound() float64 {
+	bound := math.Inf(1)
+	for _, w := range r.LocalOmega {
+		bound = min(bound, w)
+	}
+	return bound
+}
+
+// RatioCertificate is the instance-specific approximation guarantee
+// max_k M_k/m_k · max_i N_i/n_i proven in Section 5.3.
+func (r *AverageResult) RatioCertificate() float64 {
+	return r.PartyBound * r.ResourceBound
+}
+
+// LocalAverage runs the local approximation algorithm of Theorem 3 with
+// radius R on the instance, simulated centrally (see package dist for the
+// message-passing execution). For each agent u it solves the local LP (9)
+// restricted to the ball V^u = B_H(u, R), and then combines the local
+// solutions according to equation (10):
+//
+//	β_j = min_{i∈Ij} n_i/N_i,   x̃_j = β_j/|V^j| · Σ_{u∈V^j} x^u_j,
+//
+// where n_i = min{|V^j| : j ∈ Vi} and N_i = |∪_{j∈Vi} V^j|.
+//
+// The returned solution is feasible (Section 5.2) and approximates the
+// optimum within max_k M_k/m_k · max_i N_i/n_i ≤ γ(R−1)·γ(R)
+// (Section 5.3).
+func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageResult, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	n := in.NumAgents()
+	res := &AverageResult{
+		X:          make([]float64, n),
+		Radius:     radius,
+		Beta:       make([]float64, n),
+		BallSize:   make([]int, n),
+		LocalOmega: make([]float64, n),
+	}
+
+	balls := make([][]int, n)
+	inBall := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		balls[u] = g.Ball(u, radius)
+		set := make(map[int]bool, len(balls[u]))
+		for _, v := range balls[u] {
+			set[v] = true
+		}
+		inBall[u] = set
+		res.BallSize[u] = len(balls[u])
+	}
+
+	// Solve the local LP (9) of every agent and accumulate Σ_{u∈V^j} x^u_j.
+	sums := make([]float64, n)
+	for u := 0; u < n; u++ {
+		xu, omega, pivots, err := solveLocalOmega(in, balls[u], inBall[u])
+		if err != nil {
+			return nil, fmt.Errorf("core: local LP of agent %d: %w", u, err)
+		}
+		res.LocalOmega[u] = omega
+		res.LocalLPs++
+		res.LocalPivots += pivots
+		for idx, v := range balls[u] {
+			sums[v] += xu[idx]
+		}
+	}
+
+	// Per-resource quantities N_i = |U_i| and n_i = min |V^j| (Figure 2).
+	resourceRatio, resourceBound := resourceRatios(in, balls)
+	res.ResourceBound = resourceBound
+
+	// β_j and the combined solution x̃ (equation (10)).
+	for j := 0; j < n; j++ {
+		beta := 1.0
+		for _, i := range in.AgentResources(j) {
+			beta = min(beta, resourceRatio[i])
+		}
+		res.Beta[j] = beta
+		res.X[j] = beta / float64(len(balls[j])) * sums[j]
+	}
+
+	// Per-party certificate m_k = |S_k| = |∩_{j∈Vk} V^j|, M_k = max |V^j|.
+	// (m_k = 0 — hence an infinite bound — is only possible at R = 0 with
+	// |Vk| > 1: for R ≥ 1 the members of a hyperedge are mutually
+	// adjacent, so S_k ⊇ Vk.)
+	res.PartyBound = partyBoundOf(in, balls, inBall)
+	return res, nil
+}
+
+// InstanceView is the read surface a local LP solve needs. A full
+// *mmlp.Instance satisfies it via FullView; the distributed runtime
+// implements it on top of the partial knowledge a node has gathered, so
+// that the message-passing execution reuses the exact same code path (and
+// therefore produces bit-identical results).
+//
+// ResourceRow and PartyRow may omit entries for agents whose coefficients
+// the viewer does not know, but must include every agent inside the ball
+// being solved. ResourceMembers and PartyMembers must always be the full
+// support (agent identities are learned from any member's record).
+type InstanceView interface {
+	AgentResources(v int) []int
+	AgentParties(v int) []int
+	ResourceRow(i int) []mmlp.Entry
+	PartyRow(k int) []mmlp.Entry
+	PartyMembers(k int) []int
+}
+
+// FullView adapts a complete instance to the InstanceView interface.
+type FullView struct{ In *mmlp.Instance }
+
+// AgentResources returns Iv.
+func (f FullView) AgentResources(v int) []int { return f.In.AgentResources(v) }
+
+// AgentParties returns Kv.
+func (f FullView) AgentParties(v int) []int { return f.In.AgentParties(v) }
+
+// ResourceRow returns the full row of resource i.
+func (f FullView) ResourceRow(i int) []mmlp.Entry { return f.In.Resource(i) }
+
+// PartyRow returns the full row of party k.
+func (f FullView) PartyRow(k int) []mmlp.Entry { return f.In.Party(k) }
+
+// PartyMembers returns the agents of Vk.
+func (f FullView) PartyMembers(k int) []int {
+	row := f.In.Party(k)
+	out := make([]int, len(row))
+	for j, e := range row {
+		out[j] = e.Agent
+	}
+	return out
+}
+
+// SolveBallLP solves the local LP (9) for the given ball through an
+// InstanceView; see solveLocalLP for the formulation. Exported for the
+// distributed runtime.
+func SolveBallLP(view InstanceView, ball []int, inBall map[int]bool) ([]float64, int, error) {
+	x, _, pivots, err := solveLocalView(view, ball, inBall)
+	return x, pivots, err
+}
+
+// solveLocalLP solves problem (9) for the ball V^u: maximise
+// ω^u = min_{k∈K^u} Σ_{v∈Vk} c_kv x^u_v subject to
+// Σ_{v∈V^u_i} a_iv x^u_v ≤ 1 for each i ∈ I^u, x^u ≥ 0, where
+// K^u = {k : Vk ⊆ V^u} and I^u = {i : Vi ∩ V^u ≠ ∅}.
+//
+// If K^u is empty the objective is vacuous and the algorithm uses x^u = 0,
+// which keeps every downstream quantity well-defined without affecting the
+// analysis. The solve order (agents, resources, parties all sorted by
+// index) makes the result deterministic, as required for all members of
+// V^u to recompute the same x^u independently.
+func solveLocalLP(in *mmlp.Instance, ball []int, inBall map[int]bool) ([]float64, int, error) {
+	x, _, pivots, err := solveLocalOmega(in, ball, inBall)
+	return x, pivots, err
+}
+
+func solveLocalOmega(in *mmlp.Instance, ball []int, inBall map[int]bool) ([]float64, float64, int, error) {
+	return solveLocalView(FullView{In: in}, ball, inBall)
+}
+
+func solveLocalView(in InstanceView, ball []int, inBall map[int]bool) ([]float64, float64, int, error) {
+	nLoc := len(ball)
+	localIdx := make(map[int]int, nLoc)
+	for idx, v := range ball {
+		localIdx[v] = idx
+	}
+
+	// Collect I^u (resources touching the ball) and K^u (parties inside).
+	resSeen := make(map[int]bool)
+	parSeen := make(map[int]bool)
+	var resList, parList []int
+	for _, v := range ball {
+		for _, i := range in.AgentResources(v) {
+			if !resSeen[i] {
+				resSeen[i] = true
+				resList = append(resList, i)
+			}
+		}
+		for _, k := range in.AgentParties(v) {
+			if parSeen[k] {
+				continue
+			}
+			parSeen[k] = true
+			inside := true
+			for _, member := range in.PartyMembers(k) {
+				if !inBall[member] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				parList = append(parList, k)
+			}
+		}
+	}
+	sort.Ints(resList)
+	sort.Ints(parList)
+
+	if len(parList) == 0 {
+		// ω^u = min over the empty K^u is +∞; x^u = 0 by convention.
+		return make([]float64, nLoc), math.Inf(1), 0, nil
+	}
+
+	obj := make([]float64, nLoc+1)
+	obj[nLoc] = 1
+	cons := make([]lp.Constraint, 0, len(resList)+len(parList))
+	for _, i := range resList {
+		row := make([]float64, nLoc+1)
+		for _, e := range in.ResourceRow(i) {
+			if idx, ok := localIdx[e.Agent]; ok {
+				row[idx] = e.Coeff
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+	}
+	for _, k := range parList {
+		row := make([]float64, nLoc+1)
+		for _, e := range in.PartyRow(k) {
+			row[localIdx[e.Agent]] = -e.Coeff
+		}
+		row[nLoc] = 1
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 0})
+	}
+	sol, err := lp.Solve(&lp.Problem{Obj: obj, Constraints: cons})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, 0, fmt.Errorf("local LP status %v", sol.Status)
+	}
+	return sol.X[:nLoc], sol.Value, sol.Pivots, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// RatAverageResult is the exact-arithmetic counterpart of AverageResult.
+// It exists so that the feasibility invariant of Section 5.2 (Σ a_ij x̃_j
+// ≤ 1 for every resource) can be verified with no floating-point slack in
+// property tests.
+type RatAverageResult struct {
+	X      []*big.Rat
+	Radius int
+}
+
+// Float converts the exact solution to float64 (rounding to nearest).
+func (r *RatAverageResult) Float() []float64 {
+	out := make([]float64, len(r.X))
+	for i, v := range r.X {
+		out[i], _ = v.Float64()
+	}
+	return out
+}
+
+// LocalAverageRat is LocalAverage computed entirely in exact rational
+// arithmetic: the local LPs (9) are solved with the exact simplex and the
+// combination (10) uses rational β_j and averaging. The output is exactly
+// feasible. Intended for verification on small instances; the float64
+// LocalAverage is the production path.
+func LocalAverageRat(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*RatAverageResult, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	n := in.NumAgents()
+	balls := make([][]int, n)
+	inBall := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		balls[u] = g.Ball(u, radius)
+		set := make(map[int]bool, len(balls[u]))
+		for _, v := range balls[u] {
+			set[v] = true
+		}
+		inBall[u] = set
+	}
+
+	sums := make([]*big.Rat, n)
+	for v := range sums {
+		sums[v] = new(big.Rat)
+	}
+	for u := 0; u < n; u++ {
+		xu, err := solveLocalLPRat(in, balls[u], inBall[u])
+		if err != nil {
+			return nil, fmt.Errorf("core: exact local LP of agent %d: %w", u, err)
+		}
+		for idx, v := range balls[u] {
+			sums[v].Add(sums[v], xu[idx])
+		}
+	}
+
+	nRes := in.NumResources()
+	resourceRatio := make([]*big.Rat, nRes)
+	for i := 0; i < nRes; i++ {
+		union := make(map[int]bool)
+		ni := -1
+		for _, e := range in.Resource(i) {
+			j := e.Agent
+			for _, w := range balls[j] {
+				union[w] = true
+			}
+			if ni < 0 || len(balls[j]) < ni {
+				ni = len(balls[j])
+			}
+		}
+		resourceRatio[i] = big.NewRat(int64(ni), int64(len(union)))
+	}
+
+	res := &RatAverageResult{X: make([]*big.Rat, n), Radius: radius}
+	for j := 0; j < n; j++ {
+		beta := big.NewRat(1, 1)
+		for _, i := range in.AgentResources(j) {
+			if resourceRatio[i].Cmp(beta) < 0 {
+				beta.Set(resourceRatio[i])
+			}
+		}
+		xj := new(big.Rat).Mul(beta, sums[j])
+		xj.Quo(xj, big.NewRat(int64(len(balls[j])), 1))
+		res.X[j] = xj
+	}
+	return res, nil
+}
+
+func solveLocalLPRat(in *mmlp.Instance, ball []int, inBall map[int]bool) ([]*big.Rat, error) {
+	nLoc := len(ball)
+	localIdx := make(map[int]int, nLoc)
+	for idx, v := range ball {
+		localIdx[v] = idx
+	}
+	resSeen := make(map[int]bool)
+	parSeen := make(map[int]bool)
+	var resList, parList []int
+	for _, v := range ball {
+		for _, i := range in.AgentResources(v) {
+			if !resSeen[i] {
+				resSeen[i] = true
+				resList = append(resList, i)
+			}
+		}
+		for _, k := range in.AgentParties(v) {
+			if parSeen[k] {
+				continue
+			}
+			parSeen[k] = true
+			inside := true
+			for _, e := range in.Party(k) {
+				if !inBall[e.Agent] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				parList = append(parList, k)
+			}
+		}
+	}
+	sort.Ints(resList)
+	sort.Ints(parList)
+
+	zero := func(n int) []*big.Rat {
+		out := make([]*big.Rat, n)
+		for i := range out {
+			out[i] = new(big.Rat)
+		}
+		return out
+	}
+	if len(parList) == 0 {
+		return zero(nLoc), nil
+	}
+
+	obj := zero(nLoc + 1)
+	obj[nLoc].SetInt64(1)
+	var cons []lp.RatConstraint
+	for _, i := range resList {
+		row := zero(nLoc + 1)
+		for _, e := range in.Resource(i) {
+			if idx, ok := localIdx[e.Agent]; ok {
+				row[idx].SetFloat64(e.Coeff)
+			}
+		}
+		cons = append(cons, lp.RatConstraint{Coeffs: row, Rel: lp.LE, RHS: big.NewRat(1, 1)})
+	}
+	for _, k := range parList {
+		row := zero(nLoc + 1)
+		for _, e := range in.Party(k) {
+			row[localIdx[e.Agent]].SetFloat64(e.Coeff)
+			row[localIdx[e.Agent]].Neg(row[localIdx[e.Agent]])
+		}
+		row[nLoc].SetInt64(1)
+		cons = append(cons, lp.RatConstraint{Coeffs: row, Rel: lp.LE, RHS: new(big.Rat)})
+	}
+	sol, err := lp.SolveRat(&lp.RatProblem{Obj: obj, Constraints: cons})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("exact local LP status %v", sol.Status)
+	}
+	return sol.X[:nLoc], nil
+}
+
+// RatFeasible verifies exactly that x satisfies every resource constraint
+// Σ_v a_iv x_v ≤ 1 and x ≥ 0. Coefficients are converted from float64
+// exactly.
+func RatFeasible(in *mmlp.Instance, x []*big.Rat) bool {
+	for _, xv := range x {
+		if xv.Sign() < 0 {
+			return false
+		}
+	}
+	one := big.NewRat(1, 1)
+	a := new(big.Rat)
+	term := new(big.Rat)
+	for i := 0; i < in.NumResources(); i++ {
+		total := new(big.Rat)
+		for _, e := range in.Resource(i) {
+			a.SetFloat64(e.Coeff)
+			term.Mul(a, x[e.Agent])
+			total.Add(total, term)
+		}
+		if total.Cmp(one) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RatObjective evaluates ω(x) = min_k Σ_v c_kv x_v exactly. It returns
+// nil when the instance has no parties.
+func RatObjective(in *mmlp.Instance, x []*big.Rat) *big.Rat {
+	var best *big.Rat
+	c := new(big.Rat)
+	term := new(big.Rat)
+	for k := 0; k < in.NumParties(); k++ {
+		total := new(big.Rat)
+		for _, e := range in.Party(k) {
+			c.SetFloat64(e.Coeff)
+			term.Mul(c, x[e.Agent])
+			total.Add(total, term)
+		}
+		if best == nil || total.Cmp(best) < 0 {
+			best = total
+		}
+	}
+	return best
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+const tol = 1e-7
+
+func graphOf(in *mmlp.Instance) *hypergraph.Graph {
+	return hypergraph.FromInstance(in, hypergraph.Options{})
+}
+
+func TestSafeFeasibleOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(30), Resources: 1 + rng.Intn(20),
+			Parties: 1 + rng.Intn(10), MaxVI: 1 + rng.Intn(4), MaxVK: 1 + rng.Intn(4),
+		}, rng)
+		x := Safe(in)
+		if v := in.Violation(x); v > tol {
+			t.Fatalf("trial %d: safe solution infeasible, violation %v", trial, v)
+		}
+	}
+}
+
+func TestSafeRatioWithinDeltaVI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(15), Resources: 1 + rng.Intn(10),
+			Parties: 1 + rng.Intn(6), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		opt, err := lp.SolveMaxMin(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := in.Objective(Safe(in))
+		bound := SafeRatioBound(in)
+		// opt ≤ ΔVI · safe (Section 4). Guard the degenerate ω* = 0 case.
+		if opt.Omega > tol && opt.Omega > bound*got+tol {
+			t.Fatalf("trial %d: opt %v > ΔVI %v × safe %v", trial, opt.Omega, bound, got)
+		}
+	}
+}
+
+func TestSafeTightFamilyAchievesDeltaVI(t *testing.T) {
+	for _, deltaVI := range []int{1, 2, 3, 5} {
+		in := gen.SafeTight(deltaVI, 3)
+		opt, err := lp.SolveMaxMin(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt.Omega-1) > tol {
+			t.Fatalf("ΔVI=%d: optimal ω = %v, want 1", deltaVI, opt.Omega)
+		}
+		safe := in.Objective(Safe(in))
+		want := 1 / float64(deltaVI)
+		if math.Abs(safe-want) > tol {
+			t.Fatalf("ΔVI=%d: safe ω = %v, want %v", deltaVI, safe, want)
+		}
+	}
+}
+
+func TestSafeIsLocal(t *testing.T) {
+	// On a torus every agent has an identical view; safe values must agree.
+	in, _ := gen.Torus([]int{5, 5}, gen.LatticeOptions{})
+	x := Safe(in)
+	for v := 1; v < len(x); v++ {
+		if math.Abs(x[v]-x[0]) > tol {
+			t.Fatalf("agent %d: safe %v differs from agent 0's %v despite identical views", v, x[v], x[0])
+		}
+	}
+}
+
+func TestLocalAverageFeasibleAndCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(14), Resources: 1 + rng.Intn(10),
+			Parties: 1 + rng.Intn(5), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		g := graphOf(in)
+		for _, R := range []int{1, 2} {
+			res, err := LocalAverage(in, g, R)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := in.Violation(res.X); v > tol {
+				t.Fatalf("trial %d R=%d: infeasible, violation %v", trial, R, v)
+			}
+			opt, err := lp.SolveMaxMin(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := in.Objective(res.X)
+			cert := res.RatioCertificate()
+			if opt.Omega > tol && opt.Omega > cert*got+1e-5 {
+				t.Fatalf("trial %d R=%d: opt %v exceeds certificate %v × achieved %v",
+					trial, R, opt.Omega, cert, got)
+			}
+			// The certificate is bounded by γ(R−1)·γ(R) (Theorem 3).
+			gammaBound := g.Gamma(max(R-1, 0)) * g.Gamma(R)
+			if R >= 1 && cert > gammaBound+tol {
+				t.Fatalf("trial %d R=%d: certificate %v > γ(R−1)γ(R) = %v", trial, R, cert, gammaBound)
+			}
+		}
+	}
+}
+
+func TestLocalAverageFullRadiusRecoversOptimum(t *testing.T) {
+	in, _ := gen.Cycle(7, gen.LatticeOptions{})
+	g := graphOf(in)
+	diam := g.Diameter()
+	res, err := LocalAverage(in, g, diam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Objective(res.X)
+	if math.Abs(got-opt.Omega) > 1e-6 {
+		t.Fatalf("full-radius local average ω = %v, optimal ω = %v", got, opt.Omega)
+	}
+	// With V^u = V for all u, every β_j = 1 and the certificate is 1.
+	if math.Abs(res.RatioCertificate()-1) > tol {
+		t.Fatalf("certificate = %v, want 1 at full radius", res.RatioCertificate())
+	}
+}
+
+func TestLocalAverageDeterministic(t *testing.T) {
+	// Outputs may legitimately depend on the locally unique identifiers
+	// (the model of Section 1.5 allows it; simplex tie-breaking uses
+	// index order), so agents with merely *isomorphic* views can differ.
+	// What must hold is determinism: re-running the algorithm on the same
+	// instance yields the identical solution.
+	in, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{})
+	g := graphOf(in)
+	a, err := LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] {
+			t.Fatalf("agent %d: run 1 gave %v, run 2 gave %v", v, a.X[v], b.X[v])
+		}
+	}
+	if v := in.Violation(a.X); v > tol {
+		t.Fatalf("torus solution infeasible, violation %v", v)
+	}
+}
+
+func TestLocalAverageImprovesWithRadiusOnCycle(t *testing.T) {
+	in, _ := gen.Cycle(24, gen.LatticeOptions{})
+	g := graphOf(in)
+	opt, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevRatio := math.Inf(1)
+	for _, R := range []int{1, 2, 4, 8} {
+		res, err := LocalAverage(in, g, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := in.Objective(res.X)
+		ratio := opt.Omega / got
+		if ratio > prevRatio+0.05 {
+			t.Fatalf("R=%d: ratio %v much worse than previous %v", R, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio > 1.2 {
+		t.Fatalf("ratio at R=8 still %v; expected close to 1 on a cycle", prevRatio)
+	}
+}
+
+func TestLocalAverageRatExactlyFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(8), Resources: 1 + rng.Intn(6),
+			Parties: 1 + rng.Intn(4), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		g := graphOf(in)
+		res, err := LocalAverageRat(in, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !RatFeasible(in, res.X) {
+			t.Fatalf("trial %d: exact local average violates a constraint exactly", trial)
+		}
+	}
+}
+
+func TestLocalAverageRatMatchesFloat(t *testing.T) {
+	in, _ := gen.Cycle(9, gen.LatticeOptions{})
+	g := graphOf(in)
+	exact, err := LocalAverageRat(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxRes, err := LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := exact.Float()
+	for v := range ef {
+		if math.Abs(ef[v]-approxRes.X[v]) > 1e-6 {
+			t.Fatalf("agent %d: exact %v vs float %v", v, ef[v], approxRes.X[v])
+		}
+	}
+}
+
+func TestLocalAverageRadiusZero(t *testing.T) {
+	// R = 0: V^u = {u}; only singleton parties are visible. The result
+	// must still be feasible.
+	in := gen.SafeTight(3, 2)
+	g := graphOf(in)
+	res, err := LocalAverage(in, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Violation(res.X); v > tol {
+		t.Fatalf("R=0 infeasible, violation %v", v)
+	}
+}
+
+func TestLocalAverageRejectsNegativeRadius(t *testing.T) {
+	in := gen.SafeTight(2, 1)
+	if _, err := LocalAverage(in, graphOf(in), -1); err == nil {
+		t.Fatal("want error for negative radius")
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	in, _ := gen.Torus([]int{5, 5}, gen.LatticeOptions{})
+	g := graphOf(in)
+	var buf strings.Builder
+	if err := RenderFigure2(&buf, in, g, 12, 12, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "V^u", "K^u", "S_k", "U_i", "Theorem 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Out-of-range indices are rejected.
+	for _, bad := range [][3]int{{-1, 0, 0}, {0, 99, 0}, {0, 0, 99}} {
+		if err := RenderFigure2(&buf, in, g, bad[0], bad[1], bad[2], 1); err == nil {
+			t.Fatalf("indices %v should fail", bad)
+		}
+	}
+}
+
+func TestSafeEquivariantUnderRelabeling(t *testing.T) {
+	// The safe algorithm never reads identifiers, so it must be
+	// equivariant under relabelling: Safe(σ·in)[σ(v)] == Safe(in)[v].
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(15), Resources: 1 + rng.Intn(10),
+			Parties: 1 + rng.Intn(5), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		perm := rng.Perm(in.NumAgents())
+		relabelled, err := in.Relabel(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := Safe(in)
+		y := Safe(relabelled)
+		for v := range x {
+			if x[v] != y[perm[v]] {
+				t.Fatalf("trial %d: Safe not equivariant at agent %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestSafeIndependentAcrossComponents(t *testing.T) {
+	// Local algorithms treat disconnected components independently: the
+	// safe solution of a disjoint union is the concatenation of the safe
+	// solutions of the parts.
+	a := gen.SafeTight(3, 2)
+	b, _ := gen.Cycle(6, gen.LatticeOptions{})
+	u := mmlp.DisjointUnion(a, b)
+	xa, xb, xu := Safe(a), Safe(b), Safe(u)
+	for v := range xa {
+		if xu[v] != xa[v] {
+			t.Fatalf("component a agent %d differs", v)
+		}
+	}
+	for v := range xb {
+		if xu[a.NumAgents()+v] != xb[v] {
+			t.Fatalf("component b agent %d differs", v)
+		}
+	}
+}
+
+func TestLocalOmegaUpperBound(t *testing.T) {
+	// Inequality (13) of the paper: the global optimum x* is feasible for
+	// every local LP (9), so ω^u ≥ ω* for each u, and hence
+	// OmegaUpperBound() = min_u ω^u ≥ ω*.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(12), Resources: 1 + rng.Intn(8),
+			Parties: 1 + rng.Intn(4), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		g := graphOf(in)
+		opt, err := lp.SolveMaxMin(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := LocalAverage(in, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, w := range res.LocalOmega {
+			if w < opt.Omega-1e-6 {
+				t.Fatalf("trial %d: ω^%d = %v < ω* = %v violates (13)", trial, u, w, opt.Omega)
+			}
+		}
+		if res.OmegaUpperBound() < opt.Omega-1e-6 {
+			t.Fatalf("trial %d: min_u ω^u = %v < ω* = %v", trial, res.OmegaUpperBound(), opt.Omega)
+		}
+	}
+	// At full radius the bound is tight: every local LP is the global LP.
+	in, _ := gen.Cycle(7, gen.LatticeOptions{})
+	g := graphOf(in)
+	opt, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalAverage(in, g, g.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.OmegaUpperBound()-opt.Omega) > 1e-6 {
+		t.Fatalf("full-radius min ω^u = %v, want ω* = %v", res.OmegaUpperBound(), opt.Omega)
+	}
+}
+
+func TestLocalAverageFeasibleOnObliviousGraph(t *testing.T) {
+	// §1.4 defines the collaboration-oblivious variant where H keeps only
+	// the resource hyperedges. The Section-5.2 feasibility argument uses
+	// only resource-side quantities and distance symmetry, so the
+	// averaging algorithm remains feasible on the oblivious graph; only
+	// the party-side certificate (which needs Vk-cliques) can degrade to
+	// +Inf.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		in := gen.Random(gen.RandomOptions{
+			Agents: 2 + rng.Intn(12), Resources: 1 + rng.Intn(8),
+			Parties: 1 + rng.Intn(4), MaxVI: 1 + rng.Intn(3), MaxVK: 1 + rng.Intn(3),
+		}, rng)
+		g := hypergraph.FromInstance(in, hypergraph.Options{CollaborationOblivious: true})
+		res, err := LocalAverage(in, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := in.Violation(res.X); v > tol {
+			t.Fatalf("trial %d: infeasible on oblivious graph: %v", trial, v)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package core implements the paper's local approximation algorithms for
+// max-min linear programs:
+//
+//   - the safe algorithm of Papadimitriou and Yannakakis (equation (2) of
+//     the paper), a local ΔVI-approximation with horizon r = 1;
+//   - the local averaging algorithm of Theorem 3 (equations (9)–(10)),
+//     which achieves approximation ratio γ(R−1)·γ(R) with horizon Θ(R) by
+//     averaging optimal solutions of radius-R local LPs.
+//
+// Both algorithms are exposed in two forms: a direct, centralised
+// simulation (this package) and a message-passing protocol for the
+// distributed runtime (package dist). The centralised form is the
+// reference; the distributed form is tested to agree with it exactly.
+//
+// All functions are deterministic: an agent's output depends only on its
+// radius-r view, which is the defining property of a local algorithm
+// (Section 1.5 of the paper). The view-locality is verified in tests by
+// comparing outputs of agents with identical canonical views.
+package core

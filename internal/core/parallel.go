@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// LocalAverageParallel is LocalAverage with the per-agent local LPs (9)
+// solved by a pool of worker goroutines. The local subproblems are
+// independent — each agent's x^u depends only on its own radius-R view —
+// so this is the natural shared-memory parallelisation of the algorithm,
+// mirroring how the distributed runtime spreads the same work across
+// agents. The output is bit-identical to LocalAverage: results are
+// written into per-agent slots and the combination (10) runs in the same
+// deterministic order as the sequential code.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func LocalAverageParallel(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (*AverageResult, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := in.NumAgents()
+	res := &AverageResult{
+		X:          make([]float64, n),
+		Radius:     radius,
+		Beta:       make([]float64, n),
+		BallSize:   make([]int, n),
+		LocalOmega: make([]float64, n),
+	}
+
+	balls := make([][]int, n)
+	inBall := make([]map[int]bool, n)
+	// Ball computation is read-only on g except for its internal BFS
+	// allocations, which are per-call; parallelise it too.
+	parallelFor(n, workers, func(u int) error {
+		balls[u] = g.Ball(u, radius)
+		set := make(map[int]bool, len(balls[u]))
+		for _, v := range balls[u] {
+			set[v] = true
+		}
+		inBall[u] = set
+		return nil
+	})
+	for u := 0; u < n; u++ {
+		res.BallSize[u] = len(balls[u])
+	}
+
+	// Solve every local LP concurrently, then accumulate sequentially in
+	// ascending u order so the floating-point sums match LocalAverage
+	// exactly.
+	xus := make([][]float64, n)
+	omegas := make([]float64, n)
+	pivots := make([]int, n)
+	if err := parallelFor(n, workers, func(u int) error {
+		xu, omega, p, err := solveLocalOmega(in, balls[u], inBall[u])
+		if err != nil {
+			return fmt.Errorf("core: local LP of agent %d: %w", u, err)
+		}
+		xus[u] = xu
+		omegas[u] = omega
+		pivots[u] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, n)
+	for u := 0; u < n; u++ {
+		res.LocalOmega[u] = omegas[u]
+		res.LocalLPs++
+		res.LocalPivots += pivots[u]
+		for idx, v := range balls[u] {
+			sums[v] += xus[u][idx]
+		}
+	}
+
+	resourceRatio, resourceBound := resourceRatios(in, balls)
+	res.ResourceBound = resourceBound
+
+	for j := 0; j < n; j++ {
+		beta := 1.0
+		for _, i := range in.AgentResources(j) {
+			beta = min(beta, resourceRatio[i])
+		}
+		res.Beta[j] = beta
+		res.X[j] = beta / float64(len(balls[j])) * sums[j]
+	}
+
+	res.PartyBound = partyBoundOf(in, balls, inBall)
+	return res, nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given number of
+// workers, returning the first error (all workers drain regardless).
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range work {
+				if firstErr != nil {
+					continue
+				}
+				if err := fn(i); err != nil {
+					firstErr = err
+				}
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

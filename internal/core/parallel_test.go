@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"maxminlp/internal/gen"
+)
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cases := []struct {
+		name string
+		in   func() *genInstance
+	}{
+		{"torus", func() *genInstance {
+			in, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+			return &genInstance{in: in, radius: 1}
+		}},
+		{"random", func() *genInstance {
+			in := gen.Random(gen.RandomOptions{
+				Agents: 40, Resources: 30, Parties: 12, MaxVI: 3, MaxVK: 3,
+			}, rng)
+			return &genInstance{in: in, radius: 2}
+		}},
+	}
+	for _, tc := range cases {
+		c := tc.in()
+		g := graphOf(c.in)
+		seq, err := LocalAverage(c.in, g, c.radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 16} {
+			par, err := LocalAverageParallel(c.in, g, c.radius, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range seq.X {
+				if seq.X[v] != par.X[v] {
+					t.Fatalf("%s workers=%d agent %d: %v != %v", tc.name, workers, v, par.X[v], seq.X[v])
+				}
+			}
+			if seq.PartyBound != par.PartyBound || seq.ResourceBound != par.ResourceBound {
+				t.Fatalf("%s workers=%d: certificates differ", tc.name, workers)
+			}
+			if seq.LocalLPs != par.LocalLPs || seq.LocalPivots != par.LocalPivots {
+				t.Fatalf("%s workers=%d: accounting differs", tc.name, workers)
+			}
+			for u := range seq.LocalOmega {
+				if seq.LocalOmega[u] != par.LocalOmega[u] {
+					t.Fatalf("%s workers=%d: ω^%d differs", tc.name, workers, u)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDefaultsWorkers(t *testing.T) {
+	in, _ := gen.Cycle(12, gen.LatticeOptions{})
+	g := graphOf(in)
+	res, err := LocalAverageParallel(in, g, 1, 0) // 0 → GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Violation(res.X); v > 1e-9 {
+		t.Fatalf("infeasible: %v", v)
+	}
+}
+
+func TestParallelRejectsNegativeRadius(t *testing.T) {
+	in := gen.SafeTight(2, 1)
+	if _, err := LocalAverageParallel(in, graphOf(in), -1, 2); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 100)
+	if err := parallelFor(100, 7, func(i int) error {
+		seen[i].Store(true)
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("ran %d times, want 100", count.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := parallelFor(50, 4, func(i int) error {
+		if i == 33 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Sequential path (workers ≤ 1) too.
+	err = parallelFor(50, 1, func(i int) error {
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("sequential err = %v, want sentinel", err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// randomInstanceFromSeed derives a small random instance (and a radius)
+// from a seed; shared by the property tests below.
+func randomInstanceFromSeed(seed int64) *genInstance {
+	r := rand.New(rand.NewSource(seed))
+	in := gen.Random(gen.RandomOptions{
+		Agents:    2 + r.Intn(12),
+		Resources: 1 + r.Intn(8),
+		Parties:   1 + r.Intn(5),
+		MaxVI:     1 + r.Intn(3),
+		MaxVK:     1 + r.Intn(3),
+	}, r)
+	return &genInstance{in: in, radius: r.Intn(3)}
+}
+
+type genInstance struct {
+	in     *mmlp.Instance
+	radius int
+}
+
+// PropertySafeFeasible: the safe solution is feasible on every valid
+// instance (the defining property of equation (2)).
+func TestQuickSafeFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomInstanceFromSeed(seed)
+		return c.in.Violation(Safe(c.in)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropertyAverageFeasibleAndCertified: LocalAverage is feasible, its β
+// weights are in (0, 1], its ball sizes are consistent, and the measured
+// ratio respects the certificate.
+func TestQuickAverageInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomInstanceFromSeed(seed)
+		g := graphOf(c.in)
+		res, err := LocalAverage(c.in, g, c.radius)
+		if err != nil {
+			return false
+		}
+		if c.in.Violation(res.X) > 1e-9 {
+			return false
+		}
+		for j, beta := range res.Beta {
+			if beta <= 0 || beta > 1 {
+				return false
+			}
+			if res.BallSize[j] != len(g.Ball(j, c.radius)) {
+				return false
+			}
+		}
+		opt, err := lp.SolveMaxMin(c.in)
+		if err != nil {
+			return false
+		}
+		got := c.in.Objective(res.X)
+		cert := res.RatioCertificate()
+		// opt ≤ cert · got, modulo degenerate ω* = 0 and the R = 0 edge
+		// case where the certificate may be +Inf.
+		if opt.Omega > 1e-9 && got > 0 && opt.Omega > cert*got+1e-5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropertySafeDominatedByOptimal: ω_safe ≤ ω* always (safe is feasible,
+// the optimum is a maximum).
+func TestQuickSafeNeverBeatsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomInstanceFromSeed(seed)
+		opt, err := lp.SolveMaxMin(c.in)
+		if err != nil {
+			return false
+		}
+		return c.in.Objective(Safe(c.in)) <= opt.Omega+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropertyBallLPEquivalence: SolveBallLP through FullView must agree
+// exactly with the internal path used by LocalAverage — the guarantee the
+// distributed runtime's bit-identical execution rests on.
+func TestQuickBallLPMatchesFullView(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomInstanceFromSeed(seed)
+		g := graphOf(c.in)
+		u := int(uint(seed) % uint(c.in.NumAgents()))
+		ball := g.Ball(u, 1)
+		inBall := map[int]bool{}
+		for _, v := range ball {
+			inBall[v] = true
+		}
+		a, _, err := SolveBallLP(FullView{In: c.in}, ball, inBall)
+		if err != nil {
+			return false
+		}
+		b, _, err := solveLocalLP(c.in, ball, inBall)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

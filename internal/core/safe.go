@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+
+	"maxminlp/internal/mmlp"
+)
+
+// Safe computes the safe solution of Papadimitriou and Yannakakis
+// (equation (2) of the paper):
+//
+//	x_v = min_{i ∈ Iv} 1 / (a_iv · |Vi|).
+//
+// The solution is always feasible — resource i receives at most
+// Σ_{v∈Vi} a_iv · 1/(a_iv |Vi|) = 1 — and approximates the max-min LP
+// within factor ΔVI (Section 4 of the paper). It is a local algorithm
+// with horizon r = 1: agent v only needs a_iv and |Vi| for its own
+// resources i ∈ Iv.
+func Safe(in *mmlp.Instance) []float64 {
+	x := make([]float64, in.NumAgents())
+	for v := range x {
+		x[v] = SafeValue(in, v)
+	}
+	return x
+}
+
+// SafeValue computes the safe activity of a single agent from its
+// radius-1 information only.
+func SafeValue(in *mmlp.Instance, v int) float64 {
+	best := math.Inf(1)
+	for _, i := range in.AgentResources(v) {
+		aiv := in.A(i, v)
+		cap := 1 / (aiv * float64(len(in.Resource(i))))
+		if cap < best {
+			best = cap
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Iv = ∅ violates the paper's assumptions; 0 keeps feasibility.
+		return 0
+	}
+	return best
+}
+
+// SafeRatioBound returns the proven approximation-ratio bound of the safe
+// algorithm for the instance: ΔVI (Section 4).
+func SafeRatioBound(in *mmlp.Instance) float64 {
+	return float64(in.Degrees().MaxVI)
+}

@@ -1,0 +1,253 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maxminlp/internal/hypergraph"
+)
+
+// Bipartite is a bipartite graph with Left vertices 0..Left-1 and Right
+// vertices Left..Left+Right-1.
+type Bipartite struct {
+	Left, Right int
+	Adj         [][]int
+}
+
+// NumVertices returns the total vertex count.
+func (b *Bipartite) NumVertices() int { return b.Left + b.Right }
+
+// Graph converts to a hypergraph.Graph for distance and girth queries.
+func (b *Bipartite) Graph() *hypergraph.Graph { return hypergraph.FromAdjacency(b.Adj) }
+
+// Degree returns the degree of vertex v.
+func (b *Bipartite) Degree(v int) int { return len(b.Adj[v]) }
+
+// IsRegular reports whether every vertex has the given degree.
+func (b *Bipartite) IsRegular(degree int) bool {
+	for v := range b.Adj {
+		if len(b.Adj[v]) != degree {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomRegularBipartite samples a simple degree-regular bipartite graph
+// with m vertices per side using the permutation model: the union of
+// `degree` uniformly random perfect matchings, resampled on collision.
+// Fails if degree > m.
+func RandomRegularBipartite(m, degree int, rng *rand.Rand) (*Bipartite, error) {
+	if degree > m {
+		return nil, fmt.Errorf("gen: degree %d exceeds side size %d", degree, m)
+	}
+	adj := make([][]int, 2*m)
+	used := make([]map[int]bool, m)
+	for i := range used {
+		used[i] = make(map[int]bool, degree)
+	}
+	for d := 0; d < degree; d++ {
+		perm := rng.Perm(m)
+		// Repair collisions with the union of previous matchings by random
+		// transpositions; each swap strictly reduces the expected number of
+		// collisions, so this converges quickly for degree < m.
+		budget := 100 * (m + degree)
+		for {
+			bad := -1
+			for l := 0; l < m; l++ {
+				if used[l][perm[l]] {
+					bad = l
+					break
+				}
+			}
+			if bad < 0 {
+				break
+			}
+			if budget--; budget < 0 {
+				return nil, fmt.Errorf("gen: failed to sample a simple %d-regular bipartite graph on 2×%d vertices", degree, m)
+			}
+			other := rng.Intn(m)
+			if other == bad {
+				continue
+			}
+			if !used[bad][perm[other]] && !used[other][perm[bad]] {
+				perm[bad], perm[other] = perm[other], perm[bad]
+			}
+		}
+		for l := 0; l < m; l++ {
+			used[l][perm[l]] = true
+			adj[l] = append(adj[l], m+perm[l])
+			adj[m+perm[l]] = append(adj[m+perm[l]], l)
+		}
+	}
+	return &Bipartite{Left: m, Right: m, Adj: adj}, nil
+}
+
+// GirthSixBipartite deterministically builds a degree-regular bipartite
+// graph with girth ≥ 6 for any degree ≥ 1, using a point–line incidence
+// construction in the style of Wenger and Lazebnik–Ustimenko: with q the
+// smallest prime ≥ degree, points are pairs (p₁, p₂) and lines pairs
+// (l₁, l₂) with p₁, l₁ < degree and p₂, l₂ ∈ GF(q), and (p₁,p₂) lies on
+// (l₁,l₂) iff p₂ + l₂ = p₁·l₁ (mod q). Two points (p₁,p₂) ≠ (p₁',p₂')
+// determine at most one common line — l₁(p₁−p₁') = p₂−p₂' has at most one
+// solution — so there is no 4-cycle. Each side has degree·q vertices.
+func GirthSixBipartite(degree int) (*Bipartite, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("gen: degree must be ≥ 1, got %d", degree)
+	}
+	q := degree
+	for !isPrime(q) {
+		q++
+	}
+	if degree == 1 {
+		q = 2
+	}
+	side := degree * q
+	adj := make([][]int, 2*side)
+	idx := func(a, b int) int { return a*q + b }
+	for p1 := 0; p1 < degree; p1++ {
+		for p2 := 0; p2 < q; p2++ {
+			point := idx(p1, p2)
+			for l1 := 0; l1 < degree; l1++ {
+				l2 := ((p1*l1-p2)%q + q) % q
+				line := side + idx(l1, l2)
+				adj[point] = append(adj[point], line)
+				adj[line] = append(adj[line], point)
+			}
+		}
+	}
+	return &Bipartite{Left: side, Right: side, Adj: adj}, nil
+}
+
+// LongCycleBipartite builds a single cycle of the given even length ≥ 4
+// viewed as a 2-regular bipartite graph (vertices alternate sides); its
+// girth is exactly the cycle length, so any girth requirement can be met
+// deterministically at degree 2.
+func LongCycleBipartite(length int) (*Bipartite, error) {
+	if length < 4 || length%2 != 0 {
+		return nil, fmt.Errorf("gen: cycle length must be even and ≥ 4, got %d", length)
+	}
+	m := length / 2
+	adj := make([][]int, length)
+	// Even positions are left vertices 0..m-1, odd positions are right
+	// vertices m..2m-1; position 2i ↔ left i, position 2i+1 ↔ right i.
+	vertexAt := func(pos int) int {
+		if pos%2 == 0 {
+			return pos / 2
+		}
+		return m + pos/2
+	}
+	for pos := 0; pos < length; pos++ {
+		a, b := vertexAt(pos), vertexAt((pos+1)%length)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return &Bipartite{Left: m, Right: m, Adj: adj}, nil
+}
+
+// RegularBipartiteWithGirth returns a degree-regular bipartite graph with
+// no cycle shorter than minCycle edges, certifying the girth exactly.
+// This realises the template graph Q of Section 4.2, which must have no
+// cycle of fewer than 4r+2 edges.
+//
+// Strategy: degree 1 (forests) and degree 2 (one long cycle) are built
+// directly for any girth; for minCycle ≤ 6 the deterministic
+// GirthSixBipartite construction covers every degree; beyond that we fall
+// back to rejection sampling, which only succeeds for very small degrees —
+// the number of short cycles in a random regular graph is asymptotically
+// Poisson with mean (degree−1)^len/len independent of the graph size
+// (McKay–Wormald–Wysocka), so for larger degrees a caller-supplied
+// template (e.g. a generalized-polygon incidence graph) is required.
+// startM ≤ 0 picks a heuristic initial size for the random fallback.
+func RegularBipartiteWithGirth(degree, minCycle, startM int, rng *rand.Rand) (*Bipartite, error) {
+	switch {
+	case degree < 1:
+		return nil, fmt.Errorf("gen: degree must be ≥ 1, got %d", degree)
+	case degree == 1:
+		// A perfect matching is acyclic; any size works.
+		return RandomRegularBipartite(max(startM, 2), 1, rng)
+	case degree == 2:
+		length := max(minCycle, 6)
+		if length%2 != 0 {
+			length++
+		}
+		return LongCycleBipartite(2 * length) // margin keeps Q non-degenerate
+	case minCycle <= 6:
+		return GirthSixBipartite(degree)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("gen: girth ≥ %d at degree %d needs random sampling; provide an rng or a template", minCycle, degree)
+	}
+	m := startM
+	if m <= 0 {
+		m = degree * degree
+		for g := 6; g < minCycle; g += 2 {
+			m *= degree
+		}
+		m = max(m, 2*degree)
+	}
+	const sizeDoublings = 8
+	for grow := 0; grow < sizeDoublings; grow++ {
+		for attempt := 0; attempt < 30; attempt++ {
+			b, err := RandomRegularBipartite(m, degree, rng)
+			if err != nil {
+				return nil, err
+			}
+			g := b.Graph().Girth()
+			if g < 0 || g >= minCycle {
+				return b, nil
+			}
+		}
+		m *= 2
+	}
+	return nil, fmt.Errorf("gen: no %d-regular bipartite graph with girth ≥ %d found up to m=%d (supply a template; random short-cycle counts do not vanish with size)", degree, minCycle, m)
+}
+
+// ProjectivePlaneIncidence builds the point–line incidence graph of the
+// projective plane PG(2, p) over GF(p) for a prime p: a deterministic
+// (p+1)-regular bipartite graph on 2(p²+p+1) vertices with girth exactly
+// 6. It provides derandomised templates Q for the r = 1 case of the
+// Section-4 construction (which needs girth ≥ 4·1+2 = 6).
+func ProjectivePlaneIncidence(p int) (*Bipartite, error) {
+	if p < 2 || !isPrime(p) {
+		return nil, fmt.Errorf("gen: %d is not a prime ≥ 2", p)
+	}
+	// Canonical representatives of the projective points: (1, a, b),
+	// (0, 1, a), (0, 0, 1).
+	type pt [3]int
+	var pts []pt
+	for a := 0; a < p; a++ {
+		for bb := 0; bb < p; bb++ {
+			pts = append(pts, pt{1, a, bb})
+		}
+	}
+	for a := 0; a < p; a++ {
+		pts = append(pts, pt{0, 1, a})
+	}
+	pts = append(pts, pt{0, 0, 1})
+	n := len(pts) // p²+p+1
+
+	adj := make([][]int, 2*n)
+	for li, line := range pts {
+		for pi, point := range pts {
+			dot := (line[0]*point[0] + line[1]*point[1] + line[2]*point[2]) % p
+			if dot == 0 {
+				adj[n+li] = append(adj[n+li], pi)
+				adj[pi] = append(adj[pi], n+li)
+			}
+		}
+	}
+	return &Bipartite{Left: n, Right: n, Adj: adj}, nil
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

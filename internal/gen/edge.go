@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maxminlp/internal/mmlp"
+)
+
+// EdgeInstance builds a max-min LP in which every hyperedge has exactly
+// two agents: for every edge {u, v} of the supplied graph there is one
+// unit resource x_u + x_v ≤ 1 and one party ω ≤ x_u + x_v. The resulting
+// instance has ΔVI = ΔVK = 2 (with ΔIV = ΔKV = deg), which is precisely
+// the parameter regime the paper leaves open: Section 4 shows no local
+// approximation scheme exists once ΔVI ≥ 3 or ΔVK ≥ 3, but states that
+// "in the case ΔVI = ΔVK = 2 the existence of a local approximation
+// scheme remains an open question". Experiment E10 probes this regime
+// empirically.
+//
+// adj must be symmetric; self-loops are ignored. Isolated vertices are
+// rejected (their variable would be unconstrained).
+func EdgeInstance(adj [][]int) (*mmlp.Instance, error) {
+	n := len(adj)
+	b := mmlp.NewBuilder(n)
+	seen := make(map[[2]int]bool)
+	for u, ns := range adj {
+		for _, v := range ns {
+			if v == u {
+				continue
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("gen: edge endpoint %d out of range", v)
+			}
+			key := [2]int{min(u, v), max(u, v)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			b.AddUnitResource(key[0], key[1])
+			b.AddUniformParty(1, key[0], key[1])
+		}
+	}
+	return b.Build()
+}
+
+// CompleteTreeAdjacency returns the adjacency lists of a complete tree
+// with the given arity and height (vertices in BFS order, root 0).
+func CompleteTreeAdjacency(arity, height int) [][]int {
+	if arity < 1 || height < 0 {
+		panic("gen: need arity ≥ 1 and height ≥ 0")
+	}
+	var adj [][]int
+	adj = append(adj, nil)
+	level := []int{0}
+	for h := 1; h <= height; h++ {
+		var next []int
+		for _, p := range level {
+			for c := 0; c < arity; c++ {
+				child := len(adj)
+				adj = append(adj, []int{p})
+				adj[p] = append(adj[p], child)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return adj
+}
+
+// CycleAdjacency returns the adjacency lists of an n-cycle.
+func CycleAdjacency(n int) [][]int {
+	if n < 3 {
+		panic("gen: cycle needs ≥ 3 vertices")
+	}
+	adj := make([][]int, n)
+	for v := range adj {
+		adj[v] = []int{(v + 1) % n, (v - 1 + n) % n}
+	}
+	return adj
+}
+
+// RandomRegularAdjacency samples a d-regular simple graph on n vertices
+// by the pairing model with rejection-and-retry. Such graphs are locally
+// tree-like (few short cycles), making them the interesting hard case
+// for the ΔVI = ΔVK = 2 open question.
+func RandomRegularAdjacency(n, d int, rng *rand.Rand) ([][]int, error) {
+	if n*d%2 != 0 || d >= n {
+		return nil, fmt.Errorf("gen: no %d-regular graph on %d vertices", d, n)
+	}
+	for attempt := 0; attempt < 500; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for j := 0; j < d; j++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		adj := make([][]int, n)
+		used := make(map[[2]int]bool)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			key := [2]int{min(u, v), max(u, v)}
+			if u == v || used[key] {
+				ok = false
+				break
+			}
+			used[key] = true
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+		if ok {
+			return adj, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: failed to sample a simple %d-regular graph on %d vertices", d, n)
+}

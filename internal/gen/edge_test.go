@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/hypergraph"
+)
+
+func TestEdgeInstanceShape(t *testing.T) {
+	in, err := EdgeInstance(CycleAdjacency(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumAgents() != 10 || in.NumResources() != 10 || in.NumParties() != 10 {
+		t.Fatalf("shape: %s", in.Stats())
+	}
+	deg := in.Degrees()
+	if deg.MaxVI != 2 || deg.MaxVK != 2 {
+		t.Fatalf("ΔVI=%d ΔVK=%d, want 2/2 (the open-question regime)", deg.MaxVI, deg.MaxVK)
+	}
+	if deg.MaxIV != 2 || deg.MaxKV != 2 {
+		t.Fatalf("cycle vertex degrees: %+v", deg)
+	}
+}
+
+func TestEdgeInstanceTreeDegrees(t *testing.T) {
+	in, err := EdgeInstance(CompleteTreeAdjacency(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := in.Degrees()
+	if deg.MaxVI != 2 || deg.MaxVK != 2 {
+		t.Fatalf("hyperedge sizes: %+v", deg)
+	}
+	// Internal nodes touch arity+1 edges.
+	if deg.MaxIV != 4 || deg.MaxKV != 4 {
+		t.Fatalf("vertex degrees: %+v, want 4", deg)
+	}
+}
+
+func TestEdgeInstanceRejectsIsolatedVertex(t *testing.T) {
+	if _, err := EdgeInstance([][]int{{1}, {0}, {}}); err == nil {
+		t.Fatal("isolated vertex must be rejected (unbounded variable)")
+	}
+}
+
+func TestEdgeInstanceRejectsOutOfRange(t *testing.T) {
+	if _, err := EdgeInstance([][]int{{5}}); err == nil {
+		t.Fatal("out-of-range endpoint must be rejected")
+	}
+}
+
+func TestEdgeInstanceDeduplicatesEdges(t *testing.T) {
+	// Symmetric adjacency lists mention each edge twice; the instance
+	// must contain it once.
+	in, err := EdgeInstance([][]int{{1, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumResources() != 1 || in.NumParties() != 1 {
+		t.Fatalf("shape: %s", in.Stats())
+	}
+}
+
+func TestCompleteTreeAdjacency(t *testing.T) {
+	adj := CompleteTreeAdjacency(2, 3)
+	if len(adj) != 15 {
+		t.Fatalf("nodes = %d, want 15", len(adj))
+	}
+	if len(adj[0]) != 2 {
+		t.Fatalf("root degree = %d, want 2", len(adj[0]))
+	}
+	leaves := 0
+	for _, ns := range adj {
+		if len(ns) == 1 {
+			leaves++
+		}
+	}
+	if leaves != 8 {
+		t.Fatalf("leaves = %d, want 8", leaves)
+	}
+}
+
+func TestRandomRegularAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	adj, err := RandomRegularAdjacency(40, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ns := range adj {
+		if len(ns) != 3 {
+			t.Fatalf("vertex %d degree %d", v, len(ns))
+		}
+		seen := map[int]bool{}
+		for _, u := range ns {
+			if u == v || seen[u] {
+				t.Fatalf("vertex %d: loop or parallel edge", v)
+			}
+			seen[u] = true
+		}
+	}
+	// The instance built on it must be valid and connected enough to use.
+	in, err := EdgeInstance(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	if g.MaxDegree() < 3 {
+		t.Fatal("hypergraph degree too small")
+	}
+	// Parity constraint: odd n·d must fail.
+	if _, err := RandomRegularAdjacency(5, 3, rng); err == nil {
+		t.Fatal("odd n·d must fail")
+	}
+}

@@ -1,0 +1,256 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maxminlp/internal/hypergraph"
+)
+
+func TestLatticeIndexCoordRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ndims := 1 + r.Intn(3)
+		dims := make([]int, ndims)
+		for i := range dims {
+			dims[i] = 1 + r.Intn(6)
+		}
+		l := &Lattice{Dims: dims}
+		for idx := 0; idx < l.NumCells(); idx++ {
+			if l.Index(l.Coord(idx)) != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	in, l := Torus([]int{4, 5}, LatticeOptions{})
+	if in.NumAgents() != 20 || in.NumResources() != 20 || in.NumParties() != 20 {
+		t.Fatalf("shape: %s", in.Stats())
+	}
+	deg := in.Degrees()
+	// Closed von-Neumann neighbourhood in 2D: 5 cells.
+	if deg.MaxVI != 5 || deg.MaxVK != 5 || deg.MaxIV != 5 || deg.MaxKV != 5 {
+		t.Fatalf("degrees: %+v", deg)
+	}
+	// Wraparound: cell (0,0) neighbours include (3,0) and (0,4).
+	hood := l.Neighborhood(0)
+	want := []int{0, 5, 15, 1, 4}
+	for _, w := range want {
+		found := false
+		for _, h := range hood {
+			if h == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("neighbourhood of cell 0 = %v missing %d", hood, w)
+		}
+	}
+}
+
+func TestGridBoundary(t *testing.T) {
+	in, l := Grid([]int{3, 3}, LatticeOptions{})
+	// Corner has 3 cells in its closed neighbourhood, centre has 5.
+	if got := len(l.Neighborhood(0)); got != 3 {
+		t.Fatalf("corner neighbourhood size = %d, want 3", got)
+	}
+	if got := len(l.Neighborhood(4)); got != 5 {
+		t.Fatalf("centre neighbourhood size = %d, want 5", got)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusRandomWeightsDeterministic(t *testing.T) {
+	a, _ := Torus([]int{6}, LatticeOptions{RandomWeights: true, Rng: rand.New(rand.NewSource(3))})
+	b, _ := Torus([]int{6}, LatticeOptions{RandomWeights: true, Rng: rand.New(rand.NewSource(3))})
+	for i := 0; i < a.NumResources(); i++ {
+		if !reflect.DeepEqual(a.Resource(i), b.Resource(i)) {
+			t.Fatal("same seed must give identical instances")
+		}
+	}
+	c, _ := Torus([]int{6}, LatticeOptions{RandomWeights: true, Rng: rand.New(rand.NewSource(4))})
+	same := true
+	for i := 0; i < a.NumResources(); i++ {
+		if !reflect.DeepEqual(a.Resource(i), c.Resource(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different coefficients")
+	}
+}
+
+func TestRandomInstanceValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		opt := RandomOptions{
+			Agents: 1 + r.Intn(30), Resources: r.Intn(20),
+			Parties: 1 + r.Intn(10), MaxVI: 1 + r.Intn(5), MaxVK: 1 + r.Intn(5),
+		}
+		in := Random(opt, r)
+		if in.Validate() != nil {
+			return false
+		}
+		deg := in.Degrees()
+		return deg.MaxVI <= opt.MaxVI && deg.MaxVK <= opt.MaxVK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeTightShape(t *testing.T) {
+	in := SafeTight(4, 3)
+	if in.NumAgents() != 12 || in.NumResources() != 3 || in.NumParties() != 3 {
+		t.Fatalf("shape: %s", in.Stats())
+	}
+	if got := in.Degrees().MaxVI; got != 4 {
+		t.Fatalf("ΔVI = %d, want 4", got)
+	}
+}
+
+func TestRandomRegularBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range []struct{ m, degree int }{
+		{5, 1}, {8, 3}, {20, 7}, {40, 12},
+	} {
+		b, err := RandomRegularBipartite(tc.m, tc.degree, rng)
+		if err != nil {
+			t.Fatalf("m=%d d=%d: %v", tc.m, tc.degree, err)
+		}
+		if !b.IsRegular(tc.degree) {
+			t.Fatalf("m=%d d=%d: not regular", tc.m, tc.degree)
+		}
+		// Simplicity: neighbour lists have no duplicates.
+		for v, ns := range b.Adj {
+			seen := map[int]bool{}
+			for _, u := range ns {
+				if seen[u] {
+					t.Fatalf("m=%d d=%d: duplicate edge %d-%d", tc.m, tc.degree, v, u)
+				}
+				seen[u] = true
+			}
+		}
+		// Bipartiteness: left vertices only touch right vertices.
+		for v := 0; v < b.Left; v++ {
+			for _, u := range b.Adj[v] {
+				if u < b.Left {
+					t.Fatalf("edge inside left side: %d-%d", v, u)
+				}
+			}
+		}
+	}
+	if _, err := RandomRegularBipartite(3, 5, rng); err == nil {
+		t.Fatal("degree > m must fail")
+	}
+}
+
+func TestGirthSixBipartite(t *testing.T) {
+	for degree := 1; degree <= 12; degree++ {
+		b, err := GirthSixBipartite(degree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.IsRegular(degree) {
+			t.Fatalf("degree %d: not regular", degree)
+		}
+		g := b.Graph().Girth()
+		if g >= 0 && g < 6 {
+			t.Fatalf("degree %d: girth %d < 6", degree, g)
+		}
+	}
+	if _, err := GirthSixBipartite(0); err == nil {
+		t.Fatal("degree 0 must fail")
+	}
+}
+
+func TestLongCycleBipartite(t *testing.T) {
+	for _, length := range []int{4, 6, 10, 14} {
+		b, err := LongCycleBipartite(length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.IsRegular(2) {
+			t.Fatalf("length %d: not 2-regular", length)
+		}
+		if g := b.Graph().Girth(); g != length {
+			t.Fatalf("length %d: girth %d", length, g)
+		}
+	}
+	for _, bad := range []int{2, 5, 7} {
+		if _, err := LongCycleBipartite(bad); err == nil {
+			t.Fatalf("length %d must fail", bad)
+		}
+	}
+}
+
+func TestRegularBipartiteWithGirth(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, tc := range []struct{ degree, minCycle int }{
+		{1, 10}, {2, 10}, {2, 14}, {3, 6}, {5, 6}, {9, 6},
+	} {
+		b, err := RegularBipartiteWithGirth(tc.degree, tc.minCycle, 0, rng)
+		if err != nil {
+			t.Fatalf("degree=%d minCycle=%d: %v", tc.degree, tc.minCycle, err)
+		}
+		if !b.IsRegular(tc.degree) {
+			t.Fatalf("degree=%d: not regular", tc.degree)
+		}
+		if g := b.Graph().Girth(); g >= 0 && g < tc.minCycle {
+			t.Fatalf("degree=%d minCycle=%d: girth %d", tc.degree, tc.minCycle, g)
+		}
+	}
+	// Degree ≥ 3 with girth > 6 requires a caller-supplied template: the
+	// expected number of short cycles in random regular graphs does not
+	// vanish with size, so rejection sampling cannot certify it. Without
+	// an rng the call fails immediately with a helpful error.
+	if _, err := RegularBipartiteWithGirth(9, 10, 0, nil); err == nil {
+		t.Fatal("degree 9 girth 10 without rng must fail")
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7} {
+		b, err := ProjectivePlaneIncidence(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := p*p + p + 1
+		if b.Left != n || b.Right != n {
+			t.Fatalf("PG(2,%d): %d+%d vertices, want %d per side", p, b.Left, b.Right, n)
+		}
+		if !b.IsRegular(p + 1) {
+			t.Fatalf("PG(2,%d): not (p+1)-regular", p)
+		}
+	}
+	for _, bad := range []int{1, 4, 6, 9} {
+		if _, err := ProjectivePlaneIncidence(bad); err == nil {
+			t.Fatalf("non-prime %d must fail", bad)
+		}
+	}
+}
+
+func TestBipartiteGraphConversion(t *testing.T) {
+	b, err := LongCycleBipartite(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	if g.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex count mismatch: %d vs %d", g.NumVertices(), b.NumVertices())
+	}
+	var _ *hypergraph.Graph = g
+	if b.Degree(0) != 2 {
+		t.Fatalf("degree(0) = %d", b.Degree(0))
+	}
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"maxminlp/internal/mmlp"
+)
+
+// UnitDiskOptions configures geometric instance generation.
+type UnitDiskOptions struct {
+	// Nodes is the number of agents, placed uniformly in the unit square.
+	Nodes int
+	// Radius is the connection radius: two nodes interact when their
+	// Euclidean distance is at most Radius.
+	Radius float64
+	// MaxNeighbors truncates each node's interaction set to its nearest
+	// MaxNeighbors nodes, keeping the support sizes (and hence ΔVI, ΔVK)
+	// bounded as the paper requires; 0 means no cap.
+	MaxNeighbors int
+	// RandomWeights draws coefficients from [0.5, 1.5) instead of 1.
+	RandomWeights bool
+}
+
+// UnitDisk generates a max-min LP whose communication structure is a
+// unit-disk graph: one agent per node, one resource and one party per
+// node, each supported by the node and its (truncated) disk neighbours.
+// Section 5 of the paper argues that nodes embedded in low-dimensional
+// physical space with bounded-range radios yield polynomially growing
+// neighbourhoods, making the Theorem-3 algorithm effective; this
+// generator provides exactly that workload. It returns the instance and
+// the node positions.
+func UnitDisk(opt UnitDiskOptions, rng *rand.Rand) (*mmlp.Instance, [][2]float64) {
+	if opt.Nodes < 1 {
+		panic("gen: UnitDisk needs ≥ 1 node")
+	}
+	if opt.Radius <= 0 {
+		panic("gen: UnitDisk needs a positive radius")
+	}
+	pos := make([][2]float64, opt.Nodes)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(pos[a][0]-pos[b][0], pos[a][1]-pos[b][1])
+	}
+	b := mmlp.NewBuilder(opt.Nodes)
+	coeff := func() float64 {
+		if opt.RandomWeights {
+			return 0.5 + rng.Float64()
+		}
+		return 1
+	}
+	for v := 0; v < opt.Nodes; v++ {
+		var hood []int
+		for u := 0; u < opt.Nodes; u++ {
+			if u != v && dist(v, u) <= opt.Radius {
+				hood = append(hood, u)
+			}
+		}
+		if opt.MaxNeighbors > 0 && len(hood) > opt.MaxNeighbors {
+			sort.Slice(hood, func(a, c int) bool { return dist(v, hood[a]) < dist(v, hood[c]) })
+			hood = hood[:opt.MaxNeighbors]
+			sort.Ints(hood)
+		}
+		support := append([]int{v}, hood...)
+		res := make([]mmlp.Entry, len(support))
+		par := make([]mmlp.Entry, len(support))
+		for j, u := range support {
+			res[j] = mmlp.Entry{Agent: u, Coeff: coeff()}
+			par[j] = mmlp.Entry{Agent: u, Coeff: coeff()}
+		}
+		b.AddResource(res...)
+		b.AddParty(par...)
+	}
+	return b.MustBuild(), pos
+}
+
+// TreeInstance builds a max-min LP on a complete tree of the given arity
+// and height: one agent per tree node, a resource per internal node
+// covering it and its children, and a party per internal node over the
+// same set. Its communication hypergraph has exponential neighbourhood
+// growth — γ(r) stays bounded away from 1 — so it is the contrast case
+// where Theorem 3's guarantee degrades, exactly as the Section-4 lower
+// bound predicts it must.
+func TreeInstance(arity, height int) *mmlp.Instance {
+	if arity < 1 || height < 1 {
+		panic("gen: TreeInstance needs arity ≥ 1 and height ≥ 1")
+	}
+	b := mmlp.NewBuilder(0)
+	root := b.AddAgent()
+	level := []int{root}
+	for h := 1; h <= height; h++ {
+		var next []int
+		for _, parent := range level {
+			family := []int{parent}
+			for c := 0; c < arity; c++ {
+				child := b.AddAgent()
+				family = append(family, child)
+				next = append(next, child)
+			}
+			b.AddUnitResource(family...)
+			b.AddUniformParty(1, family...)
+		}
+		level = next
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/hypergraph"
+)
+
+func TestUnitDiskValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, pos := UnitDisk(UnitDiskOptions{Nodes: 120, Radius: 0.12, MaxNeighbors: 4}, rng)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 120 || in.NumAgents() != 120 {
+		t.Fatalf("agents %d positions %d", in.NumAgents(), len(pos))
+	}
+	deg := in.Degrees()
+	if deg.MaxVI > 5 || deg.MaxVK > 5 {
+		t.Fatalf("supports exceed cap+1: %+v", deg)
+	}
+	// Resource i is owned by node i; every member must be a geometric
+	// neighbour of the owner.
+	for i := 0; i < in.NumResources(); i++ {
+		row := in.Resource(i)
+		for _, e := range row {
+			if e.Agent == i {
+				continue
+			}
+			d := math.Hypot(pos[i][0]-pos[e.Agent][0], pos[i][1]-pos[e.Agent][1])
+			if d > 0.12+1e-12 {
+				t.Fatalf("resource %d includes node %d at distance %v > radius", i, e.Agent, d)
+			}
+		}
+	}
+}
+
+func TestUnitDiskDeterministic(t *testing.T) {
+	opt := UnitDiskOptions{Nodes: 50, Radius: 0.15, MaxNeighbors: 3}
+	a, _ := UnitDisk(opt, rand.New(rand.NewSource(5)))
+	b, _ := UnitDisk(opt, rand.New(rand.NewSource(5)))
+	for i := 0; i < a.NumResources(); i++ {
+		ra, rb := a.Resource(i), b.Resource(i)
+		if len(ra) != len(rb) {
+			t.Fatal("same seed, different instance")
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatal("same seed, different entries")
+			}
+		}
+	}
+}
+
+func TestTreeInstanceShapeAndGrowth(t *testing.T) {
+	in := TreeInstance(2, 5)
+	want := 1<<6 - 1 // complete binary tree with 6 levels
+	if in.NumAgents() != want {
+		t.Fatalf("agents = %d, want %d", in.NumAgents(), want)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exponential growth: γ(r) stays well above 1 for every small r.
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	prof := g.GammaProfile(3)
+	for r := 1; r <= 3; r++ {
+		if prof[r] < 1.5 {
+			t.Fatalf("tree γ(%d) = %v, expected bounded away from 1", r, prof[r])
+		}
+	}
+	// Contrast: a long cycle's γ approaches 1.
+	cyc, _ := Cycle(64, LatticeOptions{})
+	gc := hypergraph.FromInstance(cyc, hypergraph.Options{})
+	if gc.GammaProfile(3)[3] >= prof[3] {
+		t.Fatal("cycle growth should be below tree growth at r=3")
+	}
+}
+
+func TestTreeInstancePanicsOnBadArgs(t *testing.T) {
+	for _, tc := range [][2]int{{0, 3}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TreeInstance(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			TreeInstance(tc[0], tc[1])
+		}()
+	}
+}

@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maxminlp/internal/mmlp"
+)
+
+// RandomOptions configures Random instance generation.
+type RandomOptions struct {
+	Agents    int
+	Resources int
+	Parties   int
+	// MaxVI and MaxVK bound the support sizes |Vi| and |Vk| (each support
+	// is drawn uniformly between 1 and the bound, from distinct agents).
+	MaxVI int
+	MaxVK int
+	// UnitCoefficients forces a_iv = c_kv = 1 (the Section-4 setting);
+	// otherwise coefficients are uniform in [0.5, 1.5).
+	UnitCoefficients bool
+}
+
+// Random generates a random bounded-degree max-min LP. Every agent is
+// guaranteed to consume at least one resource (the paper's Iv ≠ ∅
+// assumption): after drawing the requested resources, agents that remain
+// uncovered receive an extra singleton resource. The number of resources
+// in the result may therefore exceed opt.Resources.
+func Random(opt RandomOptions, rng *rand.Rand) *mmlp.Instance {
+	if opt.Agents < 1 {
+		panic(fmt.Sprintf("gen: need ≥ 1 agent, got %d", opt.Agents))
+	}
+	if opt.MaxVI < 1 || opt.MaxVK < 1 {
+		panic("gen: MaxVI and MaxVK must be ≥ 1")
+	}
+	b := mmlp.NewBuilder(opt.Agents)
+	coeff := func() float64 {
+		if opt.UnitCoefficients {
+			return 1
+		}
+		return 0.5 + rng.Float64()
+	}
+	support := func(maxSize int) []int {
+		size := 1 + rng.Intn(maxSize)
+		if size > opt.Agents {
+			size = opt.Agents
+		}
+		seen := make(map[int]bool, size)
+		out := make([]int, 0, size)
+		for len(out) < size {
+			v := rng.Intn(opt.Agents)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	covered := make([]bool, opt.Agents)
+	for i := 0; i < opt.Resources; i++ {
+		agents := support(opt.MaxVI)
+		entries := make([]mmlp.Entry, len(agents))
+		for j, v := range agents {
+			entries[j] = mmlp.Entry{Agent: v, Coeff: coeff()}
+			covered[v] = true
+		}
+		b.AddResource(entries...)
+	}
+	for v, ok := range covered {
+		if !ok {
+			b.AddResource(mmlp.Entry{Agent: v, Coeff: coeff()})
+		}
+	}
+	for k := 0; k < opt.Parties; k++ {
+		agents := support(opt.MaxVK)
+		entries := make([]mmlp.Entry, len(agents))
+		for j, v := range agents {
+			entries[j] = mmlp.Entry{Agent: v, Coeff: coeff()}
+		}
+		b.AddParty(entries...)
+	}
+	return b.MustBuild()
+}
+
+// SafeTight builds the family of instances on which the safe algorithm is
+// a factor ≈ ΔVI off the optimum, demonstrating tightness of its analysis
+// (E3). The instance has m "stars": star s has a hub agent h_s and ΔVI−1
+// satellite agents, all sharing resource s (so |V_s| = ΔVI). Party s
+// benefits only from the hub of star s. The optimum puts all of resource
+// s into the hub (x_{h_s} = 1, ω* = 1) while the safe solution spreads it
+// (x_{h_s} = 1/ΔVI, ω = 1/ΔVI), so opt/safe = ΔVI exactly.
+func SafeTight(deltaVI, stars int) *mmlp.Instance {
+	if deltaVI < 1 || stars < 1 {
+		panic("gen: SafeTight needs deltaVI ≥ 1 and stars ≥ 1")
+	}
+	b := mmlp.NewBuilder(0)
+	for s := 0; s < stars; s++ {
+		hub := b.AddAgent()
+		members := []int{hub}
+		for j := 0; j < deltaVI-1; j++ {
+			members = append(members, b.AddAgent())
+		}
+		b.AddUnitResource(members...)
+		b.AddUniformParty(1, hub)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Note:    "a note",
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"T0 — demo", "a    bb", "333  4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,bb\n1,2\n333,4\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong arity")
+		}
+	}()
+	tbl := &Table{ID: "T1", Columns: []string{"a"}}
+	tbl.AddRow("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456789) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456789))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I = %q", I(42))
+	}
+	if B(true) != "ok" || B(false) != "FAIL" {
+		t.Fatal("B formatting wrong")
+	}
+}
+
+// TestExperimentsRunClean executes every registered experiment and
+// requires (a) no error, (b) at least one data row, and (c) no FAIL cell
+// in any row — the experiments embed their own assertions ("checks",
+// "bound holds", "agree", ...) as ok/FAIL columns.
+func TestExperimentsRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are a few seconds; skipped with -short")
+	}
+	for _, exp := range All {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl, err := exp.Run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tbl.Rows {
+				for _, cell := range row {
+					if cell == "FAIL" {
+						t.Fatalf("experiment row failed: %v", row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	// E7 measures wall-clock time and is exempt; all other experiments
+	// must be reproducible from the seed.
+	for _, exp := range All {
+		if exp.ID == "E7" {
+			continue
+		}
+		a, err := exp.Run(99)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		b, err := exp.Run(99)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row counts differ", exp.ID)
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s: cell (%d,%d) differs: %q vs %q", exp.ID, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestExperimentCSVExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	// Every experiment table must export to CSV without error and with a
+	// header plus one line per row.
+	tbl, err := All[2].Run(1) // E3 is fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(tbl.Rows)+1 {
+		t.Fatalf("csv has %d lines, want %d", lines, len(tbl.Rows)+1)
+	}
+}

@@ -1,0 +1,96 @@
+// Package harness runs the reproduction experiments E1–E8 described in
+// DESIGN.md and EXPERIMENTS.md and renders their results as plain-text
+// tables or CSV. Each experiment is a pure function from a seed to a
+// Table, so cmd/experiments and the benchmark suite share the exact same
+// workloads.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // experiment id, e.g. "E4"
+	Title   string
+	Note    string // free-text commentary (expected shape, caveats)
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one formatted row; it panics if the arity is wrong so
+// that experiment bugs fail loudly.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row has %d cells, table %s has %d columns", len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for j, c := range t.Columns {
+		widths[j] = len(c)
+	}
+	for _, row := range t.Rows {
+		for j, cell := range row {
+			if len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for j, cell := range cells {
+			parts[j] = fmt.Sprintf("%-*s", widths[j], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for j := range rule {
+		rule[j] = strings.Repeat("-", widths[j])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table in CSV form (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float compactly for table cells.
+func F(x float64) string { return fmt.Sprintf("%.4g", x) }
+
+// I formats an int for table cells.
+func I(x int) string { return fmt.Sprintf("%d", x) }
+
+// B formats a bool as ok/FAIL.
+func B(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

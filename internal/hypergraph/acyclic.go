@@ -1,0 +1,74 @@
+package hypergraph
+
+import "maxminlp/internal/mmlp"
+
+// BergeAcyclic reports whether the hypergraph of an instance (hyperedges =
+// resource and party supports) is Berge-acyclic, i.e. its bipartite
+// vertex–hyperedge incidence graph is a forest. This is the "no cycles in
+// the hypergraph" notion of Section 4.4 of the paper: a Berge cycle
+// alternates distinct vertices and distinct hyperedges; triangles inside a
+// single hyperedge's clique do not count.
+//
+// Berge-acyclicity implies that between any two agents there is at most
+// one path of hyperedges, which is what the parity argument of Section 4.5
+// needs.
+func BergeAcyclic(in *mmlp.Instance) bool {
+	n := in.NumAgents()
+	total := n + in.NumResources() + in.NumParties()
+	uf := newUnionFind(total)
+	for i := 0; i < in.NumResources(); i++ {
+		node := n + i
+		for _, e := range in.Resource(i) {
+			if !uf.union(node, e.Agent) {
+				return false
+			}
+		}
+	}
+	for k := 0; k < in.NumParties(); k++ {
+		node := n + in.NumResources() + k
+		for _, e := range in.Party(k) {
+			if !uf.union(node, e.Agent) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b and reports whether they were distinct
+// (false indicates the new edge closes a cycle).
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

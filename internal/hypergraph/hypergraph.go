@@ -1,0 +1,287 @@
+// Package hypergraph implements the communication structure of a max-min
+// LP: the hypergraph H = (V, E) whose vertices are the agents and whose
+// hyperedges are the resource supports Vi and the party supports Vk
+// (Section 1.4 of the paper). It provides shortest-path distances, balls
+// B_H(v, r), the relative-growth measure γ(r) from Theorem 3, and
+// canonical radius-r local views.
+package hypergraph
+
+import (
+	"sort"
+
+	"maxminlp/internal/mmlp"
+)
+
+// Graph is the communication hypergraph of a max-min LP, stored as a
+// flattened union-of-cliques adjacency structure over the agents.
+type Graph struct {
+	adj [][]int // sorted, deduplicated neighbour lists
+}
+
+// Options configures FromInstance.
+type Options struct {
+	// CollaborationOblivious drops the party hyperedges Vk, keeping only
+	// the resource hyperedges Vi. This is the restricted variant the paper
+	// uses when comparing against prior work on packing LPs (§1.4).
+	CollaborationOblivious bool
+}
+
+// FromInstance builds the communication hypergraph of an instance: two
+// agents are adjacent iff they share a resource, or (unless
+// CollaborationOblivious) benefit a common party.
+func FromInstance(in *mmlp.Instance, opt Options) *Graph {
+	n := in.NumAgents()
+	adj := make([][]int, n)
+	addClique := func(row []mmlp.Entry) {
+		for _, e := range row {
+			for _, f := range row {
+				if e.Agent != f.Agent {
+					adj[e.Agent] = append(adj[e.Agent], f.Agent)
+				}
+			}
+		}
+	}
+	for i := 0; i < in.NumResources(); i++ {
+		addClique(in.Resource(i))
+	}
+	if !opt.CollaborationOblivious {
+		for k := 0; k < in.NumParties(); k++ {
+			addClique(in.Party(k))
+		}
+	}
+	for v := range adj {
+		adj[v] = dedupSorted(adj[v])
+	}
+	return &Graph{adj: adj}
+}
+
+// FromAdjacency builds a Graph directly from neighbour lists (useful for
+// plain graphs in tests and for the template graph Q). The input lists are
+// copied, sorted and deduplicated; self-loops are dropped.
+func FromAdjacency(adj [][]int) *Graph {
+	out := make([][]int, len(adj))
+	for v, ns := range adj {
+		cp := make([]int, 0, len(ns))
+		for _, u := range ns {
+			if u != v {
+				cp = append(cp, u)
+			}
+		}
+		out[v] = dedupSorted(cp)
+	}
+	return &Graph{adj: out}
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Ints(xs)
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// Neighbors returns the sorted neighbour list of v. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the number of distinct neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Ball returns B_H(v, r) = {u : d_H(u, v) ≤ r}, sorted ascending.
+func (g *Graph) Ball(v, r int) []int {
+	ball, _ := g.BallWithDist(v, r)
+	return ball
+}
+
+// BallWithDist returns B_H(v, r) sorted ascending together with a parallel
+// slice of distances from v.
+func (g *Graph) BallWithDist(v, r int) (ball, dist []int) {
+	type qe struct{ node, d int }
+	seen := map[int]int{v: 0}
+	queue := []qe{{v, 0}}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur.d == r {
+			continue
+		}
+		for _, u := range g.adj[cur.node] {
+			if _, ok := seen[u]; !ok {
+				seen[u] = cur.d + 1
+				queue = append(queue, qe{u, cur.d + 1})
+			}
+		}
+	}
+	ball = make([]int, 0, len(seen))
+	for u := range seen {
+		ball = append(ball, u)
+	}
+	sort.Ints(ball)
+	dist = make([]int, len(ball))
+	for j, u := range ball {
+		dist[j] = seen[u]
+	}
+	return ball, dist
+}
+
+// BallSizes returns |B_H(v, r)| for r = 0..maxR in one BFS pass.
+func (g *Graph) BallSizes(v, maxR int) []int {
+	sizes := make([]int, maxR+1)
+	type qe struct{ node, d int }
+	seen := map[int]bool{v: true}
+	queue := []qe{{v, 0}}
+	sizes[0] = 1
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur.d == maxR {
+			continue
+		}
+		for _, u := range g.adj[cur.node] {
+			if !seen[u] {
+				seen[u] = true
+				sizes[cur.d+1]++
+				queue = append(queue, qe{u, cur.d + 1})
+			}
+		}
+	}
+	for r := 1; r <= maxR; r++ {
+		sizes[r] += sizes[r-1]
+	}
+	return sizes
+}
+
+// Dist returns the shortest-path distance d_H(u, v), or -1 if v is not
+// reachable from u.
+func (g *Graph) Dist(u, v int) int {
+	if u == v {
+		return 0
+	}
+	type qe struct{ node, d int }
+	seen := map[int]bool{u: true}
+	queue := []qe{{u, 0}}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, w := range g.adj[cur.node] {
+			if w == v {
+				return cur.d + 1
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, qe{w, cur.d + 1})
+			}
+		}
+	}
+	return -1
+}
+
+// DistancesFrom returns d_H(v, u) for every u, with -1 for unreachable
+// vertices.
+func (g *Graph) DistancesFrom(v int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	queue := []int{v}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, u := range g.adj[cur] {
+			if dist[u] < 0 {
+				dist[u] = dist[cur] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Gamma computes the relative growth γ(r) = max_v |B(v, r+1)| / |B(v, r)|
+// (Section 5 of the paper).
+func (g *Graph) Gamma(r int) float64 {
+	worst := 1.0
+	for v := range g.adj {
+		sizes := g.BallSizes(v, r+1)
+		ratio := float64(sizes[r+1]) / float64(sizes[r])
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}
+
+// GammaProfile computes γ(r) for r = 0..maxR in a single pass over the
+// vertices.
+func (g *Graph) GammaProfile(maxR int) []float64 {
+	out := make([]float64, maxR+1)
+	for r := range out {
+		out[r] = 1
+	}
+	for v := range g.adj {
+		sizes := g.BallSizes(v, maxR+1)
+		for r := 0; r <= maxR; r++ {
+			ratio := float64(sizes[r+1]) / float64(sizes[r])
+			if ratio > out[r] {
+				out[r] = ratio
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the connected components as sorted vertex lists,
+// ordered by smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for v := range g.adj {
+		if seen[v] {
+			continue
+		}
+		comp := []int{v}
+		seen[v] = true
+		for head := 0; head < len(comp); head++ {
+			for _, u := range g.adj[comp[head]] {
+				if !seen[u] {
+					seen[u] = true
+					comp = append(comp, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		d = max(d, len(g.adj[v]))
+	}
+	return d
+}
+
+// Diameter returns the largest finite eccentricity, or -1 for the empty
+// graph. Disconnected pairs are ignored.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	diam := 0
+	for v := range g.adj {
+		for _, d := range g.DistancesFrom(v) {
+			diam = max(diam, d)
+		}
+	}
+	return diam
+}

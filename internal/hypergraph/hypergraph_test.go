@@ -1,0 +1,289 @@
+package hypergraph_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+func cycleGraph(n int) *hypergraph.Graph {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		adj[v] = []int{(v + 1) % n, (v - 1 + n) % n}
+	}
+	return hypergraph.FromAdjacency(adj)
+}
+
+func pathGraph(n int) *hypergraph.Graph {
+	adj := make([][]int, n)
+	for v := 0; v+1 < n; v++ {
+		adj[v] = append(adj[v], v+1)
+		adj[v+1] = append(adj[v+1], v)
+	}
+	return hypergraph.FromAdjacency(adj)
+}
+
+func TestFromInstanceAdjacency(t *testing.T) {
+	b := mmlp.NewBuilder(4)
+	b.AddUnitResource(0, 1, 2)
+	b.AddUnitResource(3)
+	b.AddUniformParty(1, 2, 3)
+	in := b.MustBuild()
+
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("N(0) = %v, want [1 2]", got)
+	}
+	if got := g.Neighbors(3); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("N(3) = %v, want [2]", got)
+	}
+
+	// Collaboration-oblivious: party edges dropped, 3 becomes isolated.
+	g2 := hypergraph.FromInstance(in, hypergraph.Options{CollaborationOblivious: true})
+	if got := g2.Neighbors(3); len(got) != 0 {
+		t.Fatalf("oblivious N(3) = %v, want empty", got)
+	}
+}
+
+func TestBallAndDistancesOnCycle(t *testing.T) {
+	g := cycleGraph(10)
+	if got := g.Ball(0, 2); !reflect.DeepEqual(got, []int{0, 1, 2, 8, 9}) {
+		t.Fatalf("B(0,2) = %v", got)
+	}
+	if d := g.Dist(0, 5); d != 5 {
+		t.Fatalf("d(0,5) = %d, want 5", d)
+	}
+	if d := g.Dist(3, 3); d != 0 {
+		t.Fatalf("d(3,3) = %d, want 0", d)
+	}
+	dist := g.DistancesFrom(0)
+	for v, dv := range dist {
+		want := min(v, 10-v)
+		if dv != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dv, want)
+		}
+	}
+	sizes := g.BallSizes(0, 4)
+	for r, size := range sizes {
+		want := min(2*r+1, 10)
+		if size != want {
+			t.Fatalf("|B(0,%d)| = %d, want %d", r, size, want)
+		}
+	}
+}
+
+func TestDistUnreachable(t *testing.T) {
+	g := hypergraph.FromAdjacency([][]int{{1}, {0}, {}})
+	if d := g.Dist(0, 2); d != -1 {
+		t.Fatalf("d(0,2) = %d, want -1", d)
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestGammaOnCycle(t *testing.T) {
+	g := cycleGraph(100)
+	// |B(v,r)| = 2r+1, so γ(r) = (2r+3)/(2r+1).
+	for r := 0; r <= 5; r++ {
+		want := float64(2*r+3) / float64(2*r+1)
+		if got := g.Gamma(r); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("γ(%d) = %v, want %v", r, got, want)
+		}
+	}
+	prof := g.GammaProfile(5)
+	for r := 0; r <= 5; r++ {
+		if math.Abs(prof[r]-g.Gamma(r)) > 1e-12 {
+			t.Fatalf("profile[%d] = %v disagrees with Gamma %v", r, prof[r], g.Gamma(r))
+		}
+	}
+}
+
+func TestGammaNeverBelowOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		adj := make([][]int, n)
+		for e := 0; e < r.Intn(3*n); e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		g := hypergraph.FromAdjacency(adj)
+		for radius := 0; radius <= 3; radius++ {
+			if g.Gamma(radius) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBallMonotoneQuick(t *testing.T) {
+	// Property: balls grow with the radius and BallSizes agrees with Ball.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		adj := make([][]int, n)
+		for e := 0; e < 2*n; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		g := hypergraph.FromAdjacency(adj)
+		v := r.Intn(n)
+		sizes := g.BallSizes(v, 4)
+		prev := 0
+		for radius := 0; radius <= 4; radius++ {
+			ball := g.Ball(v, radius)
+			if len(ball) != sizes[radius] {
+				return false
+			}
+			if len(ball) < prev {
+				return false
+			}
+			prev = len(ball)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGirth(t *testing.T) {
+	if g := pathGraph(6).Girth(); g != -1 {
+		t.Fatalf("path girth = %d, want -1", g)
+	}
+	if g := cycleGraph(7).Girth(); g != 7 {
+		t.Fatalf("C7 girth = %d, want 7", g)
+	}
+	if g := cycleGraph(12).Girth(); g != 12 {
+		t.Fatalf("C12 girth = %d, want 12", g)
+	}
+	// K4 has girth 3.
+	k4 := hypergraph.FromAdjacency([][]int{{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	if g := k4.Girth(); g != 3 {
+		t.Fatalf("K4 girth = %d, want 3", g)
+	}
+	// Two triangles joined by a long path: still girth 3.
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1, 3}, {2, 4}, {3, 5, 6}, {4, 6}, {4, 5}}
+	if g := hypergraph.FromAdjacency(adj).Girth(); g != 3 {
+		t.Fatalf("girth = %d, want 3", g)
+	}
+	if pathGraph(4).HasCycleShorterThan(100) {
+		t.Fatal("path reported a short cycle")
+	}
+	if !cycleGraph(4).HasCycleShorterThan(5) {
+		t.Fatal("C4 must have a cycle shorter than 5")
+	}
+	if !pathGraph(5).IsForest() {
+		t.Fatal("path is a forest")
+	}
+}
+
+func TestGirthProjectivePlane(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		b, err := gen.ProjectivePlaneIncidence(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := b.Graph().Girth(); g != 6 {
+			t.Fatalf("PG(2,%d) incidence girth = %d, want 6", p, g)
+		}
+	}
+}
+
+func TestBergeAcyclic(t *testing.T) {
+	// A hypertree: hyperedges {0,1,2} and {2,3,4} share one vertex.
+	b := mmlp.NewBuilder(5)
+	b.AddUnitResource(0, 1, 2)
+	b.AddUnitResource(2, 3, 4)
+	in := b.MustBuild()
+	if !hypergraph.BergeAcyclic(in) {
+		t.Fatal("hypertree must be Berge-acyclic")
+	}
+
+	// Two hyperedges sharing two vertices form a Berge cycle.
+	b = mmlp.NewBuilder(3)
+	b.AddUnitResource(0, 1, 2)
+	b.AddUnitResource(0, 1)
+	in = b.MustBuild()
+	if hypergraph.BergeAcyclic(in) {
+		t.Fatal("shared pair must be a Berge cycle")
+	}
+
+	// A loop of three hyperedges each sharing one vertex.
+	b = mmlp.NewBuilder(3)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(1, 2)
+	b.AddUnitResource(2, 0)
+	in = b.MustBuild()
+	if hypergraph.BergeAcyclic(in) {
+		t.Fatal("hyperedge triangle must be a Berge cycle")
+	}
+
+	// Party edges participate too.
+	b = mmlp.NewBuilder(3)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(1, 2)
+	b.AddUniformParty(1, 2, 0)
+	in = b.MustBuild()
+	if hypergraph.BergeAcyclic(in) {
+		t.Fatal("resource-party loop must be a Berge cycle")
+	}
+}
+
+func TestViewEqualityAndDifference(t *testing.T) {
+	build := func(coeff float64) *mmlp.Instance {
+		b := mmlp.NewBuilder(4)
+		b.AddUnitResource(0, 1)
+		b.AddUnitResource(1, 2)
+		b.AddUnitResource(2, 3)
+		b.AddParty(mmlp.Entry{Agent: 3, Coeff: coeff})
+		b.AddUniformParty(1, 0)
+		return b.MustBuild()
+	}
+	a := build(1)
+	bIn := build(2)
+	ga := hypergraph.FromInstance(a, hypergraph.Options{})
+	gb := hypergraph.FromInstance(bIn, hypergraph.Options{})
+	ids := hypergraph.IdentityIDs()
+
+	// Agent 0 at radius 1 cannot see the coefficient change at agent 3.
+	if hypergraph.View(a, ga, 0, 1, ids) != hypergraph.View(bIn, gb, 0, 1, ids) {
+		t.Fatal("radius-1 views of agent 0 should be identical")
+	}
+	// At radius 3 it can.
+	if hypergraph.View(a, ga, 0, 3, ids) == hypergraph.View(bIn, gb, 0, 3, ids) {
+		t.Fatal("radius-3 views of agent 0 should differ")
+	}
+	// Hash agrees with string comparison.
+	if hypergraph.ViewHash(a, ga, 0, 1, ids) != hypergraph.ViewHash(bIn, gb, 0, 1, ids) {
+		t.Fatal("hashes of identical views differ")
+	}
+}
+
+func TestDiameterAndMaxDegree(t *testing.T) {
+	g := pathGraph(5)
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("path diameter = %d, want 4", d)
+	}
+	if d := g.MaxDegree(); d != 2 {
+		t.Fatalf("path max degree = %d, want 2", d)
+	}
+	empty := hypergraph.FromAdjacency(nil)
+	if d := empty.Diameter(); d != -1 {
+		t.Fatalf("empty diameter = %d, want -1", d)
+	}
+}

@@ -1,0 +1,91 @@
+package hypergraph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxminlp/internal/mmlp"
+)
+
+// IDMap translates the dense indices of an instance into stable external
+// identifiers when serializing local views. This lets a view extracted
+// from a sub-instance (such as S' in Section 4.3, which renumbers its
+// agents and constraints) be compared against a view extracted from the
+// parent instance S: the proof of Theorem 1 requires the radius-r views
+// in S and S' to be *identical*, including identifiers.
+type IDMap struct {
+	Agent    func(v int) string
+	Resource func(i int) string
+	Party    func(k int) string
+}
+
+// IdentityIDs is the IDMap that names everything by its dense index.
+func IdentityIDs() IDMap {
+	return IDMap{
+		Agent:    func(v int) string { return fmt.Sprintf("v%d", v) },
+		Resource: func(i int) string { return fmt.Sprintf("i%d", i) },
+		Party:    func(k int) string { return fmt.Sprintf("k%d", k) },
+	}
+}
+
+// RestrictionIDs is the IDMap that names the elements of a sub-instance by
+// their indices in the parent instance.
+func RestrictionIDs(r *mmlp.Restriction) IDMap {
+	return IDMap{
+		Agent:    func(v int) string { return fmt.Sprintf("v%d", r.Agents[v]) },
+		Resource: func(i int) string { return fmt.Sprintf("i%d", r.Resources[i]) },
+		Party:    func(k int) string { return fmt.Sprintf("k%d", r.Parties[k]) },
+	}
+}
+
+// View serializes the radius-r local view of agent v canonically: for
+// every agent u ∈ B_H(v, r) (in order of identifier) the serialization
+// lists u's resource incidences (i, a_iu) and party incidences (k, c_ku),
+// both sorted by identifier. This is exactly the information available to
+// agent v after r communication rounds in the model of Section 1.5: the
+// identities of nearby agents, with whom they compete on which resources
+// and with whom they collaborate for which parties, and the coefficients.
+//
+// Two agents with equal View strings are indistinguishable to any
+// deterministic local algorithm with horizon r.
+func View(in *mmlp.Instance, g *Graph, v, r int, ids IDMap) string {
+	ball := g.Ball(v, r)
+	type agentLine struct {
+		id   string
+		text string
+	}
+	lines := make([]agentLine, 0, len(ball))
+	for _, u := range ball {
+		var sb strings.Builder
+		res := make([]string, 0, len(in.AgentResources(u)))
+		for _, i := range in.AgentResources(u) {
+			res = append(res, fmt.Sprintf("%s=%.17g", ids.Resource(i), in.A(i, u)))
+		}
+		sort.Strings(res)
+		par := make([]string, 0, len(in.AgentParties(u)))
+		for _, k := range in.AgentParties(u) {
+			par = append(par, fmt.Sprintf("%s=%.17g", ids.Party(k), in.C(k, u)))
+		}
+		sort.Strings(par)
+		fmt.Fprintf(&sb, "agent %s R[%s] P[%s]", ids.Agent(u), strings.Join(res, ","), strings.Join(par, ","))
+		lines = append(lines, agentLine{id: ids.Agent(u), text: sb.String()})
+	}
+	sort.Slice(lines, func(a, b int) bool { return lines[a].id < lines[b].id })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "view center=%s r=%d\n", ids.Agent(v), r)
+	for _, l := range lines {
+		sb.WriteString(l.text)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ViewHash returns a short stable digest of View, convenient for
+// comparing many views.
+func ViewHash(in *mmlp.Instance, g *Graph, v, r int, ids IDMap) string {
+	sum := sha256.Sum256([]byte(View(in, g, v, r, ids)))
+	return hex.EncodeToString(sum[:8])
+}

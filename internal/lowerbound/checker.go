@@ -1,0 +1,200 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"maxminlp/internal/hypergraph"
+)
+
+// CheckReport collects the verification of every structural fact the
+// Theorem-1 proof relies on. All fields named *OK must be true for the
+// construction to certify; Errors describes any failures.
+type CheckReport struct {
+	// Girth is the girth of the template graph Q (-1 when acyclic);
+	// GirthOK certifies there is no cycle of fewer than 4r+2 edges.
+	Girth   int
+	GirthOK bool
+
+	// LevelSizesOK certifies |T_p(ℓ)| matches the paper's formula
+	// (dD)^(ℓ/2) resp. (dD)^((ℓ−1)/2)·d.
+	LevelSizesOK bool
+
+	// PairingOK certifies f is a fixed-point-free involution on the
+	// leaves that always crosses between distinct hypertrees.
+	PairingOK bool
+
+	// DeltaSumZero certifies Σ_q δ(q) = 0 for the supplied solution and
+	// DeltaPNonneg that the selected p has δ(p) ≥ 0 (Section 4.3).
+	DeltaSumZero bool
+	DeltaPNonneg bool
+
+	// SPrimeForest certifies the hypergraph of S' is tree-like
+	// (Section 4.4).
+	SPrimeForest bool
+
+	// WitnessFeasibleExact certifies Σ_v a_iv x̂_v = 1 exactly (within
+	// floating tolerance) for every i ∈ I', and WitnessOmega is
+	// min_{k∈K'} Σ_v c_kv x̂_v, which Section 4.5 proves equals 1.
+	WitnessFeasibleExact bool
+	WitnessOmega         float64
+
+	// ViewsChecked counts the agents of T_p whose radius-r views were
+	// compared between S and S'; ViewsIdentical certifies they all match
+	// exactly, identifiers included (Section 4.6).
+	ViewsChecked   int
+	ViewsIdentical bool
+
+	// LevelIdentity4 certifies equation (4) as an identity:
+	// S(2R−1) = δ(p)/2 + ½·Σ_{v∈L_p}(x_v + x_{f(v)}).
+	LevelIdentity4 bool
+	// LevelBound6OK certifies equation (6): S(2j)+S(2j+1) ≤ (dD)^j for
+	// every j, which must hold for any feasible solution of S.
+	LevelBound6OK bool
+
+	Errors []string
+}
+
+// OK reports whether every check passed.
+func (r *CheckReport) OK() bool { return len(r.Errors) == 0 }
+
+func (r *CheckReport) failf(format string, args ...any) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+const checkTol = 1e-9
+
+// Check verifies the full construction against a feasible solution x of S
+// (produced by the local algorithm under attack) and the S' derived from
+// it.
+func (c *Construction) Check(x []float64, sp *SPrime) *CheckReport {
+	r := &CheckReport{}
+
+	// Girth certificate for Q.
+	r.Girth = c.QGraph.Girth()
+	r.GirthOK = r.Girth < 0 || r.Girth >= c.MinCycle()
+	if !r.GirthOK {
+		r.failf("template graph has a cycle of %d < %d edges", r.Girth, c.MinCycle())
+	}
+
+	// Level cardinalities.
+	r.LevelSizesOK = true
+	for level, nodes := range c.Tree.Levels {
+		want := ExpectedLevelSize(c.D1, c.D2, level)
+		if len(nodes) != want {
+			r.LevelSizesOK = false
+			r.failf("level %d has %d nodes, want %d", level, len(nodes), want)
+		}
+	}
+
+	// Pairing f.
+	r.PairingOK = true
+	leafCount := 0
+	for v, f := range c.LeafPartner {
+		if f < 0 {
+			continue
+		}
+		leafCount++
+		switch {
+		case f == v:
+			r.PairingOK = false
+			r.failf("f(%d) = %d is a fixed point", v, v)
+		case c.LeafPartner[f] != v:
+			r.PairingOK = false
+			r.failf("f(f(%d)) = %d ≠ %d", v, c.LeafPartner[f], v)
+		case c.TreeOf[f] == c.TreeOf[v]:
+			r.PairingOK = false
+			r.failf("f(%d) = %d stays within tree %d", v, f, c.TreeOf[v])
+		}
+	}
+	if want := c.Q.NumVertices() * c.Tree.NumLeaves(); leafCount != want {
+		r.PairingOK = false
+		r.failf("pairing covers %d leaves, want %d", leafCount, want)
+	}
+
+	// δ bookkeeping (equation (3)).
+	var deltaSum float64
+	for q := 0; q < c.Q.NumVertices(); q++ {
+		deltaSum += c.Delta(q, x)
+	}
+	r.DeltaSumZero = math.Abs(deltaSum) <= checkTol*float64(len(x)+1)
+	if !r.DeltaSumZero {
+		r.failf("Σ_q δ(q) = %v ≠ 0", deltaSum)
+	}
+	deltaP := c.Delta(sp.P, x)
+	r.DeltaPNonneg = deltaP >= -checkTol
+	if !r.DeltaPNonneg {
+		r.failf("δ(p) = %v < 0 for p = %d", deltaP, sp.P)
+	}
+
+	// S' is tree-like (Section 4.4): Berge-acyclicity of the hypergraph,
+	// i.e. its vertex–hyperedge incidence graph is a forest. (The
+	// 2-section graph trivially has triangles inside every hyperedge of
+	// three or more agents; those are not cycles of the hypergraph.)
+	r.SPrimeForest = hypergraph.BergeAcyclic(sp.Instance())
+	if !r.SPrimeForest {
+		r.failf("hypergraph of S' contains a Berge cycle")
+	}
+
+	// Witness feasibility and value (Section 4.5).
+	sub := sp.Instance()
+	r.WitnessFeasibleExact = true
+	for i := 0; i < sub.NumResources(); i++ {
+		got := sub.ResourceUsage(i, sp.Witness)
+		if math.Abs(got-1) > checkTol {
+			r.WitnessFeasibleExact = false
+			r.failf("witness uses %v of resource %d, want exactly 1", got, i)
+		}
+	}
+	r.WitnessOmega = sub.Objective(sp.Witness)
+	if math.Abs(r.WitnessOmega-1) > checkTol {
+		r.failf("witness achieves ω = %v, want 1", r.WitnessOmega)
+	}
+
+	// Identical radius-r views (Section 4.6).
+	r.ViewsIdentical = true
+	idsS := hypergraph.IdentityIDs()
+	idsSub := hypergraph.RestrictionIDs(sp.Restriction)
+	for _, v := range sp.TreeAgents {
+		local := sp.Restriction.LocalAgent(v)
+		if local < 0 {
+			r.ViewsIdentical = false
+			r.failf("tree agent %d missing from S'", v)
+			continue
+		}
+		viewS := hypergraph.View(c.S, c.H, v, c.LocalHorizon, idsS)
+		viewSub := hypergraph.View(sub, sp.H, local, c.LocalHorizon, idsSub)
+		r.ViewsChecked++
+		if viewS != viewSub {
+			r.ViewsIdentical = false
+			r.failf("radius-%d view of agent %d differs between S and S'", c.LocalHorizon, v)
+		}
+	}
+
+	// Equation (4) as an identity.
+	lhs := c.LevelSum(sp.P, 2*c.R-1, x)
+	var pairSum float64
+	for _, v := range c.LeavesOf[sp.P] {
+		pairSum += x[v] + x[c.LeafPartner[v]]
+	}
+	rhs := deltaP/2 + pairSum/2
+	r.LevelIdentity4 = math.Abs(lhs-rhs) <= checkTol*(1+math.Abs(lhs))
+	if !r.LevelIdentity4 {
+		r.failf("equation (4) identity fails: S(2R−1) = %v vs δ(p)/2 + ½Σ = %v", lhs, rhs)
+	}
+
+	// Equation (6) for the feasible x.
+	r.LevelBound6OK = true
+	for j := 0; j <= c.R-1; j++ {
+		got := c.LevelSum(sp.P, 2*j, x)
+		if 2*j+1 <= 2*c.R-1 {
+			got += c.LevelSum(sp.P, 2*j+1, x)
+		}
+		bound := float64(pow(c.D1*c.D2, j))
+		if got > bound+checkTol*bound {
+			r.LevelBound6OK = false
+			r.failf("equation (6) fails at j=%d: S(2j)+S(2j+1) = %v > (dD)^j = %v", j, got, bound)
+		}
+	}
+	return r
+}

@@ -1,0 +1,255 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// Params configures the Section-4 construction.
+type Params struct {
+	// DeltaVI and DeltaVK are the support-size bounds ΔVI ≥ 2 and
+	// ΔVK ≥ 2 of Theorem 1; the construction uses d = ΔVI−1 and
+	// D = ΔVK−1 and requires d·D > 1.
+	DeltaVI, DeltaVK int
+	// R determines the hypertree height 2R−1; the theorem needs R > r.
+	R int
+	// LocalHorizon is r, the horizon of the local algorithm being fooled;
+	// the template graph must have no cycle of fewer than 4r+2 edges and
+	// S' extends 2r beyond the leaves of T_p.
+	LocalHorizon int
+	// Template optionally supplies the graph Q; when nil, a certified
+	// high-girth regular bipartite graph is generated (deterministically
+	// from a projective plane when the required degree is p+1 for a prime
+	// p and r = 1, randomly with girth rejection otherwise).
+	Template *gen.Bipartite
+	// Rng seeds random template generation; may be nil when Template is
+	// given or a projective plane applies.
+	Rng *rand.Rand
+}
+
+// TheoremBound returns the inapproximability bound of Theorem 1,
+// ΔVI/2 + 1/2 − 1/(2ΔVK−2), below which no local algorithm can
+// approximate the max-min LP. For ΔVK = 2 (D = 1) this is the Corollary 2
+// bound ΔVI/2.
+func (p Params) TheoremBound() float64 {
+	return float64(p.DeltaVI)/2 + 0.5 - 1/(2*float64(p.DeltaVK)-2)
+}
+
+// Degree returns the required regularity of the template graph Q,
+// dᴿ·Dᴿ⁻¹ — also the number of leaves of each hypertree.
+func (p Params) Degree() int {
+	d, D := p.DeltaVI-1, p.DeltaVK-1
+	return pow(d, p.R) * pow(D, p.R-1)
+}
+
+// MinCycle returns the shortest cycle length the template graph must
+// avoid being below: 4r+2.
+func (p Params) MinCycle() int { return 4*p.LocalHorizon + 2 }
+
+// Construction is the instantiated instance S with all bookkeeping needed
+// to derive S' and to check the proof.
+type Construction struct {
+	Params
+	D1, D2 int // d = ΔVI−1 and D = ΔVK−1
+
+	// Q is the template graph; QGraph its distance/girth view.
+	Q      *gen.Bipartite
+	QGraph *hypergraph.Graph
+
+	// Tree is the prototype hypertree (identical for every q ∈ Q).
+	Tree *Hypertree
+
+	// S is the instance and H its communication hypergraph.
+	S *mmlp.Instance
+	H *hypergraph.Graph
+
+	// TreeOf[v] is the Q-vertex whose hypertree contains agent v;
+	// LevelOf[v] is the level of v within its tree.
+	TreeOf  []int
+	LevelOf []int
+	// LeafPartner[v] = f(v) for leaf agents, -1 otherwise (equation (3)'s
+	// pairing permutation).
+	LeafPartner []int
+	// LeavesOf[q] lists the leaf agents of tree q in adjacency order.
+	LeavesOf [][]int
+
+	// PartyType classifies every party of S as TypeII or TypeIII (every
+	// resource is TypeI by construction).
+	PartyType []EdgeType
+}
+
+// agentID maps (tree q, node id within tree) to the global agent index.
+func (c *Construction) agentID(q, node int) int { return q*c.Tree.NumNodes() + node }
+
+// Build constructs the instance S of Section 4.2.
+func Build(p Params) (*Construction, error) {
+	if p.DeltaVI < 2 || p.DeltaVK < 2 {
+		return nil, fmt.Errorf("lowerbound: need ΔVI ≥ 2 and ΔVK ≥ 2, got %d and %d", p.DeltaVI, p.DeltaVK)
+	}
+	d, D := p.DeltaVI-1, p.DeltaVK-1
+	if d*D <= 1 {
+		return nil, fmt.Errorf("lowerbound: need d·D > 1 (ΔVI = ΔVK = 2 yields only the trivial bound)")
+	}
+	if p.LocalHorizon < 1 {
+		return nil, fmt.Errorf("lowerbound: local horizon must be ≥ 1, got %d", p.LocalHorizon)
+	}
+	if p.R <= p.LocalHorizon {
+		return nil, fmt.Errorf("lowerbound: need R > r, got R=%d r=%d", p.R, p.LocalHorizon)
+	}
+
+	c := &Construction{Params: p, D1: d, D2: D}
+	degree := p.Degree()
+	minCycle := p.MinCycle()
+
+	// Template graph Q.
+	switch {
+	case p.Template != nil:
+		if !p.Template.IsRegular(degree) {
+			return nil, fmt.Errorf("lowerbound: template is not %d-regular", degree)
+		}
+		c.Q = p.Template
+	case p.LocalHorizon == 1 && isPrimePlus1(degree):
+		b, err := gen.ProjectivePlaneIncidence(degree - 1)
+		if err != nil {
+			return nil, err
+		}
+		c.Q = b
+	default:
+		// Deterministic for degree ≤ 2 or girth 6 (any degree); random
+		// rejection otherwise, which needs Params.Rng and only succeeds
+		// for small degrees.
+		b, err := gen.RegularBipartiteWithGirth(degree, minCycle, 0, p.Rng)
+		if err != nil {
+			return nil, err
+		}
+		c.Q = b
+	}
+	c.QGraph = c.Q.Graph()
+	if g := c.QGraph.Girth(); g >= 0 && g < minCycle {
+		return nil, fmt.Errorf("lowerbound: template graph has a cycle of %d < %d edges", g, minCycle)
+	}
+
+	// One hypertree per Q-vertex.
+	c.Tree = NewHypertree(d, D, 2*p.R-1)
+	if c.Tree.NumLeaves() != degree {
+		return nil, fmt.Errorf("lowerbound: hypertree has %d leaves, want %d", c.Tree.NumLeaves(), degree)
+	}
+	nQ := c.Q.NumVertices()
+	nAgents := nQ * c.Tree.NumNodes()
+
+	c.TreeOf = make([]int, nAgents)
+	c.LevelOf = make([]int, nAgents)
+	c.LeafPartner = make([]int, nAgents)
+	for v := range c.LeafPartner {
+		c.LeafPartner[v] = -1
+	}
+	for q := 0; q < nQ; q++ {
+		for node := 0; node < c.Tree.NumNodes(); node++ {
+			v := c.agentID(q, node)
+			c.TreeOf[v] = q
+			c.LevelOf[v] = c.Tree.Level[node]
+		}
+	}
+
+	// Associate the leaves of tree q with the edges of Q at q, in
+	// adjacency-list order, and derive the pairing f.
+	c.LeavesOf = make([][]int, nQ)
+	for q := 0; q < nQ; q++ {
+		leaves := c.Tree.Leaves()
+		c.LeavesOf[q] = make([]int, len(leaves))
+		for idx, node := range leaves {
+			c.LeavesOf[q][idx] = c.agentID(q, node)
+		}
+	}
+	for q := 0; q < nQ; q++ {
+		for idx, w := range c.QGraph.Neighbors(q) {
+			v := c.LeavesOf[q][idx]
+			back := indexOf(c.QGraph.Neighbors(w), q)
+			c.LeafPartner[v] = c.LeavesOf[w][back]
+		}
+	}
+
+	// Assemble the instance.
+	b := mmlp.NewBuilder(nAgents)
+	for q := 0; q < nQ; q++ {
+		for _, edge := range c.Tree.EdgesI {
+			agents := make([]int, len(edge))
+			for j, node := range edge {
+				agents[j] = c.agentID(q, node)
+			}
+			b.AddUnitResource(agents...)
+		}
+	}
+	for q := 0; q < nQ; q++ {
+		for _, edge := range c.Tree.EdgesII {
+			agents := make([]int, len(edge))
+			for j, node := range edge {
+				agents[j] = c.agentID(q, node)
+			}
+			b.AddUniformParty(1/float64(D), agents...)
+			c.PartyType = append(c.PartyType, TypeII)
+		}
+	}
+	for v, f := range c.LeafPartner {
+		if f >= 0 && v < f { // each pair once
+			b.AddUniformParty(1, v, f)
+			c.PartyType = append(c.PartyType, TypeIII)
+		}
+	}
+	in, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: assembling S: %w", err)
+	}
+	c.S = in
+	c.H = hypergraph.FromInstance(in, hypergraph.Options{})
+	return c, nil
+}
+
+func isPrimePlus1(degree int) bool {
+	p := degree - 1
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(xs []int, x int) int {
+	for j, v := range xs {
+		if v == x {
+			return j
+		}
+	}
+	panic(fmt.Sprintf("lowerbound: %d not in %v", x, xs))
+}
+
+// Delta computes δ(q) = Σ_{v∈Lq} (x_v − x_{f(v)}) of equation (3) for a
+// solution x of S.
+func (c *Construction) Delta(q int, x []float64) float64 {
+	var s float64
+	for _, v := range c.LeavesOf[q] {
+		s += x[v] - x[c.LeafPartner[v]]
+	}
+	return s
+}
+
+// SelectP returns the Q-vertex p maximising δ(p) (ties broken towards the
+// smallest index). The proof only needs δ(p) ≥ 0, which always holds for
+// the maximiser because Σ_q δ(q) = 0.
+func (c *Construction) SelectP(x []float64) (p int, delta float64) {
+	p, delta = 0, c.Delta(0, x)
+	for q := 1; q < c.Q.NumVertices(); q++ {
+		if dq := c.Delta(q, x); dq > delta {
+			p, delta = q, dq
+		}
+	}
+	return p, delta
+}

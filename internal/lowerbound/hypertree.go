@@ -1,0 +1,135 @@
+// Package lowerbound implements the adversarial construction of Section 4
+// of the paper, which proves Theorem 1: no local algorithm approximates
+// max-min LPs within less than ΔVI/2 + 1/2 − 1/(2ΔVK − 2).
+//
+// The construction has three layers:
+//
+//  1. a template graph Q — a dᴿDᴿ⁻¹-regular bipartite graph with no cycle
+//     of fewer than 4r+2 edges (package gen supplies both certified random
+//     samples and deterministic projective-plane incidence graphs);
+//  2. one complete (d, D)-ary hypertree of height 2R−1 per vertex of Q,
+//     whose leaves are matched across trees along the edges of Q
+//     (hyperedge types I, II and III of Figure 1);
+//  3. the derived instances S (the full construction) and S' (the
+//     restriction around a tree T_p with δ(p) ≥ 0, Section 4.3).
+//
+// A Checker verifies every structural fact the proof relies on: the girth
+// certificate, the tree-likeness of S', the feasible witness x̂ with
+// ω = 1, the identity of radius-r views in S and S', and the level-sum
+// inequalities (3)–(6).
+package lowerbound
+
+import "fmt"
+
+// EdgeType distinguishes the three hyperedge types of the construction.
+type EdgeType int8
+
+const (
+	// TypeI hyperedges join a node at an even level to its d children;
+	// they become resources with a_iv = 1.
+	TypeI EdgeType = iota
+	// TypeII hyperedges join a node at an odd level to its D children;
+	// they become beneficiary parties with c_kv = 1/D.
+	TypeII
+	// TypeIII hyperedges pair leaves of different hypertrees along the
+	// edges of Q; they become parties with c_kv = 1.
+	TypeIII
+)
+
+func (t EdgeType) String() string {
+	switch t {
+	case TypeI:
+		return "I"
+	case TypeII:
+		return "II"
+	case TypeIII:
+		return "III"
+	}
+	return fmt.Sprintf("EdgeType(%d)", int(t))
+}
+
+// Hypertree is a complete (d, D)-ary hypertree of height h (Section 4.2):
+// starting from a single root at level 0, every node at an even level
+// ℓ < h sprouts a type-I hyperedge with d new children, and every node at
+// an odd level ℓ < h sprouts a type-II hyperedge with D new children.
+type Hypertree struct {
+	D1, D2 int // d and D
+	Height int
+
+	// Levels[ℓ] lists the node ids at level ℓ (ids are 0..NumNodes-1 in
+	// creation order; the root is 0).
+	Levels [][]int
+	// Parent[v] is v's parent node, -1 for the root.
+	Parent []int
+	// Level[v] is the level of node v.
+	Level []int
+	// EdgesI and EdgesII list the hyperedges: each entry is the parent
+	// followed by its children.
+	EdgesI  [][]int
+	EdgesII [][]int
+}
+
+// NewHypertree builds the complete (d, D)-ary hypertree of the given
+// height. Height 0 is a single root with no edges.
+func NewHypertree(d, D, height int) *Hypertree {
+	if d < 1 || D < 1 || height < 0 {
+		panic(fmt.Sprintf("lowerbound: invalid hypertree parameters d=%d D=%d height=%d", d, D, height))
+	}
+	t := &Hypertree{D1: d, D2: D, Height: height}
+	t.Levels = append(t.Levels, []int{0})
+	t.Parent = append(t.Parent, -1)
+	t.Level = append(t.Level, 0)
+	next := 1
+	for h := 1; h <= height; h++ {
+		parentLevel := h - 1
+		fan := d
+		if parentLevel%2 == 1 {
+			fan = D
+		}
+		var level []int
+		for _, p := range t.Levels[parentLevel] {
+			edge := []int{p}
+			for c := 0; c < fan; c++ {
+				v := next
+				next++
+				t.Parent = append(t.Parent, p)
+				t.Level = append(t.Level, h)
+				level = append(level, v)
+				edge = append(edge, v)
+			}
+			if parentLevel%2 == 0 {
+				t.EdgesI = append(t.EdgesI, edge)
+			} else {
+				t.EdgesII = append(t.EdgesII, edge)
+			}
+		}
+		t.Levels = append(t.Levels, level)
+	}
+	return t
+}
+
+// NumNodes returns the total node count.
+func (t *Hypertree) NumNodes() int { return len(t.Parent) }
+
+// NumLeaves returns the number of nodes at the deepest level.
+func (t *Hypertree) NumLeaves() int { return len(t.Levels[t.Height]) }
+
+// Leaves returns the node ids at the deepest level, in creation order.
+func (t *Hypertree) Leaves() []int { return t.Levels[t.Height] }
+
+// ExpectedLevelSize returns the level cardinality formula of the paper:
+// (dD)^(ℓ/2) for even ℓ and (dD)^((ℓ−1)/2)·d for odd ℓ.
+func ExpectedLevelSize(d, D, level int) int {
+	if level%2 == 0 {
+		return pow(d*D, level/2)
+	}
+	return pow(d*D, (level-1)/2) * d
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for e := 0; e < exp; e++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maxminlp/internal/core"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/lp"
+)
+
+func buildOrSkip(t *testing.T, p Params) *Construction {
+	t.Helper()
+	c, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHypertreeShape(t *testing.T) {
+	for _, tc := range []struct{ d, D, height int }{
+		{2, 1, 3}, {2, 2, 3}, {3, 2, 5}, {1, 2, 3},
+	} {
+		tr := NewHypertree(tc.d, tc.D, tc.height)
+		for level := 0; level <= tc.height; level++ {
+			want := ExpectedLevelSize(tc.d, tc.D, level)
+			if got := len(tr.Levels[level]); got != want {
+				t.Fatalf("(d=%d,D=%d) level %d: %d nodes, want %d", tc.d, tc.D, level, got, want)
+			}
+		}
+		// Every non-root node has a parent at the previous level.
+		for v := 1; v < tr.NumNodes(); v++ {
+			p := tr.Parent[v]
+			if p < 0 || tr.Level[p] != tr.Level[v]-1 {
+				t.Fatalf("node %d at level %d has parent %d at level %d", v, tr.Level[v], p, tr.Level[p])
+			}
+		}
+		// Edge fan-outs: type I edges have d children, type II have D.
+		for _, e := range tr.EdgesI {
+			if len(e) != tc.d+1 {
+				t.Fatalf("type I edge has %d members, want %d", len(e), tc.d+1)
+			}
+		}
+		for _, e := range tr.EdgesII {
+			if len(e) != tc.D+1 {
+				t.Fatalf("type II edge has %d members, want %d", len(e), tc.D+1)
+			}
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Params{
+		{DeltaVI: 1, DeltaVK: 2, R: 2, LocalHorizon: 1, Rng: rng},
+		{DeltaVI: 2, DeltaVK: 2, R: 2, LocalHorizon: 1, Rng: rng}, // dD = 1
+		{DeltaVI: 3, DeltaVK: 2, R: 1, LocalHorizon: 1, Rng: rng}, // R ≤ r
+		{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 0, Rng: rng},
+	}
+	for i, p := range bad {
+		if _, err := Build(p); err == nil {
+			t.Fatalf("case %d: Build accepted invalid params %+v", i, p)
+		}
+	}
+}
+
+func TestTheoremBound(t *testing.T) {
+	p := Params{DeltaVI: 3, DeltaVK: 2}
+	if got := p.TheoremBound(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("ΔVI=3, ΔVK=2: bound %v, want 1.5 (Corollary 2: ΔVI/2)", got)
+	}
+	p = Params{DeltaVI: 4, DeltaVK: 3}
+	want := 2.0 + 0.5 - 0.25
+	if got := p.TheoremBound(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ΔVI=4, ΔVK=3: bound %v, want %v", got, want)
+	}
+}
+
+// fullCheck builds the construction, runs the safe algorithm on S to pick
+// p, derives S', and runs the complete proof checker.
+func fullCheck(t *testing.T, params Params) (*Construction, *SPrime, *CheckReport) {
+	t.Helper()
+	c := buildOrSkip(t, params)
+	x := core.Safe(c.S)
+	if v := c.S.Violation(x); v > 1e-9 {
+		t.Fatalf("safe solution infeasible on S: violation %v", v)
+	}
+	sp, err := c.DeriveSPrime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Check(x, sp)
+	if !rep.OK() {
+		t.Fatalf("proof checks failed:\n%v", rep.Errors)
+	}
+	return c, sp, rep
+}
+
+func TestConstructionCorollary2Case(t *testing.T) {
+	// ΔVI = 3, ΔVK = 2 (d = 2, D = 1): the Corollary-2 setting with 0/1
+	// coefficients; template degree d^R D^(R-1) = 4 → projective plane
+	// over GF(3).
+	c, sp, rep := fullCheck(t, Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1})
+	if c.Q.NumVertices() != 2*13 {
+		t.Fatalf("template has %d vertices, want 26 (PG(2,3))", c.Q.NumVertices())
+	}
+	if rep.Girth != 6 {
+		t.Fatalf("PG(2,3) incidence girth = %d, want 6", rep.Girth)
+	}
+	if got, want := c.S.NumAgents(), 26*c.Tree.NumNodes(); got != want {
+		t.Fatalf("S has %d agents, want %d", got, want)
+	}
+	deg := c.S.Degrees()
+	if deg.MaxVI != 3 || deg.MaxVK != 2 || deg.MaxIV != 1 || deg.MaxKV != 1 {
+		t.Fatalf("degree bounds %+v violate the theorem restrictions (ΔVI=3, ΔVK=2, ΔIV=1, ΔKV=1)", deg)
+	}
+	if sp.Instance().NumAgents() >= c.S.NumAgents() {
+		t.Fatal("S' should be strictly smaller than S")
+	}
+}
+
+func TestConstructionTheorem1Case(t *testing.T) {
+	// ΔVI = ΔVK = 3 (d = D = 2): template degree 8 → PG(2,7).
+	c, _, rep := fullCheck(t, Params{DeltaVI: 3, DeltaVK: 3, R: 2, LocalHorizon: 1})
+	deg := c.S.Degrees()
+	if deg.MaxVI != 3 || deg.MaxVK != 3 || deg.MaxIV != 1 || deg.MaxKV != 1 {
+		t.Fatalf("degree bounds %+v, want ΔVI=3, ΔVK=3, ΔIV=1, ΔKV=1", deg)
+	}
+	if rep.ViewsChecked != c.Tree.NumNodes() {
+		t.Fatalf("checked %d views, want %d (all of T_p)", rep.ViewsChecked, c.Tree.NumNodes())
+	}
+}
+
+func TestConstructionRandomTemplate(t *testing.T) {
+	// ΔVI = 2, ΔVK = 3 (d = 1, D = 2): degree 1^2·2 = 2; no projective
+	// plane of order 1, so the random generator with girth rejection runs.
+	rng := rand.New(rand.NewSource(5))
+	fullCheck(t, Params{DeltaVI: 2, DeltaVK: 3, R: 2, LocalHorizon: 1, Rng: rng})
+}
+
+func TestSafeRatioOnSPrimeMeetsCorollaryBound(t *testing.T) {
+	// Corollary 2 (D = 1): the measured ratio of the safe algorithm on S'
+	// must be at least ΔVI/2: the type-III parties receive 2/ΔVI from the
+	// safe solution while ω*(S') ≥ 1.
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	x := core.Safe(c.S)
+	sp, err := c.DeriveSPrime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The safe algorithm is local with horizon 1 ≤ r, so its choices on
+	// the agents of T_p coincide in S and S'. Run it directly on S'.
+	xPrime := core.Safe(sp.Instance())
+	got := sp.Instance().Objective(xPrime)
+	opt, err := lp.SolveMaxMin(sp.Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Omega < 1-1e-9 {
+		t.Fatalf("ω*(S') = %v < 1 contradicts the witness", opt.Omega)
+	}
+	ratio := opt.Omega / got
+	if bound := float64(params.DeltaVI) / 2; ratio < bound-1e-6 {
+		t.Fatalf("measured safe ratio %v < Corollary-2 bound %v", ratio, bound)
+	}
+}
+
+func TestSafeAgreesOnTreeAgentsBetweenSAndSPrime(t *testing.T) {
+	// The defining consequence of identical views: a deterministic local
+	// algorithm makes the same choice for T_p agents in S and S'.
+	params := Params{DeltaVI: 3, DeltaVK: 3, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	xS := core.Safe(c.S)
+	sp, err := c.DeriveSPrime(xS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPrime := core.Safe(sp.Instance())
+	for _, v := range sp.TreeAgents {
+		local := sp.Restriction.LocalAgent(v)
+		if xS[v] != xPrime[local] {
+			t.Fatalf("agent %d: safe chooses %v in S but %v in S'", v, xS[v], xPrime[local])
+		}
+	}
+}
+
+func TestDeltaSelection(t *testing.T) {
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	// A biased solution: tree 0's leaves get 1, everything else 0. Then
+	// δ(0) = #leaves > 0 and every neighbour tree w of 0 has δ(w) < 0.
+	x := make([]float64, c.S.NumAgents())
+	for _, v := range c.LeavesOf[0] {
+		x[v] = 1
+	}
+	p, delta := c.SelectP(x)
+	if p != 0 {
+		t.Fatalf("SelectP chose %d, want 0", p)
+	}
+	if want := float64(len(c.LeavesOf[0])); delta != want {
+		t.Fatalf("δ(0) = %v, want %v", delta, want)
+	}
+	var sum float64
+	for q := 0; q < c.Q.NumVertices(); q++ {
+		sum += c.Delta(q, x)
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("Σδ = %v ≠ 0", sum)
+	}
+}
+
+func TestSPrimeHasUnconstrainedBoundary(t *testing.T) {
+	// S' genuinely contains agents with Iv = ∅ near its boundary — the
+	// degenerate case the paper's general assumptions exclude but its own
+	// construction requires. This documents why RestrictKeepAll exists.
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	sp, err := c.BuildSPrime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := sp.Instance()
+	unconstrained := 0
+	for v := 0; v < sub.NumAgents(); v++ {
+		if len(sub.AgentResources(v)) == 0 {
+			unconstrained++
+		}
+	}
+	if unconstrained == 0 {
+		t.Skip("no unconstrained boundary agents for these parameters")
+	}
+	if !sub.AllowsUnconstrained() {
+		t.Fatal("S' must be built with AllowUnconstrained")
+	}
+}
+
+func TestExactWitness(t *testing.T) {
+	for _, params := range []Params{
+		{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}, // D = 1
+		{DeltaVI: 3, DeltaVK: 3, R: 2, LocalHorizon: 1}, // D = 2
+		{DeltaVI: 2, DeltaVK: 4, R: 2, LocalHorizon: 1}, // D = 3: 1/3 is not a binary fraction
+	} {
+		params.Rng = rand.New(rand.NewSource(1))
+		c := buildOrSkip(t, params)
+		sp, err := c.BuildSPrime(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.CheckWitnessExact(sp)
+		if !rep.OK() {
+			t.Fatalf("ΔVK=%d: %v", params.DeltaVK, rep)
+		}
+	}
+}
+
+func TestDeriveSPrimeFromAverageSolution(t *testing.T) {
+	// The δ-selection machinery must work for any feasible solution, not
+	// just the symmetric safe one. Local averaging with R = 1 produces an
+	// asymmetric solution on S.
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	g := c.H
+	avg, err := core.LocalAverage(c.S, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.S.Violation(avg.X); v > 1e-9 {
+		t.Fatalf("average solution infeasible on S: %v", v)
+	}
+	sp, err := c.DeriveSPrime(avg.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Check(avg.X, sp)
+	if !rep.OK() {
+		t.Fatalf("checks failed for average-derived S': %v", rep.Errors)
+	}
+}
+
+func TestBuildSPrimeRejectsBadP(t *testing.T) {
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	if _, err := c.BuildSPrime(-1); err == nil {
+		t.Fatal("negative p must fail")
+	}
+	if _, err := c.BuildSPrime(c.Q.NumVertices()); err == nil {
+		t.Fatal("out-of-range p must fail")
+	}
+	if _, err := c.DeriveSPrime([]float64{1}); err == nil {
+		t.Fatal("wrong-length solution must fail")
+	}
+}
+
+func TestSPrimeWorksForEveryP(t *testing.T) {
+	// The construction is symmetric: S' must check out regardless of
+	// which tree is selected.
+	params := Params{DeltaVI: 2, DeltaVK: 3, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	x := core.Safe(c.S)
+	for p := 0; p < c.Q.NumVertices(); p += 5 {
+		sp, err := c.BuildSPrime(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.Check(x, sp)
+		if !rep.OK() {
+			t.Fatalf("p=%d: %v", p, rep.Errors)
+		}
+	}
+}
+
+func TestCustomTemplate(t *testing.T) {
+	// A caller-supplied template must be validated for regularity and
+	// girth.
+	tmpl, err := gen.LongCycleBipartite(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{DeltaVI: 2, DeltaVK: 3, R: 2, LocalHorizon: 1, Template: tmpl}
+	c := buildOrSkip(t, params)
+	if c.Q.NumVertices() != 12 {
+		t.Fatalf("template not used: %d vertices", c.Q.NumVertices())
+	}
+	// Wrong degree must be rejected.
+	wrong, err := gen.GirthSixBipartite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Params{DeltaVI: 2, DeltaVK: 3, R: 2, LocalHorizon: 1, Template: wrong}); err == nil {
+		t.Fatal("wrong-degree template must fail")
+	}
+	// Short-girth template must be rejected: C4 for r=1 needs ≥ 6.
+	short, err := gen.LongCycleBipartite(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Params{DeltaVI: 2, DeltaVK: 3, R: 2, LocalHorizon: 1, Template: short}); err == nil {
+		t.Fatal("low-girth template must fail")
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	var buf strings.Builder
+	c.RenderFigure1(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1", "template graph Q", "type I below", "type III hyperedges", "girth 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	sp, err := c.BuildSPrime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	sp.RenderSPrime(&buf, c)
+	if !strings.Contains(buf.String(), "witness x̂") {
+		t.Fatalf("S' render missing witness line:\n%s", buf.String())
+	}
+}
+
+func TestExactWitnessDetectsCorruption(t *testing.T) {
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	sp, err := c.BuildSPrime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one witness entry: either a resource stops summing to 1 or a
+	// party loses its even-count; either way the exact checker must
+	// object and name a culprit.
+	for v := range sp.Witness {
+		if sp.Witness[v] == 1 {
+			sp.Witness[v] = 0
+			break
+		}
+	}
+	rep := c.CheckWitnessExact(sp)
+	if rep.OK() {
+		t.Fatal("exact checker accepted a corrupted witness")
+	}
+	if rep.String() == "" || (rep.FailedResource < 0 && rep.FailedParty < 0) {
+		t.Fatalf("report does not name a culprit: %+v", rep)
+	}
+}
+
+func TestCheckReportListsFailures(t *testing.T) {
+	params := Params{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c := buildOrSkip(t, params)
+	x := core.Safe(c.S)
+	sp, err := c.DeriveSPrime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An infeasible "solution" violates the level-sum relation (6), which
+	// holds for every feasible x; the checker must flag it.
+	bad := make([]float64, len(x))
+	for v := range bad {
+		bad[v] = 10
+	}
+	rep := c.Check(bad, sp)
+	if rep.LevelBound6OK {
+		t.Fatal("equation (6) accepted an infeasible solution")
+	}
+	if rep.OK() {
+		t.Fatal("report claims OK despite failures")
+	}
+}

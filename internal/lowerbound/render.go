@@ -1,0 +1,87 @@
+package lowerbound
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFigure1 writes an ASCII rendition of the paper's Figure 1 for
+// this construction: the template graph Q, one complete (d,D)-ary
+// hypertree with its type-I and type-II hyperedges level by level, and
+// the type-III pairing of leaves along the edges of Q.
+func (c *Construction) RenderFigure1(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1 — construction of S  (d=%d, D=%d, r=%d, R=%d)\n\n", c.D1, c.D2, c.LocalHorizon, c.R)
+	fmt.Fprintf(w, "(a) template graph Q: %d-regular bipartite, %d+%d vertices, girth %d (no cycle of < %d edges)\n",
+		c.Params.Degree(), c.Q.Left, c.Q.Right, c.QGraph.Girth(), c.MinCycle())
+	fmt.Fprintf(w, "    vertex 0 — leaves of T_0 pair with trees %v\n\n", c.QGraph.Neighbors(0))
+
+	fmt.Fprintf(w, "(b) one complete (%d,%d)-ary hypertree of height %d (%d nodes, %d leaves):\n",
+		c.D1, c.D2, 2*c.R-1, c.Tree.NumNodes(), c.Tree.NumLeaves())
+	for level, nodes := range c.Tree.Levels {
+		kind := ""
+		switch {
+		case level == 0:
+			kind = "root"
+		case level == 2*c.R-1:
+			kind = "leaves"
+		}
+		edge := ""
+		if level < 2*c.R-1 {
+			if level%2 == 0 {
+				edge = fmt.Sprintf("— type I below (resource, %d+%d agents, a=1)", 1, c.D1)
+			} else {
+				edge = fmt.Sprintf("— type II below (party, %d+%d agents, c=1/%d)", 1, c.D2, c.D2)
+			}
+		}
+		fmt.Fprintf(w, "    level %d: %3d node(s) %-7s %s\n", level, len(nodes), kind, edge)
+	}
+
+	fmt.Fprintf(w, "\n(c) type III hyperedges (parties, 2 agents, c=1) pair leaves across trees:\n")
+	shown := 0
+	for v, f := range c.LeafPartner {
+		if f >= 0 && v < f && shown < 4 {
+			fmt.Fprintf(w, "    {agent %d (tree %d), agent %d (tree %d)}\n", v, c.TreeOf[v], f, c.TreeOf[f])
+			shown++
+		}
+	}
+	total := 0
+	for v, f := range c.LeafPartner {
+		if f >= 0 && v < f {
+			total++
+		}
+	}
+	if total > shown {
+		fmt.Fprintf(w, "    ... %d pairs in total (one per edge of Q)\n", total)
+	}
+	fmt.Fprintf(w, "\nS: %s\n", c.S.Stats())
+}
+
+// RenderSPrime sketches the restricted instance S' of Section 4.3 and its
+// parity witness, highlighting the grey/black distinction of Figure 1(c):
+// grey = kept in S', black = witness value 1.
+func (sp *SPrime) RenderSPrime(w io.Writer, c *Construction) {
+	sub := sp.Instance()
+	fmt.Fprintf(w, "S' around T_%d: %s\n", sp.P, sub.Stats())
+	ones := 0
+	for _, x := range sp.Witness {
+		if x == 1 {
+			ones++
+		}
+	}
+	fmt.Fprintf(w, "witness x̂: %d of %d agents at 1 (even distance from the root), ω(x̂) = %s\n",
+		ones, sub.NumAgents(), trimFloat(sub.Objective(sp.Witness)))
+	unconstrained := 0
+	for v := 0; v < sub.NumAgents(); v++ {
+		if len(sub.AgentResources(v)) == 0 {
+			unconstrained++
+		}
+	}
+	fmt.Fprintf(w, "boundary agents with Iv = ∅: %d (the degenerate case S' genuinely needs)\n", unconstrained)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.6f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

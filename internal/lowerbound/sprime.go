@@ -1,0 +1,104 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// SPrime is the restricted instance S' of Section 4.3, built around the
+// hypertree T_p of a vertex p with δ(p) ≥ 0.
+type SPrime struct {
+	P int // the chosen Q-vertex
+	// Restriction maps the sub-instance back to S; Restriction.Sub is S'.
+	Restriction *mmlp.Restriction
+	// H is the communication hypergraph of S'.
+	H *hypergraph.Graph
+	// TreeAgents lists the agents of T_p (in S's numbering).
+	TreeAgents []int
+	// Root is S's agent index of the root node of T_p.
+	Root int
+	// Witness is the feasible solution x̂ of Section 4.5 (indexed by S'
+	// local agent indices): x̂_v = 1 iff d_{H'}(root, v) is even.
+	Witness []float64
+}
+
+// Instance returns the sub-instance S'.
+func (sp *SPrime) Instance() *mmlp.Instance { return sp.Restriction.Sub }
+
+// BuildSPrime derives S' for the given Q-vertex p: the agent set is
+// V' = T_p ∪ ⋃_{u∈L_p} B_H(u, 2r), the resources are I' = {i : Vi ⊆ V'}
+// and the parties K' = {k : Vk ⊆ V'}, with all coefficients and
+// identifiers inherited from S. It also computes the parity witness x̂.
+func (c *Construction) BuildSPrime(p int) (*SPrime, error) {
+	if p < 0 || p >= c.Q.NumVertices() {
+		return nil, fmt.Errorf("lowerbound: p=%d out of range [0,%d)", p, c.Q.NumVertices())
+	}
+	treeSize := c.Tree.NumNodes()
+	agents := make([]int, 0, treeSize)
+	for node := 0; node < treeSize; node++ {
+		agents = append(agents, c.agentID(p, node))
+	}
+	treeAgents := append([]int(nil), agents...)
+	for _, leaf := range c.LeavesOf[p] {
+		agents = append(agents, c.H.Ball(leaf, 2*c.LocalHorizon)...)
+	}
+	restr := c.S.RestrictKeepAll(agents)
+
+	sp := &SPrime{
+		P:           p,
+		Restriction: restr,
+		H:           hypergraph.FromInstance(restr.Sub, hypergraph.Options{}),
+		TreeAgents:  treeAgents,
+		Root:        c.agentID(p, 0),
+	}
+
+	// Parity witness x̂ (Section 4.5): 1 on even distances from the root
+	// of T_p, 0 on odd ones; agents unreachable from the root (possible
+	// only outside every kept hyperedge) get 0.
+	rootLocal := restr.LocalAgent(sp.Root)
+	if rootLocal < 0 {
+		return nil, fmt.Errorf("lowerbound: root of T_%d missing from S'", p)
+	}
+	dist := sp.H.DistancesFrom(rootLocal)
+	sp.Witness = make([]float64, len(dist))
+	for v, dv := range dist {
+		if dv >= 0 && dv%2 == 0 {
+			sp.Witness[v] = 1
+		}
+	}
+	return sp, nil
+}
+
+// DeriveSPrime applies a solution of S (typically produced by the local
+// algorithm under attack) to select p via equation (3) and builds S'.
+func (c *Construction) DeriveSPrime(xOnS []float64) (*SPrime, error) {
+	if len(xOnS) != c.S.NumAgents() {
+		return nil, fmt.Errorf("lowerbound: solution has %d entries, S has %d agents", len(xOnS), c.S.NumAgents())
+	}
+	p, delta := c.SelectP(xOnS)
+	if delta < 0 {
+		return nil, fmt.Errorf("lowerbound: internal error: max δ(p) = %v < 0 contradicts Σδ = 0", delta)
+	}
+	return c.BuildSPrime(p)
+}
+
+// RestrictSolution projects a solution of S onto the agents of S'.
+func (sp *SPrime) RestrictSolution(xOnS []float64) []float64 {
+	out := make([]float64, len(sp.Restriction.Agents))
+	for local, parent := range sp.Restriction.Agents {
+		out[local] = xOnS[parent]
+	}
+	return out
+}
+
+// LevelSum computes S(ℓ) = Σ_{v∈T_p(ℓ)} x_v for a solution of S
+// (equation preceding (4) in Section 4.6).
+func (c *Construction) LevelSum(p, level int, xOnS []float64) float64 {
+	var s float64
+	for _, node := range c.Tree.Levels[level] {
+		s += xOnS[c.agentID(p, node)]
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"maxminlp/internal/mmlp"
+)
+
+// SolveMaxMinBisect solves the max-min LP by bisection on ω: for a fixed
+// candidate ω the system {Ax ≤ 1, Cx ≥ ω·1, x ≥ 0} is a pure feasibility
+// question answered by a phase-1 LP. This is an algorithmically
+// independent route to the optimum — no ω variable, no shared pivoting
+// path with SolveMaxMin — which the tests use to triangulate the simplex
+// front-ends: two unrelated solvers agreeing to tolerance is strong
+// evidence against a systematic formulation bug.
+//
+// The search bracket is [0, min_k Σ_v c_kv·cap_v] where cap_v is the safe
+// per-variable capacity min_i 1/a_iv; bisection runs until the bracket is
+// narrower than tol. The returned X is the feasible point found at the
+// final lower bound.
+func SolveMaxMinBisect(in *mmlp.Instance, tol float64) (MaxMinResult, error) {
+	if tol <= 0 {
+		return MaxMinResult{}, fmt.Errorf("lp: bisection tolerance must be positive, got %v", tol)
+	}
+	n := in.NumAgents()
+	if in.NumParties() == 0 {
+		return MaxMinResult{X: make([]float64, n), Omega: math.Inf(1)}, nil
+	}
+
+	// Upper bound on ω: every variable is individually capped by its
+	// tightest resource (cap_v = min_i 1/a_iv), so no party can receive
+	// more than Σ c_kv·cap_v.
+	cap := make([]float64, n)
+	for v := 0; v < n; v++ {
+		cap[v] = math.Inf(1)
+		for _, i := range in.AgentResources(v) {
+			cap[v] = math.Min(cap[v], 1/in.A(i, v))
+		}
+		if math.IsInf(cap[v], 1) {
+			cap[v] = 0 // unconstrained agents contribute no finite cap; see below
+		}
+	}
+	hi := math.Inf(1)
+	for k := 0; k < in.NumParties(); k++ {
+		var sum float64
+		unbounded := false
+		for _, e := range in.Party(k) {
+			if len(in.AgentResources(e.Agent)) == 0 {
+				unbounded = true
+				break
+			}
+			sum += e.Coeff * cap[e.Agent]
+		}
+		if !unbounded {
+			hi = math.Min(hi, sum)
+		}
+	}
+	if math.IsInf(hi, 1) {
+		return MaxMinResult{}, fmt.Errorf("lp: every party touches an unconstrained agent; ω is unbounded")
+	}
+
+	feasible := func(omega float64) ([]float64, bool, error) {
+		cons := make([]Constraint, 0, in.NumResources()+in.NumParties())
+		for i := 0; i < in.NumResources(); i++ {
+			row := make([]float64, n)
+			for _, e := range in.Resource(i) {
+				row[e.Agent] = e.Coeff
+			}
+			cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: 1})
+		}
+		for k := 0; k < in.NumParties(); k++ {
+			row := make([]float64, n)
+			for _, e := range in.Party(k) {
+				row[e.Agent] = e.Coeff
+			}
+			cons = append(cons, Constraint{Coeffs: row, Rel: GE, RHS: omega})
+		}
+		sol, err := Solve(&Problem{Obj: make([]float64, n), Constraints: cons})
+		if err != nil {
+			return nil, false, err
+		}
+		return sol.X, sol.Status == Optimal, nil
+	}
+
+	lo := 0.0
+	xBest := make([]float64, n)
+	pivots := 0
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		x, ok, err := feasible(mid)
+		if err != nil {
+			return MaxMinResult{}, err
+		}
+		if ok {
+			lo = mid
+			xBest = x
+		} else {
+			hi = mid
+		}
+		pivots++
+		if pivots > 200 {
+			break // bracket cannot shrink further in float64
+		}
+	}
+	// The phase-1 feasibility point can overshoot resource capacities by
+	// round-off. Clamp stray negatives to zero (harmless: coefficients
+	// are nonnegative), then scale the whole vector by 1/(1+v) — the
+	// resource rows are homogeneous packing rows, so scaling restores
+	// strict feasibility at a negligible objective cost.
+	for i := range xBest {
+		if xBest[i] < 0 {
+			xBest[i] = 0
+		}
+	}
+	if v := in.Violation(xBest); v > 0 && v < 1e-6 {
+		scale := 1 / (1 + v)
+		for i := range xBest {
+			xBest[i] *= scale
+		}
+		lo *= scale
+	}
+	return MaxMinResult{X: xBest, Omega: lo, Pivots: pivots}, nil
+}

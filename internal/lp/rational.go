@@ -1,0 +1,330 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RatConstraint is one row of an exact LP.
+type RatConstraint struct {
+	Coeffs []*big.Rat
+	Rel    Rel
+	RHS    *big.Rat
+}
+
+// RatProblem is an exact linear program over nonnegative variables. Nil
+// coefficient entries are treated as zero.
+type RatProblem struct {
+	Minimize    bool
+	Obj         []*big.Rat
+	Constraints []RatConstraint
+}
+
+// RatSolution is the exact counterpart of Solution.
+type RatSolution struct {
+	Status Status
+	X      []*big.Rat
+	Value  *big.Rat
+	Pivots int
+}
+
+// SolveRat solves an exact LP with the two-phase simplex method under
+// Bland's rule. Termination is guaranteed; arithmetic is exact, so the
+// returned solution is a true optimum (no tolerances).
+func SolveRat(p *RatProblem) (RatSolution, error) {
+	t, err := newRatTableau(p)
+	if err != nil {
+		return RatSolution{}, err
+	}
+	sol := RatSolution{}
+	if t.needPhase1 {
+		t.setPhase1()
+		t.iterate(&sol.Pivots)
+		if t.objRHS.Sign() < 0 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.expelArtificials()
+	}
+	t.setPhase2(p)
+	if unbounded := t.iterate(&sol.Pivots); unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.X = t.primal()
+	sol.Value = new(big.Rat).Set(t.objRHS)
+	if p.Minimize {
+		sol.Value.Neg(sol.Value)
+	}
+	return sol, nil
+}
+
+type ratTableau struct {
+	nVars    int
+	artStart int
+	nCols    int
+
+	rows   [][]*big.Rat
+	rhs    []*big.Rat
+	basis  []int
+	obj    []*big.Rat
+	objRHS *big.Rat
+
+	needPhase1 bool
+	inPhase2   bool
+}
+
+func ratOrZero(r *big.Rat) *big.Rat {
+	if r == nil {
+		return new(big.Rat)
+	}
+	return new(big.Rat).Set(r)
+}
+
+func newRatTableau(p *RatProblem) (*ratTableau, error) {
+	n := len(p.Obj)
+	m := len(p.Constraints)
+	nSlack, nArt := 0, 0
+	rels := make([]Rel, m)
+	flips := make([]bool, m)
+	for r, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: rational constraint %d has %d coefficients, want %d", r, len(c.Coeffs), n)
+		}
+		rel := c.Rel
+		if c.RHS != nil && c.RHS.Sign() < 0 {
+			flips[r] = true
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rels[r] = rel
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &ratTableau{
+		nVars:    n,
+		artStart: n + nSlack,
+		nCols:    n + nSlack + nArt,
+		rows:     make([][]*big.Rat, m),
+		rhs:      make([]*big.Rat, m),
+		basis:    make([]int, m),
+		objRHS:   new(big.Rat),
+	}
+	slack, art := n, t.artStart
+	for r, c := range p.Constraints {
+		row := make([]*big.Rat, t.nCols)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		for j, a := range c.Coeffs {
+			row[j] = ratOrZero(a)
+			if flips[r] {
+				row[j].Neg(row[j])
+			}
+		}
+		t.rhs[r] = ratOrZero(c.RHS)
+		if flips[r] {
+			t.rhs[r].Neg(t.rhs[r])
+		}
+		switch rels[r] {
+		case LE:
+			row[slack].SetInt64(1)
+			t.basis[r] = slack
+			slack++
+		case GE:
+			row[slack].SetInt64(-1)
+			slack++
+			row[art].SetInt64(1)
+			t.basis[r] = art
+			art++
+			t.needPhase1 = true
+		case EQ:
+			row[art].SetInt64(1)
+			t.basis[r] = art
+			art++
+			t.needPhase1 = true
+		}
+		t.rows[r] = row
+	}
+	return t, nil
+}
+
+func (t *ratTableau) priceOut(costs []*big.Rat) {
+	t.obj = make([]*big.Rat, t.nCols)
+	for j := range t.obj {
+		t.obj[j] = ratOrZero(costs[j])
+	}
+	t.objRHS = new(big.Rat)
+	tmp := new(big.Rat)
+	for r, b := range t.basis {
+		cb := costs[b]
+		if cb == nil || cb.Sign() == 0 {
+			continue
+		}
+		for j := range t.obj {
+			tmp.Mul(cb, t.rows[r][j])
+			t.obj[j].Sub(t.obj[j], tmp)
+		}
+		tmp.Mul(cb, t.rhs[r])
+		t.objRHS.Add(t.objRHS, tmp)
+	}
+}
+
+func (t *ratTableau) setPhase1() {
+	costs := make([]*big.Rat, t.nCols)
+	for j := t.artStart; j < t.nCols; j++ {
+		costs[j] = big.NewRat(-1, 1)
+	}
+	t.priceOut(costs)
+	t.inPhase2 = false
+}
+
+func (t *ratTableau) setPhase2(p *RatProblem) {
+	costs := make([]*big.Rat, t.nCols)
+	for j := 0; j < t.nVars; j++ {
+		costs[j] = ratOrZero(p.Obj[j])
+		if p.Minimize {
+			costs[j].Neg(costs[j])
+		}
+	}
+	t.priceOut(costs)
+	t.inPhase2 = true
+}
+
+// iterate runs Bland-rule pivots to optimality; it reports true iff the
+// problem is unbounded (only possible in phase 2).
+func (t *ratTableau) iterate(pivots *int) bool {
+	for {
+		limit := t.nCols
+		if t.inPhase2 {
+			limit = t.artStart
+		}
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t.obj[j].Sign() > 0 && !t.isBasic(j) {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return false
+		}
+		leave := -1
+		ratio := new(big.Rat)
+		best := new(big.Rat)
+		for r := range t.rows {
+			a := t.rows[r][enter]
+			if a.Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.rhs[r], a)
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[r] < t.basis[leave]) {
+				leave = r
+				best.Set(ratio)
+			}
+		}
+		if leave < 0 {
+			return true
+		}
+		t.pivot(leave, enter)
+		*pivots++
+	}
+}
+
+func (t *ratTableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *ratTableau) pivot(r, enter int) {
+	row := t.rows[r]
+	inv := new(big.Rat).Inv(row[enter])
+	for j := range row {
+		row[j].Mul(row[j], inv)
+	}
+	t.rhs[r].Mul(t.rhs[r], inv)
+	tmp := new(big.Rat)
+	for rr := range t.rows {
+		if rr == r {
+			continue
+		}
+		f := new(big.Rat).Set(t.rows[rr][enter])
+		if f.Sign() == 0 {
+			continue
+		}
+		other := t.rows[rr]
+		for j := range other {
+			tmp.Mul(f, row[j])
+			other[j].Sub(other[j], tmp)
+		}
+		tmp.Mul(f, t.rhs[r])
+		t.rhs[rr].Sub(t.rhs[rr], tmp)
+	}
+	f := new(big.Rat).Set(t.obj[enter])
+	if f.Sign() != 0 {
+		for j := range t.obj {
+			tmp.Mul(f, row[j])
+			t.obj[j].Sub(t.obj[j], tmp)
+		}
+		tmp.Mul(f, t.rhs[r])
+		t.objRHS.Add(t.objRHS, tmp)
+	}
+	t.basis[r] = enter
+}
+
+func (t *ratTableau) expelArtificials() {
+	for r := 0; r < len(t.rows); r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		found := -1
+		for j := 0; j < t.artStart; j++ {
+			if t.rows[r][j].Sign() != 0 {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			t.pivot(r, found)
+			continue
+		}
+		last := len(t.rows) - 1
+		t.rows[r], t.rows[last] = t.rows[last], t.rows[r]
+		t.rhs[r], t.rhs[last] = t.rhs[last], t.rhs[r]
+		t.basis[r], t.basis[last] = t.basis[last], t.basis[r]
+		t.rows = t.rows[:last]
+		t.rhs = t.rhs[:last]
+		t.basis = t.basis[:last]
+		r--
+	}
+}
+
+func (t *ratTableau) primal() []*big.Rat {
+	x := make([]*big.Rat, t.nVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for r, b := range t.basis {
+		if b < t.nVars {
+			x[b].Set(t.rhs[r])
+		}
+	}
+	return x
+}

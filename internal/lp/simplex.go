@@ -1,0 +1,545 @@
+// Package lp is a self-contained linear-programming substrate built only
+// on the standard library. It provides a dense two-phase simplex solver
+// over float64 (with Dantzig pivoting and a Bland anti-cycling fallback)
+// and an exact twin over math/big rationals, plus front-ends for the
+// max-min LPs and packing LPs used throughout the paper.
+//
+// All variables are implicitly nonnegative; this matches every program in
+// the paper (x ≥ 0, and the auxiliary objective value ω of a max-min LP is
+// nonnegative because C and x are).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int8
+
+const (
+	LE Rel = iota // Σ coeff·x ≤ rhs
+	GE            // Σ coeff·x ≥ rhs
+	EQ            // Σ coeff·x = rhs
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Constraint is one row of an LP.
+type Constraint struct {
+	Coeffs []float64 // dense, length = number of variables
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program over nonnegative variables:
+//
+//	maximise (or minimise) Obj · x
+//	subject to the Constraints, x ≥ 0.
+type Problem struct {
+	Minimize    bool
+	Obj         []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int8
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	X      []float64 // primal values, valid when Status == Optimal
+	Value  float64   // objective value, valid when Status == Optimal
+	Duals  []float64 // one multiplier per constraint, valid when Status == Optimal
+	Pivots int       // total simplex pivots performed
+}
+
+// ErrNumerical is returned when the solver detects that floating-point
+// round-off has corrupted the tableau beyond the configured tolerances.
+var ErrNumerical = errors.New("lp: numerical difficulty")
+
+const (
+	epsPivot   = 1e-10 // entries below this are treated as zero in ratio tests
+	epsReduced = 1e-9  // optimality tolerance on reduced costs
+	epsPhase1  = 1e-7  // residual artificial infeasibility treated as zero
+)
+
+// PivotRule selects the entering-variable heuristic.
+type PivotRule int8
+
+const (
+	// DantzigThenBland uses the most-positive reduced cost and switches to
+	// Bland's rule after a pivot budget, guaranteeing termination.
+	DantzigThenBland PivotRule = iota
+	// BlandOnly always uses Bland's rule (smallest eligible index).
+	BlandOnly
+)
+
+// Solve solves the problem with the default pivot rule.
+func Solve(p *Problem) (Solution, error) { return SolveWithRule(p, DantzigThenBland) }
+
+// SolveWithRule solves the problem with an explicit pivot rule. The
+// algorithm is the classical two-phase tableau simplex: phase 1 minimises
+// the sum of artificial variables to find a basic feasible solution, phase
+// 2 optimises the real objective.
+func SolveWithRule(p *Problem, rule PivotRule) (Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{}
+	if t.needPhase1 {
+		t.setPhase1Objective()
+		if err := t.iterate(rule, &sol.Pivots); err != nil {
+			return Solution{}, err
+		}
+		// Phase 1 maximises −Σ artificials, so a strictly negative optimum
+		// means some artificial could not be driven to zero: infeasible.
+		if t.objValue() < -epsPhase1 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		if err := t.expelArtificials(); err != nil {
+			return Solution{}, err
+		}
+	}
+	t.setPhase2Objective(p)
+	if err := t.iterate(rule, &sol.Pivots); err != nil {
+		if errors.Is(err, errUnbounded) {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		return Solution{}, err
+	}
+	sol.Status = Optimal
+	sol.X = t.primal()
+	sol.Value = t.objValue()
+	if p.Minimize {
+		sol.Value = -sol.Value
+	}
+	sol.Duals = t.duals(p)
+	return sol, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is the dense simplex tableau. Columns are laid out as
+// [0, nVars) original variables, [nVars, nVars+nSlack) slack/surplus
+// variables, [artStart, nCols) artificial variables; rhs is stored
+// separately. rows[r] has length nCols. basis[r] is the column basic in
+// row r. obj is the current reduced-cost row (length nCols) and objRHS the
+// current objective value.
+type tableau struct {
+	nVars    int
+	nSlack   int
+	artStart int
+	nCols    int
+
+	rows   [][]float64
+	rhs    []float64
+	basis  []int
+	obj    []float64
+	objRHS float64
+
+	needPhase1 bool
+	inPhase2   bool
+
+	slackCol []int  // per constraint: its slack column, or -1
+	slackNeg []bool // true when the slack entered with coefficient -1 (GE rows)
+}
+
+func newTableau(p *Problem) (*tableau, error) {
+	n := len(p.Obj)
+	m := len(p.Constraints)
+	for r, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", r, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has non-finite rhs %v", r, c.RHS)
+		}
+	}
+
+	// Normalise rows to nonnegative rhs, count slack and artificial needs.
+	type rowPlan struct {
+		flip     bool
+		rel      Rel
+		needsArt bool
+	}
+	plans := make([]rowPlan, m)
+	nSlack, nArt := 0, 0
+	for r, c := range p.Constraints {
+		pl := rowPlan{rel: c.Rel}
+		if c.RHS < 0 {
+			pl.flip = true
+			switch c.Rel {
+			case LE:
+				pl.rel = GE
+			case GE:
+				pl.rel = LE
+			}
+		}
+		switch pl.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			pl.needsArt = true
+			nArt++
+		case EQ:
+			pl.needsArt = true
+			nArt++
+		}
+		plans[r] = pl
+	}
+
+	t := &tableau{
+		nVars:    n,
+		nSlack:   nSlack,
+		artStart: n + nSlack,
+		nCols:    n + nSlack + nArt,
+		rows:     make([][]float64, m),
+		rhs:      make([]float64, m),
+		basis:    make([]int, m),
+		obj:      make([]float64, n+nSlack+nArt),
+		slackCol: make([]int, m),
+		slackNeg: make([]bool, m),
+	}
+	slack := n
+	art := t.artStart
+	for r, c := range p.Constraints {
+		row := make([]float64, t.nCols)
+		sign := 1.0
+		if plans[r].flip {
+			sign = -1
+		}
+		for j, a := range c.Coeffs {
+			row[j] = sign * a
+		}
+		t.rhs[r] = sign * c.RHS
+		t.slackCol[r] = -1
+		switch plans[r].rel {
+		case LE:
+			row[slack] = 1
+			t.basis[r] = slack
+			t.slackCol[r] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			t.slackCol[r] = slack
+			t.slackNeg[r] = true
+			slack++
+			row[art] = 1
+			t.basis[r] = art
+			art++
+			t.needPhase1 = true
+		case EQ:
+			row[art] = 1
+			t.basis[r] = art
+			art++
+			t.needPhase1 = true
+		}
+		t.rows[r] = row
+	}
+	return t, nil
+}
+
+// setPhase1Objective installs "maximise −Σ artificials" as the reduced-cost
+// row, priced out against the current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	costs := make([]float64, t.nCols)
+	for j := t.artStart; j < t.nCols; j++ {
+		costs[j] = -1
+	}
+	t.priceOut(costs)
+	t.inPhase2 = false
+}
+
+// setPhase2Objective installs the real objective, priced out against the
+// current basis. Artificial columns are barred from entering by forcing
+// their reduced costs to a large negative value.
+func (t *tableau) setPhase2Objective(p *Problem) {
+	costs := make([]float64, t.nCols)
+	for j := 0; j < t.nVars; j++ {
+		if p.Minimize {
+			costs[j] = -p.Obj[j]
+		} else {
+			costs[j] = p.Obj[j]
+		}
+	}
+	t.priceOut(costs)
+	t.inPhase2 = true
+}
+
+// priceOut sets obj[j] = costs[j] − Σ_r costs[basis[r]]·rows[r][j] and
+// objRHS = Σ_r costs[basis[r]]·rhs[r].
+func (t *tableau) priceOut(costs []float64) {
+	copy(t.obj, costs)
+	t.objRHS = 0
+	for r, b := range t.basis {
+		cb := costs[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[r]
+		for j := range t.obj {
+			t.obj[j] -= cb * row[j]
+		}
+		t.objRHS += cb * t.rhs[r]
+	}
+}
+
+func (t *tableau) objValue() float64 { return t.objRHS }
+
+// iterate runs primal simplex pivots until optimality or unboundedness.
+func (t *tableau) iterate(rule PivotRule, pivots *int) error {
+	budget := dantzigBudget(len(t.rows), t.nCols)
+	useBland := rule == BlandOnly
+	for iter := 0; ; iter++ {
+		if iter > budget && !useBland {
+			useBland = true // anti-cycling fallback
+		}
+		if iter > 16*budget+10000 {
+			return fmt.Errorf("%w: pivot limit exceeded", ErrNumerical)
+		}
+		enter := t.chooseEntering(useBland)
+		if enter < 0 {
+			return nil // optimal
+		}
+		leave := t.chooseLeaving(enter, useBland)
+		if leave < 0 {
+			if !t.inPhase2 {
+				// Phase-1 objective is bounded by construction; an unbounded
+				// ray here means round-off corrupted the tableau.
+				return fmt.Errorf("%w: unbounded phase-1 ray", ErrNumerical)
+			}
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		*pivots++
+	}
+}
+
+func dantzigBudget(m, n int) int { return 50 * (m + n + 10) }
+
+func (t *tableau) chooseEntering(bland bool) int {
+	limit := t.nCols
+	if t.inPhase2 {
+		limit = t.artStart // artificials may not re-enter in phase 2
+	}
+	if bland {
+		for j := 0; j < limit; j++ {
+			if t.obj[j] > epsReduced && !t.isBasic(j) {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, epsReduced
+	for j := 0; j < limit; j++ {
+		if t.obj[j] > bestVal && !t.isBasic(j) {
+			best, bestVal = j, t.obj[j]
+		}
+	}
+	return best
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tableau) chooseLeaving(enter int, bland bool) int {
+	best := -1
+	var bestRatio float64
+	for r := range t.rows {
+		a := t.rows[r][enter]
+		if a <= epsPivot {
+			continue
+		}
+		ratio := t.rhs[r] / a
+		switch {
+		case best < 0, ratio < bestRatio-epsPivot:
+			best, bestRatio = r, ratio
+		case ratio < bestRatio+epsPivot:
+			// Tie: Bland breaks by smallest basic index; Dantzig by largest
+			// pivot element for stability.
+			if bland {
+				if t.basis[r] < t.basis[best] {
+					best, bestRatio = r, ratio
+				}
+			} else if a > t.rows[best][enter] {
+				best, bestRatio = r, ratio
+			}
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(r, enter int) {
+	row := t.rows[r]
+	inv := 1 / row[enter]
+	for j := range row {
+		row[j] *= inv
+	}
+	row[enter] = 1 // exact
+	t.rhs[r] *= inv
+	for rr := range t.rows {
+		if rr == r {
+			continue
+		}
+		f := t.rows[rr][enter]
+		if f == 0 {
+			continue
+		}
+		other := t.rows[rr]
+		for j := range other {
+			other[j] -= f * row[j]
+		}
+		other[enter] = 0 // exact
+		t.rhs[rr] -= f * t.rhs[r]
+		if t.rhs[rr] < 0 && t.rhs[rr] > -epsPivot {
+			t.rhs[rr] = 0
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * row[j]
+		}
+		t.obj[enter] = 0
+		t.objRHS += f * t.rhs[r]
+	}
+	t.basis[r] = enter
+}
+
+// expelArtificials pivots basic artificial variables (at value 0 after a
+// successful phase 1) out of the basis, or drops redundant rows.
+func (t *tableau) expelArtificials() error {
+	for r := 0; r < len(t.rows); r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		// Find any real column with a usable pivot in this row.
+		found := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[r][j]) > epsPivot {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			t.pivot(r, found)
+			continue
+		}
+		// Row is redundant: remove it.
+		last := len(t.rows) - 1
+		t.rows[r], t.rows[last] = t.rows[last], t.rows[r]
+		t.rhs[r], t.rhs[last] = t.rhs[last], t.rhs[r]
+		t.basis[r], t.basis[last] = t.basis[last], t.basis[r]
+		t.slackCol[r], t.slackCol[last] = t.slackCol[last], t.slackCol[r]
+		t.slackNeg[r], t.slackNeg[last] = t.slackNeg[last], t.slackNeg[r]
+		t.rows = t.rows[:last]
+		t.rhs = t.rhs[:last]
+		t.basis = t.basis[:last]
+		t.slackCol = t.slackCol[:last]
+		t.slackNeg = t.slackNeg[:last]
+		r--
+	}
+	return nil
+}
+
+// primal reads off the values of the original variables.
+func (t *tableau) primal() []float64 {
+	x := make([]float64, t.nVars)
+	for r, b := range t.basis {
+		if b < t.nVars {
+			v := t.rhs[r]
+			if v < 0 && v > -epsPivot {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}
+
+// duals recovers one multiplier per original constraint from the reduced
+// costs of the slack columns: for a maximisation with a ≤ row and slack s,
+// y = −obj[s]; sign conventions follow so that for maximisation problems
+// with all-≤ rows, strong duality reads Value = Σ y_i·rhs_i with y ≥ 0.
+// Rows whose redundancy was detected in phase 1 get dual 0.
+func (t *tableau) duals(p *Problem) []float64 {
+	y := make([]float64, len(p.Constraints))
+	// slackCol was permuted along with row removals; rebuild the mapping
+	// from original constraint index via slack column identity. Slack
+	// columns are assigned in constraint order during construction, so we
+	// can invert: column -> original constraint.
+	colToCon := make(map[int]int)
+	slack := t.nVars
+	for r, c := range p.Constraints {
+		switch {
+		case c.Rel == LE && c.RHS >= 0, c.Rel == GE && c.RHS < 0:
+			colToCon[slack] = r
+			slack++
+		case c.Rel == EQ:
+			// no slack column
+		default:
+			colToCon[slack] = r
+			slack++
+		}
+	}
+	for col, con := range colToCon {
+		v := -t.obj[col]
+		if t.slackNegForCol(col) {
+			v = -v
+		}
+		if p.Minimize {
+			v = -v
+		}
+		y[con] = v
+	}
+	return y
+}
+
+func (t *tableau) slackNegForCol(col int) bool {
+	for r, c := range t.slackCol {
+		if c == col {
+			return t.slackNeg[r]
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+const tol = 1e-7
+
+func approx(t *testing.T, got, want, eps float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Fatalf("%s: got %v, want %v (±%v)", msg, got, want, eps)
+	}
+}
+
+func TestSimplexBasicMax(t *testing.T) {
+	// maximise 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, z=36.
+	p := &Problem{
+		Obj: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Value, 36, tol, "objective")
+	approx(t, sol.X[0], 2, tol, "x")
+	approx(t, sol.X[1], 6, tol, "y")
+}
+
+func TestSimplexMinimize(t *testing.T) {
+	// minimise 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=8? No: min at x=10,y=0
+	// gives 20; x=2,y=8 gives 28. So optimum x=10, y=0, z=20.
+	p := &Problem{
+		Minimize: true,
+		Obj:      []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Value, 20, tol, "objective")
+	approx(t, sol.X[0], 10, tol, "x")
+	approx(t, sol.X[1], 0, tol, "y")
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// maximise x + 2y s.t. x + y = 5, y ≤ 3 → x=2, y=3, z=8.
+	p := &Problem{
+		Obj: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Value, 8, tol, "objective")
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := &Problem{
+		Obj: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := &Problem{
+		Obj: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// x ≤ −1 is infeasible for x ≥ 0; −x ≤ −1 means x ≥ 1.
+	p := &Problem{
+		Minimize: true,
+		Obj:      []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.X[0], 1, tol, "x")
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Klee-Minty style degenerate problem; Bland must terminate.
+	p := &Problem{
+		Obj: []float64{10, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{20, 1}, Rel: LE, RHS: 100},
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 0}, // forces x=y=0? no: x,y≥0 and x+y≤0 → x=y=0
+		},
+	}
+	for _, rule := range []PivotRule{DantzigThenBland, BlandOnly} {
+		sol, err := SolveWithRule(p, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("rule %v: status = %v", rule, sol.Status)
+		}
+		approx(t, sol.Value, 0, tol, "objective")
+	}
+}
+
+func TestSimplexDualsPacking(t *testing.T) {
+	// Packing LP duals: maximise c·x, Ax ≤ b, duals y ≥ 0, strong duality.
+	p := &Problem{
+		Obj: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualVal := 0.0
+	for i, c := range p.Constraints {
+		if sol.Duals[i] < -tol {
+			t.Fatalf("dual %d = %v < 0", i, sol.Duals[i])
+		}
+		dualVal += sol.Duals[i] * c.RHS
+	}
+	approx(t, dualVal, sol.Value, tol, "strong duality")
+}
+
+func TestRatSimplexMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := &Problem{Obj: make([]float64, n)}
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(9) + 1)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(4)) // may be zero
+			}
+			nonzero := false
+			for _, a := range row {
+				if a != 0 {
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				row[rng.Intn(n)] = 1
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: row, Rel: LE, RHS: float64(rng.Intn(10) + 1),
+			})
+		}
+		// Ensure boundedness: every variable in some row.
+		for j := 0; j < n; j++ {
+			covered := false
+			for _, c := range p.Constraints {
+				if c.Coeffs[j] > 0 {
+					covered = true
+				}
+			}
+			if !covered {
+				row := make([]float64, n)
+				row[j] = 1
+				p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: 5})
+			}
+		}
+		fsol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rp := &RatProblem{Obj: ratSlice(p.Obj)}
+		for _, c := range p.Constraints {
+			rp.Constraints = append(rp.Constraints, RatConstraint{
+				Coeffs: ratSlice(c.Coeffs), Rel: c.Rel, RHS: floatRat(c.RHS),
+			})
+		}
+		rsol, err := SolveRat(rp)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fsol.Status != rsol.Status {
+			t.Fatalf("trial %d: float %v vs exact %v", trial, fsol.Status, rsol.Status)
+		}
+		if fsol.Status == Optimal {
+			exact, _ := rsol.Value.Float64()
+			approx(t, fsol.Value, exact, 1e-6, "objective agreement")
+		}
+	}
+}
+
+func ratSlice(xs []float64) []*big.Rat {
+	out := make([]*big.Rat, len(xs))
+	for i, x := range xs {
+		out[i] = floatRat(x)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package mmlp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs Instances incrementally. The zero value is ready to
+// use. Builders are not safe for concurrent use.
+type Builder struct {
+	nAgents            int
+	resRows            [][]Entry
+	parRows            [][]Entry
+	allowUnconstrained bool
+	err                error
+}
+
+// AllowUnconstrained relaxes the Iv ≠ ∅ validation: agents that consume
+// no resource are permitted. The paper assumes Iv ≠ ∅ "to avoid
+// uninteresting degenerate cases", but the instance S' of Section 4.3
+// genuinely contains such agents near its boundary (their unique resource
+// hyperedge is cut by the restriction), so the library must be able to
+// represent them.
+func (b *Builder) AllowUnconstrained() *Builder {
+	b.allowUnconstrained = true
+	return b
+}
+
+// NewBuilder returns a Builder pre-sized for the given number of agents.
+// Additional agents can still be added with AddAgent or AddAgents.
+func NewBuilder(agents int) *Builder {
+	b := &Builder{}
+	if agents > 0 {
+		b.nAgents = agents
+	}
+	return b
+}
+
+// AddAgent adds one agent and returns its index.
+func (b *Builder) AddAgent() int {
+	b.nAgents++
+	return b.nAgents - 1
+}
+
+// AddAgents adds n agents and returns the index of the first one.
+func (b *Builder) AddAgents(n int) int {
+	first := b.nAgents
+	b.nAgents += n
+	return first
+}
+
+// NumAgents returns the number of agents added so far.
+func (b *Builder) NumAgents() int { return b.nAgents }
+
+// AddResource adds one resource constraint Σ a_iv x_v ≤ 1 with the given
+// nonzero entries and returns the resource index. Entries may be given in
+// any order; duplicate agents are rejected at Build time.
+func (b *Builder) AddResource(entries ...Entry) int {
+	b.resRows = append(b.resRows, normalizeRow(entries))
+	return len(b.resRows) - 1
+}
+
+// AddParty adds one beneficiary party with benefit Σ c_kv x_v and returns
+// the party index.
+func (b *Builder) AddParty(entries ...Entry) int {
+	b.parRows = append(b.parRows, normalizeRow(entries))
+	return len(b.parRows) - 1
+}
+
+// AddUnitResource adds a resource with a_iv = 1 for each given agent
+// (the aiv ∈ {0,1} setting used throughout Section 4 of the paper).
+func (b *Builder) AddUnitResource(agents ...int) int {
+	entries := make([]Entry, len(agents))
+	for j, v := range agents {
+		entries[j] = Entry{Agent: v, Coeff: 1}
+	}
+	return b.AddResource(entries...)
+}
+
+// AddUniformParty adds a party with c_kv = coeff for each given agent.
+func (b *Builder) AddUniformParty(coeff float64, agents ...int) int {
+	entries := make([]Entry, len(agents))
+	for j, v := range agents {
+		entries[j] = Entry{Agent: v, Coeff: coeff}
+	}
+	return b.AddParty(entries...)
+}
+
+func normalizeRow(entries []Entry) []Entry {
+	row := make([]Entry, len(entries))
+	copy(row, entries)
+	sort.Slice(row, func(a, b int) bool { return row[a].Agent < row[b].Agent })
+	return row
+}
+
+// Build finalises the instance, computes the agent-side incidence lists
+// Iv and Kv, and validates the structural assumptions of the paper.
+func (b *Builder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	in := &Instance{
+		nAgents:  b.nAgents,
+		resRows:  make([][]Entry, len(b.resRows)),
+		parRows:  make([][]Entry, len(b.parRows)),
+		agentRes: make([][]int, b.nAgents),
+		agentPar: make([][]int, b.nAgents),
+	}
+	copy(in.resRows, b.resRows)
+	copy(in.parRows, b.parRows)
+	for i, row := range in.resRows {
+		for j := 1; j < len(row); j++ {
+			if row[j].Agent == row[j-1].Agent {
+				return nil, fmt.Errorf("mmlp: resource %d lists agent %d twice", i, row[j].Agent)
+			}
+		}
+	}
+	for k, row := range in.parRows {
+		for j := 1; j < len(row); j++ {
+			if row[j].Agent == row[j-1].Agent {
+				return nil, fmt.Errorf("mmlp: party %d lists agent %d twice", k, row[j].Agent)
+			}
+		}
+	}
+	for i, row := range in.resRows {
+		for _, e := range row {
+			if e.Agent < 0 || e.Agent >= in.nAgents {
+				return nil, fmt.Errorf("mmlp: resource %d references agent %d out of range [0,%d)", i, e.Agent, in.nAgents)
+			}
+			in.agentRes[e.Agent] = append(in.agentRes[e.Agent], i)
+		}
+	}
+	for k, row := range in.parRows {
+		for _, e := range row {
+			if e.Agent < 0 || e.Agent >= in.nAgents {
+				return nil, fmt.Errorf("mmlp: party %d references agent %d out of range [0,%d)", k, e.Agent, in.nAgents)
+			}
+			in.agentPar[e.Agent] = append(in.agentPar[e.Agent], k)
+		}
+	}
+	if err := in.validate(b.allowUnconstrained); err != nil {
+		return nil, err
+	}
+	in.hasUnconstrained = b.allowUnconstrained
+	return in, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// generators whose output is correct by construction.
+func (b *Builder) MustBuild() *Instance {
+	in, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

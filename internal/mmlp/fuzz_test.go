@@ -1,0 +1,47 @@
+package mmlp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that the text parser never panics on arbitrary
+// input, and that every instance it accepts is structurally valid (or
+// explicitly unconstrained) and round-trips exactly.
+func FuzzReadText(f *testing.F) {
+	f.Add("mmlp 2 2 1\nr 0:1 1:2\nr 1:0.5\np 0:1\n")
+	f.Add("mmlp 1 1 0\nr 0:1\n")
+	f.Add("mmlp 0 0 0\n")
+	f.Add("mmlp 3 1 1\n# comment\nr 0:1 1:1 2:1\np 2:3\n")
+	f.Add("garbage")
+	f.Add("mmlp 1 1 1\nr 0:1\np 0:nan\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted instance fails validation: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := in.WriteText(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", err, buf.String())
+		}
+		if in.NumAgents() != back.NumAgents() ||
+			in.NumResources() != back.NumResources() ||
+			in.NumParties() != back.NumParties() {
+			t.Fatalf("round trip changed shape: %s vs %s", in.Stats(), back.Stats())
+		}
+		for i := 0; i < in.NumResources(); i++ {
+			if !reflect.DeepEqual(in.Resource(i), back.Resource(i)) {
+				t.Fatalf("round trip changed resource %d", i)
+			}
+		}
+	})
+}

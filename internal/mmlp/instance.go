@@ -1,0 +1,261 @@
+// Package mmlp defines the max-min linear program model studied in
+// Floréen, Kaski, Musto, Suomela: "Approximating max-min linear programs
+// with local algorithms" (IPDPS 2008).
+//
+// A max-min LP over agents V, resources I and beneficiary parties K is
+//
+//	maximise  ω = min_{k∈K} Σ_v c_kv x_v
+//	subject to          Σ_v a_iv x_v ≤ 1  for each i ∈ I,
+//	                    x_v ≥ 0           for each v ∈ V,
+//
+// with c_kv ≥ 0 and a_iv ≥ 0. The support sets
+//
+//	Vi = {v : a_iv > 0},  Vk = {v : c_kv > 0},
+//	Iv = {i : a_iv > 0},  Kv = {k : c_kv > 0}
+//
+// are assumed nonempty (for Iv, Vi and Vk; Kv may be empty for an agent
+// that benefits nobody) and of bounded size. Instances are immutable once
+// built; use Builder to construct them.
+package mmlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Entry is one nonzero coefficient of a resource constraint row or a
+// beneficiary party row: Coeff multiplies the activity x of Agent.
+type Entry struct {
+	Agent int
+	Coeff float64
+}
+
+// Instance is an immutable sparse max-min LP. Agents, resources and
+// parties are identified by dense indices 0..n-1.
+type Instance struct {
+	nAgents int
+
+	// resRows[i] holds the support Vi of resource i with coefficients
+	// a_iv, sorted by agent index. parRows[k] holds Vk with c_kv.
+	resRows [][]Entry
+	parRows [][]Entry
+
+	// agentRes[v] = Iv and agentPar[v] = Kv, sorted ascending.
+	agentRes [][]int
+	agentPar [][]int
+
+	// hasUnconstrained records that the instance was built with
+	// Builder.AllowUnconstrained, i.e. some agents may have Iv = ∅.
+	hasUnconstrained bool
+}
+
+// AllowsUnconstrained reports whether the instance was built permitting
+// agents with Iv = ∅ (see Builder.AllowUnconstrained).
+func (in *Instance) AllowsUnconstrained() bool { return in.hasUnconstrained }
+
+// NumAgents returns |V|.
+func (in *Instance) NumAgents() int { return in.nAgents }
+
+// NumResources returns |I|.
+func (in *Instance) NumResources() int { return len(in.resRows) }
+
+// NumParties returns |K|.
+func (in *Instance) NumParties() int { return len(in.parRows) }
+
+// Resource returns the support row of resource i (the set Vi with the
+// coefficients a_iv), sorted by agent index. The returned slice is shared;
+// callers must not modify it.
+func (in *Instance) Resource(i int) []Entry { return in.resRows[i] }
+
+// Party returns the support row of party k (the set Vk with the
+// coefficients c_kv), sorted by agent index. The returned slice is shared;
+// callers must not modify it.
+func (in *Instance) Party(k int) []Entry { return in.parRows[k] }
+
+// AgentResources returns Iv, the resources consumed by agent v, sorted.
+// The returned slice is shared; callers must not modify it.
+func (in *Instance) AgentResources(v int) []int { return in.agentRes[v] }
+
+// AgentParties returns Kv, the parties benefited by agent v, sorted.
+// The returned slice is shared; callers must not modify it.
+func (in *Instance) AgentParties(v int) []int { return in.agentPar[v] }
+
+// A returns the coefficient a_iv, or 0 if v ∉ Vi.
+func (in *Instance) A(i, v int) float64 { return lookup(in.resRows[i], v) }
+
+// C returns the coefficient c_kv, or 0 if v ∉ Vk.
+func (in *Instance) C(k, v int) float64 { return lookup(in.parRows[k], v) }
+
+func lookup(row []Entry, v int) float64 {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row[mid].Agent == v:
+			return row[mid].Coeff
+		case row[mid].Agent < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// DegreeBounds reports the support-size bounds of the instance.
+type DegreeBounds struct {
+	MaxVI int // ΔVI = max_i |Vi|
+	MaxVK int // ΔVK = max_k |Vk|
+	MaxIV int // ΔIV = max_v |Iv|
+	MaxKV int // ΔKV = max_v |Kv|
+}
+
+// Degrees computes the tight degree bounds ΔVI, ΔVK, ΔIV, ΔKV of the
+// instance.
+func (in *Instance) Degrees() DegreeBounds {
+	var d DegreeBounds
+	for _, row := range in.resRows {
+		d.MaxVI = max(d.MaxVI, len(row))
+	}
+	for _, row := range in.parRows {
+		d.MaxVK = max(d.MaxVK, len(row))
+	}
+	for v := 0; v < in.nAgents; v++ {
+		d.MaxIV = max(d.MaxIV, len(in.agentRes[v]))
+		d.MaxKV = max(d.MaxKV, len(in.agentPar[v]))
+	}
+	return d
+}
+
+// Objective evaluates ω(x) = min_k Σ_v c_kv x_v. It returns +Inf when the
+// instance has no parties (the minimum over an empty set).
+func (in *Instance) Objective(x []float64) float64 {
+	if len(in.parRows) == 0 {
+		return math.Inf(1)
+	}
+	obj := math.Inf(1)
+	for k := range in.parRows {
+		obj = min(obj, in.PartyBenefit(k, x))
+	}
+	return obj
+}
+
+// PartyBenefit evaluates Σ_v c_kv x_v for party k.
+func (in *Instance) PartyBenefit(k int, x []float64) float64 {
+	var s float64
+	for _, e := range in.parRows[k] {
+		s += e.Coeff * x[e.Agent]
+	}
+	return s
+}
+
+// ResourceUsage evaluates Σ_v a_iv x_v for resource i.
+func (in *Instance) ResourceUsage(i int, x []float64) float64 {
+	var s float64
+	for _, e := range in.resRows[i] {
+		s += e.Coeff * x[e.Agent]
+	}
+	return s
+}
+
+// Feasible reports whether x is a feasible solution within tolerance tol:
+// x_v ≥ -tol for all v and Σ_v a_iv x_v ≤ 1+tol for all i.
+func (in *Instance) Feasible(x []float64, tol float64) bool {
+	return in.Violation(x) <= tol
+}
+
+// Violation returns the maximum constraint violation of x: the largest of
+// max_i (Σ_v a_iv x_v − 1) and max_v (−x_v), or 0 if x is strictly
+// feasible. A solution is feasible within tolerance tol iff
+// Violation(x) ≤ tol.
+func (in *Instance) Violation(x []float64) float64 {
+	if len(x) != in.nAgents {
+		return math.Inf(1)
+	}
+	var worst float64
+	for _, xv := range x {
+		worst = max(worst, -xv)
+	}
+	for i := range in.resRows {
+		worst = max(worst, in.ResourceUsage(i, x)-1)
+	}
+	return worst
+}
+
+// Validate checks the structural assumptions of the paper: all
+// coefficients are finite and nonnegative, every agent consumes at least
+// one resource (Iv ≠ ∅), and every resource and party has a nonempty
+// support (Vi ≠ ∅, Vk ≠ ∅). It returns a descriptive error for the first
+// violation found. Instances built with Builder.AllowUnconstrained skip
+// the Iv ≠ ∅ check at build time but still fail this strict check.
+func (in *Instance) Validate() error { return in.validate(false) }
+
+func (in *Instance) validate(allowUnconstrained bool) error {
+	for i, row := range in.resRows {
+		if len(row) == 0 {
+			return fmt.Errorf("mmlp: resource %d has empty support Vi", i)
+		}
+		for _, e := range row {
+			if e.Agent < 0 || e.Agent >= in.nAgents {
+				return fmt.Errorf("mmlp: resource %d references agent %d out of range [0,%d)", i, e.Agent, in.nAgents)
+			}
+			if !(e.Coeff > 0) || math.IsInf(e.Coeff, 0) {
+				return fmt.Errorf("mmlp: resource %d has non-positive or non-finite coefficient %v for agent %d", i, e.Coeff, e.Agent)
+			}
+		}
+	}
+	for k, row := range in.parRows {
+		if len(row) == 0 {
+			return fmt.Errorf("mmlp: party %d has empty support Vk", k)
+		}
+		for _, e := range row {
+			if e.Agent < 0 || e.Agent >= in.nAgents {
+				return fmt.Errorf("mmlp: party %d references agent %d out of range [0,%d)", k, e.Agent, in.nAgents)
+			}
+			if !(e.Coeff > 0) || math.IsInf(e.Coeff, 0) {
+				return fmt.Errorf("mmlp: party %d has non-positive or non-finite coefficient %v for agent %d", k, e.Coeff, e.Agent)
+			}
+		}
+	}
+	if !allowUnconstrained {
+		for v := 0; v < in.nAgents; v++ {
+			if len(in.agentRes[v]) == 0 {
+				return fmt.Errorf("mmlp: agent %d consumes no resource (Iv empty); x_%d would be unbounded", v, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises an instance for logging and reports.
+type Stats struct {
+	Agents    int
+	Resources int
+	Parties   int
+	Nonzeros  int // total nonzero coefficients in A and C
+	Degrees   DegreeBounds
+}
+
+// Stats computes summary statistics of the instance.
+func (in *Instance) Stats() Stats {
+	nz := 0
+	for _, row := range in.resRows {
+		nz += len(row)
+	}
+	for _, row := range in.parRows {
+		nz += len(row)
+	}
+	return Stats{
+		Agents:    in.nAgents,
+		Resources: len(in.resRows),
+		Parties:   len(in.parRows),
+		Nonzeros:  nz,
+		Degrees:   in.Degrees(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("agents=%d resources=%d parties=%d nonzeros=%d ΔVI=%d ΔVK=%d ΔIV=%d ΔKV=%d",
+		s.Agents, s.Resources, s.Parties, s.Nonzeros,
+		s.Degrees.MaxVI, s.Degrees.MaxVK, s.Degrees.MaxIV, s.Degrees.MaxKV)
+}

@@ -1,0 +1,132 @@
+package mmlp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonInstance is the serialized form of an Instance.
+type jsonInstance struct {
+	Agents    int       `json:"agents"`
+	Resources [][]Entry `json:"resources"`
+	Parties   [][]Entry `json:"parties"`
+}
+
+// MarshalJSON encodes the instance as
+// {"agents":n,"resources":[[{Agent,Coeff},...],...],"parties":[...]}.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonInstance{
+		Agents:    in.nAgents,
+		Resources: in.resRows,
+		Parties:   in.parRows,
+	})
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var j jsonInstance
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	b := NewBuilder(j.Agents)
+	for _, row := range j.Resources {
+		b.AddResource(row...)
+	}
+	for _, row := range j.Parties {
+		b.AddParty(row...)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*in = *built
+	return nil
+}
+
+// WriteText writes the instance in a line-oriented text format:
+//
+//	mmlp <agents> <resources> <parties>
+//	r <agent>:<coeff> <agent>:<coeff> ...     (one line per resource)
+//	p <agent>:<coeff> <agent>:<coeff> ...     (one line per party)
+//
+// The format is meant for the CLI and for fixtures; it round-trips through
+// ReadText.
+func (in *Instance) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "mmlp %d %d %d\n", in.nAgents, len(in.resRows), len(in.parRows))
+	writeRows := func(tag string, rows [][]Entry) {
+		for _, row := range rows {
+			bw.WriteString(tag)
+			for _, e := range row {
+				fmt.Fprintf(bw, " %d:%s", e.Agent, strconv.FormatFloat(e.Coeff, 'g', -1, 64))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	writeRows("r", in.resRows)
+	writeRows("p", in.parRows)
+	return bw.Flush()
+}
+
+// ReadText parses the format written by WriteText.
+func ReadText(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmlp: empty input")
+	}
+	var nAgents, nRes, nPar int
+	if _, err := fmt.Sscanf(sc.Text(), "mmlp %d %d %d", &nAgents, &nRes, &nPar); err != nil {
+		return nil, fmt.Errorf("mmlp: bad header %q: %w", sc.Text(), err)
+	}
+	b := NewBuilder(nAgents)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		entries := make([]Entry, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			agentStr, coeffStr, ok := strings.Cut(f, ":")
+			if !ok {
+				return nil, fmt.Errorf("mmlp: line %d: bad entry %q", line, f)
+			}
+			agent, err := strconv.Atoi(agentStr)
+			if err != nil {
+				return nil, fmt.Errorf("mmlp: line %d: bad agent in %q: %w", line, f, err)
+			}
+			coeff, err := strconv.ParseFloat(coeffStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmlp: line %d: bad coefficient in %q: %w", line, f, err)
+			}
+			entries = append(entries, Entry{Agent: agent, Coeff: coeff})
+		}
+		switch fields[0] {
+		case "r":
+			b.AddResource(entries...)
+		case "p":
+			b.AddParty(entries...)
+		default:
+			return nil, fmt.Errorf("mmlp: line %d: unknown row tag %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	in, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if in.NumResources() != nRes || in.NumParties() != nPar {
+		return nil, fmt.Errorf("mmlp: header promised %d resources and %d parties, got %d and %d",
+			nRes, nPar, in.NumResources(), in.NumParties())
+	}
+	return in, nil
+}

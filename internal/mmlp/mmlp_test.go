@@ -1,0 +1,376 @@
+package mmlp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tinyInstance(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddResource(Entry{0, 1}, Entry{1, 2})
+	b.AddResource(Entry{1, 0.5}, Entry{2, 1})
+	b.AddParty(Entry{0, 1}, Entry{1, 1})
+	b.AddParty(Entry{2, 3})
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestBuilderBasics(t *testing.T) {
+	in := tinyInstance(t)
+	if in.NumAgents() != 3 || in.NumResources() != 2 || in.NumParties() != 2 {
+		t.Fatalf("shape: %s", in.Stats())
+	}
+	if got := in.A(0, 1); got != 2 {
+		t.Fatalf("A(0,1) = %v, want 2", got)
+	}
+	if got := in.A(0, 2); got != 0 {
+		t.Fatalf("A(0,2) = %v, want 0", got)
+	}
+	if got := in.C(1, 2); got != 3 {
+		t.Fatalf("C(1,2) = %v, want 3", got)
+	}
+	if got := in.AgentResources(1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("I_1 = %v, want [0 1]", got)
+	}
+	if got := in.AgentParties(2); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("K_2 = %v, want [1]", got)
+	}
+	deg := in.Degrees()
+	if deg.MaxVI != 2 || deg.MaxVK != 2 || deg.MaxIV != 2 || deg.MaxKV != 1 {
+		t.Fatalf("degrees = %+v", deg)
+	}
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"duplicate agent in resource", func() *Builder {
+			b := NewBuilder(2)
+			b.AddResource(Entry{0, 1}, Entry{0, 2})
+			return b
+		}},
+		{"agent out of range", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{5, 1})
+			return b
+		}},
+		{"negative agent", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{-1, 1})
+			return b
+		}},
+		{"zero coefficient", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{0, 0})
+			return b
+		}},
+		{"negative coefficient", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{0, -1})
+			return b
+		}},
+		{"NaN coefficient", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{0, math.NaN()})
+			return b
+		}},
+		{"empty resource", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource()
+			b.AddResource(Entry{0, 1})
+			return b
+		}},
+		{"empty party", func() *Builder {
+			b := NewBuilder(1)
+			b.AddResource(Entry{0, 1})
+			b.AddParty()
+			return b
+		}},
+		{"unconstrained agent", func() *Builder {
+			b := NewBuilder(2)
+			b.AddResource(Entry{0, 1})
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build().Build(); err == nil {
+			t.Errorf("%s: Build accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestAllowUnconstrained(t *testing.T) {
+	b := NewBuilder(2).AllowUnconstrained()
+	b.AddResource(Entry{0, 1})
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.AllowsUnconstrained() {
+		t.Fatal("flag not recorded")
+	}
+	if err := in.Validate(); err == nil {
+		t.Fatal("strict Validate should still reject Iv = ∅")
+	}
+}
+
+func TestObjectiveAndViolation(t *testing.T) {
+	in := tinyInstance(t)
+	x := []float64{0.5, 0.25, 1}
+	// party 0: 0.5 + 0.25 = 0.75; party 1: 3.
+	if got := in.Objective(x); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("objective = %v, want 0.75", got)
+	}
+	// resource 0: 0.5 + 0.5 = 1 ✓; resource 1: 0.125 + 1 = 1.125 ✗.
+	if got := in.Violation(x); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("violation = %v, want 0.125", got)
+	}
+	if in.Feasible(x, 1e-9) {
+		t.Fatal("x should be infeasible")
+	}
+	if !in.Feasible([]float64{0, 0, 0}, 0) {
+		t.Fatal("zero must be feasible")
+	}
+	if got := in.Violation([]float64{-0.5, 0, 0}); got != 0.5 {
+		t.Fatalf("negativity violation = %v, want 0.5", got)
+	}
+	if got := in.Violation([]float64{0}); !math.IsInf(got, 1) {
+		t.Fatalf("wrong-length violation = %v, want +Inf", got)
+	}
+}
+
+func TestObjectiveNoParties(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddResource(Entry{0, 1})
+	in := b.MustBuild()
+	if got := in.Objective([]float64{1}); !math.IsInf(got, 1) {
+		t.Fatalf("ω over no parties = %v, want +Inf", got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	in := tinyInstance(t)
+	var buf bytes.Buffer
+	if err := in.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameInstance(t, in, back)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := tinyInstance(t)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Instance{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	assertSameInstance(t, in, back)
+}
+
+func assertSameInstance(t *testing.T, a, b *Instance) {
+	t.Helper()
+	if a.NumAgents() != b.NumAgents() || a.NumResources() != b.NumResources() || a.NumParties() != b.NumParties() {
+		t.Fatalf("shape mismatch: %s vs %s", a.Stats(), b.Stats())
+	}
+	for i := 0; i < a.NumResources(); i++ {
+		if !reflect.DeepEqual(a.Resource(i), b.Resource(i)) {
+			t.Fatalf("resource %d: %v vs %v", i, a.Resource(i), b.Resource(i))
+		}
+	}
+	for k := 0; k < a.NumParties(); k++ {
+		if !reflect.DeepEqual(a.Party(k), b.Party(k)) {
+			t.Fatalf("party %d: %v vs %v", k, a.Party(k), b.Party(k))
+		}
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"nonsense header",
+		"mmlp 1 1 0\nr 0:abc",
+		"mmlp 1 1 0\nr 0",
+		"mmlp 1 1 0\nz 0:1",
+		"mmlp 1 2 0\nr 0:1", // header promises 2 resources
+	} {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Errorf("ReadText accepted %q", input)
+		}
+	}
+}
+
+func TestTextRoundTripQuick(t *testing.T) {
+	// Property: every valid random instance survives a text round trip.
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.AddResource(Entry{v, 0.1 + r.Float64()})
+		}
+		for k := 0; k < 1+r.Intn(5); k++ {
+			b.AddParty(Entry{r.Intn(n), 0.1 + r.Float64()})
+		}
+		in := b.MustBuild()
+		var buf bytes.Buffer
+		if err := in.WriteText(&buf); err != nil {
+			return false
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < in.NumResources(); i++ {
+			if !reflect.DeepEqual(in.Resource(i), back.Resource(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	// agents 0,1,2,3; resources {0,1}, {2,3}; parties {0}, {2,3}, {1,2}.
+	b := NewBuilder(4)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(2, 3)
+	b.AddUniformParty(1, 0)
+	b.AddUniformParty(1, 2, 3)
+	b.AddUniformParty(1, 1, 2)
+	in := b.MustBuild()
+
+	restr, dropped := in.Restrict([]int{0, 1, 2})
+	// Resource {2,3} is cut, so agent 2 loses all resources and is dropped;
+	// parties touching 2 go too.
+	if !reflect.DeepEqual(dropped, []int{2}) {
+		t.Fatalf("dropped = %v, want [2]", dropped)
+	}
+	if !reflect.DeepEqual(restr.Agents, []int{0, 1}) {
+		t.Fatalf("kept agents = %v, want [0 1]", restr.Agents)
+	}
+	sub := restr.Sub
+	if sub.NumResources() != 1 || sub.NumParties() != 1 {
+		t.Fatalf("sub shape: %s", sub.Stats())
+	}
+	if restr.LocalAgent(1) != 1 || restr.LocalAgent(3) != -1 {
+		t.Fatalf("LocalAgent mapping wrong: %d, %d", restr.LocalAgent(1), restr.LocalAgent(3))
+	}
+	lifted := restr.LiftSolution(4, []float64{0.5, 0.25})
+	if !reflect.DeepEqual(lifted, []float64{0.5, 0.25, 0, 0}) {
+		t.Fatalf("lifted = %v", lifted)
+	}
+}
+
+func TestRestrictKeepAll(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(2, 3)
+	b.AddUniformParty(1, 1, 2)
+	in := b.MustBuild()
+
+	restr := in.RestrictKeepAll([]int{0, 1, 2})
+	sub := restr.Sub
+	if sub.NumAgents() != 3 {
+		t.Fatalf("agents = %d, want 3 (agent 2 kept despite losing its resource)", sub.NumAgents())
+	}
+	if sub.NumResources() != 1 {
+		t.Fatalf("resources = %d, want 1", sub.NumResources())
+	}
+	if sub.NumParties() != 1 {
+		t.Fatalf("parties = %d, want 1 ({1,2} ⊆ V')", sub.NumParties())
+	}
+	local2 := restr.LocalAgent(2)
+	if len(sub.AgentResources(local2)) != 0 {
+		t.Fatal("agent 2 should be unconstrained in the sub-instance")
+	}
+	if !sub.AllowsUnconstrained() {
+		t.Fatal("sub-instance must be marked AllowUnconstrained")
+	}
+}
+
+func TestRestrictQuickInvariants(t *testing.T) {
+	// Property: for random instances and random agent subsets, every kept
+	// resource's support is inside the subset, and every dropped agent
+	// has no surviving resource.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.AddResource(Entry{v, 1}) // self-resource guarantees validity
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			a, c := r.Intn(n), r.Intn(n)
+			if a != c {
+				b.AddResource(Entry{a, 1}, Entry{c, 1})
+			}
+		}
+		for k := 0; k < 1+r.Intn(4); k++ {
+			b.AddParty(Entry{r.Intn(n), 1})
+		}
+		in := b.MustBuild()
+		var subset []int
+		for v := 0; v < n; v++ {
+			if r.Intn(2) == 0 {
+				subset = append(subset, v)
+			}
+		}
+		if len(subset) == 0 {
+			subset = []int{0}
+		}
+		inSub := map[int]bool{}
+		for _, v := range subset {
+			inSub[v] = true
+		}
+		restr, _ := in.Restrict(subset)
+		for _, parent := range restr.Resources {
+			for _, e := range in.Resource(parent) {
+				if !inSub[e.Agent] {
+					return false
+				}
+			}
+		}
+		// The sub-instance must be strictly valid.
+		return restr.Sub.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := tinyInstance(t).Stats()
+	if s.Nonzeros != 7 {
+		t.Fatalf("nonzeros = %d, want 7", s.Nonzeros)
+	}
+	str := s.String()
+	for _, want := range []string{"agents=3", "resources=2", "parties=2"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("Stats string %q missing %q", str, want)
+		}
+	}
+}

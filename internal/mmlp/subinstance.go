@@ -1,0 +1,198 @@
+package mmlp
+
+import "sort"
+
+// Restriction describes how a sub-instance was cut out of a parent
+// instance, mapping the local dense indices back to the parent's indices.
+type Restriction struct {
+	Sub *Instance
+
+	// Agents[v'] is the parent agent index of local agent v'.
+	Agents []int
+	// Resources[i'] is the parent resource index of local resource i'.
+	Resources []int
+	// Parties[k'] is the parent party index of local party k'.
+	Parties []int
+
+	agentLocal map[int]int
+}
+
+// LocalAgent maps a parent agent index to the local index, or -1 if the
+// agent is not part of the sub-instance.
+func (r *Restriction) LocalAgent(parent int) int {
+	if v, ok := r.agentLocal[parent]; ok {
+		return v
+	}
+	return -1
+}
+
+// LiftSolution maps a solution of the sub-instance back into the parent's
+// index space, filling agents outside the restriction with 0.
+func (r *Restriction) LiftSolution(parentAgents int, sub []float64) []float64 {
+	x := make([]float64, parentAgents)
+	for vLocal, vParent := range r.Agents {
+		x[vParent] = sub[vLocal]
+	}
+	return x
+}
+
+// Restrict builds the sub-instance induced by the given agent set, keeping
+// only resources with Vi ⊆ agents and parties with Vk ⊆ agents. This is
+// exactly the operation used to build the instance S' in Section 4.3 of
+// the paper (I' = {i : Vi ⊆ V'}, K' = {k : Vk ⊆ V'}).
+//
+// Agents whose entire Iv is dropped would make the sub-instance invalid
+// (unbounded variables); Restrict keeps them only if at least one of their
+// resources survives, and otherwise returns them in the dropped list.
+func (in *Instance) Restrict(agents []int) (*Restriction, []int) {
+	keep := make(map[int]bool, len(agents))
+	for _, v := range agents {
+		keep[v] = true
+	}
+
+	var resKeep []int
+	for i, row := range in.resRows {
+		if rowInside(row, keep) {
+			resKeep = append(resKeep, i)
+		}
+	}
+	var parKeep []int
+	for k, row := range in.parRows {
+		if rowInside(row, keep) {
+			parKeep = append(parKeep, k)
+		}
+	}
+
+	// An agent stays only if it still consumes some surviving resource.
+	covered := make(map[int]bool)
+	for _, i := range resKeep {
+		for _, e := range in.resRows[i] {
+			covered[e.Agent] = true
+		}
+	}
+	var kept, dropped []int
+	for _, v := range uniqueSorted(agents) {
+		if covered[v] {
+			kept = append(kept, v)
+		} else {
+			dropped = append(dropped, v)
+		}
+	}
+
+	local := make(map[int]int, len(kept))
+	for idx, v := range kept {
+		local[v] = idx
+	}
+
+	b := NewBuilder(len(kept))
+	// Parties whose support touches a dropped agent must go too: dropped
+	// agents are not representable in the sub-instance. (Resources cannot,
+	// by construction: every agent of a kept resource is covered.)
+	parKept := parKeep[:0]
+	for _, k := range parKeep {
+		ok := true
+		for _, e := range in.parRows[k] {
+			if _, isLocal := local[e.Agent]; !isLocal {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			parKept = append(parKept, k)
+		}
+	}
+	for _, i := range resKeep {
+		row := in.resRows[i]
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: local[e.Agent], Coeff: e.Coeff}
+		}
+		b.AddResource(entries...)
+	}
+	for _, k := range parKept {
+		row := in.parRows[k]
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: local[e.Agent], Coeff: e.Coeff}
+		}
+		b.AddParty(entries...)
+	}
+	sub := b.MustBuild()
+	return &Restriction{
+		Sub:        sub,
+		Agents:     kept,
+		Resources:  resKeep,
+		Parties:    parKept,
+		agentLocal: local,
+	}, dropped
+}
+
+// RestrictKeepAll builds the sub-instance on exactly the given agent set,
+// following the paper's Section 4.3 definition verbatim: every agent of
+// the set is kept (even if it loses all of its resources), I' = {i : Vi ⊆
+// V'} and K' = {k : Vk ⊆ V'}. The resulting instance is built with
+// AllowUnconstrained because boundary agents of S' genuinely have
+// Iv = ∅.
+func (in *Instance) RestrictKeepAll(agents []int) *Restriction {
+	kept := uniqueSorted(agents)
+	keep := make(map[int]bool, len(kept))
+	for _, v := range kept {
+		keep[v] = true
+	}
+	local := make(map[int]int, len(kept))
+	for idx, v := range kept {
+		local[v] = idx
+	}
+	b := NewBuilder(len(kept)).AllowUnconstrained()
+	var resKeep, parKeep []int
+	for i, row := range in.resRows {
+		if rowInside(row, keep) {
+			resKeep = append(resKeep, i)
+			entries := make([]Entry, len(row))
+			for j, e := range row {
+				entries[j] = Entry{Agent: local[e.Agent], Coeff: e.Coeff}
+			}
+			b.AddResource(entries...)
+		}
+	}
+	for k, row := range in.parRows {
+		if rowInside(row, keep) {
+			parKeep = append(parKeep, k)
+			entries := make([]Entry, len(row))
+			for j, e := range row {
+				entries[j] = Entry{Agent: local[e.Agent], Coeff: e.Coeff}
+			}
+			b.AddParty(entries...)
+		}
+	}
+	return &Restriction{
+		Sub:        b.MustBuild(),
+		Agents:     kept,
+		Resources:  resKeep,
+		Parties:    parKeep,
+		agentLocal: local,
+	}
+}
+
+func rowInside(row []Entry, keep map[int]bool) bool {
+	for _, e := range row {
+		if !keep[e.Agent] {
+			return false
+		}
+	}
+	return true
+}
+
+func uniqueSorted(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	w := 0
+	for i, x := range out {
+		if i == 0 || x != out[w-1] {
+			out[w] = x
+			w++
+		}
+	}
+	return out[:w]
+}

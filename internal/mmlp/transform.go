@@ -1,0 +1,103 @@
+package mmlp
+
+import "fmt"
+
+// Relabel returns a copy of the instance with agents renamed by the given
+// permutation: agent v of the original becomes agent perm[v]. Resource and
+// party indices are unchanged. Relabelling models reassigning the locally
+// unique identifiers of Section 1.5; identifier-oblivious algorithms (such
+// as the safe algorithm) must be equivariant under it, i.e.
+// Alg(Relabel(in))[perm[v]] == Alg(in)[v].
+func (in *Instance) Relabel(perm []int) (*Instance, error) {
+	n := in.nAgents
+	if len(perm) != n {
+		return nil, fmt.Errorf("mmlp: permutation has %d entries, instance has %d agents", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("mmlp: %v is not a permutation of 0..%d", perm, n-1)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	if in.hasUnconstrained {
+		b.AllowUnconstrained()
+	}
+	for _, row := range in.resRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: perm[e.Agent], Coeff: e.Coeff}
+		}
+		b.AddResource(entries...)
+	}
+	for _, row := range in.parRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: perm[e.Agent], Coeff: e.Coeff}
+		}
+		b.AddParty(entries...)
+	}
+	return b.Build()
+}
+
+// DisjointUnion combines two instances into one with no interaction
+// between their agent sets: agents, resources and parties of b are
+// shifted after those of a. Useful for building multi-component test
+// instances — a local algorithm must treat components independently.
+func DisjointUnion(a, b *Instance) *Instance {
+	builder := NewBuilder(a.nAgents + b.nAgents)
+	if a.hasUnconstrained || b.hasUnconstrained {
+		builder.AllowUnconstrained()
+	}
+	for _, row := range a.resRows {
+		builder.AddResource(row...)
+	}
+	for _, row := range b.resRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: e.Agent + a.nAgents, Coeff: e.Coeff}
+		}
+		builder.AddResource(entries...)
+	}
+	for _, row := range a.parRows {
+		builder.AddParty(row...)
+	}
+	for _, row := range b.parRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: e.Agent + a.nAgents, Coeff: e.Coeff}
+		}
+		builder.AddParty(entries...)
+	}
+	return builder.MustBuild()
+}
+
+// Scale returns a copy with every resource coefficient multiplied by
+// resFactor and every party coefficient by parFactor. Scaling resources
+// by f scales the feasible region (and hence ω*) by 1/f; scaling parties
+// by f scales ω* by f. Both factors must be positive.
+func (in *Instance) Scale(resFactor, parFactor float64) (*Instance, error) {
+	if !(resFactor > 0) || !(parFactor > 0) {
+		return nil, fmt.Errorf("mmlp: scale factors must be positive, got %v and %v", resFactor, parFactor)
+	}
+	b := NewBuilder(in.nAgents)
+	if in.hasUnconstrained {
+		b.AllowUnconstrained()
+	}
+	for _, row := range in.resRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: e.Agent, Coeff: e.Coeff * resFactor}
+		}
+		b.AddResource(entries...)
+	}
+	for _, row := range in.parRows {
+		entries := make([]Entry, len(row))
+		for j, e := range row {
+			entries[j] = Entry{Agent: e.Agent, Coeff: e.Coeff * parFactor}
+		}
+		b.AddParty(entries...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,115 @@
+package mmlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelBasics(t *testing.T) {
+	in := tinyInstance(t)
+	perm := []int{2, 0, 1}
+	out, err := in.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(0, 1) = 2 in the original → A(0, perm[1]=0) = 2 in the copy.
+	if got := out.A(0, 0); got != 2 {
+		t.Fatalf("relabelled A(0,0) = %v, want 2", got)
+	}
+	if got := out.C(1, perm[2]); got != 3 {
+		t.Fatalf("relabelled C(1,%d) = %v, want 3", perm[2], got)
+	}
+	// Degree bounds are invariant.
+	if out.Degrees() != in.Degrees() {
+		t.Fatalf("degrees changed: %+v vs %+v", out.Degrees(), in.Degrees())
+	}
+}
+
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	in := tinyInstance(t)
+	for _, bad := range [][]int{
+		{0, 1},          // wrong length
+		{0, 1, 1},       // repeat
+		{0, 1, 5},       // out of range
+		{-1, 1, 2},      // negative
+		{0, 1, 2, 3, 4}, // too long
+	} {
+		if _, err := in.Relabel(bad); err == nil {
+			t.Fatalf("Relabel accepted %v", bad)
+		}
+	}
+}
+
+func TestRelabelObjectiveEquivariantQuick(t *testing.T) {
+	// Property: ω(Relabel(in), permuted x) == ω(in, x).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.AddResource(Entry{v, 0.5 + r.Float64()})
+		}
+		for k := 0; k < 1+r.Intn(4); k++ {
+			b.AddParty(Entry{r.Intn(n), 0.5 + r.Float64()})
+		}
+		in := b.MustBuild()
+		perm := r.Perm(n)
+		out, err := in.Relabel(perm)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for v := range x {
+			x[v] = r.Float64()
+		}
+		px := make([]float64, n)
+		for v := range x {
+			px[perm[v]] = x[v]
+		}
+		return math.Abs(in.Objective(x)-out.Objective(px)) < 1e-12 &&
+			math.Abs(in.Violation(x)-out.Violation(px)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	a := tinyInstance(t)
+	bIn := tinyInstance(t)
+	u := DisjointUnion(a, bIn)
+	if u.NumAgents() != 6 || u.NumResources() != 4 || u.NumParties() != 4 {
+		t.Fatalf("shape: %s", u.Stats())
+	}
+	// The two halves do not interact: objective decomposes as the min.
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	wantMin := math.Min(a.Objective(x[:3]), bIn.Objective(x[3:]))
+	if got := u.Objective(x); math.Abs(got-wantMin) > 1e-12 {
+		t.Fatalf("union objective = %v, want %v", got, wantMin)
+	}
+}
+
+func TestScale(t *testing.T) {
+	in := tinyInstance(t)
+	scaled, err := in.Scale(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.1, 0.1}
+	// Party benefit scales by 3.
+	if got, want := scaled.PartyBenefit(0, x), 3*in.PartyBenefit(0, x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled benefit %v, want %v", got, want)
+	}
+	// Resource usage scales by 2.
+	if got, want := scaled.ResourceUsage(0, x), 2*in.ResourceUsage(0, x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled usage %v, want %v", got, want)
+	}
+	if _, err := in.Scale(0, 1); err == nil {
+		t.Fatal("zero factor must fail")
+	}
+	if _, err := in.Scale(1, -2); err == nil {
+		t.Fatal("negative factor must fail")
+	}
+}

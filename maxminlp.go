@@ -1,0 +1,215 @@
+// Package maxminlp is a library for approximating max-min linear programs
+// with local algorithms, reproducing
+//
+//	P. Floréen, P. Kaski, T. Musto, J. Suomela:
+//	"Approximating max-min linear programs with local algorithms",
+//	IPDPS 2008 (arXiv:0710.1499).
+//
+// A max-min LP asks to maximise ω = min_k Σ_v c_kv·x_v subject to
+// Σ_v a_iv·x_v ≤ 1 and x ≥ 0, where each agent v controls x_v and may
+// only communicate within a constant-radius neighbourhood of the
+// communication hypergraph (resource and party supports are the
+// hyperedges).
+//
+// The package exposes:
+//
+//   - instance modelling (NewBuilder, Instance),
+//   - the communication hypergraph with balls and relative growth γ(r)
+//     (NewGraph, Graph),
+//   - a centralised LP optimum for ground truth (SolveOptimal),
+//   - the safe local 1-round ΔVI-approximation (Safe),
+//   - the Theorem-3 local averaging algorithm with its per-instance
+//     approximation certificate (LocalAverage),
+//   - a synchronous message-passing simulator with goroutine-per-agent
+//     execution (NewNetwork, SafeProtocol, AverageProtocol),
+//   - the Theorem-1 adversarial construction and its proof checker
+//     (BuildLowerBound), and
+//   - instance generators and the paper's two §2 applications
+//     (Torus, Grid, RandomInstance, RandomSensorNetwork, RandomISP).
+//
+// See examples/ for runnable end-to-end programs and EXPERIMENTS.md for
+// the paper-versus-measured reproduction record.
+package maxminlp
+
+import (
+	"math/rand"
+
+	"maxminlp/internal/apps"
+	"maxminlp/internal/core"
+	"maxminlp/internal/dist"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lowerbound"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// Core model types, re-exported from the implementation packages.
+type (
+	// Instance is an immutable sparse max-min LP.
+	Instance = mmlp.Instance
+	// Builder constructs Instances incrementally.
+	Builder = mmlp.Builder
+	// Entry is one nonzero coefficient of a constraint or benefit row.
+	Entry = mmlp.Entry
+	// DegreeBounds carries the support-size bounds ΔVI, ΔVK, ΔIV, ΔKV.
+	DegreeBounds = mmlp.DegreeBounds
+	// Restriction is a sub-instance together with its index mappings.
+	Restriction = mmlp.Restriction
+
+	// Graph is the communication hypergraph of an instance.
+	Graph = hypergraph.Graph
+	// GraphOptions configures hypergraph construction.
+	GraphOptions = hypergraph.Options
+
+	// AverageResult is the output and certificate of LocalAverage.
+	AverageResult = core.AverageResult
+
+	// Network runs distributed protocols over an instance.
+	Network = dist.Network
+	// Protocol is a distributed algorithm runnable on a Network.
+	Protocol = dist.Protocol
+	// Trace reports the cost and output of one protocol execution.
+	Trace = dist.Trace
+	// SafeProtocol is the safe algorithm as a zero-round protocol.
+	SafeProtocol = dist.SafeProtocol
+	// AverageProtocol is the Theorem-3 algorithm as a message-passing
+	// protocol with horizon Θ(R).
+	AverageProtocol = dist.AverageProtocol
+	// StabilizingAverage is the self-stabilising transformation of
+	// AverageProtocol (§1.1): run via Network.RunStabilizing, it recovers
+	// the exact fault-free outputs within one horizon of any transient
+	// state corruption.
+	StabilizingAverage = dist.StabilizingAverage
+	// StabilizingRun reports the outputs and stabilisation round of a
+	// RunStabilizing execution.
+	StabilizingRun = dist.StabilizingRun
+	// StabNodeHandle lets fault injectors corrupt node state.
+	StabNodeHandle = dist.StabNodeHandle
+
+	// LowerBoundParams configures the Theorem-1 construction.
+	LowerBoundParams = lowerbound.Params
+	// LowerBound is the instantiated adversarial construction.
+	LowerBound = lowerbound.Construction
+	// SPrime is the restricted instance S' of Section 4.3.
+	SPrime = lowerbound.SPrime
+	// CheckReport is the proof checker's verdict.
+	CheckReport = lowerbound.CheckReport
+
+	// SensorNetwork is the §2 two-tier sensor deployment model.
+	SensorNetwork = apps.SensorNetwork
+	// SensorNetworkOptions configures random deployments.
+	SensorNetworkOptions = apps.SensorNetworkOptions
+	// ISPNetwork is the §2 ISP fair-bandwidth model.
+	ISPNetwork = apps.ISPNetwork
+	// ISPOptions configures random ISP topologies.
+	ISPOptions = apps.ISPOptions
+
+	// Lattice maps between grid coordinates and agent indices.
+	Lattice = gen.Lattice
+	// LatticeOptions configures grid and torus generation.
+	LatticeOptions = gen.LatticeOptions
+	// RandomOptions configures random instance generation.
+	RandomOptions = gen.RandomOptions
+)
+
+// NewBuilder returns a Builder pre-sized for the given number of agents.
+func NewBuilder(agents int) *Builder { return mmlp.NewBuilder(agents) }
+
+// NewGraph builds the communication hypergraph of an instance: agents are
+// adjacent iff they share a resource or (unless CollaborationOblivious)
+// a party.
+func NewGraph(in *Instance, opt GraphOptions) *Graph {
+	return hypergraph.FromInstance(in, opt)
+}
+
+// OptimalResult is the centralised LP optimum of an instance.
+type OptimalResult = lp.MaxMinResult
+
+// Backend selects the simplex implementation for SolveOptimalWith.
+type Backend = lp.Backend
+
+// Simplex backends.
+const (
+	// BackendDense is the reference full-tableau simplex.
+	BackendDense = lp.BackendDense
+	// BackendRevised is the revised simplex (sparse columns, explicit
+	// basis inverse); faster on large sparse instances.
+	BackendRevised = lp.BackendRevised
+)
+
+// SolveOptimal computes the global optimum of the max-min LP with the
+// built-in simplex solver (Section 1.3 formulation). It is the ground
+// truth that local algorithms are measured against; it is not itself a
+// local algorithm.
+func SolveOptimal(in *Instance) (OptimalResult, error) { return lp.SolveMaxMin(in) }
+
+// SolveOptimalWith is SolveOptimal with an explicit simplex backend.
+func SolveOptimalWith(in *Instance, backend Backend) (OptimalResult, error) {
+	return lp.SolveMaxMinWith(in, backend)
+}
+
+// Safe computes the safe solution x_v = min_{i∈Iv} 1/(a_iv·|Vi|)
+// (equation (2)), a local ΔVI-approximation with horizon 1.
+func Safe(in *Instance) []float64 { return core.Safe(in) }
+
+// SafeRatioBound returns ΔVI, the proven approximation ratio of Safe.
+func SafeRatioBound(in *Instance) float64 { return core.SafeRatioBound(in) }
+
+// LocalAverage runs the Theorem-3 local averaging algorithm with radius R
+// over the given communication graph. The result is always feasible and
+// carries a per-instance approximation certificate bounded by
+// γ(R−1)·γ(R).
+func LocalAverage(in *Instance, g *Graph, radius int) (*AverageResult, error) {
+	return core.LocalAverage(in, g, radius)
+}
+
+// LocalAverageParallel is LocalAverage with the independent per-agent
+// local LPs solved by a pool of worker goroutines (workers ≤ 0 selects
+// GOMAXPROCS). The result is bit-identical to LocalAverage.
+func LocalAverageParallel(in *Instance, g *Graph, radius, workers int) (*AverageResult, error) {
+	return core.LocalAverageParallel(in, g, radius, workers)
+}
+
+// AdaptiveResult is the outcome of AdaptiveAverage.
+type AdaptiveResult = core.AdaptiveResult
+
+// AdaptiveAverage grows the averaging radius until the per-instance
+// certificate meets the target ratio (Theorem 3 as a local approximation
+// scheme), then runs LocalAverage at that radius. On expanding graphs the
+// target may be unreachable; Achieved reports which case occurred.
+func AdaptiveAverage(in *Instance, g *Graph, targetRatio float64, maxRadius int) (*AdaptiveResult, error) {
+	return core.AdaptiveAverage(in, g, targetRatio, maxRadius)
+}
+
+// Certificate computes the Theorem-3 approximation certificate
+// (max_k M_k/m_k, max_i N_i/n_i) at the given radius without solving any
+// local LP.
+func Certificate(in *Instance, g *Graph, radius int) (partyBound, resourceBound float64, err error) {
+	return core.Certificate(in, g, radius)
+}
+
+// NewNetwork binds an instance to its communication hypergraph for
+// distributed execution.
+func NewNetwork(in *Instance, g *Graph) (*Network, error) { return dist.NewNetwork(in, g) }
+
+// BuildLowerBound instantiates the Theorem-1 adversarial construction.
+func BuildLowerBound(p LowerBoundParams) (*LowerBound, error) { return lowerbound.Build(p) }
+
+// Torus builds a d-dimensional torus instance (one agent, resource and
+// party per cell, supports = closed von-Neumann neighbourhoods).
+func Torus(dims []int, opt LatticeOptions) (*Instance, *Lattice) { return gen.Torus(dims, opt) }
+
+// Grid is Torus without wraparound.
+func Grid(dims []int, opt LatticeOptions) (*Instance, *Lattice) { return gen.Grid(dims, opt) }
+
+// RandomInstance generates a random bounded-degree max-min LP.
+func RandomInstance(opt RandomOptions, rng *rand.Rand) *Instance { return gen.Random(opt, rng) }
+
+// RandomSensorNetwork samples a two-tier sensor deployment (§2).
+func RandomSensorNetwork(opt SensorNetworkOptions, rng *rand.Rand) *SensorNetwork {
+	return apps.RandomSensorNetwork(opt, rng)
+}
+
+// RandomISP samples an ISP access-network topology (§2).
+func RandomISP(opt ISPOptions, rng *rand.Rand) *ISPNetwork { return apps.RandomISP(opt, rng) }

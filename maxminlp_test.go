@@ -1,0 +1,124 @@
+package maxminlp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxminlp"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build an instance, solve it three ways, check the guarantees.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b := maxminlp.NewBuilder(3)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(1, 2)
+	b.AddUniformParty(1, 0, 1)
+	b.AddUniformParty(1, 2)
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt, err := maxminlp.SolveOptimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.Omega-1) > 1e-7 {
+		t.Fatalf("ω* = %v, want 1", opt.Omega)
+	}
+
+	safe := maxminlp.Safe(in)
+	if v := in.Violation(safe); v > 1e-9 {
+		t.Fatalf("safe infeasible: %v", v)
+	}
+	if ratio := opt.Omega / in.Objective(safe); ratio > maxminlp.SafeRatioBound(in)+1e-9 {
+		t.Fatalf("safe ratio %v exceeds ΔVI bound %v", ratio, maxminlp.SafeRatioBound(in))
+	}
+
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	avg, err := maxminlp.LocalAverage(in, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Violation(avg.X); v > 1e-9 {
+		t.Fatalf("average infeasible: %v", v)
+	}
+	if ratio := opt.Omega / in.Objective(avg.X); ratio > avg.RatioCertificate()+1e-6 {
+		t.Fatalf("ratio %v exceeds certificate %v", ratio, avg.RatioCertificate())
+	}
+}
+
+func TestPublicAPIDistributed(t *testing.T) {
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	nw, err := maxminlp.NewNetwork(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := nw.RunGoroutines(maxminlp.AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := maxminlp.LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.X {
+		if tr.X[v] != want.X[v] {
+			t.Fatalf("agent %d: distributed %v != centralised %v", v, tr.X[v], want.X[v])
+		}
+	}
+}
+
+func TestPublicAPILowerBound(t *testing.T) {
+	params := maxminlp.LowerBoundParams{DeltaVI: 3, DeltaVK: 2, R: 2, LocalHorizon: 1}
+	c, err := maxminlp.BuildLowerBound(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := maxminlp.Safe(c.S)
+	sp, err := c.DeriveSPrime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Check(x, sp)
+	if !rep.OK() {
+		t.Fatalf("checks failed: %v", rep.Errors)
+	}
+	if params.TheoremBound() != 1.5 {
+		t.Fatalf("bound = %v, want 1.5", params.TheoremBound())
+	}
+}
+
+func TestPublicAPIApplications(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sn := maxminlp.RandomSensorNetwork(maxminlp.SensorNetworkOptions{
+		Sensors: 10, Relays: 4, Areas: 4,
+		RadioRange: 0.4, SenseRange: 0.35, MaxLinksPerSensor: 2,
+	}, rng)
+	if _, err := sn.Instance(); err != nil {
+		t.Fatal(err)
+	}
+	isp := maxminlp.RandomISP(maxminlp.ISPOptions{
+		Customers: 4, LastMilesPerCustomer: 2, Routers: 3, RoutersPerLastMile: 2,
+	}, rng)
+	if _, err := isp.Instance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	in, lat := maxminlp.Grid([]int{4, 4}, maxminlp.LatticeOptions{})
+	if in.NumAgents() != 16 || lat.NumCells() != 16 {
+		t.Fatal("grid shape wrong")
+	}
+	rng := rand.New(rand.NewSource(2))
+	r := maxminlp.RandomInstance(maxminlp.RandomOptions{
+		Agents: 10, Resources: 8, Parties: 4, MaxVI: 3, MaxVK: 2,
+	}, rng)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
