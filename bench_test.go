@@ -10,6 +10,7 @@ package maxminlp_test
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"maxminlp"
@@ -140,7 +141,7 @@ func BenchmarkLocalAverageRadius(b *testing.B) {
 	}
 }
 
-func radiusName(r int) string { return "R=" + string(rune('0'+r)) }
+func radiusName(r int) string { return "R=" + strconv.Itoa(r) }
 
 // BenchmarkEngines compares the sequential reference engine against the
 // goroutine-per-agent engine on the same protocol.

@@ -1,0 +1,3 @@
+module maxminlp
+
+go 1.24

@@ -1,0 +1,291 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/core"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+func fullGraph(in *mmlp.Instance) *hypergraph.Graph {
+	return hypergraph.FromInstance(in, hypergraph.Options{})
+}
+
+type testCase struct {
+	name  string
+	in    *mmlp.Instance
+	radii []int
+}
+
+func testCases(t *testing.T) []testCase {
+	t.Helper()
+	torus, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{})
+	cycle, _ := gen.Cycle(20, gen.LatticeOptions{})
+	rng := rand.New(rand.NewSource(9))
+	random := gen.Random(gen.RandomOptions{
+		Agents: 30, Resources: 24, Parties: 12, MaxVI: 3, MaxVK: 3,
+	}, rng)
+	return []testCase{
+		{"torus6x6", torus, []int{0, 1}},
+		{"cycle20", cycle, []int{1, 2}},
+		{"random30", random, []int{1}},
+	}
+}
+
+func mustNetwork(t *testing.T, in *mmlp.Instance, g *hypergraph.Graph) *Network {
+	t.Helper()
+	nw, err := NewNetwork(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestEnginesAgreeWithCore checks the central contract of the package:
+// both engines produce outputs bit-identical to each other, to the
+// centralised safe algorithm, and to the centralised Theorem-3 averaging
+// algorithm, on torus, cycle and random instances.
+func TestEnginesAgreeWithCore(t *testing.T) {
+	for _, tc := range testCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			g := fullGraph(tc.in)
+			nw := mustNetwork(t, tc.in, g)
+
+			seq, err := nw.RunSequential(SafeProtocol{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := nw.RunGoroutines(SafeProtocol{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.Safe(tc.in)
+			for v := range want {
+				if seq.X[v] != want[v] {
+					t.Fatalf("safe: sequential diverged from core at %d: %v vs %v", v, seq.X[v], want[v])
+				}
+				if par.X[v] != seq.X[v] {
+					t.Fatalf("safe: goroutine engine diverged at %d", v)
+				}
+			}
+
+			for _, R := range tc.radii {
+				seq, err := nw.RunSequential(AverageProtocol{Radius: R})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := nw.RunGoroutines(AverageProtocol{Radius: R})
+				if err != nil {
+					t.Fatal(err)
+				}
+				avg, err := core.LocalAverage(tc.in, g, R)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range avg.X {
+					if seq.X[v] != avg.X[v] {
+						t.Fatalf("R=%d: sequential diverged from core at %d: %v vs %v", R, v, seq.X[v], avg.X[v])
+					}
+					if par.X[v] != seq.X[v] {
+						t.Fatalf("R=%d: goroutine engine diverged at %d", R, v)
+					}
+				}
+				if par.Rounds != seq.Rounds || par.Messages != seq.Messages ||
+					par.Payload != seq.Payload || par.MaxNodePayload != seq.MaxNodePayload {
+					t.Fatalf("R=%d: traces diverge: seq %+v vs par %+v", R, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceAccounting pins the communication-cost semantics: the safe
+// protocol is zero-round and silent, while averaging floods for 2R+1
+// rounds with every record delivered once per edge direction within the
+// horizon.
+func TestTraceAccounting(t *testing.T) {
+	in, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{})
+	g := fullGraph(in)
+	nw := mustNetwork(t, in, g)
+
+	safe, err := nw.RunSequential(SafeProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Rounds != 0 || safe.Messages != 0 || safe.Payload != 0 || safe.MaxNodePayload != 0 {
+		t.Fatalf("safe should be silent, got %+v", safe)
+	}
+
+	avg, err := nw.RunSequential(AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Rounds != 3 {
+		t.Fatalf("averaging R=1 should run 2R+1 = 3 rounds, got %d", avg.Rounds)
+	}
+	if avg.Messages == 0 || avg.Payload == 0 || avg.MaxNodePayload == 0 {
+		t.Fatalf("missing cost accounting: %+v", avg)
+	}
+	if avg.MaxNodePayload > avg.Payload {
+		t.Fatalf("per-node payload %d exceeds total %d", avg.MaxNodePayload, avg.Payload)
+	}
+	// Flooding must deliver every record within the horizon to every
+	// node at least once, so the total payload is bounded below by
+	// Σ_v (|B(v, horizon)| − 1) — the records each node must learn.
+	wantPayload := 0
+	for v := 0; v < in.NumAgents(); v++ {
+		wantPayload += len(g.Ball(v, avg.Rounds)) - 1
+	}
+	if avg.Payload < wantPayload {
+		t.Fatalf("payload %d below the %d records the nodes must have received", avg.Payload, wantPayload)
+	}
+}
+
+// TestGoroutineEngineParallelStress runs the goroutine engine on a
+// larger instance several times; under `go test -race` this exercises
+// the barrier and the outbox handoff for data races.
+func TestGoroutineEngineParallelStress(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := fullGraph(in)
+	nw := mustNetwork(t, in, g)
+	var first *Trace
+	for rep := 0; rep < 3; rep++ {
+		tr, err := nw.RunGoroutines(AverageProtocol{Radius: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = tr
+			continue
+		}
+		for v := range tr.X {
+			if tr.X[v] != first.X[v] {
+				t.Fatalf("rep %d: nondeterministic output at node %d", rep, v)
+			}
+		}
+		if tr.Messages != first.Messages || tr.Payload != first.Payload {
+			t.Fatalf("rep %d: nondeterministic accounting", rep)
+		}
+	}
+}
+
+// TestStabilizingRecovery corrupts random node state mid-run and asserts
+// the §1.1 guarantee: outputs return to the exact fault-free solution
+// within one horizon of the fault.
+func TestStabilizingRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name   string
+		dims   []int
+		radius int
+	}{
+		{"torus5x5-R1", []int{5, 5}, 1},
+		{"cycle24-R2", []int{24}, 2},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			in, _ := gen.Torus(cse.dims, gen.LatticeOptions{})
+			g := fullGraph(in)
+			nw := mustNetwork(t, in, g)
+			p := StabilizingAverage{Radius: cse.radius}
+			fault := p.Horizon() + 1
+			rounds := fault + p.Horizon() + 2
+			corrupted := 0
+			run, err := nw.RunStabilizing(p, rounds, fault, func(nodes []*StabNodeHandle) {
+				for _, h := range nodes {
+					if rng.Intn(2) == 0 {
+						h.Drop()
+						corrupted++
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if corrupted == 0 {
+				t.Fatal("fault injection corrupted no nodes; choose another seed")
+			}
+			if len(run.Outputs) != rounds {
+				t.Fatalf("want %d output vectors, got %d", rounds, len(run.Outputs))
+			}
+			if run.StableFrom < 0 || run.StableFrom > fault+p.Horizon() {
+				t.Fatalf("StableFrom = %d outside [0, fault+horizon] = [0, %d]", run.StableFrom, fault+p.Horizon())
+			}
+			// The reference must be the converged averaging output.
+			avg, err := core.LocalAverage(in, g, cse.radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range avg.X {
+				if run.Reference[v] != avg.X[v] {
+					t.Fatalf("reference diverged from core at %d", v)
+				}
+				if run.Outputs[rounds-1][v] != avg.X[v] {
+					t.Fatalf("final output still perturbed at %d", v)
+				}
+			}
+		})
+	}
+}
+
+// TestStabilizingFaultFree checks the cold-start behaviour: with no
+// fault injected, the stabilising engine converges to the reference
+// within one horizon of round 0 and stays there.
+func TestStabilizingFaultFree(t *testing.T) {
+	in, _ := gen.Torus([]int{5, 5}, gen.LatticeOptions{})
+	nw := mustNetwork(t, in, fullGraph(in))
+	p := StabilizingAverage{Radius: 1}
+	run, err := nw.RunStabilizing(p, p.Horizon()+3, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.StableFrom < 0 || run.StableFrom > p.Horizon() {
+		t.Fatalf("fault-free StableFrom = %d, want ≤ horizon %d", run.StableFrom, p.Horizon())
+	}
+}
+
+// TestStabilizingProtocolUnderFloodingEngines checks that
+// StabilizingAverage is also a plain Protocol whose one-shot run matches
+// AverageProtocol exactly.
+func TestStabilizingProtocolUnderFloodingEngines(t *testing.T) {
+	in, _ := gen.Cycle(16, gen.LatticeOptions{})
+	nw := mustNetwork(t, in, fullGraph(in))
+	a, err := nw.RunSequential(AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nw.RunSequential(StabilizingAverage{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != s.X[v] {
+			t.Fatalf("stabilizing protocol diverged at %d", v)
+		}
+	}
+}
+
+// TestValidation covers the error paths of the runtime.
+func TestValidation(t *testing.T) {
+	in, _ := gen.Cycle(8, gen.LatticeOptions{})
+	other, _ := gen.Cycle(9, gen.LatticeOptions{})
+	if _, err := NewNetwork(in, fullGraph(other)); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+	if _, err := NewNetwork(nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	nw := mustNetwork(t, in, fullGraph(in))
+	if _, err := nw.RunSequential(nil); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, err := nw.RunSequential(AverageProtocol{Radius: -1}); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	if _, err := nw.RunStabilizing(StabilizingAverage{Radius: 1}, 0, 0, nil); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package dist
+
+import "sync"
+
+// barrier is a reusable synchronisation point for n goroutines: await
+// blocks until all n have arrived, then releases the generation.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// RunGoroutines executes the protocol with one goroutine per agent,
+// synchronised by a round barrier: within a round, every node first
+// stages its outgoing message, all nodes rendezvous, then every node
+// reads its neighbours' outboxes. A node only ever writes its own state,
+// reads of foreign outboxes are separated from their writes by the
+// barrier, and each node's merge and output are pure functions of
+// deterministically ordered inputs — so the run is race-free and its
+// result, including the cost accounting, is bit-for-bit identical to
+// RunSequential under any goroutine scheduling. The horizon-R local LP
+// solves, the expensive part, run genuinely in parallel.
+func (nw *Network) RunGoroutines(p Protocol) (*Trace, error) {
+	nodes, err := nw.newFloodNodes(p)
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	b := newBarrier(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			nd := nodes[v]
+			for round := 0; round < p.Horizon(); round++ {
+				nd.stageOutbox()
+				b.await() // every outbox staged and stable
+				for _, u := range nw.g.Neighbors(v) {
+					if msg := nodes[u].outbox; len(msg) > 0 {
+						nd.deliver(msg)
+					}
+				}
+				b.await() // every outbox read; restaging is safe again
+			}
+			nd.x, nd.err = p.output(nd.know)
+		}(v)
+	}
+	wg.Wait()
+	tr := &Trace{Protocol: p.Name(), Rounds: p.Horizon()}
+	return nw.finish(tr, nodes)
+}

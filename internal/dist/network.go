@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// Network binds an instance to its communication hypergraph for
+// distributed execution. It precomputes the per-agent ROMs once; the
+// engines share them across runs (records are immutable).
+type Network struct {
+	in   *mmlp.Instance
+	g    *hypergraph.Graph
+	roms []*agentRecord
+}
+
+// NewNetwork builds a Network over the instance and its communication
+// hypergraph. The graph must have one vertex per agent.
+func NewNetwork(in *mmlp.Instance, g *hypergraph.Graph) (*Network, error) {
+	if in == nil || g == nil {
+		return nil, errors.New("dist: nil instance or graph")
+	}
+	if g.NumVertices() != in.NumAgents() {
+		return nil, fmt.Errorf("dist: graph has %d vertices but instance has %d agents",
+			g.NumVertices(), in.NumAgents())
+	}
+	return &Network{in: in, g: g, roms: buildRecords(in, g)}, nil
+}
+
+// NumAgents returns the number of nodes in the network.
+func (nw *Network) NumAgents() int { return len(nw.roms) }
+
+// Trace reports the output and communication cost of one protocol
+// execution.
+type Trace struct {
+	// Protocol names the protocol that produced the trace.
+	Protocol string
+	// X is the combined output: X[v] is the activity node v announced.
+	X []float64
+	// Rounds is the number of synchronous communication rounds executed
+	// (the protocol's horizon; the schedule is fixed because a node
+	// cannot detect globally that flooding has finished).
+	Rounds int
+	// Messages counts point-to-point messages delivered; a node with
+	// nothing new to forward in a round stays silent.
+	Messages int
+	// Payload counts the agent records delivered across all messages —
+	// the simulator's unit of communication volume.
+	Payload int
+	// MaxNodePayload is the largest payload received by any single node,
+	// the per-node communication cost the locality guarantee of §1.1
+	// keeps constant as the network grows.
+	MaxNodePayload int
+}
+
+// newFloodNodes validates the protocol and builds the per-node state for
+// a full-information run.
+func (nw *Network) newFloodNodes(p Protocol) ([]*floodNode, error) {
+	if p == nil {
+		return nil, errors.New("dist: nil protocol")
+	}
+	if p.Horizon() < 0 {
+		return nil, fmt.Errorf("dist: protocol %s has negative horizon %d", p.Name(), p.Horizon())
+	}
+	nodes := make([]*floodNode, len(nw.roms))
+	for v, rom := range nw.roms {
+		nodes[v] = newFloodNode(rom)
+	}
+	return nodes, nil
+}
+
+// finish aggregates per-node results into the trace, surfacing the
+// lowest-numbered node error if any occurred.
+func (nw *Network) finish(tr *Trace, nodes []*floodNode) (*Trace, error) {
+	tr.X = make([]float64, len(nodes))
+	for v, nd := range nodes {
+		if nd.err != nil {
+			return nil, fmt.Errorf("dist: %s: node %d: %w", tr.Protocol, v, nd.err)
+		}
+		tr.X[v] = nd.x
+		tr.Messages += nd.msgs
+		tr.Payload += nd.received
+		if nd.received > tr.MaxNodePayload {
+			tr.MaxNodePayload = nd.received
+		}
+	}
+	return tr, nil
+}
