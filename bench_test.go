@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E11) plus
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E12) plus
 // ablations for the design choices called out in DESIGN.md: pivot rules,
 // float vs exact arithmetic, dense vs revised simplex, averaging radius,
 // sequential vs parallel local-LP execution, and the two distributed
@@ -52,6 +52,7 @@ func BenchmarkE8Distributed(b *testing.B)         { benchExperiment(b, "E8") }
 func BenchmarkE9SelfStabilization(b *testing.B)   { benchExperiment(b, "E9") }
 func BenchmarkE10OpenQuestion(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11AdaptiveScheme(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12ShardedEngine(b *testing.B)      { benchExperiment(b, "E12") }
 
 // --- ablations -----------------------------------------------------------
 
@@ -198,6 +199,121 @@ func BenchmarkBallAndGamma(b *testing.B) {
 			g.GammaProfile(4)
 		}
 	})
+}
+
+// BenchmarkBallLarge measures radius-3 ball extraction on a large torus
+// (n = 4096), the primitive whose cost the CSR layout targets.
+func BenchmarkBallLarge(b *testing.B) {
+	in, _ := gen.Torus([]int{64, 64}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Ball(i%in.NumAgents(), 3)
+	}
+}
+
+// BenchmarkBallGeometric is BenchmarkBallLarge on a unit-disk instance,
+// the irregular-degree workload of Section 5.
+func BenchmarkBallGeometric(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 2000, Radius: 0.04, MaxNeighbors: 6}, rng)
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Ball(i%in.NumAgents(), 3)
+	}
+}
+
+// BenchmarkGammaLarge measures the full γ(r) profile (one bounded BFS per
+// vertex) on a large torus.
+func BenchmarkGammaLarge(b *testing.B) {
+	in, _ := gen.Torus([]int{48, 48}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.GammaProfile(3)
+	}
+}
+
+// BenchmarkCertificateLarge measures the Theorem-3 certificate (balls +
+// per-resource unions + per-party intersections, no LP solves) on a large
+// torus: the round-loop structure the flat index accelerates.
+func BenchmarkCertificateLarge(b *testing.B) {
+	in, _ := gen.Torus([]int{32, 32}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Certificate(in, g, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginesLarge compares the distributed engines on a torus large
+// enough for sharding to matter (n = 1024, horizon 3).
+func BenchmarkEnginesLarge(b *testing.B) {
+	in, _ := gen.Torus([]int{32, 32}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	nw, err := dist.NewNetwork(in, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := dist.AverageProtocol{Radius: 1}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunSequential(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunGoroutines(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-P=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.RunSharded(proto, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBallIndex measures building the all-agents radius-2 ball
+// arena — the once-per-run precomputation of the flat round loops —
+// sequentially and sharded.
+func BenchmarkBallIndex(b *testing.B) {
+	in, _ := gen.Torus([]int{64, 64}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if g.BallIndex(2, workers).NumVertices() != in.NumAgents() {
+					b.Fatal("bad index")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSafeFlat ablates the flat-index safe algorithm against the
+// instance-walking reference on the BenchmarkSafePerAgent workload.
+func BenchmarkSafeFlat(b *testing.B) {
+	in, _ := gen.Torus([]int{32, 32}, gen.LatticeOptions{})
+	csr := maxminlp.NewCSR(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maxminlp.SafeFlat(csr)
+	}
 }
 
 // BenchmarkLowerBoundBuild isolates the construction cost of S (template

@@ -11,6 +11,7 @@ import (
 
 	"maxminlp/internal/apps"
 	"maxminlp/internal/core"
+	"maxminlp/internal/dist"
 	"maxminlp/internal/gen"
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/lowerbound"
@@ -27,7 +28,7 @@ func cmdGen(args []string) error {
 	weights := fs.Bool("weights", false, "random coefficients instead of unit ones")
 	deltaVI := fs.Int("dvi", 3, "ΔVI for random/safetight")
 	deltaVK := fs.Int("dvk", 3, "ΔVK for random")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -84,6 +85,65 @@ func cmdStats(args []string) error {
 	g := hypergraph.FromInstance(in, hypergraph.Options{})
 	fmt.Printf("hypergraph: max degree %d, diameter %d, components %d\n",
 		g.MaxDegree(), g.Diameter(), len(g.Components()))
+	csr := g.CSR()
+	fmt.Printf("csr index: incidence %d nonzeros (%d bytes), adjacency %d edges\n",
+		csr.Nonzeros(), csr.MemoryBytes(), g.NumEdges())
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	proto := fs.String("proto", "average", "safe | average")
+	radius := fs.Int("radius", 1, "averaging radius R for -proto average")
+	engine := fs.String("engine", "sequential", "sequential | goroutines | sharded")
+	shards := fs.Int("shards", 0, "workers for -engine sharded; ≤ 0 selects GOMAXPROCS")
+	printX := fs.Bool("x", false, "print the full activity vector")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	in, err := readInstance(fs.Args())
+	if err != nil {
+		return err
+	}
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	nw, err := dist.NewNetwork(in, g)
+	if err != nil {
+		return err
+	}
+	var p dist.Protocol
+	switch *proto {
+	case "safe":
+		p = dist.SafeProtocol{}
+	case "average":
+		p = dist.AverageProtocol{Radius: *radius}
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	var tr *dist.Trace
+	switch *engine {
+	case "sequential":
+		tr, err = nw.RunSequential(p)
+	case "goroutines":
+		tr, err = nw.RunGoroutines(p)
+	case "sharded":
+		tr, err = nw.RunSharded(p, *shards)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		return err
+	}
+	if v := in.Violation(tr.X); v > 1e-9 {
+		return fmt.Errorf("internal error: solution violates constraints by %g", v)
+	}
+	fmt.Printf("%s on %s: rounds %d, messages %d, payload %d, max/node %d, ω = %.6g\n",
+		tr.Protocol, *engine, tr.Rounds, tr.Messages, tr.Payload, tr.MaxNodePayload,
+		in.Objective(tr.X))
+	if *printX {
+		for v, xv := range tr.X {
+			fmt.Printf("x[%d] = %.6g\n", v, xv)
+		}
+	}
 	return nil
 }
 
@@ -93,7 +153,7 @@ func cmdSolve(args []string) error {
 	radius := fs.Int("radius", 1, "radius R for -alg average")
 	target := fs.Float64("target", 2, "target ratio for -alg adaptive")
 	printX := fs.Bool("x", false, "print the full activity vector")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := readInstance(fs.Args())
@@ -161,7 +221,7 @@ func cmdSolve(args []string) error {
 func cmdGamma(args []string) error {
 	fs := flag.NewFlagSet("gamma", flag.ContinueOnError)
 	maxR := fs.Int("maxr", 6, "largest radius to report")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := readInstance(fs.Args())
@@ -185,7 +245,7 @@ func cmdLowerBound(args []string) error {
 	horizon := fs.Int("r", 1, "local horizon r being fooled")
 	seed := fs.Int64("seed", 1, "seed for random template generation")
 	render := fs.Bool("render", false, "print the Figure-1 sketch of the construction")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	params := lowerbound.Params{
@@ -231,7 +291,7 @@ func cmdFigure2(args []string) error {
 	party := fs.Int("k", 0, "party k")
 	resource := fs.Int("i", 0, "resource i")
 	radius := fs.Int("radius", 1, "radius R")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := readInstance(fs.Args())
@@ -246,7 +306,7 @@ func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	solPath := fs.String("sol", "", "solution file: one x value per line, agent order (required)")
 	tolFlag := fs.Float64("tol", 1e-9, "feasibility tolerance")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *solPath == "" {
@@ -300,7 +360,7 @@ func readSolution(path string, n int) ([]float64, error) {
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 	to := fs.String("to", "json", "json | text")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := readInstance(fs.Args())

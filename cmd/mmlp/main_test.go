@@ -242,3 +242,69 @@ func TestSolveExtraAlgorithms(t *testing.T) {
 		}
 	}
 }
+
+// TestRunExitCodes pins the process exit-code contract: 0 on success,
+// 1 for runtime errors, 2 for usage errors, with diagnostics on stderr.
+func TestRunExitCodes(t *testing.T) {
+	path := genInstanceFile(t, "-kind", "torus", "-dims", "3x3")
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string // required substring of stderr
+	}{
+		{"no args", nil, 2, "usage:"},
+		{"unknown command", []string{"bogus"}, 2, "unknown command"},
+		{"bad flag", []string{"solve", "-nosuchflag", path}, 2, "mmlp solve:"},
+		{"bad flag value", []string{"gamma", "-maxr", "x", path}, 2, "mmlp gamma:"},
+		{"missing file", []string{"stats", "no-such-file.txt"}, 1, "mmlp stats:"},
+		{"unknown algorithm", []string{"solve", "-alg", "bogus", path}, 1, "unknown algorithm"},
+		{"unknown kind", []string{"gen", "-kind", "bogus"}, 1, "unknown kind"},
+		{"help", []string{"solve", "-h"}, 0, ""},
+		{"success", []string{"stats", path}, 0, ""},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			var got int
+			capture(t, func() error {
+				got = run(cse.args, &stderr)
+				return nil
+			})
+			if got != cse.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", cse.args, got, cse.want, stderr.String())
+			}
+			if cse.msg != "" && !strings.Contains(stderr.String(), cse.msg) {
+				t.Fatalf("stderr missing %q:\n%s", cse.msg, stderr.String())
+			}
+		})
+	}
+}
+
+// TestSimulateCommand runs every engine over both protocols and checks
+// that the reported trace lines agree across engines.
+func TestSimulateCommand(t *testing.T) {
+	path := genInstanceFile(t, "-kind", "torus", "-dims", "4x4")
+	for _, proto := range []string{"safe", "average"} {
+		var lines []string
+		for _, engine := range []string{"sequential", "goroutines", "sharded"} {
+			out := capture(t, func() error {
+				return cmdSimulate([]string{"-proto", proto, "-engine", engine, "-shards", "3", path})
+			})
+			if !strings.Contains(out, "ω") || !strings.Contains(out, "rounds") {
+				t.Fatalf("%s/%s output malformed:\n%s", proto, engine, out)
+			}
+			// Strip the engine name: everything after the colon must match.
+			lines = append(lines, out[strings.Index(out, ":"):])
+		}
+		if lines[0] != lines[1] || lines[1] != lines[2] {
+			t.Fatalf("%s: engines disagree:\n%v", proto, lines)
+		}
+	}
+	if err := cmdSimulate([]string{"-proto", "bogus", path}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := cmdSimulate([]string{"-engine", "bogus", path}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -142,3 +142,35 @@ func TestPointDist(t *testing.T) {
 		t.Fatalf("dist = %v, want 5", got)
 	}
 }
+
+// TestCommunicationHelpers checks that both §2 applications hand out the
+// instance together with a consistent CSR-backed communication graph.
+func TestCommunicationHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sn := RandomSensorNetwork(SensorNetworkOptions{
+		Sensors: 12, Relays: 4, Areas: 5,
+		RadioRange: 0.4, SenseRange: 0.35, MaxLinksPerSensor: 2,
+	}, rng)
+	in, g, err := sn.Communication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != in.NumAgents() {
+		t.Fatalf("sensornet graph has %d vertices for %d agents", g.NumVertices(), in.NumAgents())
+	}
+	if g.CSR() == nil || g.CSR().NumAgents() != in.NumAgents() {
+		t.Fatal("sensornet graph is missing its CSR incidence index")
+	}
+
+	net := RandomISP(ISPOptions{Customers: 5, LastMilesPerCustomer: 2, Routers: 3, RoutersPerLastMile: 2}, rng)
+	in, g, err = net.Communication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != in.NumAgents() {
+		t.Fatalf("isp graph has %d vertices for %d agents", g.NumVertices(), in.NumAgents())
+	}
+	if g.CSR() == nil || g.CSR().Nonzeros() != in.Stats().Nonzeros {
+		t.Fatal("isp CSR nonzeros disagree with the instance")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
 )
 
@@ -95,4 +96,15 @@ func (n *ISPNetwork) Instance() (*mmlp.Instance, error) {
 		b.AddParty(row...)
 	}
 	return b.Build()
+}
+
+// Communication builds the LP instance together with its CSR-backed
+// communication hypergraph — the pair every solver and distributed
+// engine consumes.
+func (n *ISPNetwork) Communication() (*mmlp.Instance, *hypergraph.Graph, error) {
+	in, err := n.Instance()
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, hypergraph.FromInstance(in, hypergraph.Options{}), nil
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
 )
 
@@ -191,4 +192,15 @@ func (sn *SensorNetwork) Instance() (*mmlp.Instance, error) {
 // rate, i.e. the min-per-area received data.
 func (sn *SensorNetwork) Lifetime(in *mmlp.Instance, x []float64) float64 {
 	return in.Objective(x)
+}
+
+// Communication builds the LP instance together with its CSR-backed
+// communication hypergraph — the pair every solver and distributed
+// engine consumes.
+func (sn *SensorNetwork) Communication() (*mmlp.Instance, *hypergraph.Graph, error) {
+	in, err := sn.Instance()
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, hypergraph.FromInstance(in, hypergraph.Options{}), nil
 }

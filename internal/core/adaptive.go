@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
@@ -18,83 +17,10 @@ func Certificate(in *mmlp.Instance, g *hypergraph.Graph, radius int) (partyBound
 	if radius < 0 {
 		return 0, 0, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
 	}
-	n := in.NumAgents()
-	balls := make([][]int, n)
-	inBall := make([]map[int]bool, n)
-	for u := 0; u < n; u++ {
-		balls[u] = g.Ball(u, radius)
-		set := make(map[int]bool, len(balls[u]))
-		for _, v := range balls[u] {
-			set[v] = true
-		}
-		inBall[u] = set
-	}
-	partyBound, resourceBound = certificateBounds(in, balls, inBall)
-	return partyBound, resourceBound, nil
-}
-
-// certificateBounds computes max_k M_k/m_k and max_i N_i/n_i from
-// precomputed balls.
-func certificateBounds(in *mmlp.Instance, balls [][]int, inBall []map[int]bool) (partyBound, resourceBound float64) {
-	_, resourceBound = resourceRatios(in, balls)
-	return partyBoundOf(in, balls, inBall), resourceBound
-}
-
-// resourceRatios computes n_i/N_i per resource (the ingredients of the β
-// weights of equation (10)) and the aggregate bound max_i N_i/n_i.
-func resourceRatios(in *mmlp.Instance, balls [][]int) (ratios []float64, resourceBound float64) {
-	nRes := in.NumResources()
-	ratios = make([]float64, nRes)
-	resourceBound = 1
-	for i := 0; i < nRes; i++ {
-		union := make(map[int]bool)
-		ni := math.MaxInt
-		for _, e := range in.Resource(i) {
-			j := e.Agent
-			for _, w := range balls[j] {
-				union[w] = true
-			}
-			if len(balls[j]) < ni {
-				ni = len(balls[j])
-			}
-		}
-		Ni := len(union)
-		ratios[i] = float64(ni) / float64(Ni)
-		resourceBound = max(resourceBound, float64(Ni)/float64(ni))
-	}
-	return ratios, resourceBound
-}
-
-// partyBoundOf computes max_k M_k/m_k; +Inf when some S_k is empty
-// (possible only at radius 0 with |Vk| > 1).
-func partyBoundOf(in *mmlp.Instance, balls [][]int, inBall []map[int]bool) float64 {
-	bound := 1.0
-	for k := 0; k < in.NumParties(); k++ {
-		row := in.Party(k)
-		mk, Mk := 0, 0
-		first := row[0].Agent
-		for _, w := range balls[first] {
-			inAll := true
-			for _, e := range row[1:] {
-				if !inBall[e.Agent][w] {
-					inAll = false
-					break
-				}
-			}
-			if inAll {
-				mk++
-			}
-		}
-		for _, e := range row {
-			Mk = max(Mk, len(balls[e.Agent]))
-		}
-		if mk == 0 {
-			bound = math.Inf(1)
-			continue
-		}
-		bound = max(bound, float64(Mk)/float64(mk))
-	}
-	return bound
+	csr := csrOf(in, g)
+	bi := g.BallIndex(radius, 1)
+	_, resourceBound = resourceRatiosFlat(csr, bi)
+	return partyBoundFlat(csr, bi), resourceBound, nil
 }
 
 // AdaptiveResult is the outcome of AdaptiveAverage.

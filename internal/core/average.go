@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/lp"
@@ -69,8 +70,21 @@ func (r *AverageResult) RatioCertificate() float64 {
 // optimum within max_k M_k/m_k · max_i N_i/n_i ≤ γ(R−1)·γ(R)
 // (Section 5.3).
 func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageResult, error) {
+	return localAverage(in, g, radius, 1)
+}
+
+// localAverage is the shared flat-array implementation of LocalAverage
+// and LocalAverageParallel: balls come from a radius-R BallIndex computed
+// once (sharded across the workers), the local LPs run on per-worker
+// localSolvers, and the accumulation of equation (10) always runs in
+// ascending agent order — so every worker count produces bit-identical
+// results.
+func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (*AverageResult, error) {
 	if radius < 0 {
 		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	n := in.NumAgents()
 	res := &AverageResult{
@@ -80,53 +94,79 @@ func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageR
 		BallSize:   make([]int, n),
 		LocalOmega: make([]float64, n),
 	}
-
-	balls := make([][]int, n)
-	inBall := make([]map[int]bool, n)
+	csr := csrOf(in, g)
+	bi := g.BallIndex(radius, workers)
 	for u := 0; u < n; u++ {
-		balls[u] = g.Ball(u, radius)
-		set := make(map[int]bool, len(balls[u]))
-		for _, v := range balls[u] {
-			set[v] = true
-		}
-		inBall[u] = set
-		res.BallSize[u] = len(balls[u])
+		res.BallSize[u] = bi.Size(u)
 	}
 
-	// Solve the local LP (9) of every agent and accumulate Σ_{u∈V^j} x^u_j.
+	// Solve the local LP (9) of every agent and accumulate
+	// Σ_{u∈V^j} x^u_j in ascending u order, so the floating-point sums
+	// are independent of the worker count. The sequential path streams
+	// each x^u into the sums as it is solved; the parallel path buffers
+	// the solutions and replays the identical accumulation afterwards.
 	sums := make([]float64, n)
-	for u := 0; u < n; u++ {
-		xu, omega, pivots, err := solveLocalOmega(in, balls[u], inBall[u])
-		if err != nil {
-			return nil, fmt.Errorf("core: local LP of agent %d: %w", u, err)
+	if workers == 1 {
+		s := newLocalSolver(csr)
+		for u := 0; u < n; u++ {
+			xu, omega, p, err := s.solve(bi.Ball(u))
+			if err != nil {
+				return nil, fmt.Errorf("core: local LP of agent %d: %w", u, err)
+			}
+			res.LocalOmega[u] = omega
+			res.LocalLPs++
+			res.LocalPivots += p
+			for idx, v := range bi.Ball(u) {
+				sums[v] += xu[idx]
+			}
 		}
-		res.LocalOmega[u] = omega
-		res.LocalLPs++
-		res.LocalPivots += pivots
-		for idx, v := range balls[u] {
-			sums[v] += xu[idx]
+	} else {
+		xus := make([][]float64, n)
+		pivots := make([]int, n)
+		var solvers sync.Pool
+		solvers.New = func() any { return newLocalSolver(csr) }
+		if err := parallelFor(n, workers, func(u int) error {
+			s := solvers.Get().(*localSolver)
+			defer solvers.Put(s)
+			xu, omega, p, err := s.solve(bi.Ball(u))
+			if err != nil {
+				return fmt.Errorf("core: local LP of agent %d: %w", u, err)
+			}
+			xus[u] = xu
+			res.LocalOmega[u] = omega
+			pivots[u] = p
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for u := 0; u < n; u++ {
+			res.LocalLPs++
+			res.LocalPivots += pivots[u]
+			for idx, v := range bi.Ball(u) {
+				sums[v] += xus[u][idx]
+			}
 		}
 	}
 
 	// Per-resource quantities N_i = |U_i| and n_i = min |V^j| (Figure 2).
-	resourceRatio, resourceBound := resourceRatios(in, balls)
+	resourceRatio, resourceBound := resourceRatiosFlat(csr, bi)
 	res.ResourceBound = resourceBound
 
 	// β_j and the combined solution x̃ (equation (10)).
 	for j := 0; j < n; j++ {
 		beta := 1.0
-		for _, i := range in.AgentResources(j) {
+		for _, i := range csr.AgentResources(j) {
 			beta = min(beta, resourceRatio[i])
 		}
 		res.Beta[j] = beta
-		res.X[j] = beta / float64(len(balls[j])) * sums[j]
+		res.X[j] = beta / float64(bi.Size(j)) * sums[j]
 	}
 
 	// Per-party certificate m_k = |S_k| = |∩_{j∈Vk} V^j|, M_k = max |V^j|.
 	// (m_k = 0 — hence an infinite bound — is only possible at R = 0 with
 	// |Vk| > 1: for R ≥ 1 the members of a hyperedge are mutually
 	// adjacent, so S_k ⊇ Vk.)
-	res.PartyBound = partyBoundOf(in, balls, inBall)
+	res.PartyBound = partyBoundFlat(csr, bi)
 	return res, nil
 }
 

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// This file is the flat-array execution path of the Theorem-3 round
+// loops. The map/slice-of-slice bookkeeping of the original
+// implementation (per-agent ball maps, per-resource union maps) is
+// replaced by the hypergraph CSR index, a radius-R BallIndex computed
+// once, and epoch-stamped scratch arrays that are reset in O(|touched|)
+// — so the per-agent loop does no map allocation at all. Every loop
+// iterates the same sets in the same ascending order as the reference
+// code, so all floating-point results are bit-identical to it (and to
+// the message-passing replay in internal/dist).
+
+// csrOf returns the incidence index of the graph, building one from the
+// instance for graphs that were not constructed via FromInstance.
+func csrOf(in *mmlp.Instance, g *hypergraph.Graph) *hypergraph.CSR {
+	if c := g.CSR(); c != nil {
+		return c
+	}
+	return hypergraph.NewCSR(in)
+}
+
+// localSolver carries the reusable scratch of one worker solving local
+// LPs (9) over CSR balls. It is not safe for concurrent use; parallel
+// executors hold one solver per worker.
+type localSolver struct {
+	csr *hypergraph.CSR
+
+	// localIdx[v] is the index of agent v inside the current ball, or −1.
+	// Only ball entries are ever set, and they are cleared after each
+	// solve, so reset cost is O(|ball|).
+	localIdx []int32
+
+	// resMark/parMark are epoch stamps deduplicating the I^u and K^u
+	// collections without clearing between solves.
+	resMark, parMark []int32
+	epoch            int32
+
+	resList, parList []int
+}
+
+func newLocalSolver(csr *hypergraph.CSR) *localSolver {
+	s := &localSolver{
+		csr:      csr,
+		localIdx: make([]int32, csr.NumAgents()),
+		resMark:  make([]int32, csr.NumResources()),
+		parMark:  make([]int32, csr.NumParties()),
+	}
+	for i := range s.localIdx {
+		s.localIdx[i] = -1
+	}
+	for i := range s.resMark {
+		s.resMark[i] = -1
+	}
+	for i := range s.parMark {
+		s.parMark[i] = -1
+	}
+	return s
+}
+
+// solve solves the local LP (9) for the ball V^u (sorted ascending): the
+// flat-array equivalent of solveLocalView over a FullView. The LP is
+// assembled from the same sorted index lists and the same coefficient
+// order, so the simplex pivot sequence — and hence the solution — is
+// identical.
+func (s *localSolver) solve(ball []int32) ([]float64, float64, int, error) {
+	csr := s.csr
+	nLoc := len(ball)
+	for idx, v := range ball {
+		s.localIdx[v] = int32(idx)
+	}
+	defer func() {
+		for _, v := range ball {
+			s.localIdx[v] = -1
+		}
+	}()
+
+	// Collect I^u (resources touching the ball) and K^u (parties inside).
+	s.epoch++
+	s.resList = s.resList[:0]
+	s.parList = s.parList[:0]
+	for _, v := range ball {
+		for _, i := range csr.AgentResources(int(v)) {
+			if s.resMark[i] != s.epoch {
+				s.resMark[i] = s.epoch
+				s.resList = append(s.resList, int(i))
+			}
+		}
+		for _, k := range csr.AgentParties(int(v)) {
+			if s.parMark[k] == s.epoch {
+				continue
+			}
+			s.parMark[k] = s.epoch
+			inside := true
+			for _, member := range csr.PartyAgents(int(k)) {
+				if s.localIdx[member] < 0 {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				s.parList = append(s.parList, int(k))
+			}
+		}
+	}
+	sort.Ints(s.resList)
+	sort.Ints(s.parList)
+
+	if len(s.parList) == 0 {
+		// ω^u = min over the empty K^u is +∞; x^u = 0 by convention.
+		return make([]float64, nLoc), math.Inf(1), 0, nil
+	}
+
+	obj := make([]float64, nLoc+1)
+	obj[nLoc] = 1
+	cons := make([]lp.Constraint, 0, len(s.resList)+len(s.parList))
+	for _, i := range s.resList {
+		row := make([]float64, nLoc+1)
+		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
+		for j, a := range agents {
+			if idx := s.localIdx[a]; idx >= 0 {
+				row[idx] = coeffs[j]
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+	}
+	for _, k := range s.parList {
+		row := make([]float64, nLoc+1)
+		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
+		for j, a := range agents {
+			row[s.localIdx[a]] = -coeffs[j]
+		}
+		row[nLoc] = 1
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 0})
+	}
+	sol, err := lp.Solve(&lp.Problem{Obj: obj, Constraints: cons})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, 0, fmt.Errorf("local LP status %v", sol.Status)
+	}
+	return sol.X[:nLoc], sol.Value, sol.Pivots, nil
+}
+
+// resourceRatiosFlat computes n_i/N_i per resource and max_i N_i/n_i from
+// the precomputed ball index, deduplicating each union with one epoch
+// stamp array instead of a map per resource.
+func resourceRatiosFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (ratios []float64, resourceBound float64) {
+	nRes := csr.NumResources()
+	ratios = make([]float64, nRes)
+	resourceBound = 1
+	mark := make([]int32, csr.NumAgents())
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := 0; i < nRes; i++ {
+		Ni, ni := 0, math.MaxInt
+		for _, j := range csr.ResourceAgents(i) {
+			ball := bi.Ball(int(j))
+			for _, w := range ball {
+				if mark[w] != int32(i) {
+					mark[w] = int32(i)
+					Ni++
+				}
+			}
+			if len(ball) < ni {
+				ni = len(ball)
+			}
+		}
+		ratios[i] = float64(ni) / float64(Ni)
+		resourceBound = max(resourceBound, float64(Ni)/float64(ni))
+	}
+	return ratios, resourceBound
+}
+
+// partyBoundFlat computes max_k M_k/m_k from the ball index: m_k by
+// counting the members of the first agent's ball contained in every other
+// member's sorted ball (binary search — supports are small), M_k as the
+// largest ball size. +Inf when some S_k is empty (possible only at radius
+// 0 with |Vk| > 1).
+func partyBoundFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) float64 {
+	bound := 1.0
+	for k := 0; k < csr.NumParties(); k++ {
+		members := csr.PartyAgents(k)
+		mk, Mk := 0, 0
+		first := int(members[0])
+		for _, w := range bi.Ball(first) {
+			inAll := true
+			for _, other := range members[1:] {
+				if !bi.Contains(int(other), w) {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				mk++
+			}
+		}
+		for _, m := range members {
+			Mk = max(Mk, bi.Size(int(m)))
+		}
+		if mk == 0 {
+			bound = math.Inf(1)
+			continue
+		}
+		bound = max(bound, float64(Mk)/float64(mk))
+	}
+	return bound
+}
+
+// SafeFlat is Safe over a prebuilt CSR index: the same min_{i∈Iv}
+// 1/(a_iv·|Vi|) computed from the flat incidence arrays, with no binary
+// searches or row lookups. Exported for the benchmarks and the command
+// line; Safe remains the self-contained reference.
+func SafeFlat(csr *hypergraph.CSR) []float64 {
+	x := make([]float64, csr.NumAgents())
+	for v := range x {
+		best := math.Inf(1)
+		ids, coeffs := csr.AgentResources(v), csr.AgentResourceCoeffs(v)
+		for j, i := range ids {
+			cap := 1 / (coeffs[j] * float64(csr.ResourceDegree(int(i))))
+			if cap < best {
+				best = cap
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Iv = ∅ violates the paper's assumptions; 0 keeps feasibility.
+			best = 0
+		}
+		x[v] = best
+	}
+	return x
+}

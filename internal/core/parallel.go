@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -20,80 +19,10 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func LocalAverageParallel(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (*AverageResult, error) {
-	if radius < 0 {
-		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := in.NumAgents()
-	res := &AverageResult{
-		X:          make([]float64, n),
-		Radius:     radius,
-		Beta:       make([]float64, n),
-		BallSize:   make([]int, n),
-		LocalOmega: make([]float64, n),
-	}
-
-	balls := make([][]int, n)
-	inBall := make([]map[int]bool, n)
-	// Ball computation is read-only on g except for its internal BFS
-	// allocations, which are per-call; parallelise it too.
-	parallelFor(n, workers, func(u int) error {
-		balls[u] = g.Ball(u, radius)
-		set := make(map[int]bool, len(balls[u]))
-		for _, v := range balls[u] {
-			set[v] = true
-		}
-		inBall[u] = set
-		return nil
-	})
-	for u := 0; u < n; u++ {
-		res.BallSize[u] = len(balls[u])
-	}
-
-	// Solve every local LP concurrently, then accumulate sequentially in
-	// ascending u order so the floating-point sums match LocalAverage
-	// exactly.
-	xus := make([][]float64, n)
-	omegas := make([]float64, n)
-	pivots := make([]int, n)
-	if err := parallelFor(n, workers, func(u int) error {
-		xu, omega, p, err := solveLocalOmega(in, balls[u], inBall[u])
-		if err != nil {
-			return fmt.Errorf("core: local LP of agent %d: %w", u, err)
-		}
-		xus[u] = xu
-		omegas[u] = omega
-		pivots[u] = p
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	sums := make([]float64, n)
-	for u := 0; u < n; u++ {
-		res.LocalOmega[u] = omegas[u]
-		res.LocalLPs++
-		res.LocalPivots += pivots[u]
-		for idx, v := range balls[u] {
-			sums[v] += xus[u][idx]
-		}
-	}
-
-	resourceRatio, resourceBound := resourceRatios(in, balls)
-	res.ResourceBound = resourceBound
-
-	for j := 0; j < n; j++ {
-		beta := 1.0
-		for _, i := range in.AgentResources(j) {
-			beta = min(beta, resourceRatio[i])
-		}
-		res.Beta[j] = beta
-		res.X[j] = beta / float64(len(balls[j])) * sums[j]
-	}
-
-	res.PartyBound = partyBoundOf(in, balls, inBall)
-	return res, nil
+	return localAverage(in, g, radius, workers)
 }
 
 // parallelFor runs fn(i) for i in [0, n) across the given number of

@@ -28,12 +28,21 @@ func testCases(t *testing.T) []testCase {
 	random := gen.Random(gen.RandomOptions{
 		Agents: 30, Resources: 24, Parties: 12, MaxVI: 3, MaxVK: 3,
 	}, rng)
+	geometric, _ := gen.UnitDisk(gen.UnitDiskOptions{
+		Nodes: 40, Radius: 0.25, MaxNeighbors: 4, RandomWeights: true,
+	}, rand.New(rand.NewSource(11)))
 	return []testCase{
 		{"torus6x6", torus, []int{0, 1}},
 		{"cycle20", cycle, []int{1, 2}},
 		{"random30", random, []int{1}},
+		{"geometric40", geometric, []int{1}},
 	}
 }
+
+// shardCounts are the worker-pool sizes the sharded engine is checked
+// with: degenerate (1), uneven (3) and more shards than some test
+// instances have agents.
+var shardCounts = []int{1, 3, 64}
 
 func mustNetwork(t *testing.T, in *mmlp.Instance, g *hypergraph.Graph) *Network {
 	t.Helper()
@@ -93,12 +102,65 @@ func TestEnginesAgreeWithCore(t *testing.T) {
 						t.Fatalf("R=%d: goroutine engine diverged at %d", R, v)
 					}
 				}
-				if par.Rounds != seq.Rounds || par.Messages != seq.Messages ||
-					par.Payload != seq.Payload || par.MaxNodePayload != seq.MaxNodePayload {
+				if !tracesEqual(par, seq) {
 					t.Fatalf("R=%d: traces diverge: seq %+v vs par %+v", R, seq, par)
+				}
+				for _, shards := range shardCounts {
+					sh, err := nw.RunSharded(AverageProtocol{Radius: R}, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := range seq.X {
+						if sh.X[v] != seq.X[v] {
+							t.Fatalf("R=%d shards=%d: sharded engine diverged at %d", R, shards, v)
+						}
+					}
+					if !tracesEqual(sh, seq) {
+						t.Fatalf("R=%d shards=%d: traces diverge: seq %+v vs sharded %+v", R, shards, seq, sh)
+					}
 				}
 			}
 		})
+	}
+}
+
+// tracesEqual compares everything a trace records except the protocol
+// name: outputs, rounds and the full cost accounting.
+func tracesEqual(a, b *Trace) bool {
+	if a.Rounds != b.Rounds || a.Messages != b.Messages ||
+		a.Payload != b.Payload || a.MaxNodePayload != b.MaxNodePayload {
+		return false
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedEngineStress reruns the sharded engine with several shard
+// counts on a larger torus; under `go test -race` this exercises the
+// shard barrier and the cross-shard outbox reads for data races, and it
+// pins determinism across repetitions and shard counts.
+func TestShardedEngineStress(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := fullGraph(in)
+	nw := mustNetwork(t, in, g)
+	first, err := nw.RunSequential(AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1, 2, 5, 64} {
+		for rep := 0; rep < 2; rep++ {
+			tr, err := nw.RunSharded(AverageProtocol{Radius: 1}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tracesEqual(tr, first) {
+				t.Fatalf("shards=%d rep=%d: diverged from sequential reference", shards, rep)
+			}
+		}
 	}
 }
 

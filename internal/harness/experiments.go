@@ -36,6 +36,7 @@ var All = []Experiment{
 	{"E9", "Self-stabilisation: recovery within the horizon after faults (§1.1)", E9SelfStabilization},
 	{"E10", "Open question probe: ΔVI = ΔVK = 2 instances (§4)", E10OpenQuestion},
 	{"E11", "Adaptive radius: Theorem 3 as a local approximation scheme", E11AdaptiveScheme},
+	{"E12", "Sharded worker-pool engine: agreement and speedup", E12ShardedEngine},
 }
 
 func fullGraph(in *mmlp.Instance) *hypergraph.Graph {
@@ -257,11 +258,10 @@ func E6SensorNet(seed int64) (*Table, error) {
 		{Sensors: 80, Relays: 10, Areas: 16, RadioRange: 0.25, SenseRange: 0.2, MaxLinksPerSensor: 2},
 	} {
 		sn := apps.RandomSensorNetwork(cfg, rng)
-		in, err := sn.Instance()
+		in, g, err := sn.Communication()
 		if err != nil {
 			return nil, err
 		}
-		g := fullGraph(in)
 		opt, err := lp.SolveMaxMin(in)
 		if err != nil {
 			return nil, err
@@ -527,6 +527,74 @@ func E11AdaptiveScheme(seed int64) (*Table, error) {
 			ratio := opt.Omega / cse.in.Objective(res.X)
 			t.AddRow(cse.name, F(target), fmt.Sprint(res.Achieved), I(res.Radius),
 				F(res.RatioCertificate()), F(ratio))
+		}
+	}
+	return t, nil
+}
+
+// E12ShardedEngine measures the sharded worker-pool engine against the
+// sequential reference and the goroutine-per-agent engine on the same
+// protocol: every engine must produce bit-identical outputs and cost
+// traces, and the sharded pool should approach the goroutine engine's
+// parallel speedup with P goroutines instead of n. The wall-clock
+// columns are indicative (single run, shared machine); the agreement
+// column is the check.
+func E12ShardedEngine(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Sharded worker-pool engine vs reference engines",
+		Columns: []string{"instance", "engine", "wall ms", "speedup", "agree"},
+		Note:    "'agree' requires outputs and cost traces bit-identical to the sequential reference; speedup is sequential/engine wall time",
+	}
+	torus, _ := gen.Torus([]int{12, 12}, gen.LatticeOptions{})
+	geo, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 150, Radius: 0.12, MaxNeighbors: 5},
+		rand.New(rand.NewSource(seed)))
+	for _, ni := range []struct {
+		name string
+		in   *mmlp.Instance
+	}{
+		{"torus 12x12", torus},
+		{"geometric n=150", geo},
+	} {
+		g := fullGraph(ni.in)
+		nw, err := dist.NewNetwork(ni.in, g)
+		if err != nil {
+			return nil, err
+		}
+		proto := dist.AverageProtocol{Radius: 1}
+
+		start := time.Now()
+		ref, err := nw.RunSequential(proto)
+		if err != nil {
+			return nil, err
+		}
+		seqMS := time.Since(start).Seconds() * 1e3
+		t.AddRow(ni.name, "sequential", F(seqMS), F(1), B(true))
+
+		engines := []struct {
+			name string
+			run  func() (*dist.Trace, error)
+		}{
+			{"goroutines", func() (*dist.Trace, error) { return nw.RunGoroutines(proto) }},
+			{"sharded P=2", func() (*dist.Trace, error) { return nw.RunSharded(proto, 2) }},
+			{"sharded P=4", func() (*dist.Trace, error) { return nw.RunSharded(proto, 4) }},
+			{"sharded P=8", func() (*dist.Trace, error) { return nw.RunSharded(proto, 8) }},
+		}
+		for _, e := range engines {
+			start = time.Now()
+			tr, err := e.run()
+			if err != nil {
+				return nil, err
+			}
+			ms := time.Since(start).Seconds() * 1e3
+			agree := tr.Rounds == ref.Rounds && tr.Messages == ref.Messages &&
+				tr.Payload == ref.Payload && tr.MaxNodePayload == ref.MaxNodePayload
+			for v := range ref.X {
+				if tr.X[v] != ref.X[v] {
+					agree = false
+				}
+			}
+			t.AddRow(ni.name, e.name, F(ms), F(seqMS/ms), B(agree))
 		}
 	}
 	return t, nil

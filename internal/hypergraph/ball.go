@@ -1,0 +1,108 @@
+package hypergraph
+
+import (
+	"slices"
+	"sync"
+)
+
+// BallIndex holds the radius-r balls of every vertex in one flat CSR
+// arena: off[v]..off[v+1] delimits B_H(v, r) in members, sorted
+// ascending. The index is computed once and shared read-only by all the
+// engines, so the repeated per-agent ball extraction of the Theorem-3
+// round loops costs one slice header instead of one BFS.
+type BallIndex struct {
+	radius  int
+	off     []int32
+	members []int32
+}
+
+// BallIndex computes the radius-r balls of all vertices with the given
+// number of workers (≤ 1 means sequential). The vertex range is split
+// into one contiguous shard per worker; each shard fills its own arena
+// with a private BFS scratch and the arenas are stitched in shard order,
+// so the result is identical for every worker count.
+func (g *Graph) BallIndex(radius, workers int) *BallIndex {
+	n := g.NumVertices()
+	bi := &BallIndex{radius: radius, off: make([]int32, n+1)}
+	if n == 0 {
+		return bi
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := g.getScratch()
+		for v := 0; v < n; v++ {
+			bi.members = g.ball32(s, int32(v), int32(radius), bi.members)
+			bi.off[v+1] = int32(len(bi.members))
+		}
+		g.putScratch(s)
+		return bi
+	}
+
+	arenas := make([][]int32, workers)
+	offs := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardRange(n, workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := g.getScratch()
+			var arena []int32
+			off := make([]int32, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				arena = g.ball32(s, int32(v), int32(radius), arena)
+				off = append(off, int32(len(arena)))
+			}
+			g.putScratch(s)
+			arenas[w] = arena
+			offs[w] = off
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, a := range arenas {
+		total += len(a)
+	}
+	bi.members = make([]int32, 0, total)
+	v := 0
+	for w := 0; w < workers; w++ {
+		base := int32(len(bi.members))
+		bi.members = append(bi.members, arenas[w]...)
+		for _, end := range offs[w] {
+			v++
+			bi.off[v] = base + end
+		}
+	}
+	return bi
+}
+
+// shardRange returns the half-open range of shard w when n items are
+// split into p contiguous shards of near-equal size.
+func shardRange(n, p, w int) (lo, hi int) {
+	return n * w / p, n * (w + 1) / p
+}
+
+// Radius returns the radius the index was built for.
+func (bi *BallIndex) Radius() int { return bi.radius }
+
+// NumVertices returns the number of indexed vertices.
+func (bi *BallIndex) NumVertices() int { return len(bi.off) - 1 }
+
+// Ball returns B_H(v, r) sorted ascending. The slice aliases the shared
+// arena; callers must not modify it.
+func (bi *BallIndex) Ball(v int) []int32 {
+	return bi.members[bi.off[v]:bi.off[v+1]]
+}
+
+// Size returns |B_H(v, r)|.
+func (bi *BallIndex) Size(v int) int { return int(bi.off[v+1] - bi.off[v]) }
+
+// Contains reports whether u ∈ B_H(v, r), by binary search in the sorted
+// ball of v.
+func (bi *BallIndex) Contains(v int, u int32) bool {
+	_, ok := slices.BinarySearch(bi.Ball(v), u)
+	return ok
+}

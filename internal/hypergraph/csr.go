@@ -1,0 +1,173 @@
+package hypergraph
+
+import "maxminlp/internal/mmlp"
+
+// CSR is the immutable compressed-sparse-row index of an instance's
+// incidence structure: flat []int32 offset/value arrays for the four
+// incidence relations agent→resource (Iv), agent→party (Kv),
+// resource→agent (Vi) and party→agent (Vk), each paired with the
+// corresponding coefficients. Every per-row segment is sorted ascending,
+// matching the sorted rows of mmlp.Instance entry-for-entry, so
+// algorithms may switch between the two representations without changing
+// any iteration order (and hence without changing any floating-point
+// result).
+//
+// The index is built once per graph and never mutated; all accessors
+// return subslices of the backing arrays that callers must not modify.
+// The flat layout keeps each row contiguous in memory — one cache line
+// typically covers a whole support — which is what the solver-facing hot
+// loops in internal/core and internal/dist iterate.
+type CSR struct {
+	numAgents    int
+	numResources int
+	numParties   int
+
+	// Iv: agentRes[agentResOff[v]:agentResOff[v+1]] lists the resources of
+	// agent v; agentResCoeff holds the matching a_iv.
+	agentResOff   []int32
+	agentRes      []int32
+	agentResCoeff []float64
+
+	// Kv: the parties of agent v with the matching c_kv.
+	agentParOff   []int32
+	agentPar      []int32
+	agentParCoeff []float64
+
+	// Vi: the agents of resource i with the matching a_iv.
+	resOff   []int32
+	resAgent []int32
+	resCoeff []float64
+
+	// Vk: the agents of party k with the matching c_kv.
+	parOff   []int32
+	parAgent []int32
+	parCoeff []float64
+}
+
+// NewCSR builds the CSR index of an instance. The instance rows are
+// already sorted by agent, so each segment is filled in one linear pass.
+func NewCSR(in *mmlp.Instance) *CSR {
+	c := &CSR{
+		numAgents:    in.NumAgents(),
+		numResources: in.NumResources(),
+		numParties:   in.NumParties(),
+	}
+	c.resOff, c.resAgent, c.resCoeff = flattenRows(in.NumResources(), in.Resource)
+	c.parOff, c.parAgent, c.parCoeff = flattenRows(in.NumParties(), in.Party)
+
+	c.agentResOff, c.agentRes, c.agentResCoeff = flattenIncidence(
+		in.NumAgents(), in.AgentResources, in.A)
+	c.agentParOff, c.agentPar, c.agentParCoeff = flattenIncidence(
+		in.NumAgents(), in.AgentParties, in.C)
+	return c
+}
+
+// flattenRows concatenates constraint rows into offset/agent/coeff arrays.
+func flattenRows(n int, row func(int) []mmlp.Entry) (off, agents []int32, coeffs []float64) {
+	off = make([]int32, n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(row(i))
+		off[i+1] = int32(total)
+	}
+	agents = make([]int32, total)
+	coeffs = make([]float64, total)
+	w := 0
+	for i := 0; i < n; i++ {
+		for _, e := range row(i) {
+			agents[w] = int32(e.Agent)
+			coeffs[w] = e.Coeff
+			w++
+		}
+	}
+	return off, agents, coeffs
+}
+
+// flattenIncidence concatenates per-agent constraint lists (Iv or Kv)
+// with the matching coefficient looked up from the instance.
+func flattenIncidence(n int, ids func(int) []int, coeff func(row, v int) float64) (off, out []int32, coeffs []float64) {
+	off = make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(ids(v))
+		off[v+1] = int32(total)
+	}
+	out = make([]int32, total)
+	coeffs = make([]float64, total)
+	w := 0
+	for v := 0; v < n; v++ {
+		for _, id := range ids(v) {
+			out[w] = int32(id)
+			coeffs[w] = coeff(id, v)
+			w++
+		}
+	}
+	return off, out, coeffs
+}
+
+// NumAgents returns |V|.
+func (c *CSR) NumAgents() int { return c.numAgents }
+
+// NumResources returns |I|.
+func (c *CSR) NumResources() int { return c.numResources }
+
+// NumParties returns |K|.
+func (c *CSR) NumParties() int { return c.numParties }
+
+// AgentResources returns Iv, ascending. The slice is shared; callers must
+// not modify it.
+func (c *CSR) AgentResources(v int) []int32 {
+	return c.agentRes[c.agentResOff[v]:c.agentResOff[v+1]]
+}
+
+// AgentResourceCoeffs returns a_iv for i ∈ Iv, parallel to AgentResources.
+func (c *CSR) AgentResourceCoeffs(v int) []float64 {
+	return c.agentResCoeff[c.agentResOff[v]:c.agentResOff[v+1]]
+}
+
+// AgentParties returns Kv, ascending.
+func (c *CSR) AgentParties(v int) []int32 {
+	return c.agentPar[c.agentParOff[v]:c.agentParOff[v+1]]
+}
+
+// AgentPartyCoeffs returns c_kv for k ∈ Kv, parallel to AgentParties.
+func (c *CSR) AgentPartyCoeffs(v int) []float64 {
+	return c.agentParCoeff[c.agentParOff[v]:c.agentParOff[v+1]]
+}
+
+// ResourceAgents returns Vi, ascending.
+func (c *CSR) ResourceAgents(i int) []int32 {
+	return c.resAgent[c.resOff[i]:c.resOff[i+1]]
+}
+
+// ResourceCoeffs returns a_iv for v ∈ Vi, parallel to ResourceAgents.
+func (c *CSR) ResourceCoeffs(i int) []float64 {
+	return c.resCoeff[c.resOff[i]:c.resOff[i+1]]
+}
+
+// ResourceDegree returns |Vi|.
+func (c *CSR) ResourceDegree(i int) int {
+	return int(c.resOff[i+1] - c.resOff[i])
+}
+
+// PartyAgents returns Vk, ascending.
+func (c *CSR) PartyAgents(k int) []int32 {
+	return c.parAgent[c.parOff[k]:c.parOff[k+1]]
+}
+
+// PartyCoeffs returns c_kv for v ∈ Vk, parallel to PartyAgents.
+func (c *CSR) PartyCoeffs(k int) []float64 {
+	return c.parCoeff[c.parOff[k]:c.parOff[k+1]]
+}
+
+// Nonzeros returns the total number of stored coefficients in A and C.
+func (c *CSR) Nonzeros() int { return len(c.resAgent) + len(c.parAgent) }
+
+// MemoryBytes estimates the resident size of the index — the flat arrays
+// only, ignoring the fixed-size header.
+func (c *CSR) MemoryBytes() int {
+	ints := len(c.agentResOff) + len(c.agentRes) + len(c.agentParOff) + len(c.agentPar) +
+		len(c.resOff) + len(c.resAgent) + len(c.parOff) + len(c.parAgent)
+	floats := len(c.agentResCoeff) + len(c.agentParCoeff) + len(c.resCoeff) + len(c.parCoeff)
+	return 4*ints + 8*floats
+}

@@ -1,0 +1,158 @@
+package hypergraph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+)
+
+// TestCSRMatchesInstance checks every accessor of the flat index against
+// the instance rows it was built from.
+func TestCSRMatchesInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := gen.Random(gen.RandomOptions{
+		Agents: 30, Resources: 25, Parties: 12, MaxVI: 3, MaxVK: 3,
+	}, rng)
+	csr := hypergraph.NewCSR(in)
+
+	if csr.NumAgents() != in.NumAgents() || csr.NumResources() != in.NumResources() ||
+		csr.NumParties() != in.NumParties() {
+		t.Fatal("dimensions disagree")
+	}
+	if csr.Nonzeros() != in.Stats().Nonzeros {
+		t.Fatalf("nonzeros %d, want %d", csr.Nonzeros(), in.Stats().Nonzeros)
+	}
+	if csr.MemoryBytes() <= 0 {
+		t.Fatal("memory estimate should be positive")
+	}
+	for i := 0; i < in.NumResources(); i++ {
+		row := in.Resource(i)
+		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
+		if len(agents) != len(row) || csr.ResourceDegree(i) != len(row) {
+			t.Fatalf("resource %d degree mismatch", i)
+		}
+		for j, e := range row {
+			if int(agents[j]) != e.Agent || coeffs[j] != e.Coeff {
+				t.Fatalf("resource %d entry %d mismatch", i, j)
+			}
+		}
+	}
+	for k := 0; k < in.NumParties(); k++ {
+		row := in.Party(k)
+		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
+		if len(agents) != len(row) {
+			t.Fatalf("party %d size mismatch", k)
+		}
+		for j, e := range row {
+			if int(agents[j]) != e.Agent || coeffs[j] != e.Coeff {
+				t.Fatalf("party %d entry %d mismatch", k, j)
+			}
+		}
+	}
+	for v := 0; v < in.NumAgents(); v++ {
+		ids, coeffs := csr.AgentResources(v), csr.AgentResourceCoeffs(v)
+		want := in.AgentResources(v)
+		if len(ids) != len(want) {
+			t.Fatalf("agent %d Iv size mismatch", v)
+		}
+		for j, i := range want {
+			if int(ids[j]) != i || coeffs[j] != in.A(i, v) {
+				t.Fatalf("agent %d resource incidence %d mismatch", v, j)
+			}
+		}
+		pids, pcoeffs := csr.AgentParties(v), csr.AgentPartyCoeffs(v)
+		wantP := in.AgentParties(v)
+		if len(pids) != len(wantP) {
+			t.Fatalf("agent %d Kv size mismatch", v)
+		}
+		for j, k := range wantP {
+			if int(pids[j]) != k || pcoeffs[j] != in.C(k, v) {
+				t.Fatalf("agent %d party incidence %d mismatch", v, j)
+			}
+		}
+	}
+}
+
+// TestGraphCarriesCSR pins which constructors attach the incidence index.
+func TestGraphCarriesCSR(t *testing.T) {
+	in, _ := gen.Torus([]int{4, 4}, gen.LatticeOptions{})
+	if g := hypergraph.FromInstance(in, hypergraph.Options{}); g.CSR() == nil {
+		t.Fatal("FromInstance graph should carry a CSR")
+	}
+	if g := hypergraph.FromAdjacency([][]int{{1}, {0}}); g.CSR() != nil {
+		t.Fatal("FromAdjacency graph should not carry a CSR")
+	}
+}
+
+// TestBallIndexMatchesBall compares the precomputed arena against
+// per-call BFS for every vertex, radius and worker count, on a torus and
+// on a disconnected adjacency graph.
+func TestBallIndexMatchesBall(t *testing.T) {
+	torus, _ := gen.Torus([]int{5, 4}, gen.LatticeOptions{})
+	graphs := map[string]*hypergraph.Graph{
+		"torus":        hypergraph.FromInstance(torus, hypergraph.Options{}),
+		"disconnected": hypergraph.FromAdjacency([][]int{{1}, {0}, {3}, {2}, {}}),
+	}
+	for name, g := range graphs {
+		for radius := 0; radius <= 3; radius++ {
+			for _, workers := range []int{1, 3, 16} {
+				bi := g.BallIndex(radius, workers)
+				if bi.Radius() != radius || bi.NumVertices() != g.NumVertices() {
+					t.Fatalf("%s r=%d w=%d: bad index shape", name, radius, workers)
+				}
+				for v := 0; v < g.NumVertices(); v++ {
+					want := g.Ball(v, radius)
+					got := bi.Ball(v)
+					if len(got) != len(want) || bi.Size(v) != len(want) {
+						t.Fatalf("%s r=%d w=%d v=%d: size %d want %d", name, radius, workers, v, len(got), len(want))
+					}
+					for j := range want {
+						if int(got[j]) != want[j] {
+							t.Fatalf("%s r=%d w=%d v=%d: member %d mismatch", name, radius, workers, v, j)
+						}
+					}
+					for u := 0; u < g.NumVertices(); u++ {
+						inBall := false
+						for _, w := range want {
+							if w == u {
+								inBall = true
+							}
+						}
+						if bi.Contains(v, int32(u)) != inBall {
+							t.Fatalf("%s r=%d v=%d: Contains(%d) = %v", name, radius, v, u, !inBall)
+						}
+					}
+				}
+			}
+		}
+	}
+	if empty := hypergraph.FromAdjacency(nil).BallIndex(2, 4); empty.NumVertices() != 0 {
+		t.Fatal("empty graph index should have no vertices")
+	}
+}
+
+// TestConcurrentBallQueries hammers Ball/BallSizes from many goroutines;
+// under -race this checks the scratch pool.
+func TestConcurrentBallQueries(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	want := g.Ball(17, 2)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for rep := 0; rep < 50; rep++ {
+				got := g.Ball(17, 2)
+				if len(got) != len(want) {
+					panic("ball changed under concurrency")
+				}
+				g.BallSizes(rep%g.NumVertices(), 3)
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -10,7 +10,7 @@ package hypergraph
 // fewer than 4r+2 edges.
 func (g *Graph) Girth() int {
 	best := -1
-	n := len(g.adj)
+	n := g.NumVertices()
 	dist := make([]int, n)
 	parent := make([]int, n)
 	for src := 0; src < n; src++ {
@@ -27,7 +27,7 @@ func (g *Graph) Girth() int {
 			if best >= 0 && 2*dist[v]+1 >= best {
 				continue
 			}
-			for _, u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if u == parent[v] {
 					continue
 				}

@@ -4,18 +4,39 @@
 // (Section 1.4 of the paper). It provides shortest-path distances, balls
 // B_H(v, r), the relative-growth measure γ(r) from Theorem 3, and
 // canonical radius-r local views.
+//
+// The graph is stored as an immutable CSR (compressed-sparse-row) index:
+// one flat offset array and one flat neighbour array, with every
+// neighbour segment sorted ascending. All traversals run over these flat
+// arrays with pooled scratch state, so the hot paths of internal/core and
+// internal/dist do no map allocation per query.
 package hypergraph
 
 import (
+	"slices"
 	"sort"
+	"sync"
 
 	"maxminlp/internal/mmlp"
 )
 
 // Graph is the communication hypergraph of a max-min LP, stored as a
-// flattened union-of-cliques adjacency structure over the agents.
+// flattened union-of-cliques adjacency structure over the agents: CSR
+// offset/neighbour arrays ([]int32), plus an []int mirror of the
+// neighbour array backing the legacy Neighbors API.
 type Graph struct {
-	adj [][]int // sorted, deduplicated neighbour lists
+	off    []int32 // len n+1; neighbour segment of v is nbr[off[v]:off[v+1]]
+	nbr    []int32 // flat neighbour array, each segment sorted, deduplicated
+	nbrInt []int   // same content as nbr, for the []int-returning API
+
+	// csr is the incidence index of the instance the graph was built from;
+	// nil for graphs built with FromAdjacency.
+	csr *CSR
+
+	// scratch pools per-traversal BFS state so concurrent queries (the
+	// parallel engines call Ball from many goroutines) allocate only on
+	// first use per P.
+	scratch sync.Pool
 }
 
 // Options configures FromInstance.
@@ -28,48 +49,78 @@ type Options struct {
 
 // FromInstance builds the communication hypergraph of an instance: two
 // agents are adjacent iff they share a resource, or (unless
-// CollaborationOblivious) benefit a common party.
+// CollaborationOblivious) benefit a common party. The returned graph
+// carries the instance's CSR incidence index (see Graph.CSR).
 func FromInstance(in *mmlp.Instance, opt Options) *Graph {
-	n := in.NumAgents()
-	adj := make([][]int, n)
-	addClique := func(row []mmlp.Entry) {
-		for _, e := range row {
-			for _, f := range row {
-				if e.Agent != f.Agent {
-					adj[e.Agent] = append(adj[e.Agent], f.Agent)
+	csr := NewCSR(in)
+	n := csr.NumAgents()
+	g := &Graph{csr: csr}
+
+	// Union-of-cliques adjacency over the flat incidence arrays: for each
+	// agent, walk the supports of its rows, deduplicating with a stamp
+	// array instead of per-vertex maps. Segments are appended in agent
+	// order, so offsets come out ascending in one pass.
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	g.off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		addRow := func(members []int32) {
+			for _, u := range members {
+				if int(u) != v && stamp[u] != int32(v) {
+					stamp[u] = int32(v)
+					g.nbr = append(g.nbr, u)
 				}
 			}
 		}
-	}
-	for i := 0; i < in.NumResources(); i++ {
-		addClique(in.Resource(i))
-	}
-	if !opt.CollaborationOblivious {
-		for k := 0; k < in.NumParties(); k++ {
-			addClique(in.Party(k))
+		for _, i := range csr.AgentResources(v) {
+			addRow(csr.ResourceAgents(int(i)))
 		}
+		if !opt.CollaborationOblivious {
+			for _, k := range csr.AgentParties(v) {
+				addRow(csr.PartyAgents(int(k)))
+			}
+		}
+		g.off[v+1] = int32(len(g.nbr))
 	}
-	for v := range adj {
-		adj[v] = dedupSorted(adj[v])
-	}
-	return &Graph{adj: adj}
+	g.finish()
+	return g
 }
 
 // FromAdjacency builds a Graph directly from neighbour lists (useful for
 // plain graphs in tests and for the template graph Q). The input lists are
-// copied, sorted and deduplicated; self-loops are dropped.
+// copied, sorted and deduplicated; self-loops are dropped. Graphs built
+// this way have no CSR incidence index (CSR returns nil).
 func FromAdjacency(adj [][]int) *Graph {
-	out := make([][]int, len(adj))
+	n := len(adj)
+	g := &Graph{off: make([]int32, n+1)}
 	for v, ns := range adj {
-		cp := make([]int, 0, len(ns))
+		seg := make([]int, 0, len(ns))
 		for _, u := range ns {
 			if u != v {
-				cp = append(cp, u)
+				seg = append(seg, u)
 			}
 		}
-		out[v] = dedupSorted(cp)
+		seg = dedupSorted(seg)
+		for _, u := range seg {
+			g.nbr = append(g.nbr, int32(u))
+		}
+		g.off[v+1] = int32(len(g.nbr))
 	}
-	return &Graph{adj: out}
+	g.finish()
+	return g
+}
+
+// finish sorts each neighbour segment and materialises the []int mirror.
+func (g *Graph) finish() {
+	for v := 0; v+1 < len(g.off); v++ {
+		slices.Sort(g.nbr[g.off[v]:g.off[v+1]])
+	}
+	g.nbrInt = make([]int, len(g.nbr))
+	for i, u := range g.nbr {
+		g.nbrInt[i] = int(u)
+	}
 }
 
 func dedupSorted(xs []int) []int {
@@ -87,72 +138,128 @@ func dedupSorted(xs []int) []int {
 	return xs[:w]
 }
 
+// CSR returns the incidence index of the instance the graph was built
+// from, or nil for graphs built with FromAdjacency.
+func (g *Graph) CSR() *CSR { return g.csr }
+
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int { return len(g.off) - 1 }
 
 // Neighbors returns the sorted neighbour list of v. The slice is shared;
 // callers must not modify it.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int { return g.nbrInt[g.off[v]:g.off[v+1]] }
+
+// neighbors32 is the []int32 view of the same segment, used by the flat
+// traversals.
+func (g *Graph) neighbors32(v int32) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
 
 // Degree returns the number of distinct neighbours of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
+
+// bfsScratch is the reusable state of one bounded BFS: a dense distance
+// array (−1 = unvisited) and the visit queue. After a traversal, only the
+// entries named by the queue are dirty, so reset cost is proportional to
+// the ball, not to the graph.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+func (g *Graph) getScratch() *bfsScratch {
+	if s, ok := g.scratch.Get().(*bfsScratch); ok {
+		return s
+	}
+	s := &bfsScratch{dist: make([]int32, g.NumVertices())}
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	return s
+}
+
+func (g *Graph) putScratch(s *bfsScratch) {
+	for _, v := range s.queue {
+		s.dist[v] = -1
+	}
+	s.queue = s.queue[:0]
+	g.scratch.Put(s)
+}
+
+// bfs runs a breadth-first search from v truncated at depth r (r < 0
+// means unbounded), leaving the visited vertices in s.queue in visit
+// order and their distances in s.dist.
+func (s *bfsScratch) bfs(g *Graph, v int32, r int32) {
+	s.dist[v] = 0
+	s.queue = append(s.queue, v)
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
+		d := s.dist[cur]
+		if r >= 0 && d == r {
+			continue
+		}
+		for _, u := range g.neighbors32(cur) {
+			if s.dist[u] < 0 {
+				s.dist[u] = d + 1
+				s.queue = append(s.queue, u)
+			}
+		}
+	}
+}
 
 // Ball returns B_H(v, r) = {u : d_H(u, v) ≤ r}, sorted ascending.
 func (g *Graph) Ball(v, r int) []int {
-	ball, _ := g.BallWithDist(v, r)
+	s := g.getScratch()
+	s.bfs(g, int32(v), int32(r))
+	ball := make([]int, len(s.queue))
+	for i, u := range s.queue {
+		ball[i] = int(u)
+	}
+	g.putScratch(s)
+	sort.Ints(ball)
 	return ball
+}
+
+// ball32 appends B_H(v, r) sorted ascending to dst and returns it; used
+// by the BallIndex builder to fill one flat arena without per-ball
+// allocation.
+func (g *Graph) ball32(s *bfsScratch, v int32, r int32, dst []int32) []int32 {
+	s.bfs(g, v, r)
+	start := len(dst)
+	dst = append(dst, s.queue...)
+	slices.Sort(dst[start:])
+	for _, u := range s.queue {
+		s.dist[u] = -1
+	}
+	s.queue = s.queue[:0]
+	return dst
 }
 
 // BallWithDist returns B_H(v, r) sorted ascending together with a parallel
 // slice of distances from v.
 func (g *Graph) BallWithDist(v, r int) (ball, dist []int) {
-	type qe struct{ node, d int }
-	seen := map[int]int{v: 0}
-	queue := []qe{{v, 0}}
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
-		if cur.d == r {
-			continue
-		}
-		for _, u := range g.adj[cur.node] {
-			if _, ok := seen[u]; !ok {
-				seen[u] = cur.d + 1
-				queue = append(queue, qe{u, cur.d + 1})
-			}
-		}
-	}
-	ball = make([]int, 0, len(seen))
-	for u := range seen {
-		ball = append(ball, u)
+	s := g.getScratch()
+	s.bfs(g, int32(v), int32(r))
+	ball = make([]int, len(s.queue))
+	for i, u := range s.queue {
+		ball[i] = int(u)
 	}
 	sort.Ints(ball)
 	dist = make([]int, len(ball))
 	for j, u := range ball {
-		dist[j] = seen[u]
+		dist[j] = int(s.dist[u])
 	}
+	g.putScratch(s)
 	return ball, dist
 }
 
 // BallSizes returns |B_H(v, r)| for r = 0..maxR in one BFS pass.
 func (g *Graph) BallSizes(v, maxR int) []int {
 	sizes := make([]int, maxR+1)
-	type qe struct{ node, d int }
-	seen := map[int]bool{v: true}
-	queue := []qe{{v, 0}}
-	sizes[0] = 1
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
-		if cur.d == maxR {
-			continue
-		}
-		for _, u := range g.adj[cur.node] {
-			if !seen[u] {
-				seen[u] = true
-				sizes[cur.d+1]++
-				queue = append(queue, qe{u, cur.d + 1})
-			}
-		}
+	s := g.getScratch()
+	s.bfs(g, int32(v), int32(maxR))
+	for _, u := range s.queue {
+		sizes[s.dist[u]]++
 	}
+	g.putScratch(s)
 	for r := 1; r <= maxR; r++ {
 		sizes[r] += sizes[r-1]
 	}
@@ -165,18 +272,19 @@ func (g *Graph) Dist(u, v int) int {
 	if u == v {
 		return 0
 	}
-	type qe struct{ node, d int }
-	seen := map[int]bool{u: true}
-	queue := []qe{{u, 0}}
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
-		for _, w := range g.adj[cur.node] {
-			if w == v {
-				return cur.d + 1
+	s := g.getScratch()
+	defer g.putScratch(s)
+	s.dist[u] = 0
+	s.queue = append(s.queue, int32(u))
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
+		for _, w := range g.neighbors32(cur) {
+			if int(w) == v {
+				return int(s.dist[cur]) + 1
 			}
-			if !seen[w] {
-				seen[w] = true
-				queue = append(queue, qe{w, cur.d + 1})
+			if s.dist[w] < 0 {
+				s.dist[w] = s.dist[cur] + 1
+				s.queue = append(s.queue, w)
 			}
 		}
 	}
@@ -186,15 +294,15 @@ func (g *Graph) Dist(u, v int) int {
 // DistancesFrom returns d_H(v, u) for every u, with -1 for unreachable
 // vertices.
 func (g *Graph) DistancesFrom(v int) []int {
-	dist := make([]int, len(g.adj))
+	dist := make([]int, g.NumVertices())
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[v] = 0
-	queue := []int{v}
+	queue := []int32{int32(v)}
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
-		for _, u := range g.adj[cur] {
+		for _, u := range g.neighbors32(cur) {
 			if dist[u] < 0 {
 				dist[u] = dist[cur] + 1
 				queue = append(queue, u)
@@ -208,7 +316,7 @@ func (g *Graph) DistancesFrom(v int) []int {
 // (Section 5 of the paper).
 func (g *Graph) Gamma(r int) float64 {
 	worst := 1.0
-	for v := range g.adj {
+	for v := 0; v < g.NumVertices(); v++ {
 		sizes := g.BallSizes(v, r+1)
 		ratio := float64(sizes[r+1]) / float64(sizes[r])
 		if ratio > worst {
@@ -225,7 +333,7 @@ func (g *Graph) GammaProfile(maxR int) []float64 {
 	for r := range out {
 		out[r] = 1
 	}
-	for v := range g.adj {
+	for v := 0; v < g.NumVertices(); v++ {
 		sizes := g.BallSizes(v, maxR+1)
 		for r := 0; r <= maxR; r++ {
 			ratio := float64(sizes[r+1]) / float64(sizes[r])
@@ -240,16 +348,17 @@ func (g *Graph) GammaProfile(maxR int) []float64 {
 // Components returns the connected components as sorted vertex lists,
 // ordered by smallest vertex.
 func (g *Graph) Components() [][]int {
-	seen := make([]bool, len(g.adj))
+	n := g.NumVertices()
+	seen := make([]bool, n)
 	var comps [][]int
-	for v := range g.adj {
+	for v := 0; v < n; v++ {
 		if seen[v] {
 			continue
 		}
 		comp := []int{v}
 		seen[v] = true
 		for head := 0; head < len(comp); head++ {
-			for _, u := range g.adj[comp[head]] {
+			for _, u := range g.Neighbors(comp[head]) {
 				if !seen[u] {
 					seen[u] = true
 					comp = append(comp, u)
@@ -265,8 +374,8 @@ func (g *Graph) Components() [][]int {
 // MaxDegree returns the maximum vertex degree.
 func (g *Graph) MaxDegree() int {
 	d := 0
-	for v := range g.adj {
-		d = max(d, len(g.adj[v]))
+	for v := 0; v < g.NumVertices(); v++ {
+		d = max(d, g.Degree(v))
 	}
 	return d
 }
@@ -274,14 +383,20 @@ func (g *Graph) MaxDegree() int {
 // Diameter returns the largest finite eccentricity, or -1 for the empty
 // graph. Disconnected pairs are ignored.
 func (g *Graph) Diameter() int {
-	if len(g.adj) == 0 {
+	if g.NumVertices() == 0 {
 		return -1
 	}
 	diam := 0
-	for v := range g.adj {
+	for v := 0; v < g.NumVertices(); v++ {
 		for _, d := range g.DistancesFrom(v) {
 			diam = max(diam, d)
 		}
 	}
 	return diam
 }
+
+// NumEdges returns the number of undirected edges. It assumes a
+// symmetric adjacency structure — always true for FromInstance graphs;
+// FromAdjacency callers must pass symmetric neighbour lists for the
+// count to be meaningful.
+func (g *Graph) NumEdges() int { return len(g.nbr) / 2 }

@@ -20,8 +20,12 @@
 //   - the safe local 1-round ΔVI-approximation (Safe),
 //   - the Theorem-3 local averaging algorithm with its per-instance
 //     approximation certificate (LocalAverage),
-//   - a synchronous message-passing simulator with goroutine-per-agent
-//     execution (NewNetwork, SafeProtocol, AverageProtocol),
+//   - a synchronous message-passing simulator with sequential,
+//     goroutine-per-agent and sharded worker-pool engines, all
+//     bit-identical (NewNetwork, SafeProtocol, AverageProtocol,
+//     Network.RunSharded),
+//   - the flat CSR incidence index and precomputed ball views the
+//     engines iterate (NewCSR, Graph.CSR, Graph.BallIndex),
 //   - the Theorem-1 adversarial construction and its proof checker
 //     (BuildLowerBound), and
 //   - instance generators and the paper's two §2 applications
@@ -61,6 +65,15 @@ type (
 	Graph = hypergraph.Graph
 	// GraphOptions configures hypergraph construction.
 	GraphOptions = hypergraph.Options
+	// CSR is the immutable flat incidence index of an instance: []int32
+	// offset/value arrays for the agent↔resource and agent↔party
+	// relations with their coefficients. Graphs built by NewGraph carry
+	// one (Graph.CSR); the flat engines and SafeFlat run off it.
+	CSR = hypergraph.CSR
+	// BallIndex holds the radius-r balls of every agent in one flat
+	// arena, computed once via Graph.BallIndex and shared by the round
+	// loops.
+	BallIndex = hypergraph.BallIndex
 
 	// AverageResult is the output and certificate of LocalAverage.
 	AverageResult = core.AverageResult
@@ -152,6 +165,15 @@ func SolveOptimalWith(in *Instance, backend Backend) (OptimalResult, error) {
 // Safe computes the safe solution x_v = min_{i∈Iv} 1/(a_iv·|Vi|)
 // (equation (2)), a local ΔVI-approximation with horizon 1.
 func Safe(in *Instance) []float64 { return core.Safe(in) }
+
+// NewCSR builds the flat incidence index of an instance. NewGraph
+// already attaches one to the graphs it returns; this constructor is for
+// callers that want the index without the adjacency structure.
+func NewCSR(in *Instance) *CSR { return hypergraph.NewCSR(in) }
+
+// SafeFlat is Safe evaluated over a prebuilt CSR index — the same
+// values with no per-agent row lookups.
+func SafeFlat(csr *CSR) []float64 { return core.SafeFlat(csr) }
 
 // SafeRatioBound returns ΔVI, the proven approximation ratio of Safe.
 func SafeRatioBound(in *Instance) float64 { return core.SafeRatioBound(in) }

@@ -122,3 +122,66 @@ func TestPublicAPIGenerators(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicAPICSR exercises the flat-index surface: the CSR attached to
+// NewGraph, the standalone constructor, SafeFlat agreement with Safe,
+// the precomputed BallIndex, and the sharded engine.
+func TestPublicAPICSR(t *testing.T) {
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	csr := g.CSR()
+	if csr == nil {
+		t.Fatal("NewGraph did not attach a CSR index")
+	}
+	if csr.NumAgents() != in.NumAgents() || csr.Nonzeros() != in.Stats().Nonzeros {
+		t.Fatal("CSR shape disagrees with the instance")
+	}
+	if maxminlp.NewCSR(in).Nonzeros() != csr.Nonzeros() {
+		t.Fatal("standalone NewCSR disagrees")
+	}
+
+	safe := maxminlp.Safe(in)
+	for v, x := range maxminlp.SafeFlat(csr) {
+		if x != safe[v] {
+			t.Fatalf("SafeFlat diverged from Safe at %d", v)
+		}
+	}
+
+	bi := g.BallIndex(1, 4)
+	for v := 0; v < in.NumAgents(); v++ {
+		want := g.Ball(v, 1)
+		got := bi.Ball(v)
+		if len(got) != len(want) || bi.Size(v) != len(want) {
+			t.Fatalf("ball size mismatch at %d", v)
+		}
+		for j := range want {
+			if int(got[j]) != want[j] {
+				t.Fatalf("ball mismatch at %d", v)
+			}
+			if !bi.Contains(v, got[j]) {
+				t.Fatalf("Contains(%d, %d) = false", v, got[j])
+			}
+		}
+	}
+
+	nw, err := maxminlp.NewNetwork(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := nw.RunSequential(maxminlp.AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := nw.RunSharded(maxminlp.AverageProtocol{Radius: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seq.X {
+		if sh.X[v] != seq.X[v] {
+			t.Fatalf("sharded engine diverged at %d", v)
+		}
+	}
+	if sh.Messages != seq.Messages || sh.Payload != seq.Payload {
+		t.Fatal("sharded trace accounting diverged")
+	}
+}
