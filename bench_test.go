@@ -53,6 +53,7 @@ func BenchmarkE9SelfStabilization(b *testing.B)   { benchExperiment(b, "E9") }
 func BenchmarkE10OpenQuestion(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11AdaptiveScheme(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12ShardedEngine(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13DedupProfile(b *testing.B)       { benchExperiment(b, "E13") }
 
 // --- ablations -----------------------------------------------------------
 
@@ -126,9 +127,14 @@ func BenchmarkLPFloatVsRat(b *testing.B) {
 
 // BenchmarkLocalAverageRadius shows how the Theorem-3 algorithm's cost
 // grows with the radius R (per agent, the ball and local LP grow
-// polynomially on a torus).
+// polynomially on a torus). The torus is 16×16 so that radius-2 balls
+// (lattice diameter 9) do not wrap around the side: on a non-wrapping
+// symmetric instance most agents share an orbit and the isomorphic-ball
+// dedup collapses their local LPs to one solve per class. (On the 8×8
+// torus this benchmark historically used, every radius-2 ball wraps, no
+// two agents assemble identical LPs, and only the workspace gains show.)
 func BenchmarkLocalAverageRadius(b *testing.B) {
-	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	in, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
 	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
 	for _, radius := range []int{0, 1, 2} {
 		b.Run(radiusName(radius), func(b *testing.B) {
@@ -143,6 +149,35 @@ func BenchmarkLocalAverageRadius(b *testing.B) {
 }
 
 func radiusName(r int) string { return "R=" + strconv.Itoa(r) }
+
+// BenchmarkLocalAverageDedup ablates the isomorphic-ball LP cache on the
+// BenchmarkLocalAverageRadius workload: identical outputs, one simplex
+// run per orbit class instead of one per agent.
+func BenchmarkLocalAverageDedup(b *testing.B) {
+	in, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for _, cfg := range []struct {
+		name string
+		opt  maxminlp.AverageOptions
+	}{
+		{"dedup", maxminlp.AverageOptions{}},
+		{"reference", maxminlp.AverageOptions{NoDedup: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			solves, avoided := 0, 0
+			for i := 0; i < b.N; i++ {
+				res, err := maxminlp.LocalAverageOpt(in, g, 2, cfg.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				solves, avoided = res.LocalLPs, res.SolvesAvoided
+			}
+			b.ReportMetric(float64(solves), "solves/op")
+			b.ReportMetric(float64(avoided), "avoided/op")
+		})
+	}
+}
 
 // BenchmarkEngines compares the sequential reference engine against the
 // goroutine-per-agent engine on the same protocol.

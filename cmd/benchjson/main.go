@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON map, so the repo's perf trajectory can be
+// tracked file-to-file across PRs instead of by eyeballing logs. The
+// bench-smoke CI job runs every benchmark once and publishes the result
+// as BENCH_PR3.json at the repository root:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
+//	go run ./cmd/benchjson -o BENCH_PR3.json bench.txt
+//
+// Each benchmark maps to its parsed metrics: ns/op always, plus B/op,
+// allocs/op and any custom b.ReportMetric series present (the dedup
+// benchmarks report solves/op and avoided/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts metric maps from `go test -bench` output lines of
+// the form:
+//
+//	BenchmarkName-8   10   123456 ns/op   789 B/op   12 allocs/op
+//
+// The GOMAXPROCS suffix is stripped so keys stay stable across hosts.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := make(map[string]float64)
+		// fields[1] is the iteration count; the rest come in value/unit
+		// pairs.
+		if iters, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			metrics["iterations"] = iters
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 1 {
+			out[name] = metrics
+		}
+	}
+	return out, sc.Err()
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	parsed, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	// Deterministic output: sorted keys via an ordered re-marshal.
+	names := make([]string, 0, len(parsed))
+	for name := range parsed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		enc, err := json.Marshal(parsed[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, enc)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	if *outPath != "" {
+		return os.WriteFile(*outPath, []byte(b.String()), 0o644)
+	}
+	_, err = io.WriteString(stdout, b.String())
+	return err
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

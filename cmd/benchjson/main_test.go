@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: maxminlp
+BenchmarkE5LocalAverage-8   	       3	  39183086 ns/op	 2990658 B/op	    6277 allocs/op
+BenchmarkLocalAverageRadius/R=2-8      	       3	   7948295 ns/op	  572008 B/op	     285 allocs/op
+BenchmarkLocalAverageDedup/dedup-8     	       5	   5000000 ns/op	  121 solves/op	 135 avoided/op	 500 B/op	 10 allocs/op
+PASS
+ok  	maxminlp	0.496s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	e5 := got["BenchmarkE5LocalAverage"]
+	if e5 == nil || e5["ns/op"] != 39183086 || e5["allocs/op"] != 6277 {
+		t.Fatalf("E5 metrics wrong: %v", e5)
+	}
+	radius := got["BenchmarkLocalAverageRadius/R=2"]
+	if radius == nil || radius["ns/op"] != 7948295 {
+		t.Fatalf("sub-benchmark name or metrics wrong: %v", got)
+	}
+	dedup := got["BenchmarkLocalAverageDedup/dedup"]
+	if dedup == nil || dedup["solves/op"] != 121 || dedup["avoided/op"] != 135 {
+		t.Fatalf("custom metrics not parsed: %v", dedup)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if decoded["BenchmarkE5LocalAverage"]["ns/op"] != 39183086 {
+		t.Fatalf("round-trip lost data: %v", decoded)
+	}
+	// Deterministic key order for diff-friendly files.
+	first := strings.Index(out.String(), "BenchmarkE5LocalAverage")
+	second := strings.Index(out.String(), "BenchmarkLocalAverageDedup/dedup")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("keys not sorted:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}

@@ -152,6 +152,7 @@ func cmdSolve(args []string) error {
 	alg := fs.String("alg", "optimal", "optimal | revised | bisect | safe | average | adaptive")
 	radius := fs.Int("radius", 1, "radius R for -alg average")
 	target := fs.Float64("target", 2, "target ratio for -alg adaptive")
+	noDedup := fs.Bool("nodedup", false, "disable isomorphic-ball LP dedup for -alg average/adaptive (reference path; same outputs)")
 	printX := fs.Bool("x", false, "print the full activity vector")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -188,22 +189,22 @@ func cmdSolve(args []string) error {
 		fmt.Printf("safe ω = %.6g (proven ratio ≤ ΔVI = %d)\n", in.Objective(x), in.Degrees().MaxVI)
 	case "average":
 		g := hypergraph.FromInstance(in, hypergraph.Options{})
-		res, err := core.LocalAverage(in, g, *radius)
+		res, err := core.LocalAverageOpt(in, g, *radius, core.AverageOptions{NoDedup: *noDedup})
 		if err != nil {
 			return err
 		}
 		x = res.X
-		fmt.Printf("average R=%d ω = %.6g (certificate %.4g, %d local LPs)\n",
-			*radius, in.Objective(x), res.RatioCertificate(), res.LocalLPs)
+		fmt.Printf("average R=%d ω = %.6g (certificate %.4g, %d local LPs solved, %d dedup-avoided)\n",
+			*radius, in.Objective(x), res.RatioCertificate(), res.LocalLPs, res.SolvesAvoided)
 	case "adaptive":
 		g := hypergraph.FromInstance(in, hypergraph.Options{})
-		res, err := core.AdaptiveAverage(in, g, *target, 8)
+		res, err := core.AdaptiveAverageOpt(in, g, *target, 8, core.AverageOptions{NoDedup: *noDedup})
 		if err != nil {
 			return err
 		}
 		x = res.X
-		fmt.Printf("adaptive target %.4g: achieved=%v at R=%d ω = %.6g (certificate %.4g)\n",
-			*target, res.Achieved, res.Radius, in.Objective(x), res.RatioCertificate())
+		fmt.Printf("adaptive target %.4g: achieved=%v at R=%d ω = %.6g (certificate %.4g, %d local LPs solved, %d dedup-avoided)\n",
+			*target, res.Achieved, res.Radius, in.Objective(x), res.RatioCertificate(), res.LocalLPs, res.SolvesAvoided)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}

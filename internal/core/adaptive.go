@@ -50,6 +50,17 @@ type AdaptiveResult struct {
 // radius. If no radius up to maxRadius meets the target, the averaging
 // algorithm runs at maxRadius and Achieved is false.
 func AdaptiveAverage(in *mmlp.Instance, g *hypergraph.Graph, targetRatio float64, maxRadius int) (*AdaptiveResult, error) {
+	return AdaptiveAverageOpt(in, g, targetRatio, maxRadius, AverageOptions{})
+}
+
+// AdaptiveAverageOpt is AdaptiveAverage with explicit execution options
+// for the final averaging run (the radius search itself solves no local
+// LPs — certificates are pure ball structure). Canonical fingerprint
+// keys are radius-independent (they encode only the ball-relative LP),
+// so a caller probing several targets or radii can pass one
+// AverageOptions.Cache through repeated calls and pay for each distinct
+// local LP once across all of them.
+func AdaptiveAverageOpt(in *mmlp.Instance, g *hypergraph.Graph, targetRatio float64, maxRadius int, opt AverageOptions) (*AdaptiveResult, error) {
 	if targetRatio <= 1 {
 		return nil, fmt.Errorf("core: target ratio must exceed 1, got %v", targetRatio)
 	}
@@ -71,7 +82,7 @@ func AdaptiveAverage(in *mmlp.Instance, g *hypergraph.Graph, targetRatio float64
 			break
 		}
 	}
-	res, err := LocalAverage(in, g, chosen)
+	res, err := LocalAverageOpt(in, g, chosen, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -34,10 +36,20 @@ type AverageResult struct {
 	// (9), so ω^u ≥ ω* for all u — inequality (13) of the paper — and
 	// min_u ω^u is a locally computable upper bound on the optimum.
 	LocalOmega []float64
-	// LocalLPs counts the local LPs solved and LocalPivots the total
-	// simplex pivots across them.
+	// LocalLPs counts the local LPs actually solved by the simplex and
+	// LocalPivots the total pivots across them. With isomorphic-ball
+	// dedup enabled (the default), agents whose local LPs are
+	// element-for-element identical share one solve, so LocalLPs reports
+	// distinct solves — O(#orbits) on symmetric instances — while
+	// SolvesAvoided counts the agents served from the cache (including
+	// the trivial K^u = ∅ balls, which need no simplex at all). On the
+	// reference path (NoDedup) LocalLPs is the number of agents, as it
+	// always was.
 	LocalLPs    int
 	LocalPivots int
+	// SolvesAvoided counts local LPs answered without running the
+	// simplex; 0 on the reference path.
+	SolvesAvoided int
 }
 
 // OmegaUpperBound returns min_u ω^u ≥ ω*, the optimistic bound implied by
@@ -70,7 +82,31 @@ func (r *AverageResult) RatioCertificate() float64 {
 // optimum within max_k M_k/m_k · max_i N_i/n_i ≤ γ(R−1)·γ(R)
 // (Section 5.3).
 func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageResult, error) {
-	return localAverage(in, g, radius, 1)
+	return localAverage(in, g, radius, AverageOptions{})
+}
+
+// AverageOptions tunes the execution of the Theorem-3 algorithm without
+// changing any of its outputs: every combination of options produces
+// bit-identical X, Beta, BallSize, LocalOmega and certificate bounds.
+type AverageOptions struct {
+	// Workers is the number of goroutines solving local LPs; ≤ 1 means
+	// sequential.
+	Workers int
+	// NoDedup disables the isomorphic-ball LP cache and solves every
+	// agent's local LP independently — the reference path the dedup
+	// layer is tested against.
+	NoDedup bool
+	// Cache, when non-nil, is consulted and populated by the run,
+	// carrying solved local LPs across calls (AdaptiveAverage shares one
+	// cache across its radius search; callers may share one across
+	// instances — keys are content-based). Ignored when NoDedup is set.
+	// The caller must not use one cache from concurrent runs.
+	Cache *SolveCache
+}
+
+// LocalAverageOpt is LocalAverage with explicit execution options.
+func LocalAverageOpt(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt AverageOptions) (*AverageResult, error) {
+	return localAverage(in, g, radius, opt)
 }
 
 // localAverage is the shared flat-array implementation of LocalAverage
@@ -78,11 +114,14 @@ func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageR
 // once (sharded across the workers), the local LPs run on per-worker
 // localSolvers, and the accumulation of equation (10) always runs in
 // ascending agent order — so every worker count produces bit-identical
-// results.
-func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (*AverageResult, error) {
+// results. With dedup enabled (the default) a cached solution is only
+// reused after an exact canonical-key match, so the dedup paths are
+// bit-identical to the reference path too.
+func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt AverageOptions) (*AverageResult, error) {
 	if radius < 0 {
 		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
 	}
+	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
@@ -103,24 +142,47 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (
 	// Solve the local LP (9) of every agent and accumulate
 	// Σ_{u∈V^j} x^u_j in ascending u order, so the floating-point sums
 	// are independent of the worker count. The sequential path streams
-	// each x^u into the sums as it is solved; the parallel path buffers
-	// the solutions and replays the identical accumulation afterwards.
+	// each x^u into the sums as it is solved; the parallel paths buffer
+	// the solutions and replay the identical accumulation afterwards.
 	sums := make([]float64, n)
-	if workers == 1 {
+	switch {
+	case workers == 1:
 		s := newLocalSolver(csr)
+		if !opt.NoDedup {
+			if opt.Cache != nil {
+				s.cache = opt.Cache.c
+			} else {
+				s.cache = newSolveCache()
+			}
+		}
 		for u := 0; u < n; u++ {
-			xu, omega, p, err := s.solve(bi.Ball(u))
+			var (
+				xu    []float64
+				omega float64
+				p     int
+				hit   bool
+				err   error
+			)
+			if s.cache != nil {
+				xu, omega, p, hit, err = s.solveCached(bi.Ball(u))
+			} else {
+				xu, omega, p, err = s.solve(bi.Ball(u))
+			}
 			if err != nil {
 				return nil, fmt.Errorf("core: local LP of agent %d: %w", u, err)
 			}
 			res.LocalOmega[u] = omega
-			res.LocalLPs++
-			res.LocalPivots += p
+			if hit {
+				res.SolvesAvoided++
+			} else {
+				res.LocalLPs++
+				res.LocalPivots += p
+			}
 			for idx, v := range bi.Ball(u) {
 				sums[v] += xu[idx]
 			}
 		}
-	} else {
+	case opt.NoDedup:
 		xus := make([][]float64, n)
 		pivots := make([]int, n)
 		var solvers sync.Pool
@@ -132,7 +194,8 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (
 			if err != nil {
 				return fmt.Errorf("core: local LP of agent %d: %w", u, err)
 			}
-			xus[u] = xu
+			// s.solve returns workspace-aliased memory; buffer a copy.
+			xus[u] = append([]float64(nil), xu...)
 			res.LocalOmega[u] = omega
 			pivots[u] = p
 			return nil
@@ -145,6 +208,10 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (
 			for idx, v := range bi.Ball(u) {
 				sums[v] += xus[u][idx]
 			}
+		}
+	default:
+		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums); err != nil {
+			return nil, err
 		}
 	}
 
@@ -168,6 +235,127 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius, workers int) (
 	// adjacent, so S_k ⊇ Vk.)
 	res.PartyBound = partyBoundFlat(csr, bi)
 	return res, nil
+}
+
+// localAverageParallelDedup is the deduplicated parallel local-LP phase:
+// fingerprint every ball in parallel, group agents by exact canonical
+// key in ascending order (so representatives — and with them the
+// LocalLPs/LocalPivots accounting — match the sequential streaming
+// cache), solve one representative per group in parallel, then replay
+// the sequential accumulation. shared, when non-nil, carries solved LPs
+// in and out of the run; it is only touched from this goroutine.
+func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64) error {
+	var solvers sync.Pool
+	solvers.New = func() any { return newLocalSolver(csr) }
+
+	// Phase 1: canonical fingerprints, in parallel.
+	keys := make([][]byte, n)
+	hashes := make([]uint64, n)
+	trivial := make([]bool, n)
+	if err := parallelFor(n, workers, func(u int) error {
+		s := solvers.Get().(*localSolver)
+		defer solvers.Put(s)
+		keys[u], hashes[u], trivial[u] = s.fingerprint(bi.Ball(u))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: group agents by exact key, ascending, so each group's
+	// representative is its smallest agent — the agent the sequential
+	// streaming cache would have solved.
+	gid := make([]int32, n)
+	var reps []int
+	bucket := make(map[uint64][]int32)
+	for u := 0; u < n; u++ {
+		if trivial[u] {
+			gid[u] = -1
+			continue
+		}
+		found := int32(-1)
+		for _, gi := range bucket[hashes[u]] {
+			if bytes.Equal(keys[reps[gi]], keys[u]) {
+				found = gi
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(reps))
+			reps = append(reps, u)
+			bucket[hashes[u]] = append(bucket[hashes[u]], found)
+		}
+		gid[u] = found
+	}
+
+	// Phase 3: solve one representative per group (consulting the shared
+	// cache first), in parallel.
+	nG := len(reps)
+	gX := make([][]float64, nG)
+	gOmega := make([]float64, nG)
+	gPivots := make([]int, nG)
+	gHit := make([]bool, nG)
+	var shared *solveCache
+	if sharedCache != nil {
+		shared = sharedCache.c
+		for gi, u := range reps {
+			if e := shared.lookup(hashes[u], keys[u]); e != nil {
+				gX[gi], gOmega[gi], gPivots[gi], gHit[gi] = e.x, e.omega, e.pivots, true
+			}
+		}
+	}
+	if err := parallelFor(nG, workers, func(gi int) error {
+		if gHit[gi] {
+			return nil
+		}
+		s := solvers.Get().(*localSolver)
+		defer solvers.Put(s)
+		u := reps[gi]
+		xu, omega, p, err := s.solve(bi.Ball(u))
+		if err != nil {
+			return fmt.Errorf("core: local LP of agent %d: %w", u, err)
+		}
+		gX[gi] = append([]float64(nil), xu...)
+		gOmega[gi], gPivots[gi] = omega, p
+		return nil
+	}); err != nil {
+		return err
+	}
+	if shared != nil {
+		for gi, u := range reps {
+			if !gHit[gi] {
+				shared.insert(hashes[u], keys[u], gX[gi], gOmega[gi], gPivots[gi])
+			}
+		}
+	}
+
+	// Phase 4: the sequential accumulation order of equation (10).
+	// Trivial balls contribute x^u = 0, which the += below would not
+	// change bit-for-bit, so they are skipped outright.
+	for u := 0; u < n; u++ {
+		if gid[u] < 0 {
+			res.LocalOmega[u] = math.Inf(1)
+			res.SolvesAvoided++
+			continue
+		}
+		gi := gid[u]
+		res.LocalOmega[u] = gOmega[gi]
+		if u == reps[gi] && !gHit[gi] {
+			res.LocalLPs++
+			res.LocalPivots += gPivots[gi]
+		} else {
+			res.SolvesAvoided++
+			// Mirror the sequential streaming cache's accounting: one
+			// hit per non-trivial agent served without a simplex run.
+			if shared != nil {
+				shared.hits++
+			}
+		}
+		x := gX[gi]
+		for idx, v := range bi.Ball(u) {
+			sums[v] += x[idx]
+		}
+	}
+	return nil
 }
 
 // InstanceView is the read surface a local LP solve needs. A full
@@ -214,11 +402,154 @@ func (f FullView) PartyMembers(k int) []int {
 }
 
 // SolveBallLP solves the local LP (9) for the given ball through an
-// InstanceView; see solveLocalLP for the formulation. Exported for the
-// distributed runtime.
+// InstanceView; see solveLocalLP for the formulation. It is the
+// one-shot reference entry point (no fingerprinting, no cache) that the
+// dedup paths are tested against; callers solving many ball LPs — the
+// distributed engines do, per node — should hold a BallSolver instead.
 func SolveBallLP(view InstanceView, ball []int, inBall map[int]bool) ([]float64, int, error) {
-	x, _, pivots, err := solveLocalView(view, ball, inBall)
+	s := &BallSolver{ws: lp.NewWorkspace()}
+	x, _, pivots, err := s.Solve(view, ball, inBall)
 	return x, pivots, err
+}
+
+// BallSolver is the per-node local-LP solve kernel of the distributed
+// engines: it solves ball LPs through InstanceViews on one reusable
+// lp.Workspace and deduplicates isomorphic balls through the same
+// exact-key cache as the centralised pipeline. A node re-solving the
+// local LP of every agent in its own ball (the redundant recomputation
+// that makes the protocol coordination-free) therefore runs the simplex
+// only once per distinct LP. Results are bit-identical to SolveBallLP
+// because a cached solution is only reused after an exact canonical-key
+// match. Not safe for concurrent use.
+type BallSolver struct {
+	ws     *lp.Workspace
+	cache  *solveCache
+	keyBuf []byte
+}
+
+// NewBallSolver returns a solver with an empty workspace and cache.
+func NewBallSolver() *BallSolver {
+	return &BallSolver{ws: lp.NewWorkspace(), cache: newSolveCache()}
+}
+
+// SolvesAvoided reports how many Solve calls were answered from the
+// isomorphic-ball cache.
+func (s *BallSolver) SolvesAvoided() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.hits
+}
+
+// Solve solves the local LP (9) for the ball through the view, returning
+// the local solution, ω^u and the pivots performed (0 on a cache hit).
+// The returned slice must be treated as read-only; it is either cache
+// memory shared with future calls or workspace memory valid until the
+// next Solve.
+func (s *BallSolver) Solve(view InstanceView, ball []int, inBall map[int]bool) ([]float64, float64, int, error) {
+	nLoc := len(ball)
+	localIdx := make(map[int]int, nLoc)
+	for idx, v := range ball {
+		localIdx[v] = idx
+	}
+
+	// Collect I^u (resources touching the ball) and K^u (parties inside).
+	resSeen := make(map[int]bool)
+	parSeen := make(map[int]bool)
+	var resList, parList []int
+	for _, v := range ball {
+		for _, i := range view.AgentResources(v) {
+			if !resSeen[i] {
+				resSeen[i] = true
+				resList = append(resList, i)
+			}
+		}
+		for _, k := range view.AgentParties(v) {
+			if parSeen[k] {
+				continue
+			}
+			parSeen[k] = true
+			inside := true
+			for _, member := range view.PartyMembers(k) {
+				if !inBall[member] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				parList = append(parList, k)
+			}
+		}
+	}
+	sort.Ints(resList)
+	sort.Ints(parList)
+
+	if len(parList) == 0 {
+		// ω^u = min over the empty K^u is +∞; x^u = 0 by convention.
+		return make([]float64, nLoc), math.Inf(1), 0, nil
+	}
+
+	// Canonical fingerprint — the same ball-relative encoding as the
+	// CSR-based solver, so the dedup guarantee is the same: reuse only
+	// on exact key equality. A solver without a cache (SolveBallLP's
+	// one-shot reference path) skips fingerprinting entirely.
+	var key []byte
+	var hash uint64
+	if s.cache != nil {
+		key = appendKeyHeader(s.keyBuf[:0], nLoc, len(resList))
+		for _, i := range resList {
+			for _, e := range view.ResourceRow(i) {
+				if idx, ok := localIdx[e.Agent]; ok {
+					key = appendKeyEntry(key, int32(idx), e.Coeff)
+				}
+			}
+			key = appendKeyRowEnd(key)
+		}
+		key = binary.LittleEndian.AppendUint32(key, uint32(len(parList)))
+		for _, k := range parList {
+			for _, e := range view.PartyRow(k) {
+				key = appendKeyEntry(key, int32(localIdx[e.Agent]), e.Coeff)
+			}
+			key = appendKeyRowEnd(key)
+		}
+		s.keyBuf = key
+		hash = fnv64a(key)
+		if e := s.cache.lookup(hash, key); e != nil {
+			s.cache.hits++
+			return e.x, e.omega, 0, nil
+		}
+	}
+
+	ws := s.ws
+	ws.Begin(nLoc + 1)
+	ws.Obj()[nLoc] = 1
+	for _, i := range resList {
+		row := ws.AddRow(lp.LE, 1)
+		for _, e := range view.ResourceRow(i) {
+			if idx, ok := localIdx[e.Agent]; ok {
+				row[idx] = e.Coeff
+			}
+		}
+	}
+	for _, k := range parList {
+		row := ws.AddRow(lp.LE, 0)
+		for _, e := range view.PartyRow(k) {
+			row[localIdx[e.Agent]] = -e.Coeff
+		}
+		row[nLoc] = 1
+	}
+	sol, err := ws.SolveStaged(false, lp.DantzigThenBland)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, 0, fmt.Errorf("local LP status %v", sol.Status)
+	}
+	x := sol.X[:nLoc]
+	if s.cache != nil {
+		s.cache.insert(hash, key, x, sol.Value, sol.Pivots)
+	}
+	return x, sol.Value, sol.Pivots, nil
 }
 
 // solveLocalLP solves problem (9) for the ball V^u: maximise
@@ -241,74 +572,5 @@ func solveLocalOmega(in *mmlp.Instance, ball []int, inBall map[int]bool) ([]floa
 }
 
 func solveLocalView(in InstanceView, ball []int, inBall map[int]bool) ([]float64, float64, int, error) {
-	nLoc := len(ball)
-	localIdx := make(map[int]int, nLoc)
-	for idx, v := range ball {
-		localIdx[v] = idx
-	}
-
-	// Collect I^u (resources touching the ball) and K^u (parties inside).
-	resSeen := make(map[int]bool)
-	parSeen := make(map[int]bool)
-	var resList, parList []int
-	for _, v := range ball {
-		for _, i := range in.AgentResources(v) {
-			if !resSeen[i] {
-				resSeen[i] = true
-				resList = append(resList, i)
-			}
-		}
-		for _, k := range in.AgentParties(v) {
-			if parSeen[k] {
-				continue
-			}
-			parSeen[k] = true
-			inside := true
-			for _, member := range in.PartyMembers(k) {
-				if !inBall[member] {
-					inside = false
-					break
-				}
-			}
-			if inside {
-				parList = append(parList, k)
-			}
-		}
-	}
-	sort.Ints(resList)
-	sort.Ints(parList)
-
-	if len(parList) == 0 {
-		// ω^u = min over the empty K^u is +∞; x^u = 0 by convention.
-		return make([]float64, nLoc), math.Inf(1), 0, nil
-	}
-
-	obj := make([]float64, nLoc+1)
-	obj[nLoc] = 1
-	cons := make([]lp.Constraint, 0, len(resList)+len(parList))
-	for _, i := range resList {
-		row := make([]float64, nLoc+1)
-		for _, e := range in.ResourceRow(i) {
-			if idx, ok := localIdx[e.Agent]; ok {
-				row[idx] = e.Coeff
-			}
-		}
-		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
-	}
-	for _, k := range parList {
-		row := make([]float64, nLoc+1)
-		for _, e := range in.PartyRow(k) {
-			row[localIdx[e.Agent]] = -e.Coeff
-		}
-		row[nLoc] = 1
-		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 0})
-	}
-	sol, err := lp.Solve(&lp.Problem{Obj: obj, Constraints: cons})
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	if sol.Status != lp.Optimal {
-		return nil, 0, 0, fmt.Errorf("local LP status %v", sol.Status)
-	}
-	return sol.X[:nLoc], sol.Value, sol.Pivots, nil
+	return NewBallSolver().Solve(in, ball, inBall)
 }

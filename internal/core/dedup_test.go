@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// dedupCases are the instance families the dedup layer must be
+// bit-exact on: the symmetric families where it collapses orbits, and
+// the irregular ones where it must simply do no harm.
+func dedupCases(t testing.TB) []struct {
+	name   string
+	in     *mmlp.Instance
+	radius int
+} {
+	rng := rand.New(rand.NewSource(11))
+	tor, _ := gen.Torus([]int{12, 12}, gen.LatticeOptions{})
+	torW, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	cyc, _ := gen.Cycle(40, gen.LatticeOptions{})
+	disk, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 80, Radius: 0.15, MaxNeighbors: 5}, rng)
+	rnd := gen.Random(gen.RandomOptions{Agents: 50, Resources: 40, Parties: 20, MaxVI: 3, MaxVK: 3}, rng)
+	return []struct {
+		name   string
+		in     *mmlp.Instance
+		radius int
+	}{
+		{"torus 12x12 R=1", tor, 1},
+		{"torus 6x6 weighted R=1", torW, 1},
+		{"torus 6x6 weighted R=2", torW, 2},
+		{"cycle 40 R=2", cyc, 2},
+		{"cycle 40 R=0", cyc, 0},
+		{"unit-disk R=1", disk, 1},
+		{"random R=1", rnd, 1},
+	}
+}
+
+// TestDedupBitIdentical is the safety property of the dedup layer:
+// across symmetric, geometric and random instances, with any worker
+// count, the dedup run's X, Beta and LocalOmega equal the NoDedup
+// reference bit for bit, and the distinct-solve accounting agrees
+// between the sequential streaming cache and the parallel grouped
+// executor.
+func TestDedupBitIdentical(t *testing.T) {
+	for _, cse := range dedupCases(t) {
+		g := hypergraph.FromInstance(cse.in, hypergraph.Options{})
+		ref, err := LocalAverageOpt(cse.in, g, cse.radius, AverageOptions{NoDedup: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		seq, err := LocalAverageOpt(cse.in, g, cse.radius, AverageOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := LocalAverageOpt(cse.in, g, cse.radius, AverageOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", cse.name, workers, err)
+			}
+			if par.LocalLPs != seq.LocalLPs || par.SolvesAvoided != seq.SolvesAvoided || par.LocalPivots != seq.LocalPivots {
+				t.Fatalf("%s workers=%d: accounting (%d,%d,%d) vs sequential (%d,%d,%d)",
+					cse.name, workers, par.LocalLPs, par.SolvesAvoided, par.LocalPivots,
+					seq.LocalLPs, seq.SolvesAvoided, seq.LocalPivots)
+			}
+			if !reflect.DeepEqual(par.X, seq.X) {
+				t.Fatalf("%s workers=%d: X differs from sequential dedup", cse.name, workers)
+			}
+		}
+		if seq.LocalLPs+seq.SolvesAvoided != cse.in.NumAgents() {
+			t.Fatalf("%s: solved %d + avoided %d ≠ %d agents",
+				cse.name, seq.LocalLPs, seq.SolvesAvoided, cse.in.NumAgents())
+		}
+		for v := range ref.X {
+			if seq.X[v] != ref.X[v] {
+				t.Fatalf("%s: X[%d] = %v (dedup) vs %v (reference)", cse.name, v, seq.X[v], ref.X[v])
+			}
+			if seq.Beta[v] != ref.Beta[v] {
+				t.Fatalf("%s: Beta[%d] differs", cse.name, v)
+			}
+			if seq.LocalOmega[v] != ref.LocalOmega[v] {
+				t.Fatalf("%s: LocalOmega[%d] = %v vs %v", cse.name, v, seq.LocalOmega[v], ref.LocalOmega[v])
+			}
+		}
+	}
+}
+
+// TestDedupSharedCache: a cache carried across runs answers the second
+// run entirely from memory (same instance ⇒ every ball is a repeat) and
+// still returns bit-identical outputs.
+func TestDedupSharedCache(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	cache := NewSolveCache()
+	first, err := LocalAverageOpt(in, g, 1, AverageOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.DistinctSolves() != first.LocalLPs {
+		t.Fatalf("cache holds %d LPs, run solved %d", cache.DistinctSolves(), first.LocalLPs)
+	}
+	hitsAfterFirst := cache.Hits()
+	second, err := LocalAverageOpt(in, g, 1, AverageOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.LocalLPs != 0 {
+		t.Fatalf("second run solved %d LPs, want 0 (all cached)", second.LocalLPs)
+	}
+	if !reflect.DeepEqual(first.X, second.X) {
+		t.Fatal("cached rerun is not bit-identical")
+	}
+	// The parallel grouped executor must interoperate with the same
+	// shared cache, with identical Hits accounting to the sequential
+	// streaming path (one hit per non-trivial agent served).
+	hitsAfterSecond := cache.Hits()
+	third, err := LocalAverageOpt(in, g, 1, AverageOptions{Cache: cache, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.LocalLPs != 0 || !reflect.DeepEqual(first.X, third.X) {
+		t.Fatalf("parallel cached rerun: solved %d, identical=%v", third.LocalLPs, reflect.DeepEqual(first.X, third.X))
+	}
+	seqDelta := hitsAfterSecond - hitsAfterFirst // hits the second (sequential) run added
+	parDelta := cache.Hits() - hitsAfterSecond
+	if parDelta != seqDelta {
+		t.Fatalf("parallel rerun added %d cache hits, sequential rerun added %d", parDelta, seqDelta)
+	}
+}
+
+// TestAdaptiveCacheReuse: AdaptiveAverage threads one fingerprint cache
+// through its radius search; results must match the plain run exactly.
+func TestAdaptiveCacheReuse(t *testing.T) {
+	in, _ := gen.Torus([]int{9, 9}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	plain, err := AdaptiveAverageOpt(in, g, 1.8, 6, AverageOptions{NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSolveCache()
+	cached, err := AdaptiveAverageOpt(in, g, 1.8, 6, AverageOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Radius != plain.Radius || cached.Achieved != plain.Achieved {
+		t.Fatalf("adaptive outcome differs: R=%d/%v vs R=%d/%v",
+			cached.Radius, cached.Achieved, plain.Radius, plain.Achieved)
+	}
+	if !reflect.DeepEqual(cached.X, plain.X) {
+		t.Fatal("adaptive dedup run is not bit-identical to the reference")
+	}
+	if cache.DistinctSolves() == 0 {
+		t.Fatal("adaptive run did not populate the shared cache")
+	}
+}
+
+// TestCacheCollisionNeverReuses pins the collision contract: two
+// different keys in the same hash bucket must stay distinct entries —
+// lookup matches by exact key, never by hash alone.
+func TestCacheCollisionNeverReuses(t *testing.T) {
+	c := newSolveCache()
+	k1 := []byte{1, 2, 3}
+	k2 := []byte{1, 2, 4} // forced into the same bucket below
+	const h = uint64(42)
+	c.insert(h, k1, []float64{1}, 1, 1)
+	if e := c.lookup(h, k2); e != nil {
+		t.Fatal("lookup returned an entry for a colliding but unequal key")
+	}
+	c.insert(h, k2, []float64{2}, 2, 2)
+	if e := c.lookup(h, k1); e == nil || e.x[0] != 1 {
+		t.Fatal("first entry lost or wrong after collision insert")
+	}
+	if e := c.lookup(h, k2); e == nil || e.x[0] != 2 {
+		t.Fatal("second entry lost or wrong after collision insert")
+	}
+}
+
+// TestLocalSolveZeroAlloc pins the acceptance criterion on the hot
+// path: the steady-state localSolver.solve performs zero allocations —
+// even the returned solution aliases workspace memory.
+func TestLocalSolveZeroAlloc(t *testing.T) {
+	in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	csr := csrOf(in, g)
+	bi := g.BallIndex(1, 1)
+	s := newLocalSolver(csr)
+	solveAll := func() {
+		for u := 0; u < in.NumAgents(); u++ {
+			if _, _, _, err := s.solve(bi.Ball(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	solveAll() // warm-up: grow workspace and scratch to the high-water mark
+	if allocs := testing.AllocsPerRun(20, solveAll); allocs != 0 {
+		t.Fatalf("steady-state local solves allocate %v times per sweep, want 0", allocs)
+	}
+}
+
+// ballDesc is a decoded canonical key for the fuzz target: the explicit
+// LP structure a key is supposed to pin down uniquely.
+type ballDesc struct {
+	nLoc    int
+	resRows [][][2]uint64 // rows of (localIdx, coeffBits)
+	parRows [][][2]uint64
+}
+
+func (d *ballDesc) encode() []byte {
+	b := appendKeyHeader(nil, d.nLoc, len(d.resRows))
+	for _, row := range d.resRows {
+		for _, e := range row {
+			b = appendKeyEntry(b, int32(e[0]), math.Float64frombits(e[1]))
+		}
+		b = appendKeyRowEnd(b)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.parRows)))
+	for _, row := range d.parRows {
+		for _, e := range row {
+			b = appendKeyEntry(b, int32(e[0]), math.Float64frombits(e[1]))
+		}
+		b = appendKeyRowEnd(b)
+	}
+	return b
+}
+
+// decodeBallDesc derives a small LP description from fuzz bytes.
+func decodeBallDesc(data []byte) *ballDesc {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		v := data[0]
+		data = data[1:]
+		return v
+	}
+	d := &ballDesc{nLoc: 1 + int(next()%6)}
+	coeffs := []float64{0.25, 0.5, 1, 1.5, 2, 3.25}
+	readRows := func(n int) [][][2]uint64 {
+		rows := make([][][2]uint64, n)
+		for r := range rows {
+			m := int(next() % 4)
+			for e := 0; e < m; e++ {
+				idx := uint64(next()) % uint64(d.nLoc)
+				cf := coeffs[int(next())%len(coeffs)]
+				rows[r] = append(rows[r], [2]uint64{idx, math.Float64bits(cf)})
+			}
+		}
+		return rows
+	}
+	d.resRows = readRows(1 + int(next()%3))
+	d.parRows = readRows(1 + int(next()%3))
+	return d
+}
+
+// FuzzFingerprintInjective fuzzes the canonical-key encoder's injectivity
+// contract: two LP descriptions that encode to equal keys must be equal
+// descriptions (so a byte-equal fingerprint can never alias two
+// different local LPs — the property that makes exact-key dedup safe).
+// The two descriptions are decoded from the two halves of the input.
+func FuzzFingerprintInjective(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 0, 1, 1, 2, 2, 3, 3}, []byte{3, 2, 1, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{1, 1, 1, 0, 0}, []byte{2, 1, 1, 0, 0})
+	f.Add([]byte{5, 2, 3, 4, 0, 1, 2, 3, 4, 5, 6}, []byte{5, 2, 3, 4, 0, 1, 2, 3, 4, 5, 7})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		da, db := decodeBallDesc(a), decodeBallDesc(b)
+		ka, kb := da.encode(), db.encode()
+		if bytes.Equal(ka, kb) && !reflect.DeepEqual(da, db) {
+			t.Fatalf("distinct LPs share a canonical key:\n%+v\n%+v", da, db)
+		}
+		// And the converse sanity: equal descriptions encode equally.
+		if reflect.DeepEqual(da, db) && !bytes.Equal(ka, kb) {
+			t.Fatal("equal LPs encode to different keys")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -30,10 +31,15 @@ func csrOf(in *mmlp.Instance, g *hypergraph.Graph) *hypergraph.CSR {
 }
 
 // localSolver carries the reusable scratch of one worker solving local
-// LPs (9) over CSR balls. It is not safe for concurrent use; parallel
-// executors hold one solver per worker.
+// LPs (9) over CSR balls: the lp.Workspace the simplex runs in, the
+// epoch-stamped index scratch, and (optionally) an isomorphic-ball
+// cache. A steady-state solve performs no allocation at all: constraint
+// rows are written directly into workspace memory and the returned
+// solution aliases the workspace buffer. It is not safe for concurrent
+// use; parallel executors hold one solver per worker.
 type localSolver struct {
 	csr *hypergraph.CSR
+	ws  *lp.Workspace
 
 	// localIdx[v] is the index of agent v inside the current ball, or −1.
 	// Only ball entries are ever set, and they are cleared after each
@@ -46,11 +52,20 @@ type localSolver struct {
 	epoch            int32
 
 	resList, parList []int
+
+	// cache enables isomorphic-ball dedup in solveCached; nil disables.
+	cache  *solveCache
+	keyBuf []byte
+
+	// zeroX backs the x^u = 0 convention for balls with empty K^u; it is
+	// allocated zeroed and never written.
+	zeroX []float64
 }
 
 func newLocalSolver(csr *hypergraph.CSR) *localSolver {
 	s := &localSolver{
 		csr:      csr,
+		ws:       lp.NewWorkspace(),
 		localIdx: make([]int32, csr.NumAgents()),
 		resMark:  make([]int32, csr.NumResources()),
 		parMark:  make([]int32, csr.NumParties()),
@@ -67,24 +82,14 @@ func newLocalSolver(csr *hypergraph.CSR) *localSolver {
 	return s
 }
 
-// solve solves the local LP (9) for the ball V^u (sorted ascending): the
-// flat-array equivalent of solveLocalView over a FullView. The LP is
-// assembled from the same sorted index lists and the same coefficient
-// order, so the simplex pivot sequence — and hence the solution — is
-// identical.
-func (s *localSolver) solve(ball []int32) ([]float64, float64, int, error) {
+// enter installs the ball's local indexing and collects I^u (resources
+// touching the ball) and K^u (parties inside), sorted ascending — the
+// same sets in the same order as the reference view-based path.
+func (s *localSolver) enter(ball []int32) {
 	csr := s.csr
-	nLoc := len(ball)
 	for idx, v := range ball {
 		s.localIdx[v] = int32(idx)
 	}
-	defer func() {
-		for _, v := range ball {
-			s.localIdx[v] = -1
-		}
-	}()
-
-	// Collect I^u (resources touching the ball) and K^u (parties inside).
 	s.epoch++
 	s.resList = s.resList[:0]
 	s.parList = s.parList[:0]
@@ -114,35 +119,135 @@ func (s *localSolver) solve(ball []int32) ([]float64, float64, int, error) {
 	}
 	sort.Ints(s.resList)
 	sort.Ints(s.parList)
+}
 
+// leave clears the local indexing installed by enter, in O(|ball|).
+func (s *localSolver) leave(ball []int32) {
+	for _, v := range ball {
+		s.localIdx[v] = -1
+	}
+}
+
+// zeros returns an all-zero slice of length n (the x^u for empty K^u).
+// The buffer is shared across calls and must never be written.
+func (s *localSolver) zeros(n int) []float64 {
+	if cap(s.zeroX) < n {
+		s.zeroX = make([]float64, n)
+	}
+	return s.zeroX[:n]
+}
+
+// solve solves the local LP (9) for the ball V^u (sorted ascending): the
+// flat-array equivalent of solveLocalView over a FullView. The LP is
+// assembled from the same sorted index lists and the same coefficient
+// order into workspace memory, so the simplex pivot sequence — and hence
+// the solution — is identical to the reference path. The returned slice
+// aliases the workspace and is valid until the next solve on this
+// solver; callers that keep it must copy.
+func (s *localSolver) solve(ball []int32) ([]float64, float64, int, error) {
+	s.enter(ball)
+	defer s.leave(ball)
 	if len(s.parList) == 0 {
 		// ω^u = min over the empty K^u is +∞; x^u = 0 by convention.
-		return make([]float64, nLoc), math.Inf(1), 0, nil
+		return s.zeros(len(ball)), math.Inf(1), 0, nil
 	}
+	return s.assembleAndSolve(ball)
+}
 
-	obj := make([]float64, nLoc+1)
-	obj[nLoc] = 1
-	cons := make([]lp.Constraint, 0, len(s.resList)+len(s.parList))
+// solveCached is solve with isomorphic-ball dedup: the ball's canonical
+// fingerprint is looked up in the cache and, after an exact key match,
+// the stored solution is returned without touching the simplex. hit
+// reports whether the simplex was skipped. Requires s.cache != nil.
+func (s *localSolver) solveCached(ball []int32) (x []float64, omega float64, pivots int, hit bool, err error) {
+	s.enter(ball)
+	defer s.leave(ball)
+	if len(s.parList) == 0 {
+		return s.zeros(len(ball)), math.Inf(1), 0, true, nil
+	}
+	key := s.canonicalKey(ball)
+	hash := fnv64a(key)
+	if e := s.cache.lookup(hash, key); e != nil {
+		s.cache.hits++
+		return e.x, e.omega, e.pivots, true, nil
+	}
+	x, omega, pivots, err = s.assembleAndSolve(ball)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	s.cache.insert(hash, key, x, omega, pivots)
+	return x, omega, pivots, false, nil
+}
+
+// fingerprint returns an owned copy of the ball's canonical key and its
+// hash, or trivial = true for balls with empty K^u (no LP to solve).
+// Used by the parallel executor to group agents before solving.
+func (s *localSolver) fingerprint(ball []int32) (key []byte, hash uint64, trivial bool) {
+	s.enter(ball)
+	defer s.leave(ball)
+	if len(s.parList) == 0 {
+		return nil, 0, true
+	}
+	k := s.canonicalKey(ball)
+	return append([]byte(nil), k...), fnv64a(k), false
+}
+
+// canonicalKey encodes the ball's local LP (9) in ball-relative terms:
+// ball size, then each constraint row of I^u and K^u as its (local
+// column, exact coefficient bits) entries in assembly order. Agents
+// whose balls encode identically assemble element-for-element identical
+// LPs, so one solve serves them all. The returned slice aliases s.keyBuf
+// and is valid until the next canonicalKey call.
+func (s *localSolver) canonicalKey(ball []int32) []byte {
+	csr := s.csr
+	b := appendKeyHeader(s.keyBuf[:0], len(ball), len(s.resList))
 	for _, i := range s.resList {
-		row := make([]float64, nLoc+1)
+		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
+		for j, a := range agents {
+			if idx := s.localIdx[a]; idx >= 0 {
+				b = appendKeyEntry(b, idx, coeffs[j])
+			}
+		}
+		b = appendKeyRowEnd(b)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.parList)))
+	for _, k := range s.parList {
+		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
+		for j, a := range agents {
+			b = appendKeyEntry(b, s.localIdx[a], coeffs[j])
+		}
+		b = appendKeyRowEnd(b)
+	}
+	s.keyBuf = b
+	return b
+}
+
+// assembleAndSolve writes the constraint rows of (9) directly into the
+// workspace and runs the simplex. Callers must have entered the ball and
+// checked K^u ≠ ∅.
+func (s *localSolver) assembleAndSolve(ball []int32) ([]float64, float64, int, error) {
+	csr := s.csr
+	nLoc := len(ball)
+	ws := s.ws
+	ws.Begin(nLoc + 1)
+	ws.Obj()[nLoc] = 1
+	for _, i := range s.resList {
+		row := ws.AddRow(lp.LE, 1)
 		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
 		for j, a := range agents {
 			if idx := s.localIdx[a]; idx >= 0 {
 				row[idx] = coeffs[j]
 			}
 		}
-		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
 	}
 	for _, k := range s.parList {
-		row := make([]float64, nLoc+1)
+		row := ws.AddRow(lp.LE, 0)
 		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
 		for j, a := range agents {
 			row[s.localIdx[a]] = -coeffs[j]
 		}
 		row[nLoc] = 1
-		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 0})
 	}
-	sol, err := lp.Solve(&lp.Problem{Obj: obj, Constraints: cons})
+	sol, err := ws.SolveStaged(false, lp.DantzigThenBland)
 	if err != nil {
 		return nil, 0, 0, err
 	}

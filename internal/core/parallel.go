@@ -22,7 +22,7 @@ func LocalAverageParallel(in *mmlp.Instance, g *hypergraph.Graph, radius, worker
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return localAverage(in, g, radius, workers)
+	return localAverage(in, g, radius, AverageOptions{Workers: workers})
 }
 
 // parallelFor runs fn(i) for i in [0, n) across the given number of

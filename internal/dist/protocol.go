@@ -89,7 +89,13 @@ func (p AverageProtocol) output(k *knowledge) (float64, error) {
 	}
 
 	// Σ_{u∈V^j} x^u_j in ascending u order — the accumulation order of
-	// core.LocalAverage, so the partial sums match bit-for-bit.
+	// core.LocalAverage, so the partial sums match bit-for-bit. All the
+	// redundant re-solves of this node run on one workspace-backed
+	// kernel, and its isomorphic-ball cache collapses them to one
+	// simplex run per distinct local LP (on symmetric instances, most of
+	// a node's ball shares one orbit) — with bit-identical outputs,
+	// since reuse requires an exact canonical-key match.
+	solver := core.NewBallSolver()
 	self := ballOf(k.self)
 	var sum float64
 	for _, u := range self {
@@ -98,7 +104,7 @@ func (p AverageProtocol) output(k *knowledge) (float64, error) {
 		for _, w := range ballU {
 			inBall[w] = true
 		}
-		xu, _, err := core.SolveBallLP(k.view(ballU), ballU, inBall)
+		xu, _, _, err := solver.Solve(k.view(ballU), ballU, inBall)
 		if err != nil {
 			return 0, fmt.Errorf("local LP of agent %d: %w", u, err)
 		}

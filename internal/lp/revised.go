@@ -105,7 +105,7 @@ func SolveRevisedSparse(p *SparseProblem) (Solution, error) {
 	if p.Minimize {
 		sol.Value = -sol.Value
 	}
-	sol.Duals = r.duals()
+	sol.dualFn = r.duals // lazily extracted; r stays alive until then
 	return sol, nil
 }
 

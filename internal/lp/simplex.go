@@ -79,8 +79,34 @@ type Solution struct {
 	Status Status
 	X      []float64 // primal values, valid when Status == Optimal
 	Value  float64   // objective value, valid when Status == Optimal
-	Duals  []float64 // one multiplier per constraint, valid when Status == Optimal
 	Pivots int       // total simplex pivots performed
+
+	// Lazy dual sources: the dense simplex defers dual extraction to the
+	// first Duals call (dws + the generation it solved in), the revised
+	// simplex installs a closure. Nil for non-optimal solutions.
+	dws    *Workspace
+	dgen   uint64
+	dmin   bool
+	dualFn func() []float64
+}
+
+// Duals returns one multiplier per constraint, valid when Status ==
+// Optimal and nil otherwise. The multipliers are computed on demand from
+// the final tableau — no hot-path caller reads them, so solves do not pay
+// for the extraction. For dense-simplex solutions obtained through a
+// reused Workspace, Duals must be called before the next solve on that
+// workspace (a stale read panics). The flip side of laziness: a retained
+// Solution keeps its solver state (the workspace tableau or the revised
+// factorisation) reachable; callers hoarding many Solutions should copy
+// the fields they need and drop the Solution itself.
+func (s Solution) Duals() []float64 {
+	switch {
+	case s.dws != nil:
+		return s.dws.dualsFromTableau(s.dgen, s.dmin)
+	case s.dualFn != nil:
+		return s.dualFn()
+	}
+	return nil
 }
 
 // ErrNumerical is returned when the solver detects that floating-point
@@ -110,44 +136,11 @@ func Solve(p *Problem) (Solution, error) { return SolveWithRule(p, DantzigThenBl
 // SolveWithRule solves the problem with an explicit pivot rule. The
 // algorithm is the classical two-phase tableau simplex: phase 1 minimises
 // the sum of artificial variables to find a basic feasible solution, phase
-// 2 optimises the real objective.
+// 2 optimises the real objective. It is a one-shot wrapper over a fresh
+// Workspace; callers solving many LPs should hold a Workspace and reuse
+// it (the results are bit-identical, the allocations are not).
 func SolveWithRule(p *Problem, rule PivotRule) (Solution, error) {
-	t, err := newTableau(p)
-	if err != nil {
-		return Solution{}, err
-	}
-	sol := Solution{}
-	if t.needPhase1 {
-		t.setPhase1Objective()
-		if err := t.iterate(rule, &sol.Pivots); err != nil {
-			return Solution{}, err
-		}
-		// Phase 1 maximises −Σ artificials, so a strictly negative optimum
-		// means some artificial could not be driven to zero: infeasible.
-		if t.objValue() < -epsPhase1 {
-			sol.Status = Infeasible
-			return sol, nil
-		}
-		if err := t.expelArtificials(); err != nil {
-			return Solution{}, err
-		}
-	}
-	t.setPhase2Objective(p)
-	if err := t.iterate(rule, &sol.Pivots); err != nil {
-		if errors.Is(err, errUnbounded) {
-			sol.Status = Unbounded
-			return sol, nil
-		}
-		return Solution{}, err
-	}
-	sol.Status = Optimal
-	sol.X = t.primal()
-	sol.Value = t.objValue()
-	if p.Minimize {
-		sol.Value = -sol.Value
-	}
-	sol.Duals = t.duals(p)
-	return sol, nil
+	return NewWorkspace().SolveWithRule(p, rule)
 }
 
 var errUnbounded = errors.New("lp: unbounded")
@@ -155,20 +148,29 @@ var errUnbounded = errors.New("lp: unbounded")
 // tableau is the dense simplex tableau. Columns are laid out as
 // [0, nVars) original variables, [nVars, nVars+nSlack) slack/surplus
 // variables, [artStart, nCols) artificial variables; rhs is stored
-// separately. rows[r] has length nCols. basis[r] is the column basic in
-// row r. obj is the current reduced-cost row (length nCols) and objRHS the
-// current objective value.
+// separately. rows[r] has length nCols and points into the flat arena.
+// basis[r] is the column basic in row r. obj is the current reduced-cost
+// row (length nCols) and objRHS the current objective value.
+//
+// All backing arrays are owned by the tableau and recycled by reset, so
+// a long-lived Workspace reaches a steady state with no per-solve
+// allocation.
 type tableau struct {
 	nVars    int
 	nSlack   int
 	artStart int
 	nCols    int
 
+	arena  []float64 // m rows of stride nCols; rows[r] points into it
 	rows   [][]float64
 	rhs    []float64
 	basis  []int
+	inBase []bool // per column: whether it is basic in some row
 	obj    []float64
 	objRHS float64
+
+	costBuf    []float64 // scratch cost vector for the phase objectives
+	supportBuf []int32   // scratch nonzero-column list of the pivot row
 
 	needPhase1 bool
 	inPhase2   bool
@@ -177,106 +179,41 @@ type tableau struct {
 	slackNeg []bool // true when the slack entered with coefficient -1 (GE rows)
 }
 
-func newTableau(p *Problem) (*tableau, error) {
-	n := len(p.Obj)
-	m := len(p.Constraints)
-	for r, c := range p.Constraints {
-		if len(c.Coeffs) != n {
-			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", r, len(c.Coeffs), n)
-		}
-		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
-			return nil, fmt.Errorf("lp: constraint %d has non-finite rhs %v", r, c.RHS)
-		}
+// reset sizes the tableau for a problem with nVars variables, m rows,
+// nSlack slacks and nArt artificials, reusing every backing array whose
+// capacity suffices. Row contents are garbage after reset; buildTableau
+// overwrites them completely.
+func (t *tableau) reset(nVars, m, nSlack, nArt int) {
+	t.nVars = nVars
+	t.nSlack = nSlack
+	t.artStart = nVars + nSlack
+	t.nCols = t.artStart + nArt
+	t.needPhase1 = nArt > 0
+	t.inPhase2 = false
+	t.objRHS = 0
+	t.arena = growFloats(t.arena, m*t.nCols)
+	t.rows = growRowHdrs(t.rows, m)
+	for r := 0; r < m; r++ {
+		t.rows[r] = t.arena[r*t.nCols : (r+1)*t.nCols]
 	}
-
-	// Normalise rows to nonnegative rhs, count slack and artificial needs.
-	type rowPlan struct {
-		flip     bool
-		rel      Rel
-		needsArt bool
+	t.rhs = growFloats(t.rhs, m)
+	t.basis = growInts(t.basis, m)
+	t.inBase = growBools(t.inBase, t.nCols)
+	clear(t.inBase)
+	t.obj = growFloats(t.obj, t.nCols)
+	t.costBuf = growFloats(t.costBuf, t.nCols)
+	if cap(t.supportBuf) < t.nCols {
+		t.supportBuf = make([]int32, 0, t.nCols)
 	}
-	plans := make([]rowPlan, m)
-	nSlack, nArt := 0, 0
-	for r, c := range p.Constraints {
-		pl := rowPlan{rel: c.Rel}
-		if c.RHS < 0 {
-			pl.flip = true
-			switch c.Rel {
-			case LE:
-				pl.rel = GE
-			case GE:
-				pl.rel = LE
-			}
-		}
-		switch pl.rel {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			pl.needsArt = true
-			nArt++
-		case EQ:
-			pl.needsArt = true
-			nArt++
-		}
-		plans[r] = pl
-	}
-
-	t := &tableau{
-		nVars:    n,
-		nSlack:   nSlack,
-		artStart: n + nSlack,
-		nCols:    n + nSlack + nArt,
-		rows:     make([][]float64, m),
-		rhs:      make([]float64, m),
-		basis:    make([]int, m),
-		obj:      make([]float64, n+nSlack+nArt),
-		slackCol: make([]int, m),
-		slackNeg: make([]bool, m),
-	}
-	slack := n
-	art := t.artStart
-	for r, c := range p.Constraints {
-		row := make([]float64, t.nCols)
-		sign := 1.0
-		if plans[r].flip {
-			sign = -1
-		}
-		for j, a := range c.Coeffs {
-			row[j] = sign * a
-		}
-		t.rhs[r] = sign * c.RHS
-		t.slackCol[r] = -1
-		switch plans[r].rel {
-		case LE:
-			row[slack] = 1
-			t.basis[r] = slack
-			t.slackCol[r] = slack
-			slack++
-		case GE:
-			row[slack] = -1
-			t.slackCol[r] = slack
-			t.slackNeg[r] = true
-			slack++
-			row[art] = 1
-			t.basis[r] = art
-			art++
-			t.needPhase1 = true
-		case EQ:
-			row[art] = 1
-			t.basis[r] = art
-			art++
-			t.needPhase1 = true
-		}
-		t.rows[r] = row
-	}
-	return t, nil
+	t.slackCol = growInts(t.slackCol, m)
+	t.slackNeg = growBools(t.slackNeg, m)
 }
 
 // setPhase1Objective installs "maximise −Σ artificials" as the reduced-cost
 // row, priced out against the current (artificial) basis.
 func (t *tableau) setPhase1Objective() {
-	costs := make([]float64, t.nCols)
+	costs := t.costBuf
+	clear(costs)
 	for j := t.artStart; j < t.nCols; j++ {
 		costs[j] = -1
 	}
@@ -287,13 +224,14 @@ func (t *tableau) setPhase1Objective() {
 // setPhase2Objective installs the real objective, priced out against the
 // current basis. Artificial columns are barred from entering by forcing
 // their reduced costs to a large negative value.
-func (t *tableau) setPhase2Objective(p *Problem) {
-	costs := make([]float64, t.nCols)
+func (t *tableau) setPhase2Objective(obj []float64, minimize bool) {
+	costs := t.costBuf
+	clear(costs)
 	for j := 0; j < t.nVars; j++ {
-		if p.Minimize {
-			costs[j] = -p.Obj[j]
+		if minimize {
+			costs[j] = -obj[j]
 		} else {
-			costs[j] = p.Obj[j]
+			costs[j] = obj[j]
 		}
 	}
 	t.priceOut(costs)
@@ -373,14 +311,10 @@ func (t *tableau) chooseEntering(bland bool) int {
 	return best
 }
 
-func (t *tableau) isBasic(j int) bool {
-	for _, b := range t.basis {
-		if b == j {
-			return true
-		}
-	}
-	return false
-}
+// isBasic reports whether column j is basic, from the maintained
+// membership mask (the historical linear scan over basis, made O(1);
+// the answers — and hence the pivot sequence — are unchanged).
+func (t *tableau) isBasic(j int) bool { return t.inBase[j] }
 
 func (t *tableau) chooseLeaving(enter int, bland bool) int {
 	best := -1
@@ -417,17 +351,41 @@ func (t *tableau) pivot(r, enter int) {
 	}
 	row[enter] = 1 // exact
 	t.rhs[r] *= inv
+	// Eliminate only over the pivot row's nonzero columns. Zeros in the
+	// tableau are exactly +0.0 (buildTableau normalises the sign, and
+	// x − y = −0.0 only when x is already −0.0), so for a skipped column
+	// the historical update was other[j] −= f·(+0.0), which leaves
+	// other[j] bit-identical — the elimination result is exactly the
+	// dense loop's, at the cost of the row's support instead of nCols.
+	support := t.supportBuf[:0]
+	for j, v := range row {
+		if v != 0 {
+			support = append(support, int32(j))
+		}
+	}
+	t.supportBuf = support
+	// Indirect gathers cost ~2× a contiguous sweep per element, so once
+	// fill-in makes the pivot row dense the full loop is faster; it is
+	// equally exact (it only adds the other[j] −= f·(+0.0) no-ops the
+	// support loop skips).
+	dense := 2*len(support) > t.nCols
 	for rr := range t.rows {
 		if rr == r {
 			continue
 		}
-		f := t.rows[rr][enter]
+		other := t.rows[rr]
+		f := other[enter]
 		if f == 0 {
 			continue
 		}
-		other := t.rows[rr]
-		for j := range other {
-			other[j] -= f * row[j]
+		if dense {
+			for j := range other {
+				other[j] -= f * row[j]
+			}
+		} else {
+			for _, j := range support {
+				other[j] -= f * row[j]
+			}
 		}
 		other[enter] = 0 // exact
 		t.rhs[rr] -= f * t.rhs[r]
@@ -437,12 +395,20 @@ func (t *tableau) pivot(r, enter int) {
 	}
 	f := t.obj[enter]
 	if f != 0 {
-		for j := range t.obj {
-			t.obj[j] -= f * row[j]
+		if dense {
+			for j := range t.obj {
+				t.obj[j] -= f * row[j]
+			}
+		} else {
+			for _, j := range support {
+				t.obj[j] -= f * row[j]
+			}
 		}
 		t.obj[enter] = 0
 		t.objRHS += f * t.rhs[r]
 	}
+	t.inBase[t.basis[r]] = false
+	t.inBase[enter] = true
 	t.basis[r] = enter
 }
 
@@ -465,7 +431,8 @@ func (t *tableau) expelArtificials() error {
 			t.pivot(r, found)
 			continue
 		}
-		// Row is redundant: remove it.
+		// Row is redundant: remove it (its basic artificial leaves too).
+		t.inBase[t.basis[r]] = false
 		last := len(t.rows) - 1
 		t.rows[r], t.rows[last] = t.rows[last], t.rows[r]
 		t.rhs[r], t.rhs[last] = t.rhs[last], t.rhs[r]
@@ -480,59 +447,6 @@ func (t *tableau) expelArtificials() error {
 		r--
 	}
 	return nil
-}
-
-// primal reads off the values of the original variables.
-func (t *tableau) primal() []float64 {
-	x := make([]float64, t.nVars)
-	for r, b := range t.basis {
-		if b < t.nVars {
-			v := t.rhs[r]
-			if v < 0 && v > -epsPivot {
-				v = 0
-			}
-			x[b] = v
-		}
-	}
-	return x
-}
-
-// duals recovers one multiplier per original constraint from the reduced
-// costs of the slack columns: for a maximisation with a ≤ row and slack s,
-// y = −obj[s]; sign conventions follow so that for maximisation problems
-// with all-≤ rows, strong duality reads Value = Σ y_i·rhs_i with y ≥ 0.
-// Rows whose redundancy was detected in phase 1 get dual 0.
-func (t *tableau) duals(p *Problem) []float64 {
-	y := make([]float64, len(p.Constraints))
-	// slackCol was permuted along with row removals; rebuild the mapping
-	// from original constraint index via slack column identity. Slack
-	// columns are assigned in constraint order during construction, so we
-	// can invert: column -> original constraint.
-	colToCon := make(map[int]int)
-	slack := t.nVars
-	for r, c := range p.Constraints {
-		switch {
-		case c.Rel == LE && c.RHS >= 0, c.Rel == GE && c.RHS < 0:
-			colToCon[slack] = r
-			slack++
-		case c.Rel == EQ:
-			// no slack column
-		default:
-			colToCon[slack] = r
-			slack++
-		}
-	}
-	for col, con := range colToCon {
-		v := -t.obj[col]
-		if t.slackNegForCol(col) {
-			v = -v
-		}
-		if p.Minimize {
-			v = -v
-		}
-		y[con] = v
-	}
-	return y
 }
 
 func (t *tableau) slackNegForCol(col int) bool {

@@ -168,12 +168,13 @@ func TestSimplexDualsPacking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	duals := sol.Duals()
 	dualVal := 0.0
 	for i, c := range p.Constraints {
-		if sol.Duals[i] < -tol {
-			t.Fatalf("dual %d = %v < 0", i, sol.Duals[i])
+		if duals[i] < -tol {
+			t.Fatalf("dual %d = %v < 0", i, duals[i])
 		}
-		dualVal += sol.Duals[i] * c.RHS
+		dualVal += duals[i] * c.RHS
 	}
 	approx(t, dualVal, sol.Value, tol, "strong duality")
 }

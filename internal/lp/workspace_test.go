@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a small LP with mixed relations and signs so the
+// workspace exercises flips, phase 1 and artificial expulsion.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(5)
+	m := 1 + rng.Intn(6)
+	p := &Problem{Obj: make([]float64, n), Minimize: rng.Intn(2) == 0}
+	for j := range p.Obj {
+		p.Obj[j] = float64(rng.Intn(9)-4) / 2
+	}
+	for r := 0; r < m; r++ {
+		c := Constraint{Coeffs: make([]float64, n), Rel: Rel(rng.Intn(3)), RHS: float64(rng.Intn(13)-4) / 2}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = float64(rng.Intn(7)-3) / 2
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// TestWorkspaceReuseMatchesSolve solves a stream of random problems on
+// one reused workspace and requires every field of every Solution —
+// status, value, pivots, X and duals, bit for bit — to match the
+// one-shot Solve of the same problem. This is the tentpole contract:
+// reuse changes allocations, never results.
+func TestWorkspaceReuseMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := NewWorkspace()
+	solved := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		ref, refErr := Solve(p)
+		got, gotErr := ws.Solve(p)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		if got.Status != ref.Status || got.Value != ref.Value || got.Pivots != ref.Pivots {
+			t.Fatalf("trial %d: (status, value, pivots) = (%v, %v, %d) vs (%v, %v, %d)",
+				trial, got.Status, got.Value, got.Pivots, ref.Status, ref.Value, ref.Pivots)
+		}
+		if ref.Status != Optimal {
+			continue
+		}
+		solved++
+		for j := range ref.X {
+			if got.X[j] != ref.X[j] {
+				t.Fatalf("trial %d: X[%d] = %v vs %v", trial, j, got.X[j], ref.X[j])
+			}
+		}
+		gd, rd := got.Duals(), ref.Duals()
+		for i := range rd {
+			if gd[i] != rd[i] {
+				t.Fatalf("trial %d: dual %d = %v vs %v", trial, i, gd[i], rd[i])
+			}
+		}
+	}
+	if solved < 50 {
+		t.Fatalf("only %d optimal instances exercised; generator too narrow", solved)
+	}
+}
+
+// TestWorkspaceStagedMatchesProblem checks the row-staging API against
+// the whole-problem entry point on the local-LP shape (maximise ω with
+// ≤ rows), bit for bit.
+func TestWorkspaceStagedMatchesProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ws := NewWorkspace()
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := &Problem{Obj: make([]float64, n)}
+		p.Obj[n-1] = 1
+		ws.Begin(n)
+		ws.Obj()[n-1] = 1
+		for r := 0; r < m; r++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: float64(rng.Intn(2))}
+			row := ws.AddRow(LE, c.RHS)
+			for j := 0; j < n-1; j++ {
+				if rng.Intn(2) == 0 {
+					c.Coeffs[j] = float64(1+rng.Intn(6)) / 4
+					row[j] = c.Coeffs[j]
+				}
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		got, gotErr := ws.SolveStaged(false, DantzigThenBland)
+		ref, refErr := Solve(p)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, refErr, gotErr)
+		}
+		if refErr != nil || ref.Status != Optimal {
+			continue
+		}
+		if got.Status != ref.Status || got.Value != ref.Value || got.Pivots != ref.Pivots {
+			t.Fatalf("trial %d: staged solve diverged", trial)
+		}
+		for j := range ref.X {
+			if got.X[j] != ref.X[j] {
+				t.Fatalf("trial %d: X[%d] = %v vs %v", trial, j, got.X[j], ref.X[j])
+			}
+		}
+	}
+}
+
+// TestWorkspaceZeroAlloc pins the steady-state allocation behaviour the
+// local-LP pipeline relies on: after warm-up, a staged solve performs no
+// allocation at all (the returned X aliases the workspace buffer).
+func TestWorkspaceZeroAlloc(t *testing.T) {
+	ws := NewWorkspace()
+	stage := func() {
+		ws.Begin(5)
+		ws.Obj()[4] = 1
+		for r := 0; r < 6; r++ {
+			row := ws.AddRow(LE, 1)
+			row[r%4] = 1.5
+			row[(r+1)%4] = 0.5
+		}
+		row := ws.AddRow(LE, 0)
+		row[0], row[1], row[4] = -1, -1, 1
+	}
+	solve := func() {
+		stage()
+		sol, err := ws.SolveStaged(false, DantzigThenBland)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("solve failed: %v %v", err, sol.Status)
+		}
+	}
+	solve() // warm-up: grow all buffers
+	if allocs := testing.AllocsPerRun(100, solve); allocs != 0 {
+		t.Fatalf("steady-state staged solve allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestWorkspaceStaleDualsPanic: reading Duals after the workspace moved
+// on must fail loudly, not decode recycled memory.
+func TestWorkspaceStaleDualsPanic(t *testing.T) {
+	ws := NewWorkspace()
+	p := &Problem{
+		Obj:         []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: 1}},
+	}
+	sol, err := ws.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Begin(3) // invalidates sol
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale Duals read did not panic")
+		}
+	}()
+	sol.Duals()
+}

@@ -285,6 +285,56 @@ func TestRestrict(t *testing.T) {
 	}
 }
 
+// TestRestrictPartyMappingWithDroppedAgent pins the party half of the
+// Restriction mapping when parties are dropped because their support
+// touches a dropped agent: Parties must list exactly the surviving
+// parent parties, in sub-party order, with matching rows. (A historical
+// in-place filter aliased the pre-filter keep list; this is the
+// regression test for that.)
+func TestRestrictPartyMappingWithDroppedAgent(t *testing.T) {
+	// agents 0..4; resources keep 0,1,2 alive only: {0,1}, {1,2}, {3,4}.
+	// Restricting to {0,1,2,3}: resource {3,4} dies, so agent 3 loses all
+	// resources and is dropped. Parties: {0}, {3}, {0,1}, {2,3}, {1,2} —
+	// the ones touching 3 must vanish from the mapping too.
+	b := NewBuilder(5)
+	b.AddUnitResource(0, 1)
+	b.AddUnitResource(1, 2)
+	b.AddUnitResource(3, 4)
+	b.AddUniformParty(1, 0)    // party 0: survives
+	b.AddUniformParty(1, 3)    // party 1: dropped with agent 3
+	b.AddUniformParty(2, 0, 1) // party 2: survives
+	b.AddUniformParty(1, 2, 3) // party 3: dropped with agent 3
+	b.AddUniformParty(3, 1, 2) // party 4: survives
+	in := b.MustBuild()
+
+	restr, dropped := in.Restrict([]int{0, 1, 2, 3})
+	if !reflect.DeepEqual(dropped, []int{3}) {
+		t.Fatalf("dropped = %v, want [3]", dropped)
+	}
+	sub := restr.Sub
+	if !reflect.DeepEqual(restr.Parties, []int{0, 2, 4}) {
+		t.Fatalf("Parties = %v, want [0 2 4]", restr.Parties)
+	}
+	if sub.NumParties() != len(restr.Parties) {
+		t.Fatalf("sub has %d parties but mapping lists %d", sub.NumParties(), len(restr.Parties))
+	}
+	// Each sub party must be its parent party relabelled through the
+	// agent mapping, coefficient for coefficient.
+	for kLocal, kParent := range restr.Parties {
+		parent := in.Party(kParent)
+		local := sub.Party(kLocal)
+		if len(parent) != len(local) {
+			t.Fatalf("party %d→%d: row lengths %d vs %d", kLocal, kParent, len(local), len(parent))
+		}
+		for j, e := range parent {
+			want := Entry{Agent: restr.LocalAgent(e.Agent), Coeff: e.Coeff}
+			if local[j] != want {
+				t.Fatalf("party %d→%d entry %d: got %+v, want %+v", kLocal, kParent, j, local[j], want)
+			}
+		}
+	}
+}
+
 func TestRestrictKeepAll(t *testing.T) {
 	b := NewBuilder(4)
 	b.AddUnitResource(0, 1)

@@ -88,7 +88,10 @@ func (in *Instance) Restrict(agents []int) (*Restriction, []int) {
 	// Parties whose support touches a dropped agent must go too: dropped
 	// agents are not representable in the sub-instance. (Resources cannot,
 	// by construction: every agent of a kept resource is covered.)
-	parKept := parKeep[:0]
+	// parKept must not alias parKeep: the in-place filter of an aliased
+	// slice leaves the tail of parKeep stale, and the Restriction below
+	// would map local parties to the wrong (or a duplicated) parent.
+	parKept := make([]int, 0, len(parKeep))
 	for _, k := range parKeep {
 		ok := true
 		for _, e := range in.parRows[k] {

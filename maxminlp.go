@@ -77,6 +77,14 @@ type (
 
 	// AverageResult is the output and certificate of LocalAverage.
 	AverageResult = core.AverageResult
+	// AverageOptions tunes how the Theorem-3 algorithm executes (workers,
+	// isomorphic-ball dedup, shared solve cache) without changing any
+	// output bit.
+	AverageOptions = core.AverageOptions
+	// SolveCache is a reusable isomorphic-ball local-LP cache; share one
+	// across LocalAverageOpt calls (keys are content-based, so it is
+	// valid across radii and instances).
+	SolveCache = core.SolveCache
 
 	// Network runs distributed protocols over an instance.
 	Network = dist.Network
@@ -193,6 +201,21 @@ func LocalAverageParallel(in *Instance, g *Graph, radius, workers int) (*Average
 	return core.LocalAverageParallel(in, g, radius, workers)
 }
 
+// LocalAverageOpt is LocalAverage with explicit execution options:
+// worker count, the isomorphic-ball dedup switch (on by default; agents
+// whose local LPs are element-for-element identical share one simplex
+// run, reported via AverageResult.LocalLPs and SolvesAvoided), and an
+// optional shared SolveCache. Every option combination returns
+// bit-identical results; dedup reuses a solution only after an exact
+// canonical-key match, never from the hash alone.
+func LocalAverageOpt(in *Instance, g *Graph, radius int, opt AverageOptions) (*AverageResult, error) {
+	return core.LocalAverageOpt(in, g, radius, opt)
+}
+
+// NewSolveCache returns an empty isomorphic-ball LP cache for
+// LocalAverageOpt / AdaptiveAverageOpt to share across calls.
+func NewSolveCache() *SolveCache { return core.NewSolveCache() }
+
 // AdaptiveResult is the outcome of AdaptiveAverage.
 type AdaptiveResult = core.AdaptiveResult
 
@@ -202,6 +225,14 @@ type AdaptiveResult = core.AdaptiveResult
 // target may be unreachable; Achieved reports which case occurred.
 func AdaptiveAverage(in *Instance, g *Graph, targetRatio float64, maxRadius int) (*AdaptiveResult, error) {
 	return core.AdaptiveAverage(in, g, targetRatio, maxRadius)
+}
+
+// AdaptiveAverageOpt is AdaptiveAverage with explicit execution options
+// for the final averaging run; pass one AverageOptions.Cache through
+// repeated calls to share solved local LPs across them (canonical keys
+// are radius-independent).
+func AdaptiveAverageOpt(in *Instance, g *Graph, targetRatio float64, maxRadius int, opt AverageOptions) (*AdaptiveResult, error) {
+	return core.AdaptiveAverageOpt(in, g, targetRatio, maxRadius, opt)
 }
 
 // Certificate computes the Theorem-3 approximation certificate
