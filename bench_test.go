@@ -412,3 +412,113 @@ func BenchmarkLocalAverageParallel(b *testing.B) {
 		})
 	}
 }
+
+func BenchmarkE14SessionProfile(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkSession measures the session layer on the 16×16 torus at
+// R=2 (the BenchmarkLocalAverageRadius workload): a cold call builds
+// every structure and solves all agents; a warm repeat is served from
+// retained state; an incremental call follows a 4-coefficient weight
+// update and re-solves only the invalidated ball-local LPs. The
+// resolved/op metric counts agents the incremental pass re-examined;
+// rebuilds/op must stay 0 on the warm and incremental paths.
+func BenchmarkSession(b *testing.B) {
+	in, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	const radius = 2
+	deltas := []maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 0, Agent: in.Resource(0)[0].Agent, Coeff: 1.5},
+		{Kind: maxminlp.ResourceWeight, Row: 17, Agent: in.Resource(17)[0].Agent, Coeff: 0.75},
+		{Kind: maxminlp.PartyWeight, Row: 5, Agent: in.Party(5)[0].Agent, Coeff: 2.0},
+		{Kind: maxminlp.PartyWeight, Row: 100, Agent: in.Party(100)[0].Agent, Coeff: 0.5},
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+		if _, err := sess.LocalAverage(radius); err != nil {
+			b.Fatal(err)
+		}
+		builds := sess.Stats().BallIndexBuilds
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sess.Stats().BallIndexBuilds-builds), "rebuilds/op")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+		if _, err := sess.LocalAverage(radius); err != nil {
+			b.Fatal(err)
+		}
+		builds := sess.Stats().BallIndexBuilds
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate the coefficients so every iteration really
+			// changes the weights (and the first restores them).
+			ds := make([]maxminlp.WeightDelta, len(deltas))
+			copy(ds, deltas)
+			if i%2 == 1 {
+				for j := range ds {
+					ds[j].Coeff *= 2
+				}
+			}
+			if err := sess.UpdateWeights(ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sess.Stats()
+		b.ReportMetric(float64(st.AgentsResolved)/float64(b.N), "resolved/op")
+		b.ReportMetric(float64(st.BallIndexBuilds-builds), "rebuilds/op")
+	})
+}
+
+// BenchmarkSessionNetwork compares a plain network against a
+// session-backed one (shared ball index + LP cache across nodes) on the
+// sequential engine — the per-node redundant re-solves of the protocol
+// collapse to one simplex run per distinct LP across the whole network.
+func BenchmarkSessionNetwork(b *testing.B) {
+	in, _ := gen.Torus([]int{10, 10}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	proto := dist.AverageProtocol{Radius: 1}
+	b.Run("plain", func(b *testing.B) {
+		nw, err := dist.NewNetwork(in, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunSequential(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		sess := core.NewSolverFromGraph(in, g)
+		nw, err := dist.NewSessionNetwork(sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.RunSequential(proto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Command mmlpd is the max-min LP serving daemon: a long-lived HTTP/JSON
+// server holding one Solver session per loaded instance, so the
+// expensive per-instance state — the CSR incidence index, the radius-R
+// ball indexes, the isomorphic-ball solve cache, the LP workspaces — is
+// built once and every query after the first is served warm. Weight
+// patches re-solve incrementally: only the ball-local LPs that can see a
+// touched coefficient run again.
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness + instance count
+//	GET    /v1/stats                  per-instance session statistics
+//	POST   /v1/instances              load an instance (generator spec or inline JSON)
+//	GET    /v1/instances              list loaded instances
+//	GET    /v1/instances/{id}         one instance with session stats
+//	DELETE /v1/instances/{id}         unload
+//	POST   /v1/instances/{id}/solve   batch of safe/average/adaptive/certificate queries
+//	POST   /v1/instances/{id}/weights patch a_iv / c_kv coefficients atomically
+//
+// Example session:
+//
+//	mmlpd -addr :8080 &
+//	curl -s localhost:8080/v1/instances -d '{"name":"t16","torus":{"dims":[16,16]}}'
+//	curl -s localhost:8080/v1/instances/i1/solve \
+//	     -d '{"queries":[{"kind":"average","radius":2}]}'
+//	curl -s localhost:8080/v1/instances/i1/weights \
+//	     -d '{"resources":[{"row":0,"agent":0,"coeff":2.5}]}'
+//	curl -s localhost:8080/v1/instances/i1/solve \
+//	     -d '{"queries":[{"kind":"average","radius":2}]}'   # incremental
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mmlpd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	quiet := fs.Bool("quiet", false, "suppress request logging")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := newServer(logf)
+	log.Printf("mmlpd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

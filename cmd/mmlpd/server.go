@@ -1,0 +1,512 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxminlp"
+)
+
+// server is the mmlpd state: one Solver session per loaded instance.
+// The map is guarded by mu; each session serialises its own queries
+// internally, so concurrent requests against one instance are safe and
+// requests against different instances proceed in parallel.
+type server struct {
+	mu        sync.Mutex
+	instances map[string]*managed
+	nextID    int
+	started   time.Time
+	logf      func(format string, args ...any)
+}
+
+// managed is one loaded instance and its long-lived session. mu
+// linearises solve batches against weight patches: the session itself
+// serialises each call, but a solve handler also evaluates the
+// objective of the returned X against the current instance, and that
+// pairing must not interleave with a concurrent patch (the X would be
+// scored under weights it was not solved for). Different instances
+// still proceed fully in parallel.
+type managed struct {
+	ID      string
+	Name    string
+	Loaded  time.Time
+	Agents  int
+	Queries atomic.Int64
+
+	seq  int
+	sess *maxminlp.Solver
+	mu   sync.Mutex
+}
+
+// maxServedRadius caps the radius (and adaptive maxRadius) a request
+// may ask for. Every queried radius retains a ball index for the
+// session's lifetime, and on expanding graphs a huge radius makes every
+// ball the whole vertex set — O(n²) memory a single request could pin.
+const maxServedRadius = 32
+
+func newServer(logf func(string, ...any)) *server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &server{
+		instances: make(map[string]*managed),
+		started:   time.Now(),
+		logf:      logf,
+	}
+}
+
+// handler builds the route table. Method+path patterns need Go ≥ 1.22.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/instances", s.handleLoad)
+	mux.HandleFunc("GET /v1/instances", s.handleList)
+	mux.HandleFunc("GET /v1/instances/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/instances/{id}/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/instances/{id}/weights", s.handleWeights)
+	return mux
+}
+
+// loadRequest describes an instance to load: exactly one source. Torus,
+// Grid and Random drive the built-in generators (deterministic given
+// Seed); Instance carries inline instance JSON
+// ({"agents":n,"resources":[[{"Agent":..,"Coeff":..},..],..],"parties":[..]}).
+type loadRequest struct {
+	Name string `json:"name,omitempty"`
+
+	Torus  *latticeSpec `json:"torus,omitempty"`
+	Grid   *latticeSpec `json:"grid,omitempty"`
+	Random *randomSpec  `json:"random,omitempty"`
+	// Instance is inline instance JSON in the mmlp serialisation.
+	Instance json.RawMessage `json:"instance,omitempty"`
+
+	// CollaborationOblivious drops the party hyperedges from the
+	// communication graph (§1.4 restricted variant).
+	CollaborationOblivious bool `json:"collaborationOblivious,omitempty"`
+	// Workers caps the session's solve parallelism; 0 = GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+type latticeSpec struct {
+	Dims          []int `json:"dims"`
+	RandomWeights bool  `json:"randomWeights,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+}
+
+type randomSpec struct {
+	Agents    int   `json:"agents"`
+	Resources int   `json:"resources"`
+	Parties   int   `json:"parties"`
+	MaxVI     int   `json:"maxVI"`
+	MaxVK     int   `json:"maxVK"`
+	Seed      int64 `json:"seed,omitempty"`
+}
+
+func (req *loadRequest) build() (in *maxminlp.Instance, err error) {
+	sources := 0
+	for _, set := range []bool{req.Torus != nil, req.Grid != nil, req.Random != nil, len(req.Instance) > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of torus, grid, random or instance must be given (got %d)", sources)
+	}
+	// The generators enforce their invariants by panicking (they are
+	// library entry points for correct-by-construction callers); a load
+	// request is untrusted input, so convert any panic into a 400.
+	defer func() {
+		if r := recover(); r != nil {
+			in, err = nil, fmt.Errorf("invalid instance spec: %v", r)
+		}
+	}()
+	switch {
+	case req.Torus != nil:
+		if err := checkDims(req.Torus.Dims); err != nil {
+			return nil, fmt.Errorf("torus: %w", err)
+		}
+		in, _ := maxminlp.Torus(req.Torus.Dims, latticeOptions(req.Torus))
+		return in, nil
+	case req.Grid != nil:
+		if err := checkDims(req.Grid.Dims); err != nil {
+			return nil, fmt.Errorf("grid: %w", err)
+		}
+		in, _ := maxminlp.Grid(req.Grid.Dims, latticeOptions(req.Grid))
+		return in, nil
+	case req.Random != nil:
+		r := req.Random
+		if r.Agents <= 0 || r.Resources <= 0 || r.Parties < 0 {
+			return nil, fmt.Errorf("random needs agents > 0, resources > 0, parties ≥ 0")
+		}
+		if r.MaxVI < 1 || r.MaxVK < 1 {
+			return nil, fmt.Errorf("random needs maxVI ≥ 1 and maxVK ≥ 1")
+		}
+		return maxminlp.RandomInstance(maxminlp.RandomOptions{
+			Agents: r.Agents, Resources: r.Resources, Parties: r.Parties,
+			MaxVI: r.MaxVI, MaxVK: r.MaxVK,
+		}, rand.New(rand.NewSource(r.Seed))), nil
+	default:
+		in := new(maxminlp.Instance)
+		if err := json.Unmarshal(req.Instance, in); err != nil {
+			return nil, fmt.Errorf("instance JSON: %w", err)
+		}
+		return in, nil
+	}
+}
+
+func checkDims(dims []int) error {
+	if len(dims) == 0 {
+		return fmt.Errorf("needs dims")
+	}
+	cells := 1
+	for _, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("dimension %d < 1", d)
+		}
+		if cells > 1<<22/d {
+			return fmt.Errorf("lattice too large to serve")
+		}
+		cells *= d
+	}
+	return nil
+}
+
+func latticeOptions(spec *latticeSpec) maxminlp.LatticeOptions {
+	opt := maxminlp.LatticeOptions{RandomWeights: spec.RandomWeights}
+	if spec.RandomWeights {
+		opt.Rng = rand.New(rand.NewSource(spec.Seed))
+	}
+	return opt
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		return
+	}
+	in, err := req.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if in.NumAgents() == 0 {
+		httpError(w, http.StatusBadRequest, "instance has no agents")
+		return
+	}
+	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{
+		CollaborationOblivious: req.CollaborationOblivious,
+	})
+	if req.Workers > 0 {
+		sess.SetWorkers(req.Workers)
+	}
+	s.mu.Lock()
+	s.nextID++
+	m := &managed{
+		ID:     fmt.Sprintf("i%d", s.nextID),
+		Name:   req.Name,
+		Loaded: time.Now(),
+		Agents: in.NumAgents(),
+		seq:    s.nextID,
+		sess:   sess,
+	}
+	s.instances[m.ID] = m
+	s.mu.Unlock()
+	s.logf("loaded instance %s (%q): %v", m.ID, m.Name, in.Stats())
+	writeJSON(w, http.StatusCreated, s.describe(m))
+}
+
+func (s *server) lookup(r *http.Request) (*managed, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.instances[r.PathValue("id")]
+	return m, ok
+}
+
+// instanceInfo is the JSON description of a loaded instance.
+type instanceInfo struct {
+	ID        string               `json:"id"`
+	Name      string               `json:"name,omitempty"`
+	Loaded    time.Time            `json:"loaded"`
+	Agents    int                  `json:"agents"`
+	Resources int                  `json:"resources"`
+	Parties   int                  `json:"parties"`
+	Queries   int64                `json:"queries"`
+	Session   maxminlp.SolverStats `json:"session"`
+}
+
+func (s *server) describe(m *managed) instanceInfo {
+	in := m.sess.Instance()
+	return instanceInfo{
+		ID: m.ID, Name: m.Name, Loaded: m.Loaded,
+		Agents: in.NumAgents(), Resources: in.NumResources(), Parties: in.NumParties(),
+		Queries: m.Queries.Load(), Session: m.sess.Stats(),
+	}
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ms := make([]*managed, 0, len(s.instances))
+	for _, m := range s.instances {
+		ms = append(ms, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(ms, func(a, b int) bool { return ms[a].seq < ms[b].seq })
+	out := make([]instanceInfo, len(ms))
+	for i, m := range ms {
+		out[i] = s.describe(m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.describe(m))
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	id := r.PathValue("id")
+	_, ok := s.instances[id]
+	delete(s.instances, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// solveRequest is a batch of queries against one session. Queries run in
+// order; the session state they warm (ball indexes, cached LPs) persists
+// for every later request.
+type solveRequest struct {
+	Queries []solveQuery `json:"queries"`
+	// IncludeX returns the per-agent solution vector of each query.
+	IncludeX bool `json:"includeX,omitempty"`
+}
+
+type solveQuery struct {
+	// Kind is "safe", "average", "adaptive" or "certificate".
+	Kind string `json:"kind"`
+	// Radius parameterises average and certificate queries.
+	Radius int `json:"radius,omitempty"`
+	// Target and MaxRadius parameterise adaptive queries.
+	Target    float64 `json:"target,omitempty"`
+	MaxRadius int     `json:"maxRadius,omitempty"`
+}
+
+// solveResult reports one query's outcome. Omega is the objective
+// min_k Σ c_kv x_v of the returned solution on the current weights.
+type solveResult struct {
+	Kind          string    `json:"kind"`
+	Radius        int       `json:"radius,omitempty"`
+	Omega         float64   `json:"omega"`
+	PartyBound    float64   `json:"partyBound,omitempty"`
+	ResourceBound float64   `json:"resourceBound,omitempty"`
+	Certificate   float64   `json:"certificate,omitempty"`
+	Achieved      *bool     `json:"achieved,omitempty"`
+	LocalLPs      int       `json:"localLPs,omitempty"`
+	SolvesAvoided int       `json:"solvesAvoided,omitempty"`
+	Micros        int64     `json:"micros"`
+	X             []float64 `json:"x,omitempty"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	// Hold the instance lock across the whole batch: each result's
+	// omega is evaluated against the weights its X was solved under,
+	// and the batch observes one consistent instance even while other
+	// clients patch weights (their patches apply before or after, never
+	// in between).
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]solveResult, 0, len(req.Queries))
+	for qi, q := range req.Queries {
+		res, err := s.runQuery(m, q, req.IncludeX)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "query %d (%s): %v", qi, q.Kind, err)
+			return
+		}
+		out = append(out, res)
+	}
+	m.Queries.Add(int64(len(req.Queries)))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runQuery executes one query; the caller holds m.mu.
+func (s *server) runQuery(m *managed, q solveQuery, includeX bool) (solveResult, error) {
+	in := m.sess.Instance()
+	start := time.Now()
+	res := solveResult{Kind: q.Kind}
+	switch q.Kind {
+	case "average", "certificate":
+		if q.Radius > maxServedRadius {
+			return res, fmt.Errorf("radius %d exceeds the serving cap %d", q.Radius, maxServedRadius)
+		}
+	case "adaptive":
+		if q.MaxRadius > maxServedRadius {
+			return res, fmt.Errorf("maxRadius %d exceeds the serving cap %d", q.MaxRadius, maxServedRadius)
+		}
+	}
+	switch q.Kind {
+	case "safe":
+		x := m.sess.Safe()
+		res.Omega = in.Objective(x)
+		if includeX {
+			res.X = x
+		}
+	case "average":
+		avg, err := m.sess.LocalAverage(q.Radius)
+		if err != nil {
+			return res, err
+		}
+		res.Radius = q.Radius
+		res.Omega = in.Objective(avg.X)
+		res.PartyBound, res.ResourceBound = avg.PartyBound, avg.ResourceBound
+		res.Certificate = avg.RatioCertificate()
+		res.LocalLPs, res.SolvesAvoided = avg.LocalLPs, avg.SolvesAvoided
+		if includeX {
+			res.X = avg.X
+		}
+	case "adaptive":
+		ad, err := m.sess.Adaptive(q.Target, q.MaxRadius)
+		if err != nil {
+			return res, err
+		}
+		res.Radius = ad.Radius
+		res.Omega = in.Objective(ad.X)
+		res.PartyBound, res.ResourceBound = ad.PartyBound, ad.ResourceBound
+		res.Certificate = ad.RatioCertificate()
+		res.Achieved = &ad.Achieved
+		res.LocalLPs, res.SolvesAvoided = ad.LocalLPs, ad.SolvesAvoided
+		if includeX {
+			res.X = ad.X
+		}
+	case "certificate":
+		pb, rb, err := m.sess.Certificate(q.Radius)
+		if err != nil {
+			return res, err
+		}
+		res.Radius = q.Radius
+		res.PartyBound, res.ResourceBound = pb, rb
+		res.Certificate = pb * rb
+	default:
+		return res, fmt.Errorf("unknown kind %q (want safe, average, adaptive or certificate)", q.Kind)
+	}
+	res.Micros = time.Since(start).Microseconds()
+	return res, nil
+}
+
+// weightsRequest patches coefficients of the instance behind a session.
+// Entries must already exist: weight updates change values, never
+// topology. The whole batch applies atomically.
+type weightsRequest struct {
+	Resources []coeffPatch `json:"resources,omitempty"`
+	Parties   []coeffPatch `json:"parties,omitempty"`
+}
+
+type coeffPatch struct {
+	Row   int     `json:"row"`
+	Agent int     `json:"agent"`
+	Coeff float64 `json:"coeff"`
+}
+
+type weightsResponse struct {
+	Applied int                  `json:"applied"`
+	Micros  int64                `json:"micros"`
+	Session maxminlp.SolverStats `json:"session"`
+}
+
+func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	var req weightsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		return
+	}
+	deltas := make([]maxminlp.WeightDelta, 0, len(req.Resources)+len(req.Parties))
+	for _, p := range req.Resources {
+		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.ResourceWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
+	}
+	for _, p := range req.Parties {
+		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.PartyWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
+	}
+	if len(deltas) == 0 {
+		httpError(w, http.StatusBadRequest, "empty weight patch")
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	if err := m.sess.UpdateWeights(deltas); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, weightsResponse{
+		Applied: len(deltas),
+		Micros:  time.Since(start).Microseconds(),
+		Session: m.sess.Stats(),
+	})
+}
+
+type healthResponse struct {
+	Status    string `json:"status"`
+	Uptime    string `json:"uptime"`
+	Instances int    `json:"instances"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.instances)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok", Uptime: time.Since(s.started).Round(time.Millisecond).String(), Instances: n,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.handleList(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("mmlpd: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"maxminlp"
+)
+
+// do issues one JSON request against the test server and decodes the
+// response into out (unless nil).
+func do(t *testing.T, ts *httptest.Server, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		t.Fatalf("%s %s: status %d, want %d (%s)", method, path, resp.StatusCode, wantStatus, msg.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDaemonLifecycle drives the full serving loop — load, batch solve,
+// warm repeat, weight patch, incremental re-solve — and checks the
+// steady-state acceptance property: after warm-up, queries and patches
+// cause zero CSR or ball-index rebuilds, and the served solutions equal
+// the library's direct computation bit-for-bit (JSON float64
+// serialisation round-trips exactly).
+func TestDaemonLifecycle(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Name:  "t10",
+		Torus: &latticeSpec{Dims: []int{10, 10}},
+	}, http.StatusCreated, &info)
+	if info.Agents != 100 {
+		t.Fatalf("loaded %d agents, want 100", info.Agents)
+	}
+	base := "/v1/instances/" + info.ID
+
+	// Cold batch: certificate + average + safe, with solutions.
+	var results []solveResult
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		IncludeX: true,
+		Queries: []solveQuery{
+			{Kind: "certificate", Radius: 1},
+			{Kind: "average", Radius: 1},
+			{Kind: "safe"},
+		},
+	}, http.StatusOK, &results)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[1].Omega <= 0 || len(results[1].X) != 100 {
+		t.Fatalf("average result implausible: %+v", results[1])
+	}
+
+	// The served average must equal the library's own computation.
+	in, _ := maxminlp.Torus([]int{10, 10}, maxminlp.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	ref, err := maxminlp.LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.X {
+		if results[1].X[v] != ref.X[v] {
+			t.Fatalf("served X[%d] = %v, want %v", v, results[1].X[v], ref.X[v])
+		}
+	}
+
+	// Warm repeat: no new structure builds, a warm hit, identical omega.
+	var statsBefore instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &statsBefore)
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "average", Radius: 1}},
+	}, http.StatusOK, &results)
+	var statsWarm instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &statsWarm)
+	if statsWarm.Session.BallIndexBuilds != statsBefore.Session.BallIndexBuilds ||
+		statsWarm.Session.CSRBuilds != statsBefore.Session.CSRBuilds {
+		t.Errorf("warm query rebuilt structures: %+v -> %+v", statsBefore.Session, statsWarm.Session)
+	}
+	if statsWarm.Session.WarmHits == 0 {
+		t.Error("warm query not served from retained state")
+	}
+
+	// Weight patch + incremental re-solve; steady state must still not
+	// rebuild the CSR or any ball index.
+	patch := weightsRequest{
+		Resources: []coeffPatch{{Row: 3, Agent: pickAgent(in, 3, true), Coeff: 2.5}},
+		Parties:   []coeffPatch{{Row: 7, Agent: pickAgent(in, 7, false), Coeff: 0.25}},
+	}
+	var wresp weightsResponse
+	do(t, ts, "POST", base+"/weights", patch, http.StatusOK, &wresp)
+	if wresp.Applied != 2 {
+		t.Fatalf("applied %d deltas, want 2", wresp.Applied)
+	}
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		IncludeX: true,
+		Queries:  []solveQuery{{Kind: "average", Radius: 1}},
+	}, http.StatusOK, &results)
+
+	mut, err := in.UpdateCoeffs(
+		[]maxminlp.CoeffUpdate{{Row: 3, Agent: patch.Resources[0].Agent, Coeff: 2.5}},
+		[]maxminlp.CoeffUpdate{{Row: 7, Agent: patch.Parties[0].Agent, Coeff: 0.25}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mref, err := maxminlp.LocalAverage(mut, maxminlp.NewGraph(mut, maxminlp.GraphOptions{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range mref.X {
+		if results[0].X[v] != mref.X[v] {
+			t.Fatalf("post-patch X[%d] = %v, want %v", v, results[0].X[v], mref.X[v])
+		}
+	}
+	var statsFinal instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &statsFinal)
+	if statsFinal.Session.BallIndexBuilds != statsBefore.Session.BallIndexBuilds ||
+		statsFinal.Session.CSRBuilds != statsBefore.Session.CSRBuilds {
+		t.Errorf("steady-state patch/solve rebuilt structures: %+v -> %+v",
+			statsBefore.Session, statsFinal.Session)
+	}
+	if statsFinal.Session.IncrementalSolves != 1 {
+		t.Errorf("IncrementalSolves = %d, want 1", statsFinal.Session.IncrementalSolves)
+	}
+	if n := statsFinal.Session.AgentsResolved; n == 0 || n >= 100 {
+		t.Errorf("incremental pass resolved %d agents, want a proper subset", n)
+	}
+
+	// Adaptive rides the same session.
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "adaptive", Target: 3.0, MaxRadius: 4}},
+	}, http.StatusOK, &results)
+	if results[0].Achieved == nil || results[0].Radius < 1 {
+		t.Fatalf("adaptive result implausible: %+v", results[0])
+	}
+
+	// List and delete.
+	var list []instanceInfo
+	do(t, ts, "GET", "/v1/instances", nil, http.StatusOK, &list)
+	if len(list) != 1 || list[0].Queries == 0 {
+		t.Fatalf("list = %+v", list)
+	}
+	do(t, ts, "DELETE", base, nil, http.StatusNoContent, nil)
+	do(t, ts, "GET", base, nil, http.StatusNotFound, nil)
+}
+
+// pickAgent returns the first agent in the support of the given row.
+func pickAgent(in *maxminlp.Instance, row int, resource bool) int {
+	if resource {
+		return in.Resource(row)[0].Agent
+	}
+	return in.Party(row)[0].Agent
+}
+
+// TestDaemonInlineInstanceAndErrors covers the inline-JSON source, the
+// random generator, and the error paths.
+func TestDaemonInlineInstanceAndErrors(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	// Inline instance JSON round-trips through the daemon.
+	in, _ := maxminlp.Torus([]int{6}, maxminlp.LatticeOptions{})
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Instance: raw}, http.StatusCreated, &info)
+	if info.Agents != 6 {
+		t.Fatalf("inline instance has %d agents, want 6", info.Agents)
+	}
+
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Random: &randomSpec{Agents: 20, Resources: 15, Parties: 8, MaxVI: 3, MaxVK: 3, Seed: 4},
+	}, http.StatusCreated, &info)
+
+	var errResp map[string]string
+	// No source / two sources.
+	do(t, ts, "POST", "/v1/instances", loadRequest{}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Torus:  &latticeSpec{Dims: []int{4}},
+		Random: &randomSpec{Agents: 5},
+	}, http.StatusBadRequest, &errResp)
+	// Unknown instance.
+	do(t, ts, "POST", "/v1/instances/nope/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "safe"}},
+	}, http.StatusNotFound, &errResp)
+	// Unknown kind, empty batch, bad radius.
+	base := "/v1/instances/" + info.ID
+	do(t, ts, "POST", base+"/solve", solveRequest{Queries: []solveQuery{{Kind: "simplex"}}}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/solve", solveRequest{}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/solve", solveRequest{Queries: []solveQuery{{Kind: "average", Radius: -2}}}, http.StatusBadRequest, &errResp)
+	// Invalid weight patch: nonexistent entry, and empty patch.
+	do(t, ts, "POST", base+"/weights", weightsRequest{
+		Resources: []coeffPatch{{Row: 0, Agent: 9999, Coeff: 1}},
+	}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/weights", weightsRequest{}, http.StatusBadRequest, &errResp)
+	// Malformed generator specs must be a 400, not a handler panic.
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{0}}}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{1 << 20, 1 << 20}}}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", "/v1/instances", loadRequest{Random: &randomSpec{Agents: 5}}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", "/v1/instances", loadRequest{Instance: []byte(`{"agents":-1}`)}, http.StatusBadRequest, &errResp)
+	// Radii beyond the serving cap are rejected (they would pin a
+	// retained ball index per radius for the session's lifetime).
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "certificate", Radius: maxServedRadius + 1}},
+	}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "adaptive", Target: 1.5, MaxRadius: 10000}},
+	}, http.StatusBadRequest, &errResp)
+
+	// Health.
+	var health healthResponse
+	do(t, ts, "GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || health.Instances != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+}
+
+// TestDaemonConcurrentClients hammers one instance from several clients
+// with mixed solves and patches; afterwards the served solution must
+// equal the library's cold computation on the final weights.
+func TestDaemonConcurrentClients(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{8, 8}}}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+	in, _ := maxminlp.Torus([]int{8, 8}, maxminlp.LatticeOptions{})
+
+	done := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		go func(c int) {
+			for iter := 0; iter < 6; iter++ {
+				var err error
+				if c%2 == 0 {
+					err = post(ts, base+"/solve", solveRequest{Queries: []solveQuery{{Kind: "average", Radius: 1}}})
+				} else {
+					row := c*7 + iter
+					err = post(ts, base+"/weights", weightsRequest{
+						Resources: []coeffPatch{{Row: row, Agent: in.Resource(row)[0].Agent, Coeff: 1 + float64(iter)/3}},
+					})
+				}
+				if err != nil {
+					done <- fmt.Errorf("client %d iter %d: %w", c, iter, err)
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	for c := 0; c < 4; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// post issues a request and only checks for a 2xx status.
+func post(ts *httptest.Server, path string, body any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, msg.String())
+	}
+	return nil
+}

@@ -64,4 +64,22 @@ func main() {
 	}
 	fmt.Printf("distributed average R=1: ω = %.4f after %d rounds, %d messages\n",
 		in.Objective(tr.X), tr.Rounds, tr.Messages)
+
+	// For repeated queries, hold a Solver session: the hypergraph, ball
+	// indexes and solved local LPs persist across calls, and weight
+	// changes re-solve only the neighbourhoods that can see them — with
+	// results bit-identical to the one-shot calls above. (cmd/mmlpd
+	// serves sessions like this one over HTTP.)
+	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	if err := sess.UpdateWeights([]maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 1, Agent: 2, Coeff: 2}, // x1 + 2·x2 ≤ 1
+	}); err != nil {
+		log.Fatal(err)
+	}
+	avg, err := sess.LocalAverage(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session after update: ω = %.4f  x = %.3v\n",
+		sess.Instance().Objective(avg.X), avg.X)
 }

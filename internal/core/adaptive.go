@@ -13,14 +13,19 @@ import (
 // structure of the communication hypergraph (Figure 2 of the paper).
 // Their product bounds the approximation ratio the averaging algorithm
 // will achieve, and is itself bounded by γ(R−1)·γ(R).
+//
+// Certificate allocates its ball index and scratch per call; a Solver
+// session computes the bounds once per radius and serves later calls
+// from retained state (see Solver.Certificate and CertificateWith), with
+// bit-identical values.
 func Certificate(in *mmlp.Instance, g *hypergraph.Graph, radius int) (partyBound, resourceBound float64, err error) {
 	if radius < 0 {
 		return 0, 0, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
 	}
 	csr := csrOf(in, g)
 	bi := g.BallIndex(radius, 1)
-	_, resourceBound = resourceRatiosFlat(csr, bi)
-	return partyBoundFlat(csr, bi), resourceBound, nil
+	partyBound, resourceBound = CertificateWith(csr, bi, NewCertScratch(csr))
+	return partyBound, resourceBound, nil
 }
 
 // AdaptiveResult is the outcome of AdaptiveAverage.
@@ -49,8 +54,12 @@ type AdaptiveResult struct {
 // The search costs only ball computations (no LP solves) per candidate
 // radius. If no radius up to maxRadius meets the target, the averaging
 // algorithm runs at maxRadius and Achieved is false.
+//
+// AdaptiveAverage is a thin wrapper over a throwaway Solver session
+// (which retains each probed radius's certificate); results are
+// bit-identical to AdaptiveAverageOpt with default options.
 func AdaptiveAverage(in *mmlp.Instance, g *hypergraph.Graph, targetRatio float64, maxRadius int) (*AdaptiveResult, error) {
-	return AdaptiveAverageOpt(in, g, targetRatio, maxRadius, AverageOptions{})
+	return NewSolverFromGraph(in, g).Adaptive(targetRatio, maxRadius)
 }
 
 // AdaptiveAverageOpt is AdaptiveAverage with explicit execution options

@@ -81,8 +81,16 @@ func (r *AverageResult) RatioCertificate() float64 {
 // The returned solution is feasible (Section 5.2) and approximates the
 // optimum within max_k M_k/m_k · max_i N_i/n_i ≤ γ(R−1)·γ(R)
 // (Section 5.3).
+//
+// LocalAverage is a thin wrapper over a throwaway Solver session;
+// callers issuing repeated queries against one instance should hold a
+// Solver instead and amortise the CSR, ball-index and solve-cache
+// construction across them. Results are bit-identical either way.
 func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageResult, error) {
-	return localAverage(in, g, radius, AverageOptions{})
+	if radius < 0 {
+		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	return NewSolverFromGraph(in, g).LocalAverage(radius)
 }
 
 // AverageOptions tunes the execution of the Theorem-3 algorithm without
@@ -210,7 +218,7 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 			}
 		}
 	default:
-		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums); err != nil {
+		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -243,8 +251,11 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 // LocalLPs/LocalPivots accounting — match the sequential streaming
 // cache), solve one representative per group in parallel, then replay
 // the sequential accumulation. shared, when non-nil, carries solved LPs
-// in and out of the run; it is only touched from this goroutine.
-func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64) error {
+// in and out of the run. entriesOut, when non-nil (requires shared),
+// receives each agent's cache entry — nil for trivial K^u = ∅ balls —
+// which is how the Solver session retains per-agent solutions for
+// incremental re-solves.
+func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64, entriesOut []*cacheEntry) error {
 	var solvers sync.Pool
 	solvers.New = func() any { return newLocalSolver(csr) }
 
@@ -294,12 +305,14 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 	gOmega := make([]float64, nG)
 	gPivots := make([]int, nG)
 	gHit := make([]bool, nG)
+	gEntry := make([]*cacheEntry, nG)
 	var shared *solveCache
 	if sharedCache != nil {
 		shared = sharedCache.c
 		for gi, u := range reps {
 			if e := shared.lookup(hashes[u], keys[u]); e != nil {
 				gX[gi], gOmega[gi], gPivots[gi], gHit[gi] = e.x, e.omega, e.pivots, true
+				gEntry[gi] = e
 			}
 		}
 	}
@@ -323,7 +336,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 	if shared != nil {
 		for gi, u := range reps {
 			if !gHit[gi] {
-				shared.insert(hashes[u], keys[u], gX[gi], gOmega[gi], gPivots[gi])
+				gEntry[gi] = shared.insert(hashes[u], keys[u], gX[gi], gOmega[gi], gPivots[gi])
 			}
 		}
 	}
@@ -331,6 +344,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 	// Phase 4: the sequential accumulation order of equation (10).
 	// Trivial balls contribute x^u = 0, which the += below would not
 	// change bit-for-bit, so they are skipped outright.
+	sharedHits := 0
 	for u := 0; u < n; u++ {
 		if gid[u] < 0 {
 			res.LocalOmega[u] = math.Inf(1)
@@ -338,6 +352,9 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 			continue
 		}
 		gi := gid[u]
+		if entriesOut != nil {
+			entriesOut[u] = gEntry[gi]
+		}
 		res.LocalOmega[u] = gOmega[gi]
 		if u == reps[gi] && !gHit[gi] {
 			res.LocalLPs++
@@ -346,14 +363,15 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 			res.SolvesAvoided++
 			// Mirror the sequential streaming cache's accounting: one
 			// hit per non-trivial agent served without a simplex run.
-			if shared != nil {
-				shared.hits++
-			}
+			sharedHits++
 		}
 		x := gX[gi]
 		for idx, v := range bi.Ball(u) {
 			sums[v] += x[idx]
 		}
+	}
+	if shared != nil {
+		shared.addHits(sharedHits)
 	}
 	return nil
 }
@@ -432,13 +450,25 @@ func NewBallSolver() *BallSolver {
 	return &BallSolver{ws: lp.NewWorkspace(), cache: newSolveCache()}
 }
 
+// NewBallSolverWithCache returns a solver backed by the given shared
+// cache. The cache is internally synchronised, so many such solvers —
+// one per node or per worker of a distributed engine — may run
+// concurrently against it; the workspace and key buffer of each solver
+// remain single-goroutine. Canonical keys are identical between the
+// view-based and CSR-based pipelines, so a cache warmed by a Solver
+// session deduplicates the engines' redundant per-node re-solves too.
+func NewBallSolverWithCache(c *SolveCache) *BallSolver {
+	return &BallSolver{ws: lp.NewWorkspace(), cache: c.c}
+}
+
 // SolvesAvoided reports how many Solve calls were answered from the
-// isomorphic-ball cache.
+// isomorphic-ball cache (for a shared cache, across all its holders).
 func (s *BallSolver) SolvesAvoided() int {
 	if s.cache == nil {
 		return 0
 	}
-	return s.cache.hits
+	_, hits := s.cache.counts()
+	return hits
 }
 
 // Solve solves the local LP (9) for the ball through the view, returning
@@ -515,7 +545,7 @@ func (s *BallSolver) Solve(view InstanceView, ball []int, inBall map[int]bool) (
 		s.keyBuf = key
 		hash = fnv64a(key)
 		if e := s.cache.lookup(hash, key); e != nil {
-			s.cache.hits++
+			s.cache.addHits(1)
 			return e.x, e.omega, 0, nil
 		}
 	}

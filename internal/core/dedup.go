@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math"
+	"sync"
 )
 
 // This file is the isomorphic-ball deduplication layer of the local-LP
@@ -76,53 +77,117 @@ type cacheEntry struct {
 // solveCache maps canonical fingerprints to solved local LPs. Buckets
 // are keyed by hash; every probe confirms the full key with bytes.Equal,
 // so a hash collision can cost a duplicate solve but never a wrong
-// reuse. Not safe for concurrent use.
+// reuse. Entries are immutable once inserted and are referenced by
+// pointer (never moved), so callers — the session's retained per-agent
+// results, the distributed engines' ball solvers — may hold entries
+// across later inserts and compactions. All access goes through the
+// internal mutex, so one cache can be shared between a Solver session
+// and the per-node solvers of a distributed run.
 type solveCache struct {
-	buckets map[uint64][]cacheEntry
+	mu      sync.Mutex
+	buckets map[uint64][]*cacheEntry
 	size    int
 	hits    int
 }
 
 func newSolveCache() *solveCache {
-	return &solveCache{buckets: make(map[uint64][]cacheEntry)}
+	return &solveCache{buckets: make(map[uint64][]*cacheEntry)}
 }
 
 // lookup returns the entry whose key equals key exactly, or nil.
 func (c *solveCache) lookup(hash uint64, key []byte) *cacheEntry {
-	es := c.buckets[hash]
-	for i := range es {
-		if bytes.Equal(es[i].key, key) {
-			return &es[i]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(hash, key)
+}
+
+func (c *solveCache) lookupLocked(hash uint64, key []byte) *cacheEntry {
+	for _, e := range c.buckets[hash] {
+		if bytes.Equal(e.key, key) {
+			return e
 		}
 	}
 	return nil
 }
 
-// insert stores owned copies of the key and solution.
-func (c *solveCache) insert(hash uint64, key []byte, x []float64, omega float64, pivots int) {
-	c.buckets[hash] = append(c.buckets[hash], cacheEntry{
+// insert stores owned copies of the key and solution and returns the
+// stored entry. If an equal key was inserted concurrently (two nodes of
+// a distributed run solving the same LP), the existing entry is returned
+// instead — the duplicate solve produced bit-identical numbers, so
+// either entry serves every holder.
+func (c *solveCache) insert(hash uint64, key []byte, x []float64, omega float64, pivots int) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.lookupLocked(hash, key); e != nil {
+		return e
+	}
+	e := &cacheEntry{
 		key:    append([]byte(nil), key...),
 		x:      append([]float64(nil), x...),
 		omega:  omega,
 		pivots: pivots,
-	})
+	}
+	c.buckets[hash] = append(c.buckets[hash], e)
 	c.size++
+	return e
+}
+
+// addHits bumps the cache-hit counter by n.
+func (c *solveCache) addHits(n int) {
+	c.mu.Lock()
+	c.hits += n
+	c.mu.Unlock()
+}
+
+// counts returns (distinct entries stored, hits served).
+func (c *solveCache) counts() (size, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, c.hits
+}
+
+// compact drops every entry not in keep, reclaiming cache slots whose
+// canonical keys can no longer occur (after a weight update changed the
+// coefficient bits they encode). Holders of dropped entries are
+// unaffected: entries are immutable and pointer-stable.
+func (c *solveCache) compact(keep map[*cacheEntry]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for hash, es := range c.buckets {
+		w := 0
+		for _, e := range es {
+			if keep[e] {
+				es[w] = e
+				w++
+			}
+		}
+		if w == 0 {
+			delete(c.buckets, hash)
+		} else {
+			c.buckets[hash] = es[:w]
+		}
+	}
+	c.size = 0
+	for _, es := range c.buckets {
+		c.size += len(es)
+	}
 }
 
 // SolveCache is a reusable isomorphic-ball local-LP cache. Keys are
 // purely content-based — the ball-relative constraint structure and the
 // exact coefficient bits of the local LP (9) — so one cache may be
 // shared across radii (AdaptiveAverage does) and even across instances.
-// The zero value is not usable; construct with NewSolveCache. Not safe
-// for concurrent use: LocalAverageOpt serialises all access to it even
-// when solving with many workers.
+// The zero value is not usable; construct with NewSolveCache. All
+// operations are internally synchronised, so one cache may serve a
+// Solver session and concurrent distributed-engine ball solvers at the
+// same time.
 type SolveCache struct{ c *solveCache }
 
 // NewSolveCache returns an empty cache.
 func NewSolveCache() *SolveCache { return &SolveCache{c: newSolveCache()} }
 
 // DistinctSolves returns the number of distinct local LPs stored.
-func (s *SolveCache) DistinctSolves() int { return s.c.size }
+func (s *SolveCache) DistinctSolves() int { n, _ := s.c.counts(); return n }
 
 // Hits returns how many solves were answered from the cache.
-func (s *SolveCache) Hits() int { return s.c.hits }
+func (s *SolveCache) Hits() int { _, h := s.c.counts(); return h }

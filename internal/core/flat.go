@@ -167,7 +167,7 @@ func (s *localSolver) solveCached(ball []int32) (x []float64, omega float64, piv
 	key := s.canonicalKey(ball)
 	hash := fnv64a(key)
 	if e := s.cache.lookup(hash, key); e != nil {
-		s.cache.hits++
+		s.cache.addHits(1)
 		return e.x, e.omega, e.pivots, true, nil
 	}
 	x, omega, pivots, err = s.assembleAndSolve(ball)
@@ -257,24 +257,49 @@ func (s *localSolver) assembleAndSolve(ball []int32) ([]float64, float64, int, e
 	return sol.X[:nLoc], sol.Value, sol.Pivots, nil
 }
 
-// resourceRatiosFlat computes n_i/N_i per resource and max_i N_i/n_i from
-// the precomputed ball index, deduplicating each union with one epoch
-// stamp array instead of a map per resource.
-func resourceRatiosFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (ratios []float64, resourceBound float64) {
-	nRes := csr.NumResources()
-	ratios = make([]float64, nRes)
-	resourceBound = 1
-	mark := make([]int32, csr.NumAgents())
-	for i := range mark {
-		mark[i] = -1
+// CertScratch is the reusable state of certificate computation: the
+// epoch-stamped union-dedup array and the per-resource ratio buffer.
+// Reusing one scratch across calls (the Solver session does, per query)
+// removes the two O(n)+O(|I|) allocations of every Certificate call.
+// Not safe for concurrent use.
+type CertScratch struct {
+	mark   []int32
+	epoch  int32
+	ratios []float64
+}
+
+// NewCertScratch returns a scratch sized for the instance behind csr.
+func NewCertScratch(csr *hypergraph.CSR) *CertScratch {
+	scr := &CertScratch{
+		mark:   make([]int32, csr.NumAgents()),
+		ratios: make([]float64, csr.NumResources()),
 	}
-	for i := 0; i < nRes; i++ {
+	for i := range scr.mark {
+		scr.mark[i] = -1
+	}
+	return scr
+}
+
+// resourceRatios computes n_i/N_i per resource (into scr.ratios) and
+// returns max_i N_i/n_i, deduplicating each union U_i with one epoch
+// stamp per resource instead of a map. The counts — and hence every
+// float — are identical to the reference implementation.
+func (scr *CertScratch) resourceRatios(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (resourceBound float64) {
+	resourceBound = 1
+	for i := 0; i < csr.NumResources(); i++ {
+		if scr.epoch == math.MaxInt32 {
+			for j := range scr.mark {
+				scr.mark[j] = -1
+			}
+			scr.epoch = 0
+		}
+		scr.epoch++
 		Ni, ni := 0, math.MaxInt
 		for _, j := range csr.ResourceAgents(i) {
 			ball := bi.Ball(int(j))
 			for _, w := range ball {
-				if mark[w] != int32(i) {
-					mark[w] = int32(i)
+				if scr.mark[w] != scr.epoch {
+					scr.mark[w] = scr.epoch
 					Ni++
 				}
 			}
@@ -282,10 +307,27 @@ func resourceRatiosFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (ratios [
 				ni = len(ball)
 			}
 		}
-		ratios[i] = float64(ni) / float64(Ni)
+		scr.ratios[i] = float64(ni) / float64(Ni)
 		resourceBound = max(resourceBound, float64(Ni)/float64(ni))
 	}
-	return ratios, resourceBound
+	return resourceBound
+}
+
+// CertificateWith computes the Theorem-3 certificate (max_k M_k/m_k,
+// max_i N_i/n_i) over a prebuilt ball index with reusable scratch — the
+// allocation-free variant of Certificate the Solver session runs.
+// Results are bit-identical to Certificate.
+func CertificateWith(csr *hypergraph.CSR, bi *hypergraph.BallIndex, scr *CertScratch) (partyBound, resourceBound float64) {
+	resourceBound = scr.resourceRatios(csr, bi)
+	return partyBoundFlat(csr, bi), resourceBound
+}
+
+// resourceRatiosFlat computes n_i/N_i per resource and max_i N_i/n_i from
+// the precomputed ball index with throwaway scratch.
+func resourceRatiosFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (ratios []float64, resourceBound float64) {
+	scr := NewCertScratch(csr)
+	resourceBound = scr.resourceRatios(csr, bi)
+	return scr.ratios, resourceBound
 }
 
 // partyBoundFlat computes max_k M_k/m_k from the ball index: m_k by

@@ -1,0 +1,650 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+// Solver is a long-lived solving session over one instance: it owns the
+// CSR incidence index, builds the radius-R ball index of each queried
+// radius once and retains it, shares one isomorphic-ball solve cache
+// across all queries, and pools the lp.Workspace-backed local solvers —
+// so repeated queries pay none of the per-call setup the one-shot free
+// functions pay. Safe, LocalAverage, Adaptive and Certificate return
+// results bit-identical to the corresponding free functions.
+//
+// On top of the amortisation, the session supports incremental re-solve:
+// UpdateWeights changes coefficients (never topology) and invalidates
+// only the per-agent local LPs whose radius-R balls can see a touched
+// row; the next LocalAverage call re-solves just those agents and
+// replays the combination (10) for the affected coordinates, with
+// results bit-identical to a cold solve of the mutated instance.
+//
+// All methods are safe for concurrent use: queries and updates serialise
+// on one mutex (each query may still fan its LP solves across Workers
+// goroutines internally). The ball-structure quantities — ball indexes,
+// certificates, β weights — survive weight updates unchanged, because
+// weight updates cannot change the communication hypergraph.
+type Solver struct {
+	mu sync.Mutex
+
+	in  *mmlp.Instance
+	g   *hypergraph.Graph
+	csr *hypergraph.CSR
+	// csrOwned marks that csr's coefficient arrays are a private clone
+	// (copy-on-write, done on the first UpdateWeights) and may be patched
+	// in place.
+	csrOwned bool
+
+	workers int
+	cache   *SolveCache
+	pool    *sync.Pool // of *localSolver bound to the current csr
+	scratch *CertScratch
+
+	balls  map[int]*hypergraph.BallIndex
+	states map[int]*radiusState
+
+	stats SolverStats
+}
+
+// SolverStats counts the work a session has performed; the serving
+// daemon exposes them, and the steady-state acceptance check — zero
+// CSR/BallIndex rebuilds per query once warm — reads them.
+type SolverStats struct {
+	// CSRBuilds and BallIndexBuilds count expensive structure builds;
+	// both stay flat across steady-state queries and weight updates.
+	CSRBuilds       int
+	BallIndexBuilds int
+	// FullSolves counts cold LocalAverage passes (all agents),
+	// IncrementalSolves the delta passes, and WarmHits the calls answered
+	// entirely from retained state.
+	FullSolves        int
+	IncrementalSolves int
+	WarmHits          int
+	// AgentsResolved is the total number of per-agent local LPs
+	// re-examined by incremental passes (re-fingerprinted; most are then
+	// served from the cache).
+	AgentsResolved int
+	// WeightUpdates counts UpdateWeights calls and DeltasApplied the
+	// individual coefficient changes.
+	WeightUpdates int
+	DeltasApplied int
+	// CacheEntries and CacheHits snapshot the shared solve cache.
+	CacheEntries int
+	CacheHits    int
+}
+
+// radiusState is everything the session retains about one radius. The
+// structural part (certificate bounds, β, ball sizes) depends only on
+// the hypergraph and survives weight updates; the solve part (per-agent
+// entries, running sums, the combined solution) is what UpdateWeights
+// invalidates agent-by-agent.
+type radiusState struct {
+	partyBound    float64
+	resourceBound float64
+	beta          []float64
+
+	// Solve state; nil res until the first LocalAverage at this radius.
+	res     *AverageResult
+	entries []*cacheEntry // per agent; nil = trivial K^u = ∅ ball
+	sums    []float64
+
+	dirty  []bool
+	nDirty int
+}
+
+// WeightKind selects which coefficient family a WeightDelta touches.
+type WeightKind uint8
+
+const (
+	// ResourceWeight updates a_iv of resource Row and agent Agent.
+	ResourceWeight WeightKind = iota
+	// PartyWeight updates c_kv of party Row and agent Agent.
+	PartyWeight
+)
+
+// WeightDelta is one coefficient change applied by Solver.UpdateWeights.
+// The (Row, Agent) entry must already exist — weight updates change
+// values, never supports — and Coeff must be positive and finite.
+type WeightDelta struct {
+	Kind  WeightKind
+	Row   int
+	Agent int
+	Coeff float64
+}
+
+// NewSolver builds a session from an instance: the communication
+// hypergraph and CSR index are constructed once and owned by the
+// session.
+func NewSolver(in *mmlp.Instance, opt hypergraph.Options) *Solver {
+	s := NewSolverFromGraph(in, hypergraph.FromInstance(in, opt))
+	return s
+}
+
+// NewSolverFromGraph builds a session over a prebuilt communication
+// hypergraph (reusing its CSR index when it has one). The graph must
+// belong to the instance; the session treats both as its own from here
+// on.
+func NewSolverFromGraph(in *mmlp.Instance, g *hypergraph.Graph) *Solver {
+	s := &Solver{
+		in:      in,
+		g:       g,
+		csr:     csrOf(in, g),
+		workers: runtime.GOMAXPROCS(0),
+		cache:   NewSolveCache(),
+		balls:   make(map[int]*hypergraph.BallIndex),
+		states:  make(map[int]*radiusState),
+	}
+	s.stats.CSRBuilds = 1
+	s.scratch = NewCertScratch(s.csr)
+	s.resetPool()
+	return s
+}
+
+// resetPool rebinds the pooled local solvers to the current csr; called
+// at construction and when copy-on-write replaces the csr.
+func (s *Solver) resetPool() {
+	csr := s.csr
+	s.pool = &sync.Pool{New: func() any { return newLocalSolver(csr) }}
+}
+
+// SetWorkers sets the number of goroutines queries may fan LP solves
+// across; w ≤ 0 selects GOMAXPROCS. The worker count never changes any
+// output bit.
+func (s *Solver) SetWorkers(w int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s.workers = w
+}
+
+// Instance returns the current instance — the constructor's instance
+// with every applied weight update folded in.
+func (s *Solver) Instance() *mmlp.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in
+}
+
+// Graph returns the communication hypergraph the session solves over.
+// Weight updates never change it.
+func (s *Solver) Graph() *hypergraph.Graph { return s.g }
+
+// Cache returns the session's shared solve cache.
+func (s *Solver) Cache() *SolveCache { return s.cache }
+
+// NewBallSolver returns a view-based ball-LP solver backed by the
+// session's shared cache — the hook the distributed engines use so every
+// node's redundant re-solves dedup against the session (and each other).
+// Each returned solver must stay on one goroutine; the cache itself is
+// internally synchronised.
+func (s *Solver) NewBallSolver() *BallSolver {
+	return NewBallSolverWithCache(s.cache)
+}
+
+// BallIndex returns the session's retained radius-r ball index, building
+// it on first use. The index is immutable; concurrent readers (the
+// distributed engines) may share it freely.
+func (s *Solver) BallIndex(radius int) *hypergraph.BallIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ballIndex(radius)
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Solver) Stats() SolverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CacheEntries = s.cache.DistinctSolves()
+	st.CacheHits = s.cache.Hits()
+	return st
+}
+
+func (s *Solver) ballIndex(radius int) *hypergraph.BallIndex {
+	bi, ok := s.balls[radius]
+	if !ok {
+		bi = s.g.BallIndex(radius, s.workers)
+		s.balls[radius] = bi
+		s.stats.BallIndexBuilds++
+	}
+	return bi
+}
+
+// state returns the radius state, creating it — with the structural
+// certificate quantities computed once — on first use.
+func (s *Solver) state(radius int) *radiusState {
+	st, ok := s.states[radius]
+	if ok {
+		return st
+	}
+	csr := s.csr
+	bi := s.ballIndex(radius)
+	st = &radiusState{}
+	st.resourceBound = s.scratch.resourceRatios(csr, bi)
+	st.partyBound = partyBoundFlat(csr, bi)
+	n := csr.NumAgents()
+	st.beta = make([]float64, n)
+	for j := 0; j < n; j++ {
+		beta := 1.0
+		for _, i := range csr.AgentResources(j) {
+			beta = min(beta, s.scratch.ratios[i])
+		}
+		st.beta[j] = beta
+	}
+	s.states[radius] = st
+	return st
+}
+
+// Safe computes the safe solution of equation (2) over the session's
+// current weights; bit-identical to the free Safe/SafeFlat.
+func (s *Solver) Safe() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SafeFlat(s.csr)
+}
+
+// Certificate returns the Theorem-3 certificate at the given radius.
+// The bounds are pure ball structure, so the session computes them once
+// per radius and serves every later call — across any number of weight
+// updates — from retained state. Bit-identical to the free Certificate.
+func (s *Solver) Certificate(radius int) (partyBound, resourceBound float64, err error) {
+	if radius < 0 {
+		return 0, 0, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(radius)
+	return st.partyBound, st.resourceBound, nil
+}
+
+// LocalAverage runs the Theorem-3 algorithm at the given radius. The
+// first call per radius is a full solve; a repeat call with no
+// intervening weight update is answered from retained state; a call
+// after UpdateWeights re-solves only the invalidated agents. All three
+// paths return bit-identical X, Beta, BallSize, LocalOmega and
+// certificate bounds (the LP accounting fields describe the work of the
+// pass that produced the result). The result is a private copy; callers
+// may keep it across later session calls.
+func (s *Solver) LocalAverage(radius int) (*AverageResult, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("core: radius must be ≥ 0, got %d", radius)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.localAverageLocked(radius)
+}
+
+func (s *Solver) localAverageLocked(radius int) (*AverageResult, error) {
+	st := s.state(radius)
+	switch {
+	case st.res == nil:
+		if err := s.solveFull(radius, st); err != nil {
+			return nil, err
+		}
+		s.stats.FullSolves++
+	case st.nDirty > 0:
+		if err := s.solveIncremental(radius, st); err != nil {
+			return nil, err
+		}
+		s.stats.IncrementalSolves++
+	default:
+		s.stats.WarmHits++
+	}
+	return copyResult(st.res), nil
+}
+
+// solveFull is the cold path: every agent's local LP through the shared
+// cache, retaining per-agent entries for later incremental passes. It
+// reuses the exact grouped pipeline of LocalAverageOpt, so its results
+// and accounting match the free functions bit-for-bit.
+func (s *Solver) solveFull(radius int, st *radiusState) error {
+	csr := s.csr
+	bi := s.ballIndex(radius)
+	n := csr.NumAgents()
+	res := &AverageResult{
+		X:          make([]float64, n),
+		Radius:     radius,
+		Beta:       make([]float64, n),
+		BallSize:   make([]int, n),
+		LocalOmega: make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		res.BallSize[u] = bi.Size(u)
+	}
+	sums := make([]float64, n)
+	entries := make([]*cacheEntry, n)
+	if err := localAverageParallelDedup(csr, bi, n, s.workers, s.cache, res, sums, entries); err != nil {
+		return err
+	}
+	copy(res.Beta, st.beta)
+	for j := 0; j < n; j++ {
+		res.X[j] = st.beta[j] / float64(bi.Size(j)) * sums[j]
+	}
+	res.PartyBound, res.ResourceBound = st.partyBound, st.resourceBound
+	st.res, st.entries, st.sums = res, entries, sums
+	st.dirty = make([]bool, n)
+	st.nDirty = 0
+	return nil
+}
+
+// solveIncremental re-solves only the agents whose local LPs a weight
+// update may have changed, then replays the combination (10) for every
+// coordinate their balls cover. The recomputation follows the exact
+// accumulation order of the cold path — ascending agent order, same
+// addends — so the updated result is bit-identical to a cold solve of
+// the mutated instance.
+func (s *Solver) solveIncremental(radius int, st *radiusState) error {
+	bi := s.ballIndex(radius)
+	n := len(st.dirty)
+	dirty := make([]int, 0, st.nDirty)
+	for u := 0; u < n; u++ {
+		if st.dirty[u] {
+			dirty = append(dirty, u)
+		}
+	}
+
+	// Phase 1: re-fingerprint the dirty agents in parallel.
+	nd := len(dirty)
+	keys := make([][]byte, nd)
+	hashes := make([]uint64, nd)
+	trivial := make([]bool, nd)
+	if err := parallelFor(nd, s.workers, func(di int) error {
+		ls := s.pool.Get().(*localSolver)
+		defer s.pool.Put(ls)
+		keys[di], hashes[di], trivial[di] = ls.fingerprint(bi.Ball(dirty[di]))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: group dirty agents by exact key, ascending, and consult
+	// the shared cache — agents whose fingerprints did not actually
+	// change (a party delta dirties every ball containing the agent,
+	// but only balls satisfying Vk ⊆ B(u,R) assemble the row) hit
+	// their old entries here and cost no simplex run.
+	gid := make([]int32, nd)
+	var reps []int
+	bucket := make(map[uint64][]int32)
+	for di := 0; di < nd; di++ {
+		if trivial[di] {
+			gid[di] = -1
+			continue
+		}
+		found := int32(-1)
+		for _, gi := range bucket[hashes[di]] {
+			if string(keys[reps[gi]]) == string(keys[di]) {
+				found = gi
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(reps))
+			reps = append(reps, di)
+			bucket[hashes[di]] = append(bucket[hashes[di]], found)
+		}
+		gid[di] = found
+	}
+	nG := len(reps)
+	gEntry := make([]*cacheEntry, nG)
+	for gi, rdi := range reps {
+		gEntry[gi] = s.cache.c.lookup(hashes[rdi], keys[rdi])
+	}
+
+	// Phase 3: solve the groups the cache has never seen, in parallel,
+	// then insert sequentially.
+	gX := make([][]float64, nG)
+	gOmega := make([]float64, nG)
+	gPivots := make([]int, nG)
+	if err := parallelFor(nG, s.workers, func(gi int) error {
+		if gEntry[gi] != nil {
+			return nil
+		}
+		ls := s.pool.Get().(*localSolver)
+		defer s.pool.Put(ls)
+		u := dirty[reps[gi]]
+		xu, omega, p, err := ls.solve(bi.Ball(u))
+		if err != nil {
+			return fmt.Errorf("core: local LP of agent %d: %w", u, err)
+		}
+		gX[gi] = append([]float64(nil), xu...)
+		gOmega[gi], gPivots[gi] = omega, p
+		return nil
+	}); err != nil {
+		return err
+	}
+	res := st.res
+	res.LocalLPs, res.LocalPivots, res.SolvesAvoided = 0, 0, 0
+	hits := 0
+	for gi, rdi := range reps {
+		if gEntry[gi] == nil {
+			gEntry[gi] = s.cache.c.insert(hashes[rdi], keys[rdi], gX[gi], gOmega[gi], gPivots[gi])
+			res.LocalLPs++
+			res.LocalPivots += gPivots[gi]
+		}
+	}
+
+	// Phase 4: install the new entries and replay the combination (10)
+	// for every coordinate a dirty ball covers. Balls are symmetric
+	// (j ∈ B(u) ⟺ u ∈ B(j)), so recomputing sums[j] over B(j) in
+	// ascending u order reproduces exactly the addend sequence of the
+	// cold path.
+	for di, u := range dirty {
+		if gid[di] < 0 {
+			st.entries[u] = nil
+			res.LocalOmega[u] = math.Inf(1)
+			res.SolvesAvoided++
+			continue
+		}
+		gi := gid[di]
+		e := gEntry[gi]
+		st.entries[u] = e
+		res.LocalOmega[u] = e.omega
+		// Freshly solved representatives (gX non-nil) were counted as
+		// LocalLPs above; everyone else was served without a simplex run.
+		if !(di == reps[gi] && gX[gi] != nil) {
+			res.SolvesAvoided++
+			hits++
+		}
+	}
+	s.cache.c.addHits(hits)
+
+	affected := make([]bool, len(st.dirty))
+	var affectedList []int
+	for _, u := range dirty {
+		for _, v := range bi.Ball(u) {
+			if !affected[v] {
+				affected[v] = true
+				affectedList = append(affectedList, int(v))
+			}
+		}
+	}
+	sort.Ints(affectedList)
+	for _, j := range affectedList {
+		sum := 0.0
+		for _, u := range bi.Ball(j) {
+			e := st.entries[u]
+			if e == nil {
+				continue
+			}
+			idx, _ := slices.BinarySearch(bi.Ball(int(u)), int32(j))
+			sum += e.x[idx]
+		}
+		st.sums[j] = sum
+		res.X[j] = st.beta[j] / float64(bi.Size(j)) * sum
+	}
+
+	for _, u := range dirty {
+		st.dirty[u] = false
+	}
+	st.nDirty = 0
+	s.stats.AgentsResolved += nd
+	return nil
+}
+
+// Adaptive grows the radius until the per-instance certificate meets the
+// target ratio, then solves at that radius — AdaptiveAverage as a
+// session method, with every certificate and the final solve served from
+// (and retained in) session state. Bit-identical to AdaptiveAverage.
+func (s *Solver) Adaptive(targetRatio float64, maxRadius int) (*AdaptiveResult, error) {
+	if targetRatio <= 1 {
+		return nil, fmt.Errorf("core: target ratio must exceed 1, got %v", targetRatio)
+	}
+	if maxRadius < 1 {
+		return nil, fmt.Errorf("core: maxRadius must be ≥ 1, got %d", maxRadius)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &AdaptiveResult{TargetRatio: targetRatio}
+	chosen := maxRadius
+	for radius := 1; radius <= maxRadius; radius++ {
+		st := s.state(radius)
+		cert := st.partyBound * st.resourceBound
+		out.Certificates = append(out.Certificates, cert)
+		if cert <= targetRatio {
+			chosen = radius
+			out.Achieved = true
+			break
+		}
+	}
+	res, err := s.localAverageLocked(chosen)
+	if err != nil {
+		return nil, err
+	}
+	out.AverageResult = res
+	return out, nil
+}
+
+// UpdateWeights applies coefficient changes to the session: the current
+// instance and CSR are patched (copy-on-write; topology arrays stay
+// shared with the original) and, for every radius already solved, the
+// agents whose radius-R balls can see a touched row are marked for
+// re-solve on the next LocalAverage call. Everything ball-structural —
+// ball indexes, certificates, β — survives untouched, which is the
+// whole point: a k-entry update costs O(k · ball volume) LP work, not a
+// rebuild. Invalid deltas abort the whole update before any state
+// changes.
+func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validate everything first: the update is atomic.
+	var resUp, parUp []mmlp.CoeffUpdate
+	for _, d := range deltas {
+		switch d.Kind {
+		case ResourceWeight:
+			if d.Row < 0 || d.Row >= s.csr.NumResources() {
+				return fmt.Errorf("core: resource %d out of range [0,%d)", d.Row, s.csr.NumResources())
+			}
+			if _, ok := slices.BinarySearch(s.csr.ResourceAgents(d.Row), int32(d.Agent)); !ok {
+				return fmt.Errorf("core: agent %d is not in the support of resource %d", d.Agent, d.Row)
+			}
+			resUp = append(resUp, mmlp.CoeffUpdate{Row: d.Row, Agent: d.Agent, Coeff: d.Coeff})
+		case PartyWeight:
+			if d.Row < 0 || d.Row >= s.csr.NumParties() {
+				return fmt.Errorf("core: party %d out of range [0,%d)", d.Row, s.csr.NumParties())
+			}
+			if _, ok := slices.BinarySearch(s.csr.PartyAgents(d.Row), int32(d.Agent)); !ok {
+				return fmt.Errorf("core: agent %d is not in the support of party %d", d.Agent, d.Row)
+			}
+			parUp = append(parUp, mmlp.CoeffUpdate{Row: d.Row, Agent: d.Agent, Coeff: d.Coeff})
+		default:
+			return fmt.Errorf("core: unknown weight kind %d", d.Kind)
+		}
+		if !(d.Coeff > 0) || math.IsInf(d.Coeff, 0) {
+			return fmt.Errorf("core: coefficient %v must be positive and finite", d.Coeff)
+		}
+	}
+	in, err := s.in.UpdateCoeffs(resUp, parUp)
+	if err != nil {
+		return err
+	}
+
+	// Copy-on-write the CSR coefficient arrays once per session, then
+	// patch in place; pooled solvers are rebound to the new csr.
+	if !s.csrOwned {
+		s.csr = s.csr.CloneCoeffs()
+		s.csrOwned = true
+		s.resetPool()
+	}
+	for _, d := range deltas {
+		var err error
+		if d.Kind == ResourceWeight {
+			err = s.csr.SetResourceCoeff(d.Row, d.Agent, d.Coeff)
+		} else {
+			err = s.csr.SetPartyCoeff(d.Row, d.Agent, d.Coeff)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.in = in
+
+	// Invalidate: the local LP (9) of agent u restricts every row to the
+	// ball's variables, so a change to the coefficient of agent v —
+	// resource or party — can only alter LPs whose ball contains v:
+	// a resource row contributes a_iv only when localIdx[v] ≥ 0, and a
+	// party row k enters K^u only when Vk ⊆ B(u,R), which in particular
+	// puts v in the ball. With symmetric balls (v ∈ B(u,R) ⟺
+	// u ∈ B(v,R)), the dirty set of one delta is exactly B(v,R).
+	for radius, st := range s.states {
+		if st.res == nil {
+			continue
+		}
+		bi := s.ballIndex(radius)
+		for _, d := range deltas {
+			for _, v := range bi.Ball(d.Agent) {
+				if !st.dirty[v] {
+					st.dirty[v] = true
+					st.nDirty++
+				}
+			}
+		}
+	}
+	s.stats.WeightUpdates++
+	s.stats.DeltasApplied += len(deltas)
+	s.compactCache()
+	return nil
+}
+
+// compactCache drops cache entries no retained result references once
+// the cache has grown well past the live set — stale keys encode
+// coefficient bits that can no longer occur (unless a later update
+// restores them, in which case the entry is simply re-solved).
+func (s *Solver) compactCache() {
+	live := make(map[*cacheEntry]bool)
+	for _, st := range s.states {
+		for _, e := range st.entries {
+			if e != nil {
+				live[e] = true
+			}
+		}
+	}
+	if s.cache.DistinctSolves() <= 4*len(live)+64 {
+		return
+	}
+	s.cache.c.compact(live)
+}
+
+// copyResult returns a private copy of a retained result, so callers can
+// hold it across later session mutations.
+func copyResult(r *AverageResult) *AverageResult {
+	out := *r
+	out.X = append([]float64(nil), r.X...)
+	out.Beta = append([]float64(nil), r.Beta...)
+	out.BallSize = append([]int(nil), r.BallSize...)
+	out.LocalOmega = append([]float64(nil), r.LocalOmega...)
+	return &out
+}

@@ -351,3 +351,68 @@ func TestValidation(t *testing.T) {
 		t.Fatal("zero rounds accepted")
 	}
 }
+
+// TestSessionNetworkAgreement checks that a session-backed network —
+// engines reading the session's retained ball index and solving through
+// its shared cache — produces outputs and cost traces bit-identical to
+// a plain network, under every engine, and that the session's cache
+// actually absorbed the nodes' redundant re-solves.
+func TestSessionNetworkAgreement(t *testing.T) {
+	for _, tc := range testCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			g := fullGraph(tc.in)
+			plain := mustNetwork(t, tc.in, g)
+			sess := core.NewSolverFromGraph(tc.in, fullGraph(tc.in))
+			// Warm the session first, so the engines reuse query-solved LPs.
+			for _, radius := range tc.radii {
+				if _, err := sess.LocalAverage(radius); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snw, err := NewSessionNetwork(sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, radius := range tc.radii {
+				proto := AverageProtocol{Radius: radius}
+				ref, err := plain.RunSequential(proto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines := []struct {
+					name string
+					run  func() (*Trace, error)
+				}{
+					{"sequential", func() (*Trace, error) { return snw.RunSequential(proto) }},
+					{"goroutines", func() (*Trace, error) { return snw.RunGoroutines(proto) }},
+					{"sharded3", func() (*Trace, error) { return snw.RunSharded(proto, 3) }},
+				}
+				for _, e := range engines {
+					tr, err := e.run()
+					if err != nil {
+						t.Fatalf("%s: %v", e.name, err)
+					}
+					if tr.Rounds != ref.Rounds || tr.Messages != ref.Messages ||
+						tr.Payload != ref.Payload || tr.MaxNodePayload != ref.MaxNodePayload {
+						t.Errorf("%s R=%d: trace diverged: %+v vs %+v", e.name, radius, tr, ref)
+					}
+					for v := range ref.X {
+						if tr.X[v] != ref.X[v] {
+							t.Fatalf("%s R=%d: X[%d] = %v, want %v", e.name, radius, v, tr.X[v], ref.X[v])
+						}
+					}
+				}
+			}
+			if sess.Cache().Hits() == 0 {
+				t.Error("session cache served no hits to the engines")
+			}
+		})
+	}
+}
+
+// TestSessionNetworkValidation covers the nil-session error path.
+func TestSessionNetworkValidation(t *testing.T) {
+	if _, err := NewSessionNetwork(nil); err == nil {
+		t.Error("nil session accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"maxminlp/internal/core"
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
 )
@@ -15,6 +16,12 @@ type Network struct {
 	in   *mmlp.Instance
 	g    *hypergraph.Graph
 	roms []*agentRecord
+
+	// sess, when non-nil, lets the engines reuse the session's retained
+	// ball indexes and shared solve cache for the per-node output
+	// computations (see NewSessionNetwork). Outputs are bit-identical
+	// with or without it.
+	sess *core.Solver
 }
 
 // NewNetwork builds a Network over the instance and its communication
@@ -28,6 +35,32 @@ func NewNetwork(in *mmlp.Instance, g *hypergraph.Graph) (*Network, error) {
 			g.NumVertices(), in.NumAgents())
 	}
 	return &Network{in: in, g: g, roms: buildRecords(in, g)}, nil
+}
+
+// NewSessionNetwork builds a Network over a Solver session's instance
+// and hypergraph, and threads the session through the engines: each
+// node's Theorem-3 output reads the session's retained radius-R ball
+// index instead of re-deriving balls from gathered records, and solves
+// its local LPs through a ball solver backed by the session's shared
+// (internally synchronised) cache — so the redundant re-solves of the
+// protocol dedup across nodes, engines and prior session queries.
+// Outputs and traces stay bit-identical to a plain NewNetwork run: ball
+// contents are equal once flooding has delivered the horizon, and a
+// cached LP solution is only reused after an exact canonical-key match.
+//
+// The network snapshots the session's instance at construction; weight
+// updates applied to the session afterwards are not reflected in the
+// records (build a fresh session network to serve the updated weights).
+func NewSessionNetwork(sess *core.Solver) (*Network, error) {
+	if sess == nil {
+		return nil, errors.New("dist: nil session")
+	}
+	nw, err := NewNetwork(sess.Instance(), sess.Graph())
+	if err != nil {
+		return nil, err
+	}
+	nw.sess = sess
+	return nw, nil
 }
 
 // NumAgents returns the number of nodes in the network.
@@ -68,6 +101,13 @@ func (nw *Network) newFloodNodes(p Protocol) ([]*floodNode, error) {
 	nodes := make([]*floodNode, len(nw.roms))
 	for v, rom := range nw.roms {
 		nodes[v] = newFloodNode(rom)
+		if nw.sess != nil {
+			// One ball solver per node keeps the workspace and key
+			// buffer single-goroutine under every engine; the cache
+			// behind them is the session's and is safe to share.
+			nodes[v].know.sess = nw.sess
+			nodes[v].know.solver = nw.sess.NewBallSolver()
+		}
 	}
 	return nodes, nil
 }

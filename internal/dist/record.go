@@ -3,6 +3,7 @@ package dist
 import (
 	"sort"
 
+	"maxminlp/internal/core"
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
 )
@@ -75,6 +76,14 @@ func rowAgents(row []mmlp.Entry) []int {
 type knowledge struct {
 	self int
 	recs map[int]*agentRecord
+
+	// sess and solver are set by session-backed networks
+	// (NewSessionNetwork): sess supplies retained ball indexes, solver a
+	// per-node LP kernel sharing the session's cache. Both nil on plain
+	// networks and in the self-stabilising runtime, where outputs fall
+	// back to pure record-derived computation.
+	sess   *core.Solver
+	solver *core.BallSolver
 }
 
 func newKnowledge(rom *agentRecord) *knowledge {

@@ -38,6 +38,7 @@ var All = []Experiment{
 	{"E11", "Adaptive radius: Theorem 3 as a local approximation scheme", E11AdaptiveScheme},
 	{"E12", "Sharded worker-pool engine: agreement and speedup", E12ShardedEngine},
 	{"E13", "Isomorphic-ball LP dedup: solves avoided, bit-exact agreement", E13DedupProfile},
+	{"E14", "Solver sessions: cold vs warm vs incremental re-solve", E14SessionProfile},
 }
 
 func fullGraph(in *mmlp.Instance) *hypergraph.Graph {
@@ -599,6 +600,101 @@ func E13DedupProfile(seed int64) (*Table, error) {
 		}
 		t.AddRow(cse.name, I(cse.radius), I(cse.in.NumAgents()), I(dedup.LocalLPs),
 			I(dedup.SolvesAvoided), F(dedupMS), F(refMS), F(refMS/dedupMS), B(agree))
+	}
+	return t, nil
+}
+
+// E14SessionProfile measures the Solver session against the one-shot
+// entry points: a cold call (fresh session: CSR + ball index + every
+// local LP), a warm repeat (retained state, no LP work at all), and an
+// incremental re-solve after a k-coefficient weight update (only the
+// agents whose radius-R balls see a touched row run again). The
+// incremental output is checked bit-identical to a cold solve of the
+// independently mutated instance — the acceptance property of the
+// session layer — and the session must perform zero ball-index rebuilds
+// after warm-up.
+func E14SessionProfile(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Solver sessions: cold vs warm vs incremental (k-coefficient update)",
+		Columns: []string{"instance", "R", "agents", "cold ms", "warm µs", "k", "incr ms", "re-solved", "cold/incr", "bit-identical", "rebuilds"},
+		Note:    "'re-solved' counts agents re-examined by the incremental pass; 'bit-identical' compares against a cold solve of the mutated instance; 'rebuilds' counts ball-index builds after warm-up (must be 0)",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tor, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	torW, _ := gen.Torus([]int{12, 12}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	disk, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 150, Radius: 0.12, MaxNeighbors: 5}, rng)
+	cases := []struct {
+		name   string
+		in     *mmlp.Instance
+		radius int
+		deltas int
+	}{
+		{"torus 16x16", tor, 1, 4},
+		{"torus 16x16", tor, 2, 4},
+		{"torus 12x12 weighted", torW, 1, 4},
+		{"unit-disk n=150", disk, 1, 4},
+	}
+	for _, cse := range cases {
+		start := time.Now()
+		sess := core.NewSolverFromGraph(cse.in, fullGraph(cse.in))
+		if _, err := sess.LocalAverage(cse.radius); err != nil {
+			return nil, err
+		}
+		coldMS := time.Since(start).Seconds() * 1e3
+
+		start = time.Now()
+		if _, err := sess.LocalAverage(cse.radius); err != nil {
+			return nil, err
+		}
+		warmUS := time.Since(start).Seconds() * 1e6
+		buildsAfterWarm := sess.Stats().BallIndexBuilds
+
+		// k random coefficient changes, mirrored onto a private copy of
+		// the instance for the cold cross-check.
+		deltas := make([]core.WeightDelta, 0, cse.deltas)
+		var resUp, parUp []mmlp.CoeffUpdate
+		for len(deltas) < cse.deltas {
+			if rng.Intn(2) == 0 {
+				i := rng.Intn(cse.in.NumResources())
+				e := cse.in.Resource(i)[0]
+				deltas = append(deltas, core.WeightDelta{Kind: core.ResourceWeight, Row: i, Agent: e.Agent, Coeff: 0.2 + 2*rng.Float64()})
+				resUp = append(resUp, mmlp.CoeffUpdate{Row: i, Agent: e.Agent, Coeff: deltas[len(deltas)-1].Coeff})
+			} else {
+				k := rng.Intn(cse.in.NumParties())
+				e := cse.in.Party(k)[0]
+				deltas = append(deltas, core.WeightDelta{Kind: core.PartyWeight, Row: k, Agent: e.Agent, Coeff: 0.2 + 2*rng.Float64()})
+				parUp = append(parUp, mmlp.CoeffUpdate{Row: k, Agent: e.Agent, Coeff: deltas[len(deltas)-1].Coeff})
+			}
+		}
+		start = time.Now()
+		if err := sess.UpdateWeights(deltas); err != nil {
+			return nil, err
+		}
+		inc, err := sess.LocalAverage(cse.radius)
+		if err != nil {
+			return nil, err
+		}
+		incMS := time.Since(start).Seconds() * 1e3
+
+		mut, err := cse.in.UpdateCoeffs(resUp, parUp)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := core.LocalAverageOpt(mut, fullGraph(mut), cse.radius, core.AverageOptions{NoDedup: true})
+		if err != nil {
+			return nil, err
+		}
+		agree := true
+		for v := range cold.X {
+			if inc.X[v] != cold.X[v] || inc.Beta[v] != cold.Beta[v] || inc.LocalOmega[v] != cold.LocalOmega[v] {
+				agree = false
+			}
+		}
+		st := sess.Stats()
+		t.AddRow(cse.name, I(cse.radius), I(cse.in.NumAgents()), F(coldMS), F(warmUS),
+			I(cse.deltas), F(incMS), I(st.AgentsResolved), F(coldMS/incMS), B(agree),
+			I(st.BallIndexBuilds-buildsAfterWarm))
 	}
 	return t, nil
 }

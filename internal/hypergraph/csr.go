@@ -1,6 +1,11 @@
 package hypergraph
 
-import "maxminlp/internal/mmlp"
+import (
+	"fmt"
+	"slices"
+
+	"maxminlp/internal/mmlp"
+)
 
 // CSR is the immutable compressed-sparse-row index of an instance's
 // incidence structure: flat []int32 offset/value arrays for the four
@@ -158,6 +163,57 @@ func (c *CSR) PartyAgents(k int) []int32 {
 // PartyCoeffs returns c_kv for v ∈ Vk, parallel to PartyAgents.
 func (c *CSR) PartyCoeffs(k int) []float64 {
 	return c.parCoeff[c.parOff[k]:c.parOff[k+1]]
+}
+
+// CloneCoeffs returns a CSR sharing every topology array (offsets and
+// id/agent arrays) with c but owning fresh copies of the four
+// coefficient arrays. It is the copy-on-write step of a Solver session's
+// weight updates: the clone can be patched in place with
+// SetResourceCoeff/SetPartyCoeff without the mutation being observable
+// through the original (which other holders of the Graph may still
+// read), while ball indexes and adjacency built from the original remain
+// valid for the clone — weight updates never change the topology.
+func (c *CSR) CloneCoeffs() *CSR {
+	out := *c
+	out.agentResCoeff = slices.Clone(c.agentResCoeff)
+	out.agentParCoeff = slices.Clone(c.agentParCoeff)
+	out.resCoeff = slices.Clone(c.resCoeff)
+	out.parCoeff = slices.Clone(c.parCoeff)
+	return &out
+}
+
+// SetResourceCoeff sets a_iv on both sides of the incidence (the
+// resource row and the agent's Iv list). The entry must already exist:
+// weight updates may change coefficients, never supports. Callers must
+// own the coefficient arrays (see CloneCoeffs).
+func (c *CSR) SetResourceCoeff(i, v int, coeff float64) error {
+	p, ok := slices.BinarySearch(c.ResourceAgents(i), int32(v))
+	if !ok {
+		return fmt.Errorf("hypergraph: agent %d is not in the support of resource %d", v, i)
+	}
+	c.resCoeff[int(c.resOff[i])+p] = coeff
+	q, ok := slices.BinarySearch(c.AgentResources(v), int32(i))
+	if !ok {
+		return fmt.Errorf("hypergraph: resource %d missing from agent %d incidence", i, v)
+	}
+	c.agentResCoeff[int(c.agentResOff[v])+q] = coeff
+	return nil
+}
+
+// SetPartyCoeff sets c_kv on both sides of the incidence (the party row
+// and the agent's Kv list). The entry must already exist.
+func (c *CSR) SetPartyCoeff(k, v int, coeff float64) error {
+	p, ok := slices.BinarySearch(c.PartyAgents(k), int32(v))
+	if !ok {
+		return fmt.Errorf("hypergraph: agent %d is not in the support of party %d", v, k)
+	}
+	c.parCoeff[int(c.parOff[k])+p] = coeff
+	q, ok := slices.BinarySearch(c.AgentParties(v), int32(k))
+	if !ok {
+		return fmt.Errorf("hypergraph: party %d missing from agent %d incidence", k, v)
+	}
+	c.agentParCoeff[int(c.agentParOff[v])+q] = coeff
+	return nil
 }
 
 // Nonzeros returns the total number of stored coefficients in A and C.

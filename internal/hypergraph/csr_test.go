@@ -156,3 +156,76 @@ func TestConcurrentBallQueries(t *testing.T) {
 		<-done
 	}
 }
+
+func TestCSRCloneCoeffsAndPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := gen.Random(gen.RandomOptions{
+		Agents: 20, Resources: 16, Parties: 8, MaxVI: 3, MaxVK: 3,
+	}, rng)
+	orig := hypergraph.NewCSR(in)
+	clone := orig.CloneCoeffs()
+
+	// Patch one resource and one party coefficient on the clone.
+	ri := 0
+	rv := int(orig.ResourceAgents(ri)[0])
+	if err := clone.SetResourceCoeff(ri, rv, 42); err != nil {
+		t.Fatal(err)
+	}
+	pk := 0
+	pv := int(orig.PartyAgents(pk)[0])
+	if err := clone.SetPartyCoeff(pk, pv, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sides of each incidence see the new value on the clone.
+	if got := clone.ResourceCoeffs(ri)[0]; got != 42 {
+		t.Errorf("clone resource coeff = %v, want 42", got)
+	}
+	found := false
+	for j, i := range clone.AgentResources(rv) {
+		if int(i) == ri {
+			found = true
+			if got := clone.AgentResourceCoeffs(rv)[j]; got != 42 {
+				t.Errorf("clone agent-side resource coeff = %v, want 42", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("resource missing from agent incidence")
+	}
+	if got := clone.PartyCoeffs(pk)[0]; got != 7 {
+		t.Errorf("clone party coeff = %v, want 7", got)
+	}
+
+	// The original's coefficients are untouched (copy-on-write worked),
+	// and the topology arrays are shared, not copied.
+	if got := orig.ResourceCoeffs(ri)[0]; got == 42 {
+		t.Error("patching the clone mutated the original")
+	}
+	if got := orig.PartyCoeffs(pk)[0]; got == 7 {
+		t.Error("patching the clone mutated the original party row")
+	}
+	// Topology arrays are shared, not copied: the accessor subslices of
+	// original and clone alias the same backing memory.
+	if &orig.ResourceAgents(ri)[0] != &clone.ResourceAgents(ri)[0] ||
+		&orig.PartyAgents(pk)[0] != &clone.PartyAgents(pk)[0] {
+		t.Error("topology arrays were copied by CloneCoeffs")
+	}
+
+	// Patching an entry outside the support fails and changes nothing.
+	outside := -1
+	for v := 0; v < in.NumAgents(); v++ {
+		if in.A(ri, v) == 0 {
+			outside = v
+			break
+		}
+	}
+	if outside >= 0 {
+		if err := clone.SetResourceCoeff(ri, outside, 1); err == nil {
+			t.Error("patch of agent outside the support accepted")
+		}
+	}
+	if err := clone.SetPartyCoeff(pk, -1, 1); err == nil {
+		t.Error("patch of negative agent accepted")
+	}
+}

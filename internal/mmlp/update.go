@@ -1,0 +1,99 @@
+package mmlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoeffUpdate changes one existing coefficient of an instance: the entry
+// (Row, Agent) must already be in the row's support. Weight updates
+// change values, never topology — supports, incidence lists and the
+// communication hypergraph are untouched, which is what lets a Solver
+// session keep its ball indexes across updates.
+type CoeffUpdate struct {
+	Row   int
+	Agent int
+	Coeff float64
+}
+
+// UpdateCoeffs returns a new Instance with the given resource (a_iv) and
+// party (c_kv) coefficients replaced. Topology is shared with the
+// receiver: only the rows actually touched are copied, and the agent-side
+// incidence lists are reused outright, so a k-entry update costs
+// O(k + Σ touched row lengths). Every updated coefficient must name an
+// existing support entry and be positive and finite; the first violation
+// aborts the update with no instance returned.
+func (in *Instance) UpdateCoeffs(res, par []CoeffUpdate) (*Instance, error) {
+	out := &Instance{
+		nAgents:          in.nAgents,
+		resRows:          in.resRows,
+		parRows:          in.parRows,
+		agentRes:         in.agentRes,
+		agentPar:         in.agentPar,
+		hasUnconstrained: in.hasUnconstrained,
+	}
+	var resOwned, parOwned bool
+	for _, u := range res {
+		if u.Row < 0 || u.Row >= len(in.resRows) {
+			return nil, fmt.Errorf("mmlp: resource %d out of range [0,%d)", u.Row, len(in.resRows))
+		}
+		if !(u.Coeff > 0) || math.IsInf(u.Coeff, 0) {
+			return nil, fmt.Errorf("mmlp: resource %d agent %d: coefficient %v must be positive and finite", u.Row, u.Agent, u.Coeff)
+		}
+		if !resOwned {
+			out.resRows = copyRowSlice(in.resRows)
+			resOwned = true
+		}
+		if !patchRow(out.resRows, u) {
+			return nil, fmt.Errorf("mmlp: agent %d is not in the support of resource %d", u.Agent, u.Row)
+		}
+	}
+	for _, u := range par {
+		if u.Row < 0 || u.Row >= len(in.parRows) {
+			return nil, fmt.Errorf("mmlp: party %d out of range [0,%d)", u.Row, len(in.parRows))
+		}
+		if !(u.Coeff > 0) || math.IsInf(u.Coeff, 0) {
+			return nil, fmt.Errorf("mmlp: party %d agent %d: coefficient %v must be positive and finite", u.Row, u.Agent, u.Coeff)
+		}
+		if !parOwned {
+			out.parRows = copyRowSlice(in.parRows)
+			parOwned = true
+		}
+		if !patchRow(out.parRows, u) {
+			return nil, fmt.Errorf("mmlp: agent %d is not in the support of party %d", u.Agent, u.Row)
+		}
+	}
+	return out, nil
+}
+
+// copyRowSlice copies the outer slice only; rows are copied lazily by
+// patchRow when first touched (marked by aliasing against the original).
+func copyRowSlice(rows [][]Entry) [][]Entry {
+	out := make([][]Entry, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// patchRow replaces the coefficient of (Row, Agent), copying the row the
+// first time it is touched so the original instance's rows stay intact.
+// Reports whether the agent was found in the row's support.
+func patchRow(rows [][]Entry, u CoeffUpdate) bool {
+	row := rows[u.Row]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row[mid].Agent == u.Agent:
+			fresh := make([]Entry, len(row))
+			copy(fresh, row)
+			fresh[mid].Coeff = u.Coeff
+			rows[u.Row] = fresh
+			return true
+		case row[mid].Agent < u.Agent:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}

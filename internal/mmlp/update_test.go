@@ -1,0 +1,103 @@
+package mmlp
+
+import (
+	"math"
+	"testing"
+)
+
+func updateFixture(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AddResource(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 1, Coeff: 2})
+	b.AddResource(Entry{Agent: 1, Coeff: 1}, Entry{Agent: 2, Coeff: 1}, Entry{Agent: 3, Coeff: 3})
+	b.AddParty(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 2, Coeff: 1})
+	b.AddParty(Entry{Agent: 3, Coeff: 2})
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestUpdateCoeffs(t *testing.T) {
+	in := updateFixture(t)
+	out, err := in.UpdateCoeffs(
+		[]CoeffUpdate{{Row: 0, Agent: 1, Coeff: 5}, {Row: 1, Agent: 3, Coeff: 0.5}},
+		[]CoeffUpdate{{Row: 1, Agent: 3, Coeff: 7}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New values present, untouched values intact.
+	if got := out.A(0, 1); got != 5 {
+		t.Errorf("A(0,1) = %v, want 5", got)
+	}
+	if got := out.A(1, 3); got != 0.5 {
+		t.Errorf("A(1,3) = %v, want 0.5", got)
+	}
+	if got := out.C(1, 3); got != 7 {
+		t.Errorf("C(1,3) = %v, want 7", got)
+	}
+	if got := out.A(0, 0); got != 1 {
+		t.Errorf("A(0,0) = %v, want 1", got)
+	}
+	// The original instance is untouched.
+	if got := in.A(0, 1); got != 2 {
+		t.Errorf("original A(0,1) = %v, want 2", got)
+	}
+	if got := in.C(1, 3); got != 2 {
+		t.Errorf("original C(1,3) = %v, want 2", got)
+	}
+	// Topology is shared, not copied: the incidence lists are the same
+	// slices, and untouched rows alias the original.
+	if &in.agentRes[0][0] != &out.agentRes[0][0] {
+		t.Error("agent incidence lists were copied")
+	}
+	if &in.parRows[0][0] != &out.parRows[0][0] {
+		t.Error("untouched party row was copied")
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("updated instance invalid: %v", err)
+	}
+}
+
+func TestUpdateCoeffsSameRowTwice(t *testing.T) {
+	in := updateFixture(t)
+	out, err := in.UpdateCoeffs([]CoeffUpdate{
+		{Row: 1, Agent: 1, Coeff: 9},
+		{Row: 1, Agent: 2, Coeff: 8},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.A(1, 1) != 9 || out.A(1, 2) != 8 || out.A(1, 3) != 3 {
+		t.Errorf("row 1 = (%v,%v,%v), want (9,8,3)", out.A(1, 1), out.A(1, 2), out.A(1, 3))
+	}
+}
+
+func TestUpdateCoeffsErrors(t *testing.T) {
+	in := updateFixture(t)
+	cases := []struct {
+		name     string
+		res, par []CoeffUpdate
+	}{
+		{"resource row out of range", []CoeffUpdate{{Row: 2, Agent: 0, Coeff: 1}}, nil},
+		{"negative resource row", []CoeffUpdate{{Row: -1, Agent: 0, Coeff: 1}}, nil},
+		{"agent not in resource support", []CoeffUpdate{{Row: 0, Agent: 3, Coeff: 1}}, nil},
+		{"party row out of range", nil, []CoeffUpdate{{Row: 5, Agent: 0, Coeff: 1}}},
+		{"agent not in party support", nil, []CoeffUpdate{{Row: 1, Agent: 0, Coeff: 1}}},
+		{"zero coefficient", []CoeffUpdate{{Row: 0, Agent: 0, Coeff: 0}}, nil},
+		{"negative coefficient", []CoeffUpdate{{Row: 0, Agent: 0, Coeff: -1}}, nil},
+		{"infinite coefficient", []CoeffUpdate{{Row: 0, Agent: 0, Coeff: math.Inf(1)}}, nil},
+		{"NaN coefficient", nil, []CoeffUpdate{{Row: 0, Agent: 0, Coeff: math.NaN()}}},
+	}
+	for _, cse := range cases {
+		if _, err := in.UpdateCoeffs(cse.res, cse.par); err == nil {
+			t.Errorf("%s: accepted", cse.name)
+		}
+	}
+	// The receiver must be intact after any rejected update.
+	if in.A(0, 0) != 1 || in.C(0, 0) != 1 {
+		t.Error("rejected update mutated the receiver")
+	}
+}

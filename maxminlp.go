@@ -20,6 +20,11 @@
 //   - the safe local 1-round ΔVI-approximation (Safe),
 //   - the Theorem-3 local averaging algorithm with its per-instance
 //     approximation certificate (LocalAverage),
+//   - a long-lived solving session that amortises the CSR index, ball
+//     indexes, LP workspaces and the isomorphic-ball solve cache across
+//     queries, and re-solves incrementally after weight updates
+//     (NewSolver, Solver.UpdateWeights); cmd/mmlpd serves sessions over
+//     HTTP,
 //   - a synchronous message-passing simulator with sequential,
 //     goroutine-per-agent and sharded worker-pool engines, all
 //     bit-identical (NewNetwork, SafeProtocol, AverageProtocol,
@@ -85,6 +90,25 @@ type (
 	// across LocalAverageOpt calls (keys are content-based, so it is
 	// valid across radii and instances).
 	SolveCache = core.SolveCache
+
+	// Solver is a long-lived solving session over one instance: it owns
+	// the CSR index, retains ball indexes per radius, shares one solve
+	// cache across queries, and supports incremental re-solve after
+	// weight updates. Methods are bit-identical to the free functions
+	// and safe for concurrent use.
+	Solver = core.Solver
+	// SolverStats counts the work a session has performed (structure
+	// builds, full/incremental/warm solves, cache traffic).
+	SolverStats = core.SolverStats
+	// WeightDelta is one coefficient change applied by
+	// Solver.UpdateWeights; the entry must already exist (weight updates
+	// never change topology).
+	WeightDelta = core.WeightDelta
+	// WeightKind selects the coefficient family of a WeightDelta.
+	WeightKind = core.WeightKind
+	// CoeffUpdate is the instance-level form of a coefficient change
+	// (Instance.UpdateCoeffs).
+	CoeffUpdate = mmlp.CoeffUpdate
 
 	// Network runs distributed protocols over an instance.
 	Network = dist.Network
@@ -215,6 +239,32 @@ func LocalAverageOpt(in *Instance, g *Graph, radius int, opt AverageOptions) (*A
 // NewSolveCache returns an empty isomorphic-ball LP cache for
 // LocalAverageOpt / AdaptiveAverageOpt to share across calls.
 func NewSolveCache() *SolveCache { return core.NewSolveCache() }
+
+// Weight-delta kinds for Solver.UpdateWeights.
+const (
+	// ResourceWeight updates a_iv of resource Row and agent Agent.
+	ResourceWeight = core.ResourceWeight
+	// PartyWeight updates c_kv of party Row and agent Agent.
+	PartyWeight = core.PartyWeight
+)
+
+// NewSolver builds a solving session from an instance: the communication
+// hypergraph and CSR index are constructed once and every later query —
+// Safe, LocalAverage, Adaptive, Certificate — amortises them, with
+// results bit-identical to the free functions. UpdateWeights patches
+// coefficients in place and invalidates only the ball-local LPs that can
+// see them; the next query re-solves just those.
+func NewSolver(in *Instance, opt GraphOptions) *Solver { return core.NewSolver(in, opt) }
+
+// NewSolverFromGraph builds a session over a prebuilt communication
+// hypergraph (reusing its CSR index when it has one).
+func NewSolverFromGraph(in *Instance, g *Graph) *Solver { return core.NewSolverFromGraph(in, g) }
+
+// NewSessionNetwork binds a Solver session for distributed execution:
+// the engines reuse the session's retained ball indexes and shared solve
+// cache for their per-node output computations, with outputs and traces
+// bit-identical to a plain NewNetwork run.
+func NewSessionNetwork(s *Solver) (*Network, error) { return dist.NewSessionNetwork(s) }
 
 // AdaptiveResult is the outcome of AdaptiveAverage.
 type AdaptiveResult = core.AdaptiveResult

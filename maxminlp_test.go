@@ -185,3 +185,89 @@ func TestPublicAPICSR(t *testing.T) {
 		t.Fatal("sharded trace accounting diverged")
 	}
 }
+
+// TestPublicAPISession exercises the Solver session surface end to end:
+// construction, every query method against its free function, a weight
+// update with incremental re-solve, and the session-backed distributed
+// network.
+func TestPublicAPISession(t *testing.T) {
+	in, _ := maxminlp.Torus([]int{8, 8}, maxminlp.LatticeOptions{})
+	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	ref, err := maxminlp.LocalAverage(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.X {
+		if got.X[v] != ref.X[v] {
+			t.Fatalf("session X[%d] = %v, want %v", v, got.X[v], ref.X[v])
+		}
+	}
+	pb, rb, err := sess.Certificate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb != ref.PartyBound || rb != ref.ResourceBound {
+		t.Fatalf("certificate (%v,%v) != (%v,%v)", pb, rb, ref.PartyBound, ref.ResourceBound)
+	}
+	safe := sess.Safe()
+	for v, want := range maxminlp.Safe(in) {
+		if safe[v] != want {
+			t.Fatalf("session Safe[%d] = %v, want %v", v, safe[v], want)
+		}
+	}
+
+	// Weight update: incremental result must equal a cold solve of the
+	// mutated instance.
+	deltas := []maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 0, Agent: in.Resource(0)[0].Agent, Coeff: 3},
+		{Kind: maxminlp.PartyWeight, Row: 2, Agent: in.Party(2)[0].Agent, Coeff: 0.5},
+	}
+	if err := sess.UpdateWeights(deltas); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sess.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := in.UpdateCoeffs(
+		[]maxminlp.CoeffUpdate{{Row: 0, Agent: deltas[0].Agent, Coeff: 3}},
+		[]maxminlp.CoeffUpdate{{Row: 2, Agent: deltas[1].Agent, Coeff: 0.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := maxminlp.LocalAverage(mut, maxminlp.NewGraph(mut, maxminlp.GraphOptions{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range cold.X {
+		if inc.X[v] != cold.X[v] {
+			t.Fatalf("incremental X[%d] = %v, want %v", v, inc.X[v], cold.X[v])
+		}
+	}
+	if sess.Stats().IncrementalSolves != 1 {
+		t.Errorf("stats = %+v, want one incremental solve", sess.Stats())
+	}
+
+	// Session-backed distributed run agrees with the session's own
+	// averaging output.
+	nw, err := maxminlp.NewSessionNetwork(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := nw.RunSequential(maxminlp.AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range tr.X {
+		if tr.X[v] != inc.X[v] {
+			t.Fatalf("distributed X[%d] = %v, want %v", v, tr.X[v], inc.X[v])
+		}
+	}
+}
