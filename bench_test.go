@@ -522,3 +522,64 @@ func BenchmarkSessionNetwork(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE15ChurnProfile regenerates the EXPERIMENTS.md churn table.
+func BenchmarkE15ChurnProfile(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkSessionTopology measures live topology churn on the 16×16
+// torus at R=2 (the BenchmarkSession workload): each op toggles one
+// support entry — an agent leaving, then rejoining, resource 0. cold
+// pays a full rebuild per mutation (fresh session: graph, CSR, ball
+// index, every local LP); incremental patches the warm session and
+// re-solves only the invalidated balls. rebuilds/op must stay 0 on the
+// incremental path and invalidated-balls/op is the patch footprint —
+// the acceptance numbers of the structural-update layer, recorded in
+// BENCH_PR5.json.
+func BenchmarkSessionTopology(b *testing.B) {
+	in, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	const radius = 2
+	agent := in.Resource(0)[0].Agent
+	toggle := func(i int) []maxminlp.TopoUpdate {
+		if i%2 == 0 {
+			return []maxminlp.TopoUpdate{maxminlp.RemoveResourceEdge(0, agent)}
+		}
+		return []maxminlp.TopoUpdate{maxminlp.AddResourceEdge(0, agent, 1)}
+	}
+	b.Run("cold", func(b *testing.B) {
+		cur := in
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			cur, _, err = cur.ApplyTopo(toggle(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := maxminlp.NewSolver(cur, maxminlp.GraphOptions{})
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+		if _, err := sess.LocalAverage(radius); err != nil {
+			b.Fatal(err)
+		}
+		warm := sess.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.UpdateTopology(toggle(i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sess.Stats()
+		b.ReportMetric(float64(st.CSRBuilds+st.BallIndexBuilds-warm.CSRBuilds-warm.BallIndexBuilds)/float64(b.N), "rebuilds/op")
+		b.ReportMetric(float64(st.BallsPatched-warm.BallsPatched)/float64(b.N), "invalidated-balls/op")
+		b.ReportMetric(float64(st.AgentsResolved-warm.AgentsResolved)/float64(b.N), "resolved/op")
+	})
+}

@@ -51,6 +51,21 @@ type managed struct {
 // ball the whole vertex set — O(n²) memory a single request could pin.
 const maxServedRadius = 32
 
+// maxPatchEntries caps the entries of one weight or topology patch —
+// the same bound for both endpoints, so a single request cannot queue
+// unbounded validation work behind an instance's linearisation lock.
+const maxPatchEntries = 4096
+
+// maxServedAgents caps the agent count an instance may reach — at load
+// time (every source, not just the lattice generators) and through
+// /topology addAgent growth. maxServedRows is the matching cap on the
+// total resource+party row count, which /topology addEdge ops can also
+// grow (an addEdge at the current row count creates the row).
+const (
+	maxServedAgents = 1 << 22
+	maxServedRows   = 1 << 22
+)
+
 func newServer(logf func(string, ...any)) *server {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -73,6 +88,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/instances/{id}/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/instances/{id}/weights", s.handleWeights)
+	mux.HandleFunc("POST /v1/instances/{id}/topology", s.handleTopology)
 	return mux
 }
 
@@ -147,6 +163,9 @@ func (req *loadRequest) build() (in *maxminlp.Instance, err error) {
 		if r.Agents <= 0 || r.Resources <= 0 || r.Parties < 0 {
 			return nil, fmt.Errorf("random needs agents > 0, resources > 0, parties ≥ 0")
 		}
+		if r.Agents > maxServedAgents || r.Resources > maxServedRows || r.Parties > maxServedRows-r.Resources {
+			return nil, fmt.Errorf("random instance too large to serve")
+		}
 		if r.MaxVI < 1 || r.MaxVK < 1 {
 			return nil, fmt.Errorf("random needs maxVI ≥ 1 and maxVK ≥ 1")
 		}
@@ -172,7 +191,7 @@ func checkDims(dims []int) error {
 		if d < 1 {
 			return fmt.Errorf("dimension %d < 1", d)
 		}
-		if cells > 1<<22/d {
+		if cells > maxServedAgents/d {
 			return fmt.Errorf("lattice too large to serve")
 		}
 		cells *= d
@@ -201,6 +220,13 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	if in.NumAgents() == 0 {
 		httpError(w, http.StatusBadRequest, "instance has no agents")
+		return
+	}
+	// The generator-specific checks above bound their own output; this
+	// catches every source (inline JSON in particular).
+	if in.NumAgents() > maxServedAgents || in.NumResources()+in.NumParties() > maxServedRows {
+		httpError(w, http.StatusRequestEntityTooLarge, "instance too large to serve (%d agents, %d rows)",
+			in.NumAgents(), in.NumResources()+in.NumParties())
 		return
 	}
 	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{
@@ -466,6 +492,10 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty weight patch")
 		return
 	}
+	if len(deltas) > maxPatchEntries {
+		httpError(w, http.StatusRequestEntityTooLarge, "patch has %d entries, cap is %d", len(deltas), maxPatchEntries)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
@@ -477,6 +507,138 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		Applied: len(deltas),
 		Micros:  time.Since(start).Microseconds(),
 		Session: m.sess.Stats(),
+	})
+}
+
+// topologyRequest patches the structure of the instance behind a
+// session: agents, resources, parties and support entries joining or
+// leaving. Ops apply in order and the whole batch is atomic — the first
+// invalid op rejects it with no state change. It shares the entry cap
+// and the per-instance linearisation of weight patches.
+type topologyRequest struct {
+	Ops []topoOpSpec `json:"ops"`
+}
+
+// topoOpSpec is one structural op. Op is "addAgent", "removeAgent",
+// "addEdge" or "removeEdge"; Kind selects "resource" (default) or
+// "party" for edge ops. An addEdge whose row equals the current row
+// count creates the row.
+type topoOpSpec struct {
+	Op    string  `json:"op"`
+	Kind  string  `json:"kind,omitempty"`
+	Row   int     `json:"row,omitempty"`
+	Agent int     `json:"agent,omitempty"`
+	Coeff float64 `json:"coeff,omitempty"`
+}
+
+func (spec topoOpSpec) update() (maxminlp.TopoUpdate, error) {
+	party := false
+	switch spec.Kind {
+	case "", "resource":
+	case "party":
+		party = true
+	default:
+		return maxminlp.TopoUpdate{}, fmt.Errorf("unknown kind %q (want resource or party)", spec.Kind)
+	}
+	switch spec.Op {
+	case "addAgent":
+		return maxminlp.AddAgent(), nil
+	case "removeAgent":
+		return maxminlp.RemoveAgent(spec.Agent), nil
+	case "addEdge":
+		if party {
+			return maxminlp.AddPartyEdge(spec.Row, spec.Agent, spec.Coeff), nil
+		}
+		return maxminlp.AddResourceEdge(spec.Row, spec.Agent, spec.Coeff), nil
+	case "removeEdge":
+		if party {
+			return maxminlp.RemovePartyEdge(spec.Row, spec.Agent), nil
+		}
+		return maxminlp.RemoveResourceEdge(spec.Row, spec.Agent), nil
+	default:
+		return maxminlp.TopoUpdate{}, fmt.Errorf("unknown op %q (want addAgent, removeAgent, addEdge or removeEdge)", spec.Op)
+	}
+}
+
+type topologyResponse struct {
+	Applied       int                  `json:"applied"`
+	Agents        int                  `json:"agents"`
+	AddedAgents   []int                `json:"addedAgents,omitempty"`
+	RemovedAgents []int                `json:"removedAgents,omitempty"`
+	Micros        int64                `json:"micros"`
+	Session       maxminlp.SolverStats `json:"session"`
+}
+
+func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	var req topologyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, "empty topology patch")
+		return
+	}
+	if len(req.Ops) > maxPatchEntries {
+		httpError(w, http.StatusRequestEntityTooLarge, "patch has %d ops, cap is %d", len(req.Ops), maxPatchEntries)
+		return
+	}
+	ups := make([]maxminlp.TopoUpdate, len(req.Ops))
+	adds := 0
+	for i, spec := range req.Ops {
+		up, err := spec.update()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "op %d: %v", i, err)
+			return
+		}
+		if up.Op == maxminlp.TopoAddAgent {
+			adds++
+		}
+		ups[i] = up
+	}
+	// The same linearisation lock as solves and weight patches: the
+	// batch applies atomically between any two solve batches.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	in := m.sess.Instance()
+	if n := in.NumAgents(); n+adds > maxServedAgents {
+		httpError(w, http.StatusRequestEntityTooLarge, "instance would grow to %d agents, cap is %d", n+adds, maxServedAgents)
+		return
+	}
+	// Row growth: only an addEdge whose row is at or beyond the current
+	// count of its relation can create rows, so counting those bounds
+	// the batch's row growth from above.
+	rowAdds := 0
+	for _, up := range ups {
+		if up.Op == maxminlp.TopoAddEdge &&
+			((up.Party && up.Row >= in.NumParties()) || (!up.Party && up.Row >= in.NumResources())) {
+			rowAdds++
+		}
+	}
+	if rows := in.NumResources() + in.NumParties(); rows+rowAdds > maxServedRows {
+		httpError(w, http.StatusRequestEntityTooLarge, "instance would grow to %d rows, cap is %d", rows+rowAdds, maxServedRows)
+		return
+	}
+	start := time.Now()
+	diff, err := m.sess.UpdateTopology(ups)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logf("instance %s topology: %d ops, %d agents (+%d/-%d)",
+		m.ID, len(ups), diff.NumAgents, len(diff.AddedAgents), len(diff.RemovedAgents))
+	writeJSON(w, http.StatusOK, topologyResponse{
+		Applied:       len(ups),
+		Agents:        diff.NumAgents,
+		AddedAgents:   diff.AddedAgents,
+		RemovedAgents: diff.RemovedAgents,
+		Micros:        time.Since(start).Microseconds(),
+		Session:       m.sess.Stats(),
 	})
 }
 

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"maxminlp"
+)
+
+// TestDaemonTopology drives the structural-churn serving path: an
+// atomic /topology patch (join + leave in one batch), an incremental
+// re-solve served bit-identical to the library's cold computation on
+// the mutated instance, churn counters in the session stats, and zero
+// structure rebuilds in steady state.
+func TestDaemonTopology(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Name:  "churn",
+		Torus: &latticeSpec{Dims: []int{8, 8}},
+	}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+
+	// Warm the session at R=1.
+	var results []solveResult
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "average", Radius: 1}},
+	}, http.StatusOK, &results)
+	var warm instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &warm)
+
+	// One atomic churn batch: agent 64 joins (resource 0, party 5),
+	// agent 9 leaves, and agent 3 leaves resource 2.
+	ops := []topoOpSpec{
+		{Op: "addAgent"},
+		{Op: "addEdge", Row: 0, Agent: 64, Coeff: 1.5},
+		{Op: "addEdge", Kind: "party", Row: 5, Agent: 64, Coeff: 0.5},
+		{Op: "removeAgent", Agent: 9},
+		{Op: "removeEdge", Row: 2, Agent: 3},
+	}
+	var tresp topologyResponse
+	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: ops}, http.StatusOK, &tresp)
+	if tresp.Applied != 5 || tresp.Agents != 65 {
+		t.Fatalf("topology response %+v, want applied=5 agents=65", tresp)
+	}
+	if len(tresp.AddedAgents) != 1 || tresp.AddedAgents[0] != 64 ||
+		len(tresp.RemovedAgents) != 1 || tresp.RemovedAgents[0] != 9 {
+		t.Fatalf("added/removed = %v/%v", tresp.AddedAgents, tresp.RemovedAgents)
+	}
+	if tresp.Session.TopoUpdates != 1 || tresp.Session.TopoOpsApplied != 5 ||
+		tresp.Session.AgentsAdded != 1 || tresp.Session.AgentsRemoved != 1 {
+		t.Fatalf("churn counters missing from stats: %+v", tresp.Session)
+	}
+
+	// The incremental re-solve must serve the mutated instance bit-exactly.
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		IncludeX: true,
+		Queries:  []solveQuery{{Kind: "average", Radius: 1}},
+	}, http.StatusOK, &results)
+	in, _ := maxminlp.Torus([]int{8, 8}, maxminlp.LatticeOptions{})
+	mirror, _, err := in.ApplyTopo([]maxminlp.TopoUpdate{
+		maxminlp.AddAgent(),
+		maxminlp.AddResourceEdge(0, 64, 1.5),
+		maxminlp.AddPartyEdge(5, 64, 0.5),
+		maxminlp.RemoveAgent(9),
+		maxminlp.RemoveResourceEdge(2, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := maxminlp.LocalAverage(mirror, maxminlp.NewGraph(mirror, maxminlp.GraphOptions{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].X) != 65 {
+		t.Fatalf("served %d activities, want 65", len(results[0].X))
+	}
+	for v := range ref.X {
+		if results[0].X[v] != ref.X[v] {
+			t.Fatalf("post-churn X[%d] = %v, want %v", v, results[0].X[v], ref.X[v])
+		}
+	}
+
+	// Steady state: the churn patched structures instead of rebuilding.
+	var final instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &final)
+	if final.Session.CSRBuilds != warm.Session.CSRBuilds ||
+		final.Session.BallIndexBuilds != warm.Session.BallIndexBuilds {
+		t.Errorf("churn rebuilt structures: %+v -> %+v", warm.Session, final.Session)
+	}
+	if final.Session.BallsPatched == 0 {
+		t.Error("no balls patched recorded in stats")
+	}
+	if final.Agents != 65 {
+		t.Errorf("instance description reports %d agents, want 65", final.Agents)
+	}
+}
+
+// TestDaemonTopologyErrors covers the validation and cap paths of the
+// /topology endpoint: atomic rejection, unknown ops, dead-entry
+// references, oversized patches and the agent-growth cap.
+func TestDaemonTopologyErrors(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{4, 4}}}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+
+	var errResp map[string]string
+	do(t, ts, "POST", "/v1/instances/nope/topology", topologyRequest{Ops: []topoOpSpec{{Op: "addAgent"}}}, http.StatusNotFound, &errResp)
+	do(t, ts, "POST", base+"/topology", topologyRequest{}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: []topoOpSpec{{Op: "merge"}}}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: []topoOpSpec{{Op: "addEdge", Kind: "edge", Row: 0, Agent: 1, Coeff: 1}}}, http.StatusBadRequest, &errResp)
+	// Batch with a second invalid op: atomic — nothing applies.
+	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: []topoOpSpec{
+		{Op: "addAgent"},
+		{Op: "removeEdge", Row: 99, Agent: 0},
+	}}, http.StatusBadRequest, &errResp)
+	var after instanceInfo
+	do(t, ts, "GET", base, nil, http.StatusOK, &after)
+	if after.Agents != 16 || after.Session.TopoUpdates != 0 {
+		t.Fatalf("rejected batch left state: %+v", after)
+	}
+	// Oversized patches are rejected on both patch endpoints.
+	big := make([]topoOpSpec, maxPatchEntries+1)
+	for i := range big {
+		big[i] = topoOpSpec{Op: "addAgent"}
+	}
+	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: big}, http.StatusRequestEntityTooLarge, &errResp)
+	bigW := weightsRequest{Resources: make([]coeffPatch, maxPatchEntries+1)}
+	for i := range bigW.Resources {
+		bigW.Resources[i] = coeffPatch{Row: 0, Agent: 0, Coeff: 1}
+	}
+	do(t, ts, "POST", base+"/weights", bigW, http.StatusRequestEntityTooLarge, &errResp)
+	// The agent cap holds for every load source, not just lattices.
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Random: &randomSpec{Agents: maxServedAgents + 1, Resources: 1, Parties: 0, MaxVI: 1, MaxVK: 1},
+	}, http.StatusBadRequest, &errResp)
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Random: &randomSpec{Agents: 10, Resources: maxServedRows + 1, Parties: 0, MaxVI: 1, MaxVK: 1},
+	}, http.StatusBadRequest, &errResp)
+}
+
+// TestDaemonChurnHammer is the serving-layer race hammer: concurrent
+// solve, weight-patch and topology-patch clients against one instance
+// (run under -race in CI). The patch clients operate on disjoint rows,
+// so their op sequences commute: every state the server can pass
+// through is a combination of per-client prefixes, and every solve
+// response must match one of them bit-for-bit — the linearisation
+// property. The final state must equal the library's cold solve of all
+// ops applied.
+func TestDaemonChurnHammer(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{6, 6}}}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+	in, _ := maxminlp.Torus([]int{6, 6}, maxminlp.LatticeOptions{})
+
+	// Client op scripts. Topology clients toggle one private edge
+	// (remove, re-add with a new coefficient, …); the weight client
+	// re-weights one private entry. All rows are distinct, so any
+	// interleaving of whole ops yields a state described by the three
+	// prefix lengths alone.
+	const iters = 4
+	topoOps := func(row int) []topoOpSpec {
+		agent := in.Resource(row)[0].Agent
+		ops := make([]topoOpSpec, iters)
+		for i := range ops {
+			if i%2 == 0 {
+				ops[i] = topoOpSpec{Op: "removeEdge", Row: row, Agent: agent}
+			} else {
+				ops[i] = topoOpSpec{Op: "addEdge", Row: row, Agent: agent, Coeff: 1.5 + float64(i)}
+			}
+		}
+		return ops
+	}
+	scripts := [][]topoOpSpec{topoOps(2), topoOps(17)}
+	weightCoeffs := make([]float64, iters)
+	weightAgent := in.Resource(30)[0].Agent
+	for i := range weightCoeffs {
+		weightCoeffs[i] = 0.5 + float64(i)/4
+	}
+
+	type captured struct{ x []float64 }
+	results := make(chan captured, 64)
+	done := make(chan error, 5)
+	for c := 0; c < 2; c++ {
+		go func(script []topoOpSpec) {
+			for _, op := range script {
+				if err := post(ts, base+"/topology", topologyRequest{Ops: []topoOpSpec{op}}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(scripts[c])
+	}
+	go func() {
+		for _, coeff := range weightCoeffs {
+			if err := post(ts, base+"/weights", weightsRequest{
+				Resources: []coeffPatch{{Row: 30, Agent: weightAgent, Coeff: coeff}},
+			}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for c := 0; c < 2; c++ {
+		go func() {
+			for iter := 0; iter < 5; iter++ {
+				var out []solveResult
+				if err := doJSON(ts, base+"/solve", solveRequest{
+					IncludeX: true,
+					Queries:  []solveQuery{{Kind: "average", Radius: 1}},
+				}, &out); err != nil {
+					done <- err
+					return
+				}
+				results <- captured{x: out[0].X}
+			}
+			done <- nil
+		}()
+	}
+	for c := 0; c < 5; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(results)
+
+	// Enumerate reachable states lazily: state (a, b, w) = clients'
+	// prefix lengths; cold-solve each on demand and match captures.
+	type key [3]int
+	refs := make(map[key][]float64)
+	coldX := func(k key) []float64 {
+		if x, ok := refs[k]; ok {
+			return x
+		}
+		var ups []maxminlp.TopoUpdate
+		for ci, pre := range []int{k[0], k[1]} {
+			for _, op := range scripts[ci][:pre] {
+				up, err := op.update()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ups = append(ups, up)
+			}
+		}
+		state, _, err := in.ApplyTopo(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k[2] > 0 {
+			state, err = state.UpdateCoeffs([]maxminlp.CoeffUpdate{
+				{Row: 30, Agent: weightAgent, Coeff: weightCoeffs[k[2]-1]},
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref, err := maxminlp.LocalAverage(state, maxminlp.NewGraph(state, maxminlp.GraphOptions{}), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[k] = ref.X
+		return ref.X
+	}
+	sameX := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	ci := 0
+	for cap := range results {
+		ci++
+		matched := false
+	search:
+		for a := 0; a <= iters; a++ {
+			for b := 0; b <= iters; b++ {
+				for w := 0; w <= iters; w++ {
+					if sameX(cap.x, coldX(key{a, b, w})) {
+						matched = true
+						break search
+					}
+				}
+			}
+		}
+		if !matched {
+			t.Fatalf("solve response %d matches no linearised state", ci)
+		}
+	}
+
+	// Final state: everything applied.
+	var out []solveResult
+	if err := doJSON(ts, base+"/solve", solveRequest{
+		IncludeX: true,
+		Queries:  []solveQuery{{Kind: "average", Radius: 1}},
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !sameX(out[0].X, coldX(key{iters, iters, iters})) {
+		t.Fatal("final served state does not match all ops applied")
+	}
+}
+
+// doJSON posts a body and decodes a 2xx JSON response into out.
+func doJSON(ts *httptest.Server, path string, body, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, msg.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -287,6 +287,13 @@ func NewCertScratch(csr *hypergraph.CSR) *CertScratch {
 func (scr *CertScratch) resourceRatios(csr *hypergraph.CSR, bi *hypergraph.BallIndex) (resourceBound float64) {
 	resourceBound = 1
 	for i := 0; i < csr.NumResources(); i++ {
+		if csr.ResourceDegree(i) == 0 {
+			// Dead resource (its whole support left through topology
+			// updates): it constrains nothing and no live agent reads its
+			// ratio.
+			scr.ratios[i] = 0
+			continue
+		}
 		if scr.epoch == math.MaxInt32 {
 			for j := range scr.mark {
 				scr.mark[j] = -1
@@ -339,6 +346,10 @@ func partyBoundFlat(csr *hypergraph.CSR, bi *hypergraph.BallIndex) float64 {
 	bound := 1.0
 	for k := 0; k < csr.NumParties(); k++ {
 		members := csr.PartyAgents(k)
+		if len(members) == 0 {
+			// Dead party (see ApplyTopo): demands nothing, bounds nothing.
+			continue
+		}
 		mk, Mk := 0, 0
 		first := int(members[0])
 		for _, w := range bi.Ball(first) {

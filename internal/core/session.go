@@ -20,18 +20,23 @@ import (
 // functions pay. Safe, LocalAverage, Adaptive and Certificate return
 // results bit-identical to the corresponding free functions.
 //
-// On top of the amortisation, the session supports incremental re-solve:
-// UpdateWeights changes coefficients (never topology) and invalidates
-// only the per-agent local LPs whose radius-R balls can see a touched
-// row; the next LocalAverage call re-solves just those agents and
-// replays the combination (10) for the affected coordinates, with
-// results bit-identical to a cold solve of the mutated instance.
+// On top of the amortisation, the session supports incremental re-solve
+// along both update axes. UpdateWeights changes coefficients (never
+// topology) and invalidates only the per-agent local LPs whose radius-R
+// balls can see a touched row; the next LocalAverage call re-solves just
+// those agents and replays the combination (10) for the affected
+// coordinates. UpdateTopology changes structure — agents, resources,
+// parties and support entries joining or leaving — by patching the CSR,
+// graph and retained ball indexes in place of rebuilding them, and
+// invalidates exactly the union of balls around the touched vertices.
+// Both are bit-identical to a cold solve of the mutated instance.
 //
 // All methods are safe for concurrent use: queries and updates serialise
 // on one mutex (each query may still fan its LP solves across Workers
 // goroutines internally). The ball-structure quantities — ball indexes,
 // certificates, β weights — survive weight updates unchanged, because
-// weight updates cannot change the communication hypergraph.
+// weight updates cannot change the communication hypergraph; topology
+// updates recompute them from the patched structures.
 type Solver struct {
 	mu sync.Mutex
 
@@ -76,6 +81,16 @@ type SolverStats struct {
 	// individual coefficient changes.
 	WeightUpdates int
 	DeltasApplied int
+	// TopoUpdates counts UpdateTopology calls, TopoOpsApplied the
+	// individual structural ops, AgentsAdded/AgentsRemoved the agents
+	// that joined and left, and BallsPatched the per-radius balls the
+	// patches recomputed (the structural invalidation footprint; every
+	// other ball was carried over untouched).
+	TopoUpdates    int
+	TopoOpsApplied int
+	AgentsAdded    int
+	AgentsRemoved  int
+	BallsPatched   int
 	// CacheEntries and CacheHits snapshot the shared solve cache.
 	CacheEntries int
 	CacheHits    int
@@ -98,6 +113,17 @@ type radiusState struct {
 
 	dirty  []bool
 	nDirty int
+
+	// topoDirty marks that a structural update changed the ball
+	// structure: β and the certificate bounds were recomputed, and the
+	// next solve must refresh BallSize and the full combination (10)
+	// instead of only the coordinates the dirty balls cover.
+	topoDirty bool
+	// pendingAffected accumulates, across structural updates, the agents
+	// whose running sums must be replayed because a (possibly former)
+	// member of their ball changed — including members that left, which
+	// the next solve could not discover from the patched index alone.
+	pendingAffected []int32
 }
 
 // WeightKind selects which coefficient family a WeightDelta touches.
@@ -168,7 +194,7 @@ func (s *Solver) SetWorkers(w int) {
 }
 
 // Instance returns the current instance — the constructor's instance
-// with every applied weight update folded in.
+// with every applied weight and topology update folded in.
 func (s *Solver) Instance() *mmlp.Instance {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -176,8 +202,23 @@ func (s *Solver) Instance() *mmlp.Instance {
 }
 
 // Graph returns the communication hypergraph the session solves over.
-// Weight updates never change it.
-func (s *Solver) Graph() *hypergraph.Graph { return s.g }
+// Weight updates never change it; a topology update replaces it (the
+// returned value is an immutable snapshot of the structure at call
+// time).
+func (s *Solver) Graph() *hypergraph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g
+}
+
+// Snapshot returns the session's current instance and hypergraph as one
+// consistent pair — unlike separate Instance and Graph calls, no update
+// can interleave between the two. Both values are immutable snapshots.
+func (s *Solver) Snapshot() (*mmlp.Instance, *hypergraph.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in, s.g
+}
 
 // Cache returns the session's shared solve cache.
 func (s *Solver) Cache() *SolveCache { return s.cache }
@@ -193,10 +234,28 @@ func (s *Solver) NewBallSolver() *BallSolver {
 
 // BallIndex returns the session's retained radius-r ball index, building
 // it on first use. The index is immutable; concurrent readers (the
-// distributed engines) may share it freely.
+// distributed engines) may share it freely. Note that a topology update
+// replaces it — holders that must stay consistent with a specific graph
+// snapshot should use BallIndexIfCurrent.
 func (s *Solver) BallIndex(radius int) *hypergraph.BallIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.ballIndex(radius)
+}
+
+// BallIndexIfCurrent returns the retained radius-r ball index if the
+// session still solves over exactly the graph snapshot g, or nil if a
+// topology update has replaced it (or g belongs to another session).
+// The distributed engines use it so a run keeps the topology it
+// snapshotted at Network construction: when the session has moved on,
+// they fall back to record-derived balls and stay bit-identical to a
+// cold network over the snapshot instance.
+func (s *Solver) BallIndexIfCurrent(radius int, g *hypergraph.Graph) *hypergraph.BallIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.g != g {
+		return nil
+	}
 	return s.ballIndex(radius)
 }
 
@@ -227,9 +286,19 @@ func (s *Solver) state(radius int) *radiusState {
 	if ok {
 		return st
 	}
-	csr := s.csr
 	bi := s.ballIndex(radius)
 	st = &radiusState{}
+	s.computeStructural(st, bi)
+	s.states[radius] = st
+	return st
+}
+
+// computeStructural fills the ball-structure quantities of one radius
+// state — certificate bounds and β — from the current csr and ball
+// index. It runs at state creation and again after every topology
+// update (the only mutation that can change them).
+func (s *Solver) computeStructural(st *radiusState, bi *hypergraph.BallIndex) {
+	csr := s.csr
 	st.resourceBound = s.scratch.resourceRatios(csr, bi)
 	st.partyBound = partyBoundFlat(csr, bi)
 	n := csr.NumAgents()
@@ -241,8 +310,6 @@ func (s *Solver) state(radius int) *radiusState {
 		}
 		st.beta[j] = beta
 	}
-	s.states[radius] = st
-	return st
 }
 
 // Safe computes the safe solution of equation (2) over the session's
@@ -468,6 +535,16 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 			}
 		}
 	}
+	// Structural updates also affect coordinates through balls that no
+	// longer exist (a member that left still has to leave the sum); the
+	// patches recorded those as pendingAffected.
+	for _, v := range st.pendingAffected {
+		if !affected[v] {
+			affected[v] = true
+			affectedList = append(affectedList, int(v))
+		}
+	}
+	st.pendingAffected = nil
 	sort.Ints(affectedList)
 	for _, j := range affectedList {
 		sum := 0.0
@@ -481,6 +558,15 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 		}
 		st.sums[j] = sum
 		res.X[j] = st.beta[j] / float64(bi.Size(j)) * sum
+	}
+	if st.topoDirty {
+		// β may have changed anywhere (it is a global min over ratios),
+		// so replay the combination (10) for every coordinate from the
+		// retained sums — the exact final loop of the cold path.
+		for j := range res.X {
+			res.X[j] = st.beta[j] / float64(bi.Size(j)) * st.sums[j]
+		}
+		st.topoDirty = false
 	}
 
 	for _, u := range dirty {
@@ -617,6 +703,99 @@ func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
 	s.stats.DeltasApplied += len(deltas)
 	s.compactCache()
 	return nil
+}
+
+// UpdateTopology applies structural changes — agents, resources,
+// parties and support entries joining or leaving (see mmlp.TopoUpdate)
+// — to the session. The instance, CSR index, communication graph and
+// every retained ball index are patched by rebuilding only the affected
+// rows and balls (never from scratch: CSRBuilds and BallIndexBuilds
+// stay flat), and, for every radius already solved, exactly the agents
+// in the union of balls B(v,R) around the touched vertices — in the old
+// and the new topology — are marked for re-solve. The paper's local
+// LPs (9) are ball-restricted, so no agent outside that union can see
+// the change: its ball, the rows restricted to it, and hence its local
+// solution are all unchanged. The next LocalAverage call re-fingerprints
+// only the invalidated agents and replays the cold accumulation order
+// for the coordinates their old and new balls cover, so results are
+// bit-identical to a cold solve of the mutated instance.
+//
+// Validation is atomic: an invalid op rejects the whole batch with no
+// state change. The returned diff names what changed (added/removed
+// agents, touched rows). Requires a session whose graph was built from
+// the instance (NewSolver, or NewSolverFromGraph with a FromInstance
+// graph).
+func (s *Solver) UpdateTopology(ups []mmlp.TopoUpdate) (*mmlp.TopoDiff, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.g.CSR() == nil {
+		return nil, fmt.Errorf("core: topology updates require a graph built from the instance (got a FromAdjacency graph)")
+	}
+	newIn, d, err := s.in.ApplyTopo(ups)
+	if err != nil {
+		return nil, err
+	}
+	if d.Empty() {
+		return d, nil
+	}
+	newCSR := s.csr.PatchTopo(newIn, d)
+	newG := s.g.PatchTopo(newCSR, d.Touched)
+	type patchResult struct{ dirty, affected []int32 }
+	patches := make(map[int]patchResult, len(s.balls))
+	for radius, bi := range s.balls {
+		nbi, dirty, affected := bi.PatchTopo(newG, d.Touched)
+		s.balls[radius] = nbi
+		patches[radius] = patchResult{dirty, affected}
+		s.stats.BallsPatched += len(dirty)
+	}
+	s.in, s.csr, s.g = newIn, newCSR, newG
+	// The patched arrays are freshly allocated, but the new graph
+	// shares them (newG.CSR() == newCSR) and Graph()/Snapshot() hand it
+	// out as an immutable snapshot — so the next weight update must
+	// CloneCoeffs before patching in place, exactly like the first
+	// update after construction.
+	s.csrOwned = false
+	s.scratch = NewCertScratch(newCSR)
+	s.resetPool()
+
+	n := newCSR.NumAgents()
+	for radius, st := range s.states {
+		bi := s.balls[radius]
+		s.computeStructural(st, bi)
+		if st.res == nil {
+			continue
+		}
+		res := st.res
+		if grown := n - len(res.X); grown > 0 {
+			res.X = append(res.X, make([]float64, grown)...)
+			res.Beta = append(res.Beta, make([]float64, grown)...)
+			res.BallSize = append(res.BallSize, make([]int, grown)...)
+			res.LocalOmega = append(res.LocalOmega, make([]float64, grown)...)
+			st.sums = append(st.sums, make([]float64, grown)...)
+			st.entries = append(st.entries, make([]*cacheEntry, grown)...)
+			st.dirty = append(st.dirty, make([]bool, grown)...)
+		}
+		copy(res.Beta, st.beta)
+		for u := 0; u < n; u++ {
+			res.BallSize[u] = bi.Size(u)
+		}
+		res.PartyBound, res.ResourceBound = st.partyBound, st.resourceBound
+		p := patches[radius]
+		for _, u := range p.dirty {
+			if !st.dirty[u] {
+				st.dirty[u] = true
+				st.nDirty++
+			}
+		}
+		st.pendingAffected = append(st.pendingAffected, p.affected...)
+		st.topoDirty = true
+	}
+	s.stats.TopoUpdates++
+	s.stats.TopoOpsApplied += len(ups)
+	s.stats.AgentsAdded += len(d.AddedAgents)
+	s.stats.AgentsRemoved += len(d.RemovedAgents)
+	s.compactCache()
+	return d, nil
 }
 
 // compactCache drops cache entries no retained result references once

@@ -49,18 +49,41 @@ func NewNetwork(in *mmlp.Instance, g *hypergraph.Graph) (*Network, error) {
 // cached LP solution is only reused after an exact canonical-key match.
 //
 // The network snapshots the session's instance at construction; weight
-// updates applied to the session afterwards are not reflected in the
-// records (build a fresh session network to serve the updated weights).
+// or topology updates applied to the session afterwards are not
+// reflected in the records until Resync re-snapshots them.
 func NewSessionNetwork(sess *core.Solver) (*Network, error) {
 	if sess == nil {
 		return nil, errors.New("dist: nil session")
 	}
-	nw, err := NewNetwork(sess.Instance(), sess.Graph())
+	in, g := sess.Snapshot()
+	nw, err := NewNetwork(in, g)
 	if err != nil {
 		return nil, err
 	}
 	nw.sess = sess
 	return nw, nil
+}
+
+// Resync re-snapshots a session-backed network after updates were
+// applied to the session — in particular topology updates, under which
+// nodes appear and disappear between runs. The per-agent ROMs and the
+// graph are rebuilt from the session's current instance, so the next run
+// produces outputs and traces bit-identical to a cold network over the
+// mutated instance (detached agents become isolated zero-activity
+// nodes). Runs already in flight are unaffected: they keep the records
+// and graph they started with. Resync must not be called concurrently
+// with a run on the same Network.
+func (nw *Network) Resync() error {
+	if nw.sess == nil {
+		return errors.New("dist: Resync requires a session-backed network (NewSessionNetwork)")
+	}
+	in, g := nw.sess.Snapshot()
+	if g.NumVertices() != in.NumAgents() {
+		return fmt.Errorf("dist: session graph has %d vertices but instance has %d agents",
+			g.NumVertices(), in.NumAgents())
+	}
+	nw.in, nw.g, nw.roms = in, g, buildRecords(in, g)
+	return nil
 }
 
 // NumAgents returns the number of nodes in the network.
@@ -104,9 +127,12 @@ func (nw *Network) newFloodNodes(p Protocol) ([]*floodNode, error) {
 		if nw.sess != nil {
 			// One ball solver per node keeps the workspace and key
 			// buffer single-goroutine under every engine; the cache
-			// behind them is the session's and is safe to share.
+			// behind them is the session's and is safe to share. The
+			// graph snapshot pins which topology the session's ball
+			// indexes may serve this run.
 			nodes[v].know.sess = nw.sess
 			nodes[v].know.solver = nw.sess.NewBallSolver()
+			nodes[v].know.graph = nw.g
 		}
 	}
 	return nodes, nil

@@ -100,10 +100,15 @@ func (p AverageProtocol) output(k *knowledge) (float64, error) {
 	// which calls output mid-recovery on partial knowledge, runs with
 	// no session and keeps the record-derived path). Ball contents are
 	// identical either way — both are B_H(v, R) sorted ascending — so
-	// outputs do not change by a bit.
+	// outputs do not change by a bit. The index is only taken while it
+	// still matches the network's graph snapshot: after an un-resynced
+	// topology update the session's patched balls describe a different
+	// graph than the gathered records, and mixing them would produce
+	// outputs matching no cold network — the fallback keeps the run on
+	// the snapshot topology.
 	var bi *hypergraph.BallIndex
 	if k.sess != nil {
-		bi = k.sess.BallIndex(p.Radius)
+		bi = k.sess.BallIndexIfCurrent(p.Radius, k.graph)
 	}
 	balls := make(map[int][]int)
 	ballOf := func(v int) []int {

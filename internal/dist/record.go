@@ -81,9 +81,13 @@ type knowledge struct {
 	// (NewSessionNetwork): sess supplies retained ball indexes, solver a
 	// per-node LP kernel sharing the session's cache. Both nil on plain
 	// networks and in the self-stabilising runtime, where outputs fall
-	// back to pure record-derived computation.
+	// back to pure record-derived computation. graph is the network's
+	// graph snapshot; the session's ball index is only consulted while
+	// it still matches (a topology update applied to the session without
+	// a Resync must not leak new balls into a run over old records).
 	sess   *core.Solver
 	solver *core.BallSolver
+	graph  *hypergraph.Graph
 }
 
 func newKnowledge(rom *agentRecord) *knowledge {

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math/rand"
+
+	"maxminlp/internal/mmlp"
+)
+
+// RandomTopoBatch samples nops random structural updates against the
+// instance — agents joining and leaving, support entries appearing and
+// disappearing, rows being created and dying — the churn workload of a
+// dynamic deployment (fleets joining a service, sensors being installed
+// and failing). Each op is constructed to be valid against the state the
+// preceding ops produce, and the batch keeps the instance solvable: no
+// op leaves an agent that benefits a party without a resource, so every
+// local LP of the mutated instance stays bounded. It returns the batch
+// and the mutated instance (the batch applied to in).
+func RandomTopoBatch(in *mmlp.Instance, rng *rand.Rand, nops int) ([]mmlp.TopoUpdate, *mmlp.Instance) {
+	cur := in
+	ops := make([]mmlp.TopoUpdate, 0, nops)
+	for len(ops) < nops {
+		op, ok := randomTopoOp(cur, rng)
+		if !ok {
+			op = mmlp.AddAgent()
+		}
+		next, _, err := cur.ApplyTopo([]mmlp.TopoUpdate{op})
+		if err != nil {
+			// By construction ops are valid; a rejection means the sampler
+			// raced its own bookkeeping — skip the op rather than panic.
+			continue
+		}
+		ops = append(ops, op)
+		cur = next
+	}
+	return ops, cur
+}
+
+func randomTopoOp(in *mmlp.Instance, rng *rand.Rand) (mmlp.TopoUpdate, bool) {
+	switch p := rng.Intn(100); {
+	case p < 40:
+		return randomAddEdge(in, rng)
+	case p < 70:
+		return randomRemoveEdge(in, rng)
+	case p < 85:
+		return mmlp.AddAgent(), true
+	default:
+		if in.NumAgents() == 0 {
+			return mmlp.TopoUpdate{}, false
+		}
+		return mmlp.RemoveAgent(rng.Intn(in.NumAgents())), true
+	}
+}
+
+// randomAddEdge attaches a random agent to a random existing or new row.
+// Party edges only go to agents that consume at least one resource
+// (otherwise the agent's local LPs become unbounded).
+func randomAddEdge(in *mmlp.Instance, rng *rand.Rand) (mmlp.TopoUpdate, bool) {
+	n := in.NumAgents()
+	if n == 0 {
+		return mmlp.TopoUpdate{}, false
+	}
+	coeff := 0.1 + 2*rng.Float64()
+	party := rng.Intn(2) == 1
+	for attempt := 0; attempt < 8; attempt++ {
+		v := rng.Intn(n)
+		if party && len(in.AgentResources(v)) == 0 {
+			continue
+		}
+		var rows int
+		var row []mmlp.Entry
+		if party {
+			rows = in.NumParties()
+		} else {
+			rows = in.NumResources()
+		}
+		r := rng.Intn(rows + 1)
+		if r < rows {
+			if party {
+				row = in.Party(r)
+			} else {
+				row = in.Resource(r)
+			}
+			if containsAgent(row, v) {
+				continue
+			}
+		}
+		if party {
+			return mmlp.AddPartyEdge(r, v, coeff), true
+		}
+		return mmlp.AddResourceEdge(r, v, coeff), true
+	}
+	return mmlp.TopoUpdate{}, false
+}
+
+// randomRemoveEdge removes a random existing support entry, skipping
+// removals that would leave an agent with parties but no resources.
+func randomRemoveEdge(in *mmlp.Instance, rng *rand.Rand) (mmlp.TopoUpdate, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		party := rng.Intn(2) == 1
+		var rows int
+		if party {
+			rows = in.NumParties()
+		} else {
+			rows = in.NumResources()
+		}
+		if rows == 0 {
+			continue
+		}
+		r := rng.Intn(rows)
+		var row []mmlp.Entry
+		if party {
+			row = in.Party(r)
+		} else {
+			row = in.Resource(r)
+		}
+		if len(row) == 0 {
+			continue
+		}
+		v := row[rng.Intn(len(row))].Agent
+		if !party && len(in.AgentResources(v)) == 1 && len(in.AgentParties(v)) > 0 {
+			continue // would unbound v's local LPs
+		}
+		if party {
+			return mmlp.RemovePartyEdge(r, v), true
+		}
+		return mmlp.RemoveResourceEdge(r, v), true
+	}
+	return mmlp.TopoUpdate{}, false
+}
+
+func containsAgent(row []mmlp.Entry, v int) bool {
+	for _, e := range row {
+		if e.Agent == v {
+			return true
+		}
+	}
+	return false
+}

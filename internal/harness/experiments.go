@@ -39,6 +39,7 @@ var All = []Experiment{
 	{"E12", "Sharded worker-pool engine: agreement and speedup", E12ShardedEngine},
 	{"E13", "Isomorphic-ball LP dedup: solves avoided, bit-exact agreement", E13DedupProfile},
 	{"E14", "Solver sessions: cold vs warm vs incremental re-solve", E14SessionProfile},
+	{"E15", "Topology churn: incremental structural updates vs cold rebuild", E15ChurnProfile},
 }
 
 func fullGraph(in *mmlp.Instance) *hypergraph.Graph {
@@ -763,6 +764,86 @@ func E12ShardedEngine(seed int64) (*Table, error) {
 			}
 			t.AddRow(ni.name, e.name, F(ms), F(seqMS/ms), B(agree))
 		}
+	}
+	return t, nil
+}
+
+// E15ChurnProfile measures live topology churn — agents and support
+// entries joining and leaving — against a warm Solver session: each
+// round applies a random structural batch and re-solves incrementally
+// (structures patched, only the balls around the touched vertices
+// re-examined), timed against a cold rebuild (fresh CSR, ball index and
+// every local LP) over the independently mutated instance. The
+// incremental output is checked bit-identical to the cold one, and the
+// session must perform zero CSR or ball-index rebuilds across the whole
+// churn sequence — the acceptance property of the structural-update
+// layer.
+func E15ChurnProfile(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Topology churn: incremental structural updates vs cold rebuild",
+		Columns: []string{"instance", "R", "agents", "rounds", "ops", "cold ms", "incr ms", "cold/incr", "re-solved", "balls patched", "bit-identical", "rebuilds"},
+		Note:    "ms columns are per-round averages; 're-solved' and 'balls patched' are totals across all rounds; 'rebuilds' counts CSR+ball-index builds after warm-up (must be 0)",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tor, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	torW, _ := gen.Torus([]int{12, 12}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	disk, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 150, Radius: 0.12, MaxNeighbors: 5}, rng)
+	cases := []struct {
+		name   string
+		in     *mmlp.Instance
+		radius int
+		rounds int
+		ops    int
+	}{
+		{"torus 16x16", tor, 1, 6, 3},
+		{"torus 16x16", tor, 2, 6, 3},
+		{"torus 12x12 weighted", torW, 1, 6, 3},
+		{"unit-disk n=150", disk, 1, 6, 3},
+	}
+	for _, cse := range cases {
+		sess := core.NewSolverFromGraph(cse.in, fullGraph(cse.in))
+		if _, err := sess.LocalAverage(cse.radius); err != nil {
+			return nil, err
+		}
+		warmStats := sess.Stats()
+
+		var coldMS, incMS float64
+		agree := true
+		mirror := cse.in
+		for round := 0; round < cse.rounds; round++ {
+			ops, next := gen.RandomTopoBatch(mirror, rng, cse.ops)
+			mirror = next
+
+			start := time.Now()
+			if _, err := sess.UpdateTopology(ops); err != nil {
+				return nil, err
+			}
+			inc, err := sess.LocalAverage(cse.radius)
+			if err != nil {
+				return nil, err
+			}
+			incMS += time.Since(start).Seconds() * 1e3
+
+			start = time.Now()
+			coldSess := core.NewSolverFromGraph(mirror, fullGraph(mirror))
+			cold, err := coldSess.LocalAverage(cse.radius)
+			if err != nil {
+				return nil, err
+			}
+			coldMS += time.Since(start).Seconds() * 1e3
+			for v := range cold.X {
+				if inc.X[v] != cold.X[v] || inc.Beta[v] != cold.Beta[v] || inc.LocalOmega[v] != cold.LocalOmega[v] {
+					agree = false
+				}
+			}
+		}
+		st := sess.Stats()
+		rounds := float64(cse.rounds)
+		t.AddRow(cse.name, I(cse.radius), I(cse.in.NumAgents()), I(cse.rounds), I(cse.ops),
+			F(coldMS/rounds), F(incMS/rounds), F(coldMS/incMS),
+			I(st.AgentsResolved-warmStats.AgentsResolved), I(st.BallsPatched),
+			B(agree), I(st.CSRBuilds+st.BallIndexBuilds-warmStats.CSRBuilds-warmStats.BallIndexBuilds))
 	}
 	return t, nil
 }

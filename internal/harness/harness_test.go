@@ -88,10 +88,10 @@ func TestExperimentsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped with -short")
 	}
-	// E7, E12, E13 and E14 measure wall-clock time and are exempt; all
-	// other experiments must be reproducible from the seed.
+	// E7, E12, E13, E14 and E15 measure wall-clock time and are exempt;
+	// all other experiments must be reproducible from the seed.
 	for _, exp := range All {
-		if exp.ID == "E7" || exp.ID == "E12" || exp.ID == "E13" || exp.ID == "E14" {
+		if exp.ID == "E7" || exp.ID == "E12" || exp.ID == "E13" || exp.ID == "E14" || exp.ID == "E15" {
 			continue
 		}
 		a, err := exp.Run(99)

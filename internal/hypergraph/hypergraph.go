@@ -33,6 +33,11 @@ type Graph struct {
 	// nil for graphs built with FromAdjacency.
 	csr *CSR
 
+	// collabOblivious records that the graph was built without the party
+	// hyperedges (Options.CollaborationOblivious), so topology patches
+	// re-derive adjacency the same way.
+	collabOblivious bool
+
 	// scratch pools per-traversal BFS state so concurrent queries (the
 	// parallel engines call Ball from many goroutines) allocate only on
 	// first use per P.
@@ -54,7 +59,7 @@ type Options struct {
 func FromInstance(in *mmlp.Instance, opt Options) *Graph {
 	csr := NewCSR(in)
 	n := csr.NumAgents()
-	g := &Graph{csr: csr}
+	g := &Graph{csr: csr, collabOblivious: opt.CollaborationOblivious}
 
 	// Union-of-cliques adjacency over the flat incidence arrays: for each
 	// agent, walk the supports of its rows, deduplicating with a stamp

@@ -1,0 +1,237 @@
+package hypergraph
+
+import (
+	"slices"
+
+	"maxminlp/internal/mmlp"
+)
+
+// This file is the structural-patching layer behind Solver.UpdateTopology:
+// given a mutated instance and the mmlp.TopoDiff naming what changed, the
+// CSR index, the communication graph and every retained ball index are
+// patched by rebuilding only the affected rows — the "rebuild-of-affected-
+// rows" strategy. Each patch allocates fresh flat arrays (bulk-copying the
+// unchanged spans), so previously handed-out CSR/Graph/BallIndex values
+// stay immutable snapshots of the pre-update topology: concurrent readers
+// (distributed engines mid-run) are never mutated under.
+//
+// Every patched structure is element-for-element identical to a cold
+// build over the mutated instance: the flat segments are canonical
+// (sorted, deduplicated), so rebuilding a row from the new instance and
+// copying an untouched row from the old arrays produce exactly the
+// arrays NewCSR / FromInstance / Graph.BallIndex would. The patch tests
+// assert this by deep comparison across randomised churn sequences.
+
+// spliceRel rebuilds one CSR relation: rows named in changed (plus every
+// row at or beyond the old row count — freshly created rows) are filled
+// from the mutated instance via rowLen/fill, all other rows are copied
+// from the old arrays.
+func spliceRel(oldOff, oldIDs []int32, oldCo []float64, newRows int, changed []int,
+	rowLen func(int) int, fill func(r int, ids []int32, co []float64)) (off, ids []int32, co []float64) {
+	oldRows := len(oldOff) - 1
+	ch := make([]bool, newRows)
+	for _, r := range changed {
+		if r >= 0 && r < newRows {
+			ch[r] = true
+		}
+	}
+	total := 0
+	for r := 0; r < newRows; r++ {
+		if ch[r] || r >= oldRows {
+			total += rowLen(r)
+		} else {
+			total += int(oldOff[r+1] - oldOff[r])
+		}
+	}
+	off = make([]int32, newRows+1)
+	ids = make([]int32, total)
+	co = make([]float64, total)
+	w := 0
+	for r := 0; r < newRows; r++ {
+		if ch[r] || r >= oldRows {
+			n := rowLen(r)
+			fill(r, ids[w:w+n], co[w:w+n])
+			w += n
+		} else {
+			lo, hi := oldOff[r], oldOff[r+1]
+			copy(ids[w:], oldIDs[lo:hi])
+			copy(co[w:], oldCo[lo:hi])
+			w += int(hi - lo)
+		}
+		off[r+1] = int32(w)
+	}
+	return off, ids, co
+}
+
+// PatchTopo returns the CSR index of the mutated instance, rebuilding
+// only the rows and incidence segments the diff names and copying every
+// other span from c. All arrays of the result are freshly allocated and
+// owned by the caller (SetResourceCoeff/SetPartyCoeff may patch them in
+// place without CloneCoeffs).
+func (c *CSR) PatchTopo(in *mmlp.Instance, d *mmlp.TopoDiff) *CSR {
+	out := &CSR{
+		numAgents:    in.NumAgents(),
+		numResources: in.NumResources(),
+		numParties:   in.NumParties(),
+	}
+	out.resOff, out.resAgent, out.resCoeff = spliceRel(
+		c.resOff, c.resAgent, c.resCoeff, in.NumResources(), d.ResRows,
+		func(i int) int { return len(in.Resource(i)) },
+		func(i int, ids []int32, co []float64) {
+			for j, e := range in.Resource(i) {
+				ids[j], co[j] = int32(e.Agent), e.Coeff
+			}
+		})
+	out.parOff, out.parAgent, out.parCoeff = spliceRel(
+		c.parOff, c.parAgent, c.parCoeff, in.NumParties(), d.ParRows,
+		func(k int) int { return len(in.Party(k)) },
+		func(k int, ids []int32, co []float64) {
+			for j, e := range in.Party(k) {
+				ids[j], co[j] = int32(e.Agent), e.Coeff
+			}
+		})
+	out.agentResOff, out.agentRes, out.agentResCoeff = spliceRel(
+		c.agentResOff, c.agentRes, c.agentResCoeff, in.NumAgents(), d.IncAgents,
+		func(v int) int { return len(in.AgentResources(v)) },
+		func(v int, ids []int32, co []float64) {
+			for j, i := range in.AgentResources(v) {
+				ids[j], co[j] = int32(i), in.A(i, v)
+			}
+		})
+	out.agentParOff, out.agentPar, out.agentParCoeff = spliceRel(
+		c.agentParOff, c.agentPar, c.agentParCoeff, in.NumAgents(), d.IncAgents,
+		func(v int) int { return len(in.AgentParties(v)) },
+		func(v int, ids []int32, co []float64) {
+			for j, k := range in.AgentParties(v) {
+				ids[j], co[j] = int32(k), in.C(k, v)
+			}
+		})
+	return out
+}
+
+// PatchTopo returns the communication hypergraph over the patched CSR
+// index: the neighbour segments of the touched vertices (which must
+// include every vertex whose adjacency could have changed, and every
+// vertex at or beyond the old vertex count) are re-derived from the new
+// incidence structure with the same union-of-cliques procedure as
+// FromInstance; all other segments are copied. The receiver is left
+// untouched; the result carries csr as its incidence index and inherits
+// the receiver's collaboration-obliviousness.
+func (g *Graph) PatchTopo(csr *CSR, touched []int) *Graph {
+	n := csr.NumAgents()
+	oldN := g.NumVertices()
+	out := &Graph{csr: csr, collabOblivious: g.collabOblivious}
+	ch := make([]bool, n)
+	for _, v := range touched {
+		if v >= 0 && v < n {
+			ch[v] = true
+		}
+	}
+	out.off = make([]int32, n+1)
+	out.nbr = make([]int32, 0, len(g.nbr))
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if !ch[v] && v < oldN {
+			out.nbr = append(out.nbr, g.nbr[g.off[v]:g.off[v+1]]...)
+		} else {
+			start := len(out.nbr)
+			addRow := func(members []int32) {
+				for _, u := range members {
+					if int(u) != v && stamp[u] != int32(v) {
+						stamp[u] = int32(v)
+						out.nbr = append(out.nbr, u)
+					}
+				}
+			}
+			for _, i := range csr.AgentResources(v) {
+				addRow(csr.ResourceAgents(int(i)))
+			}
+			if !g.collabOblivious {
+				for _, k := range csr.AgentParties(v) {
+					addRow(csr.PartyAgents(int(k)))
+				}
+			}
+			slices.Sort(out.nbr[start:])
+		}
+		out.off[v+1] = int32(len(out.nbr))
+	}
+	out.nbrInt = make([]int, len(out.nbr))
+	for i, u := range out.nbr {
+		out.nbrInt[i] = int(u)
+	}
+	return out
+}
+
+// PatchTopo returns the radius-r ball index over the patched graph g,
+// recomputing only the balls that can differ from the receiver's. The
+// dirty set is ∪_t (B_old(t,r) ∪ B_new(t,r)) over the touched vertices
+// t — every vertex whose ball contains a touched vertex in either
+// topology, and therefore a superset of the vertices whose balls (or
+// ball-restricted local LPs) changed; all other ball segments are copied
+// from the receiver. It returns the new index, the sorted dirty set, and
+// the sorted affected set ∪_{v∈dirty} (B_old(v,r) ∪ B_new(v,r)) — the
+// vertices whose combined-solution sums a session must replay.
+func (bi *BallIndex) PatchTopo(g *Graph, touched []int) (nbi *BallIndex, dirty, affected []int32) {
+	n := g.NumVertices()
+	oldN := bi.NumVertices()
+	radius := bi.radius
+
+	s := g.getScratch()
+	defer g.putScratch(s)
+
+	mark := make([]bool, n)
+	var tmp []int32
+	for _, t := range touched {
+		if t < 0 || t >= n {
+			continue
+		}
+		if t < oldN {
+			for _, u := range bi.Ball(t) {
+				if !mark[u] {
+					mark[u] = true
+					dirty = append(dirty, u)
+				}
+			}
+		}
+		tmp = g.ball32(s, int32(t), int32(radius), tmp[:0])
+		for _, u := range tmp {
+			if !mark[u] {
+				mark[u] = true
+				dirty = append(dirty, u)
+			}
+		}
+	}
+	slices.Sort(dirty)
+
+	affMark := make([]bool, n)
+	nbi = &BallIndex{radius: radius, off: make([]int32, n+1)}
+	nbi.members = make([]int32, 0, len(bi.members)+len(dirty))
+	for v := 0; v < n; v++ {
+		if !mark[v] && v < oldN {
+			nbi.members = append(nbi.members, bi.Ball(v)...)
+		} else {
+			if v < oldN {
+				for _, u := range bi.Ball(v) {
+					if !affMark[u] {
+						affMark[u] = true
+						affected = append(affected, u)
+					}
+				}
+			}
+			start := len(nbi.members)
+			nbi.members = g.ball32(s, int32(v), int32(radius), nbi.members)
+			for _, u := range nbi.members[start:] {
+				if !affMark[u] {
+					affMark[u] = true
+					affected = append(affected, u)
+				}
+			}
+		}
+		nbi.off[v+1] = int32(len(nbi.members))
+	}
+	slices.Sort(affected)
+	return nbi, dirty, affected
+}

@@ -1,0 +1,178 @@
+package hypergraph_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+)
+
+func sameCSR(t *testing.T, label string, got, want *hypergraph.CSR) {
+	t.Helper()
+	if got.NumAgents() != want.NumAgents() || got.NumResources() != want.NumResources() || got.NumParties() != want.NumParties() {
+		t.Fatalf("%s: sizes (%d,%d,%d) != (%d,%d,%d)", label,
+			got.NumAgents(), got.NumResources(), got.NumParties(),
+			want.NumAgents(), want.NumResources(), want.NumParties())
+	}
+	for i := 0; i < want.NumResources(); i++ {
+		if !slices.Equal(got.ResourceAgents(i), want.ResourceAgents(i)) ||
+			!slices.Equal(got.ResourceCoeffs(i), want.ResourceCoeffs(i)) {
+			t.Fatalf("%s: resource %d row diverged", label, i)
+		}
+	}
+	for k := 0; k < want.NumParties(); k++ {
+		if !slices.Equal(got.PartyAgents(k), want.PartyAgents(k)) ||
+			!slices.Equal(got.PartyCoeffs(k), want.PartyCoeffs(k)) {
+			t.Fatalf("%s: party %d row diverged", label, k)
+		}
+	}
+	for v := 0; v < want.NumAgents(); v++ {
+		if !slices.Equal(got.AgentResources(v), want.AgentResources(v)) ||
+			!slices.Equal(got.AgentResourceCoeffs(v), want.AgentResourceCoeffs(v)) ||
+			!slices.Equal(got.AgentParties(v), want.AgentParties(v)) ||
+			!slices.Equal(got.AgentPartyCoeffs(v), want.AgentPartyCoeffs(v)) {
+			t.Fatalf("%s: agent %d incidence diverged", label, v)
+		}
+	}
+}
+
+func sameGraph(t *testing.T, label string, got, want *hypergraph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("%s: %d vertices, want %d", label, got.NumVertices(), want.NumVertices())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if !slices.Equal(got.Neighbors(v), want.Neighbors(v)) {
+			t.Fatalf("%s: neighbours of %d = %v, want %v", label, v, got.Neighbors(v), want.Neighbors(v))
+		}
+	}
+}
+
+func sameBallIndex(t *testing.T, label string, got, want *hypergraph.BallIndex) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.Radius() != want.Radius() {
+		t.Fatalf("%s: shape (%d,R=%d) != (%d,R=%d)", label,
+			got.NumVertices(), got.Radius(), want.NumVertices(), want.Radius())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if !slices.Equal(got.Ball(v), want.Ball(v)) {
+			t.Fatalf("%s: ball of %d = %v, want %v", label, v, got.Ball(v), want.Ball(v))
+		}
+	}
+}
+
+// TestPatchTopoMatchesCold drives random churn sequences through the
+// patching layer and asserts, after every batch, that the patched CSR,
+// graph and ball indexes are element-for-element identical to cold
+// builds over the mutated instance — the invariant the incremental
+// solver session rests on.
+func TestPatchTopoMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tor, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	rnd := gen.Random(gen.RandomOptions{Agents: 40, Resources: 30, Parties: 18, MaxVI: 3, MaxVK: 3}, rng)
+	disk, _ := gen.UnitDisk(gen.UnitDiskOptions{Nodes: 45, Radius: 0.2, MaxNeighbors: 4}, rng)
+	cases := []struct {
+		name   string
+		in     *mmlp.Instance
+		opt    hypergraph.Options
+		radii  []int
+		rounds int
+	}{
+		{"torus 6x6", tor, hypergraph.Options{}, []int{1, 2}, 5},
+		{"random n=40", rnd, hypergraph.Options{}, []int{1, 2}, 5},
+		{"unit-disk n=45", disk, hypergraph.Options{}, []int{1}, 4},
+		{"torus 6x6 collab-oblivious", tor, hypergraph.Options{CollaborationOblivious: true}, []int{1}, 3},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			cur := cse.in
+			g := hypergraph.FromInstance(cur, cse.opt)
+			csr := g.CSR()
+			bis := make(map[int]*hypergraph.BallIndex)
+			for _, r := range cse.radii {
+				bis[r] = g.BallIndex(r, 1)
+			}
+			for round := 0; round < cse.rounds; round++ {
+				ops, _ := gen.RandomTopoBatch(cur, rng, 1+rng.Intn(5))
+				next, d, err := cur.ApplyTopo(ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				csr = csr.PatchTopo(next, d)
+				sameCSR(t, "csr", csr, hypergraph.NewCSR(next))
+
+				g = g.PatchTopo(csr, d.Touched)
+				coldG := hypergraph.FromInstance(next, cse.opt)
+				sameGraph(t, "graph", g, coldG)
+
+				for _, r := range cse.radii {
+					nbi, dirty, affected := bis[r].PatchTopo(g, d.Touched)
+					sameBallIndex(t, "balls", nbi, g.BallIndex(r, 1))
+					// dirty must cover every vertex whose ball changed, and
+					// affected every member of a dirty vertex's ball.
+					for v := 0; v < nbi.NumVertices(); v++ {
+						changed := v >= bis[r].NumVertices() || !slices.Equal(nbi.Ball(v), bis[r].Ball(v))
+						if _, isDirty := slices.BinarySearch(dirty, int32(v)); changed && !isDirty {
+							t.Fatalf("R=%d: ball of %d changed but %d not dirty", r, v, v)
+						}
+					}
+					for _, v := range dirty {
+						if _, ok := slices.BinarySearch(affected, v); !ok {
+							t.Fatalf("R=%d: dirty %d missing from affected", r, v)
+						}
+						for _, u := range nbi.Ball(int(v)) {
+							if _, ok := slices.BinarySearch(affected, u); !ok {
+								t.Fatalf("R=%d: member %d of dirty ball %d missing from affected", r, u, v)
+							}
+						}
+					}
+					bis[r] = nbi
+				}
+				cur = next
+			}
+		})
+	}
+}
+
+// TestPatchTopoDetachAndGrow pins the two index-space edge cases: a
+// detached agent becomes an isolated vertex with ball {v}, and an added
+// agent extends every structure by one slot.
+func TestPatchTopoDetachAndGrow(t *testing.T) {
+	in, _ := gen.Torus([]int{4, 4}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	bi := g.BallIndex(1, 1)
+
+	next, d, err := in.ApplyTopo([]mmlp.TopoUpdate{
+		mmlp.RemoveAgent(5),
+		mmlp.AddAgent(),
+		mmlp.AddResourceEdge(0, 16, 2.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := g.CSR().PatchTopo(next, d)
+	ng := g.PatchTopo(csr, d.Touched)
+	nbi, dirty, _ := bi.PatchTopo(ng, d.Touched)
+
+	if ng.NumVertices() != 17 || nbi.NumVertices() != 17 {
+		t.Fatalf("grew to %d/%d vertices, want 17", ng.NumVertices(), nbi.NumVertices())
+	}
+	if got := ng.Neighbors(5); len(got) != 0 {
+		t.Errorf("detached agent still has neighbours %v", got)
+	}
+	if got := nbi.Ball(5); len(got) != 1 || got[0] != 5 {
+		t.Errorf("detached agent ball = %v, want {5}", got)
+	}
+	if len(ng.Neighbors(16)) == 0 {
+		t.Error("added agent has no neighbours despite joining resource 0")
+	}
+	if _, ok := slices.BinarySearch(dirty, int32(16)); !ok {
+		t.Error("added agent not dirty")
+	}
+	sameBallIndex(t, "detach+grow", nbi, ng.BallIndex(1, 1))
+	sameGraph(t, "detach+grow", ng, hypergraph.FromInstance(next, hypergraph.Options{}))
+	sameCSR(t, "detach+grow", csr, hypergraph.NewCSR(next))
+}

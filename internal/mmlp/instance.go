@@ -127,14 +127,16 @@ func (in *Instance) Degrees() DegreeBounds {
 	return d
 }
 
-// Objective evaluates ω(x) = min_k Σ_v c_kv x_v. It returns +Inf when the
-// instance has no parties (the minimum over an empty set).
+// Objective evaluates ω(x) = min_k Σ_v c_kv x_v. It returns +Inf when
+// the instance has no live parties (the minimum over an empty set).
+// Dead parties — rows whose whole support left through topology updates
+// (see ApplyTopo) — demand nothing and are skipped.
 func (in *Instance) Objective(x []float64) float64 {
-	if len(in.parRows) == 0 {
-		return math.Inf(1)
-	}
 	obj := math.Inf(1)
-	for k := range in.parRows {
+	for k, row := range in.parRows {
+		if len(row) == 0 {
+			continue
+		}
 		obj = min(obj, in.PartyBenefit(k, x))
 	}
 	return obj

@@ -1,0 +1,378 @@
+package mmlp
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// This file is the structural-update layer of the model: TopoUpdate
+// describes one topology change (an agent, resource support entry or
+// party support entry joining or leaving), and Instance.ApplyTopo applies
+// a batch of them atomically, producing a new Instance plus a TopoDiff
+// that names exactly what changed — the contract the incremental solver
+// session and the hypergraph patching layer are built on.
+//
+// Index spaces are stable under churn: agents, resources and parties
+// keep their indices forever. A removed agent keeps its slot but becomes
+// *detached* — it appears in no row and consumes no resource; every
+// solver treats it as an isolated vertex with activity 0. A row whose
+// last support entry is removed becomes *dead* (empty support) and is
+// skipped by every consumer: a dead resource constrains nothing and a
+// dead party demands nothing (Objective ignores it). New rows are
+// created by an AddEdge whose Row equals the current row count. This
+// keeps every previously handed-out index valid, which is what makes
+// incremental results comparable bit-for-bit against cold solves of the
+// mutated instance.
+
+// TopoOp selects the kind of one structural update.
+type TopoOp uint8
+
+const (
+	// TopoAddAgent appends one new, initially detached agent; its index
+	// is the instance's agent count at the time the op applies (ops in a
+	// batch apply in order, so a later op may reference it).
+	TopoAddAgent TopoOp = iota
+	// TopoRemoveAgent detaches agent Agent: every support entry naming
+	// it is removed and its incidence lists become empty. The slot
+	// remains; the agent's activity is 0 from here on.
+	TopoRemoveAgent
+	// TopoAddEdge adds the support entry (Row, Agent) with coefficient
+	// Coeff to the resource relation (or the party relation when Party
+	// is set). Row may equal the current row count, which first appends
+	// a new empty row — this is how resources and parties join.
+	TopoAddEdge
+	// TopoRemoveEdge removes the existing support entry (Row, Agent)
+	// from the resource (or party) relation. Removing a row's last
+	// entry leaves the row dead — this is how resources and parties
+	// leave.
+	TopoRemoveEdge
+)
+
+func (op TopoOp) String() string {
+	switch op {
+	case TopoAddAgent:
+		return "addAgent"
+	case TopoRemoveAgent:
+		return "removeAgent"
+	case TopoAddEdge:
+		return "addEdge"
+	case TopoRemoveEdge:
+		return "removeEdge"
+	}
+	return fmt.Sprintf("TopoOp(%d)", uint8(op))
+}
+
+// TopoUpdate is one structural update; see the TopoOp constants for the
+// meaning of the fields under each op. Prefer the constructors
+// (AddAgent, RemoveAgent, AddResourceEdge, AddPartyEdge,
+// RemoveResourceEdge, RemovePartyEdge) to literals.
+type TopoUpdate struct {
+	Op TopoOp
+	// Party selects the party relation for edge ops; false = resource.
+	Party bool
+	// Row and Agent name the support entry of edge ops; Agent alone
+	// parameterises TopoRemoveAgent.
+	Row   int
+	Agent int
+	// Coeff is the coefficient of a TopoAddEdge; must be positive and
+	// finite.
+	Coeff float64
+}
+
+// AddAgent returns the update that appends one detached agent.
+func AddAgent() TopoUpdate { return TopoUpdate{Op: TopoAddAgent} }
+
+// RemoveAgent returns the update that detaches agent v.
+func RemoveAgent(v int) TopoUpdate { return TopoUpdate{Op: TopoRemoveAgent, Agent: v} }
+
+// AddResourceEdge returns the update that adds a_iv = coeff; i may equal
+// NumResources to create the resource.
+func AddResourceEdge(i, v int, coeff float64) TopoUpdate {
+	return TopoUpdate{Op: TopoAddEdge, Row: i, Agent: v, Coeff: coeff}
+}
+
+// AddPartyEdge returns the update that adds c_kv = coeff; k may equal
+// NumParties to create the party.
+func AddPartyEdge(k, v int, coeff float64) TopoUpdate {
+	return TopoUpdate{Op: TopoAddEdge, Party: true, Row: k, Agent: v, Coeff: coeff}
+}
+
+// RemoveResourceEdge returns the update that removes agent v from the
+// support of resource i.
+func RemoveResourceEdge(i, v int) TopoUpdate {
+	return TopoUpdate{Op: TopoRemoveEdge, Row: i, Agent: v}
+}
+
+// RemovePartyEdge returns the update that removes agent v from the
+// support of party k.
+func RemovePartyEdge(k, v int) TopoUpdate {
+	return TopoUpdate{Op: TopoRemoveEdge, Party: true, Row: k, Agent: v}
+}
+
+// TopoDiff reports what one ApplyTopo batch changed, in terms the
+// incremental layers consume: the old and new entity counts, the agents
+// that joined or left, the rows whose supports changed, and two agent
+// sets — IncAgents (incidence lists Iv/Kv changed; their CSR segments
+// need re-extraction) and Touched (adjacency in the communication
+// hypergraph may have changed; their neighbour segments and the balls
+// around them need re-derivation). All slices are sorted ascending and
+// IncAgents ⊆ Touched.
+type TopoDiff struct {
+	OldNumAgents, NumAgents       int
+	OldNumResources, NumResources int
+	OldNumParties, NumParties     int
+
+	AddedAgents   []int
+	RemovedAgents []int
+	IncAgents     []int
+	Touched       []int
+	ResRows       []int
+	ParRows       []int
+}
+
+// Empty reports whether the batch changed nothing.
+func (d *TopoDiff) Empty() bool {
+	return d.NumAgents == d.OldNumAgents && len(d.Touched) == 0 &&
+		len(d.ResRows) == 0 && len(d.ParRows) == 0
+}
+
+// topoState is the working copy one ApplyTopo batch mutates. Outer
+// slices are copied up front; each row or incidence list is copied the
+// first time an op touches it (ownership tracked by the touched sets),
+// so a rejected batch leaves the receiver's rows bit-for-bit intact.
+type topoState struct {
+	n        int
+	res, par [][]Entry
+	aRes     [][]int
+	aPar     [][]int
+
+	resTouched, parTouched map[int]bool
+	incTouched             map[int]bool
+	adjTouched             map[int]bool
+	added, removed         []int
+}
+
+// ApplyTopo applies a batch of structural updates in order and returns
+// the mutated instance together with the diff. Validation is atomic:
+// the first invalid op aborts the whole batch with no instance returned
+// and the receiver unchanged. The returned instance shares every
+// untouched row with the receiver and always allows unconstrained
+// agents (churn creates them by design).
+//
+// Beyond index/coefficient checks, validation preserves solvability:
+// an op may not leave an agent that benefits a party without any
+// resource (its local LPs — and the global LP — would be unbounded).
+// Wire a joining agent's resource edges before its party edges, and
+// strip a leaving agent's party edges before (or via RemoveAgent,
+// instead of) its last resource edge. Fully detached agents — no
+// resources and no parties — are fine.
+func (in *Instance) ApplyTopo(ups []TopoUpdate) (*Instance, *TopoDiff, error) {
+	st := &topoState{
+		n:          in.nAgents,
+		res:        slices.Clone(in.resRows),
+		par:        slices.Clone(in.parRows),
+		aRes:       slices.Clone(in.agentRes),
+		aPar:       slices.Clone(in.agentPar),
+		resTouched: make(map[int]bool),
+		parTouched: make(map[int]bool),
+		incTouched: make(map[int]bool),
+		adjTouched: make(map[int]bool),
+	}
+	for oi, u := range ups {
+		if err := st.apply(u); err != nil {
+			return nil, nil, fmt.Errorf("mmlp: op %d (%s): %w", oi, u.Op, err)
+		}
+	}
+	out := &Instance{
+		nAgents:          st.n,
+		resRows:          st.res,
+		parRows:          st.par,
+		agentRes:         st.aRes,
+		agentPar:         st.aPar,
+		hasUnconstrained: true,
+	}
+	d := &TopoDiff{
+		OldNumAgents: in.nAgents, NumAgents: st.n,
+		OldNumResources: len(in.resRows), NumResources: len(st.res),
+		OldNumParties: len(in.parRows), NumParties: len(st.par),
+		AddedAgents:   st.added,
+		RemovedAgents: dedupSortedInts(st.removed),
+		IncAgents:     sortedKeys(st.incTouched),
+		Touched:       sortedKeys(st.adjTouched),
+		ResRows:       sortedKeys(st.resTouched),
+		ParRows:       sortedKeys(st.parTouched),
+	}
+	return out, d, nil
+}
+
+func (st *topoState) apply(u TopoUpdate) error {
+	switch u.Op {
+	case TopoAddAgent:
+		v := st.n
+		st.n++
+		st.aRes = append(st.aRes, nil)
+		st.aPar = append(st.aPar, nil)
+		st.added = append(st.added, v)
+		st.incTouched[v] = true
+		st.adjTouched[v] = true
+		return nil
+
+	case TopoRemoveAgent:
+		v := u.Agent
+		if v < 0 || v >= st.n {
+			return fmt.Errorf("agent %d out of range [0,%d)", v, st.n)
+		}
+		for _, i := range st.aRes[v] {
+			st.removeEntry(false, i, v)
+		}
+		for _, k := range st.aPar[v] {
+			st.removeEntry(true, k, v)
+		}
+		st.aRes[v] = nil
+		st.aPar[v] = nil
+		st.removed = append(st.removed, v)
+		st.incTouched[v] = true
+		st.adjTouched[v] = true
+		return nil
+
+	case TopoAddEdge:
+		rows := st.rows(u.Party)
+		if u.Agent < 0 || u.Agent >= st.n {
+			return fmt.Errorf("agent %d out of range [0,%d)", u.Agent, st.n)
+		}
+		if !(u.Coeff > 0) || math.IsInf(u.Coeff, 0) {
+			return fmt.Errorf("coefficient %v must be positive and finite", u.Coeff)
+		}
+		if u.Party && len(st.aRes[u.Agent]) == 0 {
+			return fmt.Errorf("agent %d consumes no resource; benefiting party %d would make its local LPs unbounded (add a resource edge first)", u.Agent, u.Row)
+		}
+		if u.Row < 0 || u.Row > len(*rows) {
+			return fmt.Errorf("%s %d out of range [0,%d] (the upper bound creates the row)",
+				rowKind(u.Party), u.Row, len(*rows))
+		}
+		if u.Row == len(*rows) {
+			*rows = append(*rows, nil)
+		}
+		row := (*rows)[u.Row]
+		pos, ok := slices.BinarySearchFunc(row, u.Agent, func(e Entry, v int) int { return e.Agent - v })
+		if ok {
+			return fmt.Errorf("agent %d is already in the support of %s %d", u.Agent, rowKind(u.Party), u.Row)
+		}
+		st.touchRow(u.Party, u.Row)
+		row = (*rows)[u.Row] // touchRow may have copied it
+		row = slices.Insert(row, pos, Entry{Agent: u.Agent, Coeff: u.Coeff})
+		(*rows)[u.Row] = row
+		st.insertIncidence(u.Party, u.Agent, u.Row)
+		for _, e := range row {
+			st.adjTouched[e.Agent] = true
+		}
+		return nil
+
+	case TopoRemoveEdge:
+		rows := st.rows(u.Party)
+		if u.Row < 0 || u.Row >= len(*rows) {
+			return fmt.Errorf("%s %d out of range [0,%d)", rowKind(u.Party), u.Row, len(*rows))
+		}
+		row := (*rows)[u.Row]
+		if _, ok := slices.BinarySearchFunc(row, u.Agent, func(e Entry, v int) int { return e.Agent - v }); !ok {
+			return fmt.Errorf("agent %d is not in the support of %s %d", u.Agent, rowKind(u.Party), u.Row)
+		}
+		if !u.Party && len(st.aRes[u.Agent]) == 1 && len(st.aPar[u.Agent]) > 0 {
+			return fmt.Errorf("removing agent %d's last resource while it benefits a party would make its local LPs unbounded (remove its party edges first, or remove the agent)", u.Agent)
+		}
+		for _, e := range row {
+			st.adjTouched[e.Agent] = true
+		}
+		st.removeEntry(u.Party, u.Row, u.Agent)
+		st.removeIncidence(u.Party, u.Agent, u.Row)
+		return nil
+	}
+	return fmt.Errorf("unknown op %d", uint8(u.Op))
+}
+
+func rowKind(party bool) string {
+	if party {
+		return "party"
+	}
+	return "resource"
+}
+
+func (st *topoState) rows(party bool) *[][]Entry {
+	if party {
+		return &st.par
+	}
+	return &st.res
+}
+
+// touchRow marks a row changed, copying it on first touch so the
+// original instance's rows stay intact.
+func (st *topoState) touchRow(party bool, r int) {
+	touched := st.resTouched
+	if party {
+		touched = st.parTouched
+	}
+	if !touched[r] {
+		touched[r] = true
+		rows := st.rows(party)
+		(*rows)[r] = slices.Clone((*rows)[r])
+	}
+}
+
+// removeEntry deletes (r, v) from a constraint row; the entry must
+// exist. Members of the row before the removal are adjacency-touched by
+// the callers.
+func (st *topoState) removeEntry(party bool, r, v int) {
+	st.touchRow(party, r)
+	rows := st.rows(party)
+	row := (*rows)[r]
+	pos, _ := slices.BinarySearchFunc(row, v, func(e Entry, w int) int { return e.Agent - w })
+	(*rows)[r] = slices.Delete(row, pos, pos+1)
+	for _, e := range (*rows)[r] {
+		st.adjTouched[e.Agent] = true
+	}
+	st.adjTouched[v] = true
+}
+
+func (st *topoState) insertIncidence(party bool, v, r int) {
+	list := st.incidenceOwned(party, v)
+	pos, _ := slices.BinarySearch(*list, r)
+	*list = slices.Insert(*list, pos, r)
+}
+
+func (st *topoState) removeIncidence(party bool, v, r int) {
+	list := st.incidenceOwned(party, v)
+	pos, _ := slices.BinarySearch(*list, r)
+	*list = slices.Delete(*list, pos, pos+1)
+}
+
+// incidenceOwned returns a pointer to an owned (copied-on-first-touch)
+// incidence list of agent v. Both relations of an agent are copied
+// together under one ownership bit, so the bit stays a simple per-agent
+// flag.
+func (st *topoState) incidenceOwned(party bool, v int) *[]int {
+	if !st.incTouched[v] {
+		st.incTouched[v] = true
+		st.aRes[v] = slices.Clone(st.aRes[v])
+		st.aPar[v] = slices.Clone(st.aPar[v])
+	}
+	if party {
+		return &st.aPar[v]
+	}
+	return &st.aRes[v]
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupSortedInts(xs []int) []int {
+	sort.Ints(xs)
+	return slices.Compact(xs)
+}

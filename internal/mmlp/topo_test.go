@@ -1,0 +1,269 @@
+package mmlp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// topoTestInstance is a small instance with two resources and two
+// parties over four agents:
+//
+//	resource 0: {0:1, 1:2}    party 0: {0:1, 2:3}
+//	resource 1: {1:1, 2:1, 3:2}    party 1: {3:0.5}
+func topoTestInstance(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AddResource(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 1, Coeff: 2})
+	b.AddResource(Entry{Agent: 1, Coeff: 1}, Entry{Agent: 2, Coeff: 1}, Entry{Agent: 3, Coeff: 2})
+	b.AddParty(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 2, Coeff: 3})
+	b.AddParty(Entry{Agent: 3, Coeff: 0.5})
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestApplyTopoAddRemoveEdge(t *testing.T) {
+	in := topoTestInstance(t)
+	out, d, err := in.ApplyTopo([]TopoUpdate{
+		AddResourceEdge(0, 3, 0.25), // agent 3 joins resource 0
+		RemovePartyEdge(1, 3),       // party 1 dies (last entry removed)
+		AddPartyEdge(2, 1, 4),       // new party 2 = {1}
+		RemovePartyEdge(0, 2),       // agent 2 stops benefiting party 0…
+		RemoveResourceEdge(1, 2),    // …and leaves resource 1 (its last)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes0 := []Entry{{Agent: 0, Coeff: 1}, {Agent: 1, Coeff: 2}, {Agent: 3, Coeff: 0.25}}
+	if !reflect.DeepEqual(out.Resource(0), wantRes0) {
+		t.Errorf("resource 0 = %v, want %v", out.Resource(0), wantRes0)
+	}
+	if got := out.Resource(1); len(got) != 2 || got[0].Agent != 1 || got[1].Agent != 3 {
+		t.Errorf("resource 1 = %v, want agents {1,3}", got)
+	}
+	if got := out.Party(1); len(got) != 0 {
+		t.Errorf("party 1 should be dead, got %v", got)
+	}
+	if out.NumParties() != 3 {
+		t.Fatalf("NumParties = %d, want 3", out.NumParties())
+	}
+	if got := out.Party(2); len(got) != 1 || got[0] != (Entry{Agent: 1, Coeff: 4}) {
+		t.Errorf("party 2 = %v, want {1:4}", got)
+	}
+	// Incidence lists follow the rows.
+	if got := out.AgentResources(3); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("I_3 = %v, want [0 1]", got)
+	}
+	if got := out.AgentParties(3); len(got) != 0 {
+		t.Errorf("K_3 = %v, want empty", got)
+	}
+	if got := out.AgentResources(2); len(got) != 0 {
+		t.Errorf("I_2 = %v, want empty", got)
+	}
+	// Diff: touched rows and agents.
+	if !reflect.DeepEqual(d.ResRows, []int{0, 1}) || !reflect.DeepEqual(d.ParRows, []int{0, 1, 2}) {
+		t.Errorf("diff rows = %v / %v", d.ResRows, d.ParRows)
+	}
+	if !reflect.DeepEqual(d.IncAgents, []int{1, 2, 3}) {
+		t.Errorf("IncAgents = %v, want [1 2 3]", d.IncAgents)
+	}
+	for _, v := range []int{0, 1, 2, 3} {
+		found := false
+		for _, u := range d.Touched {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("agent %d missing from Touched %v", v, d.Touched)
+		}
+	}
+	// The original instance is untouched.
+	if len(in.Party(1)) != 1 || len(in.Resource(0)) != 2 || len(in.AgentResources(2)) != 1 {
+		t.Error("ApplyTopo mutated the receiver")
+	}
+}
+
+func TestApplyTopoAgents(t *testing.T) {
+	in := topoTestInstance(t)
+	out, d, err := in.ApplyTopo([]TopoUpdate{
+		AddAgent(),                 // agent 4
+		AddResourceEdge(1, 4, 1.5), // joins resource 1
+		AddPartyEdge(0, 4, 2),      // benefits party 0
+		RemoveAgent(1),             // agent 1 leaves everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumAgents() != 5 {
+		t.Fatalf("NumAgents = %d, want 5", out.NumAgents())
+	}
+	if !reflect.DeepEqual(d.AddedAgents, []int{4}) || !reflect.DeepEqual(d.RemovedAgents, []int{1}) {
+		t.Errorf("added/removed = %v / %v", d.AddedAgents, d.RemovedAgents)
+	}
+	if got := out.AgentResources(1); len(got) != 0 {
+		t.Errorf("removed agent still has I_1 = %v", got)
+	}
+	if got := out.Resource(0); len(got) != 1 || got[0].Agent != 0 {
+		t.Errorf("resource 0 = %v, want {0:1}", got)
+	}
+	if got := out.Resource(1); len(got) != 3 || got[2] != (Entry{Agent: 4, Coeff: 1.5}) {
+		t.Errorf("resource 1 = %v", got)
+	}
+	if got := out.A(1, 4); got != 1.5 {
+		t.Errorf("A(1,4) = %v", got)
+	}
+	if got := out.AgentParties(4); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("K_4 = %v, want [0]", got)
+	}
+	if d.OldNumAgents != 4 || d.NumAgents != 5 {
+		t.Errorf("diff agent counts %d -> %d", d.OldNumAgents, d.NumAgents)
+	}
+}
+
+func TestApplyTopoValidation(t *testing.T) {
+	in := topoTestInstance(t)
+	bad := [][]TopoUpdate{
+		{RemoveAgent(-1)},
+		{RemoveAgent(4)},
+		{AddResourceEdge(0, 0, 1)},           // already present
+		{AddResourceEdge(3, 0, 1)},           // row gap (only 2 resources)
+		{AddResourceEdge(0, 9, 1)},           // agent out of range
+		{AddResourceEdge(2, 0, 0)},           // zero coefficient
+		{AddResourceEdge(2, 0, math.Inf(1))}, // infinite coefficient
+		{AddPartyEdge(0, 1, math.NaN())},     // NaN coefficient
+		{RemoveResourceEdge(0, 2)},           // not in support
+		{RemoveResourceEdge(5, 0)},           // row out of range
+		{{Op: TopoOp(9)}},                    // unknown op
+		// Second op invalid: the whole batch must be rejected.
+		{AddResourceEdge(2, 0, 1), RemovePartyEdge(0, 3)},
+		// Solvability: agent 2's only resource is 1, and it benefits
+		// party 0 — removing the edge would unbound its local LPs.
+		{RemoveResourceEdge(1, 2)},
+		// Solvability: a freshly added agent has no resources, so a
+		// party edge must come after a resource edge, not before.
+		{AddAgent(), AddPartyEdge(0, 4, 1)},
+	}
+	for i, ups := range bad {
+		out, d, err := in.ApplyTopo(ups)
+		if err == nil {
+			t.Errorf("bad batch %d accepted (diff %+v)", i, d)
+		}
+		if out != nil {
+			t.Errorf("bad batch %d returned an instance", i)
+		}
+	}
+	// The receiver survives every rejected batch bit-for-bit.
+	ref := topoTestInstance(t)
+	for i := 0; i < in.NumResources(); i++ {
+		if !reflect.DeepEqual(in.Resource(i), ref.Resource(i)) {
+			t.Fatalf("resource %d changed by a rejected batch", i)
+		}
+	}
+	for k := 0; k < in.NumParties(); k++ {
+		if !reflect.DeepEqual(in.Party(k), ref.Party(k)) {
+			t.Fatalf("party %d changed by a rejected batch", k)
+		}
+	}
+}
+
+func TestApplyTopoEmptyBatchAndDiff(t *testing.T) {
+	in := topoTestInstance(t)
+	out, d, err := in.ApplyTopo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Errorf("empty batch diff not empty: %+v", d)
+	}
+	if out.NumAgents() != in.NumAgents() {
+		t.Error("empty batch changed the agent count")
+	}
+	_, d, err = in.ApplyTopo([]TopoUpdate{AddAgent()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Error("agent addition reported as empty diff")
+	}
+}
+
+// TestApplyTopoObjectiveSkipsDeadParties: a party whose support left
+// demands nothing; the objective is the minimum over live parties only.
+func TestApplyTopoObjectiveSkipsDeadParties(t *testing.T) {
+	in := topoTestInstance(t)
+	out, _, err := in.ApplyTopo([]TopoUpdate{RemovePartyEdge(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1, 1, 1}
+	if got, want := out.Objective(x), in.PartyBenefit(0, x); got != want {
+		t.Errorf("Objective = %v, want live party benefit %v", got, want)
+	}
+	// All parties dead: min over the empty set.
+	out2, _, err := out.ApplyTopo([]TopoUpdate{RemovePartyEdge(0, 0), RemovePartyEdge(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out2.Objective(x); !math.IsInf(got, 1) {
+		t.Errorf("Objective with all parties dead = %v, want +Inf", got)
+	}
+}
+
+// TestApplyTopoMatchesBuilder: churning one instance into another shape
+// yields exactly the rows a fresh Builder would produce for that shape.
+func TestApplyTopoMatchesBuilder(t *testing.T) {
+	in := topoTestInstance(t)
+	out, _, err := in.ApplyTopo([]TopoUpdate{
+		AddAgent(),
+		AddResourceEdge(2, 4, 1),
+		AddResourceEdge(2, 0, 2),
+		RemovePartyEdge(0, 2),
+		AddPartyEdge(0, 4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(5)
+	b.AddResource(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 1, Coeff: 2})
+	b.AddResource(Entry{Agent: 1, Coeff: 1}, Entry{Agent: 2, Coeff: 1}, Entry{Agent: 3, Coeff: 2})
+	b.AddResource(Entry{Agent: 0, Coeff: 2}, Entry{Agent: 4, Coeff: 1})
+	b.AddParty(Entry{Agent: 0, Coeff: 1}, Entry{Agent: 4, Coeff: 1})
+	b.AddParty(Entry{Agent: 3, Coeff: 0.5})
+	want := b.MustBuild()
+	for i := 0; i < want.NumResources(); i++ {
+		if !reflect.DeepEqual(out.Resource(i), want.Resource(i)) {
+			t.Errorf("resource %d = %v, want %v", i, out.Resource(i), want.Resource(i))
+		}
+	}
+	for k := 0; k < want.NumParties(); k++ {
+		if !reflect.DeepEqual(out.Party(k), want.Party(k)) {
+			t.Errorf("party %d = %v, want %v", k, out.Party(k), want.Party(k))
+		}
+	}
+	for v := 0; v < want.NumAgents(); v++ {
+		if !equalInts(out.AgentResources(v), want.AgentResources(v)) {
+			t.Errorf("I_%d = %v, want %v", v, out.AgentResources(v), want.AgentResources(v))
+		}
+		if !equalInts(out.AgentParties(v), want.AgentParties(v)) {
+			t.Errorf("K_%d = %v, want %v", v, out.AgentParties(v), want.AgentParties(v))
+		}
+	}
+}
+
+// equalInts compares two int slices treating nil and empty as equal
+// (ApplyTopo leaves empty-but-non-nil lists where the Builder has nil).
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

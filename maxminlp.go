@@ -109,6 +109,16 @@ type (
 	// CoeffUpdate is the instance-level form of a coefficient change
 	// (Instance.UpdateCoeffs).
 	CoeffUpdate = mmlp.CoeffUpdate
+	// TopoUpdate is one structural change — an agent, resource, party or
+	// support entry joining or leaving — applied by Instance.ApplyTopo
+	// and Solver.UpdateTopology. Build them with AddAgent, RemoveAgent,
+	// AddResourceEdge, AddPartyEdge, RemoveResourceEdge and
+	// RemovePartyEdge.
+	TopoUpdate = mmlp.TopoUpdate
+	// TopoOp selects the kind of a TopoUpdate.
+	TopoOp = mmlp.TopoOp
+	// TopoDiff reports what a structural update batch changed.
+	TopoDiff = mmlp.TopoDiff
 
 	// Network runs distributed protocols over an instance.
 	Network = dist.Network
@@ -247,6 +257,42 @@ const (
 	// PartyWeight updates c_kv of party Row and agent Agent.
 	PartyWeight = core.PartyWeight
 )
+
+// Structural-update ops for Solver.UpdateTopology / Instance.ApplyTopo.
+const (
+	// TopoAddAgent appends one detached agent.
+	TopoAddAgent = mmlp.TopoAddAgent
+	// TopoRemoveAgent detaches an agent from every row.
+	TopoRemoveAgent = mmlp.TopoRemoveAgent
+	// TopoAddEdge adds one support entry (Row == row count creates the row).
+	TopoAddEdge = mmlp.TopoAddEdge
+	// TopoRemoveEdge removes one support entry (a row may die).
+	TopoRemoveEdge = mmlp.TopoRemoveEdge
+)
+
+// AddAgent returns the topology update that appends one detached agent;
+// wire it in with AddResourceEdge/AddPartyEdge in the same batch.
+func AddAgent() TopoUpdate { return mmlp.AddAgent() }
+
+// RemoveAgent returns the topology update that detaches agent v: it
+// leaves every row it was in and its activity is 0 from here on.
+func RemoveAgent(v int) TopoUpdate { return mmlp.RemoveAgent(v) }
+
+// AddResourceEdge returns the topology update that adds a_iv = coeff;
+// i may equal NumResources to create the resource.
+func AddResourceEdge(i, v int, coeff float64) TopoUpdate { return mmlp.AddResourceEdge(i, v, coeff) }
+
+// AddPartyEdge returns the topology update that adds c_kv = coeff;
+// k may equal NumParties to create the party.
+func AddPartyEdge(k, v int, coeff float64) TopoUpdate { return mmlp.AddPartyEdge(k, v, coeff) }
+
+// RemoveResourceEdge returns the topology update that removes agent v
+// from the support of resource i.
+func RemoveResourceEdge(i, v int) TopoUpdate { return mmlp.RemoveResourceEdge(i, v) }
+
+// RemovePartyEdge returns the topology update that removes agent v from
+// the support of party k.
+func RemovePartyEdge(k, v int) TopoUpdate { return mmlp.RemovePartyEdge(k, v) }
 
 // NewSolver builds a solving session from an instance: the communication
 // hypergraph and CSR index are constructed once and every later query —

@@ -271,3 +271,72 @@ func TestPublicAPISession(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPITopology exercises the churn surface end to end through
+// the facade: structural updates on an Instance and a Solver session,
+// plus a resynced session network, all bit-identical to cold solves of
+// the mutated instance.
+func TestPublicAPITopology(t *testing.T) {
+	in, _ := maxminlp.Torus([]int{6, 6}, maxminlp.LatticeOptions{})
+	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	if _, err := sess.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := maxminlp.NewSessionNetwork(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []maxminlp.TopoUpdate{
+		maxminlp.AddAgent(),
+		maxminlp.AddResourceEdge(0, 36, 1.5),
+		maxminlp.AddPartyEdge(2, 36, 0.75),
+		maxminlp.RemoveAgent(7),
+		maxminlp.RemoveResourceEdge(4, 10),
+	}
+	mirror, diff, err := in.ApplyTopo(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.NumAgents != 37 || len(diff.AddedAgents) != 1 || len(diff.RemovedAgents) != 1 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	if _, err := sess.UpdateTopology(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	inc, err := sess.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := maxminlp.LocalAverage(mirror, maxminlp.NewGraph(mirror, maxminlp.GraphOptions{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range cold.X {
+		if inc.X[v] != cold.X[v] {
+			t.Fatalf("post-churn X[%d] = %v, want %v", v, inc.X[v], cold.X[v])
+		}
+	}
+	if inc.X[7] != 0 {
+		t.Errorf("removed agent has activity %v, want 0", inc.X[7])
+	}
+	st := sess.Stats()
+	if st.TopoUpdates != 1 || st.BallsPatched == 0 || st.BallIndexBuilds != 1 {
+		t.Errorf("churn stats implausible: %+v", st)
+	}
+
+	// The session network serves the mutated topology after Resync.
+	if err := nw.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := nw.RunSequential(maxminlp.AverageProtocol{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range tr.X {
+		if tr.X[v] != inc.X[v] {
+			t.Fatalf("distributed post-churn X[%d] = %v, want %v", v, tr.X[v], inc.X[v])
+		}
+	}
+}
