@@ -488,6 +488,100 @@ func BenchmarkSession(b *testing.B) {
 	})
 }
 
+// BenchmarkSessionObs is BenchmarkSession with a metrics registry
+// attached: the instrumented twin that the CI overhead gate compares
+// against the plain runs (obs-on must stay within 2% of obs-off), and
+// the source of the obs-derived phase latency distributions (p50/p99
+// per solve phase, in ns) that BENCH_PR6.json records alongside the
+// per-op means.
+func BenchmarkSessionObs(b *testing.B) {
+	in, _ := gen.Torus([]int{16, 16}, gen.LatticeOptions{})
+	const radius = 2
+	deltas := []maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 0, Agent: in.Resource(0)[0].Agent, Coeff: 1.5},
+		{Kind: maxminlp.ResourceWeight, Row: 17, Agent: in.Resource(17)[0].Agent, Coeff: 0.75},
+		{Kind: maxminlp.PartyWeight, Row: 5, Agent: in.Party(5)[0].Agent, Coeff: 2.0},
+		{Kind: maxminlp.PartyWeight, Row: 100, Agent: in.Party(100)[0].Agent, Coeff: 0.5},
+	}
+	reportPhases := func(b *testing.B, m *maxminlp.SolveMetrics) {
+		for _, ph := range []struct {
+			name string
+			s    maxminlp.HistogramSnapshot
+		}{
+			{"fingerprint", m.PhaseFingerprint.Snapshot()},
+			{"group", m.PhaseGroup.Snapshot()},
+			{"lp-solve", m.PhaseLPSolve.Snapshot()},
+			{"accumulate", m.PhaseAccumulate.Snapshot()},
+		} {
+			b.ReportMetric(ph.s.P50*1e9, ph.name+"-p50-ns")
+			b.ReportMetric(ph.s.P99*1e9, ph.name+"-p99-ns")
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		reg := maxminlp.NewMetricsRegistry()
+		m := maxminlp.NewSolveMetrics(reg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+			sess.SetObs(m)
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportPhases(b, m)
+	})
+	b.Run("warm", func(b *testing.B) {
+		reg := maxminlp.NewMetricsRegistry()
+		m := maxminlp.NewSolveMetrics(reg)
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+		sess.SetObs(m)
+		if _, err := sess.LocalAverage(radius); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if m.WarmHits.Value() < int64(b.N) {
+			b.Fatalf("warm hits %d < %d iterations", m.WarmHits.Value(), b.N)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		reg := maxminlp.NewMetricsRegistry()
+		m := maxminlp.NewSolveMetrics(reg)
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+		sess.SetObs(m)
+		if _, err := sess.LocalAverage(radius); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds := make([]maxminlp.WeightDelta, len(deltas))
+			copy(ds, deltas)
+			if i%2 == 1 {
+				for j := range ds {
+					ds[j].Coeff *= 2
+				}
+			}
+			if err := sess.UpdateWeights(ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportPhases(b, m)
+		b.ReportMetric(m.WeightUpdateSeconds.Snapshot().P99*1e9, "update-p99-ns")
+	})
+}
+
 // BenchmarkSessionNetwork compares a plain network against a
 // session-backed one (shared ball index + LP cache across nodes) on the
 // sequential engine — the per-node redundant re-solves of the protocol

@@ -9,7 +9,19 @@
 //
 // Each benchmark maps to its parsed metrics: ns/op always, plus B/op,
 // allocs/op and any custom b.ReportMetric series present (the dedup
-// benchmarks report solves/op and avoided/op).
+// benchmarks report solves/op and avoided/op). When the same benchmark
+// appears more than once (a `-count N` run), metrics are aggregated
+// elementwise by minimum — the standard noise filter for throughput
+// numbers, since scheduling jitter only ever inflates them.
+//
+// Relative perf assertions gate CI without golden absolute numbers:
+//
+//	go run ./cmd/benchjson \
+//	  -assert 'BenchmarkSessionObs/cold:ns/op<=1.02*BenchmarkSession/cold:ns/op' \
+//	  bench.txt
+//
+// exits non-zero when the left side exceeds factor×right side, so the
+// instrumented session pays its <2% overhead budget on every push.
 package main
 
 import (
@@ -59,17 +71,123 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 			metrics[fields[i+1]] = v
 		}
 		if len(metrics) > 1 {
-			out[name] = metrics
+			if prev, ok := out[name]; ok {
+				mergeMin(prev, metrics)
+			} else {
+				out[name] = metrics
+			}
 		}
 	}
 	return out, sc.Err()
 }
 
+// mergeMin folds a repeated run of the same benchmark into the
+// accumulated metrics, keeping the elementwise minimum. Metrics only
+// one run reports are kept as-is.
+func mergeMin(acc, next map[string]float64) {
+	for k, v := range next {
+		if old, ok := acc[k]; !ok || v < old {
+			acc[k] = v
+		}
+	}
+}
+
+// assertion is one parsed `-assert` constraint:
+// left <= factor * right, where each side is a <bench>:<metric> pair
+// (colon-separated, since benchmark names themselves contain slashes).
+type assertion struct {
+	leftBench, leftMetric   string
+	factor                  float64
+	rightBench, rightMetric string
+}
+
+func parseAssertion(s string) (assertion, error) {
+	var a assertion
+	lhs, rhs, ok := strings.Cut(s, "<=")
+	if !ok {
+		return a, fmt.Errorf("assertion %q: missing \"<=\"", s)
+	}
+	factorStr, ref, ok := strings.Cut(rhs, "*")
+	if !ok {
+		return a, fmt.Errorf("assertion %q: right side must be <factor>*<bench>:<metric>", s)
+	}
+	factor, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+	if err != nil {
+		return a, fmt.Errorf("assertion %q: bad factor: %v", s, err)
+	}
+	cut := func(side string) (string, string, error) {
+		b, m, ok := strings.Cut(strings.TrimSpace(side), ":")
+		if !ok || b == "" || m == "" {
+			return "", "", fmt.Errorf("assertion %q: %q is not <bench>:<metric>", s, side)
+		}
+		return b, m, nil
+	}
+	if a.leftBench, a.leftMetric, err = cut(lhs); err != nil {
+		return a, err
+	}
+	if a.rightBench, a.rightMetric, err = cut(ref); err != nil {
+		return a, err
+	}
+	a.factor = factor
+	return a, nil
+}
+
+// check evaluates the assertion against parsed results; a missing
+// benchmark or metric is itself a failure so a renamed benchmark can't
+// silently disarm the gate.
+func (a assertion) check(parsed map[string]map[string]float64) error {
+	lookup := func(bench, metric string) (float64, error) {
+		m, ok := parsed[bench]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %q not in input", bench)
+		}
+		v, ok := m[metric]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %q has no metric %q", bench, metric)
+		}
+		return v, nil
+	}
+	left, err := lookup(a.leftBench, a.leftMetric)
+	if err != nil {
+		return err
+	}
+	right, err := lookup(a.rightBench, a.rightMetric)
+	if err != nil {
+		return err
+	}
+	if limit := a.factor * right; left > limit {
+		return fmt.Errorf("%s:%s = %g exceeds %g*%s:%s = %g (ratio %.4f)",
+			a.leftBench, a.leftMetric, left, a.factor, a.rightBench, a.rightMetric,
+			limit, left/right)
+	}
+	return nil
+}
+
+// repeatFlag collects every occurrence of a repeatable string flag.
+type repeatFlag []string
+
+func (r *repeatFlag) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatFlag) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "output file (default stdout)")
+	var asserts repeatFlag
+	fs.Var(&asserts, "assert", "perf constraint <bench>:<metric><=<factor>*<bench>:<metric> (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	checks := make([]assertion, len(asserts))
+	for i, s := range asserts {
+		a, err := parseAssertion(s)
+		if err != nil {
+			return err
+		}
+		checks[i] = a
 	}
 	in := stdin
 	if fs.NArg() > 0 {
@@ -86,6 +204,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(parsed) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	for _, a := range checks {
+		if err := a.check(parsed); err != nil {
+			return fmt.Errorf("benchjson: assertion failed: %v", err)
+		}
 	}
 	// Deterministic output: sorted keys via an ordered re-marshal.
 	names := make([]string, 0, len(parsed))

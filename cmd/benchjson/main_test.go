@@ -64,3 +64,64 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Fatal("want error on input without benchmark lines")
 	}
 }
+
+const repeated = `BenchmarkSession/cold-8     	      20	  16000000 ns/op	 2500000 B/op	    1268 allocs/op
+BenchmarkSession/cold-8     	      20	  15500000 ns/op	 2600000 B/op	    1268 allocs/op
+BenchmarkSessionObs/cold-8  	      20	  15700000 ns/op	 2510000 B/op	    1270 allocs/op
+BenchmarkSessionObs/cold-8  	      20	  16400000 ns/op	 2505000 B/op	    1270 allocs/op	 17500000 lp-solve-p50-ns
+`
+
+func TestParseBenchMinAggregation(t *testing.T) {
+	got, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := got["BenchmarkSession/cold"]
+	if cold["ns/op"] != 15500000 || cold["B/op"] != 2500000 {
+		t.Fatalf("elementwise min not applied: %v", cold)
+	}
+	obs := got["BenchmarkSessionObs/cold"]
+	if obs["lp-solve-p50-ns"] != 17500000 {
+		t.Fatalf("metric present in only one run lost: %v", obs)
+	}
+}
+
+func TestAssertions(t *testing.T) {
+	pass := []string{"-assert", "BenchmarkSessionObs/cold:ns/op<=1.02*BenchmarkSession/cold:ns/op"}
+	var out strings.Builder
+	if err := run(pass, strings.NewReader(repeated), &out); err != nil {
+		t.Fatalf("passing assertion failed: %v", err)
+	}
+	// 15.7e6 > 1.0 * 15.5e6: tighten the factor until it trips.
+	fail := []string{"-assert", "BenchmarkSessionObs/cold:ns/op<=1.0*BenchmarkSession/cold:ns/op"}
+	err := run(fail, strings.NewReader(repeated), &out)
+	if err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Fatalf("violated assertion not reported: %v", err)
+	}
+	// A typo'd benchmark name must fail, not silently pass.
+	missing := []string{"-assert", "BenchmarkNope:ns/op<=1.0*BenchmarkSession/cold:ns/op"}
+	if err := run(missing, strings.NewReader(repeated), &out); err == nil {
+		t.Fatal("assertion on missing benchmark passed")
+	}
+}
+
+func TestParseAssertionErrors(t *testing.T) {
+	for _, bad := range []string{
+		"no-comparator",
+		"a:b<=c:d",      // missing factor
+		"a<=1.0*b:c",    // left side not bench:metric
+		"a:b<=oops*c:d", // unparseable factor
+	} {
+		if _, err := parseAssertion(bad); err == nil {
+			t.Errorf("parseAssertion(%q) accepted", bad)
+		}
+	}
+	a, err := parseAssertion("BenchmarkA/x:ns/op<=1.02*BenchmarkB/y:ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.leftBench != "BenchmarkA/x" || a.leftMetric != "ns/op" || a.factor != 1.02 ||
+		a.rightBench != "BenchmarkB/y" || a.rightMetric != "ns/op" {
+		t.Fatalf("parsed wrong: %+v", a)
+	}
+}

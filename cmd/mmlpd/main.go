@@ -9,13 +9,16 @@
 // Endpoints:
 //
 //	GET    /healthz                   liveness + instance count
-//	GET    /v1/stats                  per-instance session statistics
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /v1/stats                  instances + phase-timing summaries
 //	POST   /v1/instances              load an instance (generator spec or inline JSON)
 //	GET    /v1/instances              list loaded instances
 //	GET    /v1/instances/{id}         one instance with session stats
 //	DELETE /v1/instances/{id}         unload
 //	POST   /v1/instances/{id}/solve   batch of safe/average/adaptive/certificate queries
 //	POST   /v1/instances/{id}/weights patch a_iv / c_kv coefficients atomically
+//	POST   /v1/instances/{id}/topology patch structure (agents/edges join or leave)
+//	/debug/pprof/*                    net/http/pprof, only with -pprof
 //
 // Example session:
 //
@@ -35,23 +38,71 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
+
+	"maxminlp/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("mmlpd", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	quiet := fs.Bool("quiet", false, "suppress request logging")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceFile := fs.String("trace", "", "append request trace events to this JSONL file")
+	slow := fs.Duration("slow", time.Second, "slow-query log threshold (0 disables)")
+	scrape := fs.String("scrape", "", "scrape a /metrics URL, validate the exposition, and exit (CI self-check)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if *scrape != "" {
+		os.Exit(scrapeCheck(*scrape))
 	}
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
 	srv := newServer(logf)
+	srv.pprofOn = *pprofOn
+	srv.setSlow(*slow)
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.obs.tracer.SetSink(f)
+	}
 	log.Printf("mmlpd listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// scrapeCheck fetches a Prometheus exposition and validates it with the
+// same strict parser the exposition tests use; CI runs `mmlpd -scrape`
+// against a live daemon so an unparseable /metrics fails the build.
+func scrapeCheck(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "scrape %s: status %d\n", url, resp.StatusCode)
+		return 1
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrape %s: %v\n", url, err)
+		return 1
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("scrape ok: %d metric families, %d samples\n", len(fams), samples)
+	return 0
 }

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"maxminlp/internal/obs"
+)
+
+// doRaw issues one JSON request and returns the raw response (closed at
+// test cleanup), for asserting on status codes and headers.
+func doRaw(t *testing.T, ts *httptest.Server, method, path string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// scrapeMetrics fetches /metrics and validates it with the strict
+// exposition parser — the same check CI runs against a live daemon.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) map[string]obs.ParsedFamily {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition unparseable: %v", err)
+	}
+	byName := make(map[string]obs.ParsedFamily, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+// sampleValue returns the value of the family's sample whose labels
+// include every given pair; -1 when absent.
+func sampleValue(f obs.ParsedFamily, labels map[string]string) float64 {
+	for _, s := range f.Samples {
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value
+		}
+	}
+	return -1
+}
+
+// TestMetricsExposition drives a full request mix through the daemon
+// and requires /metrics to serve a strictly parseable Prometheus text
+// exposition containing the per-endpoint latency histograms, the
+// solve-phase metrics recorded by the shared session bundle, and the
+// Go runtime gauges.
+func TestMetricsExposition(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{6, 6}}}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+	var results []solveResult
+	do(t, ts, "POST", base+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "average", Radius: 1}},
+	}, http.StatusOK, &results)
+	do(t, ts, "POST", base+"/weights", weightsRequest{
+		Resources: []coeffPatch{{Row: 0, Agent: 0, Coeff: 2}},
+	}, http.StatusOK, nil)
+
+	fams := scrapeMetrics(t, ts)
+
+	lat, ok := fams["mmlpd_http_request_seconds"]
+	if !ok || lat.Type != "histogram" {
+		t.Fatalf("mmlpd_http_request_seconds missing or not a histogram: %+v", lat)
+	}
+	for _, ep := range []string{"load", "solve", "weights"} {
+		found := false
+		for _, s := range lat.Samples {
+			if s.Name == "mmlpd_http_request_seconds_count" && s.Labels["endpoint"] == ep && s.Value >= 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no latency recorded for endpoint %q", ep)
+		}
+	}
+	reqs, ok := fams["mmlpd_http_requests_total"]
+	if !ok || reqs.Type != "counter" {
+		t.Fatalf("mmlpd_http_requests_total missing: %+v", reqs)
+	}
+	if v := sampleValue(reqs, map[string]string{"endpoint": "solve", "code": "200"}); v != 1 {
+		t.Errorf("solve 200 count = %v, want 1", v)
+	}
+
+	// Solve-pipeline metrics flow from the session into the same
+	// registry.
+	if f := fams["mmlp_solve_passes_total"]; sampleValue(f, map[string]string{"kind": "full"}) < 1 {
+		t.Errorf("no full solve pass recorded: %+v", f)
+	}
+	phases, ok := fams["mmlp_solve_phase_seconds"]
+	if !ok || phases.Type != "histogram" {
+		t.Fatalf("mmlp_solve_phase_seconds missing: %+v", phases)
+	}
+	if f := fams["mmlp_lp_solves_total"]; len(f.Samples) == 0 || f.Samples[0].Value < 1 {
+		t.Errorf("no LP solves recorded: %+v", f)
+	}
+
+	// Runtime and daemon gauges refresh at scrape time.
+	if f := fams["go_goroutines"]; len(f.Samples) == 0 || f.Samples[0].Value < 1 {
+		t.Errorf("go_goroutines implausible: %+v", f)
+	}
+	if f := fams["mmlpd_instances"]; len(f.Samples) == 0 || f.Samples[0].Value != 1 {
+		t.Errorf("mmlpd_instances = %+v, want 1", f)
+	}
+}
+
+// TestRejectionMetricsAndRetryAfter sends requests past the serving
+// caps and checks the 413 carries a Retry-After hint and increments the
+// reason-labelled rejection counter.
+func TestRejectionMetricsAndRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{4, 4}}}, http.StatusCreated, &info)
+	base := "/v1/instances/" + info.ID
+
+	big := weightsRequest{Resources: make([]coeffPatch, maxPatchEntries+1)}
+	resp := doRaw(t, ts, "POST", base+"/weights", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized patch: status %d, want 413", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("413 response missing Retry-After")
+	}
+
+	bigTopo := topologyRequest{Ops: make([]topoOpSpec, maxPatchEntries+1)}
+	if resp := doRaw(t, ts, "POST", base+"/topology", bigTopo); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized topo patch: status %d, want 413", resp.StatusCode)
+	}
+
+	fams := scrapeMetrics(t, ts)
+	rej, ok := fams["mmlpd_rejections_total"]
+	if !ok {
+		t.Fatal("mmlpd_rejections_total missing")
+	}
+	if v := sampleValue(rej, map[string]string{"reason": "patch_entries"}); v != 1 {
+		t.Errorf("patch_entries rejections = %v, want 1", v)
+	}
+	if v := sampleValue(rej, map[string]string{"reason": "topo_ops"}); v != 1 {
+		t.Errorf("topo_ops rejections = %v, want 1", v)
+	}
+}
+
+// TestPanicRecoveredCounter feeds a spec whose invariants only the
+// generator itself checks (by panicking); the daemon must convert the
+// panic to a 400 and count it.
+func TestPanicRecoveredCounter(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var errResp map[string]string
+	do(t, ts, "POST", "/v1/instances", loadRequest{
+		Random: &randomSpec{Agents: 5, Resources: 3, MaxVI: 0, MaxVK: 1},
+	}, http.StatusBadRequest, &errResp)
+	if !strings.Contains(errResp["error"], "invalid instance spec") {
+		t.Errorf("error = %q, want a recovered-panic message", errResp["error"])
+	}
+
+	var stats statsResponse
+	do(t, ts, "GET", "/v1/stats", nil, http.StatusOK, &stats)
+	if stats.PanicsRecovered != 1 {
+		t.Errorf("panicsRecovered = %d, want 1", stats.PanicsRecovered)
+	}
+}
+
+// TestStatsPhaseSummaries checks the extended /v1/stats payload: the
+// instance list plus phase-timing histogram summaries and per-endpoint
+// latency snapshots.
+func TestStatsPhaseSummaries(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+
+	var info instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{6, 6}}}, http.StatusCreated, &info)
+	do(t, ts, "POST", "/v1/instances/"+info.ID+"/solve", solveRequest{
+		Queries: []solveQuery{{Kind: "average", Radius: 1}, {Kind: "average", Radius: 1}},
+	}, http.StatusOK, nil)
+
+	var stats statsResponse
+	do(t, ts, "GET", "/v1/stats", nil, http.StatusOK, &stats)
+	if len(stats.Instances) != 1 || stats.Instances[0].ID != info.ID {
+		t.Fatalf("instances = %+v", stats.Instances)
+	}
+	if stats.Solve.Passes["full"] != 1 || stats.Solve.Passes["warm"] != 1 {
+		t.Errorf("passes = %+v, want full=1 warm=1", stats.Solve.Passes)
+	}
+	lp := stats.Solve.Phases["lp_solve"]
+	if lp.Count == 0 || lp.P99 < lp.P50 {
+		t.Errorf("lp_solve phase summary implausible: %+v", lp)
+	}
+	if stats.Solve.LPSolves == 0 || stats.Solve.LPPivots == 0 {
+		t.Errorf("LP counters empty: %+v", stats.Solve)
+	}
+	if h := stats.HTTP["solve"]; h.Count != 1 {
+		t.Errorf("solve endpoint latency count = %d, want 1", h.Count)
+	}
+	if stats.Uptime == "" {
+		t.Error("uptime missing")
+	}
+}
+
+// TestPprofGate checks the pprof mux is absent by default and present
+// with the flag.
+func TestPprofGate(t *testing.T) {
+	off := httptest.NewServer(newServer(nil).handler())
+	defer off.Close()
+	resp, err := off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+
+	srv := newServer(nil)
+	srv.pprofOn = true
+	on := httptest.NewServer(srv.handler())
+	defer on.Close()
+	resp, err = on.Client().Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d with -pprof", resp.StatusCode)
+	}
+}

@@ -6,12 +6,14 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"maxminlp"
+	"maxminlp/internal/obs"
 )
 
 // server is the mmlpd state: one Solver session per loaded instance.
@@ -24,6 +26,8 @@ type server struct {
 	nextID    int
 	started   time.Time
 	logf      func(format string, args ...any)
+	obs       *serverObs
+	pprofOn   bool
 }
 
 // managed is one loaded instance and its long-lived session. mu
@@ -70,25 +74,41 @@ func newServer(logf func(string, ...any)) *server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &server{
+	s := &server{
 		instances: make(map[string]*managed),
 		started:   time.Now(),
 		logf:      logf,
+		obs:       newServerObs(),
 	}
+	s.setSlow(time.Second)
+	return s
 }
 
 // handler builds the route table. Method+path patterns need Go ≥ 1.22.
+// Every endpoint goes through wrap, which records the per-endpoint
+// latency histogram and request counter and opens the request's trace
+// span. The pprof handlers mount only when enabled (-pprof): they
+// expose stacks and heap contents, which an always-on daemon should
+// not serve by default.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/instances", s.handleLoad)
-	mux.HandleFunc("GET /v1/instances", s.handleList)
-	mux.HandleFunc("GET /v1/instances/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/instances/{id}/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/instances/{id}/weights", s.handleWeights)
-	mux.HandleFunc("POST /v1/instances/{id}/topology", s.handleTopology)
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/stats", s.wrap("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/instances", s.wrap("load", s.handleLoad))
+	mux.HandleFunc("GET /v1/instances", s.wrap("list", s.handleList))
+	mux.HandleFunc("GET /v1/instances/{id}", s.wrap("get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.wrap("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/instances/{id}/solve", s.wrap("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/instances/{id}/weights", s.wrap("weights", s.handleWeights))
+	mux.HandleFunc("POST /v1/instances/{id}/topology", s.wrap("topology", s.handleTopology))
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -127,7 +147,7 @@ type randomSpec struct {
 	Seed      int64 `json:"seed,omitempty"`
 }
 
-func (req *loadRequest) build() (in *maxminlp.Instance, err error) {
+func (req *loadRequest) build(panics *obs.Counter) (in *maxminlp.Instance, err error) {
 	sources := 0
 	for _, set := range []bool{req.Torus != nil, req.Grid != nil, req.Random != nil, len(req.Instance) > 0} {
 		if set {
@@ -139,9 +159,12 @@ func (req *loadRequest) build() (in *maxminlp.Instance, err error) {
 	}
 	// The generators enforce their invariants by panicking (they are
 	// library entry points for correct-by-construction callers); a load
-	// request is untrusted input, so convert any panic into a 400.
+	// request is untrusted input, so convert any panic into a 400 and
+	// count it — the size pre-checks below exist only for what a panic
+	// could not guard (allocations too large to attempt).
 	defer func() {
 		if r := recover(); r != nil {
+			panics.Inc()
 			in, err = nil, fmt.Errorf("invalid instance spec: %v", r)
 		}
 	}()
@@ -166,9 +189,8 @@ func (req *loadRequest) build() (in *maxminlp.Instance, err error) {
 		if r.Agents > maxServedAgents || r.Resources > maxServedRows || r.Parties > maxServedRows-r.Resources {
 			return nil, fmt.Errorf("random instance too large to serve")
 		}
-		if r.MaxVI < 1 || r.MaxVK < 1 {
-			return nil, fmt.Errorf("random needs maxVI ≥ 1 and maxVK ≥ 1")
-		}
+		// MaxVI/MaxVK < 1 is left to the generator's own invariant panic,
+		// which the recover above converts and counts.
 		return maxminlp.RandomInstance(maxminlp.RandomOptions{
 			Agents: r.Agents, Resources: r.Resources, Parties: r.Parties,
 			MaxVI: r.MaxVI, MaxVK: r.MaxVK,
@@ -208,12 +230,14 @@ func latticeOptions(spec *latticeSpec) maxminlp.LatticeOptions {
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	sp := spanOf(r)
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
 		return
 	}
-	in, err := req.build()
+	sp.Phase("load")
+	in, err := req.build(s.obs.panics)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -225,16 +249,19 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// The generator-specific checks above bound their own output; this
 	// catches every source (inline JSON in particular).
 	if in.NumAgents() > maxServedAgents || in.NumResources()+in.NumParties() > maxServedRows {
-		httpError(w, http.StatusRequestEntityTooLarge, "instance too large to serve (%d agents, %d rows)",
+		s.reject(w, "instance_too_large", "instance too large to serve (%d agents, %d rows)",
 			in.NumAgents(), in.NumResources()+in.NumParties())
 		return
 	}
+	sp.Phase("validate")
 	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{
 		CollaborationOblivious: req.CollaborationOblivious,
 	})
 	if req.Workers > 0 {
 		sess.SetWorkers(req.Workers)
 	}
+	sess.SetObs(s.obs.solve)
+	sp.Phase("linearise")
 	s.mu.Lock()
 	s.nextID++
 	m := &managed{
@@ -246,9 +273,11 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		sess:   sess,
 	}
 	s.instances[m.ID] = m
+	s.obs.instances.Set(float64(len(s.instances)))
 	s.mu.Unlock()
 	s.logf("loaded instance %s (%q): %v", m.ID, m.Name, in.Stats())
 	writeJSON(w, http.StatusCreated, s.describe(m))
+	sp.Phase("encode")
 }
 
 func (s *server) lookup(r *http.Request) (*managed, bool) {
@@ -279,6 +308,12 @@ func (s *server) describe(m *managed) instanceInfo {
 	}
 }
 
+// sortManaged orders instances by load sequence, the order every
+// listing endpoint reports.
+func sortManaged(ms []*managed) {
+	sort.Slice(ms, func(a, b int) bool { return ms[a].seq < ms[b].seq })
+}
+
 func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	ms := make([]*managed, 0, len(s.instances))
@@ -286,7 +321,7 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 		ms = append(ms, m)
 	}
 	s.mu.Unlock()
-	sort.Slice(ms, func(a, b int) bool { return ms[a].seq < ms[b].seq })
+	sortManaged(ms)
 	out := make([]instanceInfo, len(ms))
 	for i, m := range ms {
 		out[i] = s.describe(m)
@@ -308,6 +343,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	_, ok := s.instances[id]
 	delete(s.instances, id)
+	s.obs.instances.Set(float64(len(s.instances)))
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such instance")
@@ -352,6 +388,7 @@ type solveResult struct {
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such instance")
@@ -362,10 +399,12 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
 		return
 	}
+	sp.Phase("load")
 	if len(req.Queries) == 0 {
 		httpError(w, http.StatusBadRequest, "empty query batch")
 		return
 	}
+	sp.Phase("validate")
 	// Hold the instance lock across the whole batch: each result's
 	// omega is evaluated against the weights its X was solved under,
 	// and the batch observes one consistent instance even while other
@@ -383,7 +422,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		out = append(out, res)
 	}
 	m.Queries.Add(int64(len(req.Queries)))
+	sp.Annotate(fmt.Sprintf("instance=%s queries=%d", m.ID, len(req.Queries)))
+	sp.Phase("solve")
 	writeJSON(w, http.StatusOK, out)
+	sp.Phase("encode")
 }
 
 // runQuery executes one query; the caller holds m.mu.
@@ -471,6 +513,7 @@ type weightsResponse struct {
 }
 
 func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
+	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such instance")
@@ -481,6 +524,7 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
 		return
 	}
+	sp.Phase("load")
 	deltas := make([]maxminlp.WeightDelta, 0, len(req.Resources)+len(req.Parties))
 	for _, p := range req.Resources {
 		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.ResourceWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
@@ -493,9 +537,10 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(deltas) > maxPatchEntries {
-		httpError(w, http.StatusRequestEntityTooLarge, "patch has %d entries, cap is %d", len(deltas), maxPatchEntries)
+		s.reject(w, "patch_entries", "patch has %d entries, cap is %d", len(deltas), maxPatchEntries)
 		return
 	}
+	sp.Phase("validate")
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
@@ -503,11 +548,13 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp.Phase("solve")
 	writeJSON(w, http.StatusOK, weightsResponse{
 		Applied: len(deltas),
 		Micros:  time.Since(start).Microseconds(),
 		Session: m.sess.Stats(),
 	})
+	sp.Phase("encode")
 }
 
 // topologyRequest patches the structure of the instance behind a
@@ -570,6 +617,7 @@ type topologyResponse struct {
 }
 
 func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such instance")
@@ -580,12 +628,13 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
 		return
 	}
+	sp.Phase("load")
 	if len(req.Ops) == 0 {
 		httpError(w, http.StatusBadRequest, "empty topology patch")
 		return
 	}
 	if len(req.Ops) > maxPatchEntries {
-		httpError(w, http.StatusRequestEntityTooLarge, "patch has %d ops, cap is %d", len(req.Ops), maxPatchEntries)
+		s.reject(w, "topo_ops", "patch has %d ops, cap is %d", len(req.Ops), maxPatchEntries)
 		return
 	}
 	ups := make([]maxminlp.TopoUpdate, len(req.Ops))
@@ -607,7 +656,7 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	defer m.mu.Unlock()
 	in := m.sess.Instance()
 	if n := in.NumAgents(); n+adds > maxServedAgents {
-		httpError(w, http.StatusRequestEntityTooLarge, "instance would grow to %d agents, cap is %d", n+adds, maxServedAgents)
+		s.reject(w, "agent_growth", "instance would grow to %d agents, cap is %d", n+adds, maxServedAgents)
 		return
 	}
 	// Row growth: only an addEdge whose row is at or beyond the current
@@ -621,15 +670,17 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rows := in.NumResources() + in.NumParties(); rows+rowAdds > maxServedRows {
-		httpError(w, http.StatusRequestEntityTooLarge, "instance would grow to %d rows, cap is %d", rows+rowAdds, maxServedRows)
+		s.reject(w, "row_growth", "instance would grow to %d rows, cap is %d", rows+rowAdds, maxServedRows)
 		return
 	}
+	sp.Phase("validate")
 	start := time.Now()
 	diff, err := m.sess.UpdateTopology(ups)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp.Phase("solve")
 	s.logf("instance %s topology: %d ops, %d agents (+%d/-%d)",
 		m.ID, len(ups), diff.NumAgents, len(diff.AddedAgents), len(diff.RemovedAgents))
 	writeJSON(w, http.StatusOK, topologyResponse{
@@ -640,6 +691,7 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		Micros:        time.Since(start).Microseconds(),
 		Session:       m.sess.Stats(),
 	})
+	sp.Phase("encode")
 }
 
 type healthResponse struct {
@@ -657,8 +709,14 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.handleList(w, r)
+// reject refuses a request at a serving cap: 413, a Retry-After hint
+// (the caps shed load; a retry with a smaller request, or against a
+// less loaded deployment, can succeed), and a reason-labelled
+// rejection metric so cap pressure is visible before clients complain.
+func (s *server) reject(w http.ResponseWriter, reason, format string, args ...any) {
+	s.obs.rejected(reason).Inc()
+	w.Header().Set("Retry-After", "60")
+	httpError(w, http.StatusRequestEntityTooLarge, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ import (
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/lp"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
 )
 
 // AverageResult is the outcome of the Theorem-3 local averaging algorithm
@@ -218,7 +219,7 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 			}
 		}
 	default:
-		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums, nil); err != nil {
+		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -254,10 +255,23 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 // in and out of the run. entriesOut, when non-nil (requires shared),
 // receives each agent's cache entry — nil for trivial K^u = ∅ balls —
 // which is how the Solver session retains per-agent solutions for
-// incremental re-solves.
-func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64, entriesOut []*cacheEntry) error {
+// incremental re-solves. m, when non-nil, receives per-phase latencies
+// and binds LP accounting to the pooled workspaces; metrics never change
+// any output bit.
+func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64, entriesOut []*cacheEntry, m *obs.SolveMetrics) error {
 	var solvers sync.Pool
-	solvers.New = func() any { return newLocalSolver(csr) }
+	solvers.New = func() any {
+		ls := newLocalSolver(csr)
+		ls.ws.SetMetrics(m.LPBundle())
+		return ls
+	}
+	var sw obs.Stopwatch
+	var phFingerprint, phGroup, phLPSolve, phAccumulate *obs.Histogram
+	if m != nil {
+		phFingerprint, phGroup, phLPSolve, phAccumulate =
+			m.PhaseFingerprint, m.PhaseGroup, m.PhaseLPSolve, m.PhaseAccumulate
+		sw.Start()
+	}
 
 	// Phase 1: canonical fingerprints, in parallel.
 	keys := make([][]byte, n)
@@ -271,6 +285,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 	}); err != nil {
 		return err
 	}
+	sw.Lap(phFingerprint)
 
 	// Phase 2: group agents by exact key, ascending, so each group's
 	// representative is its smallest agent — the agent the sequential
@@ -316,6 +331,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 			}
 		}
 	}
+	sw.Lap(phGroup)
 	if err := parallelFor(nG, workers, func(gi int) error {
 		if gHit[gi] {
 			return nil
@@ -340,6 +356,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 			}
 		}
 	}
+	sw.Lap(phLPSolve)
 
 	// Phase 4: the sequential accumulation order of equation (10).
 	// Trivial balls contribute x^u = 0, which the += below would not
@@ -373,6 +390,7 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 	if shared != nil {
 		shared.addHits(sharedHits)
 	}
+	sw.Lap(phAccumulate)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
 )
 
 // Solver is a long-lived solving session over one instance: it owns the
@@ -57,6 +58,11 @@ type Solver struct {
 	states map[int]*radiusState
 
 	stats SolverStats
+
+	// obsM, when non-nil, receives phase latencies, cache outcomes and
+	// invalidation counts from every query and update (see SetObs). Nil —
+	// the default — keeps the solve paths on their uninstrumented costs.
+	obsM *obs.SolveMetrics
 }
 
 // SolverStats counts the work a session has performed; the serving
@@ -174,11 +180,28 @@ func NewSolverFromGraph(in *mmlp.Instance, g *hypergraph.Graph) *Solver {
 	return s
 }
 
-// resetPool rebinds the pooled local solvers to the current csr; called
-// at construction and when copy-on-write replaces the csr.
+// resetPool rebinds the pooled local solvers to the current csr (and the
+// current LP metrics); called at construction, when copy-on-write
+// replaces the csr, and when SetObs changes the metrics binding.
 func (s *Solver) resetPool() {
-	csr := s.csr
-	s.pool = &sync.Pool{New: func() any { return newLocalSolver(csr) }}
+	csr, lpm := s.csr, s.obsM.LPBundle()
+	s.pool = &sync.Pool{New: func() any {
+		ls := newLocalSolver(csr)
+		ls.ws.SetMetrics(lpm)
+		return ls
+	}}
+}
+
+// SetObs attaches (or, with nil, detaches) solve-pipeline metrics: phase
+// latencies, cache hit/miss counts, invalidated-ball counts and the LP
+// workspace accounting of the pooled solvers. Metrics never change any
+// output bit; disabled (the default) they cost nothing on the solve
+// paths.
+func (s *Solver) SetObs(m *obs.SolveMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsM = m
+	s.resetPool()
 }
 
 // SetWorkers sets the number of goroutines queries may fan LP solves
@@ -359,13 +382,24 @@ func (s *Solver) localAverageLocked(radius int) (*AverageResult, error) {
 			return nil, err
 		}
 		s.stats.FullSolves++
+		if m := s.obsM; m != nil {
+			m.FullSolves.Inc()
+			m.CacheHits.Add(int64(st.res.SolvesAvoided))
+			m.CacheMisses.Add(int64(st.res.LocalLPs))
+		}
 	case st.nDirty > 0:
 		if err := s.solveIncremental(radius, st); err != nil {
 			return nil, err
 		}
 		s.stats.IncrementalSolves++
+		if m := s.obsM; m != nil {
+			m.IncrementalSolves.Inc()
+			m.CacheHits.Add(int64(st.res.SolvesAvoided))
+			m.CacheMisses.Add(int64(st.res.LocalLPs))
+		}
 	default:
 		s.stats.WarmHits++
+		s.obsM.RecordWarmHit()
 	}
 	return copyResult(st.res), nil
 }
@@ -390,7 +424,7 @@ func (s *Solver) solveFull(radius int, st *radiusState) error {
 	}
 	sums := make([]float64, n)
 	entries := make([]*cacheEntry, n)
-	if err := localAverageParallelDedup(csr, bi, n, s.workers, s.cache, res, sums, entries); err != nil {
+	if err := localAverageParallelDedup(csr, bi, n, s.workers, s.cache, res, sums, entries, s.obsM); err != nil {
 		return err
 	}
 	copy(res.Beta, st.beta)
@@ -419,6 +453,13 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 			dirty = append(dirty, u)
 		}
 	}
+	var sw obs.Stopwatch
+	var phFingerprint, phGroup, phLPSolve, phAccumulate *obs.Histogram
+	if m := s.obsM; m != nil {
+		phFingerprint, phGroup, phLPSolve, phAccumulate =
+			m.PhaseFingerprint, m.PhaseGroup, m.PhaseLPSolve, m.PhaseAccumulate
+		sw.Start()
+	}
 
 	// Phase 1: re-fingerprint the dirty agents in parallel.
 	nd := len(dirty)
@@ -433,6 +474,7 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 	}); err != nil {
 		return err
 	}
+	sw.Lap(phFingerprint)
 
 	// Phase 2: group dirty agents by exact key, ascending, and consult
 	// the shared cache — agents whose fingerprints did not actually
@@ -466,6 +508,7 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 	for gi, rdi := range reps {
 		gEntry[gi] = s.cache.c.lookup(hashes[rdi], keys[rdi])
 	}
+	sw.Lap(phGroup)
 
 	// Phase 3: solve the groups the cache has never seen, in parallel,
 	// then insert sequentially.
@@ -499,6 +542,7 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 			res.LocalPivots += gPivots[gi]
 		}
 	}
+	sw.Lap(phLPSolve)
 
 	// Phase 4: install the new entries and replay the combination (10)
 	// for every coordinate a dirty ball covers. Balls are symmetric
@@ -574,6 +618,10 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 	}
 	st.nDirty = 0
 	s.stats.AgentsResolved += nd
+	sw.Lap(phAccumulate)
+	if m := s.obsM; m != nil {
+		m.AgentsResolved.Add(int64(nd))
+	}
 	return nil
 }
 
@@ -625,6 +673,10 @@ func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var sw obs.Stopwatch
+	if s.obsM != nil {
+		sw.Start()
+	}
 
 	// Validate everything first: the update is atomic.
 	var resUp, parUp []mmlp.CoeffUpdate
@@ -685,6 +737,7 @@ func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
 	// party row k enters K^u only when Vk ⊆ B(u,R), which in particular
 	// puts v in the ball. With symmetric balls (v ∈ B(u,R) ⟺
 	// u ∈ B(v,R)), the dirty set of one delta is exactly B(v,R).
+	invalidated := 0
 	for radius, st := range s.states {
 		if st.res == nil {
 			continue
@@ -695,6 +748,7 @@ func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
 				if !st.dirty[v] {
 					st.dirty[v] = true
 					st.nDirty++
+					invalidated++
 				}
 			}
 		}
@@ -702,6 +756,10 @@ func (s *Solver) UpdateWeights(deltas []WeightDelta) error {
 	s.stats.WeightUpdates++
 	s.stats.DeltasApplied += len(deltas)
 	s.compactCache()
+	if m := s.obsM; m != nil {
+		m.WeightInvalidations.Add(int64(invalidated))
+		sw.Lap(m.WeightUpdateSeconds)
+	}
 	return nil
 }
 
@@ -730,6 +788,10 @@ func (s *Solver) UpdateTopology(ups []mmlp.TopoUpdate) (*mmlp.TopoDiff, error) {
 	defer s.mu.Unlock()
 	if s.g.CSR() == nil {
 		return nil, fmt.Errorf("core: topology updates require a graph built from the instance (got a FromAdjacency graph)")
+	}
+	var sw obs.Stopwatch
+	if s.obsM != nil {
+		sw.Start()
 	}
 	newIn, d, err := s.in.ApplyTopo(ups)
 	if err != nil {
@@ -795,6 +857,14 @@ func (s *Solver) UpdateTopology(ups []mmlp.TopoUpdate) (*mmlp.TopoDiff, error) {
 	s.stats.AgentsAdded += len(d.AddedAgents)
 	s.stats.AgentsRemoved += len(d.RemovedAgents)
 	s.compactCache()
+	if m := s.obsM; m != nil {
+		for _, p := range patches {
+			m.TopoInvalidations.Add(int64(len(p.dirty)))
+		}
+		m.AgentsAdded.Add(int64(len(d.AddedAgents)))
+		m.AgentsRemoved.Add(int64(len(d.RemovedAgents)))
+		sw.Lap(m.TopoUpdateSeconds)
+	}
 	return d, nil
 }
 

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
+)
+
+// TestSessionObsBitIdentity runs the full session lifecycle — cold
+// solve, warm repeat, weight update, topology update — twice, once with
+// metrics attached and once without, and requires every output
+// bit-identical: instrumentation must observe the pipeline, never steer
+// it.
+func TestSessionObsBitIdentity(t *testing.T) {
+	build := func() (*Solver, *mmlp.Instance) {
+		rng := rand.New(rand.NewSource(11))
+		in, _ := gen.Torus([]int{8, 8}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+		return NewSolverFromGraph(in, sessionGraph(in)), in
+	}
+	plain, in := build()
+	instrumented, _ := build()
+	reg := obs.NewRegistry()
+	m := obs.NewSolveMetrics(reg)
+	instrumented.SetObs(m)
+
+	run := func(s *Solver) []*AverageResult {
+		var out []*AverageResult
+		step := func(r *AverageResult, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		step(s.LocalAverage(2)) // cold
+		step(s.LocalAverage(2)) // warm
+		rng := rand.New(rand.NewSource(7))
+		if err := s.UpdateWeights(randomDeltas(in, rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+		step(s.LocalAverage(2)) // incremental
+		if _, err := s.UpdateTopology([]mmlp.TopoUpdate{
+			mmlp.AddAgent(), mmlp.AddResourceEdge(0, in.NumAgents(), 1.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		step(s.LocalAverage(2)) // incremental after structural update
+		return out
+	}
+
+	want := run(plain)
+	got := run(instrumented)
+	labels := []string{"cold", "warm", "post-weights", "post-topo"}
+	for i := range want {
+		sameAverageResult(t, labels[i]+" (obs on vs off)", got[i], want[i])
+	}
+
+	// The instrumented run must actually have recorded its pipeline.
+	if m.FullSolves.Value() != 1 {
+		t.Errorf("FullSolves = %d, want 1", m.FullSolves.Value())
+	}
+	if m.WarmHits.Value() != 1 {
+		t.Errorf("WarmHits = %d, want 1", m.WarmHits.Value())
+	}
+	if m.IncrementalSolves.Value() != 2 {
+		t.Errorf("IncrementalSolves = %d, want 2", m.IncrementalSolves.Value())
+	}
+	if m.PhaseLPSolve.Count() == 0 {
+		t.Error("no lp_solve phase latencies recorded")
+	}
+	if m.PhaseFingerprint.Count() == 0 {
+		t.Error("no fingerprint phase latencies recorded")
+	}
+	if m.CacheMisses.Value() == 0 {
+		t.Error("no cache misses recorded despite LPs being solved")
+	}
+	if m.WeightInvalidations.Value() == 0 {
+		t.Error("weight update invalidated no balls")
+	}
+	if m.TopoInvalidations.Value() == 0 {
+		t.Error("topology update invalidated no balls")
+	}
+	if m.WeightUpdateSeconds.Count() != 1 || m.TopoUpdateSeconds.Count() != 1 {
+		t.Errorf("update latency counts = %d/%d, want 1/1",
+			m.WeightUpdateSeconds.Count(), m.TopoUpdateSeconds.Count())
+	}
+	if m.LP.Solves.Value() == 0 {
+		t.Error("pooled workspaces recorded no LP solves")
+	}
+	if m.LP.Pivots.Value() == 0 {
+		t.Error("pooled workspaces recorded no pivots")
+	}
+	st := instrumented.Stats()
+	if int(m.AgentsResolved.Value()) != st.AgentsResolved {
+		t.Errorf("AgentsResolved metric %d != stats %d", m.AgentsResolved.Value(), st.AgentsResolved)
+	}
+}
+
+// TestSolverStatsAgreeWithObs cross-checks the legacy SolverStats
+// counters against the metric registry on the counters both record.
+func TestSolverStatsAgreeWithObs(t *testing.T) {
+	in, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{})
+	s := NewSolverFromGraph(in, sessionGraph(in))
+	reg := obs.NewRegistry()
+	m := obs.NewSolveMetrics(reg)
+	s.SetObs(m)
+	for i := 0; i < 3; i++ {
+		if _, err := s.LocalAverage(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if int(m.FullSolves.Value()) != st.FullSolves {
+		t.Errorf("FullSolves metric %d != stats %d", m.FullSolves.Value(), st.FullSolves)
+	}
+	if int(m.WarmHits.Value()) != st.WarmHits {
+		t.Errorf("WarmHits metric %d != stats %d", m.WarmHits.Value(), st.WarmHits)
+	}
+}

@@ -1,15 +1,23 @@
 package dist
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"maxminlp/internal/obs"
+)
 
 // barrier is a reusable synchronisation point for n goroutines: await
-// blocks until all n have arrived, then releases the generation.
+// blocks until all n have arrived, then releases the generation. When h
+// is non-nil, each await records how long the caller waited — the skew
+// between the fastest and slowest participant of the round.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	n     int
 	count int
 	gen   int
+	h     *obs.Histogram
 }
 
 func newBarrier(n int) *barrier {
@@ -19,6 +27,10 @@ func newBarrier(n int) *barrier {
 }
 
 func (b *barrier) await() {
+	var t0 time.Time
+	if b.h != nil {
+		t0 = time.Now()
+	}
 	b.mu.Lock()
 	gen := b.gen
 	b.count++
@@ -27,12 +39,15 @@ func (b *barrier) await() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
 	}
-	for gen == b.gen {
-		b.cond.Wait()
+	if b.h != nil {
+		b.h.ObserveDuration(time.Since(t0))
 	}
-	b.mu.Unlock()
 }
 
 // RunGoroutines executes the protocol with one goroutine per agent,
@@ -52,6 +67,9 @@ func (nw *Network) RunGoroutines(p Protocol) (*Trace, error) {
 	}
 	n := len(nodes)
 	b := newBarrier(n)
+	if m := nw.obsM; m != nil {
+		b.h = m.BarrierWait
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for v := 0; v < n; v++ {
@@ -73,5 +91,10 @@ func (nw *Network) RunGoroutines(p Protocol) (*Trace, error) {
 	}
 	wg.Wait()
 	tr := &Trace{Protocol: p.Name(), Rounds: p.Horizon()}
-	return nw.finish(tr, nodes)
+	out, err := nw.finish(tr, nodes)
+	if err != nil {
+		return nil, err
+	}
+	nw.recordRun("goroutines", out)
+	return out, nil
 }

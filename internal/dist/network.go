@@ -7,6 +7,7 @@ import (
 	"maxminlp/internal/core"
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
 )
 
 // Network binds an instance to its communication hypergraph for
@@ -22,6 +23,29 @@ type Network struct {
 	// computations (see NewSessionNetwork). Outputs are bit-identical
 	// with or without it.
 	sess *core.Solver
+
+	// obsM, when non-nil, receives run/round/message counters and barrier
+	// wait latencies from every engine run (see SetObs).
+	obsM *obs.DistMetrics
+}
+
+// SetObs attaches (or, with nil, detaches) engine metrics: runs per
+// engine, rounds, delivered messages and payload records, per-round
+// message counts (sequential engine) and barrier wait time (goroutine
+// and sharded engines). Metrics never change any output bit. Not safe
+// to call concurrently with a run.
+func (nw *Network) SetObs(m *obs.DistMetrics) { nw.obsM = m }
+
+// recordRun folds one finished trace into the engine metrics.
+func (nw *Network) recordRun(engine string, tr *Trace) {
+	m := nw.obsM
+	if m == nil {
+		return
+	}
+	m.EngineRuns(engine).Inc()
+	m.Rounds.Add(int64(tr.Rounds))
+	m.Messages.Add(int64(tr.Messages))
+	m.Records.Add(int64(tr.Payload))
 }
 
 // NewNetwork builds a Network over the instance and its communication

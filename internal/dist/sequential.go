@@ -53,16 +53,26 @@ func (nw *Network) RunSequential(p Protocol) (*Trace, error) {
 		for _, nd := range nodes {
 			nd.stageOutbox()
 		}
+		roundMsgs := 0
 		for v, nd := range nodes {
 			for _, u := range nw.g.Neighbors(v) {
 				if msg := nodes[u].outbox; len(msg) > 0 {
 					nd.deliver(msg)
+					roundMsgs++
 				}
 			}
+		}
+		if m := nw.obsM; m != nil {
+			m.RoundMessages.Observe(float64(roundMsgs))
 		}
 	}
 	for _, nd := range nodes {
 		nd.x, nd.err = p.output(nd.know)
 	}
-	return nw.finish(tr, nodes)
+	out, err := nw.finish(tr, nodes)
+	if err != nil {
+		return nil, err
+	}
+	nw.recordRun("sequential", out)
+	return out, nil
 }

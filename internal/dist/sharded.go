@@ -43,6 +43,9 @@ func (nw *Network) RunSharded(p Protocol, shards int) (*Trace, error) {
 		shards = 1
 	}
 	b := newBarrier(shards)
+	if m := nw.obsM; m != nil {
+		b.h = m.BarrierWait
+	}
 	var wg sync.WaitGroup
 	wg.Add(shards)
 	for w := 0; w < shards; w++ {
@@ -71,5 +74,10 @@ func (nw *Network) RunSharded(p Protocol, shards int) (*Trace, error) {
 	}
 	wg.Wait()
 	tr := &Trace{Protocol: p.Name(), Rounds: p.Horizon()}
-	return nw.finish(tr, nodes)
+	out, err := nw.finish(tr, nodes)
+	if err != nil {
+		return nil, err
+	}
+	nw.recordRun("sharded", out)
+	return out, nil
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"maxminlp/internal/obs"
 )
 
 // Workspace is a reusable, growable arena for the dense two-phase
@@ -44,11 +46,21 @@ type Workspace struct {
 	// produced in so stale lazy-dual reads fail loudly instead of reading
 	// recycled tableau memory.
 	gen uint64
+
+	// m, when non-nil, receives solve accounting (solves, pivots, tableau
+	// dimensions) from every staged solve. Nil — the default — costs one
+	// branch per solve.
+	m *obs.LPMetrics
 }
 
 // NewWorkspace returns an empty workspace. Buffers are allocated lazily
 // on first use and grow to the high-water mark of the problems solved.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// SetMetrics attaches (or, with nil, detaches) solve accounting: every
+// staged solve that completes records its row/variable counts and pivot
+// total. Metrics never change any output bit.
+func (w *Workspace) SetMetrics(m *obs.LPMetrics) { w.m = m }
 
 // rowPlan is the per-row normalisation decided before the tableau is
 // filled: whether the row is sign-flipped to make its rhs nonnegative,
@@ -138,9 +150,19 @@ func (w *Workspace) SolveStaged(minimize bool, rule PivotRule) (Solution, error)
 	return w.solveStaged(minimize, rule)
 }
 
-// solveStaged is the two-phase driver over the staged rows — the body of
-// the historical SolveWithRule, operating on workspace memory.
+// solveStaged runs the two-phase driver and records solve accounting for
+// every completed solve (any status; errors record nothing).
 func (w *Workspace) solveStaged(minimize bool, rule PivotRule) (Solution, error) {
+	sol, err := w.solveStagedRun(minimize, rule)
+	if err == nil {
+		w.m.RecordSolve(len(w.rels), w.nVars, sol.Pivots)
+	}
+	return sol, err
+}
+
+// solveStagedRun is the two-phase driver over the staged rows — the body
+// of the historical SolveWithRule, operating on workspace memory.
+func (w *Workspace) solveStagedRun(minimize bool, rule PivotRule) (Solution, error) {
 	w.buildTableau()
 	t := &w.t
 	sol := Solution{}

@@ -1,0 +1,393 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one sample
+// line per series, histogram _bucket/_sum/_count expansion. Families
+// appear in registration order and series are sorted by label key, so
+// the output is deterministic for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		r.mu.Lock()
+		ss := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		sort.Slice(ss, func(i, j int) bool {
+			return labelKey(ss[i].labels) < labelKey(ss[j].labels)
+		})
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(s.labels, ""), formatValue(float64(s.c.Value())))
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(s.labels, ""), formatValue(s.g.Value()))
+			case kindHistogram:
+				cum := int64(0)
+				for i, b := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(s.labels, formatValue(b)), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(s.labels, "+Inf"), s.h.Count())
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(s.labels, ""), formatValue(s.h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(s.labels, ""), s.h.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {a="x",b="y"} (plus le=bound for histogram
+// buckets); empty when there are no labels and no bound.
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`le="`)
+		sb.WriteString(le)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParsedSample is one sample line from a Prometheus text exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family from a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseExposition parses the Prometheus text format strictly enough to
+// gate CI: every sample must belong to a family declared by a preceding
+// # TYPE line (allowing the _bucket/_sum/_count suffixes for
+// histograms), values must be valid floats, histogram buckets must be
+// cumulative-monotone with a +Inf bucket equal to _count. It returns the
+// families in declaration order. The mmlpd -scrape self-check and the
+// exposition golden tests share this parser, so an unparseable /metrics
+// fails both.
+func ParseExposition(r io.Reader) ([]ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var fams []*ParsedFamily
+	byName := map[string]*ParsedFamily{}
+	declare := func(name string) *ParsedFamily {
+		f := byName[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name}
+			byName[name] = f
+			fams = append(fams, f)
+		}
+		return f
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				f := declare(fields[2])
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", line, text)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", line, typ)
+				}
+				f := declare(name)
+				if f.Type != "" && f.Type != typ {
+					return nil, fmt.Errorf("obs: line %d: metric %q re-declared as %s, was %s", line, name, typ, f.Type)
+				}
+				f.Type = typ
+			}
+			continue
+		}
+		sample, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		f := familyFor(byName, sample.Name)
+		if f == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE declaration", line, sample.Name)
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]ParsedFamily, len(fams))
+	for i, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// familyFor resolves a sample name to its declared family, stripping
+// histogram/summary suffixes when the base family is declared.
+func familyFor(byName map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f := byName[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := byName[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(text string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	nameEnd := strings.IndexAny(text, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	}
+	s.Name = text[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := text[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("malformed sample value in %q", text)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", body)
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var sb strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					sb.WriteByte(c)
+					sb.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		i++
+		out[name] = sb.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validateHistogram checks per-series bucket monotonicity and that the
+// +Inf bucket agrees with _count.
+func validateHistogram(f *ParsedFamily) error {
+	type key = string
+	buckets := map[key][]ParsedSample{}
+	counts := map[key]float64{}
+	hasCount := map[key]bool{}
+	seriesKey := func(s ParsedSample) key {
+		ls := make([]string, 0, len(s.Labels))
+		for k, v := range s.Labels {
+			if k == "le" {
+				continue
+			}
+			ls = append(ls, k+"\xff"+v)
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, "\xfe")
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			buckets[seriesKey(s)] = append(buckets[seriesKey(s)], s)
+		case f.Name + "_count":
+			counts[seriesKey(s)] = s.Value
+			hasCount[seriesKey(s)] = true
+		}
+	}
+	for k, bs := range buckets {
+		type bound struct {
+			le  float64
+			val float64
+		}
+		var ordered []bound
+		var inf *bound
+		for _, s := range bs {
+			le, err := parseFloat(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", f.Name, s.Labels["le"])
+			}
+			b := bound{le: le, val: s.Value}
+			if math.IsInf(le, 1) {
+				inf = &b
+				continue
+			}
+			ordered = append(ordered, b)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].le < ordered[j].le })
+		prev := 0.0
+		for _, b := range ordered {
+			if b.val < prev {
+				return fmt.Errorf("obs: histogram %s: bucket le=%v count %v below previous %v", f.Name, b.le, b.val, prev)
+			}
+			prev = b.val
+		}
+		if inf == nil {
+			return fmt.Errorf("obs: histogram %s: series missing +Inf bucket", f.Name)
+		}
+		if inf.val < prev {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %v below last finite bucket %v", f.Name, inf.val, prev)
+		}
+		if hasCount[k] && counts[k] != inf.val {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %v != _count %v", f.Name, inf.val, counts[k])
+		}
+	}
+	return nil
+}

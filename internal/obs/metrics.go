@@ -1,0 +1,245 @@
+// Package obs is the repo's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms) with an
+// allocation-free atomic hot path, Prometheus text exposition (and a
+// strict minimal parser for tests and the mmlpd self-check), and a
+// structured trace facility (ring buffer of typed span events with an
+// optional JSONL sink and a slow-span hook).
+//
+// The entire package follows one disabled-mode contract: a nil *Registry
+// hands out nil metrics, and every method of every metric type is a
+// no-op on a nil receiver. Instrumented code therefore never branches on
+// a global "enabled" flag — it holds possibly-nil metric pointers and
+// calls them unconditionally (guarding only the time.Now() reads, via
+// Stopwatch, which is likewise inert when never started). Disabled-mode
+// calls cost one predictable branch and zero allocations, which is what
+// keeps the instrumented hot paths within the <2% overhead budget.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil Counter is a no-op (the disabled mode).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be ≥ 0; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value that may go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v (CAS loop; gauges are rarely contended).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters:
+// Observe is lock-free, allocation-free and safe under concurrent
+// solves. Buckets are cumulative-upper-bound style (Prometheus "le"),
+// with an implicit +Inf bucket; the bounds are fixed at registration —
+// no resizing, no quantile sketches — so the hot path is a short linear
+// scan (bucket counts are small) plus three atomic ops.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; implicit +Inf after
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits, CAS-added
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the unit of every
+// latency histogram in this package.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket that contains it — the standard Prometheus
+// histogram_quantile estimate. Observations in the +Inf bucket clamp to
+// the largest finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := float64(h.count.Load())
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return lo // +Inf bucket: clamp to the last finite bound
+			}
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram, shaped
+// for JSON stats endpoints (mmlpd /v1/stats) and bench reports.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarises the histogram. Concurrent Observes may skew the
+// snapshot by a few in-flight observations; it is a monitoring read,
+// not a barrier.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// DefLatencyBuckets spans 1µs to 2.5s — wide enough for a single ball-LP
+// phase and a full cold solve alike. (Seconds, like every latency
+// histogram here.)
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// DefSizeBuckets is a power-of-two ladder for discrete sizes (tableau
+// dimensions, per-round message counts).
+var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// Stopwatch times consecutive phases of a pipeline. The zero value is
+// inert: Lap on a never-started stopwatch does nothing, so instrumented
+// code can lap unconditionally and pay time.Now() only when metrics are
+// enabled (callers Start only under an enabled check).
+type Stopwatch struct {
+	last time.Time
+}
+
+// Start (re)arms the stopwatch at now.
+func (sw *Stopwatch) Start() { sw.last = time.Now() }
+
+// Lap observes the time since the previous Start/Lap into h (in
+// seconds) and re-arms. No-op when the stopwatch was never started or h
+// is nil.
+func (sw *Stopwatch) Lap(h *Histogram) {
+	if sw.last.IsZero() {
+		return
+	}
+	now := time.Now()
+	h.ObserveDuration(now.Sub(sw.last))
+	sw.last = now
+}

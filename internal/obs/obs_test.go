@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabelOrderNormalised(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lbl_total", "h", L("x", "1"), L("y", "2"))
+	b := r.Counter("lbl_total", "h", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	c := r.Counter("lbl_total", "h", L("x", "1"), L("y", "3"))
+	if c == a {
+		t.Fatal("different label values returned the same series")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); math.Abs(got-117.5) > 1e-12 {
+		t.Fatalf("sum = %v, want 117.5", got)
+	}
+	// p50 → 4th of 8 obs → inside (2,4] bucket which holds obs 4..6.
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", p50)
+	}
+	// p99 lands in the +Inf bucket → clamps to the last finite bound.
+	if got := h.Quantile(0.99); got != 8 {
+		t.Fatalf("p99 = %v, want clamp to 8", got)
+	}
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 8 || snap.P50 != p50 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x_seconds", "h", DefLatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metric reads were non-zero")
+	}
+	if snap := h.Snapshot(); snap != (HistogramSnapshot{}) {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", snap)
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if m := NewSolveMetrics(nil); m != nil {
+		t.Fatal("NewSolveMetrics(nil) != nil")
+	}
+	if m := NewLPMetrics(nil); m != nil {
+		t.Fatal("NewLPMetrics(nil) != nil")
+	}
+	if m := NewDistMetrics(nil); m != nil {
+		t.Fatal("NewDistMetrics(nil) != nil")
+	}
+	var sm *SolveMetrics
+	if sm.LPBundle() != nil {
+		t.Fatal("nil SolveMetrics LPBundle != nil")
+	}
+	sm.LPBundle().RecordSolve(1, 2, 3)
+	var dm *DistMetrics
+	if dm.EngineRuns("sequential") != nil {
+		t.Fatal("nil DistMetrics EngineRuns != nil")
+	}
+}
+
+// TestDisabledHotPathZeroAlloc is the satellite AllocsPerRun assertion:
+// recording into disabled (nil) metrics must not allocate, and neither
+// may the enabled histogram/counter hot path.
+func TestDisabledHotPathZeroAlloc(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var sw Stopwatch
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(7)
+		h.Observe(1.5)
+		sw.Lap(h) // never started → inert
+	}); n != 0 {
+		t.Fatalf("disabled hot path allocates %v/op, want 0", n)
+	}
+
+	r := NewRegistry()
+	ec := r.Counter("alloc_total", "h")
+	eh := r.Histogram("alloc_seconds", "h", DefLatencyBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		ec.Inc()
+		eh.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("enabled hot path allocates %v/op, want 0", n)
+	}
+}
+
+// TestRegistryConcurrentHammer is the satellite -race hammer: concurrent
+// registration of overlapping names, recording, and exposition.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			labels := []Label{L("worker", string(rune('a'+w%4)))}
+			for i := 0; i < 500; i++ {
+				r.Counter("hammer_total", "h", labels...).Inc()
+				r.Gauge("hammer_gauge", "h").Add(1)
+				r.Histogram("hammer_seconds", "h", DefLatencyBuckets, labels...).Observe(float64(i) * 1e-5)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, lv := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("hammer_total", "h", L("worker", lv)).Value()
+	}
+	if total != workers*500 {
+		t.Fatalf("hammer total = %d, want %d", total, workers*500)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if _, err := ParseExposition(&buf); err != nil {
+		t.Fatalf("post-hammer exposition unparseable: %v", err)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_requests_total", "Requests handled.", L("endpoint", "solve"), L("code", "200")).Add(3)
+	r.Counter("rt_requests_total", "Requests handled.", L("endpoint", "load"), L("code", "413")).Inc()
+	r.Gauge("rt_instances", "Loaded instances.").Set(2)
+	h := r.Histogram("rt_seconds", "Latency with \"quotes\" and \\slash.", []float64{0.01, 0.1, 1}, L("endpoint", "solve"))
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition failed on own output:\n%s\nerr: %v", text, err)
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	cf, ok := byName["rt_requests_total"]
+	if !ok || cf.Type != "counter" {
+		t.Fatalf("rt_requests_total missing or wrong type: %+v", cf)
+	}
+	found := false
+	for _, s := range cf.Samples {
+		if s.Labels["endpoint"] == "solve" && s.Labels["code"] == "200" {
+			found = true
+			if s.Value != 3 {
+				t.Fatalf("counter sample = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("labelled counter sample not found")
+	}
+	hf, ok := byName["rt_seconds"]
+	if !ok || hf.Type != "histogram" {
+		t.Fatalf("rt_seconds missing or wrong type: %+v", hf)
+	}
+	var infVal, countVal float64
+	for _, s := range hf.Samples {
+		switch s.Name {
+		case "rt_seconds_bucket":
+			if s.Labels["le"] == "+Inf" {
+				infVal = s.Value
+			}
+		case "rt_seconds_count":
+			countVal = s.Value
+		}
+	}
+	if infVal != 4 || countVal != 4 {
+		t.Fatalf("+Inf bucket %v / count %v, want 4/4", infVal, countVal)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "orphan_total 3\n",
+		"bad value":          "# TYPE x counter\nx notanumber\n",
+		"bad name":           "# TYPE 0bad counter\n0bad 1\n",
+		"non-monotone hist":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+		"missing +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\nh_sum 1\n",
+		"+Inf != count":      "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_count 7\nh_sum 1\n",
+		"unterminated label": "# TYPE x counter\nx{a=\"b 1\n",
+		"unknown type":       "# TYPE x wat\nx 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseExpositionLabelEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("path", `a\b"c`+"\n"+"d")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("escape round-trip: %v", err)
+	}
+	want := `a\b"c` + "\n" + "d"
+	for _, f := range fams {
+		if f.Name != "esc_total" {
+			continue
+		}
+		if got := f.Samples[0].Labels["path"]; got != want {
+			t.Fatalf("label value = %q, want %q", got, want)
+		}
+		return
+	}
+	t.Fatal("esc_total family not parsed")
+}
+
+func TestStopwatchLap(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sw_seconds", "h", DefLatencyBuckets)
+	var sw Stopwatch
+	sw.Lap(h) // never started: no-op
+	if h.Count() != 0 {
+		t.Fatal("inert stopwatch recorded an observation")
+	}
+	sw.Start()
+	sw.Lap(h)
+	sw.Lap(h)
+	if h.Count() != 2 {
+		t.Fatalf("laps recorded = %d, want 2", h.Count())
+	}
+}
+
+func TestBundleRecording(t *testing.T) {
+	r := NewRegistry()
+	lm := NewLPMetrics(r)
+	lm.RecordSolve(10, 4, 7)
+	lm.RecordSolve(20, 8, 3)
+	if got := lm.Solves.Value(); got != 2 {
+		t.Fatalf("solves = %d, want 2", got)
+	}
+	if got := lm.Pivots.Value(); got != 10 {
+		t.Fatalf("pivots = %d, want 10", got)
+	}
+	if got := lm.Rows.Count(); got != 2 {
+		t.Fatalf("rows observations = %d, want 2", got)
+	}
+
+	sm := NewSolveMetrics(r)
+	sm.FullSolves.Inc()
+	sm.CacheHits.Add(5)
+	sm.CacheMisses.Add(2)
+	dm := NewDistMetrics(r)
+	dm.EngineRuns("sequential").Inc()
+	dm.Messages.Add(12)
+	dm.RoundMessages.Observe(12)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(&buf); err != nil {
+		t.Fatalf("bundle exposition unparseable: %v", err)
+	}
+}

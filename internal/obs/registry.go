@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histograms only
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry owns metric families and hands out their series. Registration
+// is idempotent on (name, labels): asking twice returns the same metric,
+// so call sites don't coordinate. A nil *Registry hands out nil metrics —
+// the disabled mode; every metric method is a no-op on nil.
+//
+// Registration takes a mutex; the returned metrics are lock-free. Hold
+// metrics in struct fields at setup time rather than re-looking them up
+// per operation.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family // registration order, for stable exposition
+	byN  map[string]*family
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Name)
+		sb.WriteByte('\xff')
+		sb.WriteString(l.Value)
+		sb.WriteByte('\xfe')
+	}
+	return sb.String()
+}
+
+// sortedLabels returns a sorted copy so that label order at the call
+// site doesn't create distinct series.
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+func (r *Registry) fam(name, help string, k kind, bounds []float64) *family {
+	f := r.byN[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, byKey: make(map[string]*series)}
+		r.byN[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, k, f.kind))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	ls := sortedLabels(labels)
+	key := labelKey(ls)
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: ls}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fam(name, help, kindCounter, nil).get(labels).c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fam(name, help, kindGauge, nil).get(labels).g
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given bucket upper bounds (ascending; +Inf is implicit). Bounds
+// are fixed by the first registration of the family; later calls with
+// different bounds still return the family's series.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fam(name, help, kindHistogram, bounds).get(labels).h
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded phase of a span: Start is the phase start time,
+// DurNs its duration. Events with Phase "" mark the span as a whole.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Span  uint64 `json:"span"`
+	Name  string `json:"name"`
+	Phase string `json:"phase,omitempty"`
+	Start int64  `json:"start_unix_ns"`
+	DurNs int64  `json:"dur_ns"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Tracer records spans into a fixed-size ring buffer of events, and
+// optionally mirrors each event to a JSONL sink and fires a slow-span
+// hook. A nil *Tracer is a no-op and StartSpan on it returns a nil
+// *Span, whose methods are all no-ops — the same disabled-mode contract
+// as the metrics.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	n       int // events written (mod len(ring) gives the next slot)
+	seq     uint64
+	spanSeq uint64
+	sink    io.Writer
+	enc     *json.Encoder
+	slow    time.Duration
+	onSlow  func(Event)
+}
+
+// NewTracer returns a tracer with a ring of the given capacity
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// SetSink mirrors every committed event to w as one JSON object per
+// line. Pass nil to disable.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = w
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	} else {
+		t.enc = nil
+	}
+}
+
+// SetSlow arms the slow-span hook: spans whose total duration reaches d
+// invoke fn with the span's summary event. d <= 0 disarms.
+func (t *Tracer) SetSlow(d time.Duration, fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.slow = d
+	t.onSlow = fn
+}
+
+// Span is an in-flight traced operation. Phases are marked with Phase;
+// End commits all events atomically to the ring. A nil *Span is a
+// no-op.
+type Span struct {
+	t       *Tracer
+	id      uint64
+	name    string
+	start   time.Time
+	last    time.Time
+	evs     []Event // staged phase events, committed at End
+	noteBuf string
+}
+
+// StartSpan opens a span. The returned span is not goroutine-safe; it
+// belongs to the request that created it.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.spanSeq++
+	id := t.spanSeq
+	t.mu.Unlock()
+	now := time.Now()
+	return &Span{t: t, id: id, name: name, start: now, last: now}
+}
+
+// Phase marks the end of the current phase: the time since the previous
+// Phase (or span start) is recorded under the given phase name.
+func (s *Span) Phase(phase string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.evs = append(s.evs, Event{
+		Span:  s.id,
+		Name:  s.name,
+		Phase: phase,
+		Start: s.last.UnixNano(),
+		DurNs: now.Sub(s.last).Nanoseconds(),
+	})
+	s.last = now
+}
+
+// Annotate attaches a note to the span's summary event; repeated calls
+// accumulate space-separated.
+func (s *Span) Annotate(note string) {
+	if s == nil {
+		return
+	}
+	if s.noteBuf != "" {
+		s.noteBuf += " "
+	}
+	s.noteBuf += note
+}
+
+// End commits the span: all phase events plus a summary event (empty
+// phase, full duration) enter the ring and the sink, and the slow hook
+// fires if the total duration reached the threshold. Duration returns
+// via the summary event; End reports the total for convenience.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	total := time.Since(s.start)
+	summary := Event{
+		Span:  s.id,
+		Name:  s.name,
+		Start: s.start.UnixNano(),
+		DurNs: total.Nanoseconds(),
+		Note:  s.noteBuf,
+	}
+	t := s.t
+	t.mu.Lock()
+	for i := range s.evs {
+		t.commitLocked(&s.evs[i])
+	}
+	t.commitLocked(&summary)
+	slow := t.slow > 0 && total >= t.slow
+	fn := t.onSlow
+	t.mu.Unlock()
+	if slow && fn != nil {
+		fn(summary)
+	}
+	return total
+}
+
+// commitLocked stamps the event's sequence number and writes it to the
+// ring and the sink. Caller holds t.mu.
+func (t *Tracer) commitLocked(e *Event) {
+	t.seq++
+	e.Seq = t.seq
+	t.ring[t.n%len(t.ring)] = *e
+	t.n++
+	if t.enc != nil {
+		t.enc.Encode(e) // sink errors are monitoring losses, not failures
+	}
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= len(t.ring) {
+		out := make([]Event, t.n)
+		copy(out, t.ring[:t.n])
+		return out
+	}
+	out := make([]Event, len(t.ring))
+	at := t.n % len(t.ring)
+	copy(out, t.ring[at:])
+	copy(out[len(t.ring)-at:], t.ring[:at])
+	return out
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.SetSink(&bytes.Buffer{})
+	tr.SetSlow(time.Millisecond, func(Event) {})
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	sp.Phase("load")
+	sp.Annotate("note")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+	if evs := tr.Snapshot(); evs != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", evs)
+	}
+}
+
+func TestSpanPhasesAndSummary(t *testing.T) {
+	tr := NewTracer(64)
+	sp := tr.StartSpan("solve")
+	sp.Phase("load")
+	sp.Phase("validate")
+	sp.Annotate("inst=abc")
+	total := sp.End()
+	if total <= 0 {
+		t.Fatalf("span total = %v, want > 0", total)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3 (2 phases + summary)", len(evs))
+	}
+	if evs[0].Phase != "load" || evs[1].Phase != "validate" {
+		t.Fatalf("phase order wrong: %+v", evs[:2])
+	}
+	sum := evs[2]
+	if sum.Phase != "" || sum.Name != "solve" || sum.Note != "inst=abc" {
+		t.Fatalf("summary event wrong: %+v", sum)
+	}
+	if sum.DurNs < evs[0].DurNs+evs[1].DurNs {
+		t.Fatalf("summary %dns shorter than phase sum %dns", sum.DurNs, evs[0].DurNs+evs[1].DurNs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence numbers not increasing: %+v", evs)
+		}
+		if evs[i].Span != evs[0].Span {
+			t.Fatalf("span ids differ within one span: %+v", evs)
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.StartSpan("s").End()
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot = %d events, want ring size 16", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("wrapped snapshot out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != 40 {
+		t.Fatalf("newest seq = %d, want 40", evs[len(evs)-1].Seq)
+	}
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(16)
+	tr.SetSink(&buf)
+	sp := tr.StartSpan("query")
+	sp.Phase("solve")
+	sp.End()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("sink line %d not JSON: %v: %s", n, err, sc.Text())
+		}
+		if e.Name != "query" {
+			t.Fatalf("sink event name = %q, want query", e.Name)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("sink lines = %d, want 2", n)
+	}
+}
+
+func TestSlowSpanHook(t *testing.T) {
+	tr := NewTracer(16)
+	var mu sync.Mutex
+	var fired []Event
+	tr.SetSlow(5*time.Millisecond, func(e Event) {
+		mu.Lock()
+		fired = append(fired, e)
+		mu.Unlock()
+	})
+	fast := tr.StartSpan("fast")
+	fast.End()
+	slow := tr.StartSpan("slow")
+	time.Sleep(10 * time.Millisecond)
+	slow.End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0].Name != "slow" {
+		t.Fatalf("slow hook fired %d times (%+v), want once for 'slow'", len(fired), fired)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(128)
+	tr.SetSink(&syncBuffer{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.StartSpan("c")
+				sp.Phase("p")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	evs := tr.Snapshot()
+	if len(evs) != 128 {
+		t.Fatalf("snapshot = %d, want full ring 128", len(evs))
+	}
+}
+
+// syncBuffer is a goroutine-safe sink; Tracer serialises writes under
+// its own mutex, but the bytes.Buffer race detector check is a useful
+// canary if that ever changes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}

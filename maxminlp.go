@@ -51,6 +51,7 @@ import (
 	"maxminlp/internal/lowerbound"
 	"maxminlp/internal/lp"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
 )
 
 // Core model types, re-exported from the implementation packages.
@@ -166,6 +167,25 @@ type (
 	LatticeOptions = gen.LatticeOptions
 	// RandomOptions configures random instance generation.
 	RandomOptions = gen.RandomOptions
+
+	// MetricsRegistry owns metric families (counters, gauges, fixed-bucket
+	// histograms) with an allocation-free atomic hot path and Prometheus
+	// text exposition (MetricsRegistry.WritePrometheus). A nil registry
+	// hands out nil metrics whose methods all no-op — the disabled mode
+	// instrumented code relies on.
+	MetricsRegistry = obs.Registry
+	// SolveMetrics is the bundle of solve-pipeline metrics a Solver
+	// records once attached via Solver.SetObs: per-phase latencies,
+	// pass/cache counters, and update invalidation costs.
+	SolveMetrics = obs.SolveMetrics
+	// DistMetrics is the bundle the distributed engines record once
+	// attached via Network.SetObs: rounds, messages, payload, per-round
+	// message counts and barrier wait time.
+	DistMetrics = obs.DistMetrics
+	// HistogramSnapshot is a point-in-time histogram summary
+	// (count/sum/p50/p90/p99), the shape stats endpoints and bench
+	// reports use.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // NewBuilder returns a Builder pre-sized for the given number of agents.
@@ -293,6 +313,20 @@ func RemoveResourceEdge(i, v int) TopoUpdate { return mmlp.RemoveResourceEdge(i,
 // RemovePartyEdge returns the topology update that removes agent v from
 // the support of party k.
 func RemovePartyEdge(k, v int) TopoUpdate { return mmlp.RemovePartyEdge(k, v) }
+
+// NewMetricsRegistry returns an empty enabled metrics registry. Attach
+// bundles built on it to sessions (Solver.SetObs) and networks
+// (Network.SetObs); serve it with MetricsRegistry.WritePrometheus.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSolveMetrics registers the solve-pipeline metric bundle on r. A
+// nil registry yields a nil bundle, which records nothing — attaching
+// it is equivalent to never calling SetObs.
+func NewSolveMetrics(r *MetricsRegistry) *SolveMetrics { return obs.NewSolveMetrics(r) }
+
+// NewDistMetrics registers the distributed-engine metric bundle on r
+// (nil registry → nil no-op bundle).
+func NewDistMetrics(r *MetricsRegistry) *DistMetrics { return obs.NewDistMetrics(r) }
 
 // NewSolver builds a solving session from an instance: the communication
 // hypergraph and CSR index are constructed once and every later query —

@@ -3,6 +3,7 @@ package maxminlp_test
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"maxminlp"
@@ -337,6 +338,82 @@ func TestPublicAPITopology(t *testing.T) {
 	for v := range tr.X {
 		if tr.X[v] != inc.X[v] {
 			t.Fatalf("distributed post-churn X[%d] = %v, want %v", v, tr.X[v], inc.X[v])
+		}
+	}
+}
+
+// TestPublicAPIObservability exercises the metrics facade: registry
+// construction, bundle attachment to sessions and networks, snapshot
+// reads, Prometheus exposition, and the nil-registry disabled mode.
+func TestPublicAPIObservability(t *testing.T) {
+	in, _ := maxminlp.Torus([]int{6, 6}, maxminlp.LatticeOptions{})
+
+	reg := maxminlp.NewMetricsRegistry()
+	sm := maxminlp.NewSolveMetrics(reg)
+	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	sess.SetObs(sm)
+	if _, err := sess.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.LocalAverage(1); err != nil { // warm hit
+		t.Fatal(err)
+	}
+	if sm.FullSolves.Value() != 1 || sm.WarmHits.Value() != 1 {
+		t.Fatalf("passes: full=%d warm=%d, want 1/1", sm.FullSolves.Value(), sm.WarmHits.Value())
+	}
+	var snap maxminlp.HistogramSnapshot = sm.PhaseLPSolve.Snapshot()
+	if snap.Count == 0 || snap.P99 < snap.P50 {
+		t.Fatalf("lp_solve snapshot implausible: %+v", snap)
+	}
+	if sm.LP.Solves.Value() == 0 {
+		t.Fatal("no LP solves counted")
+	}
+
+	dm := maxminlp.NewDistMetrics(reg)
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	nw, err := maxminlp.NewNetwork(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetObs(dm)
+	if _, err := nw.RunGoroutines(maxminlp.AverageProtocol{Radius: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Rounds.Value() == 0 || dm.Messages.Value() == 0 {
+		t.Fatalf("dist metrics empty: rounds=%d messages=%d", dm.Rounds.Value(), dm.Messages.Value())
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"mmlp_solve_phase_seconds_bucket",
+		"mmlp_solve_passes_total",
+		"mmlp_lp_solves_total",
+		"mmlp_dist_messages_total",
+	} {
+		if !strings.Contains(buf.String(), family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+
+	// Disabled mode: a nil registry hands out nil bundles whose methods
+	// all no-op, so attaching one is the same as never instrumenting.
+	var off *maxminlp.MetricsRegistry
+	offSess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	offSess.SetObs(maxminlp.NewSolveMetrics(off))
+	want, err := sess.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := offSess.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.X {
+		if want.X[v] != got.X[v] {
+			t.Fatalf("instrumented and disabled sessions disagree at agent %d", v)
 		}
 	}
 }
