@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"maxminlp"
+	"maxminlp/internal/dist"
+	"maxminlp/internal/httpapi"
+	"maxminlp/internal/wire"
+)
+
+// cluster is the coordinator's view of its workers. Control-plane RPCs
+// (load, patch, snapshot) go point-to-point over each worker's control
+// connection; data-plane solves fan out to every worker at once, which
+// then exchange boundary state among themselves over their own TCP mesh
+// while the coordinator only gathers the partial results.
+type cluster struct {
+	workers []*workerLink
+	logf    func(format string, args ...any)
+
+	// dataMu serialises cluster-wide partitioned solves. The workers share
+	// one long-lived round-exchange mesh, and the mesh's correctness rests
+	// on every member running the same rounds in the same order — so at
+	// most one partitioned run may be in flight across all instances.
+	dataMu sync.Mutex
+}
+
+// workerLink is one worker's control connection. mu makes call (one
+// request frame, one reply frame) atomic; the per-instance linearisation
+// lock above it decides the order in which calls happen.
+type workerLink struct {
+	peer     int
+	dataAddr string
+	conn     net.Conn
+	mu       sync.Mutex
+}
+
+// call performs one control RPC. A wire.Error reply surfaces as a
+// *httpapi.Error carrying the worker's machine-readable code.
+func (l *workerLink) call(typ string, body any) (*wire.Envelope, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := wire.WriteMsg(l.conn, typ, body); err != nil {
+		return nil, fmt.Errorf("worker %d: send %s: %w", l.peer, typ, err)
+	}
+	env, err := wire.ReadMsg(l.conn)
+	if err != nil {
+		return nil, fmt.Errorf("worker %d: %s reply: %w", l.peer, typ, err)
+	}
+	if env.Type == wire.TypeError {
+		var we wire.Error
+		if err := env.Decode(&we); err != nil {
+			return nil, fmt.Errorf("worker %d: malformed error reply: %w", l.peer, err)
+		}
+		return nil, &httpapi.Error{Code: we.Code, Message: fmt.Sprintf("worker %d: %s", l.peer, we.Message)}
+	}
+	return env, nil
+}
+
+// newCluster forms a cluster: accept exactly n workers on the control
+// listener, then assign each its partition index and the full data-plane
+// address list. Workers build their round-exchange mesh on assignment
+// and acknowledge; the cluster is ready once every ack is in.
+func newCluster(ln net.Listener, n int, logf func(string, ...any)) (*cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster needs at least 1 worker, got %d", n)
+	}
+	c := &cluster{logf: logf}
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("accepting worker %d: %w", i, err)
+		}
+		env, err := wire.ReadMsg(conn)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d hello: %w", i, err)
+		}
+		if env.Type != wire.TypeHello {
+			return nil, fmt.Errorf("worker %d: expected %s, got %s", i, wire.TypeHello, env.Type)
+		}
+		var h wire.Hello
+		if err := env.Decode(&h); err != nil {
+			return nil, fmt.Errorf("worker %d hello: %w", i, err)
+		}
+		c.workers = append(c.workers, &workerLink{peer: i, dataAddr: h.DataAddr, conn: conn})
+		logf("mmlpd: worker %d joined (data plane %s)", i, h.DataAddr)
+	}
+	peers := make([]string, n)
+	for i, l := range c.workers {
+		peers[i] = l.dataAddr
+	}
+	// Send every assignment before waiting for any ack: the workers dial
+	// each other to build the mesh, so all of them must know the roster
+	// before the first can finish.
+	for i, l := range c.workers {
+		if err := wire.WriteMsg(l.conn, wire.TypeAssign, &wire.Assign{Self: i, Peers: peers}); err != nil {
+			return nil, fmt.Errorf("assigning worker %d: %w", i, err)
+		}
+	}
+	for i, l := range c.workers {
+		env, err := wire.ReadMsg(l.conn)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d mesh ack: %w", i, err)
+		}
+		if env.Type != wire.TypeOK {
+			return nil, fmt.Errorf("worker %d: mesh build failed (%s)", i, env.Type)
+		}
+	}
+	logf("mmlpd: cluster formed with %d workers", n)
+	return c, nil
+}
+
+// fanout runs one RPC against every worker concurrently and collects
+// the replies in peer order.
+func (c *cluster) fanout(fn func(l *workerLink) (*wire.Envelope, error)) ([]*wire.Envelope, error) {
+	envs := make([]*wire.Envelope, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, l := range c.workers {
+		wg.Add(1)
+		go func(i int, l *workerLink) {
+			defer wg.Done()
+			envs[i], errs[i] = fn(l)
+		}(i, l)
+	}
+	wg.Wait()
+	return envs, errors.Join(errs...)
+}
+
+// replicateLoad ships a freshly loaded instance to every worker. The
+// instance travels as its canonical JSON encoding, which round-trips
+// float64 coefficients exactly — the replicas are bit-identical.
+func (c *cluster) replicateLoad(id string, in *maxminlp.Instance, req *loadRequest) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	msg := &wire.Load{
+		ID: id, Instance: b,
+		CollaborationOblivious: req.CollaborationOblivious,
+		Workers:                req.Workers,
+	}
+	_, err = c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+		return l.call(wire.TypeLoad, msg)
+	})
+	return err
+}
+
+// replicateUnload drops the replicas. Best-effort: the coordinator has
+// already forgotten the instance, so a failure only logs.
+func (c *cluster) replicateUnload(id string) {
+	if _, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+		return l.call(wire.TypeUnload, &wire.Unload{ID: id})
+	}); err != nil {
+		c.logf("mmlpd: unload %s: %v", id, err)
+	}
+}
+
+func wireCoeffs(ps []coeffPatch) []wire.Coeff {
+	out := make([]wire.Coeff, len(ps))
+	for i, p := range ps {
+		out[i] = wire.Coeff{Row: p.Row, Agent: p.Agent, Coeff: p.Coeff}
+	}
+	return out
+}
+
+// replicateWeights fans one applied weight patch to every replica. The
+// caller holds the instance's linearisation lock, so every replica sees
+// the same patch sequence the coordinator applied.
+func (c *cluster) replicateWeights(id string, req *weightsRequest) error {
+	msg := &wire.Weights{ID: id, Resources: wireCoeffs(req.Resources), Parties: wireCoeffs(req.Parties)}
+	_, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+		return l.call(wire.TypeWeights, msg)
+	})
+	return err
+}
+
+// replicateTopology fans one applied structural patch to every replica.
+func (c *cluster) replicateTopology(id string, req *topologyRequest) error {
+	ops := make([]wire.TopoOp, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = wire.TopoOp{Op: op.Op, Kind: op.Kind, Row: op.Row, Agent: op.Agent, Coeff: op.Coeff}
+	}
+	msg := &wire.Topology{ID: id, Ops: ops}
+	_, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+		return l.call(wire.TypeTopology, msg)
+	})
+	return err
+}
+
+// gather fans one solve to every worker and assembles the full solution
+// vector from the partition slices. Any worker failure degrades the
+// whole query to a cluster error.
+func (c *cluster) gather(id, kind string, radius, n int) ([]float64, error) {
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	envs, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+		return l.call(wire.TypeSolve, &wire.Solve{ID: id, Kind: kind, Radius: radius})
+	})
+	if err != nil {
+		return nil, &httpapi.Error{Code: httpapi.CodeCluster, Message: err.Error()}
+	}
+	x := make([]float64, n)
+	members := len(c.workers)
+	for i, env := range envs {
+		if env.Type != wire.TypePartial {
+			return nil, &httpapi.Error{Code: httpapi.CodeCluster,
+				Message: fmt.Sprintf("worker %d: expected %s, got %s", i, wire.TypePartial, env.Type)}
+		}
+		var p wire.Partial
+		if err := env.Decode(&p); err != nil {
+			return nil, &httpapi.Error{Code: httpapi.CodeCluster, Message: fmt.Sprintf("worker %d: %v", i, err)}
+		}
+		lo, hi := (dist.Partition{Self: i, Members: members}).Bounds(n)
+		if p.Lo != lo || p.Hi != hi || len(p.X) != hi-lo {
+			return nil, &httpapi.Error{Code: httpapi.CodeCluster,
+				Message: fmt.Sprintf("worker %d returned slice [%d,%d) with %d outputs, want [%d,%d)",
+					i, p.Lo, p.Hi, len(p.X), lo, hi)}
+		}
+		copy(x[lo:hi], p.X)
+	}
+	return x, nil
+}
+
+// runQuery executes one solve query across the cluster: the workers
+// compute the partition slices of X (exchanging only R-hop boundary
+// state among themselves) and the coordinator derives the certificate
+// bounds from its own replica — bit-identical to the single-process
+// session path, which the cluster tests pin. The caller holds m.mu.
+func (c *cluster) runQuery(m *managed, q solveQuery, includeX bool) (solveResult, error) {
+	in := m.sess.Instance()
+	n := in.NumAgents()
+	start := time.Now()
+	res := solveResult{Kind: q.Kind}
+	switch q.Kind {
+	case "safe":
+		x, err := c.gather(m.ID, "safe", 0, n)
+		if err != nil {
+			return res, err
+		}
+		res.Omega = in.Objective(x)
+		if includeX {
+			res.X = x
+		}
+	case "average":
+		x, err := c.gather(m.ID, "average", q.Radius, n)
+		if err != nil {
+			return res, err
+		}
+		pb, rb, err := m.sess.Certificate(q.Radius)
+		if err != nil {
+			return res, err
+		}
+		res.Radius = q.Radius
+		res.Omega = in.Objective(x)
+		res.PartyBound, res.ResourceBound = pb, rb
+		res.Certificate = pb * rb
+		if includeX {
+			res.X = x
+		}
+	case "adaptive":
+		// The radius search is pure ball structure, so it runs on the
+		// coordinator's replica — the same loop as Solver.Adaptive — and
+		// only the final averaging solve fans out.
+		if q.Target <= 1 {
+			return res, fmt.Errorf("target ratio must exceed 1, got %v", q.Target)
+		}
+		if q.MaxRadius < 1 {
+			return res, fmt.Errorf("maxRadius must be ≥ 1, got %d", q.MaxRadius)
+		}
+		chosen, achieved := q.MaxRadius, false
+		for r := 1; r <= q.MaxRadius; r++ {
+			pb, rb, err := m.sess.Certificate(r)
+			if err != nil {
+				return res, err
+			}
+			if pb*rb <= q.Target {
+				chosen, achieved = r, true
+				break
+			}
+		}
+		x, err := c.gather(m.ID, "average", chosen, n)
+		if err != nil {
+			return res, err
+		}
+		pb, rb, err := m.sess.Certificate(chosen)
+		if err != nil {
+			return res, err
+		}
+		res.Radius = chosen
+		res.Omega = in.Objective(x)
+		res.PartyBound, res.ResourceBound = pb, rb
+		res.Certificate = pb * rb
+		res.Achieved = &achieved
+		if includeX {
+			res.X = x
+		}
+	default:
+		return res, fmt.Errorf("unknown kind %q", q.Kind)
+	}
+	res.Micros = time.Since(start).Microseconds()
+	return res, nil
+}
+
+// instanceDigest fingerprints an instance's canonical JSON encoding.
+// Coordinator and workers compute it over their own replicas; equal
+// digests certify the patch streams applied identically.
+func instanceDigest(in *maxminlp.Instance) string {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return "unencodable"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// handleCluster is GET /v1/cluster: membership plus a per-instance
+// digest snapshot. Each instance's digests are gathered under its
+// linearisation lock, so the view is consistent — no patch can land
+// between the coordinator's digest and the workers'.
+func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	c := s.cluster
+	s.mu.Lock()
+	ms := make([]*managed, 0, len(s.instances))
+	for _, m := range s.instances {
+		ms = append(ms, m)
+	}
+	s.mu.Unlock()
+	sortManaged(ms)
+	resp := httpapi.ClusterResponse{
+		SchemaVersion: httpapi.SchemaVersion,
+		Workers:       make([]httpapi.ClusterWorker, len(c.workers)),
+		Instances:     make([]httpapi.ClusterInstance, 0, len(ms)),
+	}
+	for i, l := range c.workers {
+		resp.Workers[i] = httpapi.ClusterWorker{Peer: l.peer, DataAddr: l.dataAddr}
+	}
+	for _, m := range ms {
+		m.mu.Lock()
+		in := m.sess.Instance()
+		ci := httpapi.ClusterInstance{
+			ID: m.ID, Agents: in.NumAgents(),
+			Coordinator: instanceDigest(in),
+			InSync:      true,
+		}
+		envs, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
+			return l.call(wire.TypeSnapshot, &wire.Snapshot{ID: m.ID})
+		})
+		m.mu.Unlock()
+		if err != nil {
+			apiError(w, httpapi.CodeCluster, "snapshot of %s: %v", m.ID, err)
+			return
+		}
+		for i, env := range envs {
+			var st wire.State
+			if env.Type != wire.TypeState {
+				apiError(w, httpapi.CodeCluster, "snapshot of %s: worker %d replied %s", m.ID, i, env.Type)
+				return
+			}
+			if err := env.Decode(&st); err != nil {
+				apiError(w, httpapi.CodeCluster, "snapshot of %s: worker %d: %v", m.ID, i, err)
+				return
+			}
+			ci.Workers = append(ci.Workers, st.Digest)
+			if st.Digest != ci.Coordinator {
+				ci.InSync = false
+			}
+		}
+		resp.Instances = append(resp.Instances, ci)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

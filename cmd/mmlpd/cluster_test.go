@@ -1,0 +1,509 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"maxminlp"
+	"maxminlp/internal/httpapi"
+	"maxminlp/internal/mmlpclient"
+	"maxminlp/internal/obs"
+)
+
+// startCluster boots an in-process cluster — a coordinator server plus
+// workers joining over real loopback TCP, exchanging round state over a
+// real worker-to-worker mesh — and returns the coordinator's test
+// server. Cleanup tears the control connections down and verifies every
+// worker exits cleanly.
+func startCluster(t *testing.T, workers int) (*httptest.Server, *server) {
+	t.Helper()
+	quiet := func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			errc <- runWorker(ln.Addr().String(), "127.0.0.1:0", "", quiet)
+		}()
+	}
+	c, err := newCluster(ln, workers, quiet)
+	ln.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(nil)
+	srv.cluster = c
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		for _, l := range c.workers {
+			l.conn.Close()
+		}
+		for i := 0; i < workers; i++ {
+			if err := <-errc; err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		}
+	})
+	return ts, srv
+}
+
+func bitIdentical(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: X[%d] = %x, want %x", label, v, got[v], want[v])
+		}
+	}
+}
+
+// TestClusterBitIdentity is the acceptance gate for the serving tier: a
+// 3-process-shaped cluster (coordinator + 2 workers over TCP) must
+// serve solution vectors and certificate bounds bit-identical to a
+// single-process core.Solver over the same corpus — before and after
+// weight and topology churn.
+func TestClusterBitIdentity(t *testing.T) {
+	ts, _ := startCluster(t, 2)
+	cl := mmlpclient.New(ts.URL, nil)
+	noop := obs.NewRegistry().Counter("test_panics", "")
+
+	corpus := []struct {
+		name string
+		req  httpapi.LoadRequest
+	}{
+		{"torus6x6", httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{6, 6}}}},
+		{"grid5x5w", httpapi.LoadRequest{Grid: &httpapi.LatticeSpec{Dims: []int{5, 5}, RandomWeights: true, Seed: 7}}},
+		{"random30", httpapi.LoadRequest{Random: &httpapi.RandomSpec{Agents: 30, Resources: 22, Parties: 9, MaxVI: 4, MaxVK: 3, Seed: 4}}},
+	}
+	for _, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			info, err := cl.Load(&tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The single-process reference: an independent session over the
+			// identical instance.
+			req := tc.req
+			in, err := buildInstance(&req, noop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+
+			check := func(stage string) {
+				res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+					IncludeX: true,
+					Queries: []httpapi.SolveQuery{
+						{Kind: "safe"},
+						{Kind: "average", Radius: 1},
+						{Kind: "average", Radius: 2},
+						{Kind: "adaptive", Target: 3.0, MaxRadius: 4},
+						{Kind: "certificate", Radius: 2},
+					},
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				bitIdentical(t, stage+"/safe", res[0].X, sess.Safe())
+				for qi, radius := range []int{1, 2} {
+					ref, err := sess.LocalAverage(radius)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r := res[1+qi]
+					bitIdentical(t, fmt.Sprintf("%s/average R%d", stage, radius), r.X, ref.X)
+					if r.PartyBound != ref.PartyBound || r.ResourceBound != ref.ResourceBound ||
+						r.Certificate != ref.RatioCertificate() {
+						t.Fatalf("%s/average R%d bounds (%v,%v,%v), want (%v,%v,%v)", stage, radius,
+							r.PartyBound, r.ResourceBound, r.Certificate,
+							ref.PartyBound, ref.ResourceBound, ref.RatioCertificate())
+					}
+					if r.Omega != in.Objective(ref.X) {
+						t.Fatalf("%s/average R%d omega = %v, want %v", stage, radius, r.Omega, in.Objective(ref.X))
+					}
+				}
+				ad, err := sess.Adaptive(3.0, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := res[3]
+				if r.Radius != ad.Radius || r.Achieved == nil || *r.Achieved != ad.Achieved {
+					t.Fatalf("%s/adaptive radius/achieved = %d/%v, want %d/%v",
+						stage, r.Radius, r.Achieved, ad.Radius, ad.Achieved)
+				}
+				bitIdentical(t, stage+"/adaptive", r.X, ad.X)
+				pb, rb, err := sess.Certificate(2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res[4].PartyBound != pb || res[4].ResourceBound != rb {
+					t.Fatalf("%s/certificate = (%v,%v), want (%v,%v)",
+						stage, res[4].PartyBound, res[4].ResourceBound, pb, rb)
+				}
+			}
+			check("initial")
+
+			// Weight churn: re-weight the first entry of resource row 0 on
+			// both sides, solve again.
+			agent := in.Resource(0)[0].Agent
+			if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+				Resources: []httpapi.CoeffPatch{{Row: 0, Agent: agent, Coeff: 2.25}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.UpdateWeights([]maxminlp.WeightDelta{
+				{Kind: maxminlp.ResourceWeight, Row: 0, Agent: agent, Coeff: 2.25},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			in = sess.Instance()
+			check("after weights")
+
+			// Topology churn: one agent joins resource 0, one leaves.
+			n := in.NumAgents()
+			if _, err := cl.PatchTopology(info.ID, &httpapi.TopologyRequest{Ops: []httpapi.TopoOp{
+				{Op: "addAgent"},
+				{Op: "addEdge", Row: 0, Agent: n, Coeff: 1.25},
+				{Op: "removeAgent", Agent: 1},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.UpdateTopology([]maxminlp.TopoUpdate{
+				maxminlp.AddAgent(),
+				maxminlp.AddResourceEdge(0, n, 1.25),
+				maxminlp.RemoveAgent(1),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			in = sess.Instance()
+			check("after topology")
+		})
+	}
+
+	// After all that churn, every replica must still agree with the
+	// coordinator digest for digest.
+	snap, err := cl.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != httpapi.SchemaVersion || len(snap.Workers) != 2 {
+		t.Fatalf("cluster snapshot = %+v", snap)
+	}
+	if len(snap.Instances) != len(corpus) {
+		t.Fatalf("cluster reports %d instances, want %d", len(snap.Instances), len(corpus))
+	}
+	for _, ci := range snap.Instances {
+		if !ci.InSync || len(ci.Workers) != 2 {
+			t.Fatalf("instance %s out of sync: %+v", ci.ID, ci)
+		}
+	}
+
+	// The coordinator health reports its role.
+	h, err := cl.Health()
+	if err != nil || h.Role != "coordinator" || h.Workers != 2 {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+}
+
+// TestClusterPatchLinearisation hammers one cluster instance with
+// concurrent weight patches on disjoint rows while solve clients read
+// through the coordinator. Disjoint rows commute, so every served X
+// must equal the cold solve of some per-client prefix pair, and the
+// cluster must end in sync — the per-instance linearisation lock
+// spanning processes is what makes this hold.
+func TestClusterPatchLinearisation(t *testing.T) {
+	ts, _ := startCluster(t, 2)
+	cl := mmlpclient.New(ts.URL, nil)
+
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{6, 6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := maxminlp.Torus([]int{6, 6}, maxminlp.LatticeOptions{})
+
+	const iters = 4
+	rows := []int{2, 17}
+	agents := []int{in.Resource(2)[0].Agent, in.Resource(17)[0].Agent}
+	coeff := func(client, i int) float64 { return 0.5 + float64(client) + float64(i)/4 }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	xs := make(chan []float64, 16)
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+					Resources: []httpapi.CoeffPatch{{Row: rows[c], Agent: agents[c], Coeff: coeff(c, i)}},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+					IncludeX: true,
+					Queries:  []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				xs <- res[0].X
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(xs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Enumerate the linearised states lazily and match every capture.
+	refs := map[[2]int][]float64{}
+	coldX := func(k [2]int) []float64 {
+		if x, ok := refs[k]; ok {
+			return x
+		}
+		state := in
+		var err error
+		for c, pre := range k {
+			for i := 0; i < pre; i++ {
+				state, err = state.UpdateCoeffs([]maxminlp.CoeffUpdate{
+					{Row: rows[c], Agent: agents[c], Coeff: coeff(c, i)},
+				}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ref, err := maxminlp.LocalAverage(state, maxminlp.NewGraph(state, maxminlp.GraphOptions{}), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[k] = ref.X
+		return ref.X
+	}
+	same := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return len(a) == len(b)
+	}
+	for x := range xs {
+		matched := false
+		for a := 0; a <= iters && !matched; a++ {
+			for b := 0; b <= iters && !matched; b++ {
+				matched = same(x, coldX([2]int{a, b}))
+			}
+		}
+		if !matched {
+			t.Fatal("served X matches no linearised patch state")
+		}
+	}
+
+	// Final state: everything applied, replicas in sync.
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true, Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "final", res[0].X, coldX([2]int{iters, iters}))
+	snap, err := cl.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range snap.Instances {
+		if !ci.InSync {
+			t.Fatalf("instance %s out of sync after hammer: %+v", ci.ID, ci)
+		}
+	}
+}
+
+// TestClusterWorkerFailure: when a worker drops, solves and loads
+// degrade to 502 cluster errors instead of hanging or serving partial
+// state.
+func TestClusterWorkerFailure(t *testing.T) {
+	ts, srv := startCluster(t, 2)
+	cl := mmlpclient.New(ts.URL, nil)
+
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever worker 0's control connection. Safe solves do not touch the
+	// worker mesh, so the surviving worker stays healthy while the
+	// coordinator reports the degradation.
+	srv.cluster.workers[0].conn.Close()
+
+	var apiErr *httpapi.Error
+	_, err = cl.Solve(info.ID, &httpapi.SolveRequest{Queries: []httpapi.SolveQuery{{Kind: "safe"}}})
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeCluster || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("solve after worker loss = %v, want a %s error", err, httpapi.CodeCluster)
+	}
+	_, err = cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeCluster {
+		t.Fatalf("load after worker loss = %v, want a %s error", err, httpapi.CodeCluster)
+	}
+	// The failed load must not leave a half-registered instance behind.
+	list, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Instances) != 1 || list.Instances[0].ID != info.ID {
+		t.Fatalf("instances after failed load = %+v", list.Instances)
+	}
+}
+
+// TestClientRoundTripEveryCode drives the mmlpclient against a live
+// single-role daemon through every stable error code, verifying the
+// envelope decodes into *httpapi.Error with the right code and status.
+func TestClientRoundTripEveryCode(t *testing.T) {
+	// Lower the serving caps so the growth rejections trigger on toy
+	// instances.
+	restore := []int{maxServedAgents, maxServedRows, maxPatchEntries}
+	maxServedAgents, maxServedRows, maxPatchEntries = 20, 64, 8
+	defer func() {
+		maxServedAgents, maxServedRows, maxPatchEntries = restore[0], restore[1], restore[2]
+	}()
+
+	ts := httptest.NewServer(newServer(nil).handler())
+	defer ts.Close()
+	cl := mmlpclient.New(ts.URL, nil)
+
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(label string, err error, code string) {
+		t.Helper()
+		var apiErr *httpapi.Error
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: err = %v, want *httpapi.Error", label, err)
+		}
+		if apiErr.Code != code || apiErr.Status != httpapi.Status(code) {
+			t.Fatalf("%s: got code %q status %d, want %q status %d",
+				label, apiErr.Code, apiErr.Status, code, httpapi.Status(code))
+		}
+	}
+
+	// invalid_json — the one shape the typed client cannot produce.
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env httpapi.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("invalid_json: no envelope (%v)", err)
+	}
+	resp.Body.Close()
+	if env.Error.Code != httpapi.CodeInvalidJSON || resp.StatusCode != httpapi.Status(httpapi.CodeInvalidJSON) {
+		t.Fatalf("invalid_json: got %q status %d", env.Error.Code, resp.StatusCode)
+	}
+
+	_, err = cl.Load(&httpapi.LoadRequest{})
+	expect("invalid_argument", err, httpapi.CodeInvalidArgument)
+
+	_, err = cl.Get("nope")
+	expect("not_found", err, httpapi.CodeNotFound)
+
+	// The generator pre-checks reject oversized specs with 400 before any
+	// allocation; the 413 path guards inline JSON, where the size is only
+	// known after decoding.
+	big25, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	raw, err := json.Marshal(big25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Load(&httpapi.LoadRequest{Instance: raw})
+	expect("instance_too_large", err, httpapi.CodeInstanceTooLarge)
+
+	big := make([]httpapi.CoeffPatch, maxPatchEntries+1)
+	for i := range big {
+		big[i] = httpapi.CoeffPatch{Row: 0, Agent: 0, Coeff: 1}
+	}
+	_, err = cl.PatchWeights(info.ID, &httpapi.WeightsRequest{Resources: big})
+	expect("patch_entries", err, httpapi.CodePatchEntries)
+
+	ops := make([]httpapi.TopoOp, maxPatchEntries+1)
+	for i := range ops {
+		ops[i] = httpapi.TopoOp{Op: "addAgent"}
+	}
+	_, err = cl.PatchTopology(info.ID, &httpapi.TopologyRequest{Ops: ops})
+	expect("topo_ops", err, httpapi.CodeTopoOps)
+
+	grow := make([]httpapi.TopoOp, 5)
+	for i := range grow {
+		grow[i] = httpapi.TopoOp{Op: "addAgent"}
+	}
+	_, err = cl.PatchTopology(info.ID, &httpapi.TopologyRequest{Ops: grow})
+	expect("agent_growth", err, httpapi.CodeAgentGrowth)
+
+	// A 4x4 torus holds 16+16 rows; with the row cap pinched to 33, two
+	// row-creating addEdge ops trip row_growth while staying under the
+	// 8-op batch cap.
+	maxServedRows = 33
+	_, err = cl.PatchTopology(info.ID, &httpapi.TopologyRequest{Ops: []httpapi.TopoOp{
+		{Op: "addEdge", Row: 16, Agent: 0, Coeff: 1},
+		{Op: "addEdge", Row: 17, Agent: 1, Coeff: 1},
+	}})
+	expect("row_growth", err, httpapi.CodeRowGrowth)
+	maxServedRows = 64
+
+	// cluster — only a coordinator serves /v1/cluster, so the plain mux
+	// 404 exercises the client's no-envelope fallback alongside the real
+	// 502 path covered by TestClusterWorkerFailure.
+	_, err = cl.Cluster()
+	var apiErr *httpapi.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeInternal || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("cluster on single daemon = %v", err)
+	}
+
+	// The Retry-After contract on load-shedding rejections.
+	_, err = cl.PatchWeights(info.ID, &httpapi.WeightsRequest{Resources: big})
+	errors.As(err, &apiErr)
+	if apiErr.RetryAfterS != 60 {
+		t.Fatalf("413 envelope retry_after_s = %d, want 60", apiErr.RetryAfterS)
+	}
+
+	// And the happy-path client methods against the live daemon.
+	if _, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := cl.Health(); err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	if err := cl.Delete(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	expect("delete twice", cl.Delete(info.ID), httpapi.CodeNotFound)
+}

@@ -18,7 +18,15 @@
 //	POST   /v1/instances/{id}/solve   batch of safe/average/adaptive/certificate queries
 //	POST   /v1/instances/{id}/weights patch a_iv / c_kv coefficients atomically
 //	POST   /v1/instances/{id}/topology patch structure (agents/edges join or leave)
+//	GET    /v1/cluster                membership + replica sync digests (coordinator only)
 //	/debug/pprof/*                    net/http/pprof, only with -pprof
+//
+// The daemon also runs as a multi-process cluster: `-role=coordinator
+// -cluster-addr A -workers N` serves the same HTTP surface but fans
+// solves and patches out to N worker processes, each started with
+// `-role=worker -join A`, holding shard sessions for a contiguous
+// agent partition and exchanging round state over a TCP mesh. Answers
+// are bit-identical to a single-process daemon.
 //
 // Example session:
 //
@@ -36,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"time"
@@ -51,6 +60,11 @@ func main() {
 	traceFile := fs.String("trace", "", "append request trace events to this JSONL file")
 	slow := fs.Duration("slow", time.Second, "slow-query log threshold (0 disables)")
 	scrape := fs.String("scrape", "", "scrape a /metrics URL, validate the exposition, and exit (CI self-check)")
+	role := fs.String("role", "single", "process role: single, coordinator or worker")
+	clusterAddr := fs.String("cluster-addr", "127.0.0.1:8090", "coordinator: control-plane listen address")
+	workers := fs.Int("workers", 2, "coordinator: number of workers to wait for")
+	join := fs.String("join", "", "worker: coordinator control-plane address to join")
+	data := fs.String("data", "127.0.0.1:0", "worker: data-plane listen address for the round-exchange mesh")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -61,7 +75,35 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	if *role == "worker" {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "mmlpd: -role=worker requires -join")
+			os.Exit(2)
+		}
+		if err := runWorker(*join, *data, *addr, logf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	srv := newServer(logf)
+	if *role == "coordinator" {
+		ln, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("mmlpd coordinator waiting for %d workers on %s", *workers, ln.Addr())
+		c, err := newCluster(ln, *workers, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.cluster = c
+	} else if *role != "single" {
+		fmt.Fprintf(os.Stderr, "mmlpd: unknown role %q (want single, coordinator or worker)\n", *role)
+		os.Exit(2)
+	}
 	srv.pprofOn = *pprofOn
 	srv.setSlow(*slow)
 	if *traceFile != "" {

@@ -146,33 +146,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// statsResponse is the /v1/stats payload: the instance list that the
-// endpoint has always served, plus the daemon-wide observability
-// summaries.
-type statsResponse struct {
-	Uptime    string                           `json:"uptime"`
-	Instances []instanceInfo                   `json:"instances"`
-	Solve     solveStats                       `json:"solve"`
-	HTTP      map[string]obs.HistogramSnapshot `json:"http"`
-
-	PanicsRecovered int64 `json:"panicsRecovered"`
-	SlowRequests    int64 `json:"slowRequests"`
-}
-
-// solveStats summarises the shared solve-pipeline metrics across every
-// loaded session: phase latency distributions, pass and cache counters,
-// and the session-mutation costs.
-type solveStats struct {
-	Phases  map[string]obs.HistogramSnapshot `json:"phases"`
-	Updates map[string]obs.HistogramSnapshot `json:"updates"`
-	Passes  map[string]int64                 `json:"passes"`
-	Cache   map[string]int64                 `json:"cache"`
-
-	AgentsResolved int64 `json:"agentsResolved"`
-	LPSolves       int64 `json:"lpSolves"`
-	LPPivots       int64 `json:"lpPivots"`
-}
-
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	ms := make([]*managed, 0, len(s.instances))

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"maxminlp/internal/httpapi"
 	"maxminlp/internal/obs"
 )
 
@@ -189,12 +190,13 @@ func TestPanicRecoveredCounter(t *testing.T) {
 	ts := httptest.NewServer(newServer(nil).handler())
 	defer ts.Close()
 
-	var errResp map[string]string
+	var errResp httpapi.ErrorEnvelope
 	do(t, ts, "POST", "/v1/instances", loadRequest{
 		Random: &randomSpec{Agents: 5, Resources: 3, MaxVI: 0, MaxVK: 1},
 	}, http.StatusBadRequest, &errResp)
-	if !strings.Contains(errResp["error"], "invalid instance spec") {
-		t.Errorf("error = %q, want a recovered-panic message", errResp["error"])
+	if errResp.Error == nil || errResp.Error.Code != httpapi.CodeInvalidArgument ||
+		!strings.Contains(errResp.Error.Message, "invalid instance spec") {
+		t.Errorf("error = %+v, want a recovered-panic invalid_argument envelope", errResp.Error)
 	}
 
 	var stats statsResponse

@@ -13,7 +13,30 @@ import (
 	"time"
 
 	"maxminlp"
+	"maxminlp/internal/httpapi"
 	"maxminlp/internal/obs"
+)
+
+// The daemon's JSON surface is defined once, in internal/httpapi; the
+// aliases keep the handlers and tests reading naturally.
+type (
+	loadRequest      = httpapi.LoadRequest
+	latticeSpec      = httpapi.LatticeSpec
+	randomSpec       = httpapi.RandomSpec
+	instanceInfo     = httpapi.InstanceInfo
+	listResponse     = httpapi.ListResponse
+	solveRequest     = httpapi.SolveRequest
+	solveQuery       = httpapi.SolveQuery
+	solveResult      = httpapi.SolveResult
+	weightsRequest   = httpapi.WeightsRequest
+	coeffPatch       = httpapi.CoeffPatch
+	weightsResponse  = httpapi.WeightsResponse
+	topologyRequest  = httpapi.TopologyRequest
+	topoOpSpec       = httpapi.TopoOp
+	topologyResponse = httpapi.TopologyResponse
+	healthResponse   = httpapi.HealthResponse
+	statsResponse    = httpapi.StatsResponse
+	solveStats       = httpapi.SolveStats
 )
 
 // server is the mmlpd state: one Solver session per loaded instance.
@@ -28,6 +51,11 @@ type server struct {
 	logf      func(format string, args ...any)
 	obs       *serverObs
 	pprofOn   bool
+
+	// cluster, when non-nil, makes this server the coordinator of a
+	// worker cluster: loads and patches fan out to every worker, and
+	// average/safe solves run partitioned across them.
+	cluster *cluster
 }
 
 // managed is one loaded instance and its long-lived session. mu
@@ -35,8 +63,11 @@ type server struct {
 // serialises each call, but a solve handler also evaluates the
 // objective of the returned X against the current instance, and that
 // pairing must not interleave with a concurrent patch (the X would be
-// scored under weights it was not solved for). Different instances
-// still proceed fully in parallel.
+// scored under weights it was not solved for). In cluster mode the same
+// lock linearises the patch fan-out to the workers, so every replica
+// applies the same patch sequence — the PR 4/5 linearisation lock,
+// now spanning processes. Different instances still proceed fully in
+// parallel.
 type managed struct {
 	ID      string
 	Name    string
@@ -53,19 +84,21 @@ type managed struct {
 // may ask for. Every queried radius retains a ball index for the
 // session's lifetime, and on expanding graphs a huge radius makes every
 // ball the whole vertex set — O(n²) memory a single request could pin.
-const maxServedRadius = 32
+var maxServedRadius = 32
 
 // maxPatchEntries caps the entries of one weight or topology patch —
 // the same bound for both endpoints, so a single request cannot queue
 // unbounded validation work behind an instance's linearisation lock.
-const maxPatchEntries = 4096
+var maxPatchEntries = 4096
 
 // maxServedAgents caps the agent count an instance may reach — at load
 // time (every source, not just the lattice generators) and through
 // /topology addAgent growth. maxServedRows is the matching cap on the
 // total resource+party row count, which /topology addEdge ops can also
-// grow (an addEdge at the current row count creates the row).
-const (
+// grow (an addEdge at the current row count creates the row). The caps
+// are variables only so the error-path tests can lower them instead of
+// building multi-million-agent instances.
+var (
 	maxServedAgents = 1 << 22
 	maxServedRows   = 1 << 22
 )
@@ -102,6 +135,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/instances/{id}/solve", s.wrap("solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/instances/{id}/weights", s.wrap("weights", s.handleWeights))
 	mux.HandleFunc("POST /v1/instances/{id}/topology", s.wrap("topology", s.handleTopology))
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.wrap("cluster", s.handleCluster))
+	}
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -112,42 +148,8 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// loadRequest describes an instance to load: exactly one source. Torus,
-// Grid and Random drive the built-in generators (deterministic given
-// Seed); Instance carries inline instance JSON
-// ({"agents":n,"resources":[[{"Agent":..,"Coeff":..},..],..],"parties":[..]}).
-type loadRequest struct {
-	Name string `json:"name,omitempty"`
-
-	Torus  *latticeSpec `json:"torus,omitempty"`
-	Grid   *latticeSpec `json:"grid,omitempty"`
-	Random *randomSpec  `json:"random,omitempty"`
-	// Instance is inline instance JSON in the mmlp serialisation.
-	Instance json.RawMessage `json:"instance,omitempty"`
-
-	// CollaborationOblivious drops the party hyperedges from the
-	// communication graph (§1.4 restricted variant).
-	CollaborationOblivious bool `json:"collaborationOblivious,omitempty"`
-	// Workers caps the session's solve parallelism; 0 = GOMAXPROCS.
-	Workers int `json:"workers,omitempty"`
-}
-
-type latticeSpec struct {
-	Dims          []int `json:"dims"`
-	RandomWeights bool  `json:"randomWeights,omitempty"`
-	Seed          int64 `json:"seed,omitempty"`
-}
-
-type randomSpec struct {
-	Agents    int   `json:"agents"`
-	Resources int   `json:"resources"`
-	Parties   int   `json:"parties"`
-	MaxVI     int   `json:"maxVI"`
-	MaxVK     int   `json:"maxVK"`
-	Seed      int64 `json:"seed,omitempty"`
-}
-
-func (req *loadRequest) build(panics *obs.Counter) (in *maxminlp.Instance, err error) {
+// buildInstance materialises the instance a load request describes.
+func buildInstance(req *loadRequest, panics *obs.Counter) (in *maxminlp.Instance, err error) {
 	sources := 0
 	for _, set := range []bool{req.Torus != nil, req.Grid != nil, req.Random != nil, len(req.Instance) > 0} {
 		if set {
@@ -233,23 +235,23 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	sp := spanOf(r)
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		apiError(w, httpapi.CodeInvalidJSON, "request JSON: %v", err)
 		return
 	}
 	sp.Phase("load")
-	in, err := req.build(s.obs.panics)
+	in, err := buildInstance(&req, s.obs.panics)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, httpapi.CodeInvalidArgument, "%v", err)
 		return
 	}
 	if in.NumAgents() == 0 {
-		httpError(w, http.StatusBadRequest, "instance has no agents")
+		apiError(w, httpapi.CodeInvalidArgument, "instance has no agents")
 		return
 	}
 	// The generator-specific checks above bound their own output; this
 	// catches every source (inline JSON in particular).
 	if in.NumAgents() > maxServedAgents || in.NumResources()+in.NumParties() > maxServedRows {
-		s.reject(w, "instance_too_large", "instance too large to serve (%d agents, %d rows)",
+		s.reject(w, httpapi.CodeInstanceTooLarge, "instance too large to serve (%d agents, %d rows)",
 			in.NumAgents(), in.NumResources()+in.NumParties())
 		return
 	}
@@ -275,6 +277,16 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.instances[m.ID] = m
 	s.obs.instances.Set(float64(len(s.instances)))
 	s.mu.Unlock()
+	if c := s.cluster; c != nil {
+		if err := c.replicateLoad(m.ID, in, &req); err != nil {
+			s.mu.Lock()
+			delete(s.instances, m.ID)
+			s.obs.instances.Set(float64(len(s.instances)))
+			s.mu.Unlock()
+			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
+			return
+		}
+	}
 	s.logf("loaded instance %s (%q): %v", m.ID, m.Name, in.Stats())
 	writeJSON(w, http.StatusCreated, s.describe(m))
 	sp.Phase("encode")
@@ -287,18 +299,6 @@ func (s *server) lookup(r *http.Request) (*managed, bool) {
 	return m, ok
 }
 
-// instanceInfo is the JSON description of a loaded instance.
-type instanceInfo struct {
-	ID        string               `json:"id"`
-	Name      string               `json:"name,omitempty"`
-	Loaded    time.Time            `json:"loaded"`
-	Agents    int                  `json:"agents"`
-	Resources int                  `json:"resources"`
-	Parties   int                  `json:"parties"`
-	Queries   int64                `json:"queries"`
-	Session   maxminlp.SolverStats `json:"session"`
-}
-
 func (s *server) describe(m *managed) instanceInfo {
 	in := m.sess.Instance()
 	return instanceInfo{
@@ -308,8 +308,8 @@ func (s *server) describe(m *managed) instanceInfo {
 	}
 }
 
-// sortManaged orders instances by load sequence, the order every
-// listing endpoint reports.
+// sortManaged orders instances by load sequence — the deterministic
+// order every listing endpoint reports, independent of map iteration.
 func sortManaged(ms []*managed) {
 	sort.Slice(ms, func(a, b int) bool { return ms[a].seq < ms[b].seq })
 }
@@ -322,9 +322,9 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	sortManaged(ms)
-	out := make([]instanceInfo, len(ms))
+	out := listResponse{SchemaVersion: httpapi.SchemaVersion, Instances: make([]instanceInfo, len(ms))}
 	for i, m := range ms {
-		out[i] = s.describe(m)
+		out.Instances[i] = s.describe(m)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -332,7 +332,7 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	m, ok := s.lookup(r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such instance")
+		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.describe(m))
@@ -346,62 +346,30 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.obs.instances.Set(float64(len(s.instances)))
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such instance")
+		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
+	if c := s.cluster; c != nil {
+		c.replicateUnload(id)
+	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// solveRequest is a batch of queries against one session. Queries run in
-// order; the session state they warm (ball indexes, cached LPs) persists
-// for every later request.
-type solveRequest struct {
-	Queries []solveQuery `json:"queries"`
-	// IncludeX returns the per-agent solution vector of each query.
-	IncludeX bool `json:"includeX,omitempty"`
-}
-
-type solveQuery struct {
-	// Kind is "safe", "average", "adaptive" or "certificate".
-	Kind string `json:"kind"`
-	// Radius parameterises average and certificate queries.
-	Radius int `json:"radius,omitempty"`
-	// Target and MaxRadius parameterise adaptive queries.
-	Target    float64 `json:"target,omitempty"`
-	MaxRadius int     `json:"maxRadius,omitempty"`
-}
-
-// solveResult reports one query's outcome. Omega is the objective
-// min_k Σ c_kv x_v of the returned solution on the current weights.
-type solveResult struct {
-	Kind          string    `json:"kind"`
-	Radius        int       `json:"radius,omitempty"`
-	Omega         float64   `json:"omega"`
-	PartyBound    float64   `json:"partyBound,omitempty"`
-	ResourceBound float64   `json:"resourceBound,omitempty"`
-	Certificate   float64   `json:"certificate,omitempty"`
-	Achieved      *bool     `json:"achieved,omitempty"`
-	LocalLPs      int       `json:"localLPs,omitempty"`
-	SolvesAvoided int       `json:"solvesAvoided,omitempty"`
-	Micros        int64     `json:"micros"`
-	X             []float64 `json:"x,omitempty"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such instance")
+		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
 	var req solveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		apiError(w, httpapi.CodeInvalidJSON, "request JSON: %v", err)
 		return
 	}
 	sp.Phase("load")
 	if len(req.Queries) == 0 {
-		httpError(w, http.StatusBadRequest, "empty query batch")
+		apiError(w, httpapi.CodeInvalidArgument, "empty query batch")
 		return
 	}
 	sp.Phase("validate")
@@ -416,7 +384,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for qi, q := range req.Queries {
 		res, err := s.runQuery(m, q, req.IncludeX)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "query %d (%s): %v", qi, q.Kind, err)
+			code := httpapi.CodeInvalidArgument
+			if apiErr, ok := err.(*httpapi.Error); ok {
+				code = apiErr.Code
+			}
+			apiError(w, code, "query %d (%s): %v", qi, q.Kind, err)
 			return
 		}
 		out = append(out, res)
@@ -428,7 +400,8 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sp.Phase("encode")
 }
 
-// runQuery executes one query; the caller holds m.mu.
+// runQuery executes one query; the caller holds m.mu. In cluster mode,
+// safe and average queries fan out to the partition owners.
 func (s *server) runQuery(m *managed, q solveQuery, includeX bool) (solveResult, error) {
 	in := m.sess.Instance()
 	start := time.Now()
@@ -441,6 +414,12 @@ func (s *server) runQuery(m *managed, q solveQuery, includeX bool) (solveResult,
 	case "adaptive":
 		if q.MaxRadius > maxServedRadius {
 			return res, fmt.Errorf("maxRadius %d exceeds the serving cap %d", q.MaxRadius, maxServedRadius)
+		}
+	}
+	if s.cluster != nil {
+		switch q.Kind {
+		case "safe", "average", "adaptive":
+			return s.cluster.runQuery(m, q, includeX)
 		}
 	}
 	switch q.Kind {
@@ -492,36 +471,16 @@ func (s *server) runQuery(m *managed, q solveQuery, includeX bool) (solveResult,
 	return res, nil
 }
 
-// weightsRequest patches coefficients of the instance behind a session.
-// Entries must already exist: weight updates change values, never
-// topology. The whole batch applies atomically.
-type weightsRequest struct {
-	Resources []coeffPatch `json:"resources,omitempty"`
-	Parties   []coeffPatch `json:"parties,omitempty"`
-}
-
-type coeffPatch struct {
-	Row   int     `json:"row"`
-	Agent int     `json:"agent"`
-	Coeff float64 `json:"coeff"`
-}
-
-type weightsResponse struct {
-	Applied int                  `json:"applied"`
-	Micros  int64                `json:"micros"`
-	Session maxminlp.SolverStats `json:"session"`
-}
-
 func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such instance")
+		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
 	var req weightsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		apiError(w, httpapi.CodeInvalidJSON, "request JSON: %v", err)
 		return
 	}
 	sp.Phase("load")
@@ -533,20 +492,28 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.PartyWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
 	}
 	if len(deltas) == 0 {
-		httpError(w, http.StatusBadRequest, "empty weight patch")
+		apiError(w, httpapi.CodeInvalidArgument, "empty weight patch")
 		return
 	}
 	if len(deltas) > maxPatchEntries {
-		s.reject(w, "patch_entries", "patch has %d entries, cap is %d", len(deltas), maxPatchEntries)
+		s.reject(w, httpapi.CodePatchEntries, "patch has %d entries, cap is %d", len(deltas), maxPatchEntries)
 		return
 	}
 	sp.Phase("validate")
+	// The per-instance linearisation lock spans the local apply and the
+	// worker fan-out, so every replica sees patches in one global order.
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
 	if err := m.sess.UpdateWeights(deltas); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, httpapi.CodeInvalidArgument, "%v", err)
 		return
+	}
+	if c := s.cluster; c != nil {
+		if err := c.replicateWeights(m.ID, &req); err != nil {
+			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
+			return
+		}
 	}
 	sp.Phase("solve")
 	writeJSON(w, http.StatusOK, weightsResponse{
@@ -557,28 +524,7 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 	sp.Phase("encode")
 }
 
-// topologyRequest patches the structure of the instance behind a
-// session: agents, resources, parties and support entries joining or
-// leaving. Ops apply in order and the whole batch is atomic — the first
-// invalid op rejects it with no state change. It shares the entry cap
-// and the per-instance linearisation of weight patches.
-type topologyRequest struct {
-	Ops []topoOpSpec `json:"ops"`
-}
-
-// topoOpSpec is one structural op. Op is "addAgent", "removeAgent",
-// "addEdge" or "removeEdge"; Kind selects "resource" (default) or
-// "party" for edge ops. An addEdge whose row equals the current row
-// count creates the row.
-type topoOpSpec struct {
-	Op    string  `json:"op"`
-	Kind  string  `json:"kind,omitempty"`
-	Row   int     `json:"row,omitempty"`
-	Agent int     `json:"agent,omitempty"`
-	Coeff float64 `json:"coeff,omitempty"`
-}
-
-func (spec topoOpSpec) update() (maxminlp.TopoUpdate, error) {
+func topoUpdate(spec topoOpSpec) (maxminlp.TopoUpdate, error) {
 	party := false
 	switch spec.Kind {
 	case "", "resource":
@@ -607,42 +553,33 @@ func (spec topoOpSpec) update() (maxminlp.TopoUpdate, error) {
 	}
 }
 
-type topologyResponse struct {
-	Applied       int                  `json:"applied"`
-	Agents        int                  `json:"agents"`
-	AddedAgents   []int                `json:"addedAgents,omitempty"`
-	RemovedAgents []int                `json:"removedAgents,omitempty"`
-	Micros        int64                `json:"micros"`
-	Session       maxminlp.SolverStats `json:"session"`
-}
-
 func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	sp := spanOf(r)
 	m, ok := s.lookup(r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such instance")
+		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
 	var req topologyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "request JSON: %v", err)
+		apiError(w, httpapi.CodeInvalidJSON, "request JSON: %v", err)
 		return
 	}
 	sp.Phase("load")
 	if len(req.Ops) == 0 {
-		httpError(w, http.StatusBadRequest, "empty topology patch")
+		apiError(w, httpapi.CodeInvalidArgument, "empty topology patch")
 		return
 	}
 	if len(req.Ops) > maxPatchEntries {
-		s.reject(w, "topo_ops", "patch has %d ops, cap is %d", len(req.Ops), maxPatchEntries)
+		s.reject(w, httpapi.CodeTopoOps, "patch has %d ops, cap is %d", len(req.Ops), maxPatchEntries)
 		return
 	}
 	ups := make([]maxminlp.TopoUpdate, len(req.Ops))
 	adds := 0
 	for i, spec := range req.Ops {
-		up, err := spec.update()
+		up, err := topoUpdate(spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "op %d: %v", i, err)
+			apiError(w, httpapi.CodeInvalidArgument, "op %d: %v", i, err)
 			return
 		}
 		if up.Op == maxminlp.TopoAddAgent {
@@ -656,7 +593,7 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	defer m.mu.Unlock()
 	in := m.sess.Instance()
 	if n := in.NumAgents(); n+adds > maxServedAgents {
-		s.reject(w, "agent_growth", "instance would grow to %d agents, cap is %d", n+adds, maxServedAgents)
+		s.reject(w, httpapi.CodeAgentGrowth, "instance would grow to %d agents, cap is %d", n+adds, maxServedAgents)
 		return
 	}
 	// Row growth: only an addEdge whose row is at or beyond the current
@@ -670,15 +607,21 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rows := in.NumResources() + in.NumParties(); rows+rowAdds > maxServedRows {
-		s.reject(w, "row_growth", "instance would grow to %d rows, cap is %d", rows+rowAdds, maxServedRows)
+		s.reject(w, httpapi.CodeRowGrowth, "instance would grow to %d rows, cap is %d", rows+rowAdds, maxServedRows)
 		return
 	}
 	sp.Phase("validate")
 	start := time.Now()
 	diff, err := m.sess.UpdateTopology(ups)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, httpapi.CodeInvalidArgument, "%v", err)
 		return
+	}
+	if c := s.cluster; c != nil {
+		if err := c.replicateTopology(m.ID, &req); err != nil {
+			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
+			return
+		}
 	}
 	sp.Phase("solve")
 	s.logf("instance %s topology: %d ops, %d agents (+%d/-%d)",
@@ -694,29 +637,30 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	sp.Phase("encode")
 }
 
-type healthResponse struct {
-	Status    string `json:"status"`
-	Uptime    string `json:"uptime"`
-	Instances int    `json:"instances"`
-}
-
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	n := len(s.instances)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status: "ok", Uptime: time.Since(s.started).Round(time.Millisecond).String(), Instances: n,
-	})
+	}
+	if s.cluster != nil {
+		resp.Role = "coordinator"
+		resp.Workers = len(s.cluster.workers)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // reject refuses a request at a serving cap: 413, a Retry-After hint
 // (the caps shed load; a retry with a smaller request, or against a
-// less loaded deployment, can succeed), and a reason-labelled
-// rejection metric so cap pressure is visible before clients complain.
-func (s *server) reject(w http.ResponseWriter, reason, format string, args ...any) {
-	s.obs.rejected(reason).Inc()
+// less loaded deployment, can succeed), and a code-labelled rejection
+// metric so cap pressure is visible before clients complain.
+func (s *server) reject(w http.ResponseWriter, code, format string, args ...any) {
+	s.obs.rejected(code).Inc()
 	w.Header().Set("Retry-After", "60")
-	httpError(w, http.StatusRequestEntityTooLarge, format, args...)
+	writeJSON(w, httpapi.Status(code), httpapi.ErrorEnvelope{Error: &httpapi.Error{
+		Code: code, Message: fmt.Sprintf(format, args...), RetryAfterS: 60,
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -727,6 +671,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// apiError writes the structured error envelope
+// {"error":{"code","message","retry_after_s"}}; the status derives from
+// the machine-readable code.
+func apiError(w http.ResponseWriter, code, format string, args ...any) {
+	writeJSON(w, httpapi.Status(code), httpapi.ErrorEnvelope{Error: &httpapi.Error{
+		Code: code, Message: fmt.Sprintf(format, args...),
+	}})
 }

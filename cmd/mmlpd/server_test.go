@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"maxminlp"
+	"maxminlp/internal/httpapi"
 )
 
 // do issues one JSON request against the test server and decodes the
@@ -163,9 +164,12 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 
 	// List and delete.
-	var list []instanceInfo
+	var list listResponse
 	do(t, ts, "GET", "/v1/instances", nil, http.StatusOK, &list)
-	if len(list) != 1 || list[0].Queries == 0 {
+	if list.SchemaVersion != httpapi.SchemaVersion {
+		t.Fatalf("list schemaVersion = %d, want %d", list.SchemaVersion, httpapi.SchemaVersion)
+	}
+	if len(list.Instances) != 1 || list.Instances[0].Queries == 0 {
 		t.Fatalf("list = %+v", list)
 	}
 	do(t, ts, "DELETE", base, nil, http.StatusNoContent, nil)
@@ -202,7 +206,7 @@ func TestDaemonInlineInstanceAndErrors(t *testing.T) {
 		Random: &randomSpec{Agents: 20, Resources: 15, Parties: 8, MaxVI: 3, MaxVK: 3, Seed: 4},
 	}, http.StatusCreated, &info)
 
-	var errResp map[string]string
+	var errResp httpapi.ErrorEnvelope
 	// No source / two sources.
 	do(t, ts, "POST", "/v1/instances", loadRequest{}, http.StatusBadRequest, &errResp)
 	do(t, ts, "POST", "/v1/instances", loadRequest{

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"maxminlp"
+	"maxminlp/internal/httpapi"
 )
 
 // TestDaemonTopology drives the structural-churn serving path: an
@@ -113,7 +114,7 @@ func TestDaemonTopologyErrors(t *testing.T) {
 	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{4, 4}}}, http.StatusCreated, &info)
 	base := "/v1/instances/" + info.ID
 
-	var errResp map[string]string
+	var errResp httpapi.ErrorEnvelope
 	do(t, ts, "POST", "/v1/instances/nope/topology", topologyRequest{Ops: []topoOpSpec{{Op: "addAgent"}}}, http.StatusNotFound, &errResp)
 	do(t, ts, "POST", base+"/topology", topologyRequest{}, http.StatusBadRequest, &errResp)
 	do(t, ts, "POST", base+"/topology", topologyRequest{Ops: []topoOpSpec{{Op: "merge"}}}, http.StatusBadRequest, &errResp)
@@ -249,7 +250,7 @@ func TestDaemonChurnHammer(t *testing.T) {
 		var ups []maxminlp.TopoUpdate
 		for ci, pre := range []int{k[0], k[1]} {
 			for _, op := range scripts[ci][:pre] {
-				up, err := op.update()
+				up, err := topoUpdate(op)
 				if err != nil {
 					t.Fatal(err)
 				}

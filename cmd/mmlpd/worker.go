@@ -1,0 +1,363 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"maxminlp"
+	"maxminlp/internal/dist"
+	"maxminlp/internal/httpapi"
+	"maxminlp/internal/obs"
+	"maxminlp/internal/wire"
+)
+
+// worker hosts the partition-slice side of a cluster: a full replica
+// session per instance (the partitioned round loop reads the replicated
+// record ROMs, so only agent-id lists cross the wire), driven entirely
+// by the coordinator's control connection. The control loop is strictly
+// FIFO — patches and solves apply in exactly the order the coordinator
+// linearised them, which is what keeps every replica bit-identical.
+type worker struct {
+	self    int
+	members int
+	mesh    *dist.TCPMesh
+	conn    net.Conn
+	logf    func(format string, args ...any)
+
+	// replicas is written only by the FIFO control loop; the mutex exists
+	// for the HTTP goroutine's reads.
+	mu       sync.Mutex
+	replicas map[string]*replica
+
+	reg      *obs.Registry
+	ops      func(typ string) *obs.Counter
+	started  time.Time
+	solveSec *obs.Histogram
+}
+
+// replica is one instance's worker-side state: the session (for
+// SafeRange and patch application) and the session-backed network the
+// partitioned runs execute on. The network is resynced after every
+// patch — the ROMs bake coefficients in, so weight patches invalidate
+// them just as surely as topology does.
+type replica struct {
+	sess *maxminlp.Solver
+	nw   *maxminlp.Network
+}
+
+// runWorker joins a cluster and serves it until the coordinator goes
+// away. httpAddr serves the worker's own /healthz and /metrics.
+func runWorker(joinAddr, dataAddr, httpAddr string, logf func(string, ...any)) error {
+	ln, err := net.Listen("tcp", dataAddr)
+	if err != nil {
+		return fmt.Errorf("data listener: %w", err)
+	}
+	conn, err := dialControl(joinAddr, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("joining %s: %w", joinAddr, err)
+	}
+	if err := wire.WriteMsg(conn, wire.TypeHello, &wire.Hello{DataAddr: ln.Addr().String()}); err != nil {
+		return err
+	}
+	env, err := wire.ReadMsg(conn)
+	if err != nil {
+		return fmt.Errorf("awaiting assignment: %w", err)
+	}
+	if env.Type != wire.TypeAssign {
+		return fmt.Errorf("expected %s, got %s", wire.TypeAssign, env.Type)
+	}
+	var asg wire.Assign
+	if err := env.Decode(&asg); err != nil {
+		return err
+	}
+	mesh, err := dist.NewTCPMesh(asg.Self, asg.Peers, ln)
+	if err != nil {
+		return fmt.Errorf("building mesh as member %d: %w", asg.Self, err)
+	}
+	if err := wire.WriteMsg(conn, wire.TypeOK, nil); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	w := &worker{
+		self: asg.Self, members: len(asg.Peers), mesh: mesh, conn: conn,
+		replicas: make(map[string]*replica),
+		logf:     logf,
+		reg:      reg,
+		started:  time.Now(),
+		solveSec: reg.Histogram("mmlpd_worker_solve_seconds",
+			"Partition-slice solve latency.", obs.DefLatencyBuckets),
+	}
+	w.ops = func(typ string) *obs.Counter {
+		return reg.Counter("mmlpd_worker_control_ops_total",
+			"Control-plane operations served, by type.", obs.L("type", typ))
+	}
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listener: %w", err)
+		}
+		logf("mmlpd: worker %d serving http on %s", w.self, hln.Addr())
+		go func() {
+			if err := http.Serve(hln, w.httpHandler()); err != nil {
+				logf("mmlpd: worker http: %v", err)
+			}
+		}()
+	}
+	logf("mmlpd: worker %d/%d joined cluster", w.self, w.members)
+	return w.serve()
+}
+
+// dialControl dials the coordinator, retrying while it comes up — the
+// three processes of a cluster start in no particular order.
+func dialControl(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// serve runs the control loop until the coordinator disconnects (a
+// clean exit) or sends shutdown.
+func (w *worker) serve() error {
+	defer w.mesh.Close()
+	for {
+		env, err := wire.ReadMsg(w.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				w.logf("mmlpd: worker %d: coordinator disconnected", w.self)
+				return nil
+			}
+			return err
+		}
+		w.ops(env.Type).Inc()
+		if env.Type == wire.TypeShutdown {
+			w.logf("mmlpd: worker %d: shutdown", w.self)
+			return nil
+		}
+		if err := w.dispatch(env); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch handles one control message and writes exactly one reply.
+// Handler errors become error replies — the connection stays up; only
+// transport failures end the worker.
+func (w *worker) dispatch(env *wire.Envelope) error {
+	reply, code, err := w.handle(env)
+	if err != nil {
+		return wire.WriteMsg(w.conn, wire.TypeError, &wire.Error{Code: code, Message: err.Error()})
+	}
+	if reply == nil {
+		return wire.WriteMsg(w.conn, wire.TypeOK, nil)
+	}
+	return wire.WriteMsg(w.conn, reply.typ, reply.body)
+}
+
+type workerReply struct {
+	typ  string
+	body any
+}
+
+func (w *worker) handle(env *wire.Envelope) (*workerReply, string, error) {
+	switch env.Type {
+	case wire.TypeLoad:
+		var msg wire.Load
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		in := new(maxminlp.Instance)
+		if err := json.Unmarshal(msg.Instance, in); err != nil {
+			return nil, httpapi.CodeInvalidArgument, fmt.Errorf("instance JSON: %w", err)
+		}
+		sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{CollaborationOblivious: msg.CollaborationOblivious})
+		if msg.Workers > 0 {
+			sess.SetWorkers(msg.Workers)
+		}
+		nw, err := maxminlp.NewSessionNetwork(sess)
+		if err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		w.mu.Lock()
+		w.replicas[msg.ID] = &replica{sess: sess, nw: nw}
+		w.mu.Unlock()
+		w.logf("mmlpd: worker %d: loaded %s (%d agents)", w.self, msg.ID, in.NumAgents())
+		return nil, "", nil
+
+	case wire.TypeUnload:
+		var msg wire.Unload
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		w.mu.Lock()
+		delete(w.replicas, msg.ID)
+		w.mu.Unlock()
+		return nil, "", nil
+
+	case wire.TypeWeights:
+		var msg wire.Weights
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		rep, ok := w.replica(msg.ID)
+		if !ok {
+			return nil, httpapi.CodeNotFound, fmt.Errorf("no replica of %s", msg.ID)
+		}
+		deltas := make([]maxminlp.WeightDelta, 0, len(msg.Resources)+len(msg.Parties))
+		for _, p := range msg.Resources {
+			deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.ResourceWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
+		}
+		for _, p := range msg.Parties {
+			deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.PartyWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
+		}
+		if err := rep.sess.UpdateWeights(deltas); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		if err := rep.nw.Resync(); err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		return nil, "", nil
+
+	case wire.TypeTopology:
+		var msg wire.Topology
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		rep, ok := w.replica(msg.ID)
+		if !ok {
+			return nil, httpapi.CodeNotFound, fmt.Errorf("no replica of %s", msg.ID)
+		}
+		ups := make([]maxminlp.TopoUpdate, len(msg.Ops))
+		for i, op := range msg.Ops {
+			up, err := topoUpdate(topoOpSpec{Op: op.Op, Kind: op.Kind, Row: op.Row, Agent: op.Agent, Coeff: op.Coeff})
+			if err != nil {
+				return nil, httpapi.CodeInvalidArgument, fmt.Errorf("op %d: %w", i, err)
+			}
+			ups[i] = up
+		}
+		if _, err := rep.sess.UpdateTopology(ups); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		if err := rep.nw.Resync(); err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		return nil, "", nil
+
+	case wire.TypeSolve:
+		var msg wire.Solve
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		rep, ok := w.replica(msg.ID)
+		if !ok {
+			return nil, httpapi.CodeNotFound, fmt.Errorf("no replica of %s", msg.ID)
+		}
+		part, err := w.solve(rep, &msg)
+		if err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		return &workerReply{typ: wire.TypePartial, body: part}, "", nil
+
+	case wire.TypeSnapshot:
+		var msg wire.Snapshot
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		rep, ok := w.replica(msg.ID)
+		if !ok {
+			return nil, httpapi.CodeNotFound, fmt.Errorf("no replica of %s", msg.ID)
+		}
+		in := rep.sess.Instance()
+		return &workerReply{typ: wire.TypeState, body: &wire.State{
+			ID: msg.ID, Agents: in.NumAgents(),
+			Resources: in.NumResources(), Parties: in.NumParties(),
+			Digest: instanceDigest(in),
+		}}, "", nil
+
+	default:
+		return nil, httpapi.CodeInvalidArgument, fmt.Errorf("unexpected control message %q", env.Type)
+	}
+}
+
+// replica looks up one instance's worker-side state.
+func (w *worker) replica(id string) (*replica, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rep, ok := w.replicas[id]
+	return rep, ok
+}
+
+// solve computes the worker's partition slice of one query. Safe is
+// purely local; average joins the cluster-wide partitioned round
+// exchange on the data-plane mesh, so it blocks until every worker runs
+// the same solve — the coordinator's parallel fan-out guarantees that.
+func (w *worker) solve(rep *replica, msg *wire.Solve) (*wire.Partial, error) {
+	start := time.Now()
+	defer func() { w.solveSec.ObserveDuration(time.Since(start)) }()
+	n := rep.sess.Instance().NumAgents()
+	pt := dist.Partition{Self: w.self, Members: w.members}
+	lo, hi := pt.Bounds(n)
+	switch msg.Kind {
+	case "safe":
+		x, err := rep.sess.SafeRange(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Partial{Lo: lo, Hi: hi, X: x}, nil
+	case "average":
+		part, err := rep.nw.RunPartitioned(dist.AverageProtocol{Radius: msg.Radius}, pt, w.mesh)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Partial{
+			Lo: part.Lo, Hi: part.Hi, X: part.X,
+			Rounds: part.Rounds, Messages: part.Messages,
+			Payload: part.Payload, MaxNodePayload: part.MaxNodePayload,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown solve kind %q", msg.Kind)
+	}
+}
+
+func (w *worker) numReplicas() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.replicas)
+}
+
+// httpHandler serves the worker's own observability endpoints; the
+// cluster smoke job scrapes all three processes.
+func (w *worker) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, healthResponse{
+			Status: "ok", Uptime: time.Since(w.started).Round(time.Millisecond).String(),
+			Instances: w.numReplicas(), Role: "worker", Workers: w.members,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		w.reg.Gauge("go_goroutines", "Number of goroutines that currently exist.").
+			Set(float64(runtime.NumGoroutine()))
+		w.reg.Gauge("mmlpd_uptime_seconds", "Seconds since the daemon started.").
+			Set(time.Since(w.started).Seconds())
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := w.reg.WritePrometheus(rw); err != nil {
+			w.logf("mmlpd: worker metrics: %v", err)
+		}
+	})
+	return mux
+}

@@ -343,6 +343,37 @@ func (s *Solver) Safe() []float64 {
 	return SafeFlat(s.csr)
 }
 
+// SafeRange computes the safe solution for agents [lo, hi) only — the
+// partition-scoped view a cluster worker serves for its owned slice.
+// Element for element it equals Safe()[lo:hi] bitwise: the safe value
+// of an agent depends only on its own resource rows, so a partition can
+// be computed without touching the rest of the instance.
+func (s *Solver) SafeRange(lo, hi int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.csr.NumAgents()
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("core: SafeRange [%d,%d) out of range [0,%d)", lo, hi, n)
+	}
+	x := make([]float64, hi-lo)
+	for v := lo; v < hi; v++ {
+		best := math.Inf(1)
+		ids, coeffs := s.csr.AgentResources(v), s.csr.AgentResourceCoeffs(v)
+		for j, i := range ids {
+			cap := 1 / (coeffs[j] * float64(s.csr.ResourceDegree(int(i))))
+			if cap < best {
+				best = cap
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Iv = ∅ violates the paper's assumptions; 0 keeps feasibility.
+			best = 0
+		}
+		x[v-lo] = best
+	}
+	return x, nil
+}
+
 // Certificate returns the Theorem-3 certificate at the given radius.
 // The bounds are pure ball structure, so the session computes them once
 // per radius and serves every later call — across any number of weight

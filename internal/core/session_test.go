@@ -79,6 +79,31 @@ func TestSessionBitIdentity(t *testing.T) {
 				}
 			}
 
+			// SafeRange must tile into Safe bit for bit across an uneven
+			// 3-way partition, and reject bad ranges.
+			n := cse.in.NumAgents()
+			for w := 0; w < 3; w++ {
+				lo, hi := n*w/3, n*(w+1)/3
+				part, err := s.SafeRange(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := lo; v < hi; v++ {
+					if part[v-lo] != safeRef[v] {
+						t.Fatalf("SafeRange[%d] = %v, want %v", v, part[v-lo], safeRef[v])
+					}
+				}
+			}
+			if _, err := s.SafeRange(-1, n); err == nil {
+				t.Error("SafeRange(-1, n) accepted")
+			}
+			if _, err := s.SafeRange(0, n+1); err == nil {
+				t.Error("SafeRange(0, n+1) accepted")
+			}
+			if _, err := s.SafeRange(2, 1); err == nil {
+				t.Error("SafeRange(2, 1) accepted")
+			}
+
 			pbRef, rbRef, err := Certificate(cse.in, sessionGraph(cse.in), cse.radius)
 			if err != nil {
 				t.Fatal(err)

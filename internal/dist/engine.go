@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Engine executes protocols over a Network. Every engine produces X
+// vectors bit-identical to the sequential reference for every protocol;
+// engines whose CostExact method reports true additionally reproduce
+// its message/payload accounting bit-for-bit (the stabilising engine
+// exchanges full tables every round, so its cost model is different by
+// design).
+//
+// Engines are stateless and safe for concurrent use on distinct
+// Networks; a single Network must not host two runs at once.
+type Engine interface {
+	// Name returns the registry name the engine was constructed under.
+	Name() string
+	// Run executes one protocol over the network.
+	Run(nw *Network, p Protocol) (*Trace, error)
+	// CostExact reports whether the engine's Trace cost counters are
+	// bit-comparable to the sequential reference.
+	CostExact() bool
+}
+
+// Options parameterises engine construction. The zero value selects
+// sensible defaults for every engine.
+type Options struct {
+	// Shards is the worker count of the sharded engine and the member
+	// count of the partitioned engine; ≤ 0 selects GOMAXPROCS. Both
+	// clamp to the agent count at run time.
+	Shards int
+	// Rounds is the schedule length of the stabilizing engine; ≤ 0
+	// selects the protocol's horizon (its convergence time from a cold
+	// start). Other engines always run exactly the horizon and ignore it.
+	Rounds int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(Options) (Engine, error){}
+)
+
+// Register makes an engine constructor available under a name. It
+// panics on a duplicate name or nil constructor — registration is a
+// program-initialisation concern, exactly like http.Handle.
+func Register(name string, ctor func(Options) (Engine, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if ctor == nil {
+		panic("dist: Register with nil constructor")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("dist: Register called twice for engine %q", name))
+	}
+	registry[name] = ctor
+}
+
+// New constructs a registered engine by name. The built-in names are
+// "sequential", "goroutines", "sharded", "partitioned" and
+// "stabilizing".
+func New(name string, opt Options) (Engine, error) {
+	registryMu.RLock()
+	ctor, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown engine %q (registered: %v)", name, Engines())
+	}
+	return ctor(opt)
+}
+
+// Engines returns the registered engine names in sorted order.
+func Engines() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("sequential", func(Options) (Engine, error) {
+		return engineFunc{name: "sequential", exact: true,
+			run: (*Network).runSequential}, nil
+	})
+	Register("goroutines", func(Options) (Engine, error) {
+		return engineFunc{name: "goroutines", exact: true,
+			run: (*Network).runGoroutines}, nil
+	})
+	Register("sharded", func(opt Options) (Engine, error) {
+		return engineFunc{name: "sharded", exact: true,
+			run: func(nw *Network, p Protocol) (*Trace, error) {
+				return nw.runSharded(p, opt.Shards)
+			}}, nil
+	})
+	Register("partitioned", func(opt Options) (Engine, error) {
+		return engineFunc{name: "partitioned", exact: true,
+			run: func(nw *Network, p Protocol) (*Trace, error) {
+				return nw.runPartitionedLoopback(p, opt.Shards)
+			}}, nil
+	})
+	Register("stabilizing", func(opt Options) (Engine, error) {
+		return engineFunc{name: "stabilizing", exact: false,
+			run: func(nw *Network, p Protocol) (*Trace, error) {
+				return nw.runStabilizingOnce(p, opt.Rounds)
+			}}, nil
+	})
+}
+
+// engineFunc adapts one run function to the Engine interface.
+type engineFunc struct {
+	name  string
+	exact bool
+	run   func(*Network, Protocol) (*Trace, error)
+}
+
+func (e engineFunc) Name() string    { return e.name }
+func (e engineFunc) CostExact() bool { return e.exact }
+func (e engineFunc) Run(nw *Network, p Protocol) (*Trace, error) {
+	return e.run(nw, p)
+}
+
+// runStabilizingOnce adapts the fault-injection engine to the one-shot
+// Engine contract: a fault-free self-stabilising run long enough to
+// converge from cold start, returning the final output vector. X is
+// bit-identical to the flooding engines; the cost counters account full
+// table exchanges per round (the price of perpetual fault tolerance)
+// and are not comparable to flooding.
+func (nw *Network) runStabilizingOnce(p Protocol, rounds int) (*Trace, error) {
+	if p == nil {
+		return nil, fmt.Errorf("dist: nil protocol")
+	}
+	if rounds <= 0 {
+		rounds = p.Horizon()
+		if rounds < 1 {
+			rounds = 1
+		}
+	}
+	run, err := nw.RunStabilizing(p, rounds, -1, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Protocol: p.Name(),
+		X:        run.Outputs[len(run.Outputs)-1],
+		Rounds:   run.Rounds,
+		Messages: run.Messages,
+		Payload:  run.Payload,
+	}
+	nw.recordRun("stabilizing", tr)
+	return tr, nil
+}

@@ -91,8 +91,11 @@ func goldenChurn(in *mmlp.Instance) []mmlp.TopoUpdate {
 	}
 }
 
-// runAllEngines executes the protocol on every engine of the network and
-// requires bit-identical traces, returning the common one.
+// runAllEngines executes the protocol on the deprecated entry points and
+// on every engine in the registry, requires bit-identical results, and
+// returns the common trace. Engines whose cost accounting matches the
+// sequential reference (CostExact) must reproduce the full trace;
+// others (stabilizing) must still reproduce every output bit.
 func runAllEngines(t *testing.T, label string, nw *Network, p Protocol) *Trace {
 	t.Helper()
 	seq, err := nw.RunSequential(p)
@@ -105,6 +108,28 @@ func runAllEngines(t *testing.T, label string, nw *Network, p Protocol) *Trace {
 			t.Fatalf("%s: sharded(%d): %v", label, shards, err)
 		}
 		sameTraceGolden(t, label+"/sharded", sh, seq)
+	}
+	for _, name := range Engines() {
+		eng, err := New(name, Options{Shards: 3})
+		if err != nil {
+			t.Fatalf("%s: New(%q): %v", label, name, err)
+		}
+		tr, err := eng.Run(nw, p)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, name, err)
+		}
+		if eng.CostExact() {
+			sameTraceGolden(t, label+"/"+name, tr, seq)
+			continue
+		}
+		if len(tr.X) != len(seq.X) {
+			t.Fatalf("%s: %s: %d outputs, want %d", label, name, len(tr.X), len(seq.X))
+		}
+		for v := range seq.X {
+			if tr.X[v] != seq.X[v] {
+				t.Fatalf("%s: %s: X[%d] = %x, want %x", label, name, v, tr.X[v], seq.X[v])
+			}
+		}
 	}
 	return seq
 }

@@ -60,7 +60,15 @@ func (b *barrier) await() {
 // result, including the cost accounting, is bit-for-bit identical to
 // RunSequential under any goroutine scheduling. The horizon-R local LP
 // solves, the expensive part, run genuinely in parallel.
+//
+// Deprecated: construct the engine through the registry instead —
+// New("goroutines", Options{}). The wrapper remains for source
+// compatibility and behaves identically.
 func (nw *Network) RunGoroutines(p Protocol) (*Trace, error) {
+	return nw.runGoroutines(p)
+}
+
+func (nw *Network) runGoroutines(p Protocol) (*Trace, error) {
 	nodes, err := nw.newFloodNodes(p)
 	if err != nil {
 		return nil, err

@@ -42,8 +42,16 @@ func (nd *floodNode) deliver(msg []*agentRecord) {
 
 // RunSequential executes the protocol round by round in a single
 // goroutine, visiting nodes in ascending order: the deterministic
-// reference engine that RunGoroutines is tested against.
+// reference engine every other engine is tested against.
+//
+// Deprecated: construct the engine through the registry instead —
+// New("sequential", Options{}) — which all new call sites use. The
+// wrapper remains for source compatibility and behaves identically.
 func (nw *Network) RunSequential(p Protocol) (*Trace, error) {
+	return nw.runSequential(p)
+}
+
+func (nw *Network) runSequential(p Protocol) (*Trace, error) {
 	nodes, err := nw.newFloodNodes(p)
 	if err != nil {
 		return nil, err

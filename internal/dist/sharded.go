@@ -27,7 +27,15 @@ import (
 // fidelity (n goroutines, 2n barrier waits per round) for throughput:
 // P goroutines and 2P barrier waits per round, with each worker sweeping
 // its shard in index order.
+//
+// Deprecated: construct the engine through the registry instead —
+// New("sharded", Options{Shards: shards}). The wrapper remains for
+// source compatibility and behaves identically.
 func (nw *Network) RunSharded(p Protocol, shards int) (*Trace, error) {
+	return nw.runSharded(p, shards)
+}
+
+func (nw *Network) runSharded(p Protocol, shards int) (*Trace, error) {
 	nodes, err := nw.newFloodNodes(p)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"maxminlp/internal/wire"
+)
+
+// TCPMesh is the Transport of the multi-process cluster: a full mesh of
+// length-prefixed-frame TCP connections between the members. Dial
+// direction follows the index order — member i dials every j < i and
+// accepts from every j > i — so each pair shares exactly one
+// connection; a hello frame carrying the dialler's index pairs accepted
+// connections with members. One reader goroutine per peer decouples
+// receiving from sending, so the all-to-all Exchange cannot deadlock on
+// TCP flow control.
+type TCPMesh struct {
+	self  int
+	conns []net.Conn
+	inbox []chan tcpFrame
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type tcpFrame struct {
+	b   []byte
+	err error
+}
+
+// tcpDialTimeout bounds how long NewTCPMesh retries dialling a peer
+// that has not bound its listener yet — cluster members start in
+// arbitrary order.
+const tcpDialTimeout = 30 * time.Second
+
+// NewTCPMesh connects member self to its peers. addrs lists every
+// member's data-plane address in index order (addrs[self] is ignored —
+// ln, the member's own bound listener, takes its place). The call
+// blocks until the full mesh is up.
+func NewTCPMesh(self int, addrs []string, ln net.Listener) (*TCPMesh, error) {
+	m := len(addrs)
+	if self < 0 || self >= m {
+		return nil, fmt.Errorf("dist: mesh self %d out of range [0,%d)", self, m)
+	}
+	t := &TCPMesh{
+		self:  self,
+		conns: make([]net.Conn, m),
+		inbox: make([]chan tcpFrame, m),
+	}
+	fail := func(err error) (*TCPMesh, error) {
+		t.Close()
+		return nil, err
+	}
+	// Dial down: one connection to every lower-indexed member,
+	// introduced by a hello frame carrying our index.
+	for q := 0; q < self; q++ {
+		conn, err := dialRetry(addrs[q], tcpDialTimeout)
+		if err != nil {
+			return fail(fmt.Errorf("dist: mesh member %d dialling %d (%s): %w", self, q, addrs[q], err))
+		}
+		t.conns[q] = conn
+		if err := wire.WriteFrame(conn, binary.AppendUvarint(nil, uint64(self))); err != nil {
+			return fail(fmt.Errorf("dist: mesh member %d hello to %d: %w", self, q, err))
+		}
+	}
+	// Accept up: every higher-indexed member dials us.
+	for need := m - 1 - self; need > 0; need-- {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("dist: mesh member %d accept: %w", self, err))
+		}
+		hello, err := wire.ReadFrame(conn)
+		if err != nil {
+			return fail(fmt.Errorf("dist: mesh member %d reading hello: %w", self, err))
+		}
+		peer, k := binary.Uvarint(hello)
+		if k <= 0 || int(peer) <= self || int(peer) >= m || t.conns[peer] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("dist: mesh member %d got bad hello index %d", self, peer))
+		}
+		t.conns[peer] = conn
+	}
+	for q, conn := range t.conns {
+		if q == self {
+			continue
+		}
+		// One extra slot beyond the round skew guarantees the reader's
+		// terminal error send never blocks, so Close cannot leak readers.
+		ch := make(chan tcpFrame, loopbackSkew+1)
+		t.inbox[q] = ch
+		go func(conn net.Conn, ch chan tcpFrame) {
+			for {
+				b, err := wire.ReadFrame(conn)
+				if err != nil {
+					// Deliver the error once, then close so every later
+					// Exchange on the dead peer fails instead of blocking.
+					ch <- tcpFrame{err: err}
+					close(ch)
+					return
+				}
+				ch <- tcpFrame{b: b}
+			}
+		}(conn, ch)
+	}
+	return t, nil
+}
+
+// dialRetry dials with retries until the deadline: the peer's listener
+// may not be bound yet while the cluster boots.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (t *TCPMesh) Self() int    { return t.self }
+func (t *TCPMesh) Members() int { return len(t.conns) }
+
+// Exchange writes this round's payloads to every peer concurrently and
+// collects one frame from each peer's reader. Concurrent writes matter:
+// with large boundary payloads, sequential writes against a peer that
+// is also writing could fill both TCP windows and deadlock.
+func (t *TCPMesh) Exchange(out [][]byte) ([][]byte, error) {
+	m := len(t.conns)
+	if len(out) != m {
+		return nil, fmt.Errorf("dist: Exchange with %d payloads for %d members", len(out), m)
+	}
+	errs := make(chan error, m)
+	writes := 0
+	for q := 0; q < m; q++ {
+		if q == t.self {
+			continue
+		}
+		writes++
+		go func(q int) {
+			errs <- wire.WriteFrame(t.conns[q], out[q])
+		}(q)
+	}
+	in := make([][]byte, m)
+	var firstErr error
+	for q := 0; q < m; q++ {
+		if q == t.self {
+			continue
+		}
+		f, ok := <-t.inbox[q]
+		if !ok {
+			f.err = errors.New("peer connection closed")
+		}
+		if f.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dist: mesh member %d reading from %d: %w", t.self, q, f.err)
+		}
+		in[q] = f.b
+	}
+	for i := 0; i < writes; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return in, nil
+}
+
+// Close tears down every mesh connection, unblocking peers and local
+// reader goroutines.
+func (t *TCPMesh) Close() error {
+	t.closeOnce.Do(func() {
+		var errs []error
+		for _, conn := range t.conns {
+			if conn != nil {
+				if err := conn.Close(); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		t.closeErr = errors.Join(errs...)
+	})
+	return t.closeErr
+}

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"fmt"
+)
+
+// Transport is the data plane of one member of a fixed-size cluster of
+// partition owners. It moves opaque byte payloads between members in
+// lock-step rounds: every member calls Exchange once per round with one
+// outgoing payload per peer and receives the payloads its peers
+// addressed to it in the same round. The partitioned round loop runs
+// unchanged over any implementation — in-memory loopback for
+// single-process engines and tests, a TCP mesh between worker
+// processes in the mmlpd cluster.
+type Transport interface {
+	// Self is this member's index in [0, Members).
+	Self() int
+	// Members is the cluster size.
+	Members() int
+	// Exchange sends out[q] to member q for every q ≠ Self (nil and
+	// empty payloads are delivered as empty) and returns in[q], the
+	// payload member q addressed to Self this round. in[Self] is nil.
+	// Exchange is a full barrier in the round-numbering sense: the k-th
+	// call observes exactly every peer's k-th payloads.
+	Exchange(out [][]byte) ([][]byte, error)
+	// Close releases the transport's resources. Members blocked in
+	// Exchange are unblocked with an error.
+	Close() error
+}
+
+// loopbackSkew is the buffered-channel capacity of the in-memory
+// transport. Members may drift: the fastest member can be staging round
+// k+1 while the slowest still reads round k, so a send can be one round
+// ahead of its receive; capacity 4 keeps every legal interleaving
+// non-blocking without unbounded buffering.
+const loopbackSkew = 4
+
+// NewLoopback builds an in-memory transport mesh of the given size and
+// returns one Transport per member. Payloads pass by reference; the
+// sender must not mutate a payload after Exchange hands it over (the
+// partitioned engine re-encodes into fresh buffers each round).
+func NewLoopback(members int) []Transport {
+	if members < 1 {
+		panic("dist: NewLoopback needs at least one member")
+	}
+	chans := make([][]chan []byte, members)
+	for from := range chans {
+		chans[from] = make([]chan []byte, members)
+		for to := range chans[from] {
+			if to != from {
+				chans[from][to] = make(chan []byte, loopbackSkew)
+			}
+		}
+	}
+	ts := make([]Transport, members)
+	for self := range ts {
+		ts[self] = &loopback{self: self, chans: chans}
+	}
+	return ts
+}
+
+type loopback struct {
+	self  int
+	chans [][]chan []byte // chans[from][to]
+}
+
+func (l *loopback) Self() int    { return l.self }
+func (l *loopback) Members() int { return len(l.chans) }
+func (l *loopback) Close() error { return nil }
+
+func (l *loopback) Exchange(out [][]byte) ([][]byte, error) {
+	m := len(l.chans)
+	if len(out) != m {
+		return nil, fmt.Errorf("dist: Exchange with %d payloads for %d members", len(out), m)
+	}
+	for q := 0; q < m; q++ {
+		if q != l.self {
+			l.chans[l.self][q] <- out[q]
+		}
+	}
+	in := make([][]byte, m)
+	for q := 0; q < m; q++ {
+		if q != l.self {
+			in[q] = <-l.chans[q][l.self]
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,314 @@
+// Package httpapi defines the JSON surface of the mmlpd daemon: every
+// request and response body, the structured error envelope, and the
+// stable machine-readable error codes. The daemon (cmd/mmlpd) and the
+// Go client (internal/mmlpclient) both build against these types, so
+// the wire contract lives in exactly one place.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"maxminlp"
+	"maxminlp/internal/obs"
+)
+
+// SchemaVersion is stamped on listing-style responses so clients can
+// detect shape changes mechanically instead of by breakage.
+const SchemaVersion = 1
+
+// Error codes. Codes are stable API: clients branch on them, the
+// daemon's rejection metrics are labelled by them, and the
+// coordinator↔worker protocol carries them across processes.
+const (
+	// CodeInvalidJSON: the request body is not valid JSON. 400.
+	CodeInvalidJSON = "invalid_json"
+	// CodeInvalidArgument: well-formed but semantically invalid request
+	// (bad generator spec, unknown solve kind, radius over the cap,
+	// patch against a missing row...). 400.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound: no instance with the requested id. 404.
+	CodeNotFound = "not_found"
+	// CodeInstanceTooLarge: the instance exceeds the serving caps. 413,
+	// retryable against a larger deployment.
+	CodeInstanceTooLarge = "instance_too_large"
+	// CodePatchEntries / CodeTopoOps: a weight/topology patch exceeds
+	// the per-request entry cap. 413, retryable after splitting.
+	CodePatchEntries = "patch_entries"
+	CodeTopoOps      = "topo_ops"
+	// CodeAgentGrowth / CodeRowGrowth: the patch would grow the instance
+	// past the serving caps. 413.
+	CodeAgentGrowth = "agent_growth"
+	CodeRowGrowth   = "row_growth"
+	// CodeCluster: a cluster worker failed or disagreed; the daemon is
+	// degraded. 502.
+	CodeCluster = "cluster"
+	// CodeInternal: unclassified server-side failure. 500.
+	CodeInternal = "internal"
+)
+
+// statusOf maps every error code to its HTTP status.
+var statusOf = map[string]int{
+	CodeInvalidJSON:      http.StatusBadRequest,
+	CodeInvalidArgument:  http.StatusBadRequest,
+	CodeNotFound:         http.StatusNotFound,
+	CodeInstanceTooLarge: http.StatusRequestEntityTooLarge,
+	CodePatchEntries:     http.StatusRequestEntityTooLarge,
+	CodeTopoOps:          http.StatusRequestEntityTooLarge,
+	CodeAgentGrowth:      http.StatusRequestEntityTooLarge,
+	CodeRowGrowth:        http.StatusRequestEntityTooLarge,
+	CodeCluster:          http.StatusBadGateway,
+	CodeInternal:         http.StatusInternalServerError,
+}
+
+// Status returns the HTTP status of an error code; unknown codes map to
+// 500, the conservative choice for a server bug.
+func Status(code string) int {
+	if s, ok := statusOf[code]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// Codes lists every defined error code, in the order above.
+func Codes() []string {
+	return []string{
+		CodeInvalidJSON, CodeInvalidArgument, CodeNotFound,
+		CodeInstanceTooLarge, CodePatchEntries, CodeTopoOps,
+		CodeAgentGrowth, CodeRowGrowth, CodeCluster, CodeInternal,
+	}
+}
+
+// Error is the body of the structured error envelope, and doubles as
+// the Go error the client surfaces.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail; clients must branch on Code, not
+	// on Message.
+	Message string `json:"message"`
+	// RetryAfterS mirrors the Retry-After header on load-shedding
+	// rejections; 0 means not retryable as-is.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+
+	// Status is the HTTP status the envelope travelled with. Set by the
+	// client when decoding; never serialised.
+	Status int `json:"-"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mmlpd: %s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the uniform error response shape:
+// {"error":{"code":...,"message":...,"retry_after_s":...}}.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// LoadRequest describes an instance to load: exactly one source. Torus,
+// Grid and Random drive the built-in generators (deterministic given
+// Seed); Instance carries inline instance JSON in the mmlp
+// serialisation ({"agents":n,"resources":[[{"Agent":..,"Coeff":..},..],..],"parties":[..]}).
+type LoadRequest struct {
+	Name string `json:"name,omitempty"`
+
+	Torus  *LatticeSpec `json:"torus,omitempty"`
+	Grid   *LatticeSpec `json:"grid,omitempty"`
+	Random *RandomSpec  `json:"random,omitempty"`
+	// Instance is inline instance JSON in the mmlp serialisation.
+	Instance json.RawMessage `json:"instance,omitempty"`
+
+	// CollaborationOblivious drops the party hyperedges from the
+	// communication graph (§1.4 restricted variant).
+	CollaborationOblivious bool `json:"collaborationOblivious,omitempty"`
+	// Workers caps the session's solve parallelism; 0 = GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// LatticeSpec parameterises the torus and grid generators.
+type LatticeSpec struct {
+	Dims          []int `json:"dims"`
+	RandomWeights bool  `json:"randomWeights,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+}
+
+// RandomSpec parameterises the random-instance generator.
+type RandomSpec struct {
+	Agents    int   `json:"agents"`
+	Resources int   `json:"resources"`
+	Parties   int   `json:"parties"`
+	MaxVI     int   `json:"maxVI"`
+	MaxVK     int   `json:"maxVK"`
+	Seed      int64 `json:"seed,omitempty"`
+}
+
+// InstanceInfo is the JSON description of a loaded instance.
+type InstanceInfo struct {
+	ID        string               `json:"id"`
+	Name      string               `json:"name,omitempty"`
+	Loaded    time.Time            `json:"loaded"`
+	Agents    int                  `json:"agents"`
+	Resources int                  `json:"resources"`
+	Parties   int                  `json:"parties"`
+	Queries   int64                `json:"queries"`
+	Session   maxminlp.SolverStats `json:"session"`
+}
+
+// ListResponse is GET /v1/instances: a schema version and the loaded
+// instances sorted by load sequence — a deterministic listing.
+type ListResponse struct {
+	SchemaVersion int            `json:"schemaVersion"`
+	Instances     []InstanceInfo `json:"instances"`
+}
+
+// SolveRequest is a batch of queries against one session. Queries run
+// in order; the session state they warm (ball indexes, cached LPs)
+// persists for every later request.
+type SolveRequest struct {
+	Queries []SolveQuery `json:"queries"`
+	// IncludeX returns the per-agent solution vector of each query.
+	IncludeX bool `json:"includeX,omitempty"`
+}
+
+// SolveQuery is one query of a solve batch.
+type SolveQuery struct {
+	// Kind is "safe", "average", "adaptive" or "certificate".
+	Kind string `json:"kind"`
+	// Radius parameterises average and certificate queries.
+	Radius int `json:"radius,omitempty"`
+	// Target and MaxRadius parameterise adaptive queries.
+	Target    float64 `json:"target,omitempty"`
+	MaxRadius int     `json:"maxRadius,omitempty"`
+}
+
+// SolveResult reports one query's outcome. Omega is the objective
+// min_k Σ c_kv x_v of the returned solution on the current weights.
+type SolveResult struct {
+	Kind          string    `json:"kind"`
+	Radius        int       `json:"radius,omitempty"`
+	Omega         float64   `json:"omega"`
+	PartyBound    float64   `json:"partyBound,omitempty"`
+	ResourceBound float64   `json:"resourceBound,omitempty"`
+	Certificate   float64   `json:"certificate,omitempty"`
+	Achieved      *bool     `json:"achieved,omitempty"`
+	LocalLPs      int       `json:"localLPs,omitempty"`
+	SolvesAvoided int       `json:"solvesAvoided,omitempty"`
+	Micros        int64     `json:"micros"`
+	X             []float64 `json:"x,omitempty"`
+}
+
+// WeightsRequest patches coefficients of the instance behind a session.
+// Entries must already exist: weight updates change values, never
+// topology. The whole batch applies atomically.
+type WeightsRequest struct {
+	Resources []CoeffPatch `json:"resources,omitempty"`
+	Parties   []CoeffPatch `json:"parties,omitempty"`
+}
+
+// CoeffPatch is one coefficient assignment of a weight patch.
+type CoeffPatch struct {
+	Row   int     `json:"row"`
+	Agent int     `json:"agent"`
+	Coeff float64 `json:"coeff"`
+}
+
+// WeightsResponse acknowledges an applied weight patch.
+type WeightsResponse struct {
+	Applied int                  `json:"applied"`
+	Micros  int64                `json:"micros"`
+	Session maxminlp.SolverStats `json:"session"`
+}
+
+// TopologyRequest patches the structure of the instance behind a
+// session: agents, resources, parties and support entries joining or
+// leaving. Ops apply in order and the whole batch is atomic — the first
+// invalid op rejects it with no state change.
+type TopologyRequest struct {
+	Ops []TopoOp `json:"ops"`
+}
+
+// TopoOp is one structural op. Op is "addAgent", "removeAgent",
+// "addEdge" or "removeEdge"; Kind selects "resource" (default) or
+// "party" for edge ops. An addEdge whose row equals the current row
+// count creates the row.
+type TopoOp struct {
+	Op    string  `json:"op"`
+	Kind  string  `json:"kind,omitempty"`
+	Row   int     `json:"row,omitempty"`
+	Agent int     `json:"agent,omitempty"`
+	Coeff float64 `json:"coeff,omitempty"`
+}
+
+// TopologyResponse acknowledges an applied topology patch.
+type TopologyResponse struct {
+	Applied       int                  `json:"applied"`
+	Agents        int                  `json:"agents"`
+	AddedAgents   []int                `json:"addedAgents,omitempty"`
+	RemovedAgents []int                `json:"removedAgents,omitempty"`
+	Micros        int64                `json:"micros"`
+	Session       maxminlp.SolverStats `json:"session"`
+}
+
+// HealthResponse is GET /healthz.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Uptime    string `json:"uptime"`
+	Instances int    `json:"instances"`
+	// Role and Workers describe cluster deployments: "single" (default),
+	// "coordinator" or "worker".
+	Role    string `json:"role,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// StatsResponse is the /v1/stats payload: the instance list plus the
+// daemon-wide observability summaries.
+type StatsResponse struct {
+	Uptime    string                           `json:"uptime"`
+	Instances []InstanceInfo                   `json:"instances"`
+	Solve     SolveStats                       `json:"solve"`
+	HTTP      map[string]obs.HistogramSnapshot `json:"http"`
+
+	PanicsRecovered int64 `json:"panicsRecovered"`
+	SlowRequests    int64 `json:"slowRequests"`
+}
+
+// SolveStats summarises the shared solve-pipeline metrics across every
+// loaded session: phase latency distributions, pass and cache counters,
+// and the session-mutation costs.
+type SolveStats struct {
+	Phases  map[string]obs.HistogramSnapshot `json:"phases"`
+	Updates map[string]obs.HistogramSnapshot `json:"updates"`
+	Passes  map[string]int64                 `json:"passes"`
+	Cache   map[string]int64                 `json:"cache"`
+
+	AgentsResolved int64 `json:"agentsResolved"`
+	LPSolves       int64 `json:"lpSolves"`
+	LPPivots       int64 `json:"lpPivots"`
+}
+
+// ClusterWorker describes one worker of a cluster deployment.
+type ClusterWorker struct {
+	Peer     int    `json:"peer"`
+	DataAddr string `json:"dataAddr"`
+}
+
+// ClusterInstance reports the coordinator's and every worker's digest
+// of one instance — all equal when the cluster is in sync.
+type ClusterInstance struct {
+	ID          string   `json:"id"`
+	Agents      int      `json:"agents"`
+	Coordinator string   `json:"coordinator"`
+	Workers     []string `json:"workers"`
+	InSync      bool     `json:"inSync"`
+}
+
+// ClusterResponse is GET /v1/cluster on a coordinator: membership plus
+// a consistent per-instance digest snapshot.
+type ClusterResponse struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	Workers       []ClusterWorker   `json:"workers"`
+	Instances     []ClusterInstance `json:"instances"`
+}

@@ -1,0 +1,51 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestEveryCodeHasAStatus(t *testing.T) {
+	seen := map[int]bool{}
+	for _, code := range Codes() {
+		st := Status(code)
+		if st < 400 || st > 599 {
+			t.Errorf("code %q maps to implausible status %d", code, st)
+		}
+		seen[st] = true
+	}
+	for _, want := range []int{400, 404, 413, 500, 502} {
+		if !seen[want] {
+			t.Errorf("no code maps to %d", want)
+		}
+	}
+	if Status("no-such-code") != http.StatusInternalServerError {
+		t.Error("unknown code should map to 500")
+	}
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	b, err := json.Marshal(ErrorEnvelope{Error: &Error{
+		Code: CodePatchEntries, Message: "too many", RetryAfterS: 60,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"patch_entries","message":"too many","retry_after_s":60}}`
+	if string(b) != want {
+		t.Fatalf("envelope = %s, want %s", b, want)
+	}
+
+	// retry_after_s and the client-side Status are omitted when unset.
+	b, _ = json.Marshal(ErrorEnvelope{Error: &Error{Code: CodeNotFound, Message: "x", Status: 404}})
+	if strings.Contains(string(b), "retry") || strings.Contains(string(b), "404") {
+		t.Fatalf("envelope leaked optional fields: %s", b)
+	}
+
+	e := &Error{Code: CodeInternal, Message: "boom"}
+	if !strings.Contains(e.Error(), CodeInternal) || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

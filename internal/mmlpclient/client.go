@@ -1,0 +1,170 @@
+// Package mmlpclient is the Go client for the mmlpd daemon. It speaks
+// the JSON surface defined in internal/httpapi and surfaces every
+// daemon failure as a *httpapi.Error carrying the stable
+// machine-readable code and the HTTP status it travelled with — callers
+// branch on the code, never on message text. The daemon's own tests use
+// this client against live servers, so the two sides of the wire
+// contract are exercised together.
+package mmlpclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"maxminlp/internal/httpapi"
+)
+
+// Client talks to one mmlpd daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for
+// http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// do performs one request. Bodies encode as JSON; non-2xx responses
+// decode the error envelope into the returned *httpapi.Error. A
+// response that should carry an envelope but does not becomes a
+// CodeInternal error, so callers always get a code to branch on.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) *httpapi.Error {
+	var env httpapi.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil || env.Error.Code == "" {
+		return &httpapi.Error{
+			Code:    httpapi.CodeInternal,
+			Message: fmt.Sprintf("status %d without an error envelope", resp.StatusCode),
+			Status:  resp.StatusCode,
+		}
+	}
+	env.Error.Status = resp.StatusCode
+	return env.Error
+}
+
+// Load creates an instance from a generator spec or inline JSON.
+func (c *Client) Load(req *httpapi.LoadRequest) (*httpapi.InstanceInfo, error) {
+	var info httpapi.InstanceInfo
+	if err := c.do(http.MethodPost, "/v1/instances", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// List returns the loaded instances, sorted by load sequence.
+func (c *Client) List() (*httpapi.ListResponse, error) {
+	var out httpapi.ListResponse
+	if err := c.do(http.MethodGet, "/v1/instances", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Get describes one instance.
+func (c *Client) Get(id string) (*httpapi.InstanceInfo, error) {
+	var info httpapi.InstanceInfo
+	if err := c.do(http.MethodGet, "/v1/instances/"+url.PathEscape(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Delete unloads an instance.
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/v1/instances/"+url.PathEscape(id), nil, nil)
+}
+
+// Solve runs a batch of queries against an instance's session.
+func (c *Client) Solve(id string, req *httpapi.SolveRequest) ([]httpapi.SolveResult, error) {
+	var out []httpapi.SolveResult
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PatchWeights applies one atomic coefficient patch.
+func (c *Client) PatchWeights(id string, req *httpapi.WeightsRequest) (*httpapi.WeightsResponse, error) {
+	var out httpapi.WeightsResponse
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/weights", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PatchTopology applies one atomic structural patch.
+func (c *Client) PatchTopology(id string, req *httpapi.TopologyRequest) (*httpapi.TopologyResponse, error) {
+	var out httpapi.TopologyResponse
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/topology", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health reads the liveness endpoint.
+func (c *Client) Health() (*httpapi.HealthResponse, error) {
+	var out httpapi.HealthResponse
+	if err := c.do(http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats reads the observability summary.
+func (c *Client) Stats() (*httpapi.StatsResponse, error) {
+	var out httpapi.StatsResponse
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cluster reads the coordinator's membership and sync snapshot; only
+// cluster coordinators serve it.
+func (c *Client) Cluster() (*httpapi.ClusterResponse, error) {
+	var out httpapi.ClusterResponse
+	if err := c.do(http.MethodGet, "/v1/cluster", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,64 @@
+package mmlpclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"maxminlp/internal/httpapi"
+)
+
+// TestClientAgainstStub exercises the request shapes and the error
+// decoding against a stub server; the round trips against a live daemon
+// live in cmd/mmlpd's tests.
+func TestClientAgainstStub(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instances", func(w http.ResponseWriter, r *http.Request) {
+		var req httpapi.LoadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Torus == nil {
+			t.Errorf("stub got malformed load: %v %+v", err, req)
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(httpapi.InstanceInfo{ID: "i1", Agents: 16})
+	})
+	mux.HandleFunc("GET /v1/instances", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(httpapi.ListResponse{SchemaVersion: 1,
+			Instances: []httpapi.InstanceInfo{{ID: "i1"}}})
+	})
+	mux.HandleFunc("GET /v1/instances/i9", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(httpapi.ErrorEnvelope{Error: &httpapi.Error{
+			Code: httpapi.CodeNotFound, Message: "no such instance"}})
+	})
+	mux.HandleFunc("GET /v1/instances/broken", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bare text", http.StatusTeapot)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL+"/", nil)
+
+	info, err := c.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil || info.ID != "i1" || info.Agents != 16 {
+		t.Fatalf("Load = %+v, %v", info, err)
+	}
+	list, err := c.List()
+	if err != nil || list.SchemaVersion != 1 || len(list.Instances) != 1 {
+		t.Fatalf("List = %+v, %v", list, err)
+	}
+
+	// A structured daemon error surfaces as *httpapi.Error with code and
+	// status, reachable through errors.As.
+	_, err = c.Get("i9")
+	var apiErr *httpapi.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeNotFound || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Get(i9) err = %v", err)
+	}
+
+	// A non-envelope failure still yields a coded error.
+	_, err = c.Get("broken")
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeInternal || apiErr.Status != http.StatusTeapot {
+		t.Fatalf("Get(broken) err = %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package wire is the cluster protocol of mmlpd: length-prefixed
+// framing, the versioned JSON control-message catalogue the coordinator
+// and its workers speak, and the compact binary codec for per-round
+// boundary-state exchange between partition owners.
+//
+// The package is deliberately self-contained — it imports nothing from
+// the rest of the module — so the protocol it pins down cannot drift by
+// accident when internal types change. Anything that crosses a process
+// boundary is defined here.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame. The largest legitimate frames are
+// instance loads and solve gathers (8 bytes per agent plus JSON
+// overhead); 1 GiB leaves room for the serving caps (2^22 rows) with a
+// wide margin while still rejecting a corrupt length prefix before it
+// turns into a huge allocation.
+const MaxFrame = 1 << 30
+
+// WriteFrame writes one length-prefixed frame: a 4-byte big-endian
+// payload length followed by the payload. An empty payload is a valid
+// frame (length 0) — partitioned rounds use it as "nothing for you this
+// round" to keep the exchange pattern fixed.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting lengths beyond
+// MaxFrame so a corrupt or hostile peer cannot force an arbitrary
+// allocation.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

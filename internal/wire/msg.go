@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version stamped on every control envelope.
+// Peers reject envelopes from a different major version outright: the
+// cluster is deployed as one unit, so cross-version tolerance buys
+// nothing but silent skew.
+const Version = 1
+
+// Control message types. The full conversation:
+//
+//	worker → coordinator   hello       announce the worker's data-plane address
+//	coordinator → worker   assign      partition index + full peer address list
+//	coordinator → worker   load        replicate an instance (full JSON)
+//	coordinator → worker   unload      drop an instance
+//	coordinator → worker   weights     apply a coefficient patch
+//	coordinator → worker   topology    apply a structural patch
+//	coordinator → worker   solve       run this worker's slice of a query
+//	worker → coordinator   partial     the slice result of a solve
+//	coordinator → worker   snapshot    read the worker's view of an instance
+//	worker → coordinator   state       snapshot reply: sizes + content digest
+//	either direction       ok          acknowledgement without a body
+//	either direction       error       failure reply with a stable code
+//	coordinator → worker   shutdown    drain and exit
+const (
+	TypeHello    = "hello"
+	TypeAssign   = "assign"
+	TypeLoad     = "load"
+	TypeUnload   = "unload"
+	TypeWeights  = "weights"
+	TypeTopology = "topology"
+	TypeSolve    = "solve"
+	TypePartial  = "partial"
+	TypeSnapshot = "snapshot"
+	TypeState    = "state"
+	TypeOK       = "ok"
+	TypeError    = "error"
+	TypeShutdown = "shutdown"
+)
+
+// Envelope is the framing of every control message: a version, a type
+// tag, and the type's body. Round boundary-state frames (EncodeRound)
+// travel on the data plane and are not enveloped.
+type Envelope struct {
+	V    int             `json:"v"`
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Decode unmarshals the envelope body into a typed message struct.
+func (e *Envelope) Decode(into any) error {
+	if len(e.Body) == 0 {
+		return fmt.Errorf("wire: %s envelope has no body", e.Type)
+	}
+	return json.Unmarshal(e.Body, into)
+}
+
+// Hello is the worker's first message on a fresh control connection.
+type Hello struct {
+	// DataAddr is the address the worker's data-plane listener is bound
+	// to; peers dial it to build the round-exchange mesh.
+	DataAddr string `json:"dataAddr"`
+}
+
+// Assign gives a worker its place in the cluster: its partition index
+// and the data-plane addresses of every worker (including itself, at
+// Peers[Self]).
+type Assign struct {
+	Self  int      `json:"self"`
+	Peers []string `json:"peers"`
+}
+
+// Load replicates an instance to a worker. Instance is the canonical
+// mmlp JSON encoding, which round-trips float64 coefficients exactly —
+// the replica is bit-identical to the coordinator's copy.
+type Load struct {
+	ID       string          `json:"id"`
+	Instance json.RawMessage `json:"instance"`
+	// CollaborationOblivious mirrors the load option of the same name:
+	// it changes the communication hypergraph the replica builds.
+	CollaborationOblivious bool `json:"collaborationOblivious,omitempty"`
+	// Workers is the intra-process LP parallelism of the replica session.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Unload drops a worker's replica of an instance.
+type Unload struct {
+	ID string `json:"id"`
+}
+
+// Coeff is one coefficient assignment of a weight patch.
+type Coeff struct {
+	Row   int     `json:"row"`
+	Agent int     `json:"agent"`
+	Coeff float64 `json:"coeff"`
+}
+
+// Weights applies one atomic coefficient patch to a worker's replica —
+// the same rows the coordinator applied locally, in the same order.
+type Weights struct {
+	ID        string  `json:"id"`
+	Resources []Coeff `json:"resources,omitempty"`
+	Parties   []Coeff `json:"parties,omitempty"`
+}
+
+// TopoOp is one structural operation of a topology patch.
+type TopoOp struct {
+	Op    string  `json:"op"`   // addAgent | removeAgent | addEdge | removeEdge
+	Kind  string  `json:"kind"` // resource | party (edge ops)
+	Row   int     `json:"row"`
+	Agent int     `json:"agent"`
+	Coeff float64 `json:"coeff"`
+}
+
+// Topology applies one atomic structural patch to a worker's replica.
+type Topology struct {
+	ID  string   `json:"id"`
+	Ops []TopoOp `json:"ops"`
+}
+
+// Solve asks a worker to compute its partition's slice of a query. For
+// kind "average" the worker joins a cluster-wide partitioned round
+// exchange on the data plane; for kind "safe" the slice is local.
+type Solve struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // safe | average
+	Radius int    `json:"radius,omitempty"`
+}
+
+// Partial is a worker's slice of a solve: X[v-Lo] for owned agents
+// v ∈ [Lo, Hi), plus the communication cost its nodes observed.
+type Partial struct {
+	Lo             int       `json:"lo"`
+	Hi             int       `json:"hi"`
+	X              []float64 `json:"x"`
+	Rounds         int       `json:"rounds"`
+	Messages       int       `json:"messages"`
+	Payload        int       `json:"payload"`
+	MaxNodePayload int       `json:"maxNodePayload"`
+}
+
+// Snapshot asks for a worker's consistent view of one instance.
+type Snapshot struct {
+	ID string `json:"id"`
+}
+
+// State is the snapshot reply: the replica's dimensions and a digest of
+// its canonical instance encoding. Equal digests across the coordinator
+// and every worker certify the cluster is in sync.
+type State struct {
+	ID        string `json:"id"`
+	Agents    int    `json:"agents"`
+	Resources int    `json:"resources"`
+	Parties   int    `json:"parties"`
+	Digest    string `json:"digest"`
+}
+
+// Error is the failure reply. Code is machine-readable and stable; the
+// coordinator surfaces it in the HTTP error envelope.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteMsg frames and writes one control message.
+func WriteMsg(w io.Writer, typ string, body any) error {
+	env := Envelope{V: Version, Type: typ}
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("wire: marshal %s body: %w", typ, err)
+		}
+		env.Body = b
+	}
+	b, err := json.Marshal(&env)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, b)
+}
+
+// ReadMsg reads one control message and validates its version.
+func ReadMsg(r io.Reader) (*Envelope, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("wire: malformed envelope: %w", err)
+	}
+	if env.V != Version {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d", env.V, Version)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("wire: envelope without a type")
+	}
+	return &env, nil
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Round boundary-state codec. A partitioned engine sends, per round and
+// per peer, the staged outboxes of its boundary nodes that the peer's
+// nodes neighbour. Every worker holds the same immutable per-agent
+// record ROMs (replicated at load time), so a record is identified on
+// the wire by its agent id alone — the payload is pure structure:
+//
+//	entry*   where entry = uvarint(node) uvarint(k) k×uvarint(id)
+//
+// Entry order and id order are the sender's staging order and must be
+// preserved: delivery order is what makes the round loop bit-identical
+// to the sequential reference.
+
+// RoundEncoder accumulates one peer's boundary payload for one round.
+// The zero value is ready to use.
+type RoundEncoder struct {
+	buf []byte
+}
+
+// Add appends one node's staged outbox, given as the record agent ids
+// in staging order.
+func (e *RoundEncoder) Add(node int, ids []int32) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(node))
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(ids)))
+	for _, id := range ids {
+		e.buf = binary.AppendUvarint(e.buf, uint64(id))
+	}
+}
+
+// Bytes returns the encoded payload; nil when nothing was added.
+func (e *RoundEncoder) Bytes() []byte { return e.buf }
+
+// Reset clears the encoder for the next round, retaining the buffer.
+func (e *RoundEncoder) Reset() { e.buf = e.buf[:0] }
+
+// DecodeRound streams the payload's (node, ids) entries to visit. The
+// ids slice is reused between calls; visit must not retain it.
+func DecodeRound(b []byte, visit func(node int, ids []int32) error) error {
+	var ids []int32
+	for len(b) > 0 {
+		node, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("wire: truncated round entry header")
+		}
+		b = b[n:]
+		k, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("wire: truncated round entry length")
+		}
+		b = b[n:]
+		ids = ids[:0]
+		for j := uint64(0); j < k; j++ {
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("wire: truncated round entry ids")
+			}
+			b = b[n:]
+			ids = append(ids, int32(id))
+		}
+		if err := visit(int(node), ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), nil, []byte{0}, bytes.Repeat([]byte{0xAB}, 70000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end: %v, want EOF", err)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Assign{Self: 1, Peers: []string{"a:1", "b:2", "c:3"}}
+	if err := WriteMsg(&buf, TypeAssign, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(&buf, TypeOK, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	env, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeAssign {
+		t.Fatalf("type = %q", env.Type)
+	}
+	var got Assign
+	if err := env.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("assign = %+v, want %+v", got, want)
+	}
+
+	env, err = ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeOK || len(env.Body) != 0 {
+		t.Fatalf("ok envelope = %+v", env)
+	}
+	if err := env.Decode(&got); err == nil {
+		t.Fatal("decoding a bodyless envelope should fail")
+	}
+}
+
+func TestMsgVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte(`{"v":2,"type":"ok"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected: %v", err)
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("typeless envelope accepted")
+	}
+}
+
+func TestRoundCodec(t *testing.T) {
+	var enc RoundEncoder
+	entries := []struct {
+		node int
+		ids  []int32
+	}{
+		{0, []int32{0, 5, 1 << 20}},
+		{300, nil},
+		{7, []int32{128}},
+	}
+	for _, e := range entries {
+		enc.Add(e.node, e.ids)
+	}
+	i := 0
+	err := DecodeRound(enc.Bytes(), func(node int, ids []int32) error {
+		if node != entries[i].node {
+			t.Fatalf("entry %d: node %d, want %d", i, node, entries[i].node)
+		}
+		if len(ids) != len(entries[i].ids) {
+			t.Fatalf("entry %d: %d ids, want %d", i, len(ids), len(entries[i].ids))
+		}
+		for j, id := range ids {
+			if id != entries[i].ids[j] {
+				t.Fatalf("entry %d id %d: %d, want %d", i, j, id, entries[i].ids[j])
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", i, len(entries))
+	}
+
+	enc.Reset()
+	if enc.Bytes() != nil && len(enc.Bytes()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if err := DecodeRound(nil, func(int, []int32) error { return nil }); err != nil {
+		t.Fatalf("empty payload: %v", err)
+	}
+}
+
+func TestRoundCodecTruncation(t *testing.T) {
+	var enc RoundEncoder
+	enc.Add(9, []int32{1, 2, 3})
+	full := enc.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if err := DecodeRound(full[:cut], func(int, []int32) error { return nil }); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

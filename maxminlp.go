@@ -142,6 +142,12 @@ type (
 	StabilizingRun = dist.StabilizingRun
 	// StabNodeHandle lets fault injectors corrupt node state.
 	StabNodeHandle = dist.StabNodeHandle
+	// Engine is a named protocol-execution engine from the registry; all
+	// engines produce bit-identical outputs (NewEngine, Engines).
+	Engine = dist.Engine
+	// EngineOptions tunes engine construction (shard count, stabilising
+	// round budget); the zero value picks sensible defaults.
+	EngineOptions = dist.Options
 
 	// LowerBoundParams configures the Theorem-1 construction.
 	LowerBoundParams = lowerbound.Params
@@ -375,6 +381,16 @@ func Certificate(in *Instance, g *Graph, radius int) (partyBound, resourceBound 
 // NewNetwork binds an instance to its communication hypergraph for
 // distributed execution.
 func NewNetwork(in *Instance, g *Graph) (*Network, error) { return dist.NewNetwork(in, g) }
+
+// NewEngine constructs a registered protocol-execution engine by name
+// ("sequential", "goroutines", "sharded", "partitioned", "stabilizing").
+// Every engine produces bit-identical solution vectors; they differ only
+// in scheduling and in whether their cost accounting is exact
+// (Engine.CostExact).
+func NewEngine(name string, opt EngineOptions) (Engine, error) { return dist.New(name, opt) }
+
+// Engines lists the registered engine names, sorted.
+func Engines() []string { return dist.Engines() }
 
 // BuildLowerBound instantiates the Theorem-1 adversarial construction.
 func BuildLowerBound(p LowerBoundParams) (*LowerBound, error) { return lowerbound.Build(p) }
