@@ -2,17 +2,20 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maxminlp"
+	"maxminlp/internal/backoff"
 	"maxminlp/internal/dist"
 	"maxminlp/internal/httpapi"
+	"maxminlp/internal/obs"
 	"maxminlp/internal/wire"
 )
 
@@ -21,146 +24,685 @@ import (
 // connection; data-plane solves fan out to every worker at once, which
 // then exchange boundary state among themselves over their own TCP mesh
 // while the coordinator only gathers the partial results.
+//
+// Membership is dynamic: workers join (and rejoin after a crash)
+// through a persistent accept loop, dead workers are detected by RPC
+// deadlines and heartbeat timeouts and dropped, and every membership
+// change bumps the epoch and re-Assigns the survivors so the mesh and
+// the partition bounds always agree. While the cluster holds fewer
+// workers than its target it serves solves degraded — or, with zero
+// workers, refuses them with an explicit `cluster/degraded` envelope —
+// but it never silently serves stale state.
 type cluster struct {
-	workers []*workerLink
-	logf    func(format string, args ...any)
+	logf   func(format string, args ...any)
+	target int
+	ln     net.Listener
 
-	// dataMu serialises cluster-wide partitioned solves. The workers share
-	// one long-lived round-exchange mesh, and the mesh's correctness rests
-	// on every member running the same rounds in the same order — so at
-	// most one partitioned run may be in flight across all instances.
+	rpcTimeout   time.Duration // short control RPCs (patches, snapshots, pings)
+	longTimeout  time.Duration // solves, loads, mesh builds, resync self-checks
+	hbInterval   time.Duration // heartbeat period; 0 disables
+	hbMisses     int           // consecutive misses before a worker is declared dead
+	resyncRadius int           // stabilising self-check radius at readmission
+
+	// dataMu freezes membership and serialises cluster-wide partitioned
+	// solves: the workers share one long-lived round-exchange mesh whose
+	// correctness rests on every member running the same rounds in the
+	// same order, so at most one partitioned run may be in flight — and
+	// no admission or removal may happen under it.
 	dataMu sync.Mutex
+
+	// mu guards workers and epoch. Fan-out paths (patches, snapshots,
+	// heartbeats) hold it shared so they never race a membership change;
+	// admissions and removals hold it exclusively (always under dataMu).
+	mu      sync.RWMutex
+	workers []*workerLink
+	epoch   uint64
+
+	formed     chan struct{} // closed when the worker count first reaches target
+	formOnce   sync.Once
+	everFormed atomic.Bool
+	closed     atomic.Bool
+
+	// journal is the coordinator's per-instance patch log: the exact
+	// wire bodies it fanned out, each stamped with the replica digest
+	// after applying it. A rejoining worker reports its digests and the
+	// coordinator replays only the suffix it is missing (or unloads and
+	// replays from the load when the digest is unknown). jmu is a leaf
+	// lock: nothing is acquired under it.
+	jmu     sync.Mutex
+	journal map[string]*instanceLog
+
+	reconnects *obs.Counter // post-formation readmissions (nil-safe)
+	inSync     *obs.Gauge   // workers currently admitted and in sync (nil-safe)
 }
+
+// clusterConfig is newCluster's knobs; zero values pick the defaults.
+type clusterConfig struct {
+	target       int
+	rpcTimeout   time.Duration // default 5s
+	longTimeout  time.Duration // default 60s
+	hbInterval   time.Duration // default 1s; negative disables
+	hbMisses     int           // default 3
+	formTimeout  time.Duration // default 30s; how long to wait for the target before serving degraded
+	resyncRadius int           // default 1
+
+	// seed pre-populates the patch journal with already-loaded instances
+	// (the coordinator replayed them from its WAL before forming the
+	// cluster), so the first workers to join catch up like rejoiners.
+	seed []wire.Load
+
+	reconnects *obs.Counter
+	inSync     *obs.Gauge
+}
+
+// journalEntry is one logged control message: the exact body shipped to
+// the workers plus the replica digest after applying it.
+type journalEntry struct {
+	typ    string
+	body   json.RawMessage
+	digest string
+}
+
+type instanceLog struct {
+	entries []journalEntry // entries[0] is always a load
+}
+
+// journalCompactAfter bounds a patch log's length: past it the log is
+// folded into a single synthetic load of the current instance state, so
+// catch-up cost is O(instance), not O(history).
+const journalCompactAfter = 64
 
 // workerLink is one worker's control connection. mu makes call (one
 // request frame, one reply frame) atomic; the per-instance linearisation
 // lock above it decides the order in which calls happen.
 type workerLink struct {
-	peer     int
+	peer     atomic.Int32 // partition index; rewritten by reassign while RPCs are in flight
 	dataAddr string
 	conn     net.Conn
 	mu       sync.Mutex
+	seq      uint64       // last RPC sequence number issued on this link
+	misses   atomic.Int32 // consecutive heartbeat failures
 }
 
-// call performs one control RPC. A wire.Error reply surfaces as a
-// *httpapi.Error carrying the worker's machine-readable code.
-func (l *workerLink) call(typ string, body any) (*wire.Envelope, error) {
+// call performs one control RPC with a deadline. A wire.Error reply
+// surfaces as a *httpapi.Error carrying the worker's machine-readable
+// code; any transport failure (including the deadline) is returned as a
+// plain error, which the caller treats as the worker being gone.
+func (l *workerLink) call(typ string, body any, timeout time.Duration) (*wire.Envelope, error) {
+	return l.callRetry(typ, body, timeout, 1)
+}
+
+// callRetry is call with bounded retries under jittered exponential
+// backoff. Retries reuse the same sequence number, and the worker
+// suppresses duplicate sequence numbers by resending its cached reply —
+// so retrying a non-idempotent patch cannot double-apply it.
+func (l *workerLink) callRetry(typ string, body any, timeout time.Duration, attempts int) (*wire.Envelope, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := wire.WriteMsg(l.conn, typ, body); err != nil {
-		return nil, fmt.Errorf("worker %d: send %s: %w", l.peer, typ, err)
+	l.seq++
+	seq := l.seq
+	bo := backoff.New(backoff.Policy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Attempts: attempts - 1},
+		time.Now().UnixNano())
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && !bo.Next() {
+			break
+		}
+		env, err := l.once(typ, seq, body, timeout)
+		if err == nil {
+			return l.decodeReply(env)
+		}
+		lastErr = err
 	}
-	env, err := wire.ReadMsg(l.conn)
-	if err != nil {
-		return nil, fmt.Errorf("worker %d: %s reply: %w", l.peer, typ, err)
+	return nil, lastErr
+}
+
+// once writes one request frame and reads replies until the one with
+// the matching sequence number arrives — a stale reply to an RPC whose
+// deadline fired earlier is discarded, never mistaken for the answer.
+func (l *workerLink) once(typ string, seq uint64, body any, timeout time.Duration) (*wire.Envelope, error) {
+	deadline := time.Now().Add(timeout)
+	l.conn.SetDeadline(deadline)
+	defer l.conn.SetDeadline(time.Time{})
+	if err := wire.WriteMsgSeq(l.conn, typ, seq, body); err != nil {
+		return nil, fmt.Errorf("worker %d: send %s: %w", l.peer.Load(), typ, err)
 	}
+	for {
+		env, err := wire.ReadMsg(l.conn)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %s reply: %w", l.peer.Load(), typ, err)
+		}
+		if env.Seq != seq {
+			continue // stale reply to a timed-out earlier RPC
+		}
+		return env, nil
+	}
+}
+
+func (l *workerLink) decodeReply(env *wire.Envelope) (*wire.Envelope, error) {
 	if env.Type == wire.TypeError {
 		var we wire.Error
 		if err := env.Decode(&we); err != nil {
-			return nil, fmt.Errorf("worker %d: malformed error reply: %w", l.peer, err)
+			return nil, fmt.Errorf("worker %d: malformed error reply: %w", l.peer.Load(), err)
 		}
-		return nil, &httpapi.Error{Code: we.Code, Message: fmt.Sprintf("worker %d: %s", l.peer, we.Message)}
+		return nil, &httpapi.Error{Code: we.Code, Message: fmt.Sprintf("worker %d: %s", l.peer.Load(), we.Message)}
 	}
 	return env, nil
 }
 
-// newCluster forms a cluster: accept exactly n workers on the control
-// listener, then assign each its partition index and the full data-plane
-// address list. Workers build their round-exchange mesh on assignment
-// and acknowledge; the cluster is ready once every ack is in.
-func newCluster(ln net.Listener, n int, logf func(string, ...any)) (*cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("cluster needs at least 1 worker, got %d", n)
+// isWorkerDead classifies an RPC failure: an *httpapi.Error came back
+// over a live connection (the worker is up, the operation failed); any
+// other error is a transport failure and the worker is presumed gone.
+func isWorkerDead(err error) bool {
+	_, alive := err.(*httpapi.Error)
+	return !alive
+}
+
+// newCluster starts a coordinator's cluster runtime: a persistent
+// accept loop admitting (and readmitting) workers, and a heartbeat loop
+// evicting dead ones. It waits up to formTimeout for the target worker
+// count, then returns — possibly degraded — so the HTTP plane comes up
+// regardless; late workers are admitted by the accept loop whenever
+// they arrive.
+func newCluster(ln net.Listener, cfg clusterConfig, logf func(string, ...any)) (*cluster, error) {
+	if cfg.target < 1 {
+		return nil, fmt.Errorf("cluster needs at least 1 worker, got %d", cfg.target)
 	}
-	c := &cluster{logf: logf}
-	for i := 0; i < n; i++ {
-		conn, err := ln.Accept()
+	if cfg.rpcTimeout <= 0 {
+		cfg.rpcTimeout = 5 * time.Second
+	}
+	if cfg.longTimeout <= 0 {
+		cfg.longTimeout = 60 * time.Second
+	}
+	if cfg.hbInterval == 0 {
+		cfg.hbInterval = time.Second
+	}
+	if cfg.hbMisses <= 0 {
+		cfg.hbMisses = 3
+	}
+	if cfg.formTimeout <= 0 {
+		cfg.formTimeout = 30 * time.Second
+	}
+	if cfg.resyncRadius <= 0 {
+		cfg.resyncRadius = 1
+	}
+	c := &cluster{
+		logf:         logf,
+		target:       cfg.target,
+		ln:           ln,
+		rpcTimeout:   cfg.rpcTimeout,
+		longTimeout:  cfg.longTimeout,
+		hbInterval:   cfg.hbInterval,
+		hbMisses:     cfg.hbMisses,
+		resyncRadius: cfg.resyncRadius,
+		formed:       make(chan struct{}),
+		journal:      make(map[string]*instanceLog),
+		reconnects:   cfg.reconnects,
+		inSync:       cfg.inSync,
+	}
+	for _, ld := range cfg.seed {
+		body, err := json.Marshal(&ld)
 		if err != nil {
-			return nil, fmt.Errorf("accepting worker %d: %w", i, err)
+			return nil, fmt.Errorf("seeding journal with %s: %w", ld.ID, err)
 		}
-		env, err := wire.ReadMsg(conn)
-		if err != nil {
-			return nil, fmt.Errorf("worker %d hello: %w", i, err)
-		}
-		if env.Type != wire.TypeHello {
-			return nil, fmt.Errorf("worker %d: expected %s, got %s", i, wire.TypeHello, env.Type)
-		}
-		var h wire.Hello
-		if err := env.Decode(&h); err != nil {
-			return nil, fmt.Errorf("worker %d hello: %w", i, err)
-		}
-		c.workers = append(c.workers, &workerLink{peer: i, dataAddr: h.DataAddr, conn: conn})
-		logf("mmlpd: worker %d joined (data plane %s)", i, h.DataAddr)
+		c.journal[ld.ID] = &instanceLog{entries: []journalEntry{
+			{typ: wire.TypeLoad, body: body, digest: digestBytes(ld.Instance)},
+		}}
 	}
-	peers := make([]string, n)
-	for i, l := range c.workers {
-		peers[i] = l.dataAddr
+	go c.acceptLoop()
+	if c.hbInterval > 0 {
+		go c.heartbeatLoop()
 	}
-	// Send every assignment before waiting for any ack: the workers dial
-	// each other to build the mesh, so all of them must know the roster
-	// before the first can finish.
-	for i, l := range c.workers {
-		if err := wire.WriteMsg(l.conn, wire.TypeAssign, &wire.Assign{Self: i, Peers: peers}); err != nil {
-			return nil, fmt.Errorf("assigning worker %d: %w", i, err)
-		}
+	select {
+	case <-c.formed:
+	case <-time.After(cfg.formTimeout):
+		logf("mmlpd: cluster formation timed out with %d/%d workers — serving degraded until they join",
+			c.liveWorkers(), c.target)
 	}
-	for i, l := range c.workers {
-		env, err := wire.ReadMsg(l.conn)
-		if err != nil {
-			return nil, fmt.Errorf("worker %d mesh ack: %w", i, err)
-		}
-		if env.Type != wire.TypeOK {
-			return nil, fmt.Errorf("worker %d: mesh build failed (%s)", i, env.Type)
-		}
-	}
-	logf("mmlpd: cluster formed with %d workers", n)
 	return c, nil
 }
 
-// fanout runs one RPC against every worker concurrently and collects
-// the replies in peer order.
-func (c *cluster) fanout(fn func(l *workerLink) (*wire.Envelope, error)) ([]*wire.Envelope, error) {
-	envs := make([]*wire.Envelope, len(c.workers))
-	errs := make([]error, len(c.workers))
-	var wg sync.WaitGroup
-	for i, l := range c.workers {
-		wg.Add(1)
-		go func(i int, l *workerLink) {
-			defer wg.Done()
-			envs[i], errs[i] = fn(l)
-		}(i, l)
+// Close tears the cluster down: the accept loop, the heartbeat loop and
+// every worker connection.
+func (c *cluster) Close() {
+	c.closed.Store(true)
+	c.ln.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.workers {
+		l.conn.Close()
 	}
-	wg.Wait()
-	return envs, errors.Join(errs...)
 }
 
-// replicateLoad ships a freshly loaded instance to every worker. The
-// instance travels as its canonical JSON encoding, which round-trips
-// float64 coefficients exactly — the replicas are bit-identical.
-func (c *cluster) replicateLoad(id string, in *maxminlp.Instance, req *loadRequest) error {
-	b, err := json.Marshal(in)
-	if err != nil {
-		return err
+func (c *cluster) liveWorkers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.workers)
+}
+
+func (c *cluster) degraded() bool { return c.liveWorkers() < c.target }
+
+// acceptLoop admits workers for the cluster's whole lifetime: initial
+// formation, late joiners, and crashed workers rejoining — all the same
+// path.
+func (c *cluster) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		go c.admit(conn)
 	}
+}
+
+// admit runs the join protocol on one fresh control connection:
+//
+//  1. Hello, carrying the digests of every replica the worker still
+//     holds (empty on a cold join).
+//  2. Bulk catch-up outside any lock: replay the patch-log suffix each
+//     replica is missing (or unload + full replay when the digest is
+//     unknown — the worker diverged or the patch was never acked).
+//  3. Under the membership locks — no patch can land concurrently — a
+//     final delta catch-up, then a resync self-check per instance: the
+//     worker rebuilds derived state, runs the self-stabilising protocol
+//     against its own reference engine, and reports its digest. Only if
+//     every digest matches the journal tip is the worker admitted.
+//  4. Admission bumps the epoch and re-Assigns everyone, so the mesh
+//     and partition bounds move to the new roster atomically.
+func (c *cluster) admit(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(c.rpcTimeout))
+	env, err := wire.ReadMsg(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || env.Type != wire.TypeHello {
+		conn.Close()
+		return
+	}
+	var h wire.Hello
+	if err := env.Decode(&h); err != nil {
+		conn.Close()
+		return
+	}
+	l := &workerLink{dataAddr: h.DataAddr, conn: conn}
+	tips, ok := c.sendCatchUp(l, h.Digests, false)
+	if !ok {
+		conn.Close()
+		return
+	}
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		conn.Close()
+		return
+	}
+	tips, ok = c.sendCatchUp(l, tips, false)
+	if ok && !c.verifyReplicas(l, tips) {
+		// One full-replay retry: the cheap digest-suffix path failed its
+		// self-check, so re-ship everything from the loads.
+		tips, ok = c.sendCatchUp(l, tips, true)
+		ok = ok && c.verifyReplicas(l, tips)
+	}
+	if !ok {
+		c.logf("mmlpd: rejecting worker at %s: catch-up failed", h.DataAddr)
+		conn.Close()
+		return
+	}
+	c.workers = append(c.workers, l)
+	c.reassignLocked()
+	if !c.memberLocked(l) {
+		return // lost again during the reassign
+	}
+	if c.everFormed.Load() {
+		c.reconnects.Inc()
+		c.logf("mmlpd: worker readmitted (data plane %s), epoch %d, %d/%d workers",
+			l.dataAddr, c.epoch, len(c.workers), c.target)
+	} else {
+		c.logf("mmlpd: worker joined (data plane %s), %d/%d workers", l.dataAddr, len(c.workers), c.target)
+	}
+	if len(c.workers) >= c.target {
+		c.formOnce.Do(func() {
+			c.everFormed.Store(true)
+			close(c.formed)
+			c.logf("mmlpd: cluster formed with %d workers", len(c.workers))
+		})
+	}
+}
+
+func (c *cluster) memberLocked(l *workerLink) bool {
+	for _, w := range c.workers {
+		if w == l {
+			return true
+		}
+	}
+	return false
+}
+
+// catchStep is one replayed control message of a catch-up plan.
+type catchStep struct {
+	typ  string
+	body json.RawMessage
+}
+
+// plan computes the messages that bring a worker reporting `have`
+// (instance ID → digest) to the journal tips, and returns those tips.
+// force ignores the reported digests and replays everything from the
+// loads.
+func (c *cluster) plan(have map[string]string, force bool) ([]catchStep, map[string]string) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	ids := make([]string, 0, len(c.journal))
+	for id := range c.journal {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var steps []catchStep
+	tips := make(map[string]string, len(ids))
+	for _, id := range ids {
+		entries := c.journal[id].entries
+		tip := entries[len(entries)-1].digest
+		tips[id] = tip
+		d, held := have[id]
+		if !force && held && d == tip {
+			continue
+		}
+		from := -1
+		if !force && held {
+			for i, e := range entries {
+				if e.digest == d {
+					from = i
+				}
+			}
+		}
+		if from < 0 {
+			// Unknown digest (or forced): drop whatever the worker holds
+			// and replay from the load. This also covers the patch the
+			// coordinator never acked — every replica converges on the
+			// journaled prefix.
+			if held || force {
+				if b, err := json.Marshal(&wire.Unload{ID: id}); err == nil {
+					steps = append(steps, catchStep{typ: wire.TypeUnload, body: b})
+				}
+			}
+			steps = append(steps, stepsOf(entries)...)
+		} else {
+			steps = append(steps, stepsOf(entries[from+1:])...)
+		}
+	}
+	stale := make([]string, 0)
+	for id := range have {
+		if _, ok := c.journal[id]; !ok {
+			stale = append(stale, id)
+		}
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		if b, err := json.Marshal(&wire.Unload{ID: id}); err == nil {
+			steps = append(steps, catchStep{typ: wire.TypeUnload, body: b})
+		}
+	}
+	return steps, tips
+}
+
+func stepsOf(entries []journalEntry) []catchStep {
+	out := make([]catchStep, len(entries))
+	for i, e := range entries {
+		out[i] = catchStep{typ: e.typ, body: e.body}
+	}
+	return out
+}
+
+// sendCatchUp replays a catch-up plan to one worker and returns the
+// journal tips the worker now holds.
+func (c *cluster) sendCatchUp(l *workerLink, have map[string]string, force bool) (map[string]string, bool) {
+	steps, tips := c.plan(have, force)
+	for _, st := range steps {
+		if _, err := l.callRetry(st.typ, st.body, c.longTimeout, 2); err != nil {
+			c.logf("mmlpd: catch-up of worker at %s: %s: %v", l.dataAddr, st.typ, err)
+			return nil, false
+		}
+	}
+	return tips, true
+}
+
+// verifyReplicas runs the resync self-check on every instance the
+// worker should now hold and compares its digests to the journal tips.
+// The caller holds the membership locks, so no patch can move the tips
+// underneath the check.
+func (c *cluster) verifyReplicas(l *workerLink, tips map[string]string) bool {
+	ids := make([]string, 0, len(tips))
+	for id := range tips {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		env, err := l.call(wire.TypeResync, &wire.Resync{ID: id, Radius: c.resyncRadius}, c.longTimeout)
+		if err != nil {
+			c.logf("mmlpd: resync of %s on worker at %s: %v", id, l.dataAddr, err)
+			return false
+		}
+		var st wire.State
+		if env.Type != wire.TypeState || env.Decode(&st) != nil {
+			return false
+		}
+		if st.Digest != tips[id] {
+			c.logf("mmlpd: worker at %s: %s digest %s, want %s", l.dataAddr, id, st.Digest, tips[id])
+			return false
+		}
+	}
+	return true
+}
+
+// heartbeatLoop pings every worker each interval; hbMisses consecutive
+// failures evict it. A worker busy in a long solve answers late (the
+// control loop is FIFO), which is what the consecutive-miss threshold
+// absorbs.
+func (c *cluster) heartbeatLoop() {
+	t := time.NewTicker(c.hbInterval)
+	defer t.Stop()
+	for range t.C {
+		if c.closed.Load() {
+			return
+		}
+		c.mu.RLock()
+		links := append([]*workerLink(nil), c.workers...)
+		c.mu.RUnlock()
+		for _, l := range links {
+			go func(l *workerLink) {
+				if _, err := l.call(wire.TypePing, nil, c.rpcTimeout); err != nil && isWorkerDead(err) {
+					if int(l.misses.Add(1)) >= c.hbMisses {
+						c.logf("mmlpd: worker at %s missed %d heartbeats — evicting", l.dataAddr, c.hbMisses)
+						c.noteFailure(l)
+					}
+					return
+				}
+				l.misses.Store(0)
+			}(l)
+		}
+	}
+}
+
+// noteFailure drops a dead worker and re-Assigns the survivors.
+func (c *cluster) noteFailure(l *workerLink) {
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	c.noteFailureLocked(l)
+}
+
+// noteFailureLocked is noteFailure for callers already holding dataMu.
+func (c *cluster) noteFailureLocked(l *workerLink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := -1
+	for i, w := range c.workers {
+		if w == l {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return // already evicted
+	}
+	c.workers = append(c.workers[:idx], c.workers[idx+1:]...)
+	l.conn.Close()
+	c.logf("mmlpd: worker at %s left the cluster (%d/%d remain)", l.dataAddr, len(c.workers), c.target)
+	c.reassignLocked()
+}
+
+// reassignLocked bumps the epoch and sends every worker its new
+// partition index and roster; the workers tear down their old mesh and
+// build the new one before acking. A worker that fails its Assign is
+// dropped and the reassign repeats with the survivors. Caller holds
+// dataMu and mu.
+func (c *cluster) reassignLocked() {
+	for {
+		c.epoch++
+		n := len(c.workers)
+		c.inSync.Set(float64(n))
+		if n == 0 {
+			return
+		}
+		peers := make([]string, n)
+		for i, l := range c.workers {
+			l.peer.Store(int32(i))
+			peers[i] = l.dataAddr
+		}
+		failed := make([]bool, n)
+		var wg sync.WaitGroup
+		for i, l := range c.workers {
+			wg.Add(1)
+			go func(i int, l *workerLink) {
+				defer wg.Done()
+				asg := &wire.Assign{Self: i, Peers: peers, Epoch: c.epoch}
+				if _, err := l.call(wire.TypeAssign, asg, c.longTimeout); err != nil {
+					c.logf("mmlpd: assigning worker %d (epoch %d): %v", i, c.epoch, err)
+					failed[i] = true
+				}
+			}(i, l)
+		}
+		wg.Wait()
+		survivors := c.workers[:0]
+		for i, l := range c.workers {
+			if failed[i] {
+				l.conn.Close()
+			} else {
+				survivors = append(survivors, l)
+			}
+		}
+		if len(survivors) == len(c.workers) {
+			c.logf("mmlpd: epoch %d: %d workers assigned", c.epoch, n)
+			return
+		}
+		c.workers = survivors
+	}
+}
+
+// journalPatch appends one fanned-out control message to an instance's
+// patch log, compacting the log into a synthetic load when it grows
+// long. loadBody lazily produces that synthetic load (the instance's
+// current canonical state), so the common path never marshals it.
+func (c *cluster) journalPatch(id, typ string, body json.RawMessage, digest string, loadBody func() json.RawMessage) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	log, ok := c.journal[id]
+	if !ok {
+		return // unloaded concurrently
+	}
+	log.entries = append(log.entries, journalEntry{typ: typ, body: body, digest: digest})
+	if len(log.entries) > journalCompactAfter {
+		if b := loadBody(); b != nil {
+			log.entries = []journalEntry{{typ: wire.TypeLoad, body: b, digest: digest}}
+		}
+	}
+}
+
+func (c *cluster) journalLoad(id string, body json.RawMessage, digest string) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	c.journal[id] = &instanceLog{entries: []journalEntry{{typ: wire.TypeLoad, body: body, digest: digest}}}
+}
+
+func (c *cluster) journalUnload(id string) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	delete(c.journal, id)
+}
+
+// fanoutLinks runs one RPC against the given workers concurrently and
+// returns the ones that died. It never fails the caller's request: a
+// worker that missed the message catches up from the journal when it
+// rejoins. The caller holds c.mu shared — the roster it snapshotted and
+// the journal state it appended are one atomic unit with respect to
+// admissions, so a joining worker either receives this fan-out or
+// replays it from the journal, never both.
+func (c *cluster) fanoutLinks(links []*workerLink, typ string, body json.RawMessage, timeout time.Duration) []*workerLink {
+	var dead []*workerLink
+	var dmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, l := range links {
+		wg.Add(1)
+		go func(l *workerLink) {
+			defer wg.Done()
+			if _, err := l.callRetry(typ, body, timeout, 2); err != nil {
+				c.logf("mmlpd: %s fan-out to worker %d: %v", typ, l.peer.Load(), err)
+				if isWorkerDead(err) {
+					dmu.Lock()
+					dead = append(dead, l)
+					dmu.Unlock()
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	return dead
+}
+
+// fanout journals nothing: it snapshots the roster, fans the message
+// out and heals afterwards. Used for messages that are idempotent at
+// the worker (unload).
+func (c *cluster) fanout(typ string, body json.RawMessage, timeout time.Duration) {
+	c.mu.RLock()
+	links := append([]*workerLink(nil), c.workers...)
+	dead := c.fanoutLinks(links, typ, body, timeout)
+	c.mu.RUnlock()
+	for _, l := range dead {
+		c.noteFailure(l)
+	}
+}
+
+// replicateLoad ships a freshly loaded instance to every worker and
+// opens its patch journal. The instance travels as its canonical JSON
+// encoding, which round-trips float64 coefficients exactly — the
+// replicas are bit-identical. raw is that canonical encoding (the
+// caller already marshalled it for the WAL).
+func (c *cluster) replicateLoad(id string, raw json.RawMessage, req *loadRequest) {
 	msg := &wire.Load{
-		ID: id, Instance: b,
+		ID: id, Instance: raw,
 		CollaborationOblivious: req.CollaborationOblivious,
 		Workers:                req.Workers,
 	}
-	_, err = c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-		return l.call(wire.TypeLoad, msg)
-	})
-	return err
+	body, err := json.Marshal(msg)
+	if err != nil {
+		c.logf("mmlpd: encoding load %s: %v", id, err)
+		return
+	}
+	c.mu.RLock()
+	c.journalLoad(id, body, digestBytes(raw))
+	links := append([]*workerLink(nil), c.workers...)
+	dead := c.fanoutLinks(links, wire.TypeLoad, body, c.longTimeout)
+	c.mu.RUnlock()
+	for _, l := range dead {
+		c.noteFailure(l)
+	}
 }
 
-// replicateUnload drops the replicas. Best-effort: the coordinator has
-// already forgotten the instance, so a failure only logs.
+// replicateUnload drops the replicas and closes the journal.
 func (c *cluster) replicateUnload(id string) {
-	if _, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-		return l.call(wire.TypeUnload, &wire.Unload{ID: id})
-	}); err != nil {
-		c.logf("mmlpd: unload %s: %v", id, err)
+	c.journalUnload(id)
+	b, err := json.Marshal(&wire.Unload{ID: id})
+	if err != nil {
+		return
 	}
+	c.fanout(wire.TypeUnload, b, c.rpcTimeout)
 }
 
 func wireCoeffs(ps []coeffPatch) []wire.Coeff {
@@ -171,62 +713,135 @@ func wireCoeffs(ps []coeffPatch) []wire.Coeff {
 	return out
 }
 
-// replicateWeights fans one applied weight patch to every replica. The
-// caller holds the instance's linearisation lock, so every replica sees
-// the same patch sequence the coordinator applied.
-func (c *cluster) replicateWeights(id string, req *weightsRequest) error {
-	msg := &wire.Weights{ID: id, Resources: wireCoeffs(req.Resources), Parties: wireCoeffs(req.Parties)}
-	_, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-		return l.call(wire.TypeWeights, msg)
+// replicatePatch journals one applied patch and fans it to every
+// replica. The caller holds the instance's linearisation lock and has
+// already applied the patch locally, so digest is the post-apply state
+// every replica must reach. Worker failures never fail the patch — the
+// journal retains it for catch-up at rejoin.
+func (c *cluster) replicatePatch(m *managed, typ string, msg any) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		c.logf("mmlpd: encoding %s patch for %s: %v", typ, m.ID, err)
+		return
+	}
+	in := m.sess.Instance()
+	digest := instanceDigest(in)
+	// Journal + fan-out under the shared membership lock: an admission
+	// (exclusive) either completes before — and the new worker receives
+	// this fan-out — or after, and catches the patch up from the journal.
+	// Never both.
+	c.mu.RLock()
+	c.journalPatch(m.ID, typ, body, digest, func() json.RawMessage {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return nil
+		}
+		b, err := json.Marshal(&wire.Load{
+			ID: m.ID, Instance: raw,
+			CollaborationOblivious: m.oblivious, Workers: m.workers,
+		})
+		if err != nil {
+			return nil
+		}
+		return b
 	})
-	return err
+	links := append([]*workerLink(nil), c.workers...)
+	dead := c.fanoutLinks(links, typ, body, c.rpcTimeout)
+	c.mu.RUnlock()
+	for _, l := range dead {
+		c.noteFailure(l)
+	}
 }
 
-// replicateTopology fans one applied structural patch to every replica.
-func (c *cluster) replicateTopology(id string, req *topologyRequest) error {
+func (c *cluster) replicateWeights(m *managed, req *weightsRequest) {
+	c.replicatePatch(m, wire.TypeWeights, &wire.Weights{
+		ID: m.ID, Resources: wireCoeffs(req.Resources), Parties: wireCoeffs(req.Parties),
+	})
+}
+
+func (c *cluster) replicateTopology(m *managed, req *topologyRequest) {
 	ops := make([]wire.TopoOp, len(req.Ops))
 	for i, op := range req.Ops {
 		ops[i] = wire.TopoOp{Op: op.Op, Kind: op.Kind, Row: op.Row, Agent: op.Agent, Coeff: op.Coeff}
 	}
-	msg := &wire.Topology{ID: id, Ops: ops}
-	_, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-		return l.call(wire.TypeTopology, msg)
-	})
-	return err
+	c.replicatePatch(m, wire.TypeTopology, &wire.Topology{ID: m.ID, Ops: ops})
+}
+
+// degradedError is the explicit envelope a solve gets while the cluster
+// cannot serve it — never a silent stale answer, never a permanent 502.
+func degradedError(format string, args ...any) *httpapi.Error {
+	return &httpapi.Error{
+		Code:        httpapi.CodeClusterDegraded,
+		Message:     fmt.Sprintf(format, args...),
+		RetryAfterS: 1,
+	}
 }
 
 // gather fans one solve to every worker and assembles the full solution
-// vector from the partition slices. Any worker failure degrades the
-// whole query to a cluster error.
+// vector from the partition slices. A dead worker triggers an eviction
+// and epoch bump, and the solve retries once against the healed roster;
+// if that also fails the query degrades with an explicit retryable
+// envelope.
 func (c *cluster) gather(id, kind string, radius, n int) ([]float64, error) {
 	c.dataMu.Lock()
 	defer c.dataMu.Unlock()
-	envs, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-		return l.call(wire.TypeSolve, &wire.Solve{ID: id, Kind: kind, Radius: radius})
-	})
-	if err != nil {
-		return nil, &httpapi.Error{Code: httpapi.CodeCluster, Message: err.Error()}
+	var firstErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c.mu.RLock()
+		links := append([]*workerLink(nil), c.workers...)
+		c.mu.RUnlock()
+		if len(links) == 0 {
+			return nil, degradedError("no live workers (cluster target %d)", c.target)
+		}
+		envs := make([]*wire.Envelope, len(links))
+		errs := make([]error, len(links))
+		var wg sync.WaitGroup
+		for i, l := range links {
+			wg.Add(1)
+			go func(i int, l *workerLink) {
+				defer wg.Done()
+				envs[i], errs[i] = l.call(wire.TypeSolve, &wire.Solve{ID: id, Kind: kind, Radius: radius}, c.longTimeout)
+			}(i, l)
+		}
+		wg.Wait()
+		failed := false
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			failed = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			if isWorkerDead(err) {
+				c.noteFailureLocked(links[i]) // dataMu held: membership frozen, safe to heal here
+			}
+		}
+		if failed {
+			continue // retry once against the reassigned roster
+		}
+		x := make([]float64, n)
+		members := len(links)
+		for i, env := range envs {
+			if env.Type != wire.TypePartial {
+				return nil, &httpapi.Error{Code: httpapi.CodeCluster,
+					Message: fmt.Sprintf("worker %d: expected %s, got %s", i, wire.TypePartial, env.Type)}
+			}
+			var p wire.Partial
+			if err := env.Decode(&p); err != nil {
+				return nil, &httpapi.Error{Code: httpapi.CodeCluster, Message: fmt.Sprintf("worker %d: %v", i, err)}
+			}
+			lo, hi := (dist.Partition{Self: i, Members: members}).Bounds(n)
+			if p.Lo != lo || p.Hi != hi || len(p.X) != hi-lo {
+				return nil, &httpapi.Error{Code: httpapi.CodeCluster,
+					Message: fmt.Sprintf("worker %d returned slice [%d,%d) with %d outputs, want [%d,%d)",
+						i, p.Lo, p.Hi, len(p.X), lo, hi)}
+			}
+			copy(x[lo:hi], p.X)
+		}
+		return x, nil
 	}
-	x := make([]float64, n)
-	members := len(c.workers)
-	for i, env := range envs {
-		if env.Type != wire.TypePartial {
-			return nil, &httpapi.Error{Code: httpapi.CodeCluster,
-				Message: fmt.Sprintf("worker %d: expected %s, got %s", i, wire.TypePartial, env.Type)}
-		}
-		var p wire.Partial
-		if err := env.Decode(&p); err != nil {
-			return nil, &httpapi.Error{Code: httpapi.CodeCluster, Message: fmt.Sprintf("worker %d: %v", i, err)}
-		}
-		lo, hi := (dist.Partition{Self: i, Members: members}).Bounds(n)
-		if p.Lo != lo || p.Hi != hi || len(p.X) != hi-lo {
-			return nil, &httpapi.Error{Code: httpapi.CodeCluster,
-				Message: fmt.Sprintf("worker %d returned slice [%d,%d) with %d outputs, want [%d,%d)",
-					i, p.Lo, p.Hi, len(p.X), lo, hi)}
-		}
-		copy(x[lo:hi], p.X)
-	}
-	return x, nil
+	return nil, degradedError("solve failed across the cluster after healing retry: %v", firstErr)
 }
 
 // runQuery executes one solve query across the cluster: the workers
@@ -317,17 +932,29 @@ func instanceDigest(in *maxminlp.Instance) string {
 	if err != nil {
 		return "unencodable"
 	}
+	return digestBytes(b)
+}
+
+// digestBytes is instanceDigest over an already-canonical encoding.
+func digestBytes(b []byte) string {
 	h := fnv.New64a()
 	h.Write(b)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// handleCluster is GET /v1/cluster: membership plus a per-instance
-// digest snapshot. Each instance's digests are gathered under its
-// linearisation lock, so the view is consistent — no patch can land
-// between the coordinator's digest and the workers'.
+// handleCluster is GET /v1/cluster: membership, epoch and degradation
+// state plus a per-instance digest snapshot. Each instance's digests
+// are gathered under its linearisation lock, so the view is consistent
+// — no patch can land between the coordinator's digest and the
+// workers'. An unreachable worker marks the instance out of sync
+// instead of failing the whole request.
 func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
-	c := s.cluster
+	c := s.getCluster()
+	if c == nil {
+		apiErrorObj(w, &httpapi.Error{Code: httpapi.CodeRecovering,
+			Message: "cluster is still forming", RetryAfterS: 1})
+		return
+	}
 	s.mu.Lock()
 	ms := make([]*managed, 0, len(s.instances))
 	for _, m := range s.instances {
@@ -335,46 +962,68 @@ func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	sortManaged(ms)
+	c.mu.RLock()
+	links := append([]*workerLink(nil), c.workers...)
+	epoch := c.epoch
+	c.mu.RUnlock()
 	resp := httpapi.ClusterResponse{
 		SchemaVersion: httpapi.SchemaVersion,
-		Workers:       make([]httpapi.ClusterWorker, len(c.workers)),
+		Workers:       make([]httpapi.ClusterWorker, len(links)),
 		Instances:     make([]httpapi.ClusterInstance, 0, len(ms)),
+		Epoch:         epoch,
+		TargetWorkers: c.target,
+		Degraded:      len(links) < c.target,
 	}
-	for i, l := range c.workers {
-		resp.Workers[i] = httpapi.ClusterWorker{Peer: l.peer, DataAddr: l.dataAddr}
+	for i, l := range links {
+		resp.Workers[i] = httpapi.ClusterWorker{Peer: int(l.peer.Load()), DataAddr: l.dataAddr}
 	}
+	var dead []*workerLink
 	for _, m := range ms {
 		m.mu.Lock()
 		in := m.sess.Instance()
 		ci := httpapi.ClusterInstance{
 			ID: m.ID, Agents: in.NumAgents(),
 			Coordinator: instanceDigest(in),
-			InSync:      true,
+			InSync:      len(links) == c.target,
 		}
-		envs, err := c.fanout(func(l *workerLink) (*wire.Envelope, error) {
-			return l.call(wire.TypeSnapshot, &wire.Snapshot{ID: m.ID})
-		})
+		type snap struct {
+			digest string
+			dead   bool
+		}
+		snaps := make([]snap, len(links))
+		var wg sync.WaitGroup
+		for i, l := range links {
+			wg.Add(1)
+			go func(i int, l *workerLink) {
+				defer wg.Done()
+				env, err := l.call(wire.TypeSnapshot, &wire.Snapshot{ID: m.ID}, c.rpcTimeout)
+				if err != nil {
+					snaps[i] = snap{digest: "unreachable", dead: isWorkerDead(err)}
+					return
+				}
+				var st wire.State
+				if env.Type != wire.TypeState || env.Decode(&st) != nil {
+					snaps[i] = snap{digest: "malformed"}
+					return
+				}
+				snaps[i] = snap{digest: st.Digest}
+			}(i, l)
+		}
+		wg.Wait()
 		m.mu.Unlock()
-		if err != nil {
-			apiError(w, httpapi.CodeCluster, "snapshot of %s: %v", m.ID, err)
-			return
-		}
-		for i, env := range envs {
-			var st wire.State
-			if env.Type != wire.TypeState {
-				apiError(w, httpapi.CodeCluster, "snapshot of %s: worker %d replied %s", m.ID, i, env.Type)
-				return
-			}
-			if err := env.Decode(&st); err != nil {
-				apiError(w, httpapi.CodeCluster, "snapshot of %s: worker %d: %v", m.ID, i, err)
-				return
-			}
-			ci.Workers = append(ci.Workers, st.Digest)
-			if st.Digest != ci.Coordinator {
+		for i, sn := range snaps {
+			ci.Workers = append(ci.Workers, sn.digest)
+			if sn.digest != ci.Coordinator {
 				ci.InSync = false
+			}
+			if sn.dead {
+				dead = append(dead, links[i])
 			}
 		}
 		resp.Instances = append(resp.Instances, ci)
+	}
+	for _, l := range dead {
+		c.noteFailure(l)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -20,9 +20,13 @@ import (
 // startCluster boots an in-process cluster — a coordinator server plus
 // workers joining over real loopback TCP, exchanging round state over a
 // real worker-to-worker mesh — and returns the coordinator's test
-// server. Cleanup tears the control connections down and verifies every
-// worker exits cleanly.
+// server. Workers run without the rejoin loop, so cleanup can tear the
+// control connections down and verify every worker exits cleanly.
 func startCluster(t *testing.T, workers int) (*httptest.Server, *server) {
+	return startClusterCfg(t, workers, clusterConfig{target: workers})
+}
+
+func startClusterCfg(t *testing.T, workers int, cfg clusterConfig) (*httptest.Server, *server) {
 	t.Helper()
 	quiet := func(string, ...any) {}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -35,19 +39,18 @@ func startCluster(t *testing.T, workers int) (*httptest.Server, *server) {
 			errc <- runWorker(ln.Addr().String(), "127.0.0.1:0", "", quiet)
 		}()
 	}
-	c, err := newCluster(ln, workers, quiet)
-	ln.Close()
+	c, err := newCluster(ln, cfg, quiet)
 	if err != nil {
+		ln.Close()
 		t.Fatal(err)
 	}
 	srv := newServer(nil)
+	srv.isCoordinator = true
 	srv.cluster = c
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() {
 		ts.Close()
-		for _, l := range c.workers {
-			l.conn.Close()
-		}
+		c.Close()
 		for i := 0; i < workers; i++ {
 			if err := <-errc; err != nil {
 				t.Errorf("worker exit: %v", err)
@@ -55,6 +58,18 @@ func startCluster(t *testing.T, workers int) (*httptest.Server, *server) {
 		}
 	})
 	return ts, srv
+}
+
+// severWorker closes one admitted worker's control connection, as a
+// crash would.
+func severWorker(t *testing.T, c *cluster, i int) {
+	t.Helper()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i >= len(c.workers) {
+		t.Fatalf("severWorker(%d): only %d workers", i, len(c.workers))
+	}
+	c.workers[i].conn.Close()
 }
 
 func bitIdentical(t *testing.T, label string, got, want []float64) {
@@ -343,9 +358,11 @@ func TestClusterPatchLinearisation(t *testing.T) {
 	}
 }
 
-// TestClusterWorkerFailure: when a worker drops, solves and loads
-// degrade to 502 cluster errors instead of hanging or serving partial
-// state.
+// TestClusterWorkerFailure: when a worker drops, the coordinator heals
+// around it — solves re-plan onto the survivors and still answer
+// bit-identically, loads keep succeeding, and only a fully dead roster
+// degrades, with the explicit cluster/degraded envelope (503 plus a
+// retry hint), never a permanent failure.
 func TestClusterWorkerFailure(t *testing.T) {
 	ts, srv := startCluster(t, 2)
 	cl := mmlpclient.New(ts.URL, nil)
@@ -354,27 +371,61 @@ func TestClusterWorkerFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Sever worker 0's control connection. Safe solves do not touch the
-	// worker mesh, so the surviving worker stays healthy while the
-	// coordinator reports the degradation.
-	srv.cluster.workers[0].conn.Close()
+	in, _ := maxminlp.Torus([]int{4, 4}, maxminlp.LatticeOptions{})
+	ref := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
 
+	// Kill worker 0. The next solve's fan-out detects the dead link,
+	// evicts it, reassigns the survivor the whole partition and retries
+	// — the answer stays bit-identical to the single-process core.
+	severWorker(t, srv.cluster, 0)
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true,
+		Queries:  []httpapi.SolveQuery{{Kind: "safe"}, {Kind: "average", Radius: 1}},
+	})
+	if err != nil {
+		t.Fatalf("solve after worker loss should heal onto the survivor: %v", err)
+	}
+	bitIdentical(t, "healed/safe", res[0].X, ref.Safe())
+	avg, err := ref.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "healed/average", res[1].X, avg.X)
+
+	// Degradation is visible, not fatal: the roster is below target.
+	snap, err := cl.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Degraded || len(snap.Workers) != 1 || snap.Epoch == 0 {
+		t.Fatalf("cluster after eviction = %+v, want degraded single-worker roster", snap)
+	}
+
+	// Loads still succeed while degraded — the journal is the source of
+	// truth and readmitted workers catch up from it.
+	info2, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil {
+		t.Fatalf("load while degraded = %v, want success", err)
+	}
+
+	// Kill the survivor too: partitioned solves now answer the explicit
+	// degraded envelope — 503, stable code, retry hint — never a hang or
+	// a bare status.
+	severWorker(t, srv.cluster, 0)
 	var apiErr *httpapi.Error
 	_, err = cl.Solve(info.ID, &httpapi.SolveRequest{Queries: []httpapi.SolveQuery{{Kind: "safe"}}})
-	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeCluster || apiErr.Status != http.StatusBadGateway {
-		t.Fatalf("solve after worker loss = %v, want a %s error", err, httpapi.CodeCluster)
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeClusterDegraded ||
+		apiErr.Status != http.StatusServiceUnavailable || apiErr.RetryAfterS < 1 {
+		t.Fatalf("solve with no workers = %v, want %s with a retry hint", err, httpapi.CodeClusterDegraded)
 	}
-	_, err = cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
-	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeCluster {
-		t.Fatalf("load after worker loss = %v, want a %s error", err, httpapi.CodeCluster)
-	}
-	// The failed load must not leave a half-registered instance behind.
+
+	// Both instances remain loaded and listable throughout.
 	list, err := cl.List()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Instances) != 1 || list.Instances[0].ID != info.ID {
-		t.Fatalf("instances after failed load = %+v", list.Instances)
+	if len(list.Instances) != 2 || list.Instances[0].ID != info.ID || list.Instances[1].ID != info2.ID {
+		t.Fatalf("instances after failures = %+v", list.Instances)
 	}
 }
 
@@ -481,6 +532,25 @@ func TestClientRoundTripEveryCode(t *testing.T) {
 	var apiErr *httpapi.Error
 	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeInternal || apiErr.Status != http.StatusNotFound {
 		t.Fatalf("cluster on single daemon = %v", err)
+	}
+
+	// server/recovering — a daemon replaying its WAL answers 503 with
+	// the stable code and a retry hint on every API route, while
+	// liveness keeps answering. (cluster/degraded, the other 503, is
+	// round-tripped by TestClusterWorkerFailure against a real cluster.)
+	rsrv := newServer(nil)
+	rsrv.recovering.Store(true)
+	rts := httptest.NewServer(rsrv.handler())
+	defer rts.Close()
+	rcl := mmlpclient.New(rts.URL, nil)
+	_, err = rcl.List()
+	expect("server_recovering", err, httpapi.CodeRecovering)
+	errors.As(err, &apiErr)
+	if apiErr.RetryAfterS < 1 {
+		t.Fatalf("recovering envelope retry_after_s = %d, want ≥ 1", apiErr.RetryAfterS)
+	}
+	if h, err := rcl.Health(); err != nil || h.Status != "recovering" {
+		t.Fatalf("health while recovering = %+v, %v", h, err)
 	}
 
 	// The Retry-After contract on load-shedding rejections.

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"maxminlp"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/httpapi"
+	"maxminlp/internal/mmlpclient"
+	"maxminlp/internal/wal"
+)
+
+// newDurableServer boots a daemon backed by the WAL in dir, replaying
+// whatever a previous incarnation left behind. snapshotEvery is kept
+// tiny so the tests exercise snapshot + trailing-records recovery, not
+// just pure replay.
+func newDurableServer(t *testing.T, dir string, snapshotEvery int) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(nil)
+	if err := srv.openWAL(dir, wal.SyncAlways, snapshotEvery); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.replayWAL(); err != nil {
+		t.Fatal(err)
+	}
+	srv.recovering.Store(false)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// goldenX reads the churned output vector (exact hex float64 bits) of
+// one PR 5 golden trace file — the corpus the whole distributed tier is
+// pinned to.
+func goldenX(t *testing.T, family string, radius int) []string {
+	t.Helper()
+	path := filepath.Join("..", "..", "internal", "dist", "testdata",
+		"trace_"+family+"_R"+strconv.Itoa(radius)+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gf struct {
+		Churned struct {
+			X []string `json:"x"`
+		} `json:"churned"`
+	}
+	if err := json.Unmarshal(blob, &gf); err != nil {
+		t.Fatal(err)
+	}
+	return gf.Churned.X
+}
+
+func hexBits(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = strconv.FormatFloat(x, 'x', -1, 64)
+	}
+	return out
+}
+
+func sameHex(t *testing.T, label string, got []float64, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for i, h := range hexBits(got) {
+		if h != want[i] {
+			t.Fatalf("%s: X[%d] = %s, want %s", label, i, h, want[i])
+		}
+	}
+}
+
+// goldenFamilies rebuilds the exact instances behind the golden-trace
+// corpus (the shared rng makes the draw order significant — same as
+// internal/dist/golden_test.go).
+func goldenFamilies() []struct {
+	name string
+	in   *maxminlp.Instance
+} {
+	rngW := rand.New(rand.NewSource(33))
+	torus, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rngW})
+	grid, _ := gen.Grid([]int{5, 5}, gen.LatticeOptions{RandomWeights: true, Rng: rngW})
+	geo, _ := gen.UnitDisk(gen.UnitDiskOptions{
+		Nodes: 30, Radius: 0.28, MaxNeighbors: 4, RandomWeights: true,
+	}, rand.New(rand.NewSource(35)))
+	return []struct {
+		name string
+		in   *maxminlp.Instance
+	}{
+		{"torus6x6", torus},
+		{"grid5x5", grid},
+		{"geometric30", geo},
+	}
+}
+
+// goldenChurnOps is the corpus's fixed structural batch as HTTP patch
+// ops: a node joins resource 0 and party 0, node 1 leaves.
+func goldenChurnOps(in *maxminlp.Instance) []httpapi.TopoOp {
+	n := in.NumAgents()
+	return []httpapi.TopoOp{
+		{Op: "addAgent"},
+		{Op: "addEdge", Row: 0, Agent: n, Coeff: 1.25},
+		{Op: "addEdge", Kind: "party", Row: 0, Agent: n, Coeff: 0.75},
+		{Op: "removeAgent", Agent: 1},
+	}
+}
+
+// TestDurableRestartBitIdentity is the tentpole acceptance test: load
+// the golden corpus through a WAL-backed daemon, churn it with the
+// corpus's structural batch plus weight patches, then abandon the
+// process state (no clean close — a crash) and restart from the data
+// directory alone. The reborn daemon must serve every golden family
+// bit-identically to the committed PR 5 traces, its instance digests
+// must equal the pre-crash ones, and its ID sequence must not collide.
+func TestDurableRestartBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := newDurableServer(t, dir, 3) // tiny: forces mid-history snapshots
+	cl := mmlpclient.New(ts1.URL, nil)
+
+	fams := goldenFamilies()
+	ids := make(map[string]string, len(fams))
+	for _, fam := range fams {
+		raw, err := json.Marshal(fam.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := cl.Load(&httpapi.LoadRequest{Name: fam.name, Instance: raw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[fam.name] = info.ID
+		if _, err := cl.PatchTopology(info.ID, &httpapi.TopologyRequest{
+			Ops: goldenChurnOps(fam.in),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fourth instance takes weight churn (the record type the corpus
+	// does not cover) and a fifth is loaded then deleted, so recovery
+	// also replays an unload.
+	wInfo, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PatchWeights(wInfo.ID, &httpapi.WeightsRequest{
+		Resources: []httpapi.CoeffPatch{{Row: 0, Agent: 0, Coeff: 2.25}},
+		Parties:   []httpapi.CoeffPatch{{Row: 0, Agent: 0, Coeff: 0.5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gone, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{3, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(gone.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	solveBoth := func(cl *mmlpclient.Client, id string) ([]float64, []float64) {
+		res, err := cl.Solve(id, &httpapi.SolveRequest{
+			IncludeX: true,
+			Queries: []httpapi.SolveQuery{
+				{Kind: "average", Radius: 1}, {Kind: "average", Radius: 2},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].X, res[1].X
+	}
+
+	// Pre-crash: the live daemon already matches the golden corpus.
+	for _, fam := range fams {
+		x1, x2 := solveBoth(cl, ids[fam.name])
+		sameHex(t, "pre-crash "+fam.name+"/R1", x1, goldenX(t, fam.name, 1))
+		sameHex(t, "pre-crash "+fam.name+"/R2", x2, goldenX(t, fam.name, 2))
+	}
+	wPre, _ := solveBoth(cl, wInfo.ID)
+
+	digests := make(map[string]string)
+	srv1.mu.Lock()
+	for id, m := range srv1.instances {
+		digests[id] = instanceDigest(m.sess.Instance())
+	}
+	srv1.mu.Unlock()
+
+	// Crash: the HTTP listener dies and the WAL is never closed — the
+	// restart sees exactly what fsync left on disk.
+	ts1.Close()
+
+	srv2, ts2 := newDurableServer(t, dir, 3)
+	cl2 := mmlpclient.New(ts2.URL, nil)
+
+	// Replica digests first: the recovered state is bit-identical
+	// before any query warms it.
+	srv2.mu.Lock()
+	for id, m := range srv2.instances {
+		if got := instanceDigest(m.sess.Instance()); got != digests[id] {
+			srv2.mu.Unlock()
+			t.Fatalf("recovered digest for %s = %s, want %s", id, got, digests[id])
+		}
+		delete(digests, id)
+	}
+	srv2.mu.Unlock()
+	if len(digests) != 0 {
+		t.Fatalf("instances lost in recovery: %v", digests)
+	}
+
+	// The deleted instance stayed deleted.
+	if _, err := cl2.Get(gone.ID); err == nil {
+		t.Fatalf("deleted instance %s resurrected by replay", gone.ID)
+	}
+
+	// And the recovered sessions still solve the golden corpus exactly.
+	for _, fam := range fams {
+		x1, x2 := solveBoth(cl2, ids[fam.name])
+		sameHex(t, "post-crash "+fam.name+"/R1", x1, goldenX(t, fam.name, 1))
+		sameHex(t, "post-crash "+fam.name+"/R2", x2, goldenX(t, fam.name, 2))
+	}
+	wPost, _ := solveBoth(cl2, wInfo.ID)
+	sameHex(t, "post-crash weights", wPost, hexBits(wPre))
+
+	// The ID sequence continues instead of colliding with replayed IDs.
+	next, err := cl2.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{3, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, taken := ids[next.Name]; taken || next.ID == wInfo.ID || next.ID == gone.ID {
+		t.Fatalf("post-recovery load reused ID %s", next.ID)
+	}
+	for _, id := range ids {
+		if next.ID == id {
+			t.Fatalf("post-recovery load reused ID %s", next.ID)
+		}
+	}
+}
+
+// TestDurableSecondRestart chains a second crash/restart on the same
+// directory — recovery from a snapshot produced by a recovered daemon —
+// and checks the WAL digest is stable across generations.
+func TestDurableSecondRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newDurableServer(t, dir, 2)
+	cl := mmlpclient.New(ts1.URL, nil)
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{4, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+			Resources: []httpapi.CoeffPatch{{Row: 0, Agent: 0, Coeff: 1 + float64(i)/4}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true, Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hexBits(res[0].X)
+	ts1.Close()
+
+	for gen := 0; gen < 2; gen++ {
+		_, ts := newDurableServer(t, dir, 2)
+		cl := mmlpclient.New(ts.URL, nil)
+		res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+			IncludeX: true, Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+		})
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		sameHex(t, "generation "+strconv.Itoa(gen), res[0].X, want)
+		ts.Close()
+	}
+}

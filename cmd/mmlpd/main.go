@@ -49,7 +49,9 @@ import (
 	"os"
 	"time"
 
+	"maxminlp/internal/backoff"
 	"maxminlp/internal/obs"
+	"maxminlp/internal/wal"
 )
 
 func main() {
@@ -65,6 +67,12 @@ func main() {
 	workers := fs.Int("workers", 2, "coordinator: number of workers to wait for")
 	join := fs.String("join", "", "worker: coordinator control-plane address to join")
 	data := fs.String("data", "127.0.0.1:0", "worker: data-plane listen address for the round-exchange mesh")
+	rejoin := fs.Bool("rejoin", true, "worker: redial the coordinator with backoff after losing it")
+	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); empty disables durability")
+	fsyncPol := fs.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+	walEvery := fs.Int("wal-snapshot-every", 0, "WAL records between snapshots (0 uses the default)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "coordinator: worker heartbeat period (negative disables)")
+	formTimeout := fs.Duration("form-timeout", 30*time.Second, "coordinator: how long to wait for the full worker roster before serving degraded")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -80,30 +88,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mmlpd: -role=worker requires -join")
 			os.Exit(2)
 		}
-		if err := runWorker(*join, *data, *addr, logf); err != nil {
+		err := runWorkerOpts(workerOpts{
+			join: *join, data: *data, httpAddr: *addr, logf: logf,
+			rejoin: *rejoin,
+			bo:     backoff.Policy{Base: 200 * time.Millisecond, Max: 5 * time.Second},
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	srv := newServer(logf)
-	if *role == "coordinator" {
-		ln, err := net.Listen("tcp", *clusterAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		log.Printf("mmlpd coordinator waiting for %d workers on %s", *workers, ln.Addr())
-		c, err := newCluster(ln, *workers, logf)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		srv.cluster = c
-	} else if *role != "single" {
+	if *role != "single" && *role != "coordinator" {
 		fmt.Fprintf(os.Stderr, "mmlpd: unknown role %q (want single, coordinator or worker)\n", *role)
 		os.Exit(2)
 	}
+	srv := newServer(logf)
 	srv.pprofOn = *pprofOn
 	srv.setSlow(*slow)
 	if *traceFile != "" {
@@ -115,8 +115,66 @@ func main() {
 		defer f.Close()
 		srv.obs.tracer.SetSink(f)
 	}
-	log.Printf("mmlpd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+	if *dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := srv.openWAL(*dataDir, pol, *walEvery); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	srv.isCoordinator = *role == "coordinator"
+	if srv.isCoordinator {
+		srv.recovering.Store(true)
+	}
+	// Serve HTTP before replay and cluster formation: during recovery
+	// every API request answers `server/recovering` with a retry hint
+	// (never a refused connection), and /healthz and /metrics stay live.
+	httpLn, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("mmlpd listening on %s", httpLn.Addr())
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- http.Serve(httpLn, srv.handler()) }()
+	if srv.wal != nil {
+		if err := srv.replayWAL(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if srv.isCoordinator {
+		cln, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		seeds, err := srv.journalSeeds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("mmlpd coordinator waiting for %d workers on %s", *workers, cln.Addr())
+		c, err := newCluster(cln, clusterConfig{
+			target:      *workers,
+			hbInterval:  *heartbeat,
+			formTimeout: *formTimeout,
+			seed:        seeds,
+			reconnects:  srv.obs.reconnects,
+			inSync:      srv.obs.workersInSync,
+		}, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.setCluster(c)
+	}
+	srv.recovering.Store(false)
+	if err := <-httpDone; err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"maxminlp/internal/httpapi"
 	"maxminlp/internal/obs"
 )
 
@@ -30,6 +31,13 @@ type serverObs struct {
 	slowReqs  *obs.Counter
 	instances *obs.Gauge
 
+	// Durability and self-healing.
+	walAppends    *obs.Counter
+	walFsync      *obs.Histogram
+	recoverySec   *obs.Gauge
+	reconnects    *obs.Counter
+	workersInSync *obs.Gauge
+
 	// Go runtime stats, refreshed at scrape time.
 	uptime     *obs.Gauge
 	goroutines *obs.Gauge
@@ -50,7 +58,17 @@ func newServerObs() *serverObs {
 		slowReqs: reg.Counter("mmlpd_slow_requests_total",
 			"Requests slower than the slow-query threshold."),
 		instances: reg.Gauge("mmlpd_instances", "Instances currently loaded."),
-		uptime:    reg.Gauge("mmlpd_uptime_seconds", "Seconds since the daemon started."),
+		walAppends: reg.Counter("mmlpd_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		walFsync: reg.Histogram("mmlpd_wal_fsync_seconds",
+			"WAL fsync latency.", obs.DefLatencyBuckets),
+		recoverySec: reg.Gauge("mmlpd_recovery_replay_seconds",
+			"Wall time the last WAL replay took at startup."),
+		reconnects: reg.Counter("mmlpd_worker_reconnects_total",
+			"Workers readmitted after the cluster first formed."),
+		workersInSync: reg.Gauge("mmlpd_workers_in_sync",
+			"Workers currently admitted to the cluster roster."),
+		uptime: reg.Gauge("mmlpd_uptime_seconds", "Seconds since the daemon started."),
 		goroutines: reg.Gauge("go_goroutines",
 			"Number of goroutines that currently exist."),
 		heapBytes: reg.Gauge("go_memstats_heap_alloc_bytes",
@@ -110,6 +128,18 @@ func (s *server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	o.endpoints = append(o.endpoints, endpoint)
 	o.latency[endpoint] = lat
 	return func(w http.ResponseWriter, r *http.Request) {
+		// While the daemon replays its WAL (or a coordinator waits for
+		// its cluster), every API request gets an explicit "come back
+		// shortly" — only liveness and metrics answer during recovery.
+		if s.recovering.Load() && endpoint != "healthz" && endpoint != "metrics" {
+			apiErrorObj(w, &httpapi.Error{
+				Code:        httpapi.CodeRecovering,
+				Message:     "recovering: replaying durable state",
+				RetryAfterS: 1,
+			})
+			o.requests(endpoint, httpapi.Status(httpapi.CodeRecovering)).Inc()
+			return
+		}
 		sp := o.tracer.StartSpan(endpoint)
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
 		h(cw, r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, sp)))

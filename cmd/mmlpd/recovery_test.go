@@ -1,0 +1,324 @@
+package main
+
+import (
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"maxminlp"
+	"maxminlp/internal/backoff"
+	"maxminlp/internal/faultwire"
+	"maxminlp/internal/httpapi"
+	"maxminlp/internal/mmlpclient"
+	"maxminlp/internal/obs"
+)
+
+// waitInSync polls the coordinator until the roster reaches the target
+// and every instance's replica digests match — the cluster's own
+// definition of healed.
+func waitInSync(t *testing.T, cl *mmlpclient.Client, target int, within time.Duration) *httpapi.ClusterResponse {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	var last *httpapi.ClusterResponse
+	for time.Now().Before(deadline) {
+		snap, err := cl.Cluster()
+		if err == nil {
+			last = snap
+			ok := len(snap.Workers) == target && !snap.Degraded
+			for _, ci := range snap.Instances {
+				ok = ok && ci.InSync
+			}
+			if ok {
+				return snap
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("cluster never healed to %d in-sync workers; last snapshot: %+v", target, last)
+	return nil
+}
+
+// TestClusterLateJoinCatchUp: a coordinator whose formation times out
+// serves degraded, accepts loads and patches (journaling them), and a
+// worker arriving later catches the whole history up from the journal
+// and is admitted only once its digests verify — after which solves are
+// bit-identical to the single-process core.
+func TestClusterLateJoinCatchUp(t *testing.T) {
+	quiet := func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newCluster(ln, clusterConfig{
+		target:      2,
+		formTimeout: 50 * time.Millisecond, // no workers yet: form degraded immediately
+		hbInterval:  25 * time.Millisecond,
+		hbMisses:    2,
+	}, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := newServer(nil)
+	srv.isCoordinator = true
+	srv.cluster = c
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	cl := mmlpclient.New(ts.URL, nil)
+
+	// Mutations succeed while fully degraded; partitioned solves answer
+	// the explicit degraded envelope.
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{5, 5}}})
+	if err != nil {
+		t.Fatalf("load while degraded: %v", err)
+	}
+	if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+		Resources: []httpapi.CoeffPatch{{Row: 0, Agent: 0, Coeff: 2.5}},
+	}); err != nil {
+		t.Fatalf("patch while degraded: %v", err)
+	}
+	if _, err := cl.PatchTopology(info.ID, &httpapi.TopologyRequest{Ops: []httpapi.TopoOp{
+		{Op: "addAgent"},
+		{Op: "addEdge", Row: 0, Agent: 25, Coeff: 1.5},
+	}}); err != nil {
+		t.Fatalf("topology while degraded: %v", err)
+	}
+
+	// Two workers arrive late — every patch above reaches them through
+	// the journal, not the fan-out.
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			errc <- runWorker(ln.Addr().String(), "127.0.0.1:0", "", quiet)
+		}()
+	}
+	waitInSync(t, cl, 2, 15*time.Second)
+
+	// The caught-up cluster answers bit-identically to a fresh
+	// single-process session over the same mutated instance.
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	ref := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	if err := ref.UpdateWeights([]maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 0, Agent: 0, Coeff: 2.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.UpdateTopology([]maxminlp.TopoUpdate{
+		maxminlp.AddAgent(), maxminlp.AddResourceEdge(0, 25, 1.5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true, Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := ref.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "late-join", res[0].X, avg.X)
+
+	ts.Close()
+	c.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	}
+}
+
+// TestWorkerRejoinAfterSever: a worker whose control connection dies
+// mid-life redials under backoff, re-Hellos with its replica digests,
+// catches up what it missed, and is readmitted — the reconnect counter
+// proves the healing path (not the formation path) ran, and the healed
+// cluster still solves bit-identically.
+func TestWorkerRejoinAfterSever(t *testing.T) {
+	quiet := func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconnects := obs.NewRegistry().Counter("test_reconnects", "")
+	for i := 0; i < 2; i++ {
+		go func() {
+			// Rejoin workers outlive the test server; they are torn down
+			// with the process.
+			_ = runWorkerOpts(workerOpts{
+				join: ln.Addr().String(), data: "127.0.0.1:0", logf: quiet,
+				rejoin: true,
+				bo:     backoff.Policy{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+			})
+		}()
+	}
+	c, err := newCluster(ln, clusterConfig{
+		target:     2,
+		hbInterval: 25 * time.Millisecond,
+		hbMisses:   2,
+		reconnects: reconnects,
+	}, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := newServer(nil)
+	srv.isCoordinator = true
+	srv.cluster = c
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	cl := mmlpclient.New(ts.URL, nil)
+
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{5, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+		Resources: []httpapi.CoeffPatch{{Row: 3, Agent: in55ResAgent(t, 3), Coeff: 1.75}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever one worker's control link, then immediately patch again:
+	// the fan-out either reaches the survivor only (the rejoiner must
+	// catch the patch up from the journal) or races the eviction — both
+	// must converge.
+	severWorker(t, c, 0)
+	if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+		Resources: []httpapi.CoeffPatch{{Row: 5, Agent: in55ResAgent(t, 5), Coeff: 0.6}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitInSync(t, cl, 2, 15*time.Second)
+	if reconnects.Value() == 0 {
+		t.Fatal("healed without incrementing the reconnect counter — the rejoin path did not run")
+	}
+
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	ref := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+	if err := ref.UpdateWeights([]maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 3, Agent: in55ResAgent(t, 3), Coeff: 1.75},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UpdateWeights([]maxminlp.WeightDelta{
+		{Kind: maxminlp.ResourceWeight, Row: 5, Agent: in55ResAgent(t, 5), Coeff: 0.6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true,
+		Queries:  []httpapi.SolveQuery{{Kind: "safe"}, {Kind: "average", Radius: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "rejoined/safe", res[0].X, ref.Safe())
+	avg, err := ref.LocalAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "rejoined/average", res[1].X, avg.X)
+}
+
+func in55ResAgent(t *testing.T, row int) int {
+	t.Helper()
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	return in.Resource(row)[0].Agent
+}
+
+// TestClusterChaosControlPlane runs the coordinator's control plane
+// through the fault injector — duplicated frames, delays, connections
+// torn mid-frame — under a patch storm with rejoin-enabled workers.
+// Once the faults stop, the cluster must converge to a fully in-sync
+// roster whose answers are bit-identical to a clean single-process
+// solve of the same patch sequence: dup suppression, retries and
+// journal catch-up together make the chaos invisible to results.
+func TestClusterChaosControlPlane(t *testing.T) {
+	quiet := func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultwire.NewInjector(faultwire.Faults{
+		Seed:          42,
+		Dup:           0.15,
+		Delay:         0.25,
+		MaxDelay:      2 * time.Millisecond,
+		CloseMidFrame: 0.02,
+	})
+	for i := 0; i < 2; i++ {
+		go func() {
+			_ = runWorkerOpts(workerOpts{
+				join: ln.Addr().String(), data: "127.0.0.1:0", logf: quiet,
+				rejoin: true,
+				bo:     backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			})
+		}()
+	}
+	c, err := newCluster(inj.WrapListener(ln), clusterConfig{
+		target:      2,
+		hbInterval:  25 * time.Millisecond,
+		hbMisses:    3,
+		formTimeout: 10 * time.Second,
+	}, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := newServer(nil)
+	srv.isCoordinator = true
+	srv.cluster = c
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	cl := mmlpclient.New(ts.URL, nil)
+
+	info, err := cl.Load(&httpapi.LoadRequest{Torus: &httpapi.LatticeSpec{Dims: []int{5, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := maxminlp.Torus([]int{5, 5}, maxminlp.LatticeOptions{})
+	ref := maxminlp.NewSolver(in, maxminlp.GraphOptions{})
+
+	// The storm: a patch sequence long enough that dups, delays and
+	// torn connections all fire (the injector is seeded — the schedule
+	// is reproducible). Every patch the daemon acks goes to the
+	// reference too.
+	for i := 0; i < 12; i++ {
+		row := i % 5
+		coeff := 0.5 + float64(i)/8
+		agent := in.Resource(row)[0].Agent
+		if _, err := cl.PatchWeights(info.ID, &httpapi.WeightsRequest{
+			Resources: []httpapi.CoeffPatch{{Row: row, Agent: agent, Coeff: coeff}},
+		}); err != nil {
+			t.Fatalf("patch %d under chaos: %v", i, err)
+		}
+		if err := ref.UpdateWeights([]maxminlp.WeightDelta{
+			{Kind: maxminlp.ResourceWeight, Row: row, Agent: agent, Coeff: coeff},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drops, delays, dups, tears := inj.Stats()
+	if delays+dups+tears+drops == 0 {
+		t.Fatal("the injector never fired — the chaos test tested nothing")
+	}
+	inj.Disable()
+
+	waitInSync(t, cl, 2, 20*time.Second)
+	res, err := cl.Solve(info.ID, &httpapi.SolveRequest{
+		IncludeX: true, Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := ref.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "post-chaos", res[0].X, avg.X)
+	t.Logf("chaos injected: %d drops, %d delays, %d dups, %d tears", drops, delays, dups, tears)
+}

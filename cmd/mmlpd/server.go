@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"maxminlp"
 	"maxminlp/internal/httpapi"
 	"maxminlp/internal/obs"
+	"maxminlp/internal/wal"
 )
 
 // The daemon's JSON surface is defined once, in internal/httpapi; the
@@ -54,8 +56,26 @@ type server struct {
 
 	// cluster, when non-nil, makes this server the coordinator of a
 	// worker cluster: loads and patches fan out to every worker, and
-	// average/safe solves run partitioned across them.
-	cluster *cluster
+	// average/safe solves run partitioned across them. It is installed
+	// via setCluster after WAL replay (the cluster seeds its patch
+	// journal from the recovered instances), so handlers read it through
+	// getCluster; isCoordinator is set before the routes are built and
+	// gates the /v1/cluster endpoint.
+	cluster       *cluster
+	isCoordinator bool
+
+	// Durability. Every committed mutation appends to the WAL before its
+	// response is written — "acked ⇒ logged". commitMu orders commits
+	// against snapshots: mutating handlers hold it shared across
+	// apply+append+fan-out, the snapshotter holds it exclusively, so a
+	// snapshot never captures a state whose log record hasn't landed.
+	// Lock order: commitMu, then s.mu, then a managed's mu.
+	wal        *wal.Log
+	walSnap    *wal.Snapshot // staged by openWAL, consumed by replayWAL
+	walRecs    []wal.Record
+	walEvery   int
+	commitMu   sync.RWMutex
+	recovering atomic.Bool // true until replayWAL (and cluster formation) finish
 }
 
 // managed is one loaded instance and its long-lived session. mu
@@ -78,6 +98,11 @@ type managed struct {
 	seq  int
 	sess *maxminlp.Solver
 	mu   sync.Mutex
+
+	// Load-time session options, kept verbatim so the WAL and the
+	// cluster journal can rebuild an identical session elsewhere.
+	oblivious bool
+	workers   int
 }
 
 // maxServedRadius caps the radius (and adaptive maxRadius) a request
@@ -135,7 +160,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/instances/{id}/solve", s.wrap("solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/instances/{id}/weights", s.wrap("weights", s.handleWeights))
 	mux.HandleFunc("POST /v1/instances/{id}/topology", s.wrap("topology", s.handleTopology))
-	if s.cluster != nil {
+	if s.isCoordinator || s.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster", s.wrap("cluster", s.handleCluster))
 	}
 	if s.pprofOn {
@@ -264,29 +289,39 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.SetObs(s.obs.solve)
 	sp.Phase("linearise")
+	raw, err := json.Marshal(in)
+	if err != nil {
+		apiError(w, httpapi.CodeInternal, "encoding instance: %v", err)
+		return
+	}
+	s.commitMu.RLock()
 	s.mu.Lock()
 	s.nextID++
 	m := &managed{
-		ID:     fmt.Sprintf("i%d", s.nextID),
-		Name:   req.Name,
-		Loaded: time.Now(),
-		Agents: in.NumAgents(),
-		seq:    s.nextID,
-		sess:   sess,
+		ID:        fmt.Sprintf("i%d", s.nextID),
+		Name:      req.Name,
+		Loaded:    time.Now(),
+		Agents:    in.NumAgents(),
+		seq:       s.nextID,
+		sess:      sess,
+		oblivious: req.CollaborationOblivious,
+		workers:   req.Workers,
 	}
 	s.instances[m.ID] = m
 	s.obs.instances.Set(float64(len(s.instances)))
+	c := s.cluster
 	s.mu.Unlock()
-	if c := s.cluster; c != nil {
-		if err := c.replicateLoad(m.ID, in, &req); err != nil {
-			s.mu.Lock()
-			delete(s.instances, m.ID)
-			s.obs.instances.Set(float64(len(s.instances)))
-			s.mu.Unlock()
-			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
-			return
-		}
+	s.walAppend(walRecLoad, m.ID, walLoad{
+		Seq: m.seq, Name: m.Name, Loaded: m.Loaded, Instance: raw,
+		CollaborationOblivious: m.oblivious, Workers: m.workers,
+	})
+	if c != nil {
+		// Replication is availability, not correctness: a dead worker is
+		// healed by the readmission path, so a load succeeds regardless.
+		c.replicateLoad(m.ID, raw, &req)
 	}
+	s.commitMu.RUnlock()
+	s.maybeSnapshot()
 	s.logf("loaded instance %s (%q): %v", m.ID, m.Name, in.Stats())
 	writeJSON(w, http.StatusCreated, s.describe(m))
 	sp.Phase("encode")
@@ -339,19 +374,26 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	id := r.PathValue("id")
+	s.commitMu.RLock()
+	s.mu.Lock()
 	_, ok := s.instances[id]
 	delete(s.instances, id)
 	s.obs.instances.Set(float64(len(s.instances)))
+	c := s.cluster
 	s.mu.Unlock()
+	if ok {
+		s.walAppend(walRecUnload, id, nil)
+		if c != nil {
+			c.replicateUnload(id)
+		}
+	}
+	s.commitMu.RUnlock()
 	if !ok {
 		apiError(w, httpapi.CodeNotFound, "no such instance")
 		return
 	}
-	if c := s.cluster; c != nil {
-		c.replicateUnload(id)
-	}
+	s.maybeSnapshot()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -384,11 +426,17 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for qi, q := range req.Queries {
 		res, err := s.runQuery(m, q, req.IncludeX)
 		if err != nil {
-			code := httpapi.CodeInvalidArgument
 			if apiErr, ok := err.(*httpapi.Error); ok {
-				code = apiErr.Code
+				// Preserve the code AND the retry hint — a degraded
+				// cluster's 503 must tell the client when to come back.
+				apiErrorObj(w, &httpapi.Error{
+					Code:        apiErr.Code,
+					Message:     fmt.Sprintf("query %d (%s): %s", qi, q.Kind, apiErr.Message),
+					RetryAfterS: apiErr.RetryAfterS,
+				})
+				return
 			}
-			apiError(w, code, "query %d (%s): %v", qi, q.Kind, err)
+			apiError(w, httpapi.CodeInvalidArgument, "query %d (%s): %v", qi, q.Kind, err)
 			return
 		}
 		out = append(out, res)
@@ -416,10 +464,10 @@ func (s *server) runQuery(m *managed, q solveQuery, includeX bool) (solveResult,
 			return res, fmt.Errorf("maxRadius %d exceeds the serving cap %d", q.MaxRadius, maxServedRadius)
 		}
 	}
-	if s.cluster != nil {
+	if c := s.getCluster(); c != nil {
 		switch q.Kind {
 		case "safe", "average", "adaptive":
-			return s.cluster.runQuery(m, q, includeX)
+			return c.runQuery(m, q, includeX)
 		}
 	}
 	switch q.Kind {
@@ -484,13 +532,7 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.Phase("load")
-	deltas := make([]maxminlp.WeightDelta, 0, len(req.Resources)+len(req.Parties))
-	for _, p := range req.Resources {
-		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.ResourceWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
-	}
-	for _, p := range req.Parties {
-		deltas = append(deltas, maxminlp.WeightDelta{Kind: maxminlp.PartyWeight, Row: p.Row, Agent: p.Agent, Coeff: p.Coeff})
-	}
+	deltas := weightDeltas(&req)
 	if len(deltas) == 0 {
 		apiError(w, httpapi.CodeInvalidArgument, "empty weight patch")
 		return
@@ -500,8 +542,14 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.Phase("validate")
-	// The per-instance linearisation lock spans the local apply and the
-	// worker fan-out, so every replica sees patches in one global order.
+	c := s.getCluster()
+	// commitMu (shared) then the per-instance linearisation lock: the
+	// apply, the WAL append and the worker fan-out happen as one commit,
+	// so every replica — disk and worker — sees patches in one global
+	// order. The snapshot check runs after both unlock (LIFO defers).
+	defer s.maybeSnapshot()
+	s.commitMu.RLock()
+	defer s.commitMu.RUnlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
@@ -509,11 +557,9 @@ func (s *server) handleWeights(w http.ResponseWriter, r *http.Request) {
 		apiError(w, httpapi.CodeInvalidArgument, "%v", err)
 		return
 	}
-	if c := s.cluster; c != nil {
-		if err := c.replicateWeights(m.ID, &req); err != nil {
-			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
-			return
-		}
+	s.walAppend(walRecWeights, m.ID, &req)
+	if c != nil {
+		c.replicateWeights(m, &req)
 	}
 	sp.Phase("solve")
 	writeJSON(w, http.StatusOK, weightsResponse{
@@ -588,7 +634,12 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		ups[i] = up
 	}
 	// The same linearisation lock as solves and weight patches: the
-	// batch applies atomically between any two solve batches.
+	// batch applies atomically between any two solve batches. commitMu
+	// (shared) makes the apply + WAL append + fan-out one commit.
+	c := s.getCluster()
+	defer s.maybeSnapshot()
+	s.commitMu.RLock()
+	defer s.commitMu.RUnlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	in := m.sess.Instance()
@@ -617,11 +668,9 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		apiError(w, httpapi.CodeInvalidArgument, "%v", err)
 		return
 	}
-	if c := s.cluster; c != nil {
-		if err := c.replicateTopology(m.ID, &req); err != nil {
-			apiError(w, httpapi.CodeCluster, "replicating to workers: %v", err)
-			return
-		}
+	s.walAppend(walRecTopology, m.ID, &req)
+	if c != nil {
+		c.replicateTopology(m, &req)
 	}
 	sp.Phase("solve")
 	s.logf("instance %s topology: %d ops, %d agents (+%d/-%d)",
@@ -640,13 +689,19 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	n := len(s.instances)
+	c := s.cluster
 	s.mu.Unlock()
 	resp := healthResponse{
 		Status: "ok", Uptime: time.Since(s.started).Round(time.Millisecond).String(), Instances: n,
 	}
-	if s.cluster != nil {
+	if s.recovering.Load() {
+		resp.Status = "recovering"
+	}
+	if c != nil {
 		resp.Role = "coordinator"
-		resp.Workers = len(s.cluster.workers)
+		resp.Workers = c.liveWorkers()
+	} else if s.isCoordinator {
+		resp.Role = "coordinator"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -678,4 +733,29 @@ func apiError(w http.ResponseWriter, code, format string, args ...any) {
 	writeJSON(w, httpapi.Status(code), httpapi.ErrorEnvelope{Error: &httpapi.Error{
 		Code: code, Message: fmt.Sprintf(format, args...),
 	}})
+}
+
+// apiErrorObj writes a pre-built error, preserving its retry hint in
+// both the envelope and the Retry-After header — degraded and
+// recovering responses always carry the structured envelope, never a
+// bare status.
+func apiErrorObj(w http.ResponseWriter, e *httpapi.Error) {
+	if e.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterS))
+	}
+	writeJSON(w, httpapi.Status(e.Code), httpapi.ErrorEnvelope{Error: e})
+}
+
+// getCluster reads the cluster pointer race-free; it is nil until the
+// boot sequence installs it with setCluster.
+func (s *server) getCluster() *cluster {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster
+}
+
+func (s *server) setCluster(c *cluster) {
+	s.mu.Lock()
+	s.cluster = c
+	s.mu.Unlock()
 }

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
 	"maxminlp"
+	"maxminlp/internal/backoff"
 	"maxminlp/internal/dist"
 	"maxminlp/internal/httpapi"
 	"maxminlp/internal/obs"
@@ -24,12 +26,31 @@ import (
 // by the coordinator's control connection. The control loop is strictly
 // FIFO — patches and solves apply in exactly the order the coordinator
 // linearised them, which is what keeps every replica bit-identical.
+//
+// The replicas outlive any one control connection: when the connection
+// drops (coordinator crashed, network partitioned, RPC deadline fired
+// at the other end) a rejoining worker re-Hellos with its replica
+// digests and the coordinator replays only the patch-log suffix it
+// missed.
 type worker struct {
 	self    int
 	members int
+	epoch   uint64
 	mesh    *dist.TCPMesh
+	ln      net.Listener // data-plane listener; survives rejoins
 	conn    net.Conn
 	logf    func(format string, args ...any)
+
+	// fatal, when set by a handler, tears the control session down right
+	// after its reply is written — the rejoin loop then starts fresh.
+	fatal error
+
+	// Duplicate suppression: a retried RPC reuses its sequence number,
+	// and a fault-injected wire can deliver a frame twice. Either way
+	// the worker must not re-apply — it resends the cached reply.
+	lastSeq   uint64
+	lastTyp   string
+	lastReply any
 
 	// replicas is written only by the FIFO control loop; the mutex exists
 	// for the HTTP goroutine's reads.
@@ -40,6 +61,7 @@ type worker struct {
 	ops      func(typ string) *obs.Counter
 	started  time.Time
 	solveSec *obs.Histogram
+	rejoins  *obs.Counter
 }
 
 // replica is one instance's worker-side state: the session (for
@@ -52,65 +74,115 @@ type replica struct {
 	nw   *maxminlp.Network
 }
 
+// workerOpts configures runWorkerOpts; zero values pick the defaults.
+type workerOpts struct {
+	join, data, httpAddr string
+	logf                 func(string, ...any)
+
+	// rejoin keeps the worker alive across control-connection failures:
+	// it redials the coordinator under jittered exponential backoff,
+	// re-Hellos with its replica digests, and catches up. Without it a
+	// connection loss ends the worker (the pre-recovery behaviour).
+	rejoin bool
+	bo     backoff.Policy
+
+	// dialTimeout bounds one connection attempt.
+	dialTimeout time.Duration
+}
+
 // runWorker joins a cluster and serves it until the coordinator goes
 // away. httpAddr serves the worker's own /healthz and /metrics.
 func runWorker(joinAddr, dataAddr, httpAddr string, logf func(string, ...any)) error {
-	ln, err := net.Listen("tcp", dataAddr)
+	return runWorkerOpts(workerOpts{join: joinAddr, data: dataAddr, httpAddr: httpAddr, logf: logf})
+}
+
+func runWorkerOpts(o workerOpts) error {
+	if o.logf == nil {
+		o.logf = func(string, ...any) {}
+	}
+	if o.dialTimeout <= 0 {
+		o.dialTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", o.data)
 	if err != nil {
 		return fmt.Errorf("data listener: %w", err)
 	}
-	conn, err := dialControl(joinAddr, 30*time.Second)
-	if err != nil {
-		return fmt.Errorf("joining %s: %w", joinAddr, err)
-	}
-	if err := wire.WriteMsg(conn, wire.TypeHello, &wire.Hello{DataAddr: ln.Addr().String()}); err != nil {
-		return err
-	}
-	env, err := wire.ReadMsg(conn)
-	if err != nil {
-		return fmt.Errorf("awaiting assignment: %w", err)
-	}
-	if env.Type != wire.TypeAssign {
-		return fmt.Errorf("expected %s, got %s", wire.TypeAssign, env.Type)
-	}
-	var asg wire.Assign
-	if err := env.Decode(&asg); err != nil {
-		return err
-	}
-	mesh, err := dist.NewTCPMesh(asg.Self, asg.Peers, ln)
-	if err != nil {
-		return fmt.Errorf("building mesh as member %d: %w", asg.Self, err)
-	}
-	if err := wire.WriteMsg(conn, wire.TypeOK, nil); err != nil {
-		return err
-	}
+	defer ln.Close()
 	reg := obs.NewRegistry()
 	w := &worker{
-		self: asg.Self, members: len(asg.Peers), mesh: mesh, conn: conn,
+		ln:       ln,
 		replicas: make(map[string]*replica),
-		logf:     logf,
+		logf:     o.logf,
 		reg:      reg,
 		started:  time.Now(),
 		solveSec: reg.Histogram("mmlpd_worker_solve_seconds",
 			"Partition-slice solve latency.", obs.DefLatencyBuckets),
+		rejoins: reg.Counter("mmlpd_worker_rejoins_total",
+			"Times this worker redialled the coordinator after losing it."),
 	}
 	w.ops = func(typ string) *obs.Counter {
 		return reg.Counter("mmlpd_worker_control_ops_total",
 			"Control-plane operations served, by type.", obs.L("type", typ))
 	}
-	if httpAddr != "" {
-		hln, err := net.Listen("tcp", httpAddr)
+	if o.httpAddr != "" {
+		hln, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			return fmt.Errorf("http listener: %w", err)
 		}
-		logf("mmlpd: worker %d serving http on %s", w.self, hln.Addr())
+		o.logf("mmlpd: worker serving http on %s", hln.Addr())
 		go func() {
 			if err := http.Serve(hln, w.httpHandler()); err != nil {
-				logf("mmlpd: worker http: %v", err)
+				o.logf("mmlpd: worker http: %v", err)
 			}
 		}()
 	}
-	logf("mmlpd: worker %d/%d joined cluster", w.self, w.members)
+	bo := backoff.New(o.bo, time.Now().UnixNano())
+	for {
+		err := w.session(o.join, o.dialTimeout)
+		if err == nil {
+			return nil // clean shutdown from the coordinator
+		}
+		if !o.rejoin {
+			if isDisconnect(err) {
+				w.logf("mmlpd: worker: coordinator disconnected")
+				return nil
+			}
+			return err
+		}
+		w.rejoins.Inc()
+		w.logf("mmlpd: worker: lost coordinator (%v) — rejoining with %d replicas", err, w.numReplicas())
+		bo.Next()
+	}
+}
+
+// isDisconnect reports a control-connection teardown as seen from the
+// worker: EOF on an orderly close, or the reset an abrupt coordinator
+// close sends when replies were still in flight.
+func isDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, net.ErrClosed)
+}
+
+// session runs one connected stint: dial, Hello with the surviving
+// replica digests, then serve the control loop until shutdown (nil) or
+// a failure (the rejoin loop's cue).
+func (w *worker) session(join string, dialTimeout time.Duration) error {
+	conn, err := dialControl(join, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("joining %s: %w", join, err)
+	}
+	w.conn = conn
+	w.lastSeq, w.lastTyp, w.lastReply = 0, "", nil
+	defer conn.Close()
+	defer func() {
+		if w.mesh != nil {
+			w.mesh.Close()
+			w.mesh = nil
+		}
+	}()
+	hello := &wire.Hello{DataAddr: w.ln.Addr().String(), Digests: w.digests()}
+	if err := wire.WriteMsg(conn, wire.TypeHello, hello); err != nil {
+		return err
+	}
 	return w.serve()
 }
 
@@ -130,17 +202,12 @@ func dialControl(addr string, timeout time.Duration) (net.Conn, error) {
 	}
 }
 
-// serve runs the control loop until the coordinator disconnects (a
-// clean exit) or sends shutdown.
+// serve runs the control loop until the coordinator sends shutdown
+// (nil) or the transport fails (error; the rejoin loop redials).
 func (w *worker) serve() error {
-	defer w.mesh.Close()
 	for {
 		env, err := wire.ReadMsg(w.conn)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				w.logf("mmlpd: worker %d: coordinator disconnected", w.self)
-				return nil
-			}
 			return err
 		}
 		w.ops(env.Type).Inc()
@@ -148,24 +215,48 @@ func (w *worker) serve() error {
 			w.logf("mmlpd: worker %d: shutdown", w.self)
 			return nil
 		}
+		if env.Seq != 0 && env.Seq == w.lastSeq {
+			// Duplicate delivery attempt — an RPC retry or a wire-level
+			// dup. Resend the cached reply; never re-apply.
+			if err := wire.WriteMsgSeq(w.conn, w.lastTyp, env.Seq, w.lastReply); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := w.dispatch(env); err != nil {
 			return err
 		}
 	}
 }
 
-// dispatch handles one control message and writes exactly one reply.
-// Handler errors become error replies — the connection stays up; only
-// transport failures end the worker.
+// dispatch handles one control message and writes exactly one reply,
+// echoing the request's sequence number. Handler errors become error
+// replies — the connection stays up; only transport failures (and a
+// handler-flagged fatal, like a failed mesh build) end the session.
 func (w *worker) dispatch(env *wire.Envelope) error {
 	reply, code, err := w.handle(env)
-	if err != nil {
-		return wire.WriteMsg(w.conn, wire.TypeError, &wire.Error{Code: code, Message: err.Error()})
+	var typ string
+	var body any
+	switch {
+	case err != nil:
+		typ, body = wire.TypeError, &wire.Error{Code: code, Message: err.Error()}
+	case reply == nil:
+		typ, body = wire.TypeOK, nil
+	default:
+		typ, body = reply.typ, reply.body
 	}
-	if reply == nil {
-		return wire.WriteMsg(w.conn, wire.TypeOK, nil)
+	if env.Seq != 0 {
+		w.lastSeq, w.lastTyp, w.lastReply = env.Seq, typ, body
 	}
-	return wire.WriteMsg(w.conn, reply.typ, reply.body)
+	if werr := wire.WriteMsgSeq(w.conn, typ, env.Seq, body); werr != nil {
+		return werr
+	}
+	if w.fatal != nil {
+		f := w.fatal
+		w.fatal = nil
+		return f
+	}
+	return nil
 }
 
 type workerReply struct {
@@ -175,6 +266,31 @@ type workerReply struct {
 
 func (w *worker) handle(env *wire.Envelope) (*workerReply, string, error) {
 	switch env.Type {
+	case wire.TypeAssign:
+		var asg wire.Assign
+		if err := env.Decode(&asg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		if w.mesh != nil {
+			w.mesh.Close()
+			w.mesh = nil
+		}
+		mesh, err := dist.NewTCPMesh(asg.Self, asg.Peers, w.ln)
+		if err != nil {
+			// The reply tells the coordinator to drop us; the fatal tears
+			// this session down so the rejoin loop starts clean.
+			w.fatal = fmt.Errorf("building mesh as member %d (epoch %d): %w", asg.Self, asg.Epoch, err)
+			return nil, httpapi.CodeCluster, w.fatal
+		}
+		w.mu.Lock() // members is read by the HTTP goroutine's healthz
+		w.self, w.members, w.epoch, w.mesh = asg.Self, len(asg.Peers), asg.Epoch, mesh
+		w.mu.Unlock()
+		w.logf("mmlpd: worker %d/%d meshed (epoch %d)", w.self, w.members, w.epoch)
+		return nil, "", nil
+
+	case wire.TypePing:
+		return &workerReply{typ: wire.TypePong}, "", nil
+
 	case wire.TypeLoad:
 		var msg wire.Load
 		if err := env.Decode(&msg); err != nil {
@@ -272,6 +388,46 @@ func (w *worker) handle(env *wire.Envelope) (*workerReply, string, error) {
 		}
 		return &workerReply{typ: wire.TypePartial, body: part}, "", nil
 
+	case wire.TypeResync:
+		// Post-catch-up self-check: rebuild the network's derived state
+		// from the session, run the self-stabilising protocol fault-free
+		// for one horizon, and require bit-identity with its own
+		// reference engine. A replica that diverged in any way the
+		// digests could miss fails here and is replayed from scratch.
+		var msg wire.Resync
+		if err := env.Decode(&msg); err != nil {
+			return nil, httpapi.CodeInvalidArgument, err
+		}
+		rep, ok := w.replica(msg.ID)
+		if !ok {
+			return nil, httpapi.CodeNotFound, fmt.Errorf("no replica of %s", msg.ID)
+		}
+		if err := rep.nw.Resync(); err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		r := msg.Radius
+		if r < 1 {
+			r = 1
+		}
+		p := dist.StabilizingAverage{Radius: r}
+		run, err := rep.nw.RunStabilizing(p, p.Horizon()+1, -1, nil)
+		if err != nil {
+			return nil, httpapi.CodeInternal, err
+		}
+		last := run.Outputs[len(run.Outputs)-1]
+		for v := range last {
+			if last[v] != run.Reference[v] {
+				return nil, httpapi.CodeInternal,
+					fmt.Errorf("stabilising self-check of %s diverged at agent %d", msg.ID, v)
+			}
+		}
+		in := rep.sess.Instance()
+		return &workerReply{typ: wire.TypeState, body: &wire.State{
+			ID: msg.ID, Agents: in.NumAgents(),
+			Resources: in.NumResources(), Parties: in.NumParties(),
+			Digest: instanceDigest(in),
+		}}, "", nil
+
 	case wire.TypeSnapshot:
 		var msg wire.Snapshot
 		if err := env.Decode(&msg); err != nil {
@@ -301,6 +457,21 @@ func (w *worker) replica(id string) (*replica, bool) {
 	return rep, ok
 }
 
+// digests reports every surviving replica's digest, the rejoin Hello's
+// catch-up anchor.
+func (w *worker) digests() map[string]string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.replicas) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(w.replicas))
+	for id, rep := range w.replicas {
+		out[id] = instanceDigest(rep.sess.Instance())
+	}
+	return out
+}
+
 // solve computes the worker's partition slice of one query. Safe is
 // purely local; average joins the cluster-wide partitioned round
 // exchange on the data-plane mesh, so it blocks until every worker runs
@@ -308,6 +479,9 @@ func (w *worker) replica(id string) (*replica, bool) {
 func (w *worker) solve(rep *replica, msg *wire.Solve) (*wire.Partial, error) {
 	start := time.Now()
 	defer func() { w.solveSec.ObserveDuration(time.Since(start)) }()
+	if w.mesh == nil {
+		return nil, fmt.Errorf("worker has no mesh assignment yet")
+	}
 	n := rep.sess.Instance().NumAgents()
 	pt := dist.Partition{Self: w.self, Members: w.members}
 	lo, hi := pt.Bounds(n)
@@ -344,9 +518,12 @@ func (w *worker) numReplicas() int {
 func (w *worker) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		w.mu.Lock()
+		replicas, members := len(w.replicas), w.members
+		w.mu.Unlock()
 		writeJSON(rw, http.StatusOK, healthResponse{
 			Status: "ok", Uptime: time.Since(w.started).Round(time.Millisecond).String(),
-			Instances: w.numReplicas(), Role: "worker", Workers: w.members,
+			Instances: replicas, Role: "worker", Workers: members,
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {

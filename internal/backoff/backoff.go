@@ -1,0 +1,105 @@
+// Package backoff implements jittered exponential backoff, the retry
+// cadence shared by every reconnect loop in the serving tier: the
+// coordinator retrying a worker RPC, a worker rejoining after a crash,
+// and the HTTP client retrying an idempotent request against a
+// recovering daemon.
+//
+// The policy is "full jitter": attempt n sleeps a uniformly random
+// duration in [0, min(Max, Base·2ⁿ)]. Compared with plain exponential
+// backoff this decorrelates a thundering herd of restarted workers all
+// reconnecting to the same coordinator, at the cost of occasionally
+// retrying very quickly — which is fine, because the thing being
+// retried is idempotent by construction everywhere this package is
+// used.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a bounded, jittered exponential backoff schedule.
+// The zero value is unusable; use Default or fill every field.
+type Policy struct {
+	// Base is the cap of the first delay. Successive attempt caps
+	// double until they reach Max.
+	Base time.Duration
+	// Max bounds a single delay.
+	Max time.Duration
+	// Attempts bounds how many times Next returns true. Zero or
+	// negative means unlimited.
+	Attempts int
+}
+
+// Default is the schedule used by the mmlpd cluster runtime:
+// 50ms·2ⁿ capped at 2s, unlimited attempts (callers that need a bound
+// set Attempts explicitly).
+func Default() Policy {
+	return Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+}
+
+// Backoff is the mutable state of one retry loop. Not safe for
+// concurrent use; each loop owns its own.
+type Backoff struct {
+	p    Policy
+	n    int
+	rng  *rand.Rand
+	rmu  sync.Mutex // guards rng: Delay may be probed concurrently in tests
+	slep func(time.Duration)
+}
+
+// New returns a fresh retry loop following p, seeded from seed so
+// tests are reproducible. Production callers pass something varying
+// (e.g. time.Now().UnixNano()).
+func New(p Policy, seed int64) *Backoff {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return &Backoff{p: p, rng: rand.New(rand.NewSource(seed)), slep: time.Sleep}
+}
+
+// SetSleep replaces the sleep function, letting tests run schedules at
+// full speed while still observing the chosen delays.
+func (b *Backoff) SetSleep(f func(time.Duration)) { b.slep = f }
+
+// Delay computes the next jittered delay without sleeping or consuming
+// an attempt. Exposed for callers that integrate with select loops.
+func (b *Backoff) Delay() time.Duration {
+	cap := b.p.Base << uint(b.n)
+	if cap <= 0 || cap > b.p.Max { // <=0 catches shift overflow
+		cap = b.p.Max
+	}
+	b.rmu.Lock()
+	d := time.Duration(b.rng.Int63n(int64(cap) + 1))
+	b.rmu.Unlock()
+	return d
+}
+
+// Next sleeps the next jittered delay and reports whether the caller
+// should try again; it returns false once Attempts is exhausted.
+func (b *Backoff) Next() bool {
+	if b.p.Attempts > 0 && b.n >= b.p.Attempts {
+		return false
+	}
+	b.slep(b.Delay())
+	b.n++
+	return true
+}
+
+// Advance consumes one attempt without sleeping, for callers that
+// combine Delay with another wait source (e.g. a server's Retry-After)
+// and sleep on their own.
+func (b *Backoff) Advance() { b.n++ }
+
+// Reset rewinds the schedule to attempt zero, for loops that reconnect
+// successfully and later fail again (a long-lived worker's rejoin loop
+// should not remember delays from an outage an hour ago).
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Attempt reports how many attempts have been consumed since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.n }

@@ -1,0 +1,78 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// The attempt cap must be exact: a Policy with Attempts=n yields
+// exactly n true results from Next.
+func TestAttemptsBound(t *testing.T) {
+	b := New(Policy{Base: time.Millisecond, Max: 8 * time.Millisecond, Attempts: 3}, 1)
+	b.SetSleep(func(time.Duration) {})
+	got := 0
+	for b.Next() {
+		got++
+		if got > 10 {
+			t.Fatal("Next never returned false")
+		}
+	}
+	if got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	b.Reset()
+	if !b.Next() {
+		t.Fatal("Next after Reset should succeed")
+	}
+}
+
+// Every delay must respect the per-attempt exponential cap and the
+// global Max, and the schedule must be reproducible for a fixed seed.
+func TestDelayBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	a := New(p, 42)
+	bb := New(p, 42)
+	for i := 0; i < 20; i++ {
+		cap := p.Base << uint(i)
+		if cap <= 0 || cap > p.Max {
+			cap = p.Max
+		}
+		da := a.Delay()
+		if da < 0 || da > cap {
+			t.Fatalf("attempt %d: delay %v outside [0,%v]", i, da, cap)
+		}
+		if db := bb.Delay(); db != da {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		a.n++
+		bb.n++
+	}
+}
+
+// Unlimited policies keep returning true, and the observed sleeps stay
+// bounded by Max even deep into the schedule (shift overflow must not
+// produce a negative cap).
+func TestUnlimitedNeverOverflows(t *testing.T) {
+	b := New(Default(), 7)
+	var slept []time.Duration
+	b.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 80; i++ {
+		if !b.Next() {
+			t.Fatal("unlimited policy returned false")
+		}
+	}
+	for i, d := range slept {
+		if d < 0 || d > Default().Max {
+			t.Fatalf("sleep %d = %v outside [0,%v]", i, d, Default().Max)
+		}
+	}
+}
+
+// Zero-value policy fields are replaced with sane defaults rather than
+// producing a zero-delay hot loop.
+func TestZeroPolicyDefaults(t *testing.T) {
+	b := New(Policy{}, 1)
+	if b.p.Base <= 0 || b.p.Max <= 0 {
+		t.Fatalf("defaults not applied: %+v", b.p)
+	}
+}

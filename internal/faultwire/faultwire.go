@@ -1,0 +1,200 @@
+// Package faultwire injects network faults into the cluster's wire
+// layer for crash/partition testing: a net.Conn wrapper that can drop,
+// delay, duplicate, or tear writes, and a dist.Transport wrapper that
+// can stall or sever the round-exchange mesh. All faults draw from a
+// seeded PRNG, so a failing test names a seed that replays the exact
+// fault schedule.
+//
+// Faults act at the sender's Write granularity. internal/wire writes
+// one frame per Write call, so:
+//
+//   - drop models a lost frame: the sender believes it was delivered,
+//     the receiver never sees it and its read deadline must save it —
+//     exactly the failure the coordinator's RPC timeouts exist for.
+//   - duplicate models a retried delivery attempt arriving twice: the
+//     receiver sees the same frame back to back and must deduplicate
+//     (the worker's sequence-number suppression) or tolerate replay
+//     (idempotent application).
+//   - close-mid-frame models a crash mid-send: the receiver gets a
+//     prefix of a frame and then EOF — the torn-tail case the WAL and
+//     the frame reader both have to survive.
+//   - delay models congestion; it reorders nothing (TCP keeps order)
+//     but widens race windows and exercises deadlines.
+package faultwire
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"maxminlp/internal/dist"
+)
+
+// Faults is a fault plan: per-write probabilities in [0,1] plus the
+// PRNG seed that makes the schedule reproducible. The zero value
+// injects nothing.
+type Faults struct {
+	Seed int64
+	// Drop swallows a Write: success is reported, no bytes are sent.
+	Drop float64
+	// Delay sleeps a uniform duration in (0, MaxDelay] before a Write.
+	Delay    float64
+	MaxDelay time.Duration
+	// Dup writes the payload twice — a duplicated delivery attempt.
+	Dup float64
+	// CloseMidFrame writes a strict prefix of the payload, then closes
+	// the connection.
+	CloseMidFrame float64
+}
+
+// Injector owns the PRNG and fault counters shared by every wrapped
+// connection. Safe for concurrent use.
+type Injector struct {
+	mu  sync.Mutex
+	f   Faults
+	rng *rand.Rand
+
+	drops, delays, dups, tears int
+}
+
+// NewInjector builds an injector following plan f.
+func NewInjector(f Faults) *Injector {
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = 5 * time.Millisecond
+	}
+	return &Injector{f: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// Stats reports how many faults of each kind have fired.
+func (in *Injector) Stats() (drops, delays, dups, tears int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.drops, in.delays, in.dups, in.tears
+}
+
+// Disable stops all future fault injection (the test's "heal the
+// network" switch); wrapped connections become transparent.
+func (in *Injector) Disable() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.f = Faults{MaxDelay: in.f.MaxDelay}
+}
+
+type action struct {
+	kind  int // 0 none, 1 drop, 2 dup, 3 tear
+	sleep time.Duration
+	cut   int // tear: bytes of an n-byte payload to let through
+}
+
+const (
+	actNone = iota
+	actDrop
+	actDup
+	actTear
+)
+
+// next rolls the fault dice for one n-byte write. A single write
+// suffers at most one discrete fault (plus an independent delay);
+// discrete faults are checked in drop → dup → tear order.
+func (in *Injector) next(n int) action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var a action
+	if in.f.Delay > 0 && in.rng.Float64() < in.f.Delay {
+		in.delays++
+		a.sleep = time.Duration(1 + in.rng.Int63n(int64(in.f.MaxDelay)))
+	}
+	switch {
+	case in.f.Drop > 0 && in.rng.Float64() < in.f.Drop:
+		in.drops++
+		a.kind = actDrop
+	case in.f.Dup > 0 && in.rng.Float64() < in.f.Dup:
+		in.dups++
+		a.kind = actDup
+	case in.f.CloseMidFrame > 0 && n > 1 && in.rng.Float64() < in.f.CloseMidFrame:
+		in.tears++
+		a.kind = actTear
+		a.cut = 1 + in.rng.Intn(n-1) // strict, non-empty prefix
+	}
+	return a
+}
+
+// Wrap returns c with the injector's fault plan applied to every
+// Write. Reads pass through untouched: sender-side faults are observed
+// by the peer's reader naturally.
+func (in *Injector) Wrap(c net.Conn) net.Conn { return &conn{Conn: c, in: in} }
+
+type conn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	a := c.in.next(len(p))
+	if a.sleep > 0 {
+		time.Sleep(a.sleep)
+	}
+	switch a.kind {
+	case actDrop:
+		return len(p), nil
+	case actDup:
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	case actTear:
+		if _, err := c.Conn.Write(p[:a.cut]); err != nil {
+			return 0, err
+		}
+		c.Conn.Close()
+		return a.cut, net.ErrClosed
+	}
+	return c.Conn.Write(p)
+}
+
+// WrapListener applies the injector to every connection a listener
+// accepts, so a whole process's inbound wire can be made faulty
+// without touching dial sites.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// WrapTransport applies the plan to a round-exchange transport: Drop
+// severs the mesh mid-round (the transport closes and the Exchange
+// returns an error, like a peer dying mid-exchange), Delay stalls the
+// round. Dup and CloseMidFrame do not apply at this layer — Exchange
+// is a barrier, not a byte stream.
+func (in *Injector) WrapTransport(t dist.Transport) dist.Transport {
+	return &transport{Transport: t, in: in}
+}
+
+type transport struct {
+	dist.Transport
+	in *Injector
+}
+
+func (t *transport) Exchange(out [][]byte) ([][]byte, error) {
+	a := t.in.next(1)
+	if a.sleep > 0 {
+		time.Sleep(a.sleep)
+	}
+	if a.kind == actDrop {
+		t.Transport.Close()
+		return nil, net.ErrClosed
+	}
+	return t.Transport.Exchange(out)
+}

@@ -1,0 +1,195 @@
+package faultwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"maxminlp/internal/dist"
+	"maxminlp/internal/wire"
+)
+
+// pipe returns a wrapped client conn and the raw server side.
+func pipe(t *testing.T, in *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	c, s := net.Pipe()
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return in.Wrap(c), s
+}
+
+// A zero plan must be perfectly transparent.
+func TestTransparentWithoutFaults(t *testing.T) {
+	in := NewInjector(Faults{Seed: 1})
+	c, s := pipe(t, in)
+	go func() {
+		wire.WriteMsg(c, wire.TypePing, nil)
+	}()
+	env, err := wire.ReadMsg(s)
+	if err != nil || env.Type != wire.TypePing {
+		t.Fatalf("read = %v, %v", env, err)
+	}
+	if d, dl, du, te := in.Stats(); d+dl+du+te != 0 {
+		t.Fatalf("faults fired on a zero plan: %d %d %d %d", d, dl, du, te)
+	}
+}
+
+// Drop: the sender sees success, the receiver sees nothing — its read
+// deadline must fire. This is the fault the RPC timeouts exist for.
+func TestDropSwallowsFrame(t *testing.T) {
+	in := NewInjector(Faults{Seed: 2, Drop: 1})
+	c, s := pipe(t, in)
+	if err := wire.WriteMsg(c, wire.TypePing, nil); err != nil {
+		t.Fatalf("dropped write should report success, got %v", err)
+	}
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := wire.ReadMsg(s); err == nil {
+		t.Fatal("frame was delivered despite Drop=1")
+	}
+	if d, _, _, _ := in.Stats(); d != 1 {
+		t.Fatalf("drops = %d, want 1", d)
+	}
+}
+
+// Dup: the receiver reads the same frame twice, bit-identically — the
+// duplicate-delivery-attempt the worker's Seq suppression handles.
+func TestDupDeliversTwice(t *testing.T) {
+	in := NewInjector(Faults{Seed: 3, Dup: 1})
+	c, s := pipe(t, in)
+	go wire.WriteMsgSeq(c, wire.TypeSolve, 9, wire.Solve{ID: "i1", Kind: "safe"})
+	var frames [][]byte
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	for len(frames) < 2 {
+		b, err := wire.ReadFrame(s)
+		if err != nil {
+			t.Fatalf("after %d frames: %v", len(frames), err)
+		}
+		frames = append(frames, b)
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Fatal("duplicate is not bit-identical")
+	}
+}
+
+// CloseMidFrame: the receiver gets a strict prefix then EOF — a torn
+// stream, never a short-but-valid frame.
+func TestCloseMidFrame(t *testing.T) {
+	in := NewInjector(Faults{Seed: 4, CloseMidFrame: 1})
+	c, s := pipe(t, in)
+	writeErr := make(chan error, 1)
+	go func() {
+		writeErr <- wire.WriteMsg(c, wire.TypeLoad, wire.Load{ID: "i1", Instance: []byte(`{"x":1}`)})
+	}()
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	_, err := wire.ReadMsg(s)
+	if err == nil {
+		t.Fatal("torn frame read as valid")
+	}
+	if err := <-writeErr; err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if _, _, _, te := in.Stats(); te != 1 {
+		t.Fatalf("tears = %d, want 1", te)
+	}
+}
+
+// Delay must not corrupt anything, and the same seed must fire the
+// same schedule (counters equal across two identical runs).
+func TestDelayAndDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		in := NewInjector(Faults{Seed: 99, Delay: 0.5, MaxDelay: time.Millisecond, Dup: 0.3})
+		c, s := pipe(t, in)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 20; i++ {
+				wire.WriteMsg(c, wire.TypePing, nil)
+			}
+			c.Close()
+		}()
+		got := 0
+		s.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			if _, err := wire.ReadFrame(s); err != nil {
+				break
+			}
+			got++
+		}
+		<-done
+		_, delays, dups, _ := in.Stats()
+		if got < 20 {
+			t.Fatalf("lost frames under delay+dup: %d < 20", got)
+		}
+		return delays, dups
+	}
+	d1, u1 := run()
+	d2, u2 := run()
+	if d1 != d2 || u1 != u2 {
+		t.Fatalf("same seed, different schedule: (%d,%d) vs (%d,%d)", d1, u1, d2, u2)
+	}
+	if u1 == 0 {
+		t.Fatal("dup probability 0.3 never fired in 20 writes")
+	}
+}
+
+// Disable turns a faulty wire transparent — the "partition heals"
+// switch used by recovery tests.
+func TestDisableHeals(t *testing.T) {
+	in := NewInjector(Faults{Seed: 5, Drop: 1})
+	c, s := pipe(t, in)
+	if err := wire.WriteMsg(c, wire.TypePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	in.Disable()
+	go wire.WriteMsg(c, wire.TypePong, nil)
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	env, err := wire.ReadMsg(s)
+	if err != nil || env.Type != wire.TypePong {
+		t.Fatalf("after Disable: %v, %v", env, err)
+	}
+}
+
+// WrapTransport: Drop severs the mesh — Exchange errors out instead of
+// hanging, exactly like a peer dying mid-round.
+func TestTransportSever(t *testing.T) {
+	ts := dist.NewLoopback(2)
+	in := NewInjector(Faults{Seed: 6, Drop: 1})
+	faulty := in.WrapTransport(ts[0])
+	if faulty.Self() != 0 || faulty.Members() != 2 {
+		t.Fatal("wrapper must preserve identity")
+	}
+	if _, err := faulty.Exchange(make([][]byte, 2)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("severed Exchange = %v, want net.ErrClosed", err)
+	}
+}
+
+// WrapListener injects on accepted conns.
+func TestWrapListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(Faults{Seed: 7, Drop: 1})
+	fln := in.WrapListener(ln)
+	defer fln.Close()
+	go func() {
+		c, err := fln.Accept()
+		if err != nil {
+			return
+		}
+		wire.WriteMsg(c, wire.TypePing, nil) // dropped
+		c.Close()
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := wire.ReadMsg(c); err == nil {
+		t.Fatal("frame survived a Drop=1 listener")
+	}
+	var _ io.Closer = fln
+}

@@ -45,6 +45,15 @@ const (
 	// CodeCluster: a cluster worker failed or disagreed; the daemon is
 	// degraded. 502.
 	CodeCluster = "cluster"
+	// CodeClusterDegraded: the cluster has lost workers and cannot run
+	// this query until they rejoin or are replaced; patches may still
+	// be accepted. 503 with retry_after_s — the healing loop readmits
+	// workers automatically, so retrying is the right client move.
+	CodeClusterDegraded = "cluster/degraded"
+	// CodeRecovering: the daemon is replaying its write-ahead log after
+	// a restart and stateful endpoints are not yet serving. 503 with
+	// retry_after_s.
+	CodeRecovering = "server/recovering"
 	// CodeInternal: unclassified server-side failure. 500.
 	CodeInternal = "internal"
 )
@@ -60,6 +69,8 @@ var statusOf = map[string]int{
 	CodeAgentGrowth:      http.StatusRequestEntityTooLarge,
 	CodeRowGrowth:        http.StatusRequestEntityTooLarge,
 	CodeCluster:          http.StatusBadGateway,
+	CodeClusterDegraded:  http.StatusServiceUnavailable,
+	CodeRecovering:       http.StatusServiceUnavailable,
 	CodeInternal:         http.StatusInternalServerError,
 }
 
@@ -77,7 +88,8 @@ func Codes() []string {
 	return []string{
 		CodeInvalidJSON, CodeInvalidArgument, CodeNotFound,
 		CodeInstanceTooLarge, CodePatchEntries, CodeTopoOps,
-		CodeAgentGrowth, CodeRowGrowth, CodeCluster, CodeInternal,
+		CodeAgentGrowth, CodeRowGrowth, CodeCluster,
+		CodeClusterDegraded, CodeRecovering, CodeInternal,
 	}
 }
 
@@ -306,9 +318,18 @@ type ClusterInstance struct {
 }
 
 // ClusterResponse is GET /v1/cluster on a coordinator: membership plus
-// a consistent per-instance digest snapshot.
+// a consistent per-instance digest snapshot, and the healing state —
+// clients (and the crash-recovery CI job) poll this until Degraded
+// clears and every instance reports InSync.
 type ClusterResponse struct {
 	SchemaVersion int               `json:"schemaVersion"`
 	Workers       []ClusterWorker   `json:"workers"`
 	Instances     []ClusterInstance `json:"instances"`
+	// Epoch is the membership generation; every worker death or
+	// admission bumps it.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// TargetWorkers is the fleet size the cluster was deployed with;
+	// Degraded reports len(Workers) < TargetWorkers.
+	TargetWorkers int  `json:"targetWorkers,omitempty"`
+	Degraded      bool `json:"degraded,omitempty"`
 }

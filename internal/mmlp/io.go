@@ -9,20 +9,27 @@ import (
 	"strings"
 )
 
-// jsonInstance is the serialized form of an Instance.
+// jsonInstance is the serialized form of an Instance. Unconstrained
+// preserves the AllowUnconstrained build mode so instances that
+// legitimately carry detached agents — anything that has been through a
+// removeAgent topology patch — round-trip exactly; without it a replica
+// catch-up or a write-ahead-log replay of a churned instance would be
+// rejected by the strict Iv ≠ ∅ validation.
 type jsonInstance struct {
-	Agents    int       `json:"agents"`
-	Resources [][]Entry `json:"resources"`
-	Parties   [][]Entry `json:"parties"`
+	Agents        int       `json:"agents"`
+	Resources     [][]Entry `json:"resources"`
+	Parties       [][]Entry `json:"parties"`
+	Unconstrained bool      `json:"unconstrained,omitempty"`
 }
 
 // MarshalJSON encodes the instance as
 // {"agents":n,"resources":[[{Agent,Coeff},...],...],"parties":[...]}.
 func (in *Instance) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jsonInstance{
-		Agents:    in.nAgents,
-		Resources: in.resRows,
-		Parties:   in.parRows,
+		Agents:        in.nAgents,
+		Resources:     in.resRows,
+		Parties:       in.parRows,
+		Unconstrained: in.hasUnconstrained,
 	})
 }
 
@@ -33,6 +40,9 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	b := NewBuilder(j.Agents)
+	if j.Unconstrained {
+		b.AllowUnconstrained()
+	}
 	for _, row := range j.Resources {
 		b.AddResource(row...)
 	}

@@ -11,48 +11,127 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
+	"maxminlp/internal/backoff"
 	"maxminlp/internal/httpapi"
 )
 
+// RetryPolicy configures automatic retries. Only idempotent requests
+// retry — reads (GET, solve batches, which mutate nothing) and DELETE
+// — never loads or patches, whose replay would double-apply.
+//
+// A retry fires on transport errors and on the responses that promise
+// the condition is transient: 503 with `server/recovering` (the daemon
+// is replaying its WAL) or `cluster/degraded` (workers died; the
+// healing loop is readmitting them), and 502 `cluster`. The wait
+// before each retry is the jittered exponential delay of Backoff, or
+// the server's Retry-After when it asks for longer.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included);
+	// values ≤ 1 disable retrying.
+	MaxAttempts int
+	// Backoff shapes the jittered exponential wait between tries.
+	Backoff backoff.Policy
+	// RetryAfterCap bounds how long a server Retry-After is honoured;
+	// 0 honours it in full.
+	RetryAfterCap time.Duration
+}
+
+// DefaultRetry is the policy the daemon's own tooling uses: 4
+// attempts, 100ms·2ⁿ jitter capped at 1s, Retry-After honoured up to
+// 5s.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   4,
+		Backoff:       backoff.Policy{Base: 100 * time.Millisecond, Max: time.Second},
+		RetryAfterCap: 5 * time.Second,
+	}
+}
+
 // Client talks to one mmlpd daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	sleep func(time.Duration) // test seam
+	seed  int64
 }
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for
-// http.DefaultClient.
+// http.DefaultClient. Retries are off by default; enable with
+// SetRetry.
 func New(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  httpClient,
+		sleep: time.Sleep,
+		seed:  time.Now().UnixNano(),
+	}
 }
 
-// do performs one request. Bodies encode as JSON; non-2xx responses
-// decode the error envelope into the returned *httpapi.Error. A
-// response that should carry an envelope but does not becomes a
-// CodeInternal error, so callers always get a code to branch on.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// SetRetry installs a retry policy for idempotent requests.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// do performs one request, retrying idempotent ones per the policy.
+// Bodies encode as JSON; non-2xx responses decode the error envelope
+// into the returned *httpapi.Error. A response that should carry an
+// envelope but does not becomes a CodeInternal error, so callers
+// always get a code to branch on.
+func (c *Client) do(method, path string, in, out any, idempotent bool) error {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	attempts := 1
+	if idempotent && c.retry.MaxAttempts > attempts {
+		attempts = c.retry.MaxAttempts
+	}
+	bo := backoff.New(c.retry.Backoff, c.seed)
+	for attempt := 1; ; attempt++ {
+		err := c.once(method, path, body, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryable(err) {
+			return err
+		}
+		delay := bo.Delay()
+		bo.Advance()
+		if ra := retryAfterOf(err, c.retry.RetryAfterCap); ra > delay {
+			delay = ra
+		}
+		c.sleep(delay)
+	}
+}
+
+func (c *Client) once(method, path string, body []byte, hasBody bool, out any) error {
+	var rd *bytes.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	var req *http.Request
+	var err error
+	if rd != nil {
+		req, err = http.NewRequest(method, c.base+path, rd)
+	} else {
+		req, err = http.NewRequest(method, c.base+path, nil)
+	}
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -67,6 +146,34 @@ func (c *Client) do(method, path string, in, out any) error {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryable reports whether an attempt's failure is worth repeating:
+// transport errors (the daemon may be restarting), and the statuses
+// that explicitly signal a transient condition.
+func retryable(err error) bool {
+	apiErr, ok := err.(*httpapi.Error)
+	if !ok {
+		return true // transport-level: connection refused/reset mid-restart
+	}
+	switch apiErr.Status {
+	case http.StatusServiceUnavailable, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// retryAfterOf extracts the server's requested wait, capped.
+func retryAfterOf(err error, cap time.Duration) time.Duration {
+	apiErr, ok := err.(*httpapi.Error)
+	if !ok || apiErr.RetryAfterS <= 0 {
+		return 0
+	}
+	d := time.Duration(apiErr.RetryAfterS) * time.Second
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	return d
 }
 
 func decodeError(resp *http.Response) *httpapi.Error {
@@ -85,7 +192,7 @@ func decodeError(resp *http.Response) *httpapi.Error {
 // Load creates an instance from a generator spec or inline JSON.
 func (c *Client) Load(req *httpapi.LoadRequest) (*httpapi.InstanceInfo, error) {
 	var info httpapi.InstanceInfo
-	if err := c.do(http.MethodPost, "/v1/instances", req, &info); err != nil {
+	if err := c.do(http.MethodPost, "/v1/instances", req, &info, false); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -94,7 +201,7 @@ func (c *Client) Load(req *httpapi.LoadRequest) (*httpapi.InstanceInfo, error) {
 // List returns the loaded instances, sorted by load sequence.
 func (c *Client) List() (*httpapi.ListResponse, error) {
 	var out httpapi.ListResponse
-	if err := c.do(http.MethodGet, "/v1/instances", nil, &out); err != nil {
+	if err := c.do(http.MethodGet, "/v1/instances", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -103,7 +210,7 @@ func (c *Client) List() (*httpapi.ListResponse, error) {
 // Get describes one instance.
 func (c *Client) Get(id string) (*httpapi.InstanceInfo, error) {
 	var info httpapi.InstanceInfo
-	if err := c.do(http.MethodGet, "/v1/instances/"+url.PathEscape(id), nil, &info); err != nil {
+	if err := c.do(http.MethodGet, "/v1/instances/"+url.PathEscape(id), nil, &info, true); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -111,13 +218,13 @@ func (c *Client) Get(id string) (*httpapi.InstanceInfo, error) {
 
 // Delete unloads an instance.
 func (c *Client) Delete(id string) error {
-	return c.do(http.MethodDelete, "/v1/instances/"+url.PathEscape(id), nil, nil)
+	return c.do(http.MethodDelete, "/v1/instances/"+url.PathEscape(id), nil, nil, true)
 }
 
 // Solve runs a batch of queries against an instance's session.
 func (c *Client) Solve(id string, req *httpapi.SolveRequest) ([]httpapi.SolveResult, error) {
 	var out []httpapi.SolveResult
-	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/solve", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/solve", req, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -126,7 +233,7 @@ func (c *Client) Solve(id string, req *httpapi.SolveRequest) ([]httpapi.SolveRes
 // PatchWeights applies one atomic coefficient patch.
 func (c *Client) PatchWeights(id string, req *httpapi.WeightsRequest) (*httpapi.WeightsResponse, error) {
 	var out httpapi.WeightsResponse
-	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/weights", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/weights", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -135,7 +242,7 @@ func (c *Client) PatchWeights(id string, req *httpapi.WeightsRequest) (*httpapi.
 // PatchTopology applies one atomic structural patch.
 func (c *Client) PatchTopology(id string, req *httpapi.TopologyRequest) (*httpapi.TopologyResponse, error) {
 	var out httpapi.TopologyResponse
-	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/topology", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/instances/"+url.PathEscape(id)+"/topology", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -144,7 +251,7 @@ func (c *Client) PatchTopology(id string, req *httpapi.TopologyRequest) (*httpap
 // Health reads the liveness endpoint.
 func (c *Client) Health() (*httpapi.HealthResponse, error) {
 	var out httpapi.HealthResponse
-	if err := c.do(http.MethodGet, "/healthz", nil, &out); err != nil {
+	if err := c.do(http.MethodGet, "/healthz", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -153,7 +260,7 @@ func (c *Client) Health() (*httpapi.HealthResponse, error) {
 // Stats reads the observability summary.
 func (c *Client) Stats() (*httpapi.StatsResponse, error) {
 	var out httpapi.StatsResponse
-	if err := c.do(http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -163,7 +270,7 @@ func (c *Client) Stats() (*httpapi.StatsResponse, error) {
 // cluster coordinators serve it.
 func (c *Client) Cluster() (*httpapi.ClusterResponse, error) {
 	var out httpapi.ClusterResponse
-	if err := c.do(http.MethodGet, "/v1/cluster", nil, &out); err != nil {
+	if err := c.do(http.MethodGet, "/v1/cluster", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,197 @@
+package mmlpclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxminlp/internal/backoff"
+	"maxminlp/internal/httpapi"
+)
+
+// flaky builds a server that fails the first `failures` requests to
+// each path with the given coded envelope, then succeeds.
+func flaky(t *testing.T, failures int, code string, retryAfterS int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if int(n) <= failures {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(httpapi.Status(code))
+			json.NewEncoder(w).Encode(httpapi.ErrorEnvelope{Error: &httpapi.Error{
+				Code: code, Message: "transient", RetryAfterS: retryAfterS}})
+			return
+		}
+		switch {
+		case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+			json.NewEncoder(w).Encode(httpapi.HealthResponse{Status: "ok"})
+		case r.URL.Path == "/v1/instances/i1/solve":
+			json.NewEncoder(w).Encode([]httpapi.SolveResult{{Kind: "safe", Omega: 0.25}})
+		case r.URL.Path == "/v1/instances/i1/topology":
+			json.NewEncoder(w).Encode(httpapi.TopologyResponse{Applied: 1})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Backoff:     backoff.Policy{Base: time.Microsecond, Max: time.Millisecond},
+	}
+}
+
+// An idempotent request rides through transient degraded/recovering
+// responses and succeeds once the server heals.
+func TestRetryIdempotentSucceeds(t *testing.T) {
+	for _, code := range []string{httpapi.CodeClusterDegraded, httpapi.CodeRecovering, httpapi.CodeCluster} {
+		t.Run(code, func(t *testing.T) {
+			ts, hits := flaky(t, 2, code, 0)
+			c := New(ts.URL, nil)
+			c.SetRetry(fastRetry())
+			c.sleep = func(time.Duration) {}
+			res, err := c.Solve("i1", &httpapi.SolveRequest{Queries: []httpapi.SolveQuery{{Kind: "safe"}}})
+			if err != nil || len(res) != 1 || res[0].Omega != 0.25 {
+				t.Fatalf("Solve = %+v, %v", res, err)
+			}
+			if got := hits.Load(); got != 3 {
+				t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+			}
+		})
+	}
+}
+
+// Non-idempotent requests — patches whose replay would double-apply —
+// must never retry, even on retryable statuses.
+func TestNoRetryForNonIdempotent(t *testing.T) {
+	ts, hits := flaky(t, 1, httpapi.CodeClusterDegraded, 0)
+	c := New(ts.URL, nil)
+	c.SetRetry(fastRetry())
+	c.sleep = func(time.Duration) {}
+	_, err := c.PatchTopology("i1", &httpapi.TopologyRequest{Ops: []httpapi.TopoOp{{Op: "addAgent"}}})
+	var apiErr *httpapi.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeClusterDegraded {
+		t.Fatalf("err = %v, want cluster/degraded passthrough", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("non-idempotent request sent %d times", got)
+	}
+}
+
+// Non-retryable codes (a 404) fail immediately even on idempotent
+// requests.
+func TestNoRetryOnPermanentError(t *testing.T) {
+	ts, hits := flaky(t, 100, httpapi.CodeNotFound, 0)
+	c := New(ts.URL, nil)
+	c.SetRetry(fastRetry())
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Health(); err == nil {
+		t.Fatal("404 should fail")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("permanent error retried: %d requests", got)
+	}
+}
+
+// MaxAttempts bounds the total tries; the final error surfaces with
+// its code intact.
+func TestRetryExhaustion(t *testing.T) {
+	ts, hits := flaky(t, 100, httpapi.CodeRecovering, 0)
+	c := New(ts.URL, nil)
+	c.SetRetry(fastRetry())
+	c.sleep = func(time.Duration) {}
+	_, err := c.Health()
+	var apiErr *httpapi.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeRecovering {
+		t.Fatalf("err = %v", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("%d attempts, want MaxAttempts=4", got)
+	}
+}
+
+// The server's Retry-After stretches the wait beyond the backoff
+// delay, and RetryAfterCap bounds it.
+func TestRetryAfterHonoured(t *testing.T) {
+	ts, _ := flaky(t, 1, httpapi.CodeClusterDegraded, 30)
+	c := New(ts.URL, nil)
+	p := fastRetry()
+	p.RetryAfterCap = 50 * time.Millisecond
+	c.SetRetry(p)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	if slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want the 50ms cap (server asked 30s)", slept[0])
+	}
+}
+
+// Transport-level failures (daemon restarting: connection refused)
+// retry too — the crash-recovery scenario's client side.
+func TestRetryTransportError(t *testing.T) {
+	ts, hits := flaky(t, 0, "", 0)
+	dead := httptest.NewServer(nil)
+	dead.Close() // port now refuses connections
+	c := New(dead.URL, nil)
+	c.SetRetry(fastRetry())
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Health(); err == nil {
+		t.Fatal("dead server should error after retries")
+	}
+	// And a live server is reached on the first try with no spurious
+	// extra requests.
+	c2 := New(ts.URL, nil)
+	c2.SetRetry(fastRetry())
+	if _, err := c2.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("healthy server saw %d requests", hits.Load())
+	}
+}
+
+// Retries with a request body must resend the full body each attempt.
+func TestRetryResendsBody(t *testing.T) {
+	var bodies []string
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req httpapi.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("attempt body: %v", err)
+		}
+		b, _ := json.Marshal(req)
+		bodies = append(bodies, string(b))
+		if n.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(httpapi.ErrorEnvelope{Error: &httpapi.Error{
+				Code: httpapi.CodeRecovering, Message: "replaying"}})
+			return
+		}
+		json.NewEncoder(w).Encode([]httpapi.SolveResult{{Kind: "average"}})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	c.SetRetry(fastRetry())
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Solve("i1", &httpapi.SolveRequest{
+		Queries: []httpapi.SolveQuery{{Kind: "average", Radius: 2}}, IncludeX: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 2 || bodies[0] != bodies[1] {
+		t.Fatalf("attempt bodies differ: %v", bodies)
+	}
+}

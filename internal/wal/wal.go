@@ -1,0 +1,607 @@
+// Package wal implements the write-ahead log behind `mmlpd -data-dir`:
+// an append-only, CRC-framed record log of committed weight/topology
+// patches with periodic snapshots, built so a daemon killed at any
+// byte boundary replays back to exactly the state it acknowledged.
+//
+// # On-disk format
+//
+// A log directory holds segment files and snapshot files:
+//
+//	seg-<firstLSN %016x>.wal    append-only record frames
+//	snap-<lsn %016x>.wal        one frame: state at LSN + cumulative digest
+//
+// Every frame — in segments and snapshots alike — is
+//
+//	[4B big-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// mirroring the length-prefixed framing of internal/wire with a
+// checksum added, because disks (unlike TCP) hand back torn and
+// bit-rotted bytes without an error. The payload is the canonical
+// encoding/json encoding of Record or snapshotFile.
+//
+// # Recovery
+//
+// Open loads the newest snapshot that passes its CRC, then replays
+// every segment record with LSN greater than the snapshot's, verifying
+// CRC and LSN contiguity. The first bad frame is treated as a torn
+// tail: the file is truncated at that byte offset, later segments are
+// deleted, and replay stops. This is exactly the "acked ⇒ logged"
+// contract: a record either round-trips bit-identically or was never
+// acknowledged (the crash happened mid-write), so dropping it is
+// correct.
+//
+// # Digest
+//
+// The log folds every committed record payload into a cumulative
+// fnv64a digest, seeded from the snapshot's stored digest on reopen.
+// Two logs that replay to the same digest committed bit-identical
+// patch sequences; mmlpd compares this against its replica digests to
+// prove a restart reproduced session state exactly.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged patch
+	// survives power loss, at ~one disk flush per patch.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval; a crash
+	// may lose the last interval's worth of acknowledged patches but
+	// never corrupts the log (the tail is truncated on reopen).
+	SyncInterval
+	// SyncNever leaves flushing to the OS. For tests and throwaway
+	// data directories.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options tune a Log. The zero value is usable: ~1MiB segments,
+// SyncAlways.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment file once the active one
+	// exceeds this size. Default 1MiB.
+	SegmentBytes int64
+	// Policy picks the fsync cadence; Interval applies to
+	// SyncInterval (default 100ms).
+	Policy   SyncPolicy
+	Interval time.Duration
+	// OnAppend and OnFsync are observability callbacks (the daemon
+	// wires them to counters); either may be nil. OnFsync receives the
+	// wall time one fsync took.
+	OnAppend func()
+	OnFsync  func(time.Duration)
+}
+
+// Record is one committed log entry: a patch (or load/unload) applied
+// to instance ID. Body is the exact request body that was applied —
+// replay re-applies it through the same code path that served it.
+type Record struct {
+	LSN  uint64          `json:"lsn"`
+	Type string          `json:"type"`
+	ID   string          `json:"id"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Snapshot is the recovered checkpoint returned by Open: the caller's
+// state blob as of LSN, with the cumulative digest at that point.
+type Snapshot struct {
+	LSN    uint64
+	Digest uint64
+	State  json.RawMessage
+}
+
+type snapshotFile struct {
+	LSN    uint64          `json:"lsn"`
+	Digest uint64          `json:"digest"`
+	State  json.RawMessage `json:"state"`
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	headerLen = 8 // 4B length + 4B CRC
+	// MaxFrame bounds a single record payload; anything larger is
+	// treated as corruption during recovery.
+	MaxFrame = 1 << 30
+)
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opt  Options
+	f    *os.File // active segment
+	size int64    // bytes written to f
+
+	lsn       uint64 // last assigned LSN
+	digest    uint64 // cumulative fnv64a over committed payloads
+	sinceSnap int    // appends since the last WriteSnapshot
+	lastSync  time.Time
+	closed    bool
+}
+
+// Open opens (or creates) the log in dir, recovers the newest valid
+// snapshot and every committed record after it, truncates any torn
+// tail, and leaves the log ready to Append. The returned snapshot is
+// nil when none exists; records are the committed suffix in LSN order.
+func Open(dir string, opt Options) (*Log, *Snapshot, []Record, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 1 << 20
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	snap, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l := &Log{dir: dir, opt: opt, digest: fnvOffset}
+	if snap != nil {
+		l.lsn = snap.LSN
+		l.digest = snap.Digest
+	}
+	recs, err := l.replaySegments(snap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := l.openActiveSegment(); err != nil {
+		return nil, nil, nil, err
+	}
+	return l, snap, recs, nil
+}
+
+// segmentNames returns the segment files in dir sorted by first LSN.
+func segmentNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".wal") {
+			segs = append(segs, n)
+		}
+	}
+	sort.Strings(segs) // %016x names sort numerically
+	return segs, nil
+}
+
+func segFirstLSN(name string) (uint64, bool) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal")
+	v, err := strconv.ParseUint(hex, 16, 64)
+	return v, err == nil
+}
+
+// loadLatestSnapshot scans snap-*.wal newest-first and returns the
+// first one whose frame passes CRC; corrupt snapshots are skipped (an
+// older snapshot plus a longer replay is still correct).
+func loadLatestSnapshot(dir string) (*Snapshot, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "snap-") && strings.HasSuffix(n, ".wal") {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(snaps)))
+	for _, name := range snaps {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		payload, n := readFrameBytes(b, 0)
+		if payload == nil || n != int64(len(b)) {
+			continue // torn or trailing garbage: not trustworthy
+		}
+		var sf snapshotFile
+		if json.Unmarshal(payload, &sf) != nil {
+			continue
+		}
+		return &Snapshot{LSN: sf.LSN, Digest: sf.Digest, State: sf.State}, nil
+	}
+	return nil, nil
+}
+
+// readFrameBytes decodes one frame from b at offset off, returning the
+// payload and the offset past the frame, or (nil, 0) if the bytes at
+// off do not contain a complete, checksummed frame.
+func readFrameBytes(b []byte, off int64) (payload []byte, end int64) {
+	if int64(len(b))-off < headerLen {
+		return nil, 0
+	}
+	n := binary.BigEndian.Uint32(b[off:])
+	sum := binary.BigEndian.Uint32(b[off+4:])
+	if n > MaxFrame || int64(len(b))-off-headerLen < int64(n) {
+		return nil, 0
+	}
+	p := b[off+headerLen : off+headerLen+int64(n)]
+	if crc32.ChecksumIEEE(p) != sum {
+		return nil, 0
+	}
+	return p, off + headerLen + int64(n)
+}
+
+// replaySegments reads every segment, folds committed records into the
+// digest, and truncates at the first bad frame or LSN discontinuity.
+// Records at or below the snapshot LSN are skipped (already folded
+// into the snapshot digest).
+func (l *Log) replaySegments(snap *Snapshot) ([]Record, error) {
+	segs, err := segmentNames(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for i, name := range segs {
+		path := filepath.Join(l.dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var off int64
+		torn := false
+		for off < int64(len(b)) {
+			payload, end := readFrameBytes(b, off)
+			if payload == nil {
+				torn = true
+				break
+			}
+			var r Record
+			if json.Unmarshal(payload, &r) != nil {
+				torn = true
+				break
+			}
+			if r.LSN <= l.lsn {
+				// Already covered by the snapshot (or a duplicate
+				// from a retried write): skip without folding.
+				off = end
+				continue
+			}
+			if r.LSN != l.lsn+1 {
+				// Gap: everything from here on cannot be trusted.
+				torn = true
+				break
+			}
+			l.lsn = r.LSN
+			l.digest = fold(l.digest, payload)
+			recs = append(recs, r)
+			off = end
+		}
+		if torn || off < int64(len(b)) {
+			if err := os.Truncate(path, off); err != nil {
+				return nil, err
+			}
+			// Later segments would replay records past a hole;
+			// delete them so the next append continues from here.
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(filepath.Join(l.dir, later)); err != nil && !os.IsNotExist(err) {
+					return nil, err
+				}
+			}
+			break
+		}
+	}
+	return recs, nil
+}
+
+// openActiveSegment opens the newest segment for appending, or creates
+// the first one.
+func (l *Log) openActiveSegment() error {
+	segs, err := segmentNames(l.dir)
+	if err != nil {
+		return err
+	}
+	var path string
+	if len(segs) == 0 {
+		path = filepath.Join(l.dir, segName(l.lsn+1))
+	} else {
+		path = filepath.Join(l.dir, segs[len(segs)-1])
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.size = f, st.Size()
+	return nil
+}
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("seg-%016x.wal", firstLSN) }
+
+func fold(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// Append commits one record: assigns the next LSN, frames and writes
+// it, and fsyncs per policy. It returns the record as written (the
+// caller needs the LSN for snapshot bookkeeping). body is marshalled
+// with encoding/json; pass json.RawMessage to log request bytes
+// verbatim.
+func (l *Log) Append(typ, id string, body any) (Record, error) {
+	raw, err := toRaw(body)
+	if err != nil {
+		return Record{}, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, fmt.Errorf("wal: log closed")
+	}
+	r := Record{LSN: l.lsn + 1, Type: typ, ID: id, Body: raw}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return Record{}, err
+	}
+	if len(payload) > MaxFrame {
+		return Record{}, fmt.Errorf("wal: record payload %d bytes exceeds MaxFrame", len(payload))
+	}
+	if l.size >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return Record{}, err
+		}
+	}
+	frame := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[headerLen:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return Record{}, err
+	}
+	l.size += int64(len(frame))
+	l.lsn = r.LSN
+	l.digest = fold(l.digest, payload)
+	l.sinceSnap++
+	if l.opt.OnAppend != nil {
+		l.opt.OnAppend()
+	}
+	if err := l.maybeSyncLocked(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+func toRaw(body any) (json.RawMessage, error) {
+	switch b := body.(type) {
+	case nil:
+		return nil, nil
+	case json.RawMessage:
+		return b, nil
+	case []byte:
+		return json.RawMessage(b), nil
+	}
+	return json.Marshal(body)
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.lsn+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.size = f, 0
+	return nil
+}
+
+func (l *Log) maybeSyncLocked() error {
+	switch l.opt.Policy {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opt.Interval {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.lastSync = time.Now()
+	if l.opt.OnFsync != nil {
+		l.opt.OnFsync(time.Since(start))
+	}
+	return err
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// WriteSnapshot checkpoints the caller's state at the current LSN:
+// the blob is framed, written to a temp file, fsynced, and renamed
+// into place, then old snapshots (keeping the newest two) and fully
+// covered segments are pruned. State is marshalled with encoding/json.
+func (l *Log) WriteSnapshot(state any) error {
+	raw, err := toRaw(state)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	// The snapshot must not claim an LSN whose record could be lost:
+	// flush the segment first so everything ≤ lsn is durable.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(snapshotFile{LSN: l.lsn, Digest: l.digest, State: raw})
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[headerLen:], payload)
+	tmp, err := os.CreateTemp(l.dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	final := filepath.Join(l.dir, fmt.Sprintf("snap-%016x.wal", l.lsn))
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return err
+	}
+	l.sinceSnap = 0
+	l.pruneLocked()
+	return nil
+}
+
+// pruneLocked deletes all but the two newest snapshots, and segments
+// every record of which is covered by the oldest kept snapshot. Errors
+// are ignored: pruning is best-effort garbage collection, correctness
+// never depends on it.
+func (l *Log) pruneLocked() {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var snaps []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "snap-") && strings.HasSuffix(n, ".wal") {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Strings(snaps)
+	if len(snaps) > 2 {
+		for _, n := range snaps[:len(snaps)-2] {
+			os.Remove(filepath.Join(l.dir, n))
+		}
+		snaps = snaps[len(snaps)-2:]
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	// Oldest kept snapshot covers LSNs ≤ keptLSN: a segment can go
+	// when the next segment starts at or before keptLSN+1 (so every
+	// record in it is ≤ keptLSN).
+	hex := strings.TrimSuffix(strings.TrimPrefix(snaps[0], "snap-"), ".wal")
+	keptLSN, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return
+	}
+	segs, err := segmentNames(l.dir)
+	if err != nil {
+		return
+	}
+	for i := 0; i+1 < len(segs); i++ { // never the active (last) segment
+		next, ok := segFirstLSN(segs[i+1])
+		if !ok || next > keptLSN+1 {
+			break
+		}
+		os.Remove(filepath.Join(l.dir, segs[i]))
+	}
+}
+
+// LSN returns the last committed LSN (0 before any append).
+func (l *Log) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Digest returns the cumulative fnv64a over every committed record
+// payload, formatted like the replica digests mmlpd already exposes.
+func (l *Log) Digest() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("%016x", l.digest)
+}
+
+// AppendsSinceSnapshot reports how many records were committed after
+// the last WriteSnapshot — the daemon's snapshot-cadence trigger.
+func (l *Log) AppendsSinceSnapshot() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSnap
+}
+
+// Close fsyncs and closes the active segment. Append after Close
+// fails.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ io.Closer = (*Log)(nil)

@@ -26,19 +26,21 @@ const MaxFrame = 1 << 30
 // payload length followed by the payload. An empty payload is a valid
 // frame (length 0) — partitioned rounds use it as "nothing for you this
 // round" to keep the exchange pattern fixed.
+//
+// The header and payload go out in a single Write call, which matters
+// twice: a frame is never interleaved with another writer's bytes at
+// the io.Writer layer, and fault injectors that act per-Write (see
+// internal/faultwire) see whole frames, so "close mid-frame" faults
+// model a real torn TCP stream rather than an artefact of our own
+// write granularity.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) == 0 {
-		return nil
-	}
-	_, err := w.Write(payload)
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err := w.Write(frame)
 	return err
 }
 

@@ -27,6 +27,9 @@ const Version = 1
 //	either direction       ok          acknowledgement without a body
 //	either direction       error       failure reply with a stable code
 //	coordinator → worker   shutdown    drain and exit
+//	coordinator → worker   ping        liveness probe (heartbeat)
+//	worker → coordinator   pong        liveness reply
+//	coordinator → worker   resync      self-check a replica after catch-up
 const (
 	TypeHello    = "hello"
 	TypeAssign   = "assign"
@@ -41,14 +44,27 @@ const (
 	TypeOK       = "ok"
 	TypeError    = "error"
 	TypeShutdown = "shutdown"
+	TypePing     = "ping"
+	TypePong     = "pong"
+	TypeResync   = "resync"
 )
 
 // Envelope is the framing of every control message: a version, a type
-// tag, and the type's body. Round boundary-state frames (EncodeRound)
-// travel on the data plane and are not enveloped.
+// tag, an optional request sequence number, and the type's body. Round
+// boundary-state frames (EncodeRound) travel on the data plane and are
+// not enveloped.
+//
+// Seq correlates requests with replies on a connection that may carry
+// a late reply after a deadline fired: the coordinator stamps each RPC
+// with a fresh Seq, the worker echoes it, and a reply whose Seq does
+// not match the outstanding request is discarded as stale instead of
+// being mistaken for the answer to the retry. Seq 0 means "no
+// correlation" and is what the pre-recovery protocol always sent, so
+// old and new peers interoperate.
 type Envelope struct {
 	V    int             `json:"v"`
 	Type string          `json:"type"`
+	Seq  uint64          `json:"seq,omitempty"`
 	Body json.RawMessage `json:"body,omitempty"`
 }
 
@@ -60,11 +76,17 @@ func (e *Envelope) Decode(into any) error {
 	return json.Unmarshal(e.Body, into)
 }
 
-// Hello is the worker's first message on a fresh control connection.
+// Hello is the worker's first message on a fresh control connection —
+// both a cold join and a rejoin after a crash.
 type Hello struct {
 	// DataAddr is the address the worker's data-plane listener is bound
 	// to; peers dial it to build the round-exchange mesh.
 	DataAddr string `json:"dataAddr"`
+	// Digests reports the fnv64a digest of every instance replica the
+	// worker still holds (instance ID → digest). Empty on a cold join.
+	// The coordinator uses it to replay only the patch-log suffix the
+	// worker is missing instead of re-shipping whole instances.
+	Digests map[string]string `json:"digests,omitempty"`
 }
 
 // Assign gives a worker its place in the cluster: its partition index
@@ -73,6 +95,24 @@ type Hello struct {
 type Assign struct {
 	Self  int      `json:"self"`
 	Peers []string `json:"peers"`
+	// Epoch numbers the cluster membership generation. Every death or
+	// admission bumps it and re-Assigns the survivors; a worker that
+	// sees a newer epoch tears down its old mesh before building the
+	// new one.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// Resync asks a worker to verify a replica after patch-log catch-up:
+// rebuild derived state, run the self-stabilising protocol against the
+// reference engine, and reply with a State carrying the replica
+// digest. The coordinator readmits the worker only if the digest
+// matches its own.
+type Resync struct {
+	ID string `json:"id"`
+	// Radius is the ball radius for the stabilising self-check; the
+	// protocol heals any corrupt soft state within one information
+	// horizon (2R+1 rounds).
+	Radius int `json:"radius,omitempty"`
 }
 
 // Load replicates an instance to a worker. Instance is the canonical
@@ -167,9 +207,16 @@ type Error struct {
 	Message string `json:"message"`
 }
 
-// WriteMsg frames and writes one control message.
+// WriteMsg frames and writes one control message with no sequence
+// number (Seq 0).
 func WriteMsg(w io.Writer, typ string, body any) error {
-	env := Envelope{V: Version, Type: typ}
+	return WriteMsgSeq(w, typ, 0, body)
+}
+
+// WriteMsgSeq frames and writes one control message stamped with a
+// request sequence number for reply correlation.
+func WriteMsgSeq(w io.Writer, typ string, seq uint64, body any) error {
+	env := Envelope{V: Version, Type: typ, Seq: seq}
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
