@@ -620,6 +620,107 @@ func BenchmarkSessionNetwork(b *testing.B) {
 // BenchmarkE15ChurnProfile regenerates the EXPERIMENTS.md churn table.
 func BenchmarkE15ChurnProfile(b *testing.B) { benchExperiment(b, "E15") }
 
+// BenchmarkParallelScaling is the work-stealing runtime's P∈{1,2,4,8}
+// scaling matrix (EXPERIMENTS.md E17, emitted into BENCH_PR9.json):
+//
+//   - uniform: cold dedup solve of a random-weight 24×24 torus at R=1 —
+//     every fingerprint is distinct, so all 576 local LPs really solve,
+//     with near-uniform per-ball cost.
+//   - skewed: the same instance plus one hub resource tying 8 spread
+//     agents into a clique, so a handful of balls (the hub members and
+//     their neighbourhoods) cost far more than the median — the
+//     distribution static sharding loses on.
+//   - churn: a warm Solver session on the skewed instance; each op
+//     patches the hub row plus a few scattered resources with fresh
+//     coefficients and re-solves incrementally — the small, heavily
+//     skewed dirty sets of a deployment under diurnal churn, the hot
+//     path the scheduler exists for.
+//
+// The numbers are only meaningful against the _meta host fingerprint:
+// on a single-core host the matrix is flat by construction. CI gates
+// churn/P=4 ≥ 1.6× churn/P=1 on multi-core runners.
+func BenchmarkParallelScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	base, _ := gen.Torus([]int{24, 24}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	const radius = 1
+	// Hub clique: one new resource row over 8 agents spread across the
+	// torus (577 is coprime to 576, so the stride visits distinct
+	// agents far apart in index order).
+	hubRow := base.NumResources()
+	hubAgents := make([]int, 8)
+	ups := make([]maxminlp.TopoUpdate, len(hubAgents))
+	for k := range hubAgents {
+		hubAgents[k] = (k * 577) % base.NumAgents()
+		ups[k] = maxminlp.AddResourceEdge(hubRow, hubAgents[k], 1)
+	}
+	skewed, _, err := base.ApplyTopo(ups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gBase := maxminlp.NewGraph(base, maxminlp.GraphOptions{})
+	gSkew := maxminlp.NewGraph(skewed, maxminlp.GraphOptions{})
+	// Scattered light touches for the churn deltas: a few torus resource
+	// rows far from each other, patched alongside the hub row.
+	scatterRows := []int{3, 57, 111, 203, 309, 411}
+
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("uniform/P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := maxminlp.LocalAverageOpt(base, gBase, radius, maxminlp.AverageOptions{Workers: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("skewed/P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := maxminlp.LocalAverageOpt(skewed, gSkew, radius, maxminlp.AverageOptions{Workers: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("churn/P=%d", p), func(b *testing.B) {
+			sess := maxminlp.NewSolver(skewed, maxminlp.GraphOptions{})
+			sess.SetWorkers(p)
+			if _, err := sess.LocalAverage(radius); err != nil {
+				b.Fatal(err)
+			}
+			warm := sess.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh coefficients every iteration: the touched balls'
+				// fingerprints really change, so each op re-solves them
+				// instead of hitting the cache.
+				coeff := 1 + float64(i%4096+1)*1e-4
+				ds := []maxminlp.WeightDelta{
+					{Kind: maxminlp.ResourceWeight, Row: hubRow, Agent: hubAgents[0], Coeff: coeff},
+				}
+				for _, row := range scatterRows {
+					ds = append(ds, maxminlp.WeightDelta{
+						Kind: maxminlp.ResourceWeight, Row: row,
+						Agent: skewed.Resource(row)[0].Agent, Coeff: 2 - coeff,
+					})
+				}
+				if err := sess.UpdateWeights(ds); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.LocalAverage(radius); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := sess.Stats()
+			b.ReportMetric(float64(st.AgentsResolved-warm.AgentsResolved)/float64(b.N), "resolved/op")
+		})
+	}
+}
+
 // BenchmarkSessionTopology measures live topology churn on the 16×16
 // torus at R=2 (the BenchmarkSession workload): each op toggles one
 // support entry — an agent leaving, then rejoining, resource 0. cold

@@ -22,6 +22,13 @@
 //
 // exits non-zero when the left side exceeds factor×right side, so the
 // instrumented session pays its <2% overhead budget on every push.
+//
+// The emitted JSON carries one extra top-level "_meta" key recording the
+// host the numbers came from — GOMAXPROCS, NumCPU, GOOS/GOARCH, the Go
+// version and a hashed hostname fingerprint — so scaling numbers in
+// committed BENCH_* files are interpretable across machines (a flat
+// P=1..8 matrix means nothing without knowing the host had one core).
+// Benchmark keys themselves are unchanged and stay stable across hosts.
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -210,7 +219,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return fmt.Errorf("benchjson: assertion failed: %v", err)
 		}
 	}
-	// Deterministic output: sorted keys via an ordered re-marshal.
+	// Deterministic output: _meta first, then sorted benchmark keys via
+	// an ordered re-marshal.
 	names := make([]string, 0, len(parsed))
 	for name := range parsed {
 		names = append(names, name)
@@ -218,6 +228,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sort.Strings(names)
 	var b strings.Builder
 	b.WriteString("{\n")
+	meta, err := json.Marshal(hostMeta())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "  %q: %s,\n", "_meta", meta)
 	for i, name := range names {
 		enc, err := json.Marshal(parsed[name])
 		if err != nil {
@@ -235,6 +250,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = io.WriteString(stdout, b.String())
 	return err
+}
+
+// hostMeta describes the machine the benchmarks ran on. The hostname is
+// hashed: enough to tell two hosts' numbers apart in committed files
+// without leaking machine names.
+func hostMeta() map[string]any {
+	h := fnv.New64a()
+	if name, err := os.Hostname(); err == nil {
+		h.Write([]byte(name))
+	}
+	return map[string]any{
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"numcpu":     runtime.NumCPU(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"goversion":  runtime.Version(),
+		"host":       fmt.Sprintf("%016x", h.Sum64()),
+	}
 }
 
 func main() {

@@ -43,18 +43,51 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if err := run(nil, strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
-	var decoded map[string]map[string]float64
+	var decoded map[string]json.RawMessage
 	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if decoded["BenchmarkE5LocalAverage"]["ns/op"] != 39183086 {
-		t.Fatalf("round-trip lost data: %v", decoded)
+	var e5 map[string]float64
+	if err := json.Unmarshal(decoded["BenchmarkE5LocalAverage"], &e5); err != nil || e5["ns/op"] != 39183086 {
+		t.Fatalf("round-trip lost data: %v %v", e5, err)
 	}
 	// Deterministic key order for diff-friendly files.
 	first := strings.Index(out.String(), "BenchmarkE5LocalAverage")
 	second := strings.Index(out.String(), "BenchmarkLocalAverageDedup/dedup")
 	if first < 0 || second < 0 || first > second {
 		t.Fatalf("keys not sorted:\n%s", out.String())
+	}
+}
+
+// TestRunEmitsHostMeta: the _meta field describes the bench host in a
+// separate top-level key, leaving the benchmark keys untouched.
+func TestRunEmitsHostMeta(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Meta struct {
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			NumCPU     int    `json:"numcpu"`
+			GOOS       string `json:"goos"`
+			GoVersion  string `json:"goversion"`
+			Host       string `json:"host"`
+		} `json:"_meta"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	m := decoded.Meta
+	if m.GOMAXPROCS < 1 || m.NumCPU < 1 || m.GOOS == "" || m.GoVersion == "" {
+		t.Fatalf("_meta incomplete: %+v", m)
+	}
+	if len(m.Host) != 16 {
+		t.Fatalf("host fingerprint %q is not a 64-bit hex digest", m.Host)
+	}
+	// _meta must never collide with or alter benchmark keys.
+	if strings.Count(out.String(), "\"_meta\"") != 1 || !strings.Contains(out.String(), "\"BenchmarkE5LocalAverage\"") {
+		t.Fatalf("unexpected key layout:\n%s", out.String())
 	}
 }
 

@@ -116,6 +116,10 @@ func (s *server) reviveInstance(id string, ld walLoad) error {
 	sess := maxminlp.NewSolver(in, maxminlp.GraphOptions{CollaborationOblivious: ld.CollaborationOblivious})
 	if ld.Workers > 0 {
 		sess.SetWorkers(ld.Workers)
+	} else if s.solveWorkers > 0 {
+		// The WAL records the request verbatim; a session loaded under
+		// the daemon default recovers under the (current) daemon default.
+		sess.SetWorkers(s.solveWorkers)
 	}
 	sess.SetObs(s.obs.solve)
 	m := &managed{

@@ -206,6 +206,37 @@ func TestPanicRecoveredCounter(t *testing.T) {
 	}
 }
 
+// TestSolveWorkersDefaultAndStats: the -solve-workers daemon default
+// applies when a load request leaves workers unset, an explicit request
+// workers field wins, and /v1/stats reports the effective count per
+// instance.
+func TestSolveWorkersDefaultAndStats(t *testing.T) {
+	srv := newServer(nil)
+	srv.solveWorkers = 3
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var def, explicit instanceInfo
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{4, 4}}}, http.StatusCreated, &def)
+	do(t, ts, "POST", "/v1/instances", loadRequest{Torus: &latticeSpec{Dims: []int{4, 4}}, Workers: 2}, http.StatusCreated, &explicit)
+	if def.Workers != 3 {
+		t.Errorf("default-loaded instance workers = %d, want daemon default 3", def.Workers)
+	}
+	if explicit.Workers != 2 {
+		t.Errorf("explicitly-loaded instance workers = %d, want 2", explicit.Workers)
+	}
+
+	var stats statsResponse
+	do(t, ts, "GET", "/v1/stats", nil, http.StatusOK, &stats)
+	got := map[string]int{}
+	for _, in := range stats.Instances {
+		got[in.ID] = in.Workers
+	}
+	if got[def.ID] != 3 || got[explicit.ID] != 2 {
+		t.Errorf("stats workers = %v, want {%s:3, %s:2}", got, def.ID, explicit.ID)
+	}
+}
+
 // TestStatsPhaseSummaries checks the extended /v1/stats payload: the
 // instance list plus phase-timing histogram summaries and per-endpoint
 // latency snapshots.

@@ -54,6 +54,11 @@ type server struct {
 	obs       *serverObs
 	pprofOn   bool
 
+	// solveWorkers is the daemon-wide default for Solver.SetWorkers,
+	// from -solve-workers; a load request's explicit workers field wins,
+	// and 0 leaves the session at its GOMAXPROCS default.
+	solveWorkers int
+
 	// cluster, when non-nil, makes this server the coordinator of a
 	// worker cluster: loads and patches fan out to every worker, and
 	// average/safe solves run partitioned across them. It is installed
@@ -286,6 +291,8 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 	if req.Workers > 0 {
 		sess.SetWorkers(req.Workers)
+	} else if s.solveWorkers > 0 {
+		sess.SetWorkers(s.solveWorkers)
 	}
 	sess.SetObs(s.obs.solve)
 	sp.Phase("linearise")
@@ -340,6 +347,7 @@ func (s *server) describe(m *managed) instanceInfo {
 		ID: m.ID, Name: m.Name, Loaded: m.Loaded,
 		Agents: in.NumAgents(), Resources: in.NumResources(), Parties: in.NumParties(),
 		Queries: m.Queries.Load(), Session: m.sess.Stats(),
+		Workers: m.sess.Workers(),
 	}
 }
 

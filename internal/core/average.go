@@ -196,7 +196,7 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 		pivots := make([]int, n)
 		var solvers sync.Pool
 		solvers.New = func() any { return newLocalSolver(csr) }
-		if err := parallelFor(n, workers, func(u int) error {
+		if err := runSteal(n, workers, ballSizeCosts(bi, n, workers), nil, func(u int) error {
 			s := solvers.Get().(*localSolver)
 			defer solvers.Put(s)
 			xu, omega, p, err := s.solve(bi.Ball(u))
@@ -273,11 +273,12 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 		sw.Start()
 	}
 
-	// Phase 1: canonical fingerprints, in parallel.
+	// Phase 1: canonical fingerprints, in parallel, stealing over
+	// cost-sorted balls (fingerprint cost scales with ball size).
 	keys := make([][]byte, n)
 	hashes := make([]uint64, n)
 	trivial := make([]bool, n)
-	if err := parallelFor(n, workers, func(u int) error {
+	if err := runSteal(n, workers, ballSizeCosts(bi, n, workers), m, func(u int) error {
 		s := solvers.Get().(*localSolver)
 		defer solvers.Put(s)
 		keys[u], hashes[u], trivial[u] = s.fingerprint(bi.Ball(u))
@@ -332,7 +333,18 @@ func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n,
 		}
 	}
 	sw.Lap(phGroup)
-	if err := parallelFor(nG, workers, func(gi int) error {
+	// Cost hints for the solve phase: cache-served groups cost nothing,
+	// the rest scale with their representative's ball size.
+	var lpCosts []int64
+	if workers > 1 && nG > 1 {
+		lpCosts = make([]int64, nG)
+		for gi, u := range reps {
+			if !gHit[gi] {
+				lpCosts[gi] = int64(bi.Size(u))
+			}
+		}
+	}
+	if err := runSteal(nG, workers, lpCosts, m, func(gi int) error {
 		if gHit[gi] {
 			return nil
 		}

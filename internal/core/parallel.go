@@ -2,10 +2,11 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
+	"maxminlp/internal/sched"
 )
 
 // LocalAverageParallel is LocalAverage with the per-agent local LPs (9)
@@ -26,48 +27,40 @@ func LocalAverageParallel(in *mmlp.Instance, g *hypergraph.Graph, radius, worker
 }
 
 // parallelFor runs fn(i) for i in [0, n) across the given number of
-// workers, returning the first error (all workers drain regardless).
+// workers via the work-stealing pool, returning the error of the
+// lowest-indexed failing task (all workers drain regardless; panics
+// surface as *sched.PanicError).
 func parallelFor(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
+	return sched.Run(n, sched.Options{Workers: workers}, fn)
+}
+
+// ballSizeCosts returns per-agent cost hints proportional to ball size
+// for tasks indexed by agent, or nil when a hint cannot pay for itself
+// (sequential run or a single task).
+func ballSizeCosts(bi *hypergraph.BallIndex, n, workers int) []int64 {
+	if workers <= 1 || n <= 1 {
 		return nil
 	}
-	work := make(chan int)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var firstErr error
-			for i := range work {
-				if firstErr != nil {
-					continue
-				}
-				if err := fn(i); err != nil {
-					firstErr = err
-				}
-			}
-			errs <- firstErr
-		}()
+	costs := make([]int64, n)
+	for u := 0; u < n; u++ {
+		costs[u] = int64(bi.Size(u))
 	}
-	for i := 0; i < n; i++ {
-		work <- i
+	return costs
+}
+
+// runSteal is parallelFor with per-task cost hints (heaviest tasks
+// seeded across distinct workers, stealing absorbs estimation error)
+// and scheduler-counter recording into the solver's metrics bundle.
+// costs may be nil for unhinted runs; m may be nil.
+func runSteal(n, workers int, costs []int64, m *obs.SolveMetrics, fn func(i int) error) error {
+	sm := m.SchedBundle()
+	var st *sched.Stats
+	if sm != nil {
+		st = new(sched.Stats)
 	}
-	close(work)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
+	err := sched.Run(n, sched.Options{Workers: workers, Costs: costs, Stats: st}, fn)
+	if st != nil {
+		sm.RecordRun(st.Steals, st.Parks, st.WorkerTasks)
 	}
-	return nil
+	return err
 }

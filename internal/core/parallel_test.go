@@ -1,12 +1,17 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"maxminlp/internal/gen"
+	"maxminlp/internal/obs"
+	"maxminlp/internal/sched"
 )
 
 func TestParallelMatchesSequentialExactly(t *testing.T) {
@@ -117,5 +122,120 @@ func TestParallelForPropagatesError(t *testing.T) {
 	})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("sequential err = %v, want sentinel", err)
+	}
+}
+
+// TestParallelForFirstErrorWins: with several failing tasks the error of
+// the lowest-indexed one is returned, independent of scheduling.
+func TestParallelForFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := parallelFor(2, 2, func(i int) error {
+		if i == 0 {
+			time.Sleep(time.Millisecond) // let task 1 fail first
+			return errLow
+		}
+		return errHigh
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+// TestParallelForPanicBecomesError: a panicking task is captured as
+// *sched.PanicError instead of crashing the process, on both paths.
+func TestParallelForPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := parallelFor(30, workers, func(i int) error {
+			if i == 7 {
+				panic("lp blew up")
+			}
+			return nil
+		})
+		var pe *sched.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *sched.PanicError", workers, err)
+		}
+		if pe.Index != 7 || pe.Value != "lp blew up" {
+			t.Fatalf("workers=%d: PanicError = {Index: %d, Value: %v}", workers, pe.Index, pe.Value)
+		}
+	}
+}
+
+// TestParallelForNoGoroutineLeak: early errors and panics leave no
+// worker goroutines behind.
+func TestParallelForNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		_ = parallelFor(100, 8, func(i int) error {
+			if i%11 == 0 {
+				return errors.New("fail")
+			}
+			if i%13 == 0 {
+				panic("boom")
+			}
+			return nil
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunStealCoversAndRecords: the cost-hinted variant visits every
+// index once and records scheduler counters into the metrics bundle.
+func TestRunStealCoversAndRecords(t *testing.T) {
+	const n = 200
+	reg := obs.NewRegistry()
+	m := obs.NewSolveMetrics(reg)
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = int64(i % 9)
+	}
+	counts := make([]atomic.Int32, n)
+	if err := runSteal(n, 4, costs, m, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, counts[i].Load())
+		}
+	}
+	// WorkerTasks observations must have been recorded: the histogram's
+	// _sum over pool="solver" equals the total task count n.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, mf := range fams {
+		for _, s := range mf.Samples {
+			if s.Name != "mmlp_sched_worker_tasks_sum" || s.Labels["pool"] != "solver" {
+				continue
+			}
+			found = true
+			if s.Value != float64(n) {
+				t.Fatalf("worker task histogram sums to %v, want %d", s.Value, n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no mmlp_sched_worker_tasks{pool=\"solver\"} sample recorded")
+	}
+	// Nil metrics and nil costs must be accepted.
+	if err := runSteal(10, 2, nil, nil, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -216,6 +216,14 @@ func (s *Solver) SetWorkers(w int) {
 	s.workers = w
 }
 
+// Workers reports the effective worker count queries fan LP solves
+// across.
+func (s *Solver) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
 // Instance returns the current instance — the constructor's instance
 // with every applied weight and topology update folded in.
 func (s *Solver) Instance() *mmlp.Instance {
@@ -492,12 +500,22 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 		sw.Start()
 	}
 
-	// Phase 1: re-fingerprint the dirty agents in parallel.
+	// Phase 1: re-fingerprint the dirty agents in parallel, stealing
+	// over cost-sorted balls — fingerprint cost scales with ball size,
+	// and post-churn dirty sets are skewed enough that one hot ball can
+	// serialise a static partition.
 	nd := len(dirty)
 	keys := make([][]byte, nd)
 	hashes := make([]uint64, nd)
 	trivial := make([]bool, nd)
-	if err := parallelFor(nd, s.workers, func(di int) error {
+	var fpCosts []int64
+	if s.workers > 1 && nd > 1 {
+		fpCosts = make([]int64, nd)
+		for di, u := range dirty {
+			fpCosts[di] = int64(bi.Size(u))
+		}
+	}
+	if err := runSteal(nd, s.workers, fpCosts, s.obsM, func(di int) error {
 		ls := s.pool.Get().(*localSolver)
 		defer s.pool.Put(ls)
 		keys[di], hashes[di], trivial[di] = ls.fingerprint(bi.Ball(dirty[di]))
@@ -542,11 +560,30 @@ func (s *Solver) solveIncremental(radius int, st *radiusState) error {
 	sw.Lap(phGroup)
 
 	// Phase 3: solve the groups the cache has never seen, in parallel,
-	// then insert sequentially.
+	// then insert sequentially. Cost hints: a group already served by
+	// the cache costs nothing; otherwise the last recorded pivot count
+	// of the representative's previous entry predicts the re-solve
+	// (pivot counts are stable under small weight perturbations), with
+	// ball size as the cold fallback.
 	gX := make([][]float64, nG)
 	gOmega := make([]float64, nG)
 	gPivots := make([]int, nG)
-	if err := parallelFor(nG, s.workers, func(gi int) error {
+	var lpCosts []int64
+	if s.workers > 1 && nG > 1 {
+		lpCosts = make([]int64, nG)
+		for gi, rdi := range reps {
+			if gEntry[gi] != nil {
+				continue
+			}
+			u := dirty[rdi]
+			if e := st.entries[u]; e != nil && e.pivots > 0 {
+				lpCosts[gi] = int64(e.pivots)
+			} else {
+				lpCosts[gi] = int64(bi.Size(u))
+			}
+		}
+	}
+	if err := runSteal(nG, s.workers, lpCosts, s.obsM, func(gi int) error {
 		if gEntry[gi] != nil {
 			return nil
 		}

@@ -3,30 +3,33 @@ package dist
 import (
 	"runtime"
 	"sync"
+
+	"maxminlp/internal/sched"
 )
 
-// RunSharded executes the protocol with a pool of P workers, each owning
-// one contiguous shard of the agent range — the layout of the CSR index,
-// so a worker's nodes (and most of their neighbours, on lattice-like
-// graphs) sit in one contiguous block of the flat arrays. shards ≤ 0
-// selects GOMAXPROCS.
+// RunSharded executes the protocol with a pool of P workers stealing
+// node tasks from per-worker deques seeded in contiguous shards — the
+// layout of the CSR index, so a worker's own nodes (and most of their
+// neighbours, on lattice-like graphs) sit in one contiguous block of the
+// flat arrays, while stealing rebalances rounds whose cost is skewed
+// across the agent range. shards ≤ 0 selects GOMAXPROCS.
 //
-// Per round, every worker first stages the outboxes of its own nodes
-// (the double buffer: the frontier written last round becomes the
+// Per round, every worker first stages the outboxes of the nodes it
+// claims (the double buffer: the frontier written last round becomes the
 // read-only outbox, and a fresh frontier starts accumulating), all
-// workers rendezvous on a barrier, then every worker delivers to its own
-// nodes from their neighbours' outboxes, and a second barrier separates
-// those reads from the next round's restaging. A worker only ever writes
-// the state of nodes in its own shard, reads of foreign outboxes are
+// workers rendezvous on a barrier, then the workers deliver to every
+// node from its neighbours' outboxes, and a second barrier separates
+// those reads from the next round's restaging. Each node task is claimed
+// by exactly one worker per phase, reads of foreign outboxes are
 // separated from their writes by the barrier, and each node merges its
 // neighbours in ascending order — so the run is race-free and its
 // outputs and cost trace are bit-for-bit identical to RunSequential and
-// RunGoroutines for every shard count.
+// RunGoroutines for every shard count and steal interleaving.
 //
 // Compared to RunGoroutines this trades the goroutine-per-agent model's
 // fidelity (n goroutines, 2n barrier waits per round) for throughput:
 // P goroutines and 2P barrier waits per round, with each worker sweeping
-// its shard in index order.
+// its own shard in index order before helping the stragglers.
 //
 // Deprecated: construct the engine through the registry instead —
 // New("sharded", Options{Shards: shards}). The wrapper remains for
@@ -54,33 +57,42 @@ func (nw *Network) runSharded(p Protocol, shards int) (*Trace, error) {
 	if m := nw.obsM; m != nil {
 		b.h = m.BarrierWait
 	}
+	pool := sched.NewPool(n, shards, nil)
+	stage := func(v int) { nodes[v].stageOutbox() }
+	deliver := func(v int) {
+		nd := nodes[v]
+		for _, u := range nw.g.Neighbors(v) {
+			if msg := nodes[u].outbox; len(msg) > 0 {
+				nd.deliver(msg)
+			}
+		}
+	}
+	output := func(v int) { nodes[v].x, nodes[v].err = p.output(nodes[v].know) }
 	var wg sync.WaitGroup
 	wg.Add(shards)
 	for w := 0; w < shards; w++ {
-		lo, hi := n*w/shards, n*(w+1)/shards
-		go func(lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
+			// Each barrier guarantees every worker has left the previous
+			// phase's Work before any deque is reset for the next — the
+			// pool's phase-reuse contract.
 			for round := 0; round < p.Horizon(); round++ {
-				for v := lo; v < hi; v++ {
-					nodes[v].stageOutbox()
-				}
+				pool.ResetOwn(w)
+				pool.Work(w, stage)
 				b.await() // every outbox staged and stable
-				for v := lo; v < hi; v++ {
-					nd := nodes[v]
-					for _, u := range nw.g.Neighbors(v) {
-						if msg := nodes[u].outbox; len(msg) > 0 {
-							nd.deliver(msg)
-						}
-					}
-				}
+				pool.ResetOwn(w)
+				pool.Work(w, deliver)
 				b.await() // every outbox read; restaging is safe again
 			}
-			for v := lo; v < hi; v++ {
-				nodes[v].x, nodes[v].err = p.output(nodes[v].know)
-			}
-		}(lo, hi)
+			pool.ResetOwn(w)
+			pool.Work(w, output)
+		}(w)
 	}
 	wg.Wait()
+	if m := nw.obsM; m != nil {
+		st := pool.Stats()
+		m.SchedBundle().RecordRun(st.Steals, st.Parks, st.WorkerTasks)
+	}
 	tr := &Trace{Protocol: p.Name(), Rounds: p.Horizon()}
 	out, err := nw.finish(tr, nodes)
 	if err != nil {

@@ -167,6 +167,9 @@ type InstanceInfo struct {
 	Parties   int                  `json:"parties"`
 	Queries   int64                `json:"queries"`
 	Session   maxminlp.SolverStats `json:"session"`
+	// Workers is the session's effective Solver worker count (the fan-out
+	// of parallel LP phases), after flag and request defaults resolve.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ListResponse is GET /v1/instances: a schema version and the loaded

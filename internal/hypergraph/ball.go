@@ -2,7 +2,8 @@ package hypergraph
 
 import (
 	"slices"
-	"sync"
+
+	"maxminlp/internal/sched"
 )
 
 // BallIndex holds the radius-r balls of every vertex in one flat CSR
@@ -16,19 +17,30 @@ type BallIndex struct {
 	members []int32
 }
 
+// ballBuildGrain is the minimum number of vertices one parallel build
+// task covers. A per-vertex BFS is far cheaper than a task dispatch, so
+// below this grain the scheduling and per-shard arena overhead outweighs
+// the parallelism (the old per-worker static split lost to sequential at
+// small n for exactly that reason).
+const ballBuildGrain = 256
+
 // BallIndex computes the radius-r balls of all vertices with the given
 // number of workers (≤ 1 means sequential). The vertex range is split
-// into one contiguous shard per worker; each shard fills its own arena
-// with a private BFS scratch and the arenas are stitched in shard order,
-// so the result is identical for every worker count.
+// into fixed-grain chunks executed by the work-stealing pool — BFS cost
+// varies with local density, and stealing keeps workers busy when the
+// expensive balls cluster; each chunk fills its own arena with a private
+// BFS scratch, writes its ball sizes into the shared offset array, and
+// the arenas are stitched in chunk order, so the result is identical for
+// every worker count.
 func (g *Graph) BallIndex(radius, workers int) *BallIndex {
 	n := g.NumVertices()
 	bi := &BallIndex{radius: radius, off: make([]int32, n+1)}
 	if n == 0 {
 		return bi
 	}
-	if workers > n {
-		workers = n
+	nChunks := (n + ballBuildGrain - 1) / ballBuildGrain
+	if workers > nChunks {
+		workers = nChunks
 	}
 	if workers <= 1 {
 		s := g.getScratch()
@@ -40,49 +52,39 @@ func (g *Graph) BallIndex(radius, workers int) *BallIndex {
 		return bi
 	}
 
-	arenas := make([][]int32, workers)
-	offs := make([][]int32, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := shardRange(n, workers, w)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := g.getScratch()
-			var arena []int32
-			off := make([]int32, 0, hi-lo)
-			for v := lo; v < hi; v++ {
-				arena = g.ball32(s, int32(v), int32(radius), arena)
-				off = append(off, int32(len(arena)))
-			}
-			g.putScratch(s)
-			arenas[w] = arena
-			offs[w] = off
-		}(w, lo, hi)
+	arenas := make([][]int32, nChunks)
+	if err := sched.Run(nChunks, sched.Options{Workers: workers}, func(c int) error {
+		lo := c * ballBuildGrain
+		hi := min(lo+ballBuildGrain, n)
+		s := g.getScratch()
+		var arena []int32
+		prev := 0
+		for v := lo; v < hi; v++ {
+			arena = g.ball32(s, int32(v), int32(radius), arena)
+			bi.off[v+1] = int32(len(arena) - prev) // ball size; prefix-summed below
+			prev = len(arena)
+		}
+		g.putScratch(s)
+		arenas[c] = arena
+		return nil
+	}); err != nil {
+		// The tasks never return errors, so this can only be a captured
+		// panic out of the BFS — resurface it.
+		panic(err)
 	}
-	wg.Wait()
 
 	total := 0
 	for _, a := range arenas {
 		total += len(a)
 	}
 	bi.members = make([]int32, 0, total)
-	v := 0
-	for w := 0; w < workers; w++ {
-		base := int32(len(bi.members))
-		bi.members = append(bi.members, arenas[w]...)
-		for _, end := range offs[w] {
-			v++
-			bi.off[v] = base + end
-		}
+	for _, a := range arenas {
+		bi.members = append(bi.members, a...)
+	}
+	for v := 0; v < n; v++ {
+		bi.off[v+1] += bi.off[v]
 	}
 	return bi
-}
-
-// shardRange returns the half-open range of shard w when n items are
-// split into p contiguous shards of near-equal size.
-func shardRange(n, p, w int) (lo, hi int) {
-	return n * w / p, n * (w + 1) / p
 }
 
 // Radius returns the radius the index was built for.

@@ -39,6 +39,47 @@ func (m *LPMetrics) RecordSolve(rows, vars, pivots int) {
 	m.Vars.Observe(float64(vars))
 }
 
+// SchedMetrics is recorded by users of the internal/sched work-stealing
+// pool after each run or phase: how much work migrated between workers,
+// how often idle workers parked, and how the tasks spread across
+// workers. The pool label separates the solver's task pool from the
+// sharded dist engine's.
+type SchedMetrics struct {
+	Steals      *Counter   // mmlp_sched_steals_total{pool=...}
+	Parks       *Counter   // mmlp_sched_parks_total{pool=...}
+	WorkerTasks *Histogram // mmlp_sched_worker_tasks{pool=...}
+}
+
+// NewSchedMetrics registers the work-stealing scheduler metrics on r
+// under the given pool label (nil r → nil bundle).
+func NewSchedMetrics(r *Registry, pool string) *SchedMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SchedMetrics{
+		Steals: r.Counter("mmlp_sched_steals_total",
+			"Tasks claimed from another worker's deque.", L("pool", pool)),
+		Parks: r.Counter("mmlp_sched_parks_total",
+			"Times an idle worker exhausted its spin budget and slept.", L("pool", pool)),
+		WorkerTasks: r.Histogram("mmlp_sched_worker_tasks",
+			"Tasks executed per worker per run (one observation per worker).",
+			DefSizeBuckets, L("pool", pool)),
+	}
+}
+
+// RecordRun records the scheduler counters of one completed parallel
+// run. Nil-safe.
+func (m *SchedMetrics) RecordRun(steals, parks int64, workerTasks []int64) {
+	if m == nil {
+		return
+	}
+	m.Steals.Add(steals)
+	m.Parks.Add(parks)
+	for _, t := range workerTasks {
+		m.WorkerTasks.Observe(float64(t))
+	}
+}
+
 // SolveMetrics is recorded by core.Solver across the solve pipeline:
 // per-phase latency of the dedup averaging pass, cache effectiveness,
 // and the invalidation cost of weight/topology updates.
@@ -66,7 +107,8 @@ type SolveMetrics struct {
 	AgentsAdded         *Counter   // mmlp_topo_agents_total{op="added"}
 	AgentsRemoved       *Counter   // {op="removed"}
 
-	LP *LPMetrics
+	LP    *LPMetrics
+	Sched *SchedMetrics // pool="solver"
 }
 
 // NewSolveMetrics registers the solve-pipeline metrics on r (nil r →
@@ -115,8 +157,17 @@ func NewSolveMetrics(r *Registry) *SolveMetrics {
 		AgentsRemoved: r.Counter("mmlp_topo_agents_total",
 			"Agents added/removed by topology updates.", L("op", "removed")),
 
-		LP: NewLPMetrics(r),
+		LP:    NewLPMetrics(r),
+		Sched: NewSchedMetrics(r, "solver"),
 	}
+}
+
+// SchedBundle returns the scheduler sub-bundle, nil-safe.
+func (m *SolveMetrics) SchedBundle() *SchedMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Sched
 }
 
 // RecordWarmHit counts one query answered entirely from retained state.
@@ -138,12 +189,13 @@ func (m *SolveMetrics) LPBundle() *LPMetrics {
 
 // DistMetrics is recorded by the internal/dist engines.
 type DistMetrics struct {
-	Runs          *Counter   // mmlp_dist_runs_total{engine=...} — one per engine via EngineRuns
-	Rounds        *Counter   // mmlp_dist_rounds_total
-	Messages      *Counter   // mmlp_dist_messages_total
-	Records       *Counter   // mmlp_dist_payload_records_total
-	RoundMessages *Histogram // mmlp_dist_round_messages
-	BarrierWait   *Histogram // mmlp_dist_barrier_wait_seconds
+	Runs          *Counter      // mmlp_dist_runs_total{engine=...} — one per engine via EngineRuns
+	Rounds        *Counter      // mmlp_dist_rounds_total
+	Messages      *Counter      // mmlp_dist_messages_total
+	Records       *Counter      // mmlp_dist_payload_records_total
+	RoundMessages *Histogram    // mmlp_dist_round_messages
+	BarrierWait   *Histogram    // mmlp_dist_barrier_wait_seconds
+	Sched         *SchedMetrics // pool="dist" — sharded engine's steal pool
 
 	reg *Registry
 }
@@ -162,8 +214,17 @@ func NewDistMetrics(r *Registry) *DistMetrics {
 			"Messages delivered in one synchronous round.", DefSizeBuckets),
 		BarrierWait: r.Histogram("mmlp_dist_barrier_wait_seconds",
 			"Time a node or shard waits at the round barrier.", DefLatencyBuckets),
-		reg: r,
+		Sched: NewSchedMetrics(r, "dist"),
+		reg:   r,
 	}
+}
+
+// SchedBundle returns the scheduler sub-bundle, nil-safe.
+func (m *DistMetrics) SchedBundle() *SchedMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Sched
 }
 
 // EngineRuns returns the per-engine run counter (engine is

@@ -1,0 +1,441 @@
+// Package sched is the repo's shared work-stealing parallel runtime: a
+// task pool that executes a fixed set of independent tasks across a
+// fixed set of workers, balancing skewed per-task costs by stealing.
+//
+// The design targets the solver's hot paths, whose work distributions
+// static sharding handles badly: post-churn invalidation sets are small
+// and heavily skewed (one hot ball-local LP can cost 100× the median),
+// so a contiguous agent shard that happens to contain the hot ball
+// serialises the whole pass behind one worker. Here every worker owns a
+// Chase–Lev-style deque seeded up front; the owner pops from one end
+// without contention while idle workers steal single tasks from the
+// other end, so the tail of a skewed distribution drains across all
+// workers no matter which deque it started in.
+//
+// Two properties make the pool safe to drop into the deterministic
+// solve pipelines:
+//
+//   - Tasks are seeded once before the workers start and never pushed
+//     during a run, so the deque needs no grow/publish protocol: the
+//     buffers are read-only while workers run and only the top/bottom
+//     indices are contended.
+//   - The pool schedules *work*, never *accumulation*. Callers write
+//     results into preallocated per-index slots and replay any
+//     order-sensitive reduction sequentially afterwards, so outputs are
+//     bit-identical for every worker count and steal interleaving.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats reports the scheduling behaviour of one run (or, for a reused
+// Pool, everything since construction): how many tasks moved between
+// workers, how often idle workers exhausted their spin budget, and how
+// the executed tasks distributed across workers.
+type Stats struct {
+	// Steals counts tasks a worker claimed from another worker's deque.
+	Steals int64
+	// Parks counts the times an idle worker exhausted its spin budget
+	// and slept briefly waiting for contended steals to resolve.
+	Parks int64
+	// WorkerTasks[w] is the number of tasks worker w executed.
+	WorkerTasks []int64
+}
+
+// Options tunes one Run call. The zero value is valid: it selects a
+// sequential in-place loop (Workers ≤ 1), no cost hints and no stats.
+type Options struct {
+	// Workers is the number of goroutines executing tasks; ≤ 1 runs the
+	// tasks sequentially on the calling goroutine. Run never uses more
+	// than one worker per task.
+	Workers int
+	// Costs, when non-nil, holds one relative cost hint per task
+	// (len(Costs) == n). Seeding sorts tasks by descending cost and
+	// deals them round-robin, so the heaviest tasks start spread across
+	// all workers and each owner executes its heaviest tasks first —
+	// the LPT heuristic, with stealing to absorb estimation error.
+	Costs []int64
+	// Stats, when non-nil, receives the run's scheduler counters.
+	Stats *Stats
+}
+
+// PanicError is the error Run returns when a task panicked: the panic
+// is recovered on the worker, wrapped with the task index and stack,
+// and surfaced as the run's error instead of crashing the process.
+type PanicError struct {
+	// Index is the task that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Run executes fn(i) for every i in [0, n) across opt.Workers workers
+// and returns the first error. "First" is by task index: when several
+// tasks fail (or panic — panics are captured as *PanicError), the error
+// of the lowest-indexed failing task wins, so the reported error does
+// not depend on scheduling. After any failure the remaining tasks are
+// drained without executing; Run always waits for all its workers, so
+// no goroutine outlives the call.
+func Run(n int, opt Options, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if opt.Stats != nil {
+			*opt.Stats = Stats{WorkerTasks: []int64{int64(n)}}
+		}
+		for i := 0; i < n; i++ {
+			if err := call(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	p := NewPool(n, workers, opt.Costs)
+	var (
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	task := func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := call(fn, i); err != nil {
+			failed.Store(true)
+			mu.Lock()
+			if firstErr == nil || i < firstIdx {
+				firstErr, firstIdx = err, i
+			}
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.ResetOwn(w)
+			p.Work(w, task)
+		}(w)
+	}
+	p.ResetOwn(0)
+	p.Work(0, task)
+	wg.Wait()
+	if opt.Stats != nil {
+		*opt.Stats = p.Stats()
+	}
+	return firstErr
+}
+
+// call invokes fn(i), converting a panic into a *PanicError so one bad
+// task fails the run instead of killing the process.
+func call(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// Pool is the reusable lower layer under Run: n tasks seeded across
+// per-worker deques, worked by caller-managed goroutines. The
+// barrier-synchronised engines use it directly so one seeding serves
+// many phases — after every worker has drained the pool and passed a
+// barrier, each worker resets its own deque (ResetOwn) and works the
+// same task set again.
+type Pool struct {
+	workers int
+	counts  []workerCount
+	deques  []deque
+	buf     []int32
+}
+
+// deque is a fixed-capacity Chase–Lev work-stealing deque over a
+// pre-seeded task buffer. The owner pops from the bottom (LIFO, no CAS
+// except on the last item); thieves CAS the top (FIFO). buf is written
+// only at seed time, so during a run only top and bottom are contended
+// — Go's seq-cst atomics provide the fences the algorithm needs.
+//
+// top and bottom each pack a phase epoch in their high 32 bits above
+// the task index. Within one phase this is exactly the classic
+// algorithm; the epoch exists for ResetOwn's phase reuse, where a thief
+// may hold a top value read before a reset and attempt its CAS after —
+// at a task index the new phase is also handing out. Without the tag
+// that stale CAS can succeed while the owner claims the same slot
+// CAS-free (top can only be trusted not to pass bottom if every
+// successful CAS was gated by the current phase's bottom), executing
+// one task twice. With it, a stale CAS carries a stale epoch and can
+// never match.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	epoch  int64 // owner-private; current phase of this deque
+	buf    []int32
+	_      [80]byte // keep neighbouring deques off one cache line
+}
+
+// idxBits splits the packed top/bottom words: low half task index, high
+// half phase epoch.
+const (
+	idxBits = 32
+	idxMask = (int64(1) << idxBits) - 1
+)
+
+const (
+	stealOK = iota
+	stealEmpty
+	stealRetry
+)
+
+// take pops one task from the owner's end; only the deque's owner may
+// call it. The owner resets its own deque, so top and bottom always
+// carry the owner's current epoch here and the packed comparisons
+// reduce to plain index comparisons.
+func (d *deque) take() (int32, bool) {
+	b := d.bottom.Add(-1)
+	t := d.top.Load()
+	if t < b {
+		return d.buf[b&idxMask], true
+	}
+	if t == b {
+		// Last item: race the thieves for it on top.
+		if d.top.CompareAndSwap(t, t+1) {
+			d.bottom.Store(t + 1)
+			return d.buf[b&idxMask], true
+		}
+		d.bottom.Store(t + 1)
+		return 0, false
+	}
+	d.bottom.Store(b + 1)
+	return 0, false
+}
+
+// steal claims one task from the thieves' end. stealRetry means the CAS
+// lost a race — or the reads tore across a concurrent ResetOwn — and
+// the deque may still hold work.
+func (d *deque) steal() (int32, int) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, stealEmpty
+	}
+	i := int(t & idxMask)
+	if t>>idxBits != b>>idxBits || i >= len(d.buf) {
+		return 0, stealRetry
+	}
+	x := d.buf[i]
+	if d.top.CompareAndSwap(t, t+1) {
+		return x, stealOK
+	}
+	return 0, stealRetry
+}
+
+// workerCount is one worker's private counters, padded so workers do
+// not share cache lines while incrementing them.
+type workerCount struct {
+	tasks  int64
+	steals int64
+	parks  int64
+	_      [40]byte
+}
+
+// NewPool seeds n tasks across workers deques. Without costs, worker w
+// owns the contiguous block [n·w/workers, n·(w+1)/workers) and executes
+// it in ascending index order (the cache-friendly layout for index-
+// contiguous data), with thieves stealing from the far end. With costs
+// (len == n), tasks are sorted by descending cost and dealt round-robin
+// so the heaviest tasks start on distinct workers, and each deque is
+// ordered so its owner pops its heaviest task first while thieves steal
+// the lightest — tail balancing for skewed distributions.
+//
+// Every deque starts empty: a worker's tasks become visible (to itself
+// and to thieves) only once that worker calls ResetOwn, which must
+// precede every Work call including the first. Seeding them exposed
+// instead would let a fast worker steal a slow worker's initial tasks
+// before that owner's first ResetOwn re-exposed them — executing them
+// twice.
+func NewPool(n, workers int, costs []int64) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	p := &Pool{
+		workers: workers,
+		counts:  make([]workerCount, workers),
+		deques:  make([]deque, workers),
+		buf:     make([]int32, n),
+	}
+	if costs == nil {
+		for w := 0; w < workers; w++ {
+			lo, hi := n*w/workers, n*(w+1)/workers
+			seg := p.buf[lo:hi:hi]
+			for j := range seg {
+				seg[j] = int32(hi - 1 - j) // owner pops ascending
+			}
+			p.deques[w].buf = seg
+		}
+		return p
+	}
+	if len(costs) != n {
+		panic(fmt.Sprintf("sched: %d costs for %d tasks", len(costs), n))
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Descending cost, ascending index among equals: deterministic
+	// seeding for any cost vector.
+	sortByCostDesc(order, costs)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := n / workers
+		if w < n%workers {
+			size++
+		}
+		seg := p.buf[lo : lo+size : lo+size]
+		lo += size
+		// Worker w is dealt order[w], order[w+workers], … (heaviest
+		// first); store them back-to-front so the owner, popping from
+		// the bottom, executes heaviest-first.
+		k := size - 1
+		for j := w; j < n; j += workers {
+			seg[k] = order[j]
+			k--
+		}
+		p.deques[w].buf = seg
+	}
+	return p
+}
+
+// sortByCostDesc sorts task indices by descending cost, breaking ties
+// by ascending index — deterministic seeding for any cost vector.
+func sortByCostDesc(order []int32, costs []int64) {
+	slices.SortFunc(order, func(a, b int32) int {
+		switch {
+		case costs[a] > costs[b]:
+			return -1
+		case costs[a] < costs[b]:
+			return 1
+		default:
+			return int(a) - int(b)
+		}
+	})
+}
+
+// Workers returns the pool's worker count (which may have been clamped
+// to the task count).
+func (p *Pool) Workers() int { return p.workers }
+
+// ResetOwn exposes worker w's seeded tasks for one Work phase; every
+// Work(w) call must be preceded by the owner's ResetOwn(w), including
+// the first after NewPool. Callers reusing a pool across phases must
+// guarantee — with a barrier — that every worker has left the previous
+// phase's Work before any worker resets; after that each worker resets
+// only its own deque and starts working, with no further
+// synchronisation needed (a thief observing a not-yet-reset deque sees
+// it empty, which is safe: every task is in exactly one deque and its
+// owner always drains it).
+func (p *Pool) ResetOwn(w int) {
+	d := &p.deques[w]
+	d.epoch++
+	e := d.epoch << idxBits
+	// Order matters: publishing top first means a thief interleaving
+	// with the reset sees either an empty deque (new top, old bottom —
+	// the epochs differ, so top > bottom) or the fully reset one; the
+	// reverse order would briefly expose the drained phase's top with
+	// the new bottom, and its stale epoch still matches live CAS
+	// attempts from before the reset.
+	d.top.Store(e)
+	d.bottom.Store(e + int64(len(d.buf)))
+}
+
+// Work drains the pool as worker w: pop own tasks, then steal from the
+// other deques (round-robin from w+1), spinning briefly and then
+// parking while steals stay contended. It returns when every deque is
+// observably empty — tasks are never added during a run, so an
+// uncontended empty sweep proves the pool is drained. fn must not
+// panic; Run wraps its tasks, and the dist engines' phase bodies are
+// panic-free by construction.
+func (p *Pool) Work(w int, fn func(i int)) {
+	d := &p.deques[w]
+	c := &p.counts[w]
+	spins := 0
+	for {
+		if i, ok := d.take(); ok {
+			c.tasks++
+			fn(int(i))
+			spins = 0
+			continue
+		}
+		contended, stole := false, false
+		for k := 1; k < p.workers; k++ {
+			switch i, st := p.deques[(w+k)%p.workers].steal(); st {
+			case stealOK:
+				c.steals++
+				c.tasks++
+				fn(int(i))
+				stole = true
+			case stealRetry:
+				contended = true
+			}
+			if stole {
+				break
+			}
+		}
+		if stole {
+			spins = 0
+			continue
+		}
+		if !contended {
+			return
+		}
+		// Bounded spin, then a timed park: contention means another
+		// worker is mid-claim, so yield first and only sleep when the
+		// contended state persists (it resolves as soon as the racing
+		// CAS completes, so the sleep is rarely reached).
+		spins++
+		if spins <= 64 {
+			runtime.Gosched()
+		} else {
+			c.parks++
+			time.Sleep(20 * time.Microsecond)
+			spins = 0
+		}
+	}
+}
+
+// Stats sums the per-worker counters. Call it only while no Work is
+// running.
+func (p *Pool) Stats() Stats {
+	st := Stats{WorkerTasks: make([]int64, p.workers)}
+	for w := range p.counts {
+		c := &p.counts[w]
+		st.Steals += c.steals
+		st.Parks += c.parks
+		st.WorkerTasks[w] = c.tasks
+	}
+	return st
+}

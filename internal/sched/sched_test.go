@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunCoversAllIndicesOnce: every task executes exactly once, for
+// worker counts below, at and above the task count, with and without
+// cost hints.
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 4, 16, 1500} {
+			for _, withCosts := range []bool{false, true} {
+				var costs []int64
+				if withCosts {
+					costs = make([]int64, n)
+					for i := range costs {
+						costs[i] = int64((i * 37) % 11)
+					}
+				}
+				counts := make([]atomic.Int32, n)
+				err := Run(n, Options{Workers: workers, Costs: costs}, func(i int) error {
+					counts[i].Add(1)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d workers=%d costs=%v: %v", n, workers, withCosts, err)
+				}
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("n=%d workers=%d costs=%v: task %d ran %d times", n, workers, withCosts, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunStats: the per-worker task counts sum to n, and the stats are
+// populated on both the parallel and the sequential path.
+func TestRunStats(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 4} {
+		var st Stats
+		if err := Run(n, Options{Workers: workers, Stats: &st}, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, c := range st.WorkerTasks {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("workers=%d: WorkerTasks sums to %d, want %d", workers, total, n)
+		}
+	}
+}
+
+// TestRunHeavyTaskDoesNotSerialize: with one task far heavier than the
+// rest, the light tasks must keep flowing on other workers — the
+// stealing property the pool exists for.
+func TestRunHeavyTaskDoesNotSerialize(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥ 2 CPUs for concurrent stealing")
+	}
+	const n = 64
+	costs := make([]int64, n)
+	costs[17] = 1000 // hot task: LPT seeding pops it first on its owner
+	var maxConc, conc atomic.Int32
+	err := Run(n, Options{Workers: 4, Costs: costs, Stats: new(Stats)}, func(i int) error {
+		c := conc.Add(1)
+		for {
+			m := maxConc.Load()
+			if c <= m || maxConc.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		if i == 17 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		conc.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxConc.Load() < 2 {
+		t.Fatalf("max concurrency %d: light tasks serialised behind the hot one", maxConc.Load())
+	}
+}
+
+// TestRunFirstErrorWins: the lowest-indexed failing task's error is
+// returned regardless of scheduling, and later tasks stop executing
+// once a failure is recorded.
+func TestRunFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := Run(100, Options{Workers: workers}, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 97:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) && !errors.Is(err, errHigh) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+		if workers == 1 && !errors.Is(err, errLow) {
+			t.Fatalf("sequential run must fail on the first task in order, got %v", err)
+		}
+	}
+	// When both failing tasks are guaranteed to execute, the lower
+	// index must win even if the higher one errors first.
+	err := Run(2, Options{Workers: 2}, func(i int) error {
+		if i == 0 {
+			time.Sleep(time.Millisecond)
+			return errLow
+		}
+		return errHigh
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("want lowest-index error %v, got %v", errLow, err)
+	}
+}
+
+// TestRunPanicBecomesError: a panicking task surfaces as *PanicError
+// carrying the task index and stack, on both paths.
+func TestRunPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Run(50, Options{Workers: workers}, func(i int) error {
+			if i == 13 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if pe.Index != 13 || pe.Value != "boom" {
+			t.Fatalf("workers=%d: PanicError = {Index: %d, Value: %v}", workers, pe.Index, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "task 13 panicked: boom") {
+			t.Fatalf("workers=%d: message %q", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestRunNoGoroutineLeak: workers exit after errors and panics alike.
+func TestRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		_ = Run(200, Options{Workers: 8}, func(i int) error {
+			if i%17 == 0 {
+				return errors.New("fail")
+			}
+			if i%23 == 0 {
+				panic("boom")
+			}
+			return nil
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPoolPhaseReuse drives a Pool through many barrier-separated
+// phases the way the sharded engine does, checking every task runs
+// exactly once per phase.
+func TestPoolPhaseReuse(t *testing.T) {
+	const (
+		n      = 300
+		shards = 4
+		phases = 50
+	)
+	p := NewPool(n, shards, nil)
+	counts := make([]atomic.Int32, n)
+	// Per-worker release channels: a single shared token channel would
+	// let a fast worker consume another worker's release and run a phase
+	// ahead, which both skews the lockstep the count checks assume and
+	// can starve a slow worker outright.
+	release := make([]chan struct{}, shards)
+	for i := range release {
+		release[i] = make(chan struct{})
+	}
+	arrive := make(chan int, shards)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ph := 0; ph < phases; ph++ {
+			for i := 0; i < shards; i++ {
+				<-arrive
+			}
+			for i := 0; i < shards; i++ {
+				release[i] <- struct{}{}
+			}
+		}
+	}()
+	var errs atomic.Int32
+	var wg [shards]chan struct{}
+	for w := 0; w < shards; w++ {
+		wg[w] = make(chan struct{})
+		go func(w int) {
+			defer close(wg[w])
+			for ph := 0; ph < phases; ph++ {
+				p.ResetOwn(w)
+				p.Work(w, func(i int) {
+					if counts[i].Add(1) != int32(ph+1) {
+						errs.Add(1)
+					}
+				})
+				arrive <- w
+				<-release[w]
+			}
+		}(w)
+	}
+	for w := 0; w < shards; w++ {
+		<-wg[w]
+	}
+	<-done
+	if errs.Load() != 0 {
+		t.Fatalf("%d tasks ran a wrong number of times in some phase", errs.Load())
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != phases {
+			t.Fatalf("task %d ran %d times, want %d", i, got, phases)
+		}
+	}
+	st := p.Stats()
+	var total int64
+	for _, c := range st.WorkerTasks {
+		total += c
+	}
+	if total != int64(n*phases) {
+		t.Fatalf("pool executed %d tasks, want %d", total, n*phases)
+	}
+}
+
+// TestNewPoolCostSeeding: with cost hints, the heaviest tasks must land
+// on distinct workers (round-robin deal) and every owner pops its
+// heaviest task first.
+func TestNewPoolCostSeeding(t *testing.T) {
+	const n, workers = 16, 4
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = int64(n - i) // task 0 heaviest, descending
+	}
+	p := NewPool(n, workers, costs)
+	firstOwner := make(map[int32]int)
+	for w := 0; w < workers; w++ {
+		d := &p.deques[w]
+		if len(d.buf) == 0 {
+			t.Fatalf("worker %d seeded empty", w)
+		}
+		// The owner pops from the bottom: the last element must be the
+		// worker's heaviest task, i.e. one of the top-`workers` tasks.
+		head := d.buf[len(d.buf)-1]
+		firstOwner[head] = w
+		if head != int32(w) {
+			t.Fatalf("worker %d pops task %d first, want %d (heaviest dealt round-robin)", w, head, w)
+		}
+	}
+	if len(firstOwner) != workers {
+		t.Fatalf("heaviest %d tasks landed on %d distinct workers", workers, len(firstOwner))
+	}
+}
+
+// TestRunDeterministicOutputSlots is the bit-identity contract in
+// miniature: results written to per-index slots agree exactly across
+// worker counts even though execution order differs.
+func TestRunDeterministicOutputSlots(t *testing.T) {
+	const n = 500
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i) * 1.000001
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		out := make([]float64, n)
+		if err := Run(n, Options{Workers: workers}, func(i int) error {
+			out[i] = float64(i) * 1.000001
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := Run(n, Options{Workers: 4}, func(int) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
