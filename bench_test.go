@@ -179,6 +179,38 @@ func BenchmarkLocalAverageDedup(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalAveragePresolve ablates presolved-form dedup keys on a
+// unit-weight grid at radius 1, where boundary balls that differ only in
+// rows presolve proves redundant collapse into one orbit class: the
+// presolve rows trade a small per-ball reduction cost for strictly fewer
+// simplex runs (higher avoided/op) than raw-form keys on the same input.
+func BenchmarkLocalAveragePresolve(b *testing.B) {
+	in, _ := gen.Grid([]int{16, 16}, gen.LatticeOptions{})
+	g := maxminlp.NewGraph(in, maxminlp.GraphOptions{})
+	for _, cfg := range []struct {
+		name string
+		opt  maxminlp.AverageOptions
+	}{
+		{"presolve", maxminlp.AverageOptions{Presolve: true}},
+		{"raw", maxminlp.AverageOptions{}},
+		{"reference", maxminlp.AverageOptions{NoDedup: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			solves, avoided := 0, 0
+			for i := 0; i < b.N; i++ {
+				res, err := maxminlp.LocalAverageOpt(in, g, 1, cfg.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				solves, avoided = res.LocalLPs, res.SolvesAvoided
+			}
+			b.ReportMetric(float64(solves), "solves/op")
+			b.ReportMetric(float64(avoided), "avoided/op")
+		})
+	}
+}
+
 // BenchmarkEngines compares the sequential reference engine against the
 // goroutine-per-agent engine on the same protocol.
 func BenchmarkEngines(b *testing.B) {

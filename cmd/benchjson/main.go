@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -164,7 +165,15 @@ func (a assertion) check(parsed map[string]map[string]float64) error {
 	if err != nil {
 		return err
 	}
-	if limit := a.factor * right; left > limit {
+	// `left > limit` is false for NaN, so a poisoned metric (0/0 in a
+	// ReportMetric, a corrupted line) would sail through the gate; an
+	// infinite limit likewise compares as "within budget". Any
+	// non-finite operand fails the assertion outright.
+	if limit := a.factor * right; math.IsNaN(left) || math.IsInf(left, 0) ||
+		math.IsNaN(limit) || math.IsInf(limit, 0) {
+		return fmt.Errorf("%s:%s = %g vs limit %g*%s:%s = %g: non-finite values cannot satisfy an assertion",
+			a.leftBench, a.leftMetric, left, a.factor, a.rightBench, a.rightMetric, limit)
+	} else if left > limit {
 		return fmt.Errorf("%s:%s = %g exceeds %g*%s:%s = %g (ratio %.4f)",
 			a.leftBench, a.leftMetric, left, a.factor, a.rightBench, a.rightMetric,
 			limit, left/right)

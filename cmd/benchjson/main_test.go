@@ -158,3 +158,40 @@ func TestParseAssertionErrors(t *testing.T) {
 		t.Fatalf("parsed wrong: %+v", a)
 	}
 }
+
+// TestAssertionMissingMetric: the bench exists but the referenced
+// metric does not — the gate must trip, not silently disarm.
+func TestAssertionMissingMetric(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-assert", "BenchmarkSessionObs/cold:widgets/op<=1.0*BenchmarkSession/cold:ns/op"}
+	err := run(args, strings.NewReader(repeated), &out)
+	if err == nil || !strings.Contains(err.Error(), "no metric") {
+		t.Fatalf("missing metric not reported: %v", err)
+	}
+	args = []string{"-assert", "BenchmarkSessionObs/cold:ns/op<=1.0*BenchmarkSession/cold:widgets/op"}
+	if err := run(args, strings.NewReader(repeated), &out); err == nil {
+		t.Fatal("missing right-side metric passed")
+	}
+}
+
+// TestAssertionNonFinite: NaN compares false with > so a poisoned
+// metric used to slip through `left > limit`; both NaN operands and
+// infinite limits must fail the assertion.
+func TestAssertionNonFinite(t *testing.T) {
+	input := "BenchmarkA-8 10 NaN ns/op\nBenchmarkB-8 10 100 ns/op\n"
+	var out strings.Builder
+	nanLeft := []string{"-assert", "BenchmarkA:ns/op<=1.0*BenchmarkB:ns/op"}
+	err := run(nanLeft, strings.NewReader(input), &out)
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("NaN left operand passed the gate: %v", err)
+	}
+	nanRight := []string{"-assert", "BenchmarkB:ns/op<=1.0*BenchmarkA:ns/op"}
+	if err := run(nanRight, strings.NewReader(input), &out); err == nil {
+		t.Fatal("NaN limit passed the gate")
+	}
+	infInput := "BenchmarkA-8 10 +Inf ns/op\nBenchmarkB-8 10 100 ns/op\n"
+	infRight := []string{"-assert", "BenchmarkB:ns/op<=1.0*BenchmarkA:ns/op"}
+	if err := run(infRight, strings.NewReader(infInput), &out); err == nil {
+		t.Fatal("infinite limit passed the gate")
+	}
+}

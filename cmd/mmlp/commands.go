@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -153,6 +154,7 @@ func cmdSolve(args []string) error {
 	radius := fs.Int("radius", 1, "radius R for -alg average")
 	target := fs.Float64("target", 2, "target ratio for -alg adaptive")
 	noDedup := fs.Bool("nodedup", false, "disable isomorphic-ball LP dedup for -alg average/adaptive (reference path; same outputs)")
+	presolve := fs.Bool("presolve", false, "reduce ball LPs before dedup fingerprinting for -alg average/adaptive (value-exact; more dedup hits on boundary-heavy instances)")
 	printX := fs.Bool("x", false, "print the full activity vector")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -189,7 +191,7 @@ func cmdSolve(args []string) error {
 		fmt.Printf("safe ω = %.6g (proven ratio ≤ ΔVI = %d)\n", in.Objective(x), in.Degrees().MaxVI)
 	case "average":
 		g := hypergraph.FromInstance(in, hypergraph.Options{})
-		res, err := core.LocalAverageOpt(in, g, *radius, core.AverageOptions{NoDedup: *noDedup})
+		res, err := core.LocalAverageOpt(in, g, *radius, core.AverageOptions{NoDedup: *noDedup, Presolve: *presolve})
 		if err != nil {
 			return err
 		}
@@ -198,7 +200,7 @@ func cmdSolve(args []string) error {
 			*radius, in.Objective(x), res.RatioCertificate(), res.LocalLPs, res.SolvesAvoided)
 	case "adaptive":
 		g := hypergraph.FromInstance(in, hypergraph.Options{})
-		res, err := core.AdaptiveAverageOpt(in, g, *target, 8, core.AverageOptions{NoDedup: *noDedup})
+		res, err := core.AdaptiveAverageOpt(in, g, *target, 8, core.AverageOptions{NoDedup: *noDedup, Presolve: *presolve})
 		if err != nil {
 			return err
 		}
@@ -375,6 +377,84 @@ func cmdConvert(args []string) error {
 		return enc.Encode(in)
 	case "text":
 		return in.WriteText(os.Stdout)
+	default:
+		return fmt.Errorf("unknown target format %q", *to)
+	}
+}
+
+// cmdLPExport writes MPS. Without -agent the whole instance is exported
+// as the global max-min LP (maximise ω subject to resource and party
+// rows); with -agent and -radius one agent's ball LP (9) is exported —
+// the exact rows the averaging algorithm solves, optionally after the
+// same presolve reduction the dedup cache fingerprints.
+func cmdLPExport(args []string) error {
+	fs := flag.NewFlagSet("lp-export", flag.ContinueOnError)
+	agent := fs.Int("agent", -1, "export this agent's ball LP instead of the whole instance")
+	radius := fs.Int("radius", 1, "ball radius for -agent")
+	presolve := fs.Bool("presolve", false, "apply the solver's row reduction to the exported ball LP")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	in, err := readInstance(fs.Args())
+	if err != nil {
+		return err
+	}
+	if *agent < 0 {
+		if *presolve {
+			return fmt.Errorf("-presolve applies to ball LPs; combine it with -agent")
+		}
+		return in.WriteMPS(os.Stdout)
+	}
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	p, ball, err := core.BallProblem(in, g, *agent, *radius, *presolve)
+	if err != nil {
+		return err
+	}
+	f := &lp.MPSFile{
+		Name:     fmt.Sprintf("BALL_A%d_R%d", *agent, *radius),
+		Problem:  p,
+		ObjName:  "OMEGA_OBJ",
+		ColNames: make([]string, len(p.Obj)),
+	}
+	for j, v := range ball {
+		f.ColNames[j] = fmt.Sprintf("X%d", v)
+	}
+	f.ColNames[len(ball)] = "OMEGA"
+	return lp.WriteMPSFile(os.Stdout, f)
+}
+
+// cmdMPSImport reads an instance-shaped MPS file (the lp-export global
+// form) and re-emits it in the library's text or JSON format.
+func cmdMPSImport(args []string) error {
+	fs := flag.NewFlagSet("mps-import", flag.ContinueOnError)
+	to := fs.String("to", "text", "text | json")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	rest := fs.Args()
+	if len(rest) > 1 {
+		return fmt.Errorf("expected at most one MPS file, got %v", rest)
+	}
+	if len(rest) == 1 && rest[0] != "-" {
+		fh, err := os.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		r = fh
+	}
+	in, err := mmlp.ReadMPS(r)
+	if err != nil {
+		return err
+	}
+	switch *to {
+	case "text":
+		return in.WriteText(os.Stdout)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(in)
 	default:
 		return fmt.Errorf("unknown target format %q", *to)
 	}

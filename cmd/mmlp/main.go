@@ -13,6 +13,9 @@
 //	mmlp gamma      -maxr 6 instance.txt
 //	mmlp lowerbound -dvi 3 -dvk 2
 //	mmlp convert    -to json instance.txt
+//	mmlp lp-export  instance.txt > instance.mps
+//	mmlp lp-export  -agent 12 -radius 2 -presolve instance.txt
+//	mmlp mps-import -to text instance.mps
 //
 // Instances are read from the file argument or stdin ("-") in the text
 // format of the mmlp package (see `mmlp gen` output).
@@ -46,6 +49,8 @@ var commands = []command{
 	{"figure2", "print Figure 2 (Theorem-3 set definitions) on an instance", cmdFigure2},
 	{"verify", "check a solution file against an instance (feasibility + ω)", cmdVerify},
 	{"convert", "convert between the text and JSON formats", cmdConvert},
+	{"lp-export", "export the instance (or one agent's ball LP) as MPS", cmdLPExport},
+	{"mps-import", "read an instance-shaped MPS file back into the text/JSON formats", cmdMPSImport},
 }
 
 // usageError marks an error as caller misuse; run exits 2 for it instead

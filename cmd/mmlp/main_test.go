@@ -308,3 +308,51 @@ func TestSimulateCommand(t *testing.T) {
 		t.Fatal("unknown engine accepted")
 	}
 }
+
+func TestLPExportImportRoundTrip(t *testing.T) {
+	path := genInstanceFile(t, "-kind", "torus", "-dims", "4x4", "-weights", "-seed", "3")
+	mps := capture(t, func() error { return cmdLPExport([]string{path}) })
+	if !strings.Contains(mps, "OBJSENSE") || !strings.Contains(mps, "OMEGA") {
+		t.Fatalf("unexpected MPS output:\n%s", mps)
+	}
+	mpsPath := filepath.Join(t.TempDir(), "instance.mps")
+	if err := os.WriteFile(mpsPath, []byte(mps), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	text := capture(t, func() error { return cmdMPSImport([]string{"-to", "text", mpsPath}) })
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != string(orig) {
+		t.Fatalf("mps-import text differs from the original instance:\n%s", text)
+	}
+	out := capture(t, func() error { return cmdMPSImport([]string{"-to", "json", mpsPath}) })
+	if !strings.Contains(out, "\"") {
+		t.Fatalf("json output: %q", out)
+	}
+}
+
+func TestLPExportBall(t *testing.T) {
+	path := genInstanceFile(t, "-kind", "grid", "-dims", "8x8", "-seed", "1")
+	plain := capture(t, func() error { return cmdLPExport([]string{"-agent", "0", "-radius", "1", path}) })
+	if !strings.Contains(plain, "BALL_A0_R1") || !strings.Contains(plain, "OMEGA") {
+		t.Fatalf("ball export:\n%s", plain)
+	}
+	reduced := capture(t, func() error {
+		return cmdLPExport([]string{"-agent", "0", "-radius", "1", "-presolve", path})
+	})
+	if len(reduced) >= len(plain) {
+		t.Fatalf("presolve did not shrink the unit-weight corner ball export (%d vs %d bytes)", len(reduced), len(plain))
+	}
+	if err := silence(t, func() error {
+		return cmdLPExport([]string{"-agent", "999", path})
+	}); err == nil {
+		t.Fatal("out-of-range agent accepted")
+	}
+	if err := silence(t, func() error {
+		return cmdLPExport([]string{"-presolve", path})
+	}); err == nil {
+		t.Fatal("-presolve without -agent accepted")
+	}
+}

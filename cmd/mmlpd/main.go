@@ -72,6 +72,7 @@ func main() {
 	fsyncPol := fs.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 	walEvery := fs.Int("wal-snapshot-every", 0, "WAL records between snapshots (0 uses the default)")
 	solveWorkers := fs.Int("solve-workers", 0, "default Solver worker count per loaded session (0 = GOMAXPROCS; a load request's workers field overrides)")
+	presolve := fs.Bool("presolve", false, "enable ball-LP presolve on every loaded session (value-exact row reduction before dedup fingerprinting)")
 	heartbeat := fs.Duration("heartbeat", time.Second, "coordinator: worker heartbeat period (negative disables)")
 	formTimeout := fs.Duration("form-timeout", 30*time.Second, "coordinator: how long to wait for the full worker roster before serving degraded")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -107,6 +108,7 @@ func main() {
 	srv := newServer(logf)
 	srv.pprofOn = *pprofOn
 	srv.solveWorkers = *solveWorkers
+	srv.presolve = *presolve
 	srv.setSlow(*slow)
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -216,9 +216,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				"hit":  sm.CacheHits.Value(),
 				"miss": sm.CacheMisses.Value(),
 			},
-			AgentsResolved: sm.AgentsResolved.Value(),
-			LPSolves:       sm.LP.Solves.Value(),
-			LPPivots:       sm.LP.Pivots.Value(),
+			AgentsResolved:      sm.AgentsResolved.Value(),
+			LPSolves:            sm.LP.Solves.Value(),
+			LPPivots:            sm.LP.Pivots.Value(),
+			Presolve:            s.presolve,
+			PresolveRowsDropped: sm.PresolveRowsDropped.Value(),
 		},
 		HTTP:            http_,
 		PanicsRecovered: o.panics.Value(),

@@ -59,6 +59,12 @@ type server struct {
 	// and 0 leaves the session at its GOMAXPROCS default.
 	solveWorkers int
 
+	// presolve, from -presolve, enables ball-LP presolve on every
+	// session the daemon creates; the dedup-hit delta it produces shows
+	// up on /metrics as mmlp_presolve_rows_dropped_total alongside the
+	// mmlp_solve_cache_total series.
+	presolve bool
+
 	// cluster, when non-nil, makes this server the coordinator of a
 	// worker cluster: loads and patches fan out to every worker, and
 	// average/safe solves run partitioned across them. It is installed
@@ -295,6 +301,9 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		sess.SetWorkers(s.solveWorkers)
 	}
 	sess.SetObs(s.obs.solve)
+	if s.presolve {
+		sess.SetPresolve(true)
+	}
 	sp.Phase("linearise")
 	raw, err := json.Marshal(in)
 	if err != nil {

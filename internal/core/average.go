@@ -94,9 +94,11 @@ func LocalAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int) (*AverageR
 	return NewSolverFromGraph(in, g).LocalAverage(radius)
 }
 
-// AverageOptions tunes the execution of the Theorem-3 algorithm without
-// changing any of its outputs: every combination of options produces
-// bit-identical X, Beta, BallSize, LocalOmega and certificate bounds.
+// AverageOptions tunes the execution of the Theorem-3 algorithm. The
+// execution options (Workers, NoDedup, Cache) never change any output:
+// every combination produces bit-identical X, Beta, BallSize,
+// LocalOmega and certificate bounds. Presolve is the one exception —
+// see its comment.
 type AverageOptions struct {
 	// Workers is the number of goroutines solving local LPs; ≤ 1 means
 	// sequential.
@@ -111,6 +113,19 @@ type AverageOptions struct {
 	// instances — keys are content-based). Ignored when NoDedup is set.
 	// The caller must not use one cache from concurrent runs.
 	Cache *SolveCache
+	// Presolve eliminates redundant rows from each ball LP before
+	// fingerprinting and solving (see localSolver.reduce): duplicate
+	// and dominated rows, guarded by bitwise coefficient equality, are
+	// dropped, so balls differing only in redundant structure share one
+	// cache orbit and SolvesAvoided grows on boundary-heavy instances.
+	// Presolve is value-exact — the feasible set and ω of every ball LP
+	// are unchanged — but a fired reduction may change the simplex pivot
+	// sequence, so X can differ from the unpresolved run in the last
+	// ulps on instances where reductions fire; on instances where none
+	// fire (generic weights) results are bit-identical. All combinations
+	// of the other options remain bit-identical to each other at a fixed
+	// Presolve setting.
+	Presolve bool
 }
 
 // LocalAverageOpt is LocalAverage with explicit execution options.
@@ -157,6 +172,7 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 	switch {
 	case workers == 1:
 		s := newLocalSolver(csr)
+		s.presolve = opt.Presolve
 		if !opt.NoDedup {
 			if opt.Cache != nil {
 				s.cache = opt.Cache.c
@@ -195,7 +211,11 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 		xus := make([][]float64, n)
 		pivots := make([]int, n)
 		var solvers sync.Pool
-		solvers.New = func() any { return newLocalSolver(csr) }
+		solvers.New = func() any {
+			ls := newLocalSolver(csr)
+			ls.presolve = opt.Presolve
+			return ls
+		}
 		if err := runSteal(n, workers, ballSizeCosts(bi, n, workers), nil, func(u int) error {
 			s := solvers.Get().(*localSolver)
 			defer solvers.Put(s)
@@ -219,7 +239,7 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 			}
 		}
 	default:
-		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, res, sums, nil, nil); err != nil {
+		if err := localAverageParallelDedup(csr, bi, n, workers, opt.Cache, opt.Presolve, res, sums, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -258,11 +278,13 @@ func localAverage(in *mmlp.Instance, g *hypergraph.Graph, radius int, opt Averag
 // incremental re-solves. m, when non-nil, receives per-phase latencies
 // and binds LP accounting to the pooled workspaces; metrics never change
 // any output bit.
-func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, res *AverageResult, sums []float64, entriesOut []*cacheEntry, m *obs.SolveMetrics) error {
+func localAverageParallelDedup(csr *hypergraph.CSR, bi *hypergraph.BallIndex, n, workers int, sharedCache *SolveCache, presolve bool, res *AverageResult, sums []float64, entriesOut []*cacheEntry, m *obs.SolveMetrics) error {
 	var solvers sync.Pool
 	solvers.New = func() any {
 		ls := newLocalSolver(csr)
 		ls.ws.SetMetrics(m.LPBundle())
+		ls.presolve = presolve
+		ls.dropCounter = m.PresolveDroppedCounter()
 		return ls
 	}
 	var sw obs.Stopwatch

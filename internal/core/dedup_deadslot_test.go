@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/mmlp"
+)
+
+// A topo-removed agent keeps its slot in the patched CSR (indices are
+// stable across churn); the dedup layer is only correct if those dead
+// slots never reach a canonical key — neither as phantom ball members
+// inflating nLoc nor as stale row entries. These tests compare the
+// canonical fingerprints of a warm, patched session against a cold
+// build of the mutated instance, where dead slots cannot exist by
+// construction: any leak shows up as a key mismatch (lost cache hits)
+// or, worse, a collision (wrong solution served).
+
+// warmColdKeys fingerprints every agent's ball through the session's
+// patched CSR and through a cold CSR of the mirror instance, and
+// asserts byte equality.
+func warmColdKeys(t *testing.T, s *Solver, mirror *mmlp.Instance, radius int, presolve bool) {
+	t.Helper()
+	warmCSR := s.csr
+	coldCSR := csrOf(mirror, sessionGraph(mirror))
+	warmBI := s.BallIndex(radius)
+	coldBI := sessionGraph(mirror).BallIndex(radius, 1)
+	warm := newLocalSolver(warmCSR)
+	cold := newLocalSolver(coldCSR)
+	warm.presolve, cold.presolve = presolve, presolve
+	for u := 0; u < mirror.NumAgents(); u++ {
+		wk, wh, wTrivial := warm.fingerprint(warmBI.Ball(u))
+		ck, ch, cTrivial := cold.fingerprint(coldBI.Ball(u))
+		if wTrivial != cTrivial {
+			t.Fatalf("agent %d presolve=%v: warm trivial=%v, cold trivial=%v", u, presolve, wTrivial, cTrivial)
+		}
+		if wTrivial {
+			continue
+		}
+		if wh != ch || !bytes.Equal(wk, ck) {
+			t.Fatalf("agent %d presolve=%v: warm canonical key differs from cold (dead slot leaked into the fingerprint?)", u, presolve)
+		}
+	}
+}
+
+// TestCanonicalKeyExcludesDeadSlots removes agents from a warm session —
+// an interior agent whose slot stays behind in the CSR, then a fresh
+// agent added and removed again — and checks every surviving ball
+// fingerprints identically to a cold build at each step.
+func TestCanonicalKeyExcludesDeadSlots(t *testing.T) {
+	in, _ := gen.Grid([]int{6, 6}, gen.LatticeOptions{})
+	s := NewSolverFromGraph(in, sessionGraph(in))
+	if _, err := s.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	mirror := in
+	steps := [][]mmlp.TopoUpdate{
+		{mmlp.RemoveAgent(14)}, // interior: its resource and party rows survive without it
+		{mmlp.AddAgent(), mmlp.AddResourceEdge(0, 36, 1.5), mmlp.AddPartyEdge(0, 36, 0.5)},
+		{mmlp.RemoveAgent(36)}, // the freshly attached agent becomes a dead slot too
+		{mmlp.RemoveAgent(0)},  // corner
+	}
+	for i, ops := range steps {
+		if _, err := s.UpdateTopology(ops); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		next, _, err := mirror.ApplyTopo(ops)
+		if err != nil {
+			t.Fatalf("step %d: mirror: %v", i, err)
+		}
+		mirror = next
+		for _, radius := range []int{1, 2} {
+			warmColdKeys(t, s, mirror, radius, false)
+			warmColdKeys(t, s, mirror, radius, true)
+		}
+		// The removed agents' own balls must be trivial (no parties in
+		// sight), not solved LPs over stale rows.
+		inc, err := s.LocalAverage(1)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cold, err := NewSolverFromGraph(mirror, sessionGraph(mirror)).LocalAverage(1)
+		if err != nil {
+			t.Fatalf("step %d: cold: %v", i, err)
+		}
+		sameAverageResult(t, "dead-slot step", inc, cold)
+	}
+}
+
+// TestDedupCollisionUnderChurn is the randomized regression: batches of
+// RandomTopoBatch churn (removals included) against a warm session with
+// presolve enabled, each batch checked for (a) warm/cold key agreement
+// on every ball and (b) bit-identical averaging with identical dedup
+// accounting — a key collision would surface as a wrong solution or a
+// phantom SolvesAvoided.
+func TestDedupCollisionUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	in, _ := gen.Torus([]int{5, 5}, gen.LatticeOptions{})
+	s := NewSolverFromGraph(in, sessionGraph(in))
+	s.SetPresolve(true)
+	if _, err := s.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	mirror := in
+	removals := 0
+	for batch := 0; batch < 10; batch++ {
+		ops, next := gen.RandomTopoBatch(mirror, rng, 2+rng.Intn(3))
+		for _, op := range ops {
+			if op.Op == mmlp.TopoRemoveAgent {
+				removals++
+			}
+		}
+		if _, err := s.UpdateTopology(ops); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		mirror = next
+		warmColdKeys(t, s, mirror, 1, true)
+
+		inc, err := s.LocalAverage(1)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		coldSolver := NewSolverFromGraph(mirror, sessionGraph(mirror))
+		coldSolver.SetPresolve(true)
+		cold, err := coldSolver.LocalAverage(1)
+		if err != nil {
+			t.Fatalf("batch %d: cold: %v", batch, err)
+		}
+		sameAverageResult(t, "churn batch", inc, cold)
+		if inc.LocalLPs > cold.LocalLPs {
+			t.Fatalf("batch %d: warm session solved %d LPs where cold needed %d", batch, inc.LocalLPs, cold.LocalLPs)
+		}
+	}
+	if removals == 0 {
+		t.Fatal("churn never removed an agent; the regression did not exercise dead slots")
+	}
+}

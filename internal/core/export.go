@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// BallProblem assembles agent u's radius-R ball LP (9) as a standalone
+// lp.Problem — the exact rows localSolver stages for its simplex, so the
+// export is bit-faithful to what the averaging algorithm solves. The
+// variables are the ball's agents in ball order plus one trailing ω
+// column; the objective maximises ω. With presolve enabled the same row
+// reduction the solver applies (and fingerprints) is applied here, so
+// an exported presolved LP matches the deduplicated canonical form.
+//
+// The returned slice lists the ball's global agent ids in local-column
+// order. Balls with empty K^u have no LP (ω^u = +∞ by convention); they
+// are reported as an error rather than an empty problem.
+func BallProblem(in *mmlp.Instance, g *hypergraph.Graph, u, radius int, presolve bool) (*lp.Problem, []int32, error) {
+	if u < 0 || u >= in.NumAgents() {
+		return nil, nil, fmt.Errorf("agent %d out of range [0,%d)", u, in.NumAgents())
+	}
+	if radius < 0 {
+		return nil, nil, fmt.Errorf("radius %d must be ≥ 0", radius)
+	}
+	csr := csrOf(in, g)
+	bi := g.BallIndex(radius, 1)
+	ball := bi.Ball(u)
+	s := newLocalSolver(csr)
+	s.presolve = presolve
+	s.enter(ball)
+	defer s.leave(ball)
+	if len(s.parList) == 0 {
+		return nil, nil, fmt.Errorf("agent %d has no parties within radius %d: ω^u = +∞, no LP to export", u, radius)
+	}
+	nLoc := len(ball)
+	p := &lp.Problem{Minimize: false, Obj: make([]float64, nLoc+1)}
+	p.Obj[nLoc] = 1
+	for ri, i := range s.resList {
+		if s.presolve && !s.resKeep[ri] {
+			continue
+		}
+		c := lp.Constraint{Rel: lp.LE, RHS: 1, Coeffs: make([]float64, nLoc+1)}
+		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
+		for j, a := range agents {
+			if idx := s.localIdx[a]; idx >= 0 {
+				c.Coeffs[idx] = coeffs[j]
+			}
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	for pi, k := range s.parList {
+		if s.presolve && !s.parKeep[pi] {
+			continue
+		}
+		c := lp.Constraint{Rel: lp.LE, RHS: 0, Coeffs: make([]float64, nLoc+1)}
+		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
+		for j, a := range agents {
+			c.Coeffs[s.localIdx[a]] = -coeffs[j]
+		}
+		c.Coeffs[nLoc] = 1
+		p.Constraints = append(p.Constraints, c)
+	}
+	// Guard against NaN weights sneaking into an export: the solvers
+	// reject them later, the MPS writer rejects them now; fail early
+	// with coordinates instead.
+	for i, c := range p.Constraints {
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("non-finite coefficient %v in ball row %d, column %d", v, i, j)
+			}
+		}
+	}
+	return p, append([]int32(nil), ball...), nil
+}

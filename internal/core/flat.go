@@ -9,6 +9,7 @@ import (
 	"maxminlp/internal/hypergraph"
 	"maxminlp/internal/lp"
 	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
 )
 
 // This file is the flat-array execution path of the Theorem-3 round
@@ -60,6 +61,24 @@ type localSolver struct {
 	// zeroX backs the x^u = 0 convention for balls with empty K^u; it is
 	// allocated zeroed and never written.
 	zeroX []float64
+
+	// presolve enables the ball-LP row reductions of reduce(); the keep
+	// masks below are valid between enter and leave and are consulted by
+	// both canonicalKey and assembleAndSolve, so the fingerprint always
+	// describes exactly the LP the simplex would solve.
+	presolve         bool
+	resKeep, parKeep []bool
+	resKept, parKept int
+
+	// Materialised ball-restricted rows for reduce(): entries of row r
+	// live in rowIdx/rowCoef[rowOff[r]:rowOff[r+1]], resource rows first.
+	rowIdx  []int32
+	rowCoef []float64
+	rowOff  []int
+
+	// dropCounter, when non-nil, accumulates rows eliminated by reduce()
+	// (nil-safe; bound by the session's pool to the obs registry).
+	dropCounter *obs.Counter
 }
 
 func newLocalSolver(csr *hypergraph.CSR) *localSolver {
@@ -119,6 +138,169 @@ func (s *localSolver) enter(ball []int32) {
 	}
 	sort.Ints(s.resList)
 	sort.Ints(s.parList)
+	if s.presolve && len(s.parList) > 0 {
+		s.reduce()
+	}
+}
+
+// reduce computes the presolve keep masks over the ball-restricted
+// rows of the entered ball: exact duplicates and rows implied by
+// another row are dropped before fingerprinting and assembly, so two
+// balls whose LPs differ only in redundant structure — the boundary
+// stubs of lattice instances, say — collapse onto one cache orbit.
+//
+// Both reductions are guarded by bitwise coefficient equality, so they
+// are exact (the feasible set of the reduced LP is identical to the
+// unreduced one, as is ω and the optimal face):
+//
+//   - a resource row (Σ a_v x_v ≤ 1) whose restricted entries are a
+//     subset of another resource row's, with bitwise-equal shared
+//     coefficients and strictly positive extras, is implied by the
+//     superset row (the extra terms are nonnegative) — the SUBSET is
+//     dropped;
+//   - a party row (−Σ c_v x_v + ω ≤ 0) whose restricted entries are a
+//     superset of another party row's, likewise guarded, is implied by
+//     the subset row (the extra −c terms only decrease the left side)
+//     — the SUPERSET is dropped;
+//   - bitwise-identical rows of the same family keep the first.
+//
+// Dropping a redundant row never changes the optimum value or the
+// feasible set, but it can change the simplex pivot sequence, so
+// presolved solves are value-exact rather than bit-identical to
+// unpresolved ones whenever a reduction actually fires; on instances
+// where nothing fires (generic random weights) the masks are all-keep
+// and every byte and bit is unchanged.
+func (s *localSolver) reduce() {
+	csr := s.csr
+	nRes, nPar := len(s.resList), len(s.parList)
+	s.rowOff = s.rowOff[:0]
+	s.rowIdx = s.rowIdx[:0]
+	s.rowCoef = s.rowCoef[:0]
+	for _, i := range s.resList {
+		s.rowOff = append(s.rowOff, len(s.rowIdx))
+		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
+		for j, a := range agents {
+			if idx := s.localIdx[a]; idx >= 0 {
+				s.rowIdx = append(s.rowIdx, idx)
+				s.rowCoef = append(s.rowCoef, coeffs[j])
+			}
+		}
+	}
+	for _, k := range s.parList {
+		s.rowOff = append(s.rowOff, len(s.rowIdx))
+		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
+		for j, a := range agents {
+			s.rowIdx = append(s.rowIdx, s.localIdx[a])
+			s.rowCoef = append(s.rowCoef, -coeffs[j])
+		}
+	}
+	s.rowOff = append(s.rowOff, len(s.rowIdx))
+
+	if cap(s.resKeep) < nRes {
+		s.resKeep = make([]bool, nRes)
+	}
+	s.resKeep = s.resKeep[:nRes]
+	if cap(s.parKeep) < nPar {
+		s.parKeep = make([]bool, nPar)
+	}
+	s.parKeep = s.parKeep[:nPar]
+	for r := range s.resKeep {
+		s.resKeep[r] = true
+	}
+	for r := range s.parKeep {
+		s.parKeep[r] = true
+	}
+
+	// Resource rows: drop duplicates (keep the first) and strict
+	// subsets. A drop justified by a row that is itself later dropped
+	// stays justified: duplicate chains keep one representative and
+	// containment chains keep their maximal rows.
+	for r := 0; r < nRes; r++ {
+		if !s.resKeep[r] {
+			continue
+		}
+		for q := 0; q < nRes; q++ {
+			if q == r {
+				continue
+			}
+			sub, strict := s.rowSubset(r, q, true)
+			if sub && (strict || q < r) {
+				s.resKeep[r] = false
+				break
+			}
+		}
+	}
+	// Party rows: drop duplicates (keep the first) and strict
+	// supersets; containment chains keep their minimal rows. Every
+	// party row carries the same implicit +1·ω entry, so comparing the
+	// agent entries alone compares the full rows.
+	for r := 0; r < nPar; r++ {
+		if !s.parKeep[r] {
+			continue
+		}
+		for q := 0; q < nPar; q++ {
+			if q == r {
+				continue
+			}
+			sub, strict := s.rowSubset(nRes+q, nRes+r, false)
+			if sub && (strict || q < r) {
+				s.parKeep[r] = false
+				break
+			}
+		}
+	}
+	s.resKept, s.parKept = 0, 0
+	for _, k := range s.resKeep {
+		if k {
+			s.resKept++
+		}
+	}
+	for _, k := range s.parKeep {
+		if k {
+			s.parKept++
+		}
+	}
+	s.dropCounter.Add(int64(nRes - s.resKept + nPar - s.parKept))
+}
+
+// rowSubset reports whether materialised row a's entries form a subset
+// of row b's with bitwise-equal coefficients on the shared support, and
+// whether the containment is strict. Entries are ascending in local
+// index (CSR agent lists and balls are sorted). wantPos constrains the
+// sign of b's extra coefficients: positive for resource rows (extras
+// can only tighten b), negative for party rows (stored as −c).
+func (s *localSolver) rowSubset(a, b int, wantPos bool) (subset, strict bool) {
+	ai, ae := s.rowOff[a], s.rowOff[a+1]
+	bi, be := s.rowOff[b], s.rowOff[b+1]
+	for ai < ae {
+		if bi >= be {
+			return false, false
+		}
+		switch {
+		case s.rowIdx[bi] < s.rowIdx[ai]:
+			c := s.rowCoef[bi]
+			if wantPos != (c > 0) {
+				return false, false
+			}
+			strict = true
+			bi++
+		case s.rowIdx[bi] == s.rowIdx[ai]:
+			if s.rowCoef[bi] != s.rowCoef[ai] {
+				return false, false
+			}
+			ai++
+			bi++
+		default:
+			return false, false
+		}
+	}
+	for ; bi < be; bi++ {
+		if c := s.rowCoef[bi]; wantPos != (c > 0) {
+			return false, false
+		}
+		strict = true
+	}
+	return true, strict
 }
 
 // leave clears the local indexing installed by enter, in O(|ball|).
@@ -195,12 +377,23 @@ func (s *localSolver) fingerprint(ball []int32) (key []byte, hash uint64, trivia
 // ball size, then each constraint row of I^u and K^u as its (local
 // column, exact coefficient bits) entries in assembly order. Agents
 // whose balls encode identically assemble element-for-element identical
-// LPs, so one solve serves them all. The returned slice aliases s.keyBuf
-// and is valid until the next canonicalKey call.
+// LPs, so one solve serves them all. With presolve enabled the key
+// encodes the reduced rows — exactly the LP assembleAndSolve would
+// stage — so the key still determines the stored solution bit-for-bit,
+// and presolved and unpresolved runs can safely share one cache (their
+// keys coincide precisely when no reduction fires). The returned slice
+// aliases s.keyBuf and is valid until the next canonicalKey call.
 func (s *localSolver) canonicalKey(ball []int32) []byte {
 	csr := s.csr
-	b := appendKeyHeader(s.keyBuf[:0], len(ball), len(s.resList))
-	for _, i := range s.resList {
+	nRes, nPar := len(s.resList), len(s.parList)
+	if s.presolve {
+		nRes, nPar = s.resKept, s.parKept
+	}
+	b := appendKeyHeader(s.keyBuf[:0], len(ball), nRes)
+	for ri, i := range s.resList {
+		if s.presolve && !s.resKeep[ri] {
+			continue
+		}
 		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
 		for j, a := range agents {
 			if idx := s.localIdx[a]; idx >= 0 {
@@ -209,8 +402,11 @@ func (s *localSolver) canonicalKey(ball []int32) []byte {
 		}
 		b = appendKeyRowEnd(b)
 	}
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.parList)))
-	for _, k := range s.parList {
+	b = binary.LittleEndian.AppendUint32(b, uint32(nPar))
+	for pi, k := range s.parList {
+		if s.presolve && !s.parKeep[pi] {
+			continue
+		}
 		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
 		for j, a := range agents {
 			b = appendKeyEntry(b, s.localIdx[a], coeffs[j])
@@ -230,7 +426,10 @@ func (s *localSolver) assembleAndSolve(ball []int32) ([]float64, float64, int, e
 	ws := s.ws
 	ws.Begin(nLoc + 1)
 	ws.Obj()[nLoc] = 1
-	for _, i := range s.resList {
+	for ri, i := range s.resList {
+		if s.presolve && !s.resKeep[ri] {
+			continue
+		}
 		row := ws.AddRow(lp.LE, 1)
 		agents, coeffs := csr.ResourceAgents(i), csr.ResourceCoeffs(i)
 		for j, a := range agents {
@@ -239,7 +438,10 @@ func (s *localSolver) assembleAndSolve(ball []int32) ([]float64, float64, int, e
 			}
 		}
 	}
-	for _, k := range s.parList {
+	for pi, k := range s.parList {
+		if s.presolve && !s.parKeep[pi] {
+			continue
+		}
 		row := ws.AddRow(lp.LE, 0)
 		agents, coeffs := csr.PartyAgents(k), csr.PartyCoeffs(k)
 		for j, a := range agents {

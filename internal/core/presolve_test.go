@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/mmlp"
+	"maxminlp/internal/obs"
+)
+
+// equalF64 compares float slices bitwise (so −0.0 ≠ +0.0 and NaNs with
+// equal payloads match — the comparison the bit-identity contract means).
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPresolveBitIdenticalOnGenericWeights: both presolve reductions are
+// guarded by bitwise coefficient equality, so on random-weight instances
+// (where no two rows share exact coefficient bits) no reduction fires,
+// the canonical keys are unchanged, and the presolved run must equal the
+// plain run bit for bit — including the solve accounting.
+func TestPresolveBitIdenticalOnGenericWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	torW, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	gridW, _ := gen.Grid([]int{5, 5}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	cases := []struct {
+		name   string
+		in     *mmlp.Instance
+		radius int
+	}{
+		{"torus 6x6 weighted R=1", torW, 1},
+		{"torus 6x6 weighted R=2", torW, 2},
+		{"grid 5x5 weighted R=1", gridW, 1},
+	}
+	for _, cse := range cases {
+		g := hypergraph.FromInstance(cse.in, hypergraph.Options{})
+		for _, workers := range []int{1, 4} {
+			plain, err := LocalAverageOpt(cse.in, g, cse.radius, AverageOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: %v", cse.name, err)
+			}
+			pre, err := LocalAverageOpt(cse.in, g, cse.radius, AverageOptions{Workers: workers, Presolve: true})
+			if err != nil {
+				t.Fatalf("%s: %v", cse.name, err)
+			}
+			if !equalF64(plain.X, pre.X) || !equalF64(plain.LocalOmega, pre.LocalOmega) {
+				t.Errorf("%s workers=%d: presolve changed bits on a generic-weight instance", cse.name, workers)
+			}
+			if plain.LocalLPs != pre.LocalLPs || plain.SolvesAvoided != pre.SolvesAvoided {
+				t.Errorf("%s workers=%d: accounting differs: plain (%d LPs, %d avoided), presolve (%d, %d)",
+					cse.name, workers, plain.LocalLPs, plain.SolvesAvoided, pre.LocalLPs, pre.SolvesAvoided)
+			}
+		}
+	}
+}
+
+// TestPresolveCollapsesGridBoundary is the win the presolve exists for:
+// on a unit-weight 2-D grid at R=1, boundary-adjacent balls differ from
+// each other only in redundant clipped rows — duplicated and dominated
+// restrictions of neighbouring cells' resources — so presolve collapses
+// whole bands of near-boundary orbits together (49 distinct LPs become
+// 25 on 8×8): strictly fewer distinct LP solves, strictly more dedup
+// hits, while the result stays value-exact: feasible, same per-agent ω,
+// same certificate.
+func TestPresolveCollapsesGridBoundary(t *testing.T) {
+	for _, side := range []int{8, 12} {
+		in, _ := gen.Grid([]int{side, side}, gen.LatticeOptions{})
+		g := hypergraph.FromInstance(in, hypergraph.Options{})
+		plain, err := LocalAverageOpt(in, g, 1, AverageOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := LocalAverageOpt(in, g, 1, AverageOptions{Presolve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pre.SolvesAvoided <= plain.SolvesAvoided {
+			t.Errorf("%dx%d: SolvesAvoided %d with presolve, want > %d", side, side, pre.SolvesAvoided, plain.SolvesAvoided)
+		}
+		if pre.LocalLPs >= plain.LocalLPs {
+			t.Errorf("%dx%d: LocalLPs %d with presolve, want < %d", side, side, pre.LocalLPs, plain.LocalLPs)
+		}
+		if v := in.Violation(pre.X); v > 1e-9 {
+			t.Errorf("%dx%d: presolved solution violates constraints by %g", side, side, v)
+		}
+		for u := range plain.LocalOmega {
+			a, b := plain.LocalOmega[u], pre.LocalOmega[u]
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Errorf("%dx%d agent %d: ω %g with presolve, want %g", side, side, u, b, a)
+			}
+		}
+		if plain.PartyBound != pre.PartyBound || plain.ResourceBound != pre.ResourceBound {
+			t.Errorf("%dx%d: presolve changed the certificate", side, side)
+		}
+		if !equalF64(plain.Beta, pre.Beta) {
+			t.Errorf("%dx%d: presolve changed β", side, side)
+		}
+	}
+}
+
+// TestPresolveExecutionPathsAgree: at a fixed Presolve setting, the
+// sequential streaming path, the parallel grouped path and the NoDedup
+// reference must still be bit-identical to each other — dedup reuse
+// happens only on exact reduced-key matches, and all paths reduce the
+// same rows.
+func TestPresolveExecutionPathsAgree(t *testing.T) {
+	in, _ := gen.Grid([]int{40}, gen.LatticeOptions{})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	ref, err := LocalAverageOpt(in, g, 1, AverageOptions{NoDedup: true, Presolve: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := LocalAverageOpt(in, g, 1, AverageOptions{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LocalAverageOpt(in, g, 1, AverageOptions{Presolve: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalF64(ref.X, seq.X) || !equalF64(ref.LocalOmega, seq.LocalOmega) {
+		t.Error("sequential dedup+presolve differs from NoDedup+presolve")
+	}
+	if !equalF64(ref.X, par.X) || !equalF64(ref.LocalOmega, par.LocalOmega) {
+		t.Error("parallel dedup+presolve differs from NoDedup+presolve")
+	}
+	if seq.LocalLPs != par.LocalLPs || seq.SolvesAvoided != par.SolvesAvoided {
+		t.Errorf("accounting differs: seq (%d LPs, %d avoided), par (%d, %d)",
+			seq.LocalLPs, seq.SolvesAvoided, par.LocalLPs, par.SolvesAvoided)
+	}
+	if ref.SolvesAvoided != 0 {
+		t.Errorf("NoDedup reported %d avoided solves", ref.SolvesAvoided)
+	}
+}
+
+// TestPresolveCacheSharing: reduced-form canonical keys fully determine
+// the LP actually solved, so presolve-on and presolve-off runs can share
+// one cache. On a generic-weight instance the keys coincide (nothing
+// fires), so the second run — whichever setting it uses — is served
+// entirely from the first run's entries, bit for bit.
+func TestPresolveCacheSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	g := hypergraph.FromInstance(in, hypergraph.Options{})
+	cache := NewSolveCache()
+	first, err := LocalAverageOpt(in, g, 1, AverageOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := LocalAverageOpt(in, g, 1, AverageOptions{Cache: cache, Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.LocalLPs != 0 {
+		t.Errorf("presolve run solved %d LPs against a warm shared cache, want 0", second.LocalLPs)
+	}
+	if !equalF64(first.X, second.X) || !equalF64(first.LocalOmega, second.LocalOmega) {
+		t.Error("cache-served presolve run differs from the run that warmed the cache")
+	}
+
+	// On the unit-weight path the keys differ (reductions fire), so the
+	// presolve run must NOT be served the unreduced entries — it solves
+	// its own representatives and stays value-exact.
+	inP, _ := gen.Grid([]int{32}, gen.LatticeOptions{})
+	gP := hypergraph.FromInstance(inP, hypergraph.Options{})
+	cacheP := NewSolveCache()
+	plain, err := LocalAverageOpt(inP, gP, 1, AverageOptions{Cache: cacheP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := LocalAverageOpt(inP, gP, 1, AverageOptions{Cache: cacheP, Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.LocalLPs == 0 {
+		t.Error("presolve run with distinct reduced keys was served unreduced cache entries")
+	}
+	if v := inP.Violation(pre.X); v > 1e-9 {
+		t.Errorf("presolved solution violates constraints by %g", v)
+	}
+	_ = plain
+}
+
+// TestSolverSetPresolve drives the switch through the session: toggling
+// presolve discards retained solve state (no stale cross-setting
+// serving), produces the dedup win, reports itself in Stats, and
+// toggling back off reproduces the original result bit for bit.
+func TestSolverSetPresolve(t *testing.T) {
+	in, _ := gen.Grid([]int{8, 8}, gen.LatticeOptions{})
+	s := NewSolver(in, hypergraph.Options{})
+	plain, err := s.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Presolve {
+		t.Error("Stats reports presolve before SetPresolve")
+	}
+	s.SetPresolve(true)
+	pre, err := s.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if !st.Presolve {
+		t.Error("Stats does not report presolve after SetPresolve(true)")
+	}
+	if st.FullSolves != 2 {
+		t.Errorf("FullSolves = %d after toggling presolve, want 2 (retained state must be discarded)", st.FullSolves)
+	}
+	if pre.SolvesAvoided <= plain.SolvesAvoided {
+		t.Errorf("session presolve: SolvesAvoided %d, want > %d", pre.SolvesAvoided, plain.SolvesAvoided)
+	}
+	if v := in.Violation(pre.X); v > 1e-9 {
+		t.Errorf("session presolved solution violates constraints by %g", v)
+	}
+	// Redundant SetPresolve(true) must keep the retained state: the next
+	// query is a warm hit.
+	s.SetPresolve(true)
+	if _, err := s.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.WarmHits != 1 {
+		t.Errorf("WarmHits = %d after a redundant SetPresolve, want 1", st.WarmHits)
+	}
+	s.SetPresolve(false)
+	back, err := s.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalF64(plain.X, back.X) || !equalF64(plain.LocalOmega, back.LocalOmega) {
+		t.Error("solve after toggling presolve off differs from the original plain solve")
+	}
+}
+
+// TestSolverPresolveIncremental: weight updates under presolve stay
+// bit-identical to a cold presolved solve of the mutated instance — the
+// incremental path reduces through the same pooled solvers.
+func TestSolverPresolveIncremental(t *testing.T) {
+	in, _ := gen.Grid([]int{48}, gen.LatticeOptions{})
+	s := NewSolver(in, hypergraph.Options{})
+	s.SetPresolve(true)
+	if _, err := s.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	deltas := []WeightDelta{
+		{Kind: ResourceWeight, Row: 10, Agent: 10, Coeff: 1.25},
+		{Kind: PartyWeight, Row: 20, Agent: 21, Coeff: 0.75},
+	}
+	if err := s.UpdateWeights(deltas); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := s.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSolver(s.Instance(), hypergraph.Options{})
+	cold.SetPresolve(true)
+	want, err := cold.LocalAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalF64(inc.X, want.X) || !equalF64(inc.LocalOmega, want.LocalOmega) {
+		t.Error("incremental presolved solve differs from a cold presolved solve of the mutated instance")
+	}
+}
+
+// TestPresolveDropCounter: the obs counter observes the rows reduce()
+// eliminates, making the presolve's work visible on /metrics.
+func TestPresolveDropCounter(t *testing.T) {
+	in, _ := gen.Grid([]int{32}, gen.LatticeOptions{})
+	s := NewSolver(in, hypergraph.Options{})
+	m := obs.NewSolveMetrics(obs.NewRegistry())
+	s.SetObs(m)
+	s.SetPresolve(true)
+	if _, err := s.LocalAverage(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PresolveRowsDropped.Value() == 0 {
+		t.Error("presolve dropped no rows on a unit-weight path (counter stayed 0)")
+	}
+}

@@ -50,9 +50,12 @@ type Solver struct {
 	csrOwned bool
 
 	workers int
-	cache   *SolveCache
-	pool    *sync.Pool // of *localSolver bound to the current csr
-	scratch *CertScratch
+	// presolve enables ball-LP row reduction before fingerprinting (see
+	// AverageOptions.Presolve); toggled by SetPresolve.
+	presolve bool
+	cache    *SolveCache
+	pool     *sync.Pool // of *localSolver bound to the current csr
+	scratch  *CertScratch
 
 	balls  map[int]*hypergraph.BallIndex
 	states map[int]*radiusState
@@ -100,6 +103,10 @@ type SolverStats struct {
 	// CacheEntries and CacheHits snapshot the shared solve cache.
 	CacheEntries int
 	CacheHits    int
+	// Presolve reports whether ball-LP presolve is enabled for this
+	// session (see SetPresolve), so the dedup-hit delta it produces can
+	// be attributed when scraping stats.
+	Presolve bool
 }
 
 // radiusState is everything the session retains about one radius. The
@@ -185,9 +192,12 @@ func NewSolverFromGraph(in *mmlp.Instance, g *hypergraph.Graph) *Solver {
 // replaces the csr, and when SetObs changes the metrics binding.
 func (s *Solver) resetPool() {
 	csr, lpm := s.csr, s.obsM.LPBundle()
+	presolve, drops := s.presolve, s.obsM.PresolveDroppedCounter()
 	s.pool = &sync.Pool{New: func() any {
 		ls := newLocalSolver(csr)
 		ls.ws.SetMetrics(lpm)
+		ls.presolve = presolve
+		ls.dropCounter = drops
 		return ls
 	}}
 }
@@ -202,6 +212,40 @@ func (s *Solver) SetObs(m *obs.SolveMetrics) {
 	defer s.mu.Unlock()
 	s.obsM = m
 	s.resetPool()
+}
+
+// SetPresolve enables or disables ball-LP presolve for all later
+// queries (see AverageOptions.Presolve for the exactness contract).
+// Toggling it discards the retained per-radius solve state — results
+// solved under one setting are never served under the other — but keeps
+// every structural quantity (CSR, ball indexes, certificates, β) and
+// the shared solve cache: cache keys encode the reduced form actually
+// solved, so entries written under either setting only ever match LPs
+// with the identical reduced form and can be shared safely.
+func (s *Solver) SetPresolve(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.presolve == on {
+		return
+	}
+	s.presolve = on
+	s.resetPool()
+	for _, st := range s.states {
+		st.res = nil
+		st.entries = nil
+		st.sums = nil
+		st.dirty = nil
+		st.nDirty = 0
+		st.topoDirty = false
+		st.pendingAffected = nil
+	}
+}
+
+// Presolve reports whether ball-LP presolve is enabled.
+func (s *Solver) Presolve() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.presolve
 }
 
 // SetWorkers sets the number of goroutines queries may fan LP solves
@@ -297,6 +341,7 @@ func (s *Solver) Stats() SolverStats {
 	st := s.stats
 	st.CacheEntries = s.cache.DistinctSolves()
 	st.CacheHits = s.cache.Hits()
+	st.Presolve = s.presolve
 	return st
 }
 
@@ -463,7 +508,7 @@ func (s *Solver) solveFull(radius int, st *radiusState) error {
 	}
 	sums := make([]float64, n)
 	entries := make([]*cacheEntry, n)
-	if err := localAverageParallelDedup(csr, bi, n, s.workers, s.cache, res, sums, entries, s.obsM); err != nil {
+	if err := localAverageParallelDedup(csr, bi, n, s.workers, s.cache, s.presolve, res, sums, entries, s.obsM); err != nil {
 		return err
 	}
 	copy(res.Beta, st.beta)

@@ -302,6 +302,13 @@ type SolveStats struct {
 	AgentsResolved int64 `json:"agentsResolved"`
 	LPSolves       int64 `json:"lpSolves"`
 	LPPivots       int64 `json:"lpPivots"`
+
+	// Presolve reports whether the daemon runs ball-LP presolve on its
+	// sessions, and PresolveRowsDropped how many constraint rows it has
+	// eliminated before fingerprinting — read next to Cache to see the
+	// dedup-hit delta presolve produces.
+	Presolve            bool  `json:"presolve"`
+	PresolveRowsDropped int64 `json:"presolveRowsDropped"`
 }
 
 // ClusterWorker describes one worker of a cluster deployment.

@@ -1,0 +1,369 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements free-format MPS import/export for Problem — the
+// interchange surface of the differential oracle: a Problem exported
+// with WriteMPS and re-imported with ReadMPS is reconstructed exactly
+// (coefficients travel as shortest-round-trip decimal strings, which
+// strconv parses back to the identical float64 bits), so a solve of the
+// re-imported problem is bit-identical to a solve of the original.
+//
+// The dialect is the common free-format subset: NAME, OBJSENSE
+// (MAX/MIN), ROWS (one N row plus L/G/E rows), COLUMNS with one or two
+// (row, value) pairs per line, RHS, ENDATA, and * comments. RANGES and
+// BOUNDS are not written and are rejected on read — Problem has no
+// ranged rows, and all variables are implicitly nonnegative, which is
+// exactly the MPS default bound.
+
+// MPSFile is a parsed MPS file: the problem plus the names that carried
+// it, so writers can round-trip foreign files and importers can
+// reconstruct structure from row names.
+type MPSFile struct {
+	Name    string
+	Problem *Problem
+	// ObjName is the name of the single N row; RowNames has one entry
+	// per constraint row and ColNames one per variable, in problem
+	// order.
+	ObjName  string
+	RowNames []string
+	ColNames []string
+}
+
+// WriteMPS writes the problem in free-format MPS under default names
+// (objective COST, rows R0.., columns X0..).
+func WriteMPS(w io.Writer, name string, p *Problem) error {
+	return WriteMPSFile(w, &MPSFile{Name: name, Problem: p})
+}
+
+// WriteMPSFile writes a problem with explicit row/column names; empty
+// name slices (or entries) fall back to the defaults. Every column
+// writes its objective entry even when zero — a column must appear in
+// COLUMNS to exist — and other entries are written exactly when their
+// coefficient has non-zero bits, so dense reconstruction is exact
+// (including negative zeros).
+func WriteMPSFile(w io.Writer, f *MPSFile) error {
+	p := f.Problem
+	nVars := len(p.Obj)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != nVars {
+			return fmt.Errorf("lp: WriteMPS: row %d has %d coefficients, want %d", i, len(c.Coeffs), nVars)
+		}
+		if !isFinite(c.RHS) {
+			return fmt.Errorf("lp: WriteMPS: row %d has non-finite rhs %v", i, c.RHS)
+		}
+		for j, v := range c.Coeffs {
+			if !isFinite(v) {
+				return fmt.Errorf("lp: WriteMPS: coefficient (%d,%d) is non-finite: %v", i, j, v)
+			}
+		}
+	}
+	for j, v := range p.Obj {
+		if !isFinite(v) {
+			return fmt.Errorf("lp: WriteMPS: objective coefficient %d is non-finite: %v", j, v)
+		}
+	}
+	obj := f.ObjName
+	if obj == "" {
+		obj = "COST"
+	}
+	rowName := func(i int) string {
+		if i < len(f.RowNames) && f.RowNames[i] != "" {
+			return f.RowNames[i]
+		}
+		return "R" + strconv.Itoa(i)
+	}
+	colName := func(j int) string {
+		if j < len(f.ColNames) && f.ColNames[j] != "" {
+			return f.ColNames[j]
+		}
+		return "X" + strconv.Itoa(j)
+	}
+
+	bw := bufio.NewWriter(w)
+	name := f.Name
+	if name == "" {
+		name = "LP"
+	}
+	fmt.Fprintf(bw, "NAME %s\n", name)
+	bw.WriteString("OBJSENSE\n")
+	if p.Minimize {
+		bw.WriteString("    MIN\n")
+	} else {
+		bw.WriteString("    MAX\n")
+	}
+	bw.WriteString("ROWS\n")
+	fmt.Fprintf(bw, " N %s\n", obj)
+	for i, c := range p.Constraints {
+		var t byte
+		switch c.Rel {
+		case LE:
+			t = 'L'
+		case GE:
+			t = 'G'
+		case EQ:
+			t = 'E'
+		default:
+			return fmt.Errorf("lp: WriteMPS: row %d has unknown relation %v", i, c.Rel)
+		}
+		fmt.Fprintf(bw, " %c %s\n", t, rowName(i))
+	}
+	bw.WriteString("COLUMNS\n")
+	for j := 0; j < nVars; j++ {
+		cn := colName(j)
+		fmt.Fprintf(bw, "    %s %s %s\n", cn, obj, fmtF(p.Obj[j]))
+		for i, c := range p.Constraints {
+			if math.Float64bits(c.Coeffs[j]) != 0 {
+				fmt.Fprintf(bw, "    %s %s %s\n", cn, rowName(i), fmtF(c.Coeffs[j]))
+			}
+		}
+	}
+	bw.WriteString("RHS\n")
+	for i, c := range p.Constraints {
+		if math.Float64bits(c.RHS) != 0 {
+			fmt.Fprintf(bw, "    RHS %s %s\n", rowName(i), fmtF(c.RHS))
+		}
+	}
+	bw.WriteString("ENDATA\n")
+	return bw.Flush()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ReadMPS parses a free-format MPS file written by WriteMPS (or any file
+// in the supported subset). Variables are created in COLUMNS
+// first-appearance order, rows in ROWS declaration order; entries absent
+// from the file read as zero. Duplicate entries, unknown names,
+// non-finite values, RANGES and BOUNDS sections, and structural
+// violations are errors, never panics.
+func ReadMPS(r io.Reader) (*MPSFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+
+	f := &MPSFile{Problem: &Problem{}}
+	p := f.Problem
+	// MPS's historical default objective sense is minimisation.
+	p.Minimize = true
+
+	type rowRef struct {
+		idx int // constraint index, or -1 for the objective
+	}
+	rows := make(map[string]rowRef)
+	cols := make(map[string]int)
+	type entry struct {
+		col, row int // row == -1 → objective
+		val      float64
+	}
+	var entries []entry
+	rhs := make(map[int]float64)
+	seen := make(map[[2]int]bool)
+	haveObj := false
+
+	const (
+		secNone = iota
+		secObjsense
+		secRows
+		secColumns
+		secRHS
+		secDone
+	)
+	section := secNone
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		// Section headers start in column one (no leading whitespace).
+		if line[0] != ' ' && line[0] != '\t' {
+			switch fields[0] {
+			case "NAME":
+				if len(fields) > 1 {
+					f.Name = fields[1]
+				}
+				continue
+			case "OBJSENSE":
+				section = secObjsense
+				// Accept the inline form "OBJSENSE MAX" too.
+				if len(fields) > 1 {
+					if err := parseObjSense(fields[1], p); err != nil {
+						return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+					}
+					section = secNone
+				}
+				continue
+			case "ROWS":
+				section = secRows
+				continue
+			case "COLUMNS":
+				section = secColumns
+				continue
+			case "RHS":
+				section = secRHS
+				continue
+			case "RANGES", "BOUNDS":
+				return nil, fmt.Errorf("lp: mps line %d: unsupported section %s", lineNo, fields[0])
+			case "ENDATA":
+				section = secDone
+				break
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown section %q", lineNo, fields[0])
+			}
+			if section == secDone {
+				break
+			}
+			continue
+		}
+		switch section {
+		case secObjsense:
+			if err := parseObjSense(fields[0], p); err != nil {
+				return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+			}
+			section = secNone
+		case secRows:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lp: mps line %d: ROWS entry wants `type name`, got %q", lineNo, line)
+			}
+			typ, name := fields[0], fields[1]
+			if _, dup := rows[name]; dup {
+				return nil, fmt.Errorf("lp: mps line %d: duplicate row %q", lineNo, name)
+			}
+			switch typ {
+			case "N", "n":
+				if haveObj {
+					return nil, fmt.Errorf("lp: mps line %d: second N row %q", lineNo, name)
+				}
+				haveObj = true
+				f.ObjName = name
+				rows[name] = rowRef{idx: -1}
+			case "L", "l", "G", "g", "E", "e":
+				var rel Rel
+				switch typ {
+				case "L", "l":
+					rel = LE
+				case "G", "g":
+					rel = GE
+				default:
+					rel = EQ
+				}
+				rows[name] = rowRef{idx: len(p.Constraints)}
+				f.RowNames = append(f.RowNames, name)
+				p.Constraints = append(p.Constraints, Constraint{Rel: rel})
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown row type %q", lineNo, typ)
+			}
+		case secColumns:
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("lp: mps line %d: COLUMNS entry wants `col row val [row val]`, got %q", lineNo, line)
+			}
+			cn := fields[0]
+			ci, ok := cols[cn]
+			if !ok {
+				ci = len(f.ColNames)
+				cols[cn] = ci
+				f.ColNames = append(f.ColNames, cn)
+			}
+			for k := 1; k+1 < len(fields); k += 2 {
+				ref, ok := rows[fields[k]]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, fields[k])
+				}
+				v, err := parseF(fields[k+1])
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				if seen[[2]int{ci, ref.idx}] {
+					return nil, fmt.Errorf("lp: mps line %d: duplicate entry for column %q row %q", lineNo, cn, fields[k])
+				}
+				seen[[2]int{ci, ref.idx}] = true
+				entries = append(entries, entry{col: ci, row: ref.idx, val: v})
+			}
+		case secRHS:
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("lp: mps line %d: RHS entry wants `set row val [row val]`, got %q", lineNo, line)
+			}
+			for k := 1; k+1 < len(fields); k += 2 {
+				ref, ok := rows[fields[k]]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, fields[k])
+				}
+				if ref.idx < 0 {
+					return nil, fmt.Errorf("lp: mps line %d: RHS on objective row %q", lineNo, fields[k])
+				}
+				v, err := parseF(fields[k+1])
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				if _, dup := rhs[ref.idx]; dup {
+					return nil, fmt.Errorf("lp: mps line %d: duplicate RHS for row %q", lineNo, fields[k])
+				}
+				rhs[ref.idx] = v
+			}
+		default:
+			return nil, fmt.Errorf("lp: mps line %d: data outside any section: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if section != secDone {
+		return nil, fmt.Errorf("lp: mps: missing ENDATA")
+	}
+	if !haveObj {
+		return nil, fmt.Errorf("lp: mps: no N (objective) row")
+	}
+
+	nVars := len(f.ColNames)
+	p.Obj = make([]float64, nVars)
+	for i := range p.Constraints {
+		p.Constraints[i].Coeffs = make([]float64, nVars)
+	}
+	for _, e := range entries {
+		if e.row < 0 {
+			p.Obj[e.col] = e.val
+		} else {
+			p.Constraints[e.row].Coeffs[e.col] = e.val
+		}
+	}
+	for i, v := range rhs {
+		p.Constraints[i].RHS = v
+	}
+	return f, nil
+}
+
+func parseObjSense(s string, p *Problem) error {
+	switch strings.ToUpper(s) {
+	case "MAX", "MAXIMIZE":
+		p.Minimize = false
+	case "MIN", "MINIMIZE":
+		p.Minimize = true
+	default:
+		return fmt.Errorf("unknown OBJSENSE %q", s)
+	}
+	return nil
+}
+
+func parseF(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", s, err)
+	}
+	if !isFinite(v) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}

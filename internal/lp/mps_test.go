@@ -1,0 +1,267 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomProblem builds a random LP with shapes and values that exercise
+// the writer: negative, zero and subnormal-ish coefficients, all three
+// relations, both senses.
+func randomMPSProblem(rng *rand.Rand) *Problem {
+	nVars := 1 + rng.Intn(6)
+	nRows := rng.Intn(6)
+	p := &Problem{Minimize: rng.Intn(2) == 0, Obj: make([]float64, nVars)}
+	val := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return float64(rng.Intn(7) - 3)
+		default:
+			return (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(20)-10)
+		}
+	}
+	for j := range p.Obj {
+		p.Obj[j] = val()
+	}
+	for i := 0; i < nRows; i++ {
+		c := Constraint{Rel: Rel(rng.Intn(3)), RHS: val(), Coeffs: make([]float64, nVars)}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = val()
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+func problemsEqual(a, b *Problem) bool {
+	if a.Minimize != b.Minimize || len(a.Obj) != len(b.Obj) || len(a.Constraints) != len(b.Constraints) {
+		return false
+	}
+	for j := range a.Obj {
+		if math.Float64bits(a.Obj[j]) != math.Float64bits(b.Obj[j]) {
+			return false
+		}
+	}
+	for i := range a.Constraints {
+		ca, cb := a.Constraints[i], b.Constraints[i]
+		if ca.Rel != cb.Rel || math.Float64bits(ca.RHS) != math.Float64bits(cb.RHS) {
+			return false
+		}
+		for j := range ca.Coeffs {
+			if math.Float64bits(ca.Coeffs[j]) != math.Float64bits(cb.Coeffs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMPSRoundTripExact: export → import reconstructs the problem bit
+// for bit — the property the differential oracle rests on.
+func TestMPSRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomMPSProblem(rng)
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, "T", p); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		f, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, buf.String())
+		}
+		if !problemsEqual(p, f.Problem) {
+			t.Fatalf("trial %d: round trip changed the problem\n%s", trial, buf.String())
+		}
+		if f.Name != "T" {
+			t.Fatalf("trial %d: name %q", trial, f.Name)
+		}
+	}
+}
+
+// TestMPSSolveAgreement: solving the re-imported problem gives the
+// bit-identical solution — coefficients travel losslessly, and Solve is
+// deterministic in its inputs.
+func TestMPSSolveAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	agree := 0
+	for trial := 0; trial < 100; trial++ {
+		p := randomMPSProblem(rng)
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, "T", p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadMPS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err1 := Solve(p)
+		s2, err2 := Solve(f.Problem)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: solve errors differ: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if s1.Status != s2.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, s1.Status, s2.Status)
+		}
+		if s1.Status == Optimal {
+			if math.Float64bits(s1.Value) != math.Float64bits(s2.Value) {
+				t.Fatalf("trial %d: value %v vs %v", trial, s1.Value, s2.Value)
+			}
+			for j := range s1.X {
+				if math.Float64bits(s1.X[j]) != math.Float64bits(s2.X[j]) {
+					t.Fatalf("trial %d: x[%d] %v vs %v", trial, j, s1.X[j], s2.X[j])
+				}
+			}
+			agree++
+		}
+	}
+	if agree == 0 {
+		t.Fatal("no optimal instances exercised")
+	}
+}
+
+// TestMPSNamedRoundTrip: foreign row/column names survive a read →
+// write → read cycle and keep carrying the same problem.
+func TestMPSNamedRoundTrip(t *testing.T) {
+	src := `* a comment
+NAME widget
+OBJSENSE
+    MAX
+ROWS
+ N profit
+ L capacity
+ G demand
+COLUMNS
+    make profit 3 capacity 2
+    make demand 1
+    buy profit -1.5
+    buy capacity 1 demand 1
+RHS
+    RHS capacity 10
+    RHS demand 2
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "widget" || f.ObjName != "profit" {
+		t.Fatalf("names: %q %q", f.Name, f.ObjName)
+	}
+	if got := f.ColNames; len(got) != 2 || got[0] != "make" || got[1] != "buy" {
+		t.Fatalf("columns: %v", got)
+	}
+	if got := f.RowNames; len(got) != 2 || got[0] != "capacity" || got[1] != "demand" {
+		t.Fatalf("rows: %v", got)
+	}
+	p := f.Problem
+	if p.Minimize || p.Obj[0] != 3 || p.Obj[1] != -1.5 {
+		t.Fatalf("objective: %+v", p)
+	}
+	if p.Constraints[0].Rel != LE || p.Constraints[0].RHS != 10 || p.Constraints[0].Coeffs[0] != 2 || p.Constraints[0].Coeffs[1] != 1 {
+		t.Fatalf("capacity row: %+v", p.Constraints[0])
+	}
+	var buf bytes.Buffer
+	if err := WriteMPSFile(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if !problemsEqual(f.Problem, f2.Problem) {
+		t.Fatal("named round trip changed the problem")
+	}
+}
+
+// TestMPSReadErrors: malformed inputs are rejected with errors, not
+// panics, and never half-parse.
+func TestMPSReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no endata":         "NAME x\nROWS\n N obj\nCOLUMNS\n",
+		"no objective":      "NAME x\nROWS\n L r\nCOLUMNS\nRHS\nENDATA\n",
+		"two objectives":    "ROWS\n N a\n N b\nENDATA\n",
+		"dup row":           "ROWS\n N obj\n L r\n G r\nENDATA\n",
+		"unknown row type":  "ROWS\n N obj\n Q r\nENDATA\n",
+		"unknown sense":     "OBJSENSE\n    MOST\nROWS\n N obj\nENDATA\n",
+		"bad number":        "ROWS\n N obj\nCOLUMNS\n    x obj twelve\nENDATA\n",
+		"nan":               "ROWS\n N obj\nCOLUMNS\n    x obj NaN\nENDATA\n",
+		"inf rhs":           "ROWS\n N obj\n L r\nRHS\n    RHS r +Inf\nENDATA\n",
+		"unknown col row":   "ROWS\n N obj\nCOLUMNS\n    x nope 1\nENDATA\n",
+		"unknown rhs row":   "ROWS\n N obj\nRHS\n    RHS nope 1\nENDATA\n",
+		"rhs on objective":  "ROWS\n N obj\nRHS\n    RHS obj 1\nENDATA\n",
+		"dup entry":         "ROWS\n N obj\n L r\nCOLUMNS\n    x r 1\n    x r 2\nENDATA\n",
+		"dup rhs":           "ROWS\n N obj\n L r\nRHS\n    RHS r 1\n    RHS r 2\nENDATA\n",
+		"ranges":            "ROWS\n N obj\nRANGES\nENDATA\n",
+		"bounds":            "ROWS\n N obj\nBOUNDS\nENDATA\n",
+		"stray data":        "    x obj 1\nENDATA\n",
+		"short column line": "ROWS\n N obj\nCOLUMNS\n    x obj\nENDATA\n",
+		"unknown section":   "WHAT\nENDATA\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMPS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestMPSWriteErrors: the writer rejects problems MPS cannot carry.
+func TestMPSWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []*Problem{
+		{Obj: []float64{math.NaN()}},
+		{Obj: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{math.Inf(1)}, Rel: LE, RHS: 1}}},
+		{Obj: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+		{Obj: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{Obj: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: Rel(9), RHS: 1}}},
+	}
+	for i, p := range bad {
+		if err := WriteMPS(&buf, "bad", p); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+// FuzzMPSRoundTrip: parse → write → parse is a fixpoint and never
+// panics. Anything the reader accepts must be writable, and the written
+// form must parse back to the identical problem (the written canonical
+// form is itself stable).
+func FuzzMPSRoundTrip(f *testing.F) {
+	f.Add("NAME x\nOBJSENSE\n    MAX\nROWS\n N obj\n L r0\nCOLUMNS\n    x0 obj 1\n    x0 r0 2.5\nRHS\n    RHS r0 1\nENDATA\n")
+	f.Add("ROWS\n N c\nENDATA\n")
+	f.Add("ROWS\n N c\n E e\nCOLUMNS\n    a c 1 e -0\nRHS\n    RHS e 5e-300\nENDATA\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		f1, err := ReadMPS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMPSFile(&buf, f1); err != nil {
+			t.Fatalf("accepted input failed to write: %v", err)
+		}
+		first := buf.String()
+		f2, err := ReadMPS(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("written form failed to parse: %v\n%s", err, first)
+		}
+		if !problemsEqual(f1.Problem, f2.Problem) {
+			t.Fatalf("write → read changed the problem\n%s", first)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteMPSFile(&buf2, f2); err != nil {
+			t.Fatal(err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("canonical form is not a fixpoint:\n%s\nvs\n%s", first, buf2.String())
+		}
+	})
+}

@@ -1,0 +1,551 @@
+package lp
+
+// This file is the exact, reversible presolve layer over Problem: a
+// fixpoint of cheap reductions that shrink an LP before the simplex
+// sees it, plus the postsolve map that reconstructs the full primal and
+// dual solution of the original problem from the reduced one.
+//
+// Every reduction is *verdict-exact*: the reduced problem is feasible/
+// unbounded/optimal exactly when the original is, decided with exact
+// float64 comparisons (no tolerances), so presolve can never flip a
+// verdict the unreduced solver would reach in exact arithmetic. The
+// per-reduction value guarantees are documented on each rule below;
+// where a reconstruction involves arithmetic (the fixed-variable
+// substitution), the residual is one rounding error per operation and
+// postsolve certificate-checks it against the originating row.
+//
+// The reductions (Andersen & Andersen 1995 restricted to the subset
+// whose inverses are exactly representable):
+//
+//   - zero rows: a row with no nonzero over the active columns either
+//     holds vacuously (LE rhs ≥ 0, GE rhs ≤ 0, EQ rhs == 0 — dropped,
+//     dual 0) or can never hold (Infeasible). Exact: the verdict is a
+//     sign test on the rhs.
+//   - row singletons: a row a·x_j (rel) rhs with one nonzero. An EQ
+//     singleton fixes x_j = rhs/a (negative fix ⇒ Infeasible) and is
+//     substituted out of the remaining rows and the objective; the fix
+//     costs one division and each substitution one multiply-subtract,
+//     the only inexact arithmetic in the pass. LE with a > 0, rhs == 0
+//     (and GE with a < 0, rhs == 0) force x_j = 0 exactly; LE with
+//     a > 0, rhs < 0 (and GE with a < 0, rhs > 0) are Infeasible; the
+//     vacuous sign combinations are dropped with dual 0. Singleton rows
+//     that merely bound x_j away from {0} are kept — eliminating them
+//     would require bound tracking the simplex front-end does not have.
+//   - empty columns: a variable in no kept row is fixed to 0 when its
+//     objective coefficient pushes it down (or is 0); when it pushes
+//     up, the problem is unbounded as soon as it is feasible (the
+//     verdict is deferred until feasibility of the rest is known).
+//   - duplicate / parallel rows: two kept rows with bitwise-identical
+//     coefficient vectors over the active columns. Equal-rel LE pairs
+//     keep the smaller rhs, GE pairs the larger (the looser row can
+//     never bind strictly before the tighter one, so its dual is 0);
+//     EQ pairs with equal rhs keep one, with different rhs are
+//     Infeasible. The bitwise guard makes the comparison exact: no
+//     tolerance can merge rows the simplex would treat as distinct.
+//
+// Dual reconstruction (Postsolve): rows dropped as redundant get
+// multiplier 0, which preserves dual feasibility (a zero multiplier
+// contributes nothing to any reduced cost) and the dual objective (the
+// dropped row is slack, or its binding twin carries the weight). An
+// eliminated EQ singleton row gets y = (c_j − Σ_i y_i a_ij)/a — the
+// unique multiplier restoring the dual equality of its column j — and a
+// forced-zero singleton row gets max(0, (c_j − Σ_i y_i a_ij)/a), the
+// smallest feasible multiplier (its rhs is 0, so any choice preserves
+// the dual objective). Because eliminated rows are singletons, they
+// touch no other column's dual constraint, so the reconstruction is
+// order-independent across columns and exact in the same sense as the
+// substitution. Records are undone in reverse order, so every sum runs
+// over exactly the rows present when the reduction fired.
+
+import (
+	"fmt"
+	"math"
+)
+
+// presolveRecord is one applied reduction, undone in reverse by
+// Postsolve.
+type presolveRecord struct {
+	kind int8
+	row  int     // original row index (dropRow, substEQ, forcedZero)
+	col  int     // original column index (fixVar, substEQ, forcedZero)
+	a    float64 // row coefficient at col (substEQ, forcedZero)
+	val  float64 // fixed value of col (fixVar, substEQ)
+}
+
+const (
+	recDropRow    int8 = iota // redundant row: dual 0
+	recFixVar                 // empty column fixed at 0
+	recSubstEQ                // EQ singleton: x_col = val, row eliminated
+	recForcedZero             // singleton forcing x_col = 0, row eliminated
+)
+
+// Presolved is the output of PresolveProblem: the reduced problem (nil
+// when the presolve decided the verdict outright) plus the reversible
+// recipe Postsolve uses to reconstruct the original solution. The
+// original Problem is retained by reference and must not be mutated
+// until the Presolved (and any Solution its Postsolve produced) is
+// dropped.
+type Presolved struct {
+	// Reduced is the problem to hand to any solver, or nil when Decided
+	// reports the verdict without a solve.
+	Reduced *Problem
+
+	orig     *Problem
+	records  []presolveRecord
+	rowKept  []bool // final kept mask over original rows
+	rowMap   []int  // original row -> reduced row (kept rows only)
+	colMap   []int  // original col -> reduced col, -1 when fixed
+	fixedVal []float64
+	rhs      []float64 // working rhs after substitutions
+	objConst float64
+
+	// unboundedIfFeasible records an empty column whose objective
+	// coefficient improves without bound; the final verdict is Unbounded
+	// unless the rest of the problem is Infeasible.
+	unboundedIfFeasible bool
+	status              Status
+	decided             bool
+}
+
+// RowsDropped reports how many original rows the pass eliminated.
+func (ps *Presolved) RowsDropped() int {
+	n := 0
+	for _, k := range ps.rowKept {
+		if !k {
+			n++
+		}
+	}
+	return n
+}
+
+// ColsFixed reports how many variables the pass fixed.
+func (ps *Presolved) ColsFixed() int {
+	n := 0
+	for _, c := range ps.colMap {
+		if c < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Decided reports a verdict the presolve reached without any solve:
+// Infeasible, Unbounded, or — when every row and column was eliminated
+// — the complete Optimal solution. ok is false when a reduced problem
+// remains to be solved.
+func (ps *Presolved) Decided() (Solution, bool) {
+	if !ps.decided {
+		return Solution{}, false
+	}
+	sol := Solution{Status: ps.status}
+	if ps.status == Optimal {
+		sol.X = append([]float64(nil), ps.fixedVal...)
+		sol.Value = ps.objConst
+		sol.dualFn = ps.dualReconstructor(nil)
+	}
+	return sol, true
+}
+
+// PresolveProblem runs the reduction fixpoint on p. It never modifies
+// p; the working copies live in the returned Presolved.
+func PresolveProblem(p *Problem) (*Presolved, error) {
+	n := len(p.Obj)
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has non-finite rhs %v", i, c.RHS)
+		}
+	}
+	ps := &Presolved{
+		orig:     p,
+		rowKept:  make([]bool, m),
+		colMap:   make([]int, n),
+		fixedVal: make([]float64, n),
+		rhs:      make([]float64, m),
+	}
+	active := make([]bool, n)
+	for j := range active {
+		active[j] = true
+	}
+	for i := range ps.rowKept {
+		ps.rowKept[i] = true
+		ps.rhs[i] = p.Constraints[i].RHS
+	}
+	cmax := func(j int) float64 {
+		if p.Minimize {
+			return -p.Obj[j]
+		}
+		return p.Obj[j]
+	}
+
+	infeasible := func() (*Presolved, error) {
+		ps.decided, ps.status = true, Infeasible
+		return ps, nil
+	}
+	dropRow := func(i int) {
+		ps.records = append(ps.records, presolveRecord{kind: recDropRow, row: i})
+		ps.rowKept[i] = false
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Zero rows and row singletons over the active columns.
+		for i := 0; i < m; i++ {
+			if !ps.rowKept[i] {
+				continue
+			}
+			row := p.Constraints[i].Coeffs
+			nz, lastJ := 0, -1
+			for j := 0; j < n && nz < 2; j++ {
+				if active[j] && row[j] != 0 {
+					nz++
+					lastJ = j
+				}
+			}
+			rel, rhs := p.Constraints[i].Rel, ps.rhs[i]
+			switch nz {
+			case 0:
+				redundant := (rel == LE && rhs >= 0) || (rel == GE && rhs <= 0) || (rel == EQ && rhs == 0)
+				if !redundant {
+					return infeasible()
+				}
+				dropRow(i)
+				changed = true
+			case 1:
+				j, a := lastJ, row[lastJ]
+				switch rel {
+				case EQ:
+					val := rhs / a
+					if math.IsInf(val, 0) || math.IsNaN(val) {
+						continue // degenerate scaling; leave for the simplex
+					}
+					if val < 0 {
+						return infeasible()
+					}
+					ps.records = append(ps.records, presolveRecord{kind: recSubstEQ, row: i, col: j, a: a, val: val})
+					ps.rowKept[i], active[j] = false, false
+					ps.fixedVal[j] = val
+					ps.objConst += p.Obj[j] * val
+					for i2 := 0; i2 < m; i2++ {
+						if i2 != i && ps.rowKept[i2] {
+							if b := p.Constraints[i2].Coeffs[j]; b != 0 {
+								ps.rhs[i2] -= b * val
+							}
+						}
+					}
+					changed = true
+				case LE:
+					switch {
+					case a > 0 && rhs == 0:
+						ps.records = append(ps.records, presolveRecord{kind: recForcedZero, row: i, col: j, a: a})
+						ps.rowKept[i], active[j] = false, false
+						changed = true
+					case a > 0 && rhs < 0:
+						return infeasible()
+					case a < 0 && rhs >= 0:
+						dropRow(i) // −|a|·x_j ≤ rhs holds for every x_j ≥ 0
+						changed = true
+					}
+				case GE:
+					switch {
+					case a < 0 && rhs == 0:
+						ps.records = append(ps.records, presolveRecord{kind: recForcedZero, row: i, col: j, a: a})
+						ps.rowKept[i], active[j] = false, false
+						changed = true
+					case a < 0 && rhs > 0:
+						return infeasible()
+					case a > 0 && rhs <= 0:
+						dropRow(i) // |a|·x_j ≥ rhs holds for every x_j ≥ 0
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Empty columns.
+		for j := 0; j < n; j++ {
+			if !active[j] {
+				continue
+			}
+			used := false
+			for i := 0; i < m && !used; i++ {
+				used = ps.rowKept[i] && p.Constraints[i].Coeffs[j] != 0
+			}
+			if used {
+				continue
+			}
+			if cmax(j) > 0 {
+				ps.unboundedIfFeasible = true
+			}
+			ps.records = append(ps.records, presolveRecord{kind: recFixVar, col: j})
+			active[j] = false
+			changed = true
+		}
+
+		// Duplicate / parallel rows (bitwise-equal active coefficients).
+		for i := 0; i < m; i++ {
+			if !ps.rowKept[i] {
+				continue
+			}
+			for i2 := i + 1; i2 < m; i2++ {
+				if !ps.rowKept[i2] || p.Constraints[i].Rel != p.Constraints[i2].Rel {
+					continue
+				}
+				ca, cb := p.Constraints[i].Coeffs, p.Constraints[i2].Coeffs
+				same := true
+				for j := 0; j < n; j++ {
+					if active[j] && ca[j] != cb[j] {
+						same = false
+						break
+					}
+				}
+				if !same {
+					continue
+				}
+				ra, rb := ps.rhs[i], ps.rhs[i2]
+				switch p.Constraints[i].Rel {
+				case LE:
+					if rb >= ra {
+						dropRow(i2)
+					} else {
+						dropRow(i)
+					}
+				case GE:
+					if rb <= ra {
+						dropRow(i2)
+					} else {
+						dropRow(i)
+					}
+				case EQ:
+					if ra != rb {
+						return infeasible()
+					}
+					dropRow(i2)
+				}
+				changed = true
+				if !ps.rowKept[i] {
+					break
+				}
+			}
+		}
+	}
+
+	// Assemble the reduced problem, or decide outright when nothing is
+	// left to solve.
+	ps.rowMap = make([]int, m)
+	keptRows, keptCols := 0, 0
+	for j := 0; j < n; j++ {
+		if active[j] {
+			ps.colMap[j] = keptCols
+			keptCols++
+		} else {
+			ps.colMap[j] = -1
+		}
+	}
+	for i := 0; i < m; i++ {
+		if ps.rowKept[i] {
+			ps.rowMap[i] = keptRows
+			keptRows++
+		} else {
+			ps.rowMap[i] = -1
+		}
+	}
+	if keptRows == 0 && keptCols == 0 {
+		ps.decided = true
+		if ps.unboundedIfFeasible {
+			ps.status = Unbounded
+		} else {
+			ps.status = Optimal
+		}
+		return ps, nil
+	}
+	red := &Problem{
+		Minimize: p.Minimize,
+		Obj:      make([]float64, keptCols),
+	}
+	for j := 0; j < n; j++ {
+		if c := ps.colMap[j]; c >= 0 {
+			red.Obj[c] = p.Obj[j]
+		}
+	}
+	red.Constraints = make([]Constraint, 0, keptRows)
+	for i := 0; i < m; i++ {
+		if !ps.rowKept[i] {
+			continue
+		}
+		coeffs := make([]float64, keptCols)
+		for j, v := range p.Constraints[i].Coeffs {
+			if c := ps.colMap[j]; c >= 0 {
+				coeffs[c] = v
+			}
+		}
+		red.Constraints = append(red.Constraints, Constraint{
+			Coeffs: coeffs,
+			Rel:    p.Constraints[i].Rel,
+			RHS:    ps.rhs[i],
+		})
+	}
+	ps.Reduced = red
+	return ps, nil
+}
+
+// Postsolve maps a Solution of the Reduced problem back to a Solution
+// of the original: the primal is scattered over the fixed variables,
+// the objective constant restored, and the duals of eliminated rows
+// reconstructed lazily (the returned Solution's Duals calls the inner
+// Solution's Duals first, so a stale workspace read panics exactly as
+// it would unpresolved). Non-Optimal statuses pass through unchanged —
+// every reduction preserves feasibility and boundedness exactly — with
+// the one deferred case: an unbounded empty column turns a feasible
+// reduced problem into an Unbounded original.
+func (ps *Presolved) Postsolve(sol Solution) Solution {
+	if ps.decided {
+		s, _ := ps.Decided()
+		return s
+	}
+	if sol.Status != Optimal {
+		return Solution{Status: sol.Status, Pivots: sol.Pivots}
+	}
+	if ps.unboundedIfFeasible {
+		return Solution{Status: Unbounded, Pivots: sol.Pivots}
+	}
+	n := len(ps.orig.Obj)
+	out := Solution{
+		Status: Optimal,
+		X:      make([]float64, n),
+		Value:  sol.Value,
+		Pivots: sol.Pivots,
+	}
+	// Adding a zero constant would still flip −0.0 to +0.0; skip it so a
+	// pass with no substitutions is bit-transparent.
+	if ps.objConst != 0 {
+		out.Value += ps.objConst
+	}
+	for j := 0; j < n; j++ {
+		if c := ps.colMap[j]; c >= 0 {
+			out.X[j] = sol.X[c]
+		} else {
+			out.X[j] = ps.fixedVal[j]
+		}
+	}
+	// Certificate check of the substitution residuals: each fixed value
+	// must still satisfy its originating singleton row to within one
+	// rounding of the row evaluation. The fix was computed as rhs/a, so
+	// the residual a·(rhs/a) − rhs is at most one ulp of rhs; anything
+	// larger means the recipe no longer matches the problem it was
+	// derived from.
+	for _, r := range ps.records {
+		if r.kind != recSubstEQ {
+			continue
+		}
+		resid := r.a*r.val - ps.orig.Constraints[r.row].RHS
+		if !(math.Abs(resid) <= 4*math.Abs(ps.orig.Constraints[r.row].RHS)*1e-15) && resid != 0 {
+			panic(fmt.Sprintf("lp: presolve substitution residual %g on row %d", resid, r.row))
+		}
+	}
+	inner := sol
+	out.dualFn = ps.dualReconstructor(func() []float64 { return inner.Duals() })
+	return out
+}
+
+// dualReconstructor returns the lazy dual extractor for the original
+// problem: innerDuals (nil when the presolve decided everything) yields
+// the reduced problem's multipliers, and the records are undone in
+// reverse, assigning each eliminated row the multiplier documented in
+// the file comment. Sums run over the original coefficients of exactly
+// the rows present when the reduction fired — rows restored by later
+// undos included, rows dropped earlier excluded.
+func (ps *Presolved) dualReconstructor(innerDuals func() []float64) func() []float64 {
+	return func() []float64 {
+		p := ps.orig
+		m := len(p.Constraints)
+		ymax := make([]float64, m)
+		present := make([]bool, m)
+		if innerDuals != nil {
+			in := innerDuals()
+			for i := 0; i < m; i++ {
+				if ps.rowKept[i] {
+					v := in[ps.rowMap[i]]
+					if p.Minimize {
+						v = -v
+					}
+					ymax[i] = v
+					present[i] = true
+				}
+			}
+		}
+		cmax := func(j int) float64 {
+			if p.Minimize {
+				return -p.Obj[j]
+			}
+			return p.Obj[j]
+		}
+		colSum := func(j int) float64 {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				if present[i] {
+					if a := p.Constraints[i].Coeffs[j]; a != 0 {
+						s += ymax[i] * a
+					}
+				}
+			}
+			return s
+		}
+		for r := len(ps.records) - 1; r >= 0; r-- {
+			rec := ps.records[r]
+			switch rec.kind {
+			case recDropRow:
+				present[rec.row] = true // ymax stays 0
+			case recSubstEQ:
+				ymax[rec.row] = (cmax(rec.col) - colSum(rec.col)) / rec.a
+				present[rec.row] = true
+			case recForcedZero:
+				// The smallest multiplier keeping column rec.col dual-
+				// feasible, clamped to the row's sign constraint: ≥ 0 for
+				// the LE form (a > 0), ≤ 0 for the GE form (a < 0).
+				v := (cmax(rec.col) - colSum(rec.col)) / rec.a
+				if rec.a > 0 && v < 0 {
+					v = 0
+				} else if rec.a < 0 && v > 0 {
+					v = 0
+				}
+				ymax[rec.row] = v
+				present[rec.row] = true
+			}
+		}
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			v := ymax[i]
+			if p.Minimize {
+				v = -v
+			}
+			if v == 0 {
+				v = 0 // normalise −0.0
+			}
+			y[i] = v
+		}
+		return y
+	}
+}
+
+// SolvePresolved presolves p, solves the reduced problem with the
+// default dense simplex, and postsolves — the one-call entry point the
+// differential tests exercise against the unreduced Solve.
+func SolvePresolved(p *Problem) (Solution, error) {
+	ps, err := PresolveProblem(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	if sol, ok := ps.Decided(); ok {
+		return sol, nil
+	}
+	sol, err := Solve(ps.Reduced)
+	if err != nil {
+		return Solution{}, err
+	}
+	return ps.Postsolve(sol), nil
+}

@@ -76,6 +76,26 @@ func SolveRevisedSparse(p *SparseProblem) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	// Exact zero-row verdicts, mirroring the dense solver: a row no
+	// structural column touches is Infeasible when its rhs sign can
+	// never be satisfied by an empty sum (LE rhs < 0, GE rhs > 0, EQ
+	// rhs ≠ 0). The phase-1 tolerance would otherwise accept rhs within
+	// epsPhase1 and leave a negative basic slack in the final basis.
+	rowUsed := make([]bool, r.m)
+	for j := 0; j < r.nVars; j++ {
+		for _, row := range r.cols[j].rows {
+			rowUsed[row] = true
+		}
+	}
+	for i, used := range rowUsed {
+		if used {
+			continue
+		}
+		rhs := p.RHS[i]
+		if (p.Rels[i] == LE && rhs < 0) || (p.Rels[i] == GE && rhs > 0) || (p.Rels[i] == EQ && rhs != 0) {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
 	sol := Solution{}
 	if r.needPhase1 {
 		r.setPhase1()

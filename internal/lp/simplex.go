@@ -174,9 +174,6 @@ type tableau struct {
 
 	needPhase1 bool
 	inPhase2   bool
-
-	slackCol []int  // per constraint: its slack column, or -1
-	slackNeg []bool // true when the slack entered with coefficient -1 (GE rows)
 }
 
 // reset sizes the tableau for a problem with nVars variables, m rows,
@@ -205,8 +202,6 @@ func (t *tableau) reset(nVars, m, nSlack, nArt int) {
 	if cap(t.supportBuf) < t.nCols {
 		t.supportBuf = make([]int32, 0, t.nCols)
 	}
-	t.slackCol = growInts(t.slackCol, m)
-	t.slackNeg = growBools(t.slackNeg, m)
 }
 
 // setPhase1Objective installs "maximise −Σ artificials" as the reduced-cost
@@ -437,23 +432,10 @@ func (t *tableau) expelArtificials() error {
 		t.rows[r], t.rows[last] = t.rows[last], t.rows[r]
 		t.rhs[r], t.rhs[last] = t.rhs[last], t.rhs[r]
 		t.basis[r], t.basis[last] = t.basis[last], t.basis[r]
-		t.slackCol[r], t.slackCol[last] = t.slackCol[last], t.slackCol[r]
-		t.slackNeg[r], t.slackNeg[last] = t.slackNeg[last], t.slackNeg[r]
 		t.rows = t.rows[:last]
 		t.rhs = t.rhs[:last]
 		t.basis = t.basis[:last]
-		t.slackCol = t.slackCol[:last]
-		t.slackNeg = t.slackNeg[:last]
 		r--
 	}
 	return nil
-}
-
-func (t *tableau) slackNegForCol(col int) bool {
-	for r, c := range t.slackCol {
-		if c == col {
-			return t.slackNeg[r]
-		}
-	}
-	return false
 }

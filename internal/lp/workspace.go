@@ -163,6 +163,34 @@ func (w *Workspace) solveStaged(minimize bool, rule PivotRule) (Solution, error)
 // solveStagedRun is the two-phase driver over the staged rows — the body
 // of the historical SolveWithRule, operating on workspace memory.
 func (w *Workspace) solveStagedRun(minimize bool, rule PivotRule) (Solution, error) {
+	// A row whose support emptied (topology churn can do this) must be
+	// decided exactly: with every coefficient zero, LE needs rhs ≥ 0, GE
+	// needs rhs ≤ 0 and EQ needs rhs == 0 — anything else is Infeasible
+	// regardless of x. The phase-1 tolerance cannot be trusted here: a GE
+	// zero row with 0 < rhs ≤ epsPhase1 passes phase 1 within tolerance
+	// and expelArtificials then pivots its artificial out on the slack
+	// column (coefficient −1), declaring a point with a negative basic
+	// slack Optimal. Only rows whose rhs sign makes them unsatisfiable
+	// are scanned, so the satisfiable hot-path rows (the ball LPs' LE
+	// rows with rhs ∈ {0, 1}) cost one comparison each, and satisfiable
+	// zero rows still enter the tableau exactly as before — their slack
+	// stays basic throughout, so the pivot sequence is unchanged.
+	for r, rel := range w.rels {
+		rhs := w.rhsIn[r]
+		if !((rel == LE && rhs < 0) || (rel == GE && rhs > 0) || (rel == EQ && rhs != 0)) {
+			continue
+		}
+		zero := true
+		for _, a := range w.rowArena[r*w.nVars : (r+1)*w.nVars] {
+			if a != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
 	w.buildTableau()
 	t := &w.t
 	sol := Solution{}
@@ -252,18 +280,13 @@ func (w *Workspace) buildTableau() {
 		}
 		clear(row[n:])
 		t.rhs[r] = sign * w.rhsIn[r]
-		t.slackCol[r] = -1
-		t.slackNeg[r] = false
 		switch w.plans[r].rel {
 		case LE:
 			row[slack] = 1
 			t.basis[r] = slack
-			t.slackCol[r] = slack
 			slack++
 		case GE:
 			row[slack] = -1
-			t.slackCol[r] = slack
-			t.slackNeg[r] = true
 			slack++
 			row[art] = 1
 			t.basis[r] = art
@@ -308,33 +331,60 @@ func (w *Workspace) dualsFromTableau(gen uint64, minimize bool) []float64 {
 	t := &w.t
 	y := make([]float64, len(w.rels))
 	// Slack columns are assigned in constraint order during construction,
-	// so the column → original-constraint mapping can be rebuilt from the
-	// staged relations; rows whose redundancy was detected in phase 1 get
-	// dual 0 via their surviving slack column's reduced cost.
-	colToCon := make(map[int]int)
+	// so the column → original-constraint mapping is replayed from the row
+	// plans; rows whose redundancy was detected in phase 1 get dual 0 via
+	// their surviving slack column's reduced cost. The multipliers are
+	// reported against the rows *as staged*: a row buildTableau flipped to
+	// make its rhs nonnegative has the dual of the negated row, so the
+	// normalised read is negated back — the revised solver's convention,
+	// and the one under which Σ y·rhs equals the objective value.
 	slack := t.nVars
 	for r := 0; r < len(w.rels); r++ {
-		rel, rhs := w.rels[r], w.rhsIn[r]
-		switch {
-		case rel == LE && rhs >= 0, rel == GE && rhs < 0:
-			colToCon[slack] = r
-			slack++
-		case rel == EQ:
-			// no slack column
-		default:
-			colToCon[slack] = r
-			slack++
+		pl := w.plans[r]
+		if pl.rel == EQ {
+			continue // no slack column
 		}
-	}
-	for col, con := range colToCon {
-		v := -t.obj[col]
-		if t.slackNegForCol(col) {
+		v := -t.obj[slack]
+		if pl.rel == GE {
+			v = -v // slack coefficient is −1
+		}
+		if pl.flip {
 			v = -v
 		}
 		if minimize {
 			v = -v
 		}
-		y[con] = v
+		y[r] = v
+		slack++
+	}
+	// EQ rows have no slack column, but their artificial column stays in
+	// the tableau with its reduced cost maintained through phase 2
+	// (artificials are barred from entering, not priced out of t.obj), and
+	// that reduced cost is 0 − c_B·B⁻¹·e_r = −y_r — the same identity the
+	// slack read uses. Artificial columns are assigned in row order by
+	// buildTableau, so the mapping is replayed from the row plans. A row
+	// removed as redundant by expelArtificials kept its artificial basic
+	// and was never a pivot row, so its column is untouched elsewhere and
+	// reads exactly 0 — the correct multiplier for a redundant row.
+	// Flipped rows (staged rhs < 0) were negated wholesale, so their
+	// original dual is the negation of the normalised one.
+	art := t.artStart
+	for r := 0; r < len(w.rels); r++ {
+		pl := w.plans[r]
+		if !pl.needsArt {
+			continue
+		}
+		if pl.rel == EQ {
+			v := -t.obj[art]
+			if pl.flip {
+				v = -v
+			}
+			if minimize {
+				v = -v
+			}
+			y[r] = v
+		}
+		art++
 	}
 	return y
 }

@@ -140,3 +140,291 @@ func ReadText(r io.Reader) (*Instance, error) {
 	}
 	return in, nil
 }
+
+// WriteMPS writes the instance as its global max-min LP in free-format
+// MPS — the interchange form any off-the-shelf LP solver reads:
+//
+//	maximise OMEGA
+//	RES<i>:  Σ_v a_iv X<v>            ≤ 1     (one L row per resource)
+//	PAR<k>:  Σ_v c_kv X<v> − OMEGA    ≥ 0     (one G row per party)
+//
+// with all variables nonnegative (the MPS default bound). Coefficients
+// are written as shortest-round-trip decimals, so ReadMPS reconstructs
+// the instance bit for bit; the leading `* MMLP AGENTS n` comment
+// carries the agent count (agents detached by topology churn appear in
+// no row), and `* MMLP UNCONSTRAINED 1` preserves the relaxed build
+// mode such instances require.
+func (in *Instance) WriteMPS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* MMLP AGENTS %d\n", in.nAgents)
+	if in.hasUnconstrained {
+		bw.WriteString("* MMLP UNCONSTRAINED 1\n")
+	}
+	bw.WriteString("NAME MMLP\nOBJSENSE\n    MAX\nROWS\n N COST\n")
+	for i := range in.resRows {
+		fmt.Fprintf(bw, " L RES%d\n", i)
+	}
+	for k := range in.parRows {
+		fmt.Fprintf(bw, " G PAR%d\n", k)
+	}
+	bw.WriteString("COLUMNS\n")
+	// Agent columns in index order; each row's entries are already in
+	// ascending agent order, so emitting per-column preserves both.
+	for v := 0; v < in.nAgents; v++ {
+		for _, i := range in.agentRes[v] {
+			fmt.Fprintf(bw, "    X%d RES%d %s\n", v, i, strconv.FormatFloat(lookup(in.resRows[i], v), 'g', -1, 64))
+		}
+		for _, k := range in.agentPar[v] {
+			fmt.Fprintf(bw, "    X%d PAR%d %s\n", v, k, strconv.FormatFloat(lookup(in.parRows[k], v), 'g', -1, 64))
+		}
+	}
+	bw.WriteString("    OMEGA COST 1\n")
+	for k := range in.parRows {
+		fmt.Fprintf(bw, "    OMEGA PAR%d -1\n", k)
+	}
+	bw.WriteString("RHS\n")
+	for i := range in.resRows {
+		fmt.Fprintf(bw, "    RHS RES%d 1\n", i)
+	}
+	bw.WriteString("ENDATA\n")
+	return bw.Flush()
+}
+
+// ReadMPS parses the MPS form written by WriteMPS back into an
+// instance. The parser accepts the free-format subset WriteMPS emits
+// (comments, NAME, OBJSENSE, ROWS, COLUMNS with one or two pairs per
+// line, RHS, ENDATA) with rows and entries in any order, but enforces
+// the max-min structure: L rows with rhs 1 are resources, G rows with
+// rhs 0 are parties carrying exactly one −1 OMEGA entry, the objective
+// is exactly OMEGA, and agent columns are named X<index>. Everything
+// else is an error — this importer exists to round-trip instances
+// exactly, not to coerce arbitrary LPs.
+func ReadMPS(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+
+	nAgents := -1
+	unconstrained := false
+	type row struct {
+		name    string
+		ge      bool
+		entries []Entry // agent entries only
+		omega   float64
+		hasRHS  bool
+		rhs     float64
+	}
+	var rows []*row
+	byName := make(map[string]*row)
+	objRow := ""
+	objOmega := 0.0
+	objOther := false
+	ended := false
+
+	const (
+		secNone = iota
+		secObjsense
+		secRows
+		secColumns
+		secRHS
+	)
+	section := secNone
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "*") {
+			var n int
+			if _, err := fmt.Sscanf(line, "* MMLP AGENTS %d", &n); err == nil {
+				nAgents = n
+			}
+			var u int
+			if _, err := fmt.Sscanf(line, "* MMLP UNCONSTRAINED %d", &u); err == nil && u != 0 {
+				unconstrained = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if line[0] != ' ' && line[0] != '\t' {
+			switch fields[0] {
+			case "NAME":
+				continue
+			case "OBJSENSE":
+				section = secObjsense
+				if len(fields) > 1 {
+					if strings.ToUpper(fields[1]) != "MAX" {
+						return nil, fmt.Errorf("mmlp: mps line %d: max-min instances are MAX problems", lineNo)
+					}
+					section = secNone
+				}
+				continue
+			case "ROWS":
+				section = secRows
+				continue
+			case "COLUMNS":
+				section = secColumns
+				continue
+			case "RHS":
+				section = secRHS
+				continue
+			case "ENDATA":
+				ended = true
+			default:
+				return nil, fmt.Errorf("mmlp: mps line %d: unsupported section %q", lineNo, fields[0])
+			}
+			if ended {
+				break
+			}
+			continue
+		}
+		switch section {
+		case secObjsense:
+			if strings.ToUpper(fields[0]) != "MAX" {
+				return nil, fmt.Errorf("mmlp: mps line %d: max-min instances are MAX problems", lineNo)
+			}
+			section = secNone
+		case secRows:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mmlp: mps line %d: bad ROWS entry %q", lineNo, line)
+			}
+			typ, name := fields[0], fields[1]
+			if _, dup := byName[name]; dup || name == objRow && objRow != "" {
+				return nil, fmt.Errorf("mmlp: mps line %d: duplicate row %q", lineNo, name)
+			}
+			switch typ {
+			case "N":
+				if objRow != "" {
+					return nil, fmt.Errorf("mmlp: mps line %d: second objective row %q", lineNo, name)
+				}
+				objRow = name
+			case "L", "G":
+				rw := &row{name: name, ge: typ == "G"}
+				byName[name] = rw
+				rows = append(rows, rw)
+			default:
+				return nil, fmt.Errorf("mmlp: mps line %d: row type %q not used by max-min LPs", lineNo, typ)
+			}
+		case secColumns:
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("mmlp: mps line %d: bad COLUMNS entry %q", lineNo, line)
+			}
+			col := fields[0]
+			for f := 1; f+1 < len(fields); f += 2 {
+				rname := fields[f]
+				v, err := strconv.ParseFloat(fields[f+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mmlp: mps line %d: bad value %q: %w", lineNo, fields[f+1], err)
+				}
+				if rname == objRow && objRow != "" {
+					if col == "OMEGA" {
+						objOmega = v
+					} else {
+						objOther = true
+					}
+					continue
+				}
+				rw, ok := byName[rname]
+				if !ok {
+					return nil, fmt.Errorf("mmlp: mps line %d: unknown row %q", lineNo, rname)
+				}
+				if col == "OMEGA" {
+					if rw.omega != 0 {
+						return nil, fmt.Errorf("mmlp: mps line %d: duplicate OMEGA entry in row %q", lineNo, rname)
+					}
+					rw.omega = v
+					continue
+				}
+				agent, err := agentIndex(col)
+				if err != nil {
+					return nil, fmt.Errorf("mmlp: mps line %d: %w", lineNo, err)
+				}
+				rw.entries = append(rw.entries, Entry{Agent: agent, Coeff: v})
+			}
+		case secRHS:
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("mmlp: mps line %d: bad RHS entry %q", lineNo, line)
+			}
+			for f := 1; f+1 < len(fields); f += 2 {
+				rw, ok := byName[fields[f]]
+				if !ok {
+					return nil, fmt.Errorf("mmlp: mps line %d: unknown row %q", lineNo, fields[f])
+				}
+				v, err := strconv.ParseFloat(fields[f+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mmlp: mps line %d: bad value %q: %w", lineNo, fields[f+1], err)
+				}
+				if rw.hasRHS {
+					return nil, fmt.Errorf("mmlp: mps line %d: duplicate RHS for row %q", lineNo, fields[f])
+				}
+				rw.hasRHS, rw.rhs = true, v
+			}
+		default:
+			return nil, fmt.Errorf("mmlp: mps line %d: data outside any section: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !ended {
+		return nil, fmt.Errorf("mmlp: mps: missing ENDATA")
+	}
+	if objRow == "" {
+		return nil, fmt.Errorf("mmlp: mps: no objective row")
+	}
+	if objOther || objOmega != 1 {
+		return nil, fmt.Errorf("mmlp: mps: objective must be exactly OMEGA")
+	}
+
+	maxAgent := -1
+	for _, rw := range rows {
+		for _, e := range rw.entries {
+			if e.Agent > maxAgent {
+				maxAgent = e.Agent
+			}
+		}
+	}
+	if nAgents < 0 {
+		nAgents = maxAgent + 1
+	} else if maxAgent >= nAgents {
+		return nil, fmt.Errorf("mmlp: mps: column X%d exceeds the declared %d agents", maxAgent, nAgents)
+	}
+	b := NewBuilder(nAgents)
+	if unconstrained {
+		b.AllowUnconstrained()
+	}
+	for _, rw := range rows {
+		switch {
+		case !rw.ge:
+			if rw.omega != 0 {
+				return nil, fmt.Errorf("mmlp: mps: resource row %q has an OMEGA entry", rw.name)
+			}
+			if !rw.hasRHS || rw.rhs != 1 {
+				return nil, fmt.Errorf("mmlp: mps: resource row %q must have rhs 1", rw.name)
+			}
+			b.AddResource(rw.entries...)
+		default:
+			if rw.omega != -1 {
+				return nil, fmt.Errorf("mmlp: mps: party row %q needs OMEGA coefficient -1, got %v", rw.name, rw.omega)
+			}
+			if rw.hasRHS && rw.rhs != 0 {
+				return nil, fmt.Errorf("mmlp: mps: party row %q must have rhs 0", rw.name)
+			}
+			b.AddParty(rw.entries...)
+		}
+	}
+	return b.Build()
+}
+
+// agentIndex parses an agent column name X<index>.
+func agentIndex(col string) (int, error) {
+	if !strings.HasPrefix(col, "X") {
+		return 0, fmt.Errorf("unknown column %q (want X<agent> or OMEGA)", col)
+	}
+	idx, err := strconv.Atoi(col[1:])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("bad agent column %q", col)
+	}
+	return idx, nil
+}

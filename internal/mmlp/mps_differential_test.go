@@ -1,0 +1,219 @@
+package mmlp_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maxminlp/internal/core"
+	"maxminlp/internal/gen"
+	"maxminlp/internal/hypergraph"
+	"maxminlp/internal/lp"
+	"maxminlp/internal/mmlp"
+)
+
+// This file is the MPS differential oracle: the golden-trace corpus
+// (the families and churn batch of internal/dist's golden tests) is
+// exported to MPS, re-imported, and solved — and every solve must agree
+// with the original instance bit for bit. MPS coefficients travel as
+// shortest-round-trip decimals, so export → import is exact and any
+// disagreement is a bug in the I/O layer or a nondeterminism in the
+// solvers, not float noise.
+
+// goldenCorpus mirrors internal/dist/golden_test.go: same families,
+// same seeds, plus the churned variant of each.
+func goldenCorpus(t *testing.T) map[string]*mmlp.Instance {
+	t.Helper()
+	rngW := rand.New(rand.NewSource(33))
+	torus, _ := gen.Torus([]int{6, 6}, gen.LatticeOptions{RandomWeights: true, Rng: rngW})
+	grid, _ := gen.Grid([]int{5, 5}, gen.LatticeOptions{RandomWeights: true, Rng: rngW})
+	geo, _ := gen.UnitDisk(gen.UnitDiskOptions{
+		Nodes: 30, Radius: 0.28, MaxNeighbors: 4, RandomWeights: true,
+	}, rand.New(rand.NewSource(35)))
+	corpus := map[string]*mmlp.Instance{
+		"torus6x6":    torus,
+		"grid5x5":     grid,
+		"geometric30": geo,
+	}
+	for name, in := range corpus {
+		n := in.NumAgents()
+		churned, _, err := in.ApplyTopo([]mmlp.TopoUpdate{
+			mmlp.AddAgent(),
+			mmlp.AddResourceEdge(0, n, 1.25),
+			mmlp.AddPartyEdge(0, n, 0.75),
+			mmlp.RemoveAgent(1),
+		})
+		if err != nil {
+			t.Fatalf("%s: churn: %v", name, err)
+		}
+		corpus[name+"_churned"] = churned
+	}
+	return corpus
+}
+
+func roundTripMPS(t *testing.T, name string, in *mmlp.Instance) *mmlp.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := in.WriteMPS(&buf); err != nil {
+		t.Fatalf("%s: WriteMPS: %v", name, err)
+	}
+	back, err := mmlp.ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("%s: ReadMPS: %v", name, err)
+	}
+	return back
+}
+
+func sameEntries(a, b []mmlp.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Agent != b[i].Agent || math.Float64bits(a[i].Coeff) != math.Float64bits(b[i].Coeff) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameX(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMPSInstanceRoundTripExact: the re-imported instance is
+// structurally identical — every row, entry and coefficient bit, the
+// agent count, and the build mode.
+func TestMPSInstanceRoundTripExact(t *testing.T) {
+	for name, in := range goldenCorpus(t) {
+		back := roundTripMPS(t, name, in)
+		if back.NumAgents() != in.NumAgents() || back.NumResources() != in.NumResources() || back.NumParties() != in.NumParties() {
+			t.Fatalf("%s: shape changed: %d/%d/%d -> %d/%d/%d", name,
+				in.NumAgents(), in.NumResources(), in.NumParties(),
+				back.NumAgents(), back.NumResources(), back.NumParties())
+		}
+		if back.AllowsUnconstrained() != in.AllowsUnconstrained() {
+			t.Fatalf("%s: build mode changed", name)
+		}
+		for i := 0; i < in.NumResources(); i++ {
+			if !sameEntries(in.Resource(i), back.Resource(i)) {
+				t.Fatalf("%s: resource %d changed", name, i)
+			}
+		}
+		for k := 0; k < in.NumParties(); k++ {
+			if !sameEntries(in.Party(k), back.Party(k)) {
+				t.Fatalf("%s: party %d changed", name, k)
+			}
+		}
+	}
+}
+
+// TestMPSDifferentialOracle replays the golden corpus through
+// export → re-import → solve and asserts exact agreement: the global
+// optimum (dense simplex) and the Theorem-3 local averaging at radii 1
+// and 2, presolve off and on, all bit-identical between the original
+// and the re-imported instance.
+func TestMPSDifferentialOracle(t *testing.T) {
+	for name, in := range goldenCorpus(t) {
+		back := roundTripMPS(t, name, in)
+
+		res1, err1 := lp.SolveMaxMin(in)
+		res2, err2 := lp.SolveMaxMin(back)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: global solve errors differ: %v vs %v", name, err1, err2)
+		}
+		if err1 == nil {
+			if math.Float64bits(res1.Omega) != math.Float64bits(res2.Omega) || !sameX(res1.X, res2.X) {
+				t.Fatalf("%s: global solve differs after round trip", name)
+			}
+		}
+
+		for _, radius := range []int{1, 2} {
+			for _, presolve := range []bool{false, true} {
+				opt := core.AverageOptions{Presolve: presolve}
+				a, err := core.LocalAverageOpt(in, hypergraph.FromInstance(in, hypergraph.Options{}), radius, opt)
+				if err != nil {
+					t.Fatalf("%s R=%d: %v", name, radius, err)
+				}
+				b, err := core.LocalAverageOpt(back, hypergraph.FromInstance(back, hypergraph.Options{}), radius, opt)
+				if err != nil {
+					t.Fatalf("%s R=%d (reimported): %v", name, radius, err)
+				}
+				if !sameX(a.X, b.X) || !sameX(a.LocalOmega, b.LocalOmega) || !sameX(a.Beta, b.Beta) {
+					t.Fatalf("%s R=%d presolve=%v: local averaging differs after round trip", name, radius, presolve)
+				}
+				if a.LocalLPs != b.LocalLPs || a.SolvesAvoided != b.SolvesAvoided {
+					t.Fatalf("%s R=%d presolve=%v: accounting differs after round trip", name, radius, presolve)
+				}
+			}
+		}
+	}
+}
+
+// TestMPSInstanceReadErrors: structural violations are rejected.
+func TestMPSInstanceReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"no endata":       "ROWS\n N COST\n",
+		"min sense":       "OBJSENSE\n    MIN\nROWS\n N COST\nENDATA\n",
+		"eq row":          "ROWS\n N COST\n E R\nENDATA\n",
+		"bad objective":   "ROWS\n N COST\n L RES0\nCOLUMNS\n    X0 COST 1\n    OMEGA COST 1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"res with omega":  "ROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    OMEGA RES0 1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"res rhs not 1":   "ROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    X0 RES0 1\nRHS\n    RHS RES0 2\nENDATA\n",
+		"par without -1":  "ROWS\n N COST\n L RES0\n G PAR0\nCOLUMNS\n    OMEGA COST 1\n    X0 RES0 1\n    X0 PAR0 1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"par rhs not 0":   "ROWS\n N COST\n L RES0\n G PAR0\nCOLUMNS\n    OMEGA COST 1\n    X0 RES0 1\n    X0 PAR0 1\n    OMEGA PAR0 -1\nRHS\n    RHS RES0 1\n    RHS PAR0 3\nENDATA\n",
+		"bad column":      "ROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    Y0 RES0 1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"agent overflow":  "* MMLP AGENTS 1\nROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    X5 RES0 1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"unknown section": "BOUNDS\nENDATA\n",
+		"bad value":       "ROWS\n N COST\n L RES0\nCOLUMNS\n    X0 RES0 one\nENDATA\n",
+	}
+	for name, src := range cases {
+		if _, err := mmlp.ReadMPS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestMPSInstanceSolvableByGenericReader: the instance MPS export is
+// valid general MPS — lp.ReadMPS parses it, and solving the imported
+// global LP reproduces lp.SolveMaxMin's ω exactly (the reconstructed
+// problem is identical to the one SolveMaxMin assembles, up to row
+// order, which both writers fix).
+func TestMPSInstanceSolvableByGenericReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in, _ := gen.Torus([]int{4, 4}, gen.LatticeOptions{RandomWeights: true, Rng: rng})
+	var buf bytes.Buffer
+	if err := in.WriteMPS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := lp.ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("generic reader rejected the instance export: %v", err)
+	}
+	if f.Problem.Minimize {
+		t.Fatal("instance export read back as a minimisation")
+	}
+	sol, err := lp.Solve(f.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	ref, err := lp.SolveMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-ref.Omega) > 1e-9*math.Max(1, math.Abs(ref.Omega)) {
+		t.Fatalf("generic solve ω = %v, SolveMaxMin ω = %v", sol.Value, ref.Omega)
+	}
+}

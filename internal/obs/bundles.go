@@ -100,6 +100,11 @@ type SolveMetrics struct {
 	CacheMisses    *Counter // {result="miss"} — ball LPs actually solved
 	AgentsResolved *Counter // mmlp_solve_agents_resolved_total
 
+	// PresolveRowsDropped counts constraint rows the ball-LP presolve
+	// eliminated before fingerprinting; together with the cache series it
+	// makes the presolve dedup-hit delta observable on /metrics.
+	PresolveRowsDropped *Counter // mmlp_presolve_rows_dropped_total
+
 	WeightUpdateSeconds *Histogram // mmlp_update_seconds{kind="weights"}
 	TopoUpdateSeconds   *Histogram // {kind="topology"}
 	WeightInvalidations *Counter   // mmlp_update_invalidated_balls_total{kind="weights"}
@@ -143,6 +148,8 @@ func NewSolveMetrics(r *Registry) *SolveMetrics {
 			L("result", "miss")),
 		AgentsResolved: r.Counter("mmlp_solve_agents_resolved_total",
 			"Agents re-solved by incremental passes."),
+		PresolveRowsDropped: r.Counter("mmlp_presolve_rows_dropped_total",
+			"Ball-LP constraint rows eliminated by presolve before fingerprinting."),
 
 		WeightUpdateSeconds: r.Histogram("mmlp_update_seconds",
 			"Latency of session mutation calls.", DefLatencyBuckets, L("kind", "weights")),
@@ -177,6 +184,15 @@ func (m *SolveMetrics) RecordWarmHit() {
 		return
 	}
 	m.WarmHits.Inc()
+}
+
+// PresolveDroppedCounter returns the presolve row-drop counter,
+// nil-safe.
+func (m *SolveMetrics) PresolveDroppedCounter() *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.PresolveRowsDropped
 }
 
 // LPBundle returns the LP sub-bundle, nil-safe.
