@@ -144,7 +144,8 @@ func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // first-appearance order, rows in ROWS declaration order; entries absent
 // from the file read as zero. Duplicate entries, unknown names,
 // non-finite values, RANGES and BOUNDS sections, and structural
-// violations are errors, never panics.
+// violations — including a reopened section header and an OBJSENSE
+// section with no MIN/MAX line — are errors, never panics.
 func ReadMPS(r io.Reader) (*MPSFile, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
@@ -177,6 +178,7 @@ func ReadMPS(r io.Reader) (*MPSFile, error) {
 		secDone
 	)
 	section := secNone
+	seenSec := make(map[string]bool)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -190,6 +192,20 @@ func ReadMPS(r io.Reader) (*MPSFile, error) {
 		}
 		// Section headers start in column one (no leading whitespace).
 		if line[0] != ' ' && line[0] != '\t' {
+			// Any header (ENDATA included) closes the current section; an
+			// OBJSENSE section that closes without having seen its MIN/MAX
+			// line is structurally malformed.
+			if section == secObjsense {
+				return nil, fmt.Errorf("lp: mps line %d: OBJSENSE section has no MIN/MAX line", lineNo)
+			}
+			// Each section may open at most once.
+			switch fields[0] {
+			case "OBJSENSE", "ROWS", "COLUMNS", "RHS":
+				if seenSec[fields[0]] {
+					return nil, fmt.Errorf("lp: mps line %d: %s section reopened", lineNo, fields[0])
+				}
+				seenSec[fields[0]] = true
+			}
 			switch fields[0] {
 			case "NAME":
 				if len(fields) > 1 {

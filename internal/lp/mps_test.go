@@ -206,6 +206,12 @@ func TestMPSReadErrors(t *testing.T) {
 		"stray data":        "    x obj 1\nENDATA\n",
 		"short column line": "ROWS\n N obj\nCOLUMNS\n    x obj\nENDATA\n",
 		"unknown section":   "WHAT\nENDATA\n",
+		"reopened rows":     "ROWS\n N obj\nROWS\n L r\nENDATA\n",
+		"reopened columns":  "ROWS\n N obj\nCOLUMNS\n    x obj 1\nCOLUMNS\nENDATA\n",
+		"reopened rhs":      "ROWS\n N obj\n L r\nRHS\n    RHS r 1\nRHS\nENDATA\n",
+		"reopened objsense": "OBJSENSE MAX\nOBJSENSE MIN\nROWS\n N obj\nENDATA\n",
+		"empty objsense":    "OBJSENSE\nROWS\n N obj\nENDATA\n",
+		"objsense at end":   "ROWS\n N obj\nOBJSENSE\nENDATA\n",
 	}
 	for name, src := range cases {
 		if _, err := ReadMPS(strings.NewReader(src)); err == nil {

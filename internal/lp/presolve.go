@@ -12,7 +12,9 @@ package lp
 // per-reduction value guarantees are documented on each rule below;
 // where a reconstruction involves arithmetic (the fixed-variable
 // substitution), the residual is one rounding error per operation and
-// postsolve certificate-checks it against the originating row.
+// postsolve certificate-checks it against the originating row's working
+// rhs — the rhs as it stood when the fix fired, with earlier
+// substitutions folded in.
 //
 // The reductions (Andersen & Andersen 1995 restricted to the subset
 // whose inverses are exactly representable):
@@ -70,6 +72,7 @@ type presolveRecord struct {
 	col  int     // original column index (fixVar, substEQ, forcedZero)
 	a    float64 // row coefficient at col (substEQ, forcedZero)
 	val  float64 // fixed value of col (fixVar, substEQ)
+	rhs  float64 // working rhs the fix was derived from (substEQ)
 }
 
 const (
@@ -226,7 +229,7 @@ func PresolveProblem(p *Problem) (*Presolved, error) {
 					if val < 0 {
 						return infeasible()
 					}
-					ps.records = append(ps.records, presolveRecord{kind: recSubstEQ, row: i, col: j, a: a, val: val})
+					ps.records = append(ps.records, presolveRecord{kind: recSubstEQ, row: i, col: j, a: a, val: val, rhs: rhs})
 					ps.rowKept[i], active[j] = false, false
 					ps.fixedVal[j] = val
 					ps.objConst += p.Obj[j] * val
@@ -298,7 +301,7 @@ func PresolveProblem(p *Problem) (*Presolved, error) {
 				ca, cb := p.Constraints[i].Coeffs, p.Constraints[i2].Coeffs
 				same := true
 				for j := 0; j < n; j++ {
-					if active[j] && ca[j] != cb[j] {
+					if active[j] && math.Float64bits(ca[j]) != math.Float64bits(cb[j]) {
 						same = false
 						break
 					}
@@ -433,17 +436,20 @@ func (ps *Presolved) Postsolve(sol Solution) Solution {
 		}
 	}
 	// Certificate check of the substitution residuals: each fixed value
-	// must still satisfy its originating singleton row to within one
-	// rounding of the row evaluation. The fix was computed as rhs/a, so
-	// the residual a·(rhs/a) − rhs is at most one ulp of rhs; anything
-	// larger means the recipe no longer matches the problem it was
-	// derived from.
+	// must still satisfy its originating singleton row's *working* rhs —
+	// the rhs as it stood when the fix fired, recorded on the record,
+	// with earlier substitutions already folded in. (The original row
+	// RHS is the wrong reference: a chained elimination like x0 = 2 then
+	// x0 + x1 = 5 fixes x1 against the reduced rhs 3, not 5.) The fix
+	// was computed as rhs/a, so the residual a·(rhs/a) − rhs is at most
+	// one ulp of rhs; anything larger means the recipe no longer matches
+	// the problem it was derived from.
 	for _, r := range ps.records {
 		if r.kind != recSubstEQ {
 			continue
 		}
-		resid := r.a*r.val - ps.orig.Constraints[r.row].RHS
-		if !(math.Abs(resid) <= 4*math.Abs(ps.orig.Constraints[r.row].RHS)*1e-15) && resid != 0 {
+		resid := r.a*r.val - r.rhs
+		if !(math.Abs(resid) <= 4*math.Abs(r.rhs)*1e-15) && resid != 0 {
 			panic(fmt.Sprintf("lp: presolve substitution residual %g on row %d", resid, r.row))
 		}
 	}

@@ -206,6 +206,46 @@ func TestPresolveEQSingletonSubstitution(t *testing.T) {
 	checkDualsMax(t, p, out)
 }
 
+// TestPresolveChainedEQSubstitution: eliminating one EQ singleton can
+// turn another EQ row into a singleton whose fix is computed from the
+// *working* rhs. Regression: the postsolve certificate compared
+// a·val against the original row RHS, so any chained elimination
+// (x0 = 2, then x0 + x1 = 5 reducing to x1 = 3 ≠ 5) panicked with a
+// bogus residual on a perfectly valid LP.
+func TestPresolveChainedEQSubstitution(t *testing.T) {
+	p := &Problem{
+		Obj: []float64{1, 1, 1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0, 0, 0}, Rel: EQ, RHS: 2},
+			{Coeffs: []float64{1, 1, 0, 0}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{0, 1, 1, 0}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{0, 0, 0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	out, err := SolvePresolved(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain: x0 = 2, x1 = 5 − 2 = 3, x2 = 4 − 3 = 1; free x3 rises to 1.
+	want := []float64{2, 3, 1, 1}
+	if out.Status != Optimal || math.Abs(out.Value-7) > tol {
+		t.Fatalf("postsolved: %v / %v", out.Status, out.Value)
+	}
+	for j, w := range want {
+		if math.Abs(out.X[j]-w) > tol {
+			t.Fatalf("x = %v, want %v", out.X, want)
+		}
+	}
+	direct, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Status != Optimal || math.Abs(direct.Value-out.Value) > tol {
+		t.Fatalf("direct %v / %v disagrees with presolved %v", direct.Status, direct.Value, out.Value)
+	}
+	checkDualsMax(t, p, out)
+}
+
 func TestPresolveEQSingletonNegativeFixInfeasible(t *testing.T) {
 	p := &Problem{
 		Obj:         []float64{1},
@@ -354,6 +394,36 @@ func TestPresolveDuplicateRows(t *testing.T) {
 	}
 	approx(t, out.Value, direct.Value, tol, "duplicate-row value")
 	checkDualsMax(t, p, out)
+}
+
+// TestPresolveSignedZeroRowsNotMerged: the duplicate-row guard is
+// bitwise, so rows whose coefficient vectors differ only in a signed
+// zero are kept distinct (the simplex could in principle tell them
+// apart; never merging is always verdict-safe).
+func TestPresolveSignedZeroRowsNotMerged(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	p := &Problem{
+		Obj: []float64{3, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 5},
+			{Coeffs: []float64{1, negZero}, Rel: LE, RHS: 7},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1}, // keeps x1 active
+		},
+	}
+	ps, err := PresolveProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.RowsDropped() != 0 {
+		t.Fatalf("dropped %d rows; −0.0 and +0.0 coefficients must not merge", ps.RowsDropped())
+	}
+	out, err := SolvePresolved(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != Optimal || math.Abs(out.Value-16) > tol {
+		t.Fatalf("postsolved: %v / %v", out.Status, out.Value)
+	}
 }
 
 func TestPresolveDuplicateEQInfeasible(t *testing.T) {

@@ -194,17 +194,20 @@ func (in *Instance) WriteMPS(w io.Writer) error {
 // instance. The parser accepts the free-format subset WriteMPS emits
 // (comments, NAME, OBJSENSE, ROWS, COLUMNS with one or two pairs per
 // line, RHS, ENDATA) with rows and entries in any order, but enforces
-// the max-min structure: L rows with rhs 1 are resources, G rows with
-// rhs 0 are parties carrying exactly one −1 OMEGA entry, the objective
-// is exactly OMEGA, and agent columns are named X<index>. Everything
-// else is an error — this importer exists to round-trip instances
-// exactly, not to coerce arbitrary LPs.
+// the max-min structure: an explicit OBJSENSE MAX (the MPS default
+// sense is MIN, so a file without the section would import a foreign
+// minimisation with inverted meaning), L rows with rhs 1 as resources,
+// G rows with rhs 0 as parties carrying exactly one −1 OMEGA entry,
+// the objective exactly OMEGA, and agent columns named X<index>.
+// Everything else is an error — this importer exists to round-trip
+// instances exactly, not to coerce arbitrary LPs.
 func ReadMPS(r io.Reader) (*Instance, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 
 	nAgents := -1
 	unconstrained := false
+	sawMax := false
 	type row struct {
 		name    string
 		ge      bool
@@ -257,6 +260,7 @@ func ReadMPS(r io.Reader) (*Instance, error) {
 					if strings.ToUpper(fields[1]) != "MAX" {
 						return nil, fmt.Errorf("mmlp: mps line %d: max-min instances are MAX problems", lineNo)
 					}
+					sawMax = true
 					section = secNone
 				}
 				continue
@@ -284,6 +288,7 @@ func ReadMPS(r io.Reader) (*Instance, error) {
 			if strings.ToUpper(fields[0]) != "MAX" {
 				return nil, fmt.Errorf("mmlp: mps line %d: max-min instances are MAX problems", lineNo)
 			}
+			sawMax = true
 			section = secNone
 		case secRows:
 			if len(fields) != 2 {
@@ -369,6 +374,9 @@ func ReadMPS(r io.Reader) (*Instance, error) {
 	}
 	if !ended {
 		return nil, fmt.Errorf("mmlp: mps: missing ENDATA")
+	}
+	if !sawMax {
+		return nil, fmt.Errorf("mmlp: mps: missing OBJSENSE MAX (the MPS default sense is MIN; max-min instances must declare MAX explicitly)")
 	}
 	if objRow == "" {
 		return nil, fmt.Errorf("mmlp: mps: no objective row")

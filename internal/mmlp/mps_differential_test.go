@@ -165,6 +165,8 @@ func TestMPSInstanceReadErrors(t *testing.T) {
 		"empty":           "",
 		"no endata":       "ROWS\n N COST\n",
 		"min sense":       "OBJSENSE\n    MIN\nROWS\n N COST\nENDATA\n",
+		"no objsense":     "ROWS\n N COST\n L RES0\n G PAR0\nCOLUMNS\n    OMEGA COST 1\n    X0 RES0 1\n    X0 PAR0 1\n    OMEGA PAR0 -1\nRHS\n    RHS RES0 1\nENDATA\n",
+		"empty objsense":  "OBJSENSE\nROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    X0 RES0 1\nRHS\n    RHS RES0 1\nENDATA\n",
 		"eq row":          "ROWS\n N COST\n E R\nENDATA\n",
 		"bad objective":   "ROWS\n N COST\n L RES0\nCOLUMNS\n    X0 COST 1\n    OMEGA COST 1\nRHS\n    RHS RES0 1\nENDATA\n",
 		"res with omega":  "ROWS\n N COST\n L RES0\nCOLUMNS\n    OMEGA COST 1\n    OMEGA RES0 1\nRHS\n    RHS RES0 1\nENDATA\n",
